@@ -1,0 +1,125 @@
+// Ablation: checker engines.
+//
+// The graph engine (constructive theorems, polynomial) vs the exhaustive
+// engine (branch-and-bound, factorial) on the same store-generated
+// observations, across observation-set sizes. This quantifies why the
+// equivalence theorems matter operationally: they turn an exponential
+// search into a serialization-graph pass.
+#include <benchmark/benchmark.h>
+
+#include "checker/checker.hpp"
+#include "store/runner.hpp"
+#include "workload/workload.hpp"
+
+using namespace crooks;
+
+namespace {
+
+store::RunResult run_of_size(std::size_t n) {
+  const auto intents = wl::generate_mix({.transactions = n,
+                                         .keys = std::max<std::size_t>(4, n / 3),
+                                         .reads_per_txn = 2,
+                                         .writes_per_txn = 2,
+                                         .seed = n});
+  return store::run(intents, {.mode = store::CCMode::kSnapshotIsolation,
+                              .seed = 2 * n + 1, .concurrency = 4, .retries = 3});
+}
+
+void BM_GraphEngine(benchmark::State& state) {
+  const store::RunResult r = run_of_size(static_cast<std::size_t>(state.range(0)));
+  checker::CheckOptions opts;
+  opts.version_order = &r.version_order;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        checker::check_graph(ct::IsolationLevel::kSerializable, r.observations, opts)
+            .outcome);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_GraphEngine)->Arg(8)->Arg(32)->Arg(128)->Arg(512)->Complexity();
+
+void BM_ExhaustiveEngine(benchmark::State& state) {
+  const store::RunResult r = run_of_size(static_cast<std::size_t>(state.range(0)));
+  checker::CheckOptions opts;
+  opts.version_order = &r.version_order;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        checker::check_exhaustive(ct::IsolationLevel::kSerializable, r.observations,
+                                  opts)
+            .outcome);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_ExhaustiveEngine)->Arg(4)->Arg(6)->Arg(8)->Arg(10)->Complexity();
+
+/// Refutation is where the engines truly diverge: on an UNSATISFIABLE
+/// instance (write skew padded with independent writers) the exhaustive
+/// engine must exhaust the pruned permutation tree, while the graph engine
+/// answers from one phenomena pass.
+model::TransactionSet unsat_instance(std::size_t n) {
+  using model::TxnBuilder;
+  std::vector<model::Transaction> txns;
+  txns.push_back(TxnBuilder(1).read(0, 0).read(1, 0).write(0).at(0, 1).build());
+  txns.push_back(TxnBuilder(2).read(0, 0).read(1, 0).write(1).at(2, 3).build());
+  for (std::uint64_t i = 3; i <= n; ++i) {
+    txns.push_back(TxnBuilder(i)
+                       .write(Key{i + 10})
+                       .at(static_cast<Timestamp>(2 * i), static_cast<Timestamp>(2 * i + 1))
+                       .build());
+  }
+  return model::TransactionSet(std::move(txns));
+}
+
+void BM_ExhaustiveRefutation(benchmark::State& state) {
+  const model::TransactionSet txns = unsat_instance(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        checker::check_exhaustive(ct::IsolationLevel::kSerializable, txns).outcome);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_ExhaustiveRefutation)->Arg(4)->Arg(6)->Arg(8)->Arg(9)->Complexity();
+
+void BM_GraphRefutation(benchmark::State& state) {
+  const model::TransactionSet txns = unsat_instance(static_cast<std::size_t>(state.range(0)));
+  std::unordered_map<Key, std::vector<TxnId>> vo;
+  for (const model::Transaction& t : txns) {
+    for (Key k : t.write_set()) vo[k].push_back(t.id());
+  }
+  checker::CheckOptions opts;
+  opts.version_order = &vo;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        checker::check_graph(ct::IsolationLevel::kSerializable, txns, opts).outcome);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_GraphRefutation)->Arg(4)->Arg(8)->Arg(32)->Arg(128)->Complexity();
+
+void BM_ReadStateAnalysis(benchmark::State& state) {
+  const store::RunResult r = run_of_size(static_cast<std::size_t>(state.range(0)));
+  const model::Execution e =
+      *checker::check(ct::IsolationLevel::kReadCommitted, r.observations).witness;
+  for (auto _ : state) {
+    const model::ReadStateAnalysis analysis(r.observations, e);
+    benchmark::DoNotOptimize(analysis.preread_all());
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_ReadStateAnalysis)->Arg(32)->Arg(128)->Arg(512)->Arg(2048)->Complexity();
+
+void BM_PrecedenceClosure(benchmark::State& state) {
+  const store::RunResult r = run_of_size(static_cast<std::size_t>(state.range(0)));
+  const model::Execution e =
+      *checker::check(ct::IsolationLevel::kReadCommitted, r.observations).witness;
+  for (auto _ : state) {
+    const model::ReadStateAnalysis analysis(r.observations, e);
+    benchmark::DoNotOptimize(analysis.precedence().direct_count(0));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_PrecedenceClosure)->Arg(32)->Arg(128)->Arg(512)->Complexity();
+
+}  // namespace
+
+BENCHMARK_MAIN();

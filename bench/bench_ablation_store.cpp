@@ -1,0 +1,84 @@
+// Ablation: store concurrency-control modes under varying contention.
+//
+// Throughput (transactions processed per second of wall time) and abort
+// rates per mode, across key-space sizes (contention) and Zipf skew. The
+// usual trade-off surfaces: weaker isolation commits more under contention;
+// SI pays first-committer-wins aborts; 2PL pays wait-die aborts and lock
+// waits.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "store/runner.hpp"
+#include "workload/workload.hpp"
+
+using namespace crooks;
+
+namespace {
+
+void print_abort_table() {
+  const store::CCMode modes[] = {
+      store::CCMode::kTwoPhaseLocking, store::CCMode::kWoundWait,
+      store::CCMode::kSnapshotIsolation, store::CCMode::kReadAtomic,
+      store::CCMode::kReadCommitted,
+  };
+  std::printf("Abort rates (500 txns, 2r+2w, concurrency 8, 3 retries):\n\n");
+  std::printf("%-20s %12s %12s %12s\n", "mode", "keys=8", "keys=64", "zipf .9/64");
+  for (store::CCMode m : modes) {
+    std::printf("%-20s", std::string(store::name_of(m)).c_str());
+    for (int config = 0; config < 3; ++config) {
+      wl::MixOptions mix{.transactions = 500,
+                         .keys = config == 0 ? 8u : 64u,
+                         .reads_per_txn = 2,
+                         .writes_per_txn = 2,
+                         .seed = 7};
+      if (config == 2) mix.zipf_theta = 0.9;
+      const auto intents = wl::generate_mix(mix);
+      const store::RunResult r = store::run(
+          intents, {.mode = m, .seed = 3, .concurrency = 8, .retries = 3});
+      std::printf(" %11.1f%%", 100.0 * static_cast<double>(r.aborted) /
+                                   static_cast<double>(r.aborted + r.committed));
+    }
+    std::printf("\n");
+  }
+  std::printf("\n");
+}
+
+void BM_StoreRun(benchmark::State& state) {
+  const auto mode = static_cast<store::CCMode>(state.range(0));
+  const auto keys = static_cast<std::size_t>(state.range(1));
+  const auto intents = wl::generate_mix({.transactions = 500,
+                                         .keys = keys,
+                                         .reads_per_txn = 2,
+                                         .writes_per_txn = 2,
+                                         .seed = 7});
+  std::size_t committed = 0;
+  for (auto _ : state) {
+    const store::RunResult r = store::run(
+        intents, {.mode = mode, .seed = 3, .concurrency = 8, .retries = 3});
+    committed += r.committed;
+    benchmark::DoNotOptimize(r.committed);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 500);
+  state.SetLabel(std::string(store::name_of(mode)) + "/keys=" + std::to_string(keys));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_abort_table();
+  for (store::CCMode m :
+       {store::CCMode::kSerial, store::CCMode::kTwoPhaseLocking,
+        store::CCMode::kWoundWait, store::CCMode::kSnapshotIsolation,
+        store::CCMode::kReadAtomic, store::CCMode::kReadCommitted,
+        store::CCMode::kReadUncommitted}) {
+    for (int keys : {8, 256}) {
+      benchmark::RegisterBenchmark("BM_StoreRun", BM_StoreRun)
+          ->Args({static_cast<int>(m), keys});
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,107 @@
+// Figure 3: the banking write-skew scenario at scale.
+//
+// Many couples issue the two concurrent withdrawals of Figure 3 against each
+// CC mode. Reported per mode: how many couples ended with a violated
+// invariant (both withdrawals committed), plus checker verdicts on the run's
+// observations — SI runs pass CT_SI while failing CT_SER, exactly §5.1's
+// diagnosis of write skew.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "checker/checker.hpp"
+#include "store/runner.hpp"
+#include "workload/workload.hpp"
+
+using namespace crooks;
+
+namespace {
+
+struct BankingOutcome {
+  std::size_t violations = 0;  // couples with BOTH withdrawals committed
+  std::size_t pairs = 0;
+  bool ser_pass = false;
+  bool si_pass = false;
+};
+
+BankingOutcome run_banking(store::CCMode mode, std::size_t pairs, std::uint64_t seed) {
+  const auto intents = wl::banking_withdrawals(pairs);
+  const store::RunResult r =
+      store::run(intents, {.mode = mode, .seed = seed, .concurrency = 2 * pairs,
+                           .retries = 0});
+
+  BankingOutcome out;
+  out.pairs = pairs;
+  // A couple's invariant is violated iff both its withdrawals committed AND
+  // neither observed the other (each read the initial balances).
+  for (std::size_t p = 0; p < pairs; ++p) {
+    const Key checking{2 * p}, savings{2 * p + 1};
+    const model::Transaction* alice = nullptr;
+    const model::Transaction* bob = nullptr;
+    for (const model::Transaction& t : r.observations) {
+      if (t.writes(checking)) alice = &t;
+      if (t.writes(savings)) bob = &t;
+    }
+    if (alice == nullptr || bob == nullptr) continue;
+    bool both_blind = true;
+    for (const model::Operation& op : alice->ops()) {
+      if (op.is_read() && !op.value.is_initial()) both_blind = false;
+    }
+    for (const model::Operation& op : bob->ops()) {
+      if (op.is_read() && !op.value.is_initial()) both_blind = false;
+    }
+    if (both_blind) ++out.violations;
+  }
+
+  checker::CheckOptions opts;
+  opts.version_order = &r.version_order;
+  out.ser_pass =
+      checker::check(ct::IsolationLevel::kSerializable, r.observations, opts)
+          .satisfiable();
+  out.si_pass =
+      checker::check(ct::IsolationLevel::kAdyaSI, r.observations, opts).satisfiable();
+  return out;
+}
+
+void print_table() {
+  const store::CCMode modes[] = {
+      store::CCMode::kSerial,
+      store::CCMode::kTwoPhaseLocking,
+      store::CCMode::kSnapshotIsolation,
+      store::CCMode::kReadCommitted,
+  };
+  std::printf("Figure 3: concurrent withdrawals (50 couples), per CC mode\n\n");
+  std::printf("%-20s %18s %10s %10s\n", "mode", "skew violations", "CT_SER", "CT_SI");
+  for (store::CCMode m : modes) {
+    const BankingOutcome o = run_banking(m, 50, 31);
+    std::printf("%-20s %10zu / %-5zu %10s %10s\n", std::string(store::name_of(m)).c_str(),
+                o.violations, o.pairs, o.ser_pass ? "pass" : "FAIL",
+                o.si_pass ? "pass" : "FAIL");
+  }
+  std::printf("\nSnapshot isolation commits both withdrawals of (almost) every couple —\n"
+              "the run is CT_SI-valid yet CT_SER-invalid: write skew (§5.1).\n"
+              "Serial and 2PL never violate the invariant.\n\n");
+}
+
+void BM_BankingRun(benchmark::State& state) {
+  const auto mode = static_cast<store::CCMode>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_banking(mode, 50, 31).violations);
+  }
+  state.SetLabel(std::string(store::name_of(mode)));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  for (store::CCMode m :
+       {store::CCMode::kTwoPhaseLocking, store::CCMode::kSnapshotIsolation}) {
+    benchmark::RegisterBenchmark("BM_BankingRun", BM_BankingRun)
+        ->Arg(static_cast<int>(m));
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,110 @@
+// Table 1: the commit tests, as executable checks.
+//
+// Two outputs: (1) the verdict matrix — for a store run at each CC mode,
+// which Table 1 levels does the run satisfy (reproducing the table's
+// semantic content: each test accepts exactly the behaviours of its level);
+// (2) google-benchmark timings for evaluating each commit test over a fixed
+// execution, and for the full ∃e checker decision — the cost of auditing.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "checker/checker.hpp"
+#include "store/runner.hpp"
+#include "workload/workload.hpp"
+
+using namespace crooks;
+
+namespace {
+
+const ct::IsolationLevel kTable1[] = {
+    ct::IsolationLevel::kSerializable,  ct::IsolationLevel::kAdyaSI,
+    ct::IsolationLevel::kReadCommitted, ct::IsolationLevel::kReadUncommitted,
+    ct::IsolationLevel::kPSI,           ct::IsolationLevel::kStrictSerializable,
+    ct::IsolationLevel::kReadAtomic,
+};
+
+store::RunResult make_run(store::CCMode mode, std::size_t txns = 200,
+                          std::size_t keys = 24) {
+  const auto intents = wl::generate_mix({.transactions = txns,
+                                         .keys = keys,
+                                         .reads_per_txn = 2,
+                                         .writes_per_txn = 2,
+                                         .seed = 99});
+  return store::run(intents,
+                    {.mode = mode, .seed = 17, .concurrency = 6, .retries = 3});
+}
+
+void print_matrix() {
+  const store::CCMode modes[] = {
+      store::CCMode::kSerial,          store::CCMode::kTwoPhaseLocking,
+      store::CCMode::kSnapshotIsolation, store::CCMode::kReadAtomic,
+      store::CCMode::kReadCommitted,   store::CCMode::kReadUncommitted,
+  };
+  std::printf("Table 1 commit tests vs store runs (200 txns, 24 keys, 2r+2w):\n\n");
+  std::printf("%-20s", "commit test \\ run");
+  for (store::CCMode m : modes) std::printf(" %10.10s", std::string(store::name_of(m)).c_str());
+  std::printf("\n");
+  std::vector<store::RunResult> runs;
+  for (store::CCMode m : modes) runs.push_back(make_run(m));
+  for (ct::IsolationLevel level : kTable1) {
+    std::printf("%-20s", std::string(ct::name_of(level)).c_str());
+    for (const store::RunResult& r : runs) {
+      checker::CheckOptions opts;
+      opts.version_order = &r.version_order;
+      const checker::CheckResult res = checker::check(level, r.observations, opts);
+      std::printf(" %10s", res.satisfiable() ? "pass" : res.unsatisfiable() ? "fail" : "?");
+    }
+    std::printf("\n");
+  }
+  std::printf("\n");
+}
+
+// --- timing: CT_I(T, e) evaluation over a fixed execution ------------------
+
+void BM_CommitTest(benchmark::State& state) {
+  const auto level = static_cast<ct::IsolationLevel>(state.range(0));
+  const store::RunResult r = make_run(store::CCMode::kSnapshotIsolation);
+  const model::Execution e = *checker::check(ct::IsolationLevel::kReadCommitted,
+                                             r.observations)
+                                  .witness;
+  const model::ReadStateAnalysis analysis(r.observations, e);
+  const ct::CommitTester tester(analysis);
+  for (auto _ : state) {
+    for (std::size_t d = 0; d < r.observations.size(); ++d) {
+      benchmark::DoNotOptimize(tester.test(level, d).ok);
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(r.observations.size()));
+  state.SetLabel(std::string(ct::name_of(level)));
+}
+
+// --- timing: the full ∃e decision ------------------------------------------
+
+void BM_CheckerDecision(benchmark::State& state) {
+  const auto level = static_cast<ct::IsolationLevel>(state.range(0));
+  const store::RunResult r = make_run(store::CCMode::kSnapshotIsolation);
+  checker::CheckOptions opts;
+  opts.version_order = &r.version_order;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(checker::check(level, r.observations, opts).outcome);
+  }
+  state.SetLabel(std::string(ct::name_of(level)));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_matrix();
+  for (ct::IsolationLevel l : kTable1) {
+    benchmark::RegisterBenchmark("BM_CommitTest", BM_CommitTest)
+        ->Arg(static_cast<int>(l));
+    benchmark::RegisterBenchmark("BM_CheckerDecision", BM_CheckerDecision)
+        ->Arg(static_cast<int>(l));
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

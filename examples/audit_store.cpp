@@ -1,0 +1,99 @@
+// Black-box isolation audit (the Elle/Cobra use case the state-based model
+// enables).
+//
+// Runs the same concurrent workload against every concurrency-control mode,
+// then — looking only at what clients observed (plus the store's exported
+// install order) — asks the checker which isolation levels each run could
+// have satisfied. The printed matrix is each mode's *measured* isolation,
+// with its contractual level marked.
+//
+//   $ ./audit_store
+#include <cstdio>
+
+#include "checker/checker.hpp"
+#include "common/rng.hpp"
+#include "replication/geo_store.hpp"
+#include "store/runner.hpp"
+#include "workload/workload.hpp"
+
+using namespace crooks;
+
+namespace {
+
+/// Drive the geo-replicated PSI store with random cross-site traffic.
+std::pair<model::TransactionSet, std::unordered_map<Key, std::vector<TxnId>>>
+run_geo_store() {
+  repl::GeoStore g({.sites = 3, .replication_delay = 7});
+  Rng rng(42);
+  for (int i = 0; i < 80; ++i) {
+    const TxnId t = g.begin(SiteId{static_cast<std::uint32_t>(rng.below(3))});
+    std::unordered_set<std::uint64_t> written;
+    for (int op = 0; op < 4; ++op) {
+      const std::uint64_t k = rng.below(8);
+      if (rng.chance(0.5)) {
+        g.read(t, Key{k});
+      } else if (written.insert(k).second) {
+        g.write(t, Key{k});
+      }
+    }
+    if (g.is_active(t)) g.commit(t);
+  }
+  return {g.observations(), g.version_order()};
+}
+
+}  // namespace
+
+int main() {
+  const auto intents = wl::generate_mix({.transactions = 60,
+                                         .keys = 8,
+                                         .reads_per_txn = 2,
+                                         .writes_per_txn = 2,
+                                         .sessions = 4,
+                                         .seed = 42});
+
+  const store::CCMode modes[] = {
+      store::CCMode::kSerial,          store::CCMode::kTwoPhaseLocking,
+      store::CCMode::kWoundWait,       store::CCMode::kSnapshotIsolation,
+      store::CCMode::kReadAtomic,      store::CCMode::kReadCommitted,
+      store::CCMode::kReadUncommitted,
+  };
+
+  std::printf("%-18s", "level \\ mode");
+  for (store::CCMode m : modes) std::printf(" %10.10s", std::string(store::name_of(m)).c_str());
+  std::printf(" %10s\n", "GeoPSI");
+
+  // Run once per mode; audit against every level.
+  struct Audit {
+    model::TransactionSet obs;
+    std::unordered_map<Key, std::vector<TxnId>> vo;
+  };
+  std::vector<Audit> audits;
+  for (store::CCMode m : modes) {
+    const store::RunResult r = store::run(
+        intents, {.mode = m, .seed = 7, .concurrency = 6,
+                  .injected_abort_prob = 0.05, .retries = 3});
+    audits.push_back({r.observations, r.version_order});
+  }
+  auto [geo_obs, geo_vo] = run_geo_store();
+  audits.push_back({std::move(geo_obs), std::move(geo_vo)});
+
+  for (ct::IsolationLevel level : ct::kAllLevels) {
+    std::printf("%-18s", std::string(ct::name_of(level)).c_str());
+    for (std::size_t i = 0; i < audits.size(); ++i) {
+      checker::CheckOptions opts;
+      opts.version_order = &audits[i].vo;
+      const checker::CheckResult r = checker::check(level, audits[i].obs, opts);
+      const char* cell = r.satisfiable()     ? "pass"
+                         : r.unsatisfiable() ? "FAIL"
+                                             : "?";
+      const bool contractual =
+          i < std::size(modes) ? store::contract_of(modes[i]) == level
+                               : level == ct::IsolationLevel::kPSI;
+      std::printf(" %8s%s", cell, contractual ? "*" : " ");
+    }
+    std::printf("\n");
+  }
+  std::printf("\n(*) the level the mode contractually provides. A 'pass' above the\n"
+              "contract just means this particular run produced no separating anomaly.\n");
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Streaming isolation monitoring: watch a store's commit stream live.
+//
+// A ReadCommitted store runs a contended workload while an OnlineChecker
+// consumes its commit order transaction by transaction. The monitor reports
+// the exact moment each isolation level dies, and what killed it — the
+// operational side of "seeing is believing": every alarm is phrased in terms
+// of states the clients actually observed.
+//
+//   $ ./online_monitor
+#include <cstdio>
+#include <map>
+
+#include "checker/online.hpp"
+#include "store/runner.hpp"
+#include "workload/workload.hpp"
+
+using namespace crooks;
+
+int main() {
+  const auto intents = wl::generate_mix({.transactions = 60,
+                                         .keys = 5,
+                                         .reads_per_txn = 2,
+                                         .writes_per_txn = 2,
+                                         .seed = 12});
+  const store::RunResult run = store::run(
+      intents, {.mode = store::CCMode::kReadCommitted, .seed = 5, .concurrency = 8});
+
+  // Replay the store's apply order into the monitor.
+  std::vector<const model::Transaction*> order;
+  for (const model::Transaction& t : run.observations) order.push_back(&t);
+  std::sort(order.begin(), order.end(),
+            [](auto* a, auto* b) { return a->commit_ts() < b->commit_ts(); });
+
+  checker::OnlineChecker monitor;
+  std::map<ct::IsolationLevel, std::size_t> died_at;
+  std::size_t applied = 0;
+  for (const model::Transaction* t : order) {
+    monitor.append(*t);
+    ++applied;
+    for (ct::IsolationLevel level : ct::kAllLevels) {
+      if (!monitor.status(level).ok && !died_at.contains(level)) {
+        died_at[level] = applied;
+        std::printf("after %3zu commits: %-18s DIED — %s\n", applied,
+                    std::string(ct::name_of(level)).c_str(),
+                    monitor.status(level).explanation.c_str());
+      }
+    }
+  }
+
+  std::printf("\nafter %zu commits, still alive:", applied);
+  for (ct::IsolationLevel level : monitor.surviving_levels()) {
+    std::printf(" %s", std::string(ct::name_of(level)).c_str());
+  }
+  std::printf("\n\n(a ReadCommitted store under contention: the strong levels die "
+              "within a few\ncommits; ReadCommitted itself — its contract — survives "
+              "the whole stream)\n");
+  return 0;
+}

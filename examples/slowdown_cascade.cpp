@@ -1,0 +1,58 @@
+// Slowdown cascades under PSI (§5.3), narrated.
+//
+// Three asynchronously-replicated sites run the paper's workload. Midway, a
+// single key partition stalls. Under the traditional PSI definition every
+// site totally orders its commits, so one stalled transaction head-of-line
+// blocks everything committed after it at that site; under the client-centric
+// definition only genuine dependents wait.
+//
+//   $ ./slowdown_cascade
+#include <cstdio>
+
+#include "replication/simulator.hpp"
+
+using namespace crooks;
+
+namespace {
+
+void run(const char* title, std::optional<repl::Slowdown> slowdown) {
+  repl::SimOptions o;
+  o.sites = 3;
+  o.keys = 10'000;
+  o.transactions = 4'000;
+  o.replication_delay = 20;
+  o.partitions = 50;
+  o.seed = 4;
+  o.slowdown = slowdown;
+
+  const repl::SimResult r = repl::simulate(o);
+
+  std::size_t slow_touchers = 0;
+  for (const repl::TxnMetrics& t : r.txns) slow_touchers += t.touches_slow_partition;
+
+  std::printf("%s\n", title);
+  std::printf("  committed %zu transactions (%zu first-committer-wins aborts)\n",
+              r.committed, r.ww_aborts);
+  if (slowdown.has_value()) {
+    std::printf("  %zu transactions wrote the stalled partition\n", slow_touchers);
+  }
+  std::printf("  mean visibility latency of UNRELATED transactions:\n");
+  std::printf("    traditional PSI (per-site total order): %8.1f ticks\n",
+              r.mean_unrelated_latency(true));
+  std::printf("    client-centric  (observed deps only):   %8.1f ticks\n",
+              r.mean_unrelated_latency(false));
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("3 sites, 10k keys, 3r+3w uniform, replication delay 20 ticks\n\n");
+  run("baseline (no failures):", std::nullopt);
+  run("partition 0 stalls for 1000 ticks (extra delay 3000):",
+      repl::Slowdown{.partition = 0, .from = 500, .until = 1500, .extra_delay = 3000});
+  std::printf(
+      "The gap is the slowdown cascade: the traditional definition makes\n"
+      "unrelated transactions wait for a stalled partition they never touched.\n");
+  return 0;
+}

@@ -1,0 +1,204 @@
+#include "adya/axiomatic.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "common/bitset.hpp"
+
+namespace crooks::adya {
+
+namespace {
+
+using model::Operation;
+using model::Transaction;
+
+/// An external read: (key, observed writer's dense index or npos for ⊥).
+struct ExtRead {
+  Key key{};
+  std::size_t writer = SIZE_MAX;  // SIZE_MAX = initial value
+  bool impossible = false;        // phantom / dangling / never-written-key
+};
+
+struct Prepared {
+  std::vector<std::vector<ExtRead>> reads;  // per txn
+  bool int_violation = false;               // INT broken outright
+};
+
+Prepared prepare(const model::TransactionSet& txns) {
+  Prepared out;
+  out.reads.resize(txns.size());
+  for (std::size_t d = 0; d < txns.size(); ++d) {
+    const Transaction& t = txns.at(d);
+    for (std::size_t i = 0; i < t.ops().size(); ++i) {
+      const Operation& op = t.ops()[i];
+      if (!op.is_read()) continue;
+      // Internal (post-own-write) reads belong to INT: they must return the
+      // transaction's own value; a mismatch is an outright INT violation.
+      bool internal = false;
+      for (std::size_t j = 0; j < i; ++j) {
+        if (t.ops()[j].is_write() && t.ops()[j].key == op.key) internal = true;
+      }
+      if (internal) {
+        if (op.value.writer != t.id() || op.value.phantom) out.int_violation = true;
+        continue;
+      }
+      ExtRead r;
+      r.key = op.key;
+      if (op.value.phantom) {
+        r.impossible = true;
+      } else if (op.value.writer == kInitTxn) {
+        r.writer = SIZE_MAX;
+      } else if (!txns.contains(op.value.writer) ||
+                 !txns.by_id(op.value.writer).writes(op.key)) {
+        r.impossible = true;  // dangling writer (G1a shape) or bogus key
+      } else {
+        r.writer = txns.dense_index_of(op.value.writer);
+      }
+      out.reads[d].push_back(r);
+    }
+  }
+  return out;
+}
+
+/// SER: VIS = AR. Each external read must observe the AR-latest prior
+/// writer of its key (⊥ when none).
+bool check_order_ser(const model::TransactionSet& txns, const Prepared& prep,
+                     const std::vector<std::size_t>& ar) {
+  const std::size_t n = txns.size();
+  std::vector<std::size_t> pos(n);
+  for (std::size_t p = 0; p < n; ++p) pos[ar[p]] = p;
+
+  for (std::size_t d = 0; d < n; ++d) {
+    for (const ExtRead& r : prep.reads[d]) {
+      if (r.impossible) return false;
+      std::size_t latest = SIZE_MAX;
+      for (std::size_t q = 0; q < pos[d]; ++q) {
+        if (txns.at(ar[q]).writes(r.key)) latest = q;
+      }
+      if (r.writer == SIZE_MAX) {
+        if (latest != SIZE_MAX) return false;
+      } else if (latest != pos[r.writer]) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+/// Check one arbitration order (given as dense indices in AR order).
+bool check_order(const model::TransactionSet& txns, const Prepared& prep,
+                 const std::vector<std::size_t>& ar) {
+  const std::size_t n = txns.size();
+  std::vector<std::size_t> pos(n);  // dense -> AR position
+  for (std::size_t p = 0; p < n; ++p) pos[ar[p]] = p;
+
+  // Minimal VIS edges, as bitsets over AR positions: vis[p] = positions
+  // visible to the transaction at position p.
+  std::vector<DynamicBitset> vis(n, DynamicBitset(n));
+
+  auto add_edge = [&](std::size_t from_pos, std::size_t to_pos) -> bool {
+    if (from_pos >= to_pos) return false;  // VIS ⊆ AR
+    vis[to_pos].set(from_pos);
+    return true;
+  };
+
+  // Reads-from edges.
+  for (std::size_t d = 0; d < n; ++d) {
+    for (const ExtRead& r : prep.reads[d]) {
+      if (r.impossible) return false;
+      if (r.writer == SIZE_MAX) continue;
+      if (!add_edge(pos[r.writer], pos[d])) return false;  // reader before writer
+    }
+  }
+  // NOCONFLICT edges: conflicting writers ordered by AR.
+  for (std::size_t a = 0; a < n; ++a) {
+    for (std::size_t b = 0; b < n; ++b) {
+      if (a == b) continue;
+      if (pos[a] >= pos[b]) continue;
+      const Transaction& ta = txns.at(a);
+      const Transaction& tb = txns.at(b);
+      bool conflict = false;
+      for (Key k : ta.write_set()) {
+        if (tb.writes(k)) {
+          conflict = true;
+          break;
+        }
+      }
+      if (conflict) add_edge(pos[a], pos[b]);
+    }
+  }
+  // TRANSVIS: close transitively, walking AR forward (edges point forward).
+  for (std::size_t p = 0; p < n; ++p) {
+    DynamicBitset absorbed(n);
+    vis[p].for_each([&](std::size_t q) { absorbed.or_with(vis[q]); });
+    vis[p].or_with(absorbed);
+  }
+
+  // EXT: the AR-maximal visible writer of each read's key must match.
+  for (std::size_t d = 0; d < n; ++d) {
+    const std::size_t my_pos = pos[d];
+    for (const ExtRead& r : prep.reads[d]) {
+      std::size_t max_writer_pos = SIZE_MAX;
+      vis[my_pos].for_each([&](std::size_t q) {
+        if (txns.at(ar[q]).writes(r.key)) {
+          if (max_writer_pos == SIZE_MAX || q > max_writer_pos) max_writer_pos = q;
+        }
+      });
+      if (r.writer == SIZE_MAX) {
+        if (max_writer_pos != SIZE_MAX) return false;  // must read ⊥
+      } else if (max_writer_pos != pos[r.writer]) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+namespace {
+
+template <typename OrderCheck>
+AxiomaticResult enumerate_orders(const model::TransactionSet& txns,
+                                 OrderCheck&& accept, const char* what) {
+  if (txns.size() > 9) {
+    throw std::invalid_argument("axiomatic checks enumerate |𝒯|! orders; ≤9 only");
+  }
+  const Prepared prep = prepare(txns);
+  if (prep.int_violation) {
+    return {false, 0, "INT violated: an internal read returned a foreign value"};
+  }
+  if (txns.empty()) return {true, 0, "empty set"};
+
+  std::vector<std::size_t> ar(txns.size());
+  std::iota(ar.begin(), ar.end(), 0);
+  AxiomaticResult out;
+  do {
+    ++out.orders_tried;
+    if (accept(txns, prep, ar)) {
+      out.satisfiable = true;
+      out.detail = std::string("found an arbitration order satisfying ") + what;
+      return out;
+    }
+  } while (std::next_permutation(ar.begin(), ar.end()));
+  out.detail = std::string("no arbitration order satisfies ") + what;
+  return out;
+}
+
+}  // namespace
+
+AxiomaticResult check_psi_axiomatic(const model::TransactionSet& txns) {
+  return enumerate_orders(txns, [](const auto& t, const auto& p, const auto& a) {
+    return check_order(t, p, a);
+  }, "INT/EXT/TRANSVIS/NOCONFLICT (PSI_A)");
+}
+
+AxiomaticResult check_ser_axiomatic(const model::TransactionSet& txns) {
+  return enumerate_orders(txns, [](const auto& t, const auto& p, const auto& a) {
+    return check_order_ser(t, p, a);
+  }, "INT/EXT with VIS = AR (SER)");
+}
+
+}  // namespace crooks::adya

@@ -1,0 +1,41 @@
+// Cerone, Bernardi & Gotsman's axiomatic framework (CONCUR'15), as used by
+// the paper's Appendix E to define PSI_A: a history satisfies PSI iff there
+// exist a total arbitration order AR and a visibility relation VIS ⊆ AR with
+//
+//   INT         internal reads return the transaction's latest same-key write
+//   EXT         an external read of x returns the AR-maximal VIS-visible
+//               write of x (or the initial value if none is visible)
+//   TRANSVIS    VIS is transitive
+//   NOCONFLICT  writers of a common key are VIS-ordered
+//
+// Theorem 10(b) proves CT_PSI ≡ PSI_A. This module decides PSI_A directly —
+// by enumerating arbitration orders and constructing, per order, the minimal
+// visibility relation (reads-from ∪ AR-ordered conflicting writes, closed
+// transitively; EXT is monotone in VIS, so if the minimal relation shows a
+// reader too new a version, no larger one can help) — giving the test suite
+// a third, independently-derived verdict to compare against the state-based
+// checker and Adya's phenomena. Exponential in |𝒯|; intended for small sets.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "model/transaction.hpp"
+
+namespace crooks::adya {
+
+struct AxiomaticResult {
+  bool satisfiable = false;
+  std::uint64_t orders_tried = 0;
+  std::string detail;
+};
+
+/// Decide PSI_A by arbitration-order enumeration. |𝒯| must be ≤ 9.
+AxiomaticResult check_psi_axiomatic(const model::TransactionSet& txns);
+
+/// Serializability in the same framework: VIS = AR (every transaction sees
+/// everything arbitrated before it), i.e. ∃AR such that each external read
+/// returns the AR-latest prior write. Equivalent to CT_SER; |𝒯| ≤ 9.
+AxiomaticResult check_ser_axiomatic(const model::TransactionSet& txns);
+
+}  // namespace crooks::adya

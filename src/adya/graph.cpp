@@ -1,0 +1,236 @@
+#include "adya/graph.hpp"
+
+#include <algorithm>
+#include <deque>
+
+namespace crooks::adya {
+
+namespace {
+
+/// Position of `writer` in the (implicitly ⊥-headed) version order of a key:
+/// -1 for the initial version, index otherwise, nullopt if absent.
+std::optional<std::ptrdiff_t> version_pos(const std::vector<TxnId>& installers,
+                                          TxnId writer) {
+  if (writer == kInitTxn) return -1;
+  auto it = std::find(installers.begin(), installers.end(), writer);
+  if (it == installers.end()) return std::nullopt;
+  return it - installers.begin();
+}
+
+}  // namespace
+
+Dsg::Dsg(const History& h) {
+  for (const HistTxn& t : h.txns()) {
+    if (!t.committed) continue;
+    node_.emplace(t.id, ids_.size());
+    ids_.push_back(t.id);
+  }
+  adj_.resize(ids_.size());
+
+  auto add_edge = [&](std::size_t from, std::size_t to, EdgeKind kind, Key key) {
+    if (from == to) return;
+    adj_[from].push_back(edges_.size());
+    edges_.push_back({from, to, kind, key});
+  };
+
+  // Write-dependencies: consecutive installed versions (Definition A.2).
+  for (const auto& [key, installers] : h.version_order()) {
+    for (std::size_t i = 0; i + 1 < installers.size(); ++i) {
+      add_edge(node_.at(installers[i]), node_.at(installers[i + 1]), kWW, key);
+    }
+  }
+
+  // Read- and anti-dependencies.
+  for (const HistTxn& t : h.txns()) {
+    if (!t.committed) continue;
+    const std::size_t reader = node_.at(t.id);
+    for (const Event& e : t.events) {
+      if (e.type != EventType::kRead) continue;
+      const TxnId w = e.version.writer;
+      if (w == t.id) continue;  // internal read: no inter-transaction conflict
+      // Only reads of *installed* versions create DSG edges; dirty and
+      // intermediate reads are the G1a/G1b phenomena, detected separately.
+      const std::vector<TxnId>& installers = h.installers(e.key);
+      if (w != kInitTxn) {
+        if (!h.contains(w) || !h.by_id(w).committed) continue;         // G1a
+        if (h.by_id(w).final_write_seq(e.key) != e.version.seq) continue;  // G1b
+        const auto pos = version_pos(installers, w);
+        if (!pos.has_value()) continue;
+        add_edge(node_.at(w), reader, kWR, e.key);
+        // Anti-dependency to the installer of the *next* version, if any.
+        const std::size_t next = static_cast<std::size_t>(*pos) + 1;
+        if (next < installers.size()) {
+          add_edge(reader, node_.at(installers[next]), kRW, e.key);
+        }
+      } else {
+        // Read of ⊥: anti-depends on the first installer of the key.
+        if (!installers.empty()) {
+          add_edge(reader, node_.at(installers.front()), kRW, e.key);
+        }
+      }
+    }
+  }
+}
+
+bool Dsg::add_start_edges(const History& h) {
+  for (const HistTxn& t : h.txns()) {
+    if (t.committed && (t.start_ts == kNoTimestamp || t.commit_ts == kNoTimestamp)) {
+      return false;
+    }
+  }
+  for (const HistTxn& a : h.txns()) {
+    if (!a.committed) continue;
+    for (const HistTxn& b : h.txns()) {
+      if (!b.committed || a.id == b.id) continue;
+      if (a.commit_ts < b.start_ts) {
+        adj_[node_.at(a.id)].push_back(edges_.size());
+        edges_.push_back({node_.at(a.id), node_.at(b.id), kSD, Key{}});
+      }
+    }
+  }
+  return true;
+}
+
+bool Dsg::add_realtime_edges(const History& h) {
+  for (const HistTxn& t : h.txns()) {
+    if (t.committed && (t.start_ts == kNoTimestamp || t.commit_ts == kNoTimestamp)) {
+      return false;
+    }
+  }
+  for (const HistTxn& a : h.txns()) {
+    if (!a.committed) continue;
+    for (const HistTxn& b : h.txns()) {
+      if (!b.committed || a.id == b.id) continue;
+      if (a.commit_ts < b.start_ts) {
+        adj_[node_.at(a.id)].push_back(edges_.size());
+        edges_.push_back({node_.at(a.id), node_.at(b.id), kRT, Key{}});
+      }
+    }
+  }
+  return true;
+}
+
+bool Dsg::has_cycle(std::uint8_t mask) const {
+  return !find_cycle(mask).empty();
+}
+
+std::vector<TxnId> Dsg::find_cycle(std::uint8_t mask) const {
+  // Iterative three-color DFS; on finding a back edge, unwind the explicit
+  // stack to recover the cycle's nodes.
+  enum : std::uint8_t { kWhite, kGray, kBlack };
+  std::vector<std::uint8_t> color(size(), kWhite);
+  std::vector<std::size_t> stack;          // DFS path (nodes)
+  std::vector<std::size_t> edge_iter(size(), 0);
+
+  for (std::size_t root = 0; root < size(); ++root) {
+    if (color[root] != kWhite) continue;
+    stack.push_back(root);
+    color[root] = kGray;
+    while (!stack.empty()) {
+      const std::size_t u = stack.back();
+      bool advanced = false;
+      while (edge_iter[u] < adj_[u].size()) {
+        const Edge& e = edges_[adj_[u][edge_iter[u]++]];
+        if (!(e.kind & mask)) continue;
+        if (color[e.to] == kGray) {
+          // Cycle: from e.to up the stack to u.
+          std::vector<TxnId> cycle;
+          auto it = std::find(stack.begin(), stack.end(), e.to);
+          for (; it != stack.end(); ++it) cycle.push_back(ids_[*it]);
+          return cycle;
+        }
+        if (color[e.to] == kWhite) {
+          color[e.to] = kGray;
+          stack.push_back(e.to);
+          advanced = true;
+          break;
+        }
+      }
+      if (!advanced) {
+        color[u] = kBlack;
+        stack.pop_back();
+      }
+    }
+  }
+  return {};
+}
+
+bool Dsg::reachable(std::size_t from, std::size_t to, std::uint8_t mask) const {
+  if (from == to) return true;
+  std::vector<bool> seen(size(), false);
+  std::deque<std::size_t> queue{from};
+  seen[from] = true;
+  while (!queue.empty()) {
+    const std::size_t u = queue.front();
+    queue.pop_front();
+    for (std::size_t ei : adj_[u]) {
+      const Edge& e = edges_[ei];
+      if (!(e.kind & mask) || seen[e.to]) continue;
+      if (e.to == to) return true;
+      seen[e.to] = true;
+      queue.push_back(e.to);
+    }
+  }
+  return false;
+}
+
+bool Dsg::cycle_with_exactly_one(EdgeKind single, std::uint8_t others) const {
+  for (const Edge& e : edges_) {
+    if (e.kind != single) continue;
+    if (reachable(e.to, e.from, others)) return true;
+  }
+  return false;
+}
+
+std::vector<TxnId> Dsg::find_cycle_with_exactly_one(EdgeKind single,
+                                                    std::uint8_t others) const {
+  for (const Edge& start : edges_) {
+    if (start.kind != single) continue;
+    // BFS from start.to back to start.from over `others`, keeping parents.
+    std::vector<std::ptrdiff_t> parent(size(), -1);
+    std::deque<std::size_t> queue{start.to};
+    parent[start.to] = static_cast<std::ptrdiff_t>(start.to);
+    bool found = start.to == start.from;
+    while (!queue.empty() && !found) {
+      const std::size_t u = queue.front();
+      queue.pop_front();
+      for (std::size_t ei : adj_[u]) {
+        const Edge& e = edges_[ei];
+        if (!(e.kind & others) || parent[e.to] != -1) continue;
+        parent[e.to] = static_cast<std::ptrdiff_t>(u);
+        if (e.to == start.from) {
+          found = true;
+          break;
+        }
+        queue.push_back(e.to);
+      }
+    }
+    if (!found) continue;
+    std::vector<TxnId> cycle;
+    std::size_t node = start.from;
+    while (node != start.to) {
+      cycle.push_back(ids_[node]);
+      node = static_cast<std::size_t>(parent[node]);
+    }
+    cycle.push_back(ids_[start.to]);
+    std::reverse(cycle.begin(), cycle.end());
+    // Rotate so the anti-dependency edge's source leads.
+    std::rotate(cycle.begin(),
+                std::find(cycle.begin(), cycle.end(), ids_[start.from]), cycle.end());
+    return cycle;
+  }
+  return {};
+}
+
+std::string to_string(EdgeKind k) {
+  switch (k) {
+    case kWW: return "ww";
+    case kWR: return "wr";
+    case kRW: return "rw";
+    case kSD: return "sd";
+    case kRT: return "rt";
+  }
+  return "?";
+}
+
+}  // namespace crooks::adya

@@ -1,0 +1,84 @@
+// Direct Serialization Graphs (DSG) and Start-ordered Serialization Graphs
+// (SSG) — Definitions A.4 and A.6.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "adya/history.hpp"
+#include "common/ids.hpp"
+
+namespace crooks::adya {
+
+enum EdgeKind : std::uint8_t {
+  kWW = 1 << 0,  // directly write-depends
+  kWR = 1 << 1,  // directly read-depends
+  kRW = 1 << 2,  // directly anti-depends
+  kSD = 1 << 3,  // start-depends (SSG only)
+  kRT = 1 << 4,  // real-time order (strict serializability)
+};
+
+inline constexpr std::uint8_t kDependency = kWW | kWR;
+inline constexpr std::uint8_t kAllDsg = kWW | kWR | kRW;
+
+struct Edge {
+  std::size_t from = 0;
+  std::size_t to = 0;
+  EdgeKind kind = kWW;
+  Key key{};  // the conflicting key (meaningless for kSD / kRT)
+};
+
+/// The serialization graph over the committed transactions of a history.
+/// Start-dependency and real-time edges are added on demand (they are O(n²)
+/// and only needed by the SI / strict-serializability phenomena).
+class Dsg {
+ public:
+  explicit Dsg(const History& h);
+
+  std::size_t size() const { return ids_.size(); }
+  TxnId id_of(std::size_t node) const { return ids_[node]; }
+  std::size_t node_of(TxnId id) const { return node_.at(id); }
+  bool has_node(TxnId id) const { return node_.contains(id); }
+
+  const std::vector<Edge>& edges() const { return edges_; }
+
+  /// Add T_i --sd--> T_j edges for every pair with commit(T_i) < start(T_j).
+  /// Requires timestamps on all committed transactions; returns false (and
+  /// adds nothing) otherwise.
+  bool add_start_edges(const History& h);
+
+  /// Add T_i --rt--> T_j edges for every real-time-ordered pair (same
+  /// predicate as start-dependency; kept as a distinct kind so strict
+  /// serializability and SI phenomena do not interfere).
+  bool add_realtime_edges(const History& h);
+
+  /// Is there a directed cycle using only edges whose kind is in `mask`?
+  bool has_cycle(std::uint8_t mask) const;
+
+  /// Is there a directed cycle containing exactly one edge of kind `single`
+  /// and otherwise only edges in `others`? (G-Single, G-SIb.)
+  bool cycle_with_exactly_one(EdgeKind single, std::uint8_t others) const;
+
+  /// Nodes of one such cycle (for diagnostics), empty if none.
+  std::vector<TxnId> find_cycle(std::uint8_t mask) const;
+
+  /// Nodes of a cycle consisting of exactly one `single` edge plus edges in
+  /// `others` (the G-Single / G-SIb shape), empty if none. The returned
+  /// sequence starts at the `single` edge's source.
+  std::vector<TxnId> find_cycle_with_exactly_one(EdgeKind single,
+                                                 std::uint8_t others) const;
+
+ private:
+  bool reachable(std::size_t from, std::size_t to, std::uint8_t mask) const;
+
+  std::vector<TxnId> ids_;
+  std::unordered_map<TxnId, std::size_t> node_;
+  std::vector<Edge> edges_;
+  std::vector<std::vector<std::size_t>> adj_;   // indices into edges_, by from-node
+};
+
+std::string to_string(EdgeKind k);
+
+}  // namespace crooks::adya

@@ -1,0 +1,103 @@
+// The isolation checker: decide ∃e : ∀T ∈ 𝒯 : CT_I(T, e)  (Definition 5).
+//
+// This is the practical artifact the state-based model enables (and the idea
+// later industrialized by checkers such as Elle, Cobra and PolySI): given
+// only what *clients observed* — transactions with the values their reads
+// returned — decide whether the storage system could have produced those
+// observations under isolation level I.
+//
+// Three engines, cross-validated against each other in the test suite:
+//
+//  * Exhaustive  — branch-and-bound over execution prefixes. Sound and
+//    complete for every level, factorial in |𝒯|; the ground-truth oracle.
+//  * Graph       — the constructive ⇐ directions of Theorems 1–4, 6, 10:
+//    build the dependency graph the observations pin down, topologically
+//    sort it per the level's rule, and verify the commit test on the result.
+//    With an authoritative version order (a store that knows its install
+//    order) this is sound *and complete* for RU, RC, RA, PSI, SER and SSER;
+//    for the timed SI family (ANSI/Session/Strong) the real-time C-ORD
+//    clause pins the execution to commit-timestamp order, making the single
+//    candidate decisive with or without a version order.
+//  * Heuristic   — candidate orders (commit-time, dependency topological)
+//    verified by the commit test; answers kSatisfiable or kUnknown. Used for
+//    large client-only observation sets.
+//
+// check() picks automatically: complete graph decision when available, else
+// exhaustive when |𝒯| is small, else heuristic.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "committest/commit_test.hpp"
+#include "committest/levels.hpp"
+#include "model/execution.hpp"
+#include "model/transaction.hpp"
+
+namespace crooks::checker {
+
+enum class Outcome : std::uint8_t {
+  kSatisfiable,    // witness execution found (and verified)
+  kUnsatisfiable,  // proven: no execution passes the commit test
+  kUnknown,        // search budget exhausted / incomplete engine gave up
+};
+
+struct CheckResult {
+  Outcome outcome = Outcome::kUnknown;
+  std::optional<model::Execution> witness;  // set iff kSatisfiable
+  std::string detail;                       // proof sketch / failure reason
+  std::uint64_t nodes_explored = 0;         // search effort (exhaustive)
+
+  bool satisfiable() const { return outcome == Outcome::kSatisfiable; }
+  bool unsatisfiable() const { return outcome == Outcome::kUnsatisfiable; }
+};
+
+struct CheckOptions {
+  /// Use the exhaustive engine when |𝒯| ≤ this and no complete graph
+  /// decision applies.
+  std::size_t exhaustive_threshold = 9;
+
+  /// Node budget for the exhaustive engine; exceeding it yields kUnknown.
+  std::uint64_t max_nodes = 4'000'000;
+
+  /// Authoritative per-key install order, when the system under check can
+  /// export it (our store does). Keys absent from the map must have at most
+  /// one committed writer.
+  ///
+  /// Semantics: when set, the checker decides the *restricted* question
+  /// "∃e consistent with this install order : ∀T CT_I(T, e)" — i.e.
+  /// executions must apply conflicting writes in the given order. This is
+  /// the question the equivalence theorems answer (they instantiate << from
+  /// e), so with a version order the graph engine is sound AND complete for
+  /// RU, RC, RA, PSI, SER and SSER. Without it, the client-centric question
+  /// is strictly more permissive: clients cannot observe install order, so
+  /// e.g. two blind writes can always be ordered either way (this is the
+  /// paper's Figure 1(l) point about systems that refuse to reorder writes).
+  const std::unordered_map<Key, std::vector<TxnId>>* version_order = nullptr;
+};
+
+/// Decide ∃e ∀T CT_I(T, e), picking the strongest applicable engine.
+CheckResult check(ct::IsolationLevel level, const model::TransactionSet& txns,
+                  const CheckOptions& opts = {});
+
+/// Branch-and-bound over execution prefixes. Sound and complete (with
+/// respect to opts.version_order when set); factorial.
+CheckResult check_exhaustive(ct::IsolationLevel level,
+                             const model::TransactionSet& txns,
+                             const CheckOptions& opts = {});
+
+/// Constructive graph engine. Complete exactly when `detail` says so (see
+/// header comment); otherwise may return kUnknown.
+CheckResult check_graph(ct::IsolationLevel level, const model::TransactionSet& txns,
+                        const CheckOptions& opts = {});
+
+/// Re-verify a witness against the canonical commit tests (used by tests to
+/// guard against divergence between search-time and analysis-time logic).
+ct::ExecutionVerdict verify_witness(ct::IsolationLevel level,
+                                    const model::TransactionSet& txns,
+                                    const model::Execution& e);
+
+}  // namespace crooks::checker

@@ -1,0 +1,267 @@
+// Constructive graph engine: the ⇐ directions of the equivalence theorems,
+// turned into an algorithm.
+//
+// Timed SI family (ANSI / Session / Strong SI): the C-ORD clause forces any
+// witness execution to apply transactions in real-time commit order, so the
+// commit-timestamp-sorted order is the *only* candidate — testing it decides
+// satisfiability outright (Theorems 7–9's constructions).
+//
+// Untimed levels with an authoritative version order: lift the observations
+// into an Adya history, detect phenomena (the theorems' ⇒ contrapositive
+// gives unsatisfiability), and on the absence of phenomena construct the
+// witness by topologically sorting the serialization graph with exactly the
+// edge set each theorem's ⇐ proof uses (A.2, A.4, A.5, B.2, E.2).
+//
+// Everything found is re-verified against the canonical commit tests before
+// being reported — the engine never returns an unchecked witness.
+#include <algorithm>
+#include <queue>
+
+#include "adya/graph.hpp"
+#include "adya/phenomena.hpp"
+#include "checker/checker.hpp"
+
+namespace crooks::checker {
+
+namespace {
+
+using ct::IsolationLevel;
+using model::Transaction;
+
+/// Kahn topological sort over the DSG edges selected by `mask`, breaking
+/// ties toward smaller commit timestamp then smaller id (deterministic,
+/// and commit order is the natural witness). Empty result on a cycle.
+std::vector<TxnId> topo_order(const adya::Dsg& dsg, std::uint8_t mask,
+                              const model::TransactionSet& txns) {
+  const std::size_t n = dsg.size();
+  std::vector<std::size_t> indegree(n, 0);
+  std::vector<std::vector<std::size_t>> out(n);
+  for (const adya::Edge& e : dsg.edges()) {
+    if (!(e.kind & mask)) continue;
+    out[e.from].push_back(e.to);
+    ++indegree[e.to];
+  }
+
+  auto later = [&](std::size_t a, std::size_t b) {
+    const Transaction& ta = txns.by_id(dsg.id_of(a));
+    const Transaction& tb = txns.by_id(dsg.id_of(b));
+    if (ta.commit_ts() != tb.commit_ts()) return ta.commit_ts() > tb.commit_ts();
+    return ta.id() > tb.id();
+  };
+  std::priority_queue<std::size_t, std::vector<std::size_t>, decltype(later)> ready(later);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (indegree[i] == 0) ready.push(i);
+  }
+
+  std::vector<TxnId> order;
+  order.reserve(n);
+  while (!ready.empty()) {
+    const std::size_t u = ready.top();
+    ready.pop();
+    order.push_back(dsg.id_of(u));
+    for (std::size_t v : out[u]) {
+      if (--indegree[v] == 0) ready.push(v);
+    }
+  }
+  if (order.size() != n) return {};  // cycle
+  return order;
+}
+
+/// Edge set each level's constructive proof sorts by.
+std::uint8_t witness_mask(IsolationLevel level) {
+  switch (level) {
+    case IsolationLevel::kReadUncommitted: return adya::kWW;
+    case IsolationLevel::kReadCommitted:
+    case IsolationLevel::kReadAtomic:
+    case IsolationLevel::kPSI: return adya::kDependency;
+    case IsolationLevel::kSerializable: return adya::kAllDsg;
+    case IsolationLevel::kStrictSerializable: return adya::kAllDsg | adya::kRT;
+    default: return 0;
+  }
+}
+
+CheckResult verified_sat(IsolationLevel level, const model::TransactionSet& txns,
+                         std::vector<TxnId> order, std::string how) {
+  model::Execution e(txns, std::move(order));
+  if (ct::ExecutionVerdict v = verify_witness(level, txns, e); !v.ok) {
+    return {Outcome::kUnknown, std::nullopt,
+            "internal: constructed witness failed verification (" + v.explanation + ")",
+            0};
+  }
+  return {Outcome::kSatisfiable, std::move(e), std::move(how), 0};
+}
+
+/// The commit-timestamp-sorted execution; nullopt when timestamps are
+/// missing or commit timestamps collide.
+std::optional<std::vector<TxnId>> commit_sorted(const model::TransactionSet& txns) {
+  std::vector<const Transaction*> ts;
+  ts.reserve(txns.size());
+  for (const Transaction& t : txns) {
+    if (t.commit_ts() == kNoTimestamp) return std::nullopt;
+    ts.push_back(&t);
+  }
+  std::sort(ts.begin(), ts.end(), [](const Transaction* a, const Transaction* b) {
+    return a->commit_ts() < b->commit_ts();
+  });
+  for (std::size_t i = 0; i + 1 < ts.size(); ++i) {
+    if (ts[i]->commit_ts() == ts[i + 1]->commit_ts()) return std::nullopt;
+  }
+  std::vector<TxnId> order;
+  order.reserve(ts.size());
+  for (const Transaction* t : ts) order.push_back(t->id());
+  return order;
+}
+
+}  // namespace
+
+CheckResult check_graph(IsolationLevel level, const model::TransactionSet& txns,
+                        const CheckOptions& opts) {
+  if (txns.empty()) {
+    return {Outcome::kSatisfiable, model::Execution::identity(txns), "empty set", 0};
+  }
+
+  // --- Timed SI family: C-ORD pins the execution to commit order. ---------
+  if (level == IsolationLevel::kAnsiSI || level == IsolationLevel::kSessionSI ||
+      level == IsolationLevel::kStrongSI) {
+    for (const Transaction& t : txns) {
+      if (!t.has_timestamps()) {
+        return {Outcome::kUnsatisfiable, std::nullopt,
+                std::string(ct::name_of(level)) +
+                    " requires the time oracle; no timestamps on " +
+                    crooks::to_string(t.id()),
+                0};
+      }
+    }
+    auto order = commit_sorted(txns);
+    if (!order.has_value()) {
+      return {Outcome::kUnsatisfiable, std::nullopt,
+              "C-ORD needs distinct commit timestamps", 0};
+    }
+    model::Execution e(txns, std::move(*order));
+    ct::ExecutionVerdict v = verify_witness(level, txns, e);
+    if (v.ok) {
+      return {Outcome::kSatisfiable, std::move(e),
+              "commit test passes on the commit-order execution (the only "
+              "order satisfying C-ORD)",
+              0};
+    }
+    return {Outcome::kUnsatisfiable, std::nullopt,
+            "C-ORD pins the execution to commit-timestamp order, on which: " +
+                v.explanation,
+            0};
+  }
+
+  // --- Untimed levels with an authoritative version order: phenomena. -----
+  if (opts.version_order != nullptr && level != IsolationLevel::kAdyaSI) {
+    adya::History h = adya::from_observations(txns, *opts.version_order);
+    const adya::Phenomena p = adya::detect(h);
+    const adya::Verdict verdict = adya::satisfies(p, level);
+    if (verdict == adya::Verdict::kViolated) {
+      return {Outcome::kUnsatisfiable, std::nullopt,
+              "under the system's install order: " + adya::explain_violation(h, level),
+              0};
+    }
+    if (verdict == adya::Verdict::kSatisfied) {
+      adya::Dsg dsg(h);
+      std::uint8_t mask = witness_mask(level);
+      if (level == IsolationLevel::kStrictSerializable) {
+        if (!dsg.add_realtime_edges(h)) {
+          return {Outcome::kUnsatisfiable, std::nullopt,
+                  "StrictSerializable requires the time oracle", 0};
+        }
+      }
+      std::vector<TxnId> order = topo_order(dsg, mask, txns);
+      if (!order.empty()) {
+        return verified_sat(level, txns, std::move(order),
+                            "witness from topological sort of the serialization "
+                            "graph (no phenomena under the install order)");
+      }
+      return {Outcome::kUnknown, std::nullopt,
+              "internal: phenomena absent but serialization graph cyclic", 0};
+    }
+    // kInapplicable (e.g. SSER without timestamps): fall through.
+  }
+
+  // --- Heuristic: try natural candidate orders, verify each. --------------
+  std::vector<std::pair<std::string, std::vector<TxnId>>> candidates;
+  if (auto cs = commit_sorted(txns); cs.has_value()) {
+    candidates.emplace_back("commit-timestamp order", std::move(*cs));
+  }
+  {
+    // Dependency topological order using the observations' wr edges plus
+    // whatever ww edges a version order pins (if none: single-writer keys).
+    try {
+      std::unordered_map<Key, std::vector<TxnId>> empty_vo;
+      adya::History h = adya::from_observations(
+          txns, opts.version_order != nullptr ? *opts.version_order : empty_vo);
+      adya::Dsg dsg(h);
+      std::vector<TxnId> order =
+          topo_order(dsg, level == IsolationLevel::kSerializable ||
+                              level == IsolationLevel::kStrictSerializable
+                          ? adya::kAllDsg
+                          : adya::kDependency,
+                     txns);
+      if (!order.empty()) candidates.emplace_back("dependency topological order", order);
+    } catch (const std::invalid_argument&) {
+      // multi-writer keys without version order: no dependency candidate
+    }
+  }
+
+  for (auto& [how, order] : candidates) {
+    model::Execution e(txns, std::move(order));
+    if (verify_witness(level, txns, e).ok) {
+      return {Outcome::kSatisfiable, std::move(e), "heuristic: " + how + " verified", 0};
+    }
+  }
+  return {Outcome::kUnknown, std::nullopt,
+          "no candidate order verified; graph engine is incomplete here", 0};
+}
+
+CheckResult check(IsolationLevel level, const model::TransactionSet& txns,
+                  const CheckOptions& opts) {
+  // Complete graph decisions first (polynomial).
+  const bool timed_pinned = level == IsolationLevel::kAnsiSI ||
+                            level == IsolationLevel::kSessionSI ||
+                            level == IsolationLevel::kStrongSI;
+  const bool vo_complete =
+      opts.version_order != nullptr &&
+      (level == IsolationLevel::kReadUncommitted ||
+       level == IsolationLevel::kReadCommitted ||
+       level == IsolationLevel::kReadAtomic || level == IsolationLevel::kPSI ||
+       level == IsolationLevel::kSerializable ||
+       level == IsolationLevel::kStrictSerializable);
+
+  if (timed_pinned || vo_complete) {
+    CheckResult r = check_graph(level, txns, opts);
+    if (r.outcome != Outcome::kUnknown) return r;
+  }
+  if (txns.size() <= opts.exhaustive_threshold) {
+    return check_exhaustive(level, txns, opts);
+  }
+  CheckResult r = check_graph(level, txns, opts);
+  if (r.outcome != Outcome::kUnknown) return r;
+
+  // Hierarchy inference for the one large-instance gap: timestamp-free
+  // Adya SI has no complete polynomial procedure here, but the lattice is
+  // sound in both directions — a serializable witness also witnesses SI
+  // (SER ⇒ AdyaSI), and an unsatisfiable PSI refutes SI (AdyaSI ⇒ PSI).
+  if (level == IsolationLevel::kAdyaSI) {
+    CheckResult ser = check_graph(IsolationLevel::kSerializable, txns, opts);
+    if (ser.outcome == Outcome::kSatisfiable &&
+        verify_witness(level, txns, *ser.witness).ok) {
+      ser.detail += " (serializable witness also satisfies CT_SI)";
+      return ser;
+    }
+    CheckResult psi = check_graph(IsolationLevel::kPSI, txns, opts);
+    if (psi.outcome == Outcome::kUnsatisfiable) {
+      psi.detail = "refuted via the hierarchy (AdyaSI ⇒ PSI): " + psi.detail;
+      return psi;
+    }
+  }
+
+  // Last resort: bounded exhaustive search may still find a witness quickly
+  // (the candidate ordering starts from commit order).
+  return check_exhaustive(level, txns, opts);
+}
+
+}  // namespace crooks::checker

@@ -1,0 +1,86 @@
+// Streaming isolation monitor.
+//
+// Real deployments don't audit after the fact — they watch the commit stream.
+// OnlineChecker consumes committed transactions in the order the system
+// applied them (the system's natural execution witness) and maintains, per
+// tracked isolation level, whether the execution-so-far still satisfies
+// every commit test. Appending is incremental: per-key version timelines
+// grow append-only, a transaction's commit test is evaluated once at its
+// append (placement fixes its verdict forever — the same observation that
+// makes the exhaustive engine's pruning sound), and real-time/session
+// recency clauses are re-checked retroactively when a late transaction
+// reveals an inversion.
+//
+// The verdict is per-execution (CT_I over THIS order), the streaming
+// analogue of ct::test_execution. A violation here means the system's own
+// apply order is not a witness; the ∃e question can still be asked offline
+// with checker::check.
+#pragma once
+
+#include <deque>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "committest/levels.hpp"
+#include "common/bitset.hpp"
+#include "common/ids.hpp"
+#include "common/interval.hpp"
+#include "model/transaction.hpp"
+
+namespace crooks::checker {
+
+class OnlineChecker {
+ public:
+  /// Track the given levels (default: all of them).
+  explicit OnlineChecker(std::vector<ct::IsolationLevel> levels =
+                             {ct::kAllLevels.begin(), ct::kAllLevels.end()});
+
+  struct LevelStatus {
+    bool ok = true;
+    std::optional<TxnId> first_violation;
+    std::string explanation;
+  };
+
+  /// Append the next committed transaction. Returns false if the id was
+  /// already seen (the transaction is ignored).
+  bool append(const model::Transaction& txn);
+
+  const LevelStatus& status(ct::IsolationLevel level) const;
+  bool all_ok() const;
+  std::size_t size() const { return txns_.size(); }
+
+  /// The levels still satisfied by the execution so far.
+  std::vector<ct::IsolationLevel> surviving_levels() const;
+
+ private:
+  struct OpView {
+    StateInterval rs;
+    bool internal = false;
+  };
+
+  struct Placed {
+    model::Transaction txn;
+    StateIndex state = 0;  // 1-based
+    std::vector<OpView> ops;
+    DynamicBitset prec;  // populated only when PSI is tracked
+  };
+
+  bool tracking(ct::IsolationLevel level) const {
+    return statuses_.contains(level);
+  }
+  void violate(ct::IsolationLevel level, TxnId txn, std::string why);
+
+  OpView analyze_op(const model::Transaction& t, std::size_t op_index,
+                    StateIndex parent) const;
+  void evaluate_new(Placed& p);
+  void check_retroactive_inversions(const Placed& p);
+
+  std::map<ct::IsolationLevel, LevelStatus> statuses_;
+  std::vector<Placed> txns_;  // in append (= execution) order
+  std::map<TxnId, std::size_t> index_;
+  std::map<Key, std::vector<std::pair<StateIndex, std::size_t>>> timelines_;
+};
+
+}  // namespace crooks::checker

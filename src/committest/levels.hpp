@@ -1,0 +1,107 @@
+// Isolation levels with state-based commit tests (Tables 1 and 2) and the
+// hierarchy of §5.2 / Figure 4.
+//
+// Levels proven equivalent by the paper share one canonical enumerator:
+//   kAnsiSI     ≡ GSI                     (Theorem 8)
+//   kSessionSI  ≡ Strong Session SI ≡ PC-SI (Theorem 9)
+//   kPSI        ≡ PL-2+                    (Theorem 10)
+//   kAdyaSI     is Table 1's CT_SI (timestamp-free snapshot isolation)
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace crooks::ct {
+
+enum class IsolationLevel : std::uint8_t {
+  kReadUncommitted,     // CT_RU: True                                (Table 1)
+  kReadCommitted,       // CT_RC: PREREAD                             (Table 1)
+  kReadAtomic,          // CT_RA: PREREAD ∧ no fractured reads        (Table 1, Def. B.1)
+  kPSI,                 // CT_PSI: PREREAD ∧ CAUS-VIS    ≡ PL-2+      (Table 1/2)
+  kAdyaSI,              // CT_SI: ∃s COMPLETE ∧ NO-CONF               (Table 1/2)
+  kAnsiSI,              // + C-ORD ∧ T_s <_s T           ≡ GSI        (Table 2)
+  kSessionSI,           // + session recency             ≡ PC-SI      (Table 2)
+  kStrongSI,            // + real-time recency                        (Table 2)
+  kSerializable,        // CT_SER: COMPLETE(s_p)                      (Table 1)
+  kStrictSerializable,  // CT_SSER: + real-time order                 (Table 1)
+};
+
+inline constexpr std::array kAllLevels = {
+    IsolationLevel::kReadUncommitted, IsolationLevel::kReadCommitted,
+    IsolationLevel::kReadAtomic,      IsolationLevel::kPSI,
+    IsolationLevel::kAdyaSI,          IsolationLevel::kAnsiSI,
+    IsolationLevel::kSessionSI,       IsolationLevel::kStrongSI,
+    IsolationLevel::kSerializable,    IsolationLevel::kStrictSerializable,
+};
+
+constexpr std::string_view name_of(IsolationLevel l) {
+  switch (l) {
+    case IsolationLevel::kReadUncommitted: return "ReadUncommitted";
+    case IsolationLevel::kReadCommitted: return "ReadCommitted";
+    case IsolationLevel::kReadAtomic: return "ReadAtomic";
+    case IsolationLevel::kPSI: return "PSI";
+    case IsolationLevel::kAdyaSI: return "AdyaSI";
+    case IsolationLevel::kAnsiSI: return "AnsiSI";
+    case IsolationLevel::kSessionSI: return "SessionSI";
+    case IsolationLevel::kStrongSI: return "StrongSI";
+    case IsolationLevel::kSerializable: return "Serializable";
+    case IsolationLevel::kStrictSerializable: return "StrictSerializable";
+  }
+  return "?";
+}
+
+/// Names the paper proves equivalent to this level (§5.2).
+constexpr std::string_view equivalent_names(IsolationLevel l) {
+  switch (l) {
+    case IsolationLevel::kPSI: return "PL-2+ (Lazy Consistency)";
+    case IsolationLevel::kAnsiSI: return "GSI (Generalized SI)";
+    case IsolationLevel::kSessionSI: return "Strong Session SI, PC-SI";
+    default: return "";
+  }
+}
+
+/// Levels whose commit test refers to the time oracle (real-time start/commit
+/// timestamps or session order derived from them).
+constexpr bool requires_timestamps(IsolationLevel l) {
+  switch (l) {
+    case IsolationLevel::kAnsiSI:
+    case IsolationLevel::kSessionSI:
+    case IsolationLevel::kStrongSI:
+    case IsolationLevel::kStrictSerializable:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// The implication lattice (Figure 4 for the SI family, plus the classic
+/// relations). at_least_as_strong(a, b) == true means every transaction set
+/// satisfying level `a` also satisfies level `b` — and, in fact, the very
+/// same execution witnesses both (this is how the property tests check it).
+constexpr bool at_least_as_strong(IsolationLevel a, IsolationLevel b) {
+  if (a == b) return true;
+  using L = IsolationLevel;
+  // Direct edges of the Hasse diagram.
+  constexpr auto edge = [](L x, L y) {
+    switch (x) {
+      case L::kStrictSerializable: return y == L::kSerializable;
+      case L::kSerializable: return y == L::kAdyaSI;
+      case L::kStrongSI: return y == L::kSessionSI;
+      case L::kSessionSI: return y == L::kAnsiSI;
+      case L::kAnsiSI: return y == L::kAdyaSI;
+      case L::kAdyaSI: return y == L::kPSI;
+      case L::kPSI: return y == L::kReadAtomic;
+      case L::kReadAtomic: return y == L::kReadCommitted;
+      case L::kReadCommitted: return y == L::kReadUncommitted;
+      default: return false;
+    }
+  };
+  // Reachability by bounded DFS (the lattice is tiny and acyclic).
+  for (L mid : kAllLevels) {
+    if (edge(a, mid) && (mid == b || at_least_as_strong(mid, b))) return true;
+  }
+  return false;
+}
+
+}  // namespace crooks::ct

@@ -1,0 +1,138 @@
+#include "committest/session_guarantees.hpp"
+
+#include <algorithm>
+
+#include "model/execution.hpp"
+
+namespace crooks::ct {
+
+using model::Operation;
+using model::ReadStateAnalysis;
+using model::Transaction;
+using model::TxnAnalysis;
+
+SessionTester::SessionTester(const ReadStateAnalysis& analysis) : a_(&analysis) {}
+
+std::vector<std::size_t> SessionTester::session_predecessors(std::size_t dense) const {
+  const Transaction& t = a_->txns().at(dense);
+  std::vector<std::size_t> preds;
+  if (t.session() == kNoSession) return preds;
+  for (std::size_t d = 0; d < a_->txns().size(); ++d) {
+    if (d == dense) continue;
+    const Transaction& p = a_->txns().at(d);
+    if (p.session() == t.session() && time_precedes(p, t)) preds.push_back(d);
+  }
+  return preds;
+}
+
+CommitTestResult SessionTester::test(SessionGuarantee g, std::size_t dense) const {
+  const Transaction& t = a_->txns().at(dense);
+  const TxnAnalysis& ta = a_->txn(dense);
+
+  for (std::size_t pd : session_predecessors(dense)) {
+    const Transaction& pred = a_->txns().at(pd);
+    const TxnAnalysis& pa = a_->txn(pd);
+
+    switch (g) {
+      case SessionGuarantee::kReadMyWrites:
+        // Every read of a key the predecessor wrote must be able to read
+        // from the predecessor's state or later.
+        for (std::size_t i = 0; i < t.ops().size(); ++i) {
+          const Operation& op = t.ops()[i];
+          if (!op.is_read() || !pred.writes(op.key)) continue;
+          if (ta.ops[i].rs.empty() || ta.ops[i].rs.last < pa.state) {
+            return CommitTestResult::fail(
+                "read-my-writes: " + model::to_string(op) + " returns a version "
+                "older than the one this session wrote in " +
+                crooks::to_string(pred.id()));
+          }
+        }
+        break;
+
+      case SessionGuarantee::kMonotonicReads:
+        // T must not read a version of k older than any version of k the
+        // predecessor read: each of T's reads must extend at least to the
+        // first read state of every predecessor read of the same key.
+        for (std::size_t i = 0; i < t.ops().size(); ++i) {
+          const Operation& op = t.ops()[i];
+          if (!op.is_read() || ta.ops[i].internal) continue;
+          for (std::size_t j = 0; j < pred.ops().size(); ++j) {
+            const Operation& prev = pred.ops()[j];
+            if (!prev.is_read() || pa.ops[j].internal || prev.key != op.key) continue;
+            if (ta.ops[i].rs.empty() || pa.ops[j].rs.empty() ||
+                ta.ops[i].rs.last < pa.ops[j].rs.first) {
+              return CommitTestResult::fail(
+                  "monotonic-reads: " + model::to_string(op) +
+                  " reads an older version than " + crooks::to_string(pred.id()) +
+                  "'s " + model::to_string(prev));
+            }
+          }
+        }
+        break;
+
+      case SessionGuarantee::kMonotonicWrites:
+        // The predecessor's state must precede T's state in the execution.
+        if (pa.state >= ta.state) {
+          return CommitTestResult::fail(
+              "monotonic-writes: " + crooks::to_string(pred.id()) +
+              " is applied after this transaction despite preceding it in the "
+              "session");
+        }
+        break;
+
+      case SessionGuarantee::kWritesFollowReads:
+        // Writers the predecessor observed must precede T's state.
+        for (std::size_t j = 0; j < pred.ops().size(); ++j) {
+          const Operation& prev = pred.ops()[j];
+          if (!prev.is_read() || pa.ops[j].internal) continue;
+          const TxnId w = prev.value.writer;
+          if (w == kInitTxn || !a_->txns().contains(w)) continue;
+          const TxnAnalysis& wa = a_->txn(w);
+          if (wa.state >= ta.state) {
+            return CommitTestResult::fail(
+                "writes-follow-reads: " + crooks::to_string(w) + ", observed by " +
+                crooks::to_string(pred.id()) + " earlier in the session, is "
+                "applied after this transaction");
+          }
+        }
+        break;
+    }
+  }
+  return CommitTestResult::pass();
+}
+
+ExecutionVerdict SessionTester::test_all(SessionGuarantee g) const {
+  for (std::size_t d = 0; d < a_->size(); ++d) {
+    if (CommitTestResult r = test(g, d); !r) {
+      return {false, a_->txns().at(d).id(),
+              crooks::to_string(a_->txns().at(d).id()) + ": " + r.violation};
+    }
+  }
+  return {true, std::nullopt, {}};
+}
+
+ExecutionVerdict check_session_guarantee(SessionGuarantee g,
+                                         const model::TransactionSet& txns) {
+  if (txns.empty()) return {true, std::nullopt, {}};
+  std::vector<const Transaction*> sorted;
+  sorted.reserve(txns.size());
+  for (const Transaction& t : txns) {
+    if (!t.has_timestamps()) {
+      return {false, t.id(),
+              "session guarantees need the time oracle; " +
+                  crooks::to_string(t.id()) + " has no timestamps"};
+    }
+    sorted.push_back(&t);
+  }
+  std::sort(sorted.begin(), sorted.end(), [](const Transaction* a, const Transaction* b) {
+    return a->commit_ts() < b->commit_ts();
+  });
+  std::vector<TxnId> order;
+  order.reserve(sorted.size());
+  for (const Transaction* t : sorted) order.push_back(t->id());
+  const model::Execution e(txns, std::move(order));
+  const model::ReadStateAnalysis analysis(txns, e);
+  return SessionTester(analysis).test_all(g);
+}
+
+}  // namespace crooks::ct

@@ -1,0 +1,80 @@
+// Session guarantees (Terry et al., PDIS'94), expressed as state-based
+// tests — an extension demonstrating the model's reach beyond the paper's
+// Tables 1–2 (the paper cites these as the ancestral client-centric
+// guarantees; §6).
+//
+// A session is the same notion used by Session SI (§5.2): a total order →se
+// over a client's transactions, realized here as same-session transactions
+// ordered by real time (T' →se T iff T'.commit < T.start). Each guarantee
+// constrains, per transaction T and session predecessor T':
+//
+//   Read-My-Writes      every read of a key T' wrote must return T''s
+//                       version or a later one: s_{T'} →* sl_o.
+//   Monotonic-Reads     T cannot read a version of k older than any version
+//                       of k that T' read: sf_{o'} →* sl_o.
+//   Monotonic-Writes    T''s state precedes T's state in the execution.
+//   Writes-Follow-Reads the writers T' observed precede T's state.
+//
+// These are per-execution tests (like CT_I(T, e)); `check_session_guarantee`
+// answers the ∃e question for systems that export their commit order, by
+// testing the commit-order execution (the natural witness for
+// session-ordered systems).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "committest/commit_test.hpp"
+
+namespace crooks::ct {
+
+enum class SessionGuarantee : std::uint8_t {
+  kReadMyWrites,
+  kMonotonicReads,
+  kMonotonicWrites,
+  kWritesFollowReads,
+};
+
+inline constexpr SessionGuarantee kAllSessionGuarantees[] = {
+    SessionGuarantee::kReadMyWrites,
+    SessionGuarantee::kMonotonicReads,
+    SessionGuarantee::kMonotonicWrites,
+    SessionGuarantee::kWritesFollowReads,
+};
+
+constexpr std::string_view name_of(SessionGuarantee g) {
+  switch (g) {
+    case SessionGuarantee::kReadMyWrites: return "ReadMyWrites";
+    case SessionGuarantee::kMonotonicReads: return "MonotonicReads";
+    case SessionGuarantee::kMonotonicWrites: return "MonotonicWrites";
+    case SessionGuarantee::kWritesFollowReads: return "WritesFollowReads";
+  }
+  return "?";
+}
+
+/// Evaluates session guarantees against one execution.
+class SessionTester {
+ public:
+  explicit SessionTester(const model::ReadStateAnalysis& analysis);
+
+  /// Does transaction `dense` satisfy the guarantee w.r.t. every session
+  /// predecessor in this execution?
+  CommitTestResult test(SessionGuarantee g, std::size_t dense) const;
+
+  ExecutionVerdict test_all(SessionGuarantee g) const;
+
+ private:
+  /// Dense indices of same-session real-time predecessors of `dense`.
+  std::vector<std::size_t> session_predecessors(std::size_t dense) const;
+
+  const model::ReadStateAnalysis* a_;
+};
+
+/// ∃e for session guarantees, decided on the commit-order execution (all
+/// transactions must carry timestamps; otherwise kUnsatisfiable is returned
+/// with an explanation, mirroring the timed isolation levels).
+ExecutionVerdict check_session_guarantee(SessionGuarantee g,
+                                         const model::TransactionSet& txns);
+
+}  // namespace crooks::ct

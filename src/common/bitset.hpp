@@ -1,0 +1,70 @@
+// A minimal dynamic bitset used for transitive-closure computations
+// (PREC sets of the PSI commit test, reachability in serialization graphs).
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace crooks {
+
+class DynamicBitset {
+ public:
+  DynamicBitset() = default;
+  explicit DynamicBitset(std::size_t n) : size_(n), words_((n + 63) / 64, 0) {}
+
+  std::size_t size() const { return size_; }
+
+  bool test(std::size_t i) const {
+    return (words_[i >> 6] >> (i & 63)) & 1ULL;
+  }
+  void set(std::size_t i) { words_[i >> 6] |= (1ULL << (i & 63)); }
+  void reset(std::size_t i) { words_[i >> 6] &= ~(1ULL << (i & 63)); }
+
+  /// this |= other. `other` may be smaller (its missing tail is zero).
+  void or_with(const DynamicBitset& other) {
+    const std::size_t n = std::min(words_.size(), other.words_.size());
+    for (std::size_t w = 0; w < n; ++w) words_[w] |= other.words_[w];
+  }
+
+  /// Grow to at least n bits (new bits are zero). Never shrinks.
+  void grow(std::size_t n) {
+    if (n > size_) {
+      size_ = n;
+      words_.resize((n + 63) / 64, 0);
+    }
+  }
+
+  bool any() const {
+    for (std::uint64_t w : words_) {
+      if (w != 0) return true;
+    }
+    return false;
+  }
+
+  std::size_t count() const {
+    std::size_t c = 0;
+    for (std::uint64_t w : words_) c += static_cast<std::size_t>(__builtin_popcountll(w));
+    return c;
+  }
+
+  /// Invoke f(index) for every set bit, in increasing index order.
+  template <typename F>
+  void for_each(F&& f) const {
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+      std::uint64_t bits = words_[w];
+      while (bits != 0) {
+        const int b = __builtin_ctzll(bits);
+        f(w * 64 + static_cast<std::size_t>(b));
+        bits &= bits - 1;
+      }
+    }
+  }
+
+ private:
+  std::size_t size_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace crooks

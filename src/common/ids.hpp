@@ -1,0 +1,107 @@
+// Strong identifier types shared across the library.
+//
+// The model of Crooks et al. (PODC'17) assumes every value is uniquely
+// identifiable by the transaction that wrote it (§3: "we assume that each value
+// is uniquely identifiable, as is common practice ... ETags in Azure,
+// timestamps in Cassandra"). We realize that assumption structurally: a value
+// is the pair (writer transaction, key), so there is never ambiguity about
+// which transaction produced an observed value.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <string>
+
+namespace crooks {
+
+/// Identifier of a transaction. Id 0 is reserved for the synthetic
+/// "initial transaction" that installs value ⊥ for every key.
+struct TxnId {
+  std::uint64_t value = 0;
+
+  constexpr TxnId() = default;
+  constexpr explicit TxnId(std::uint64_t v) : value(v) {}
+
+  friend constexpr auto operator<=>(TxnId, TxnId) = default;
+};
+
+/// The synthetic writer of the initial state (every key maps to ⊥).
+inline constexpr TxnId kInitTxn{0};
+
+/// Identifier of a key in the store's key space.
+struct Key {
+  std::uint64_t value = 0;
+
+  constexpr Key() = default;
+  constexpr explicit Key(std::uint64_t v) : value(v) {}
+
+  friend constexpr auto operator<=>(Key, Key) = default;
+};
+
+/// Identifier of a client session (used by Session SI / PC-SI, §5.2).
+struct SessionId {
+  std::uint32_t value = 0;
+
+  constexpr SessionId() = default;
+  constexpr explicit SessionId(std::uint32_t v) : value(v) {}
+
+  friend constexpr auto operator<=>(SessionId, SessionId) = default;
+};
+
+/// No session: transactions outside any session ordering.
+inline constexpr SessionId kNoSession{std::numeric_limits<std::uint32_t>::max()};
+
+/// Identifier of a replication site / datacenter (PSI, §5.3).
+struct SiteId {
+  std::uint32_t value = 0;
+
+  constexpr SiteId() = default;
+  constexpr explicit SiteId(std::uint32_t v) : value(v) {}
+
+  friend constexpr auto operator<=>(SiteId, SiteId) = default;
+};
+
+/// Real time from the paper's time oracle O (§3). Distinct per event.
+using Timestamp = std::int64_t;
+
+/// Sentinel meaning "the oracle assigned no timestamp".
+inline constexpr Timestamp kNoTimestamp = std::numeric_limits<Timestamp>::min();
+
+inline std::string to_string(TxnId id) { return "T" + std::to_string(id.value); }
+inline std::string to_string(Key k) { return "k" + std::to_string(k.value); }
+inline std::string to_string(SessionId s) {
+  return s == kNoSession ? std::string("s-") : "s" + std::to_string(s.value);
+}
+inline std::string to_string(SiteId s) { return "site" + std::to_string(s.value); }
+
+}  // namespace crooks
+
+template <>
+struct std::hash<crooks::TxnId> {
+  std::size_t operator()(crooks::TxnId id) const noexcept {
+    return std::hash<std::uint64_t>{}(id.value);
+  }
+};
+
+template <>
+struct std::hash<crooks::Key> {
+  std::size_t operator()(crooks::Key k) const noexcept {
+    return std::hash<std::uint64_t>{}(k.value);
+  }
+};
+
+template <>
+struct std::hash<crooks::SessionId> {
+  std::size_t operator()(crooks::SessionId s) const noexcept {
+    return std::hash<std::uint32_t>{}(s.value);
+  }
+};
+
+template <>
+struct std::hash<crooks::SiteId> {
+  std::size_t operator()(crooks::SiteId s) const noexcept {
+    return std::hash<std::uint32_t>{}(s.value);
+  }
+};

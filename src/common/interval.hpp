@@ -1,0 +1,42 @@
+// Closed integer intervals over execution-state indices.
+//
+// Read states of an operation form a contiguous subsequence of the execution's
+// states (§3: "the read states of any operation o define a subsequence of
+// contiguous states"), so [first, last] intervals are the natural container.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+
+namespace crooks {
+
+/// Index of a state in an execution. State i is the state reached after
+/// applying the first i transactions; state 0 is the initial state.
+using StateIndex = std::int64_t;
+
+/// A closed interval [first, last] of state indices; empty iff first > last.
+struct StateInterval {
+  StateIndex first = 0;
+  StateIndex last = -1;  // default-constructed interval is empty
+
+  constexpr StateInterval() = default;
+  constexpr StateInterval(StateIndex f, StateIndex l) : first(f), last(l) {}
+
+  constexpr bool empty() const { return first > last; }
+  constexpr bool contains(StateIndex i) const { return first <= i && i <= last; }
+
+  /// Intersection of two closed intervals (possibly empty).
+  constexpr StateInterval intersect(StateInterval o) const {
+    return {std::max(first, o.first), std::min(last, o.last)};
+  }
+
+  friend constexpr bool operator==(StateInterval, StateInterval) = default;
+};
+
+inline std::string to_string(StateInterval iv) {
+  if (iv.empty()) return "[empty]";
+  return "[s" + std::to_string(iv.first) + ", s" + std::to_string(iv.last) + "]";
+}
+
+}  // namespace crooks

@@ -1,0 +1,54 @@
+// Deterministic pseudo-random number generation.
+//
+// All randomized components (workload generators, interleaving schedulers,
+// replication delay models) take an explicit seed so that every experiment in
+// EXPERIMENTS.md is reproducible bit-for-bit.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace crooks {
+
+/// SplitMix64: tiny, fast, statistically solid for simulation purposes, and
+/// trivially seedable. Satisfies std::uniform_random_bit_generator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  constexpr explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) : state_(seed) {}
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return std::numeric_limits<result_type>::max(); }
+
+  constexpr result_type operator()() {
+    state_ += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = state_;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  constexpr std::uint64_t below(std::uint64_t bound) {
+    // Lemire-style rejection-free mapping is overkill here; modulo bias is
+    // negligible for 64-bit state and the bounds we use (< 2^32).
+    return (*this)() % bound;
+  }
+
+  /// Uniform double in [0, 1).
+  constexpr double uniform01() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with probability p.
+  constexpr bool chance(double p) { return uniform01() < p; }
+
+  /// Derive an independent stream (for per-component seeding).
+  constexpr Rng split() { return Rng((*this)() ^ 0xd1b54a32d192ed03ULL); }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace crooks

@@ -1,0 +1,119 @@
+// Read-state analysis over one execution (Definitions 2–4 and the PSI
+// precedence sets of §4).
+//
+// Given a TransactionSet 𝒯 and an Execution e, this computes, for every
+// operation o, the contiguous interval of candidate read states RS_e(o) =
+// [sf_o, sl_o]; per transaction, PREREAD_e(T), the COMPLETE-state interval
+// (the intersection of the per-operation intervals), and the NO-CONF
+// threshold (the earliest state s with Δ(s, s_p) ∩ W_T = ∅); and, lazily,
+// the D-PREC / PREC precedence relation used by the PSI / PL-2+ commit test.
+//
+// Everything is index arithmetic on per-key version timelines; no state is
+// ever materialized. Construction is O(|ops| · log |versions|).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/bitset.hpp"
+#include "common/ids.hpp"
+#include "common/interval.hpp"
+#include "model/execution.hpp"
+#include "model/transaction.hpp"
+
+namespace crooks::model {
+
+/// One installed version of a key in the execution order.
+struct VersionEntry {
+  StateIndex pos = 0;       // state index where this version became current
+  TxnId writer = kInitTxn;  // transaction that installed it
+};
+
+/// Per-operation results.
+struct OpAnalysis {
+  StateInterval rs;       // RS_e(o) as a closed interval; empty ⇒ PREREAD fails
+  bool internal = false;  // read that follows the transaction's own write
+};
+
+/// Per-transaction results.
+struct TxnAnalysis {
+  StateIndex state = 0;      // index of s_T (the state this transaction generates)
+  StateIndex parent = 0;     // index of s_p (= state - 1)
+  bool preread = false;      // PREREAD_e(T)
+  StateInterval complete;    // states s with COMPLETE_{e,T}(s); may be empty
+  StateIndex no_conf_min = 0;  // smallest s such that NO-CONF_T(s) holds
+  std::vector<OpAnalysis> ops;
+};
+
+/// Transitive precedence (the ▷ relation of the PSI commit test).
+class Precedence {
+ public:
+  /// Does `a` (dense index) transitively precede `b` (dense index)?
+  bool precedes(std::size_t a, std::size_t b) const { return prec_[b].test(a); }
+
+  /// The full PREC_e set of a transaction, as a bitset over dense indices.
+  const DynamicBitset& prec_set(std::size_t dense) const { return prec_[dense]; }
+
+  /// |D-PREC_e(T)|: number of *direct* predecessors (Fig. 5's dependency metric).
+  std::size_t direct_count(std::size_t dense) const { return direct_count_[dense]; }
+
+ private:
+  friend class ReadStateAnalysis;
+  std::vector<DynamicBitset> prec_;
+  std::vector<std::size_t> direct_count_;
+};
+
+class ReadStateAnalysis {
+ public:
+  ReadStateAnalysis(const TransactionSet& txns, const Execution& e);
+
+  const TransactionSet& txns() const { return *txns_; }
+  const Execution& execution() const { return *exec_; }
+
+  const TxnAnalysis& txn(std::size_t dense) const { return txn_[dense]; }
+  const TxnAnalysis& txn(TxnId id) const { return txn_[txns_->dense_index_of(id)]; }
+  std::size_t size() const { return txn_.size(); }
+
+  /// PREREAD_e(𝒯): every operation of every transaction has a read state.
+  bool preread_all() const { return preread_all_; }
+
+  /// The ordered version timeline of a key (always starts with the initial ⊥
+  /// version at state 0).
+  const std::vector<VersionEntry>& timeline(Key k) const;
+
+  /// State index of the last write to `k` at or before state `s` (0 when `k`
+  /// was never written that early, i.e. the key still holds ⊥).
+  StateIndex last_write_at_or_before(Key k, StateIndex s) const;
+
+  /// Invoke f(writer TxnId, position) for every version of `k` installed at a
+  /// state index in (lo, hi]; both bounds are state indices.
+  template <typename F>
+  void for_writers_in(Key k, StateIndex lo_exclusive, StateIndex hi_inclusive, F&& f) const {
+    const std::vector<VersionEntry>& tl = timeline(k);
+    for (const VersionEntry& v : tl) {
+      if (v.pos > hi_inclusive) break;
+      if (v.pos > lo_exclusive) f(v.writer, v.pos);
+    }
+  }
+
+  /// Lazily computed ▷ relation (transitive closure of D-PREC along e).
+  /// Only meaningful when PREREAD holds for the transactions involved;
+  /// operations with empty read states contribute no read edges.
+  const Precedence& precedence() const;
+
+ private:
+  void analyze_transaction(std::size_t dense);
+  StateInterval read_states_of(const Transaction& t, std::size_t dense,
+                               std::size_t op_index, bool& internal) const;
+
+  const TransactionSet* txns_;
+  const Execution* exec_;
+  std::unordered_map<Key, std::vector<VersionEntry>> timelines_;
+  std::vector<TxnAnalysis> txn_;
+  bool preread_all_ = true;
+  mutable std::optional<Precedence> precedence_;
+};
+
+}  // namespace crooks::model

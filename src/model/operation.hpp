@@ -1,0 +1,76 @@
+// Operations and values of the state-based model (§3 of the paper).
+//
+// A value is identified by the transaction that wrote it. Together with the
+// "a transaction writes a key at most once" assumption (§3), the pair
+// (writer, key) uniquely identifies every version that ever exists, which is
+// exactly the paper's unique-value assumption. The initial state maps every
+// key to ⊥, modeled as a write by the synthetic transaction kInitTxn.
+#pragma once
+
+#include <string>
+
+#include "common/ids.hpp"
+
+namespace crooks::model {
+
+/// A value as observable by a client: "which transaction wrote what I read".
+///
+/// `phantom` marks an observed value that exists in *no* state of any
+/// execution — a non-final (intermediate) write of its writer. Executions
+/// only apply final writes (§3 / Definition 1), so a phantom observation has
+/// an empty read-state set and fails PREREAD; this is exactly how Adya's G1b
+/// (intermediate reads) surfaces in the state-based model.
+struct Value {
+  TxnId writer = kInitTxn;
+  bool phantom = false;
+
+  constexpr Value() = default;
+  constexpr explicit Value(TxnId w, bool ph = false) : writer(w), phantom(ph) {}
+
+  constexpr bool is_initial() const { return writer == kInitTxn && !phantom; }
+
+  friend constexpr auto operator<=>(Value, Value) = default;
+};
+
+enum class OpType : std::uint8_t { kRead, kWrite };
+
+/// One read or write operation inside a transaction.
+///
+/// For reads, `value` is the value the client observed. For writes, `value`
+/// is the value created, i.e. Value{self} — filled in by the transaction
+/// builder so that an Operation is self-describing.
+struct Operation {
+  OpType type = OpType::kRead;
+  Key key{};
+  Value value{};
+
+  static constexpr Operation read(Key k, Value observed) {
+    return Operation{OpType::kRead, k, observed};
+  }
+  static constexpr Operation read(Key k, TxnId observed_writer) {
+    return Operation{OpType::kRead, k, Value{observed_writer}};
+  }
+  /// Observation of a non-final (intermediate) write — see Value::phantom.
+  static constexpr Operation read_intermediate(Key k, TxnId observed_writer) {
+    return Operation{OpType::kRead, k, Value{observed_writer, /*ph=*/true}};
+  }
+  static constexpr Operation write(Key k, TxnId self) {
+    return Operation{OpType::kWrite, k, Value{self}};
+  }
+
+  constexpr bool is_read() const { return type == OpType::kRead; }
+  constexpr bool is_write() const { return type == OpType::kWrite; }
+
+  friend constexpr bool operator==(const Operation&, const Operation&) = default;
+};
+
+inline std::string to_string(const Operation& op) {
+  using crooks::to_string;
+  if (op.is_read()) {
+    return "r(" + to_string(op.key) + "=" + to_string(op.value.writer) +
+           (op.value.phantom ? "!" : "") + ")";
+  }
+  return "w(" + to_string(op.key) + ")";
+}
+
+}  // namespace crooks::model

@@ -1,0 +1,185 @@
+#include "replication/geo_store.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace crooks::repl {
+
+using store::ReadResult;
+using store::StepStatus;
+
+GeoStore::GeoStore(Options options) : opts_(options) {
+  if (opts_.sites == 0) throw std::invalid_argument("need at least one site");
+  visible_.resize(opts_.sites);
+  pending_.resize(opts_.sites);
+}
+
+void GeoStore::append_version(std::uint32_t site, Key k, std::uint64_t when,
+                              std::size_t idx) {
+  auto& versions = visible_[site][k];
+  // Applies can arrive out of global version order only for independent
+  // writers, and P2 chains writers of a key causally — but guard anyway.
+  if (!versions.empty() && versions.back().second >= idx + 1) return;
+  versions.emplace_back(when, idx + 1);
+}
+
+void GeoStore::drain(std::uint32_t site) {
+  auto& pq = pending_[site];
+  while (!pq.empty() && pq.top().first <= clock_) {
+    const auto [when, idx] = pq.top();
+    pq.pop();
+    for (const model::Operation& op : committed_[idx].txn.ops()) {
+      if (op.is_write()) append_version(site, op.key, when, idx);
+    }
+  }
+}
+
+std::size_t GeoStore::version_at(std::uint32_t site, Key k, std::uint64_t at) const {
+  const auto vit = visible_[site].find(k);
+  if (vit == visible_[site].end()) return 0;
+  // Latest version applied at or before `at`. Entries are time-ascending.
+  std::size_t best = 0;
+  for (const auto& [when, idx] : vit->second) {
+    if (when <= at) best = idx;
+  }
+  return best;
+}
+
+TxnId GeoStore::begin(SiteId origin) {
+  if (origin.value >= opts_.sites) throw std::out_of_range("unknown site");
+  const TxnId id{next_id_++};
+  Active a;
+  a.origin = origin;
+  a.start_ts = static_cast<Timestamp>(tick());
+  drain(origin.value);  // snapshot = site state as of the begin tick (P1)
+  active_.emplace(id, std::move(a));
+  return id;
+}
+
+ReadResult GeoStore::read(TxnId txn, Key k) {
+  auto it = active_.find(txn);
+  if (it == active_.end()) throw std::logic_error("read on inactive transaction");
+  Active& a = it->second;
+  tick();
+
+  TxnId observed = kInitTxn;
+  if (a.write_set.contains(k)) {
+    observed = txn;  // read-your-own-writes
+  } else {
+    // P1 (site snapshot read): the version current at the begin snapshot.
+    const std::size_t idx =
+        version_at(a.origin.value, k, static_cast<std::uint64_t>(a.start_ts));
+    if (idx != 0) observed = committed_[idx - 1].txn.id();
+  }
+  a.events.push_back({adya::EventType::kRead, k, adya::Version{observed, 1}});
+  return {StepStatus::kOk, model::Value{observed}};
+}
+
+StepStatus GeoStore::write(TxnId txn, Key k) {
+  auto it = active_.find(txn);
+  if (it == active_.end()) throw std::logic_error("write on inactive transaction");
+  Active& a = it->second;
+  if (!a.write_set.insert(k).second) {
+    throw std::invalid_argument("a transaction writes a key at most once (§3)");
+  }
+  tick();
+  a.events.push_back({adya::EventType::kWrite, k, adya::Version{txn, 1}});
+  return StepStatus::kOk;
+}
+
+StepStatus GeoStore::commit(TxnId txn) {
+  auto it = active_.find(txn);
+  if (it == active_.end()) throw std::logic_error("commit on inactive transaction");
+  Active& a = it->second;
+  const std::uint64_t commit_time = tick();
+  drain(a.origin.value);
+
+  // P2 (no write-write conflicts among somewhere-concurrent transactions):
+  // for every written key, (a) nothing newer may have arrived at the origin
+  // since our snapshot (first-committer-wins against the snapshot), and
+  // (b) the globally latest committed version must already be visible here
+  // (otherwise a remote writer is concurrent with us).
+  for (Key k : a.write_set) {
+    const std::size_t at_snapshot =
+        version_at(a.origin.value, k, static_cast<std::uint64_t>(a.start_ts));
+    const std::size_t now = version_at(a.origin.value, k, clock_);
+    const auto git = global_latest_.find(k);
+    const std::size_t global = git == global_latest_.end() ? 0 : git->second;
+    if (now != at_snapshot || global != now) {
+      abort(txn);
+      return StepStatus::kAborted;
+    }
+  }
+
+  // Build the final observation record and the dependency set (read-from
+  // writers + the overwritten version's writer).
+  std::vector<model::Operation> ops;
+  ops.reserve(a.events.size());
+  std::unordered_set<std::size_t> dep_set;
+  for (const adya::Event& e : a.events) {
+    if (e.type == adya::EventType::kWrite) {
+      ops.push_back(model::Operation::write(e.key, txn));
+      const std::size_t prev = version_at(a.origin.value, e.key, clock_);
+      if (prev != 0) dep_set.insert(prev - 1);
+    } else {
+      ops.push_back(model::Operation::read(e.key, e.version.writer));
+      if (e.version.writer != kInitTxn && e.version.writer != txn) {
+        dep_set.insert(committed_index_.at(e.version.writer));
+      }
+    }
+  }
+
+  Committed c{model::Transaction(txn, std::move(ops), kNoSession, a.origin,
+                                 a.start_ts, static_cast<Timestamp>(commit_time)),
+              std::vector<std::uint64_t>(opts_.sites, 0)};
+
+  // Apply schedule: local now; remote after the delay and after every
+  // observed dependency (client-centric discipline — no origin-log prefix).
+  const std::size_t idx = committed_.size();
+  for (std::uint32_t site = 0; site < opts_.sites; ++site) {
+    if (site == a.origin.value) {
+      c.applied_at[site] = commit_time;
+      continue;
+    }
+    std::uint64_t when = commit_time + opts_.replication_delay;
+    for (std::size_t d : dep_set) {
+      when = std::max(when, committed_[d].applied_at[site]);
+    }
+    c.applied_at[site] = when;
+    pending_[site].push({when, idx});
+  }
+
+  committed_index_.emplace(txn, idx);
+  committed_.push_back(std::move(c));
+  for (Key k : a.write_set) {
+    append_version(a.origin.value, k, commit_time, idx);
+    global_latest_[k] = idx + 1;
+    version_order_[k].push_back(txn);
+  }
+  active_.erase(txn);
+  return StepStatus::kOk;
+}
+
+void GeoStore::abort(TxnId txn) {
+  if (active_.erase(txn) > 0) ++aborted_;
+}
+
+bool GeoStore::visible_at(SiteId site, TxnId txn) {
+  if (site.value >= opts_.sites) throw std::out_of_range("unknown site");
+  const auto it = committed_index_.find(txn);
+  if (it == committed_index_.end()) return false;
+  return committed_[it->second].applied_at[site.value] <= clock_;
+}
+
+model::TransactionSet GeoStore::observations() const {
+  std::vector<model::Transaction> txns;
+  txns.reserve(committed_.size());
+  for (const Committed& c : committed_) txns.push_back(c.txn);
+  return model::TransactionSet(std::move(txns));
+}
+
+std::unordered_map<Key, std::vector<TxnId>> GeoStore::version_order() const {
+  return version_order_;
+}
+
+}  // namespace crooks::repl

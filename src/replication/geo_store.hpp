@@ -1,0 +1,103 @@
+// GeoStore: an interactive geo-replicated transactional store providing PSI
+// through the client-centric dependency discipline of §5.3.
+//
+// N sites each hold a full copy of the key space. A transaction executes at
+// its origin site, reading the site-visible versions; on commit its writes
+// install locally at once and replicate asynchronously, becoming visible at
+// a remote site only after (a) the replication delay and (b) the apply of
+// every transaction it *observed* (read-from and overwritten-version
+// dependencies) — nothing else. There is no per-site total order: exactly
+// the freedom the paper shows PSI can afford.
+//
+// Write-write conflicts between somewhere-concurrent transactions abort the
+// later committer (PSI's property P2).
+//
+// Logical time advances by one tick per API call; pending remote applies
+// drain lazily as time passes. The exported observations must — and, per the
+// test suite, do — satisfy CT_PSI.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "adya/history.hpp"
+#include "model/transaction.hpp"
+#include "store/store.hpp"
+
+namespace crooks::repl {
+
+class GeoStore {
+ public:
+  struct Options {
+    std::uint32_t sites = 3;
+    std::uint64_t replication_delay = 20;  // ticks from commit to remote apply
+  };
+
+  explicit GeoStore(Options options);
+
+  TxnId begin(SiteId origin);
+  store::ReadResult read(TxnId txn, Key k);
+  store::StepStatus write(TxnId txn, Key k);
+  store::StepStatus commit(TxnId txn);
+  void abort(TxnId txn);
+
+  bool is_active(TxnId txn) const { return active_.contains(txn); }
+
+  /// Current logical time (ticks consumed so far).
+  std::uint64_t now() const { return clock_; }
+
+  /// Has the given committed transaction been applied at `site` by now?
+  bool visible_at(SiteId site, TxnId txn);
+
+  /// Committed client observations (timestamps are logical ticks).
+  model::TransactionSet observations() const;
+  std::unordered_map<Key, std::vector<TxnId>> version_order() const;
+
+  std::size_t committed_count() const { return committed_.size(); }
+  std::size_t aborted_count() const { return aborted_; }
+
+ private:
+  struct Committed {
+    model::Transaction txn;                 // final observation record
+    std::vector<std::uint64_t> applied_at;  // per site
+  };
+
+  struct Active {
+    SiteId origin{};
+    Timestamp start_ts = 0;
+    std::vector<adya::Event> events;
+    std::unordered_set<Key> write_set;
+  };
+
+  std::uint64_t tick() { return ++clock_; }
+  void drain(std::uint32_t site);
+  void append_version(std::uint32_t site, Key k, std::uint64_t when, std::size_t idx);
+  /// Version (committed index + 1, 0 = ⊥) of `k` visible at `site` as of
+  /// time `at` — the site-snapshot read primitive (P1).
+  std::size_t version_at(std::uint32_t site, Key k, std::uint64_t at) const;
+
+  Options opts_;
+  std::uint64_t clock_ = 0;
+  std::uint64_t next_id_ = 1;
+
+  // Per site, per key: (apply time, committed idx + 1), time-ascending.
+  std::vector<std::unordered_map<Key, std::vector<std::pair<std::uint64_t, std::size_t>>>>
+      visible_;
+  using PendingApply = std::pair<std::uint64_t, std::size_t>;
+  std::vector<std::priority_queue<PendingApply, std::vector<PendingApply>,
+                                  std::greater<>>>
+      pending_;
+  std::unordered_map<Key, std::size_t> global_latest_;  // committed idx+1
+  std::unordered_map<Key, std::vector<TxnId>> version_order_;
+
+  std::unordered_map<TxnId, Active> active_;
+  std::vector<Committed> committed_;
+  std::unordered_map<TxnId, std::size_t> committed_index_;
+  std::size_t aborted_ = 0;
+};
+
+}  // namespace crooks::repl

@@ -1,0 +1,229 @@
+#include "replication/simulator.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/rng.hpp"
+#include "workload/zipf.hpp"
+
+namespace crooks::repl {
+
+namespace {
+
+struct SimTxn {
+  TxnId id{};
+  std::uint32_t origin = 0;
+  std::uint64_t commit_time = 0;
+  std::vector<Key> reads;
+  std::vector<TxnId> read_from;          // visible writer per read
+  std::vector<Key> writes;
+  std::vector<std::size_t> deps;         // direct client-centric deps (dense)
+  std::vector<std::uint64_t> applied_trad;  // per site
+  std::vector<std::uint64_t> applied_cc;    // per site
+  bool touches_slow = false;
+};
+
+}  // namespace
+
+SimResult simulate(const SimOptions& o) {
+  Rng rng(o.seed);
+  wl::ZipfGenerator zipf(o.keys, o.zipf_theta);
+
+  std::vector<SimTxn> txns;                      // committed, dense order
+  std::vector<std::vector<std::size_t>> site_log(o.sites);  // dense indices
+  // Monotone per-site history of "visible everywhere" times of local commits
+  // (for the traditional unreplicated-prefix dependency count).
+  std::vector<std::vector<std::uint64_t>> site_visible_hist(o.sites);
+
+  // Per-site visible key versions, advanced by the traditional schedule.
+  using PendingApply = std::pair<std::uint64_t, std::size_t>;  // (when, dense)
+  std::vector<std::unordered_map<Key, std::size_t>> visible(o.sites);  // dense+1; 0=⊥
+  std::vector<std::priority_queue<PendingApply, std::vector<PendingApply>,
+                                  std::greater<>>>
+      pending(o.sites);
+
+  std::unordered_map<Key, std::size_t> global_latest;  // dense+1 of last writer
+  std::unordered_map<Key, std::vector<TxnId>> version_order;
+
+  SimResult result;
+  const auto partition_of = [&](Key k) {
+    return static_cast<std::uint32_t>(k.value % o.partitions);
+  };
+
+  for (std::uint64_t t = 0; t < o.transactions; ++t) {
+    const std::uint32_t site = static_cast<std::uint32_t>(t % o.sites);
+
+    // Advance this site's visible state to time t (traditional schedule).
+    auto& pq = pending[site];
+    while (!pq.empty() && pq.top().first <= t) {
+      const std::size_t dense = pq.top().second;
+      pq.pop();
+      for (Key k : txns[dense].writes) {
+        // Never regress a key: applies may arrive out of version order
+        // across origins (dense order == global commit order).
+        std::size_t& slot = visible[site][k];
+        slot = std::max(slot, dense + 1);
+      }
+    }
+
+    // Generate the transaction's footprint (distinct keys).
+    std::unordered_set<std::uint64_t> picked;
+    SimTxn txn;
+    while (txn.reads.size() < o.reads_per_txn) {
+      const std::uint64_t k = zipf(rng);
+      if (picked.insert(k).second) txn.reads.push_back(Key{k});
+    }
+    while (txn.writes.size() < o.writes_per_txn) {
+      std::uint64_t k = zipf(rng);
+      if (o.site_local_writes) k = (k / o.sites) * o.sites + site;  // own shard
+      if (picked.insert(k).second) txn.writes.push_back(Key{k});
+    }
+
+    // PSI first-committer-wins (P2): abort when a written key has a
+    // committed version not yet visible at the origin (somewhere-concurrent
+    // conflicting write).
+    bool conflict = false;
+    for (Key k : txn.writes) {
+      const auto git = global_latest.find(k);
+      if (git == global_latest.end()) continue;
+      const auto vit = visible[site].find(k);
+      if (vit == visible[site].end() || vit->second != git->second) {
+        conflict = true;
+        break;
+      }
+    }
+    if (conflict) {
+      ++result.ww_aborts;
+      continue;
+    }
+
+    const std::size_t dense = txns.size();
+    txn.id = TxnId{static_cast<std::uint64_t>(dense) + 1};
+    txn.origin = site;
+    txn.commit_time = t;
+
+    // Observed dependencies: read-from writers + the overwritten version's
+    // writer — exactly what a client-centric PSI implementation must track.
+    std::unordered_set<std::size_t> dep_set;
+    for (Key k : txn.reads) {
+      const auto vit = visible[site].find(k);
+      const std::size_t writer = vit == visible[site].end() ? 0 : vit->second;
+      txn.read_from.push_back(writer == 0 ? kInitTxn : txns[writer - 1].id);
+      if (writer != 0) dep_set.insert(writer - 1);
+    }
+    for (Key k : txn.writes) {
+      const auto vit = visible[site].find(k);
+      if (vit != visible[site].end() && vit->second != 0) dep_set.insert(vit->second - 1);
+      txn.touches_slow |= o.slowdown.has_value() &&
+                          partition_of(k) == o.slowdown->partition;
+    }
+    txn.deps.assign(dep_set.begin(), dep_set.end());
+
+    // Traditional dependency count: unreplicated origin-log prefix.
+    const auto& hist = site_visible_hist[site];
+    const std::size_t trad_deps =
+        hist.end() - std::upper_bound(hist.begin(), hist.end(), t);
+
+    // Apply schedules.
+    const bool slowed = txn.touches_slow && o.slowdown.has_value() &&
+                        t >= o.slowdown->from && t < o.slowdown->until;
+    txn.applied_trad.assign(o.sites, 0);
+    txn.applied_cc.assign(o.sites, 0);
+    for (std::uint32_t dest = 0; dest < o.sites; ++dest) {
+      if (dest == site) {
+        txn.applied_trad[dest] = t;
+        txn.applied_cc[dest] = t;
+        continue;
+      }
+      const std::uint64_t avail =
+          t + o.replication_delay + (slowed ? o.slowdown->extra_delay : 0);
+      std::uint64_t trad = avail;
+      std::uint64_t cc = avail;
+      if (!site_log[site].empty()) {
+        trad = std::max(trad, txns[site_log[site].back()].applied_trad[dest]);
+      }
+      for (std::size_t d : txn.deps) {
+        trad = std::max(trad, txns[d].applied_trad[dest]);
+        cc = std::max(cc, txns[d].applied_cc[dest]);
+      }
+      txn.applied_trad[dest] = trad;
+      txn.applied_cc[dest] = cc;
+    }
+
+    const std::uint64_t trad_visible =
+        *std::max_element(txn.applied_trad.begin(), txn.applied_trad.end());
+    const std::uint64_t cc_visible =
+        *std::max_element(txn.applied_cc.begin(), txn.applied_cc.end());
+
+    // Install locally; schedule remote applies. Reads follow the
+    // client-centric schedule: the simulated system IS the client-centric
+    // implementation, while the traditional apply times are the
+    // counterfactual being measured against. Dependency-driven application
+    // still yields causally-consistent site states (a transaction applies
+    // only after everything it observed), which is what PSI requires.
+    for (Key k : txn.writes) {
+      visible[site][k] = dense + 1;
+      global_latest[k] = dense + 1;
+      version_order[k].push_back(txn.id);
+    }
+    for (std::uint32_t dest = 0; dest < o.sites; ++dest) {
+      if (dest != site) pending[dest].push({txn.applied_cc[dest], dense});
+    }
+    site_log[site].push_back(dense);
+    site_visible_hist[site].push_back(trad_visible);
+
+    result.txns.push_back({txn.id, SiteId{site}, t, trad_deps, txn.deps.size(),
+                           trad_visible, cc_visible, txn.touches_slow});
+    txns.push_back(std::move(txn));
+  }
+
+  result.committed = txns.size();
+  result.version_order = std::move(version_order);
+
+  // Export client observations.
+  std::vector<model::Transaction> obs;
+  obs.reserve(txns.size());
+  for (const SimTxn& t : txns) {
+    std::vector<model::Operation> ops;
+    ops.reserve(t.reads.size() + t.writes.size());
+    for (std::size_t i = 0; i < t.reads.size(); ++i) {
+      ops.push_back(model::Operation::read(t.reads[i], t.read_from[i]));
+    }
+    for (Key k : t.writes) ops.push_back(model::Operation::write(k, t.id));
+    obs.emplace_back(t.id, std::move(ops), kNoSession, SiteId{t.origin},
+                     static_cast<Timestamp>(2 * t.commit_time),
+                     static_cast<Timestamp>(2 * t.commit_time + 1));
+  }
+  result.observations = model::TransactionSet(std::move(obs));
+  return result;
+}
+
+double SimResult::mean_traditional_deps() const {
+  if (txns.empty()) return 0;
+  double sum = 0;
+  for (const TxnMetrics& t : txns) sum += static_cast<double>(t.traditional_deps);
+  return sum / static_cast<double>(txns.size());
+}
+
+double SimResult::mean_client_deps() const {
+  if (txns.empty()) return 0;
+  double sum = 0;
+  for (const TxnMetrics& t : txns) sum += static_cast<double>(t.client_deps);
+  return sum / static_cast<double>(txns.size());
+}
+
+double SimResult::mean_unrelated_latency(bool traditional) const {
+  double sum = 0;
+  std::size_t n = 0;
+  for (const TxnMetrics& t : txns) {
+    if (t.touches_slow_partition) continue;
+    sum += static_cast<double>((traditional ? t.traditional_visible : t.client_visible) -
+                               t.commit_time);
+    ++n;
+  }
+  return n == 0 ? 0 : sum / static_cast<double>(n);
+}
+
+}  // namespace crooks::repl

@@ -1,0 +1,123 @@
+#include "report/report.hpp"
+
+#include <sstream>
+
+#include "adya/phenomena.hpp"
+
+namespace crooks::report {
+
+namespace {
+
+const char* verdict_word(const checker::CheckResult& r) {
+  switch (r.outcome) {
+    case checker::Outcome::kSatisfiable: return "PASS";
+    case checker::Outcome::kUnsatisfiable: return "FAIL";
+    case checker::Outcome::kUnknown: return "UNDECIDED";
+  }
+  return "?";
+}
+
+}  // namespace
+
+AuditResult audit(const Observations& obs, const checker::CheckOptions& base) {
+  checker::CheckOptions opts = base;
+  if (obs.has_version_order() && opts.version_order == nullptr) {
+    opts.version_order = &obs.version_order;
+  }
+
+  std::ostringstream out;
+  out << "isolation audit: " << obs.txns.size() << " transactions";
+  if (opts.version_order != nullptr) {
+    out << ", install order supplied (verdicts are definitive for the "
+           "untimed levels)";
+  }
+  out << "\n\n";
+
+  AuditResult result;
+  std::vector<ct::IsolationLevel> passing;
+  std::optional<model::Execution> strongest_witness;
+  for (ct::IsolationLevel level : ct::kAllLevels) {
+    const checker::CheckResult r = checker::check(level, obs.txns, opts);
+    out << "  " << verdict_word(r) << "  ";
+    out.width(20);
+    out << std::left << ct::name_of(level);
+    if (auto eq = ct::equivalent_names(level); !eq.empty()) out << " (≡ " << eq << ")";
+    if (!r.satisfiable() && !r.detail.empty()) out << "\n        " << r.detail;
+    out << "\n";
+    if (r.satisfiable()) {
+      passing.push_back(level);
+      if (!result.strongest.has_value() ||
+          ct::at_least_as_strong(level, *result.strongest)) {
+        result.strongest = level;
+        strongest_witness = r.witness;
+      }
+    }
+  }
+
+  // The lattice has incomparable branches (serializability vs the timed SI
+  // family): report every maximal passing level.
+  out << "\nstrongest level(s) admitted:";
+  bool any = false;
+  for (ct::IsolationLevel p : passing) {
+    bool maximal = true;
+    for (ct::IsolationLevel q : passing) {
+      if (q != p && ct::at_least_as_strong(q, p)) maximal = false;
+    }
+    if (maximal) {
+      out << (any ? ", " : " ") << ct::name_of(p);
+      any = true;
+    }
+  }
+  if (!any) out << " none";
+  out << "\n";
+
+  // Name the anomalies when the install order pins them down.
+  if (opts.version_order != nullptr) {
+    try {
+      const adya::History h = adya::from_observations(obs.txns, *opts.version_order);
+      const adya::Phenomena p = adya::detect(h);
+      out << "phenomena under the install order: " << p.to_string() << "\n";
+    } catch (const std::invalid_argument& e) {
+      out << "phenomena unavailable: " << e.what() << "\n";
+    }
+  }
+
+  if (strongest_witness.has_value() && obs.txns.size() <= 12) {
+    out << "\nwitness for the strongest level:\n"
+        << render_execution(obs.txns, *strongest_witness);
+  }
+
+  result.text = out.str();
+  return result;
+}
+
+std::string render_execution(const model::TransactionSet& txns,
+                             const model::Execution& e) {
+  std::ostringstream out;
+  out << "  s0: all keys ⊥\n";
+  StateIndex i = 1;
+  for (TxnId id : e.order()) {
+    const model::Transaction& t = txns.by_id(id);
+    out << "  s" << i << ": apply " << to_string(id) << " {";
+    bool first = true;
+    for (const model::Operation& op : t.ops()) {
+      if (!first) out << ", ";
+      first = false;
+      out << model::to_string(op);
+    }
+    out << "}";
+    const auto state = e.materialize(txns, i);
+    out << "  ->  {";
+    first = true;
+    for (const auto& [k, v] : state) {
+      if (!first) out << ", ";
+      first = false;
+      out << to_string(k) << "=" << to_string(v.writer);
+    }
+    out << "}\n";
+    ++i;
+  }
+  return out.str();
+}
+
+}  // namespace crooks::report

@@ -1,0 +1,33 @@
+// Human-readable isolation audits.
+//
+// Turns checker verdicts into the report a database operator would want:
+// the strongest level the observations admit, per-level verdicts with the
+// violating clause, named anomalies (when an install order lets the Adya
+// phenomena be computed), and a rendering of the witness execution's states.
+#pragma once
+
+#include <string>
+
+#include "checker/checker.hpp"
+#include "report/serialize.hpp"
+
+namespace crooks::report {
+
+struct AuditResult {
+  /// Strongest satisfied level along the main lattice (nullopt when even
+  /// ReadUncommitted is unsatisfiable, possible only under a version-order
+  /// restriction).
+  std::optional<ct::IsolationLevel> strongest;
+  std::string text;  // the full rendered report
+};
+
+/// Audit observations against every isolation level.
+AuditResult audit(const Observations& obs, const checker::CheckOptions& base = {});
+
+/// Render an execution state by state: each transaction applied, the keys it
+/// changed, and the resulting state's contents (intended for small
+/// executions; output grows with |keys| × |txns|).
+std::string render_execution(const model::TransactionSet& txns,
+                             const model::Execution& e);
+
+}  // namespace crooks::report

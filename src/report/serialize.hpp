@@ -1,0 +1,44 @@
+// Plain-text serialization of client observations — the checker's input
+// format, so real systems (or test rigs) can dump observations and audit
+// them offline with the `crooks-check` tool.
+//
+// Format (whitespace-separated, '#' starts a comment):
+//
+//   txn 1 session=2 site=0 start=5 commit=9
+//     read 3 0            # read key 3, observed the initial value ⊥
+//     read 4 7 phantom    # read key 4, observed a value no state contains
+//     write 5
+//   end
+//   vo 3 1 7              # optional: install order of key 3 was T1 then T7
+//
+// Attributes are optional; `read k w` names the observed writer transaction
+// (0 = ⊥). Ids are positive integers.
+#pragma once
+
+#include <istream>
+#include <ostream>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "model/transaction.hpp"
+
+namespace crooks::report {
+
+struct Observations {
+  model::TransactionSet txns;
+  std::unordered_map<Key, std::vector<TxnId>> version_order;  // may be empty
+
+  bool has_version_order() const { return !version_order.empty(); }
+};
+
+/// Parse the format above. Throws std::invalid_argument with a line-numbered
+/// message on malformed input.
+Observations parse_observations(std::istream& in);
+Observations parse_observations(const std::string& text);
+
+/// Serialize; parse(write(x)) reconstructs x exactly.
+void write_observations(std::ostream& out, const Observations& obs);
+std::string to_text(const Observations& obs);
+
+}  // namespace crooks::report

@@ -1,0 +1,123 @@
+#include "store/runner.hpp"
+
+#include <stdexcept>
+
+#include "common/rng.hpp"
+
+namespace crooks::store {
+
+namespace {
+
+struct InFlight {
+  TxnId id{};
+  std::size_t intent = 0;
+  std::size_t step = 0;
+  int retries_left = 0;
+  Timestamp priority = kNoTimestamp;  // original wait-die seniority
+};
+
+struct Pending {
+  std::size_t intent = 0;
+  int retries_left = 0;
+  Timestamp priority = kNoTimestamp;
+};
+
+}  // namespace
+
+RunResult run(const std::vector<TxnIntent>& intents, const RunOptions& options) {
+  Store store(options.mode);
+  Rng rng(options.seed);
+  const std::size_t concurrency =
+      options.mode == CCMode::kSerial ? 1 : std::max<std::size_t>(1, options.concurrency);
+
+  std::vector<Pending> pending;
+  for (std::size_t i = intents.size(); i-- > 0;) {
+    pending.push_back({i, options.retries, kNoTimestamp});
+  }
+  std::vector<InFlight> inflight;
+  std::size_t blocked_steps = 0;
+  std::size_t consecutive_blocked = 0;
+
+  auto admit = [&]() {
+    while (inflight.size() < concurrency && !pending.empty()) {
+      const Pending p = pending.back();
+      pending.pop_back();
+      const TxnIntent& intent = intents[p.intent];
+      const TxnId id = store.begin(intent.session, intent.site, p.priority);
+      inflight.push_back({id, p.intent, 0, p.retries_left, store.priority_of(id)});
+    }
+  };
+
+  auto handle_abort = [&](std::size_t slot) {
+    const InFlight f = inflight[slot];
+    inflight.erase(inflight.begin() + static_cast<std::ptrdiff_t>(slot));
+    if (f.retries_left > 0) {
+      // Retry with the original seniority so the intent ages toward the
+      // front of every wait-die conflict instead of starving — but requeue
+      // at the back of the admission order (pending admits from the back),
+      // so a died transaction backs off instead of re-colliding immediately.
+      pending.insert(pending.begin(), {f.intent, f.retries_left - 1, f.priority});
+    }
+  };
+
+  admit();
+  while (!inflight.empty()) {
+    const std::size_t slot = rng.below(inflight.size());
+    InFlight& f = inflight[slot];
+    const TxnIntent& intent = intents[f.intent];
+
+    // Wound-wait can abort a transaction from another transaction's step;
+    // notice the kill before trying to drive the victim further.
+    if (!store.is_active(f.id)) {
+      consecutive_blocked = 0;
+      handle_abort(slot);
+      admit();
+      continue;
+    }
+
+    if (options.injected_abort_prob > 0 && rng.chance(options.injected_abort_prob)) {
+      store.abort(f.id);
+      handle_abort(slot);
+      admit();
+      continue;
+    }
+
+    StepStatus status;
+    if (f.step < intent.steps.size()) {
+      const TxnIntent::Step& s = intent.steps[f.step];
+      status = s.is_read ? store.read(f.id, s.key).status : store.write(f.id, s.key);
+      if (status == StepStatus::kOk) ++f.step;
+    } else {
+      status = store.commit(f.id);
+    }
+
+    switch (status) {
+      case StepStatus::kOk:
+        consecutive_blocked = 0;
+        if (f.step > intent.steps.size() || !store.is_active(f.id)) {
+          // committed (commit returns kOk only on success)
+        }
+        if (!store.is_active(f.id)) {
+          inflight.erase(inflight.begin() + static_cast<std::ptrdiff_t>(slot));
+        }
+        break;
+      case StepStatus::kBlocked:
+        ++blocked_steps;
+        if (++consecutive_blocked > 100000) {
+          throw std::logic_error("scheduler livelock: all transactions blocked");
+        }
+        break;
+      case StepStatus::kAborted:
+        consecutive_blocked = 0;
+        handle_abort(slot);
+        break;
+    }
+    admit();
+  }
+
+  RunResult result{store.history(), store.observations(), store.version_order(),
+                   store.committed_count(), store.aborted_count(), blocked_steps};
+  return result;
+}
+
+}  // namespace crooks::store

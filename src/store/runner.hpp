@@ -1,0 +1,60 @@
+// Deterministic concurrent workload runner.
+//
+// Drives a Store through a seeded random interleaving of transaction
+// intents, with optional failure injection (spontaneous aborts) and
+// bounded retries. The runner is the bridge from workloads to histories:
+// every experiment that needs "a run of the store at isolation level X"
+// goes through here, and identical (intents, options) pairs produce
+// identical histories bit-for-bit.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "store/store.hpp"
+
+namespace crooks::store {
+
+/// What a transaction intends to do; the store decides what its reads see.
+struct TxnIntent {
+  struct Step {
+    bool is_read = true;
+    Key key{};
+  };
+  std::vector<Step> steps;
+  SessionId session = kNoSession;
+  SiteId site{0};
+
+  TxnIntent& read(Key k) {
+    steps.push_back({true, k});
+    return *this;
+  }
+  TxnIntent& read(std::uint64_t k) { return read(Key{k}); }
+  TxnIntent& write(Key k) {
+    steps.push_back({false, k});
+    return *this;
+  }
+  TxnIntent& write(std::uint64_t k) { return write(Key{k}); }
+};
+
+struct RunOptions {
+  CCMode mode = CCMode::kSnapshotIsolation;
+  std::uint64_t seed = 1;
+  std::size_t concurrency = 4;     // max in-flight transactions (Serial forces 1)
+  double injected_abort_prob = 0;  // per-step probability of a crash-abort
+  int retries = 0;                 // re-run aborted intents (fresh txn id)
+};
+
+struct RunResult {
+  adya::History history;
+  model::TransactionSet observations;
+  std::unordered_map<Key, std::vector<TxnId>> version_order;
+  std::size_t committed = 0;
+  std::size_t aborted = 0;        // counts every abort, including retried ones
+  std::size_t blocked_steps = 0;  // lock waits observed (2PL)
+};
+
+RunResult run(const std::vector<TxnIntent>& intents, const RunOptions& options);
+
+}  // namespace crooks::store

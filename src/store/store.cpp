@@ -1,0 +1,315 @@
+#include "store/store.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <stdexcept>
+
+namespace crooks::store {
+
+ct::IsolationLevel contract_of(CCMode m) {
+  switch (m) {
+    case CCMode::kSerial:
+    case CCMode::kTwoPhaseLocking:
+    case CCMode::kWoundWait: return ct::IsolationLevel::kStrictSerializable;
+    case CCMode::kSnapshotIsolation: return ct::IsolationLevel::kAnsiSI;
+    case CCMode::kReadAtomic: return ct::IsolationLevel::kReadAtomic;
+    case CCMode::kReadCommitted: return ct::IsolationLevel::kReadCommitted;
+    case CCMode::kReadUncommitted: return ct::IsolationLevel::kReadUncommitted;
+  }
+  return ct::IsolationLevel::kReadUncommitted;
+}
+
+TxnId Store::begin(SessionId session, SiteId site, Timestamp priority) {
+  const TxnId id{next_id_++};
+  ActiveTxn t;
+  t.session = session;
+  t.site = site;
+  t.start_ts = tick();
+  t.priority = priority == kNoTimestamp ? t.start_ts : priority;
+  if (mode_ == CCMode::kSnapshotIsolation) t.snapshot = t.start_ts;
+  active_.emplace(id, std::move(t));
+  return id;
+}
+
+const Store::VersionRec* Store::latest_committed(Key k, Timestamp at_most) const {
+  auto it = versions_.find(k);
+  if (it == versions_.end()) return nullptr;
+  const VersionRec* best = nullptr;
+  for (const VersionRec& v : it->second) {
+    if (v.aborted || v.commit_ts == kNoTimestamp) continue;
+    if (v.commit_ts > at_most) continue;
+    if (best == nullptr || v.commit_ts > best->commit_ts) best = &v;
+  }
+  return best;
+}
+
+ReadResult Store::read(TxnId id, Key k) {
+  auto it = active_.find(id);
+  if (it == active_.end()) throw std::logic_error("read on inactive transaction");
+  ActiveTxn& t = it->second;
+
+  // Read-your-own-writes, in every mode.
+  if (t.write_set.contains(k) || t.dirty.contains(k)) {
+    t.events.push_back({adya::EventType::kRead, k, adya::Version{id, 1}});
+    return {StepStatus::kOk, model::Value{id}};
+  }
+
+  if (mode_ == CCMode::kTwoPhaseLocking || mode_ == CCMode::kWoundWait) {
+    if (!acquire_lock(t, id, k, /*exclusive=*/false)) {
+      // Wait-die: acquire_lock aborts the transaction when it must die.
+      return active_.contains(id) ? ReadResult{StepStatus::kBlocked, {}}
+                                  : ReadResult{StepStatus::kAborted, {}};
+    }
+  }
+
+  return read_version(t, k);
+}
+
+ReadResult Store::read_version(ActiveTxn& t, Key k) {
+  TxnId observed = kInitTxn;
+
+  if (mode_ == CCMode::kReadUncommitted) {
+    // Newest non-aborted write, committed or not (dirty reads allowed).
+    auto it = versions_.find(k);
+    const VersionRec* best = nullptr;
+    if (it != versions_.end()) {
+      for (const VersionRec& v : it->second) {
+        if (v.aborted) continue;
+        if (best == nullptr || v.created_ts > best->created_ts) best = &v;
+      }
+    }
+    if (best != nullptr) observed = best->writer;
+  } else {
+    const Timestamp bound = mode_ == CCMode::kSnapshotIsolation
+                                ? t.snapshot
+                                : std::numeric_limits<Timestamp>::max();
+    const VersionRec* v = latest_committed(k, bound);
+    if (v != nullptr) observed = v->writer;
+  }
+
+  t.events.push_back({adya::EventType::kRead, k, adya::Version{observed, 1}});
+  return {StepStatus::kOk, model::Value{observed}};
+}
+
+StepStatus Store::write(TxnId id, Key k) {
+  auto it = active_.find(id);
+  if (it == active_.end()) throw std::logic_error("write on inactive transaction");
+  ActiveTxn& t = it->second;
+  if (t.write_set.contains(k) || t.dirty.contains(k)) {
+    throw std::invalid_argument("a transaction writes a key at most once (§3)");
+  }
+
+  if (mode_ == CCMode::kTwoPhaseLocking || mode_ == CCMode::kWoundWait) {
+    if (!acquire_lock(t, id, k, /*exclusive=*/true)) {
+      return active_.contains(id) ? StepStatus::kBlocked : StepStatus::kAborted;
+    }
+  }
+
+  t.events.push_back({adya::EventType::kWrite, k, adya::Version{id, 1}});
+  if (mode_ == CCMode::kReadUncommitted) {
+    // Publish immediately: other transactions may dirty-read it.
+    auto& vs = versions_[k];
+    vs.push_back({id, kNoTimestamp, /*aborted=*/false, tick()});
+    t.dirty.emplace(k, vs.size() - 1);
+  } else {
+    t.write_set.insert(k);
+  }
+  return StepStatus::kOk;
+}
+
+bool Store::acquire_lock(ActiveTxn& t, TxnId id, Key k, bool exclusive) {
+  LockState& l = locks_[k];
+  const bool have_s = l.s_owners.contains(id);
+  const bool have_x = l.x_owner == id;
+
+  auto conflicts = [&]() {
+    std::vector<TxnId> out;
+    if (l.x_owner != kInitTxn && l.x_owner != id) out.push_back(l.x_owner);
+    if (exclusive) {
+      for (TxnId s : l.s_owners) {
+        if (s != id) out.push_back(s);
+      }
+    }
+    return out;
+  };
+
+  const std::vector<TxnId> cs = conflicts();
+  if (cs.empty()) {
+    if (exclusive) {
+      l.x_owner = id;
+    } else if (!have_x && !have_s) {
+      l.s_owners.insert(id);
+    }
+    t.locks_held.insert(k);
+    return true;
+  }
+
+  if (mode_ == CCMode::kWoundWait) {
+    // Wound-wait: an older requester aborts ("wounds") every younger holder
+    // and takes the lock; a younger requester waits.
+    for (TxnId holder : cs) {
+      const auto hit = active_.find(holder);
+      assert(hit != active_.end());
+      if (t.priority > hit->second.priority) return false;  // wait
+    }
+    for (TxnId holder : cs) abort(holder);  // wound them all
+    if (exclusive) {
+      l.x_owner = id;
+    } else {
+      l.s_owners.insert(id);
+    }
+    t.locks_held.insert(k);
+    return true;
+  }
+
+  // Wait-die: older (smaller priority) requesters wait; younger die.
+  for (TxnId holder : cs) {
+    const auto hit = active_.find(holder);
+    assert(hit != active_.end());
+    if (t.priority > hit->second.priority) {
+      abort(id);  // die
+      return false;
+    }
+  }
+  return false;  // wait (caller sees kBlocked)
+}
+
+void Store::release_locks(ActiveTxn& t, TxnId id) {
+  for (Key k : t.locks_held) {
+    LockState& l = locks_[k];
+    if (l.x_owner == id) l.x_owner = kInitTxn;
+    l.s_owners.erase(id);
+  }
+  t.locks_held.clear();
+}
+
+StepStatus Store::commit(TxnId id) {
+  auto it = active_.find(id);
+  if (it == active_.end()) throw std::logic_error("commit on inactive transaction");
+  ActiveTxn& t = it->second;
+
+  if (mode_ == CCMode::kSnapshotIsolation) {
+    // First-committer-wins: abort if any written key gained a committed
+    // version after our snapshot.
+    for (Key k : t.write_set) {
+      auto vit = versions_.find(k);
+      if (vit == versions_.end()) continue;
+      for (const VersionRec& v : vit->second) {
+        if (!v.aborted && v.commit_ts != kNoTimestamp && v.commit_ts > t.snapshot) {
+          abort(id);
+          return StepStatus::kAborted;
+        }
+      }
+    }
+  }
+
+  if (mode_ == CCMode::kReadAtomic) {
+    // RAMP-style read repair: a transaction's final observed values must be
+    // pairwise atomic. If an observed writer also wrote another key we read,
+    // upgrade that read to the writer's (or a newer observed) version.
+    // Fixpoint: versions only move forward.
+    auto commit_ts_of = [&](Key k, TxnId w) -> Timestamp {
+      if (w == kInitTxn) return -1;
+      for (const VersionRec& v : versions_.at(k)) {
+        if (v.writer == w && !v.aborted && v.commit_ts != kNoTimestamp) {
+          return v.commit_ts;
+        }
+      }
+      return -1;
+    };
+    auto wrote = [&](TxnId w, Key k) {
+      auto vit = versions_.find(k);
+      if (vit == versions_.end()) return false;
+      for (const VersionRec& v : vit->second) {
+        if (v.writer == w && !v.aborted && v.commit_ts != kNoTimestamp) return true;
+      }
+      return false;
+    };
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (const adya::Event& e1 : t.events) {
+        if (e1.type != adya::EventType::kRead || e1.version.writer == id) continue;
+        const TxnId w1 = e1.version.writer;
+        if (w1 == kInitTxn) continue;
+        for (adya::Event& e2 : t.events) {
+          if (e2.type != adya::EventType::kRead || e2.version.writer == id) continue;
+          if (e2.key == e1.key || !wrote(w1, e2.key)) continue;
+          if (commit_ts_of(e2.key, w1) > commit_ts_of(e2.key, e2.version.writer)) {
+            e2.version.writer = w1;
+            changed = true;
+          }
+        }
+      }
+    }
+  }
+
+  // Install buffered writes at a single commit point.
+  const Timestamp cts = tick();
+  for (Key k : t.write_set) {
+    versions_[k].push_back({id, cts, /*aborted=*/false, cts});
+  }
+  for (auto& [k, idx] : t.dirty) {  // RU: mark the published versions committed
+    versions_[k][idx].commit_ts = cts;
+  }
+  release_locks(t, id);
+
+  ActiveTxn done = std::move(t);
+  active_.erase(id);
+  finish(id, std::move(done), /*committed=*/true, cts);
+  return StepStatus::kOk;
+}
+
+void Store::abort(TxnId id) {
+  auto it = active_.find(id);
+  if (it == active_.end()) return;  // already finished
+  ActiveTxn& t = it->second;
+  for (auto& [k, idx] : t.dirty) versions_[k][idx].aborted = true;
+  release_locks(t, id);
+  ActiveTxn done = std::move(t);
+  active_.erase(id);
+  finish(id, std::move(done), /*committed=*/false, kNoTimestamp);
+}
+
+void Store::finish(TxnId id, ActiveTxn&& t, bool committed, Timestamp commit_ts) {
+  adya::HistTxn h;
+  h.id = id;
+  h.committed = committed;
+  h.session = t.session;
+  h.site = t.site;
+  h.start_ts = t.start_ts;
+  h.commit_ts = commit_ts;
+  h.events = std::move(t.events);
+  finished_.push_back(std::move(h));
+  (committed ? committed_ : aborted_)++;
+}
+
+adya::History Store::history() const {
+  if (!active_.empty()) {
+    throw std::logic_error("exporting a history with transactions still active");
+  }
+  return adya::History(finished_, version_order());
+}
+
+std::unordered_map<Key, std::vector<TxnId>> Store::version_order() const {
+  // Install order per key = commit-timestamp order of committed versions.
+  std::unordered_map<Key, std::vector<std::pair<Timestamp, TxnId>>> tmp;
+  for (const auto& [k, vs] : versions_) {
+    for (const VersionRec& v : vs) {
+      if (!v.aborted && v.commit_ts != kNoTimestamp) tmp[k].emplace_back(v.commit_ts, v.writer);
+    }
+  }
+  std::unordered_map<Key, std::vector<TxnId>> out;
+  for (auto& [k, vs] : tmp) {
+    std::sort(vs.begin(), vs.end());
+    auto& order = out[k];
+    order.reserve(vs.size());
+    for (auto& [ts, id] : vs) order.push_back(id);
+  }
+  return out;
+}
+
+model::TransactionSet Store::observations() const { return adya::to_observations(history()); }
+
+}  // namespace crooks::store

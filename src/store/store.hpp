@@ -1,0 +1,166 @@
+// A single-node multiversion transactional key-value store with pluggable
+// concurrency control.
+//
+// The store is the test substrate for the checker: each CC mode targets one
+// isolation level, and every run exports BOTH the low-level Adya history
+// (with aborted transactions and the authoritative version order) and the
+// client observations (a model::TransactionSet). This turns each equivalence
+// theorem into an executable property: the phenomena verdict on the history
+// must agree with the checker verdict on the observations.
+//
+// Modes and the guarantee they aim for:
+//   kSerial            strict serializability (one transaction at a time)
+//   kTwoPhaseLocking   strict serializability (S/X locks, wait-die)
+//   kSnapshotIsolation ANSI SI (begin-time snapshot, first-committer-wins)
+//   kReadAtomic        read atomic (RAMP-style read repair)
+//   kReadCommitted     read committed (latest committed version per read)
+//   kReadUncommitted   read uncommitted (dirty reads allowed)
+//
+// The store is driven step-by-step through an explicit handle API, so an
+// external scheduler fully controls the interleaving (see runner.hpp).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "adya/history.hpp"
+#include "committest/levels.hpp"
+#include "common/ids.hpp"
+#include "model/transaction.hpp"
+
+namespace crooks::store {
+
+enum class CCMode : std::uint8_t {
+  kSerial,
+  kTwoPhaseLocking,  // S/X locks, wait-die (younger requesters abort)
+  kWoundWait,        // S/X locks, wound-wait (older requesters abort holders)
+  kSnapshotIsolation,
+  kReadAtomic,
+  kReadCommitted,
+  kReadUncommitted,
+};
+
+constexpr std::string_view name_of(CCMode m) {
+  switch (m) {
+    case CCMode::kSerial: return "Serial";
+    case CCMode::kTwoPhaseLocking: return "TwoPhaseLocking";
+    case CCMode::kWoundWait: return "WoundWait";
+    case CCMode::kSnapshotIsolation: return "SnapshotIsolation";
+    case CCMode::kReadAtomic: return "ReadAtomic";
+    case CCMode::kReadCommitted: return "ReadCommitted";
+    case CCMode::kReadUncommitted: return "ReadUncommitted";
+  }
+  return "?";
+}
+
+/// The isolation level a CC mode is designed to provide (its contract).
+ct::IsolationLevel contract_of(CCMode m);
+
+/// Result of a single read/write/commit step.
+enum class StepStatus : std::uint8_t {
+  kOk,       // step performed
+  kBlocked,  // waiting on a lock — retry later (2PL only)
+  kAborted,  // the transaction died (wait-die victim, SI conflict, injected)
+};
+
+struct ReadResult {
+  StepStatus status = StepStatus::kOk;
+  model::Value value;  // valid iff status == kOk
+};
+
+class Store {
+ public:
+  explicit Store(CCMode mode) : mode_(mode) {}
+
+  CCMode mode() const { return mode_; }
+
+  /// Begin a transaction. Ids are assigned by the store (monotonically,
+  /// starting at 1) so they never collide with kInitTxn.
+  ///
+  /// `priority` is the wait-die seniority: retried transactions pass their
+  /// original priority so they age instead of starving (the classic
+  /// restart-with-original-timestamp rule). Defaults to the start time.
+  TxnId begin(SessionId session = kNoSession, SiteId site = SiteId{0},
+              Timestamp priority = kNoTimestamp);
+
+  /// Wait-die seniority of an active transaction (for retry bookkeeping).
+  Timestamp priority_of(TxnId txn) const { return active_.at(txn).priority; }
+
+  /// Read `k`. On kOk the observed value is returned and recorded.
+  ReadResult read(TxnId txn, Key k);
+
+  /// Buffer (or, under RU, immediately publish) a write of `k`.
+  StepStatus write(TxnId txn, Key k);
+
+  /// Try to commit. kOk on success; kAborted if certification failed.
+  StepStatus commit(TxnId txn);
+
+  /// Abort explicitly (also used for failure injection).
+  void abort(TxnId txn);
+
+  bool is_active(TxnId txn) const { return active_.contains(txn); }
+
+  // --- export ---------------------------------------------------------------
+
+  /// Full low-level history (committed + aborted, authoritative version order).
+  adya::History history() const;
+
+  /// Client observations: committed transactions with the values their reads
+  /// returned and the store's real start/commit timestamps.
+  model::TransactionSet observations() const;
+
+  /// The per-key install order (authoritative version order), for CheckOptions.
+  std::unordered_map<Key, std::vector<TxnId>> version_order() const;
+
+  std::size_t committed_count() const { return committed_; }
+  std::size_t aborted_count() const { return aborted_; }
+
+ private:
+  struct VersionRec {
+    TxnId writer{};
+    Timestamp commit_ts = kNoTimestamp;  // kNoTimestamp while pending
+    bool aborted = false;
+    Timestamp created_ts = kNoTimestamp;  // when the write was published
+  };
+
+  struct LockState {
+    TxnId x_owner = kInitTxn;                 // kInitTxn = unlocked
+    std::unordered_set<TxnId> s_owners;
+  };
+
+  struct ActiveTxn {
+    SessionId session = kNoSession;
+    SiteId site{};
+    Timestamp start_ts = kNoTimestamp;
+    Timestamp priority = kNoTimestamp;        // wait-die seniority
+    Timestamp snapshot = kNoTimestamp;        // SI: begin-time snapshot
+    std::vector<adya::Event> events;          // executed ops, in order
+    std::unordered_map<Key, std::size_t> dirty;  // RU: key -> version index
+    std::unordered_set<Key> write_set;        // buffered writes
+    std::unordered_set<Key> locks_held;       // 2PL
+  };
+
+  Timestamp tick() { return ++clock_; }
+
+  const VersionRec* latest_committed(Key k, Timestamp at_most) const;
+  ReadResult read_version(ActiveTxn& t, Key k);
+  bool acquire_lock(ActiveTxn& t, TxnId id, Key k, bool exclusive);
+  void release_locks(ActiveTxn& t, TxnId id);
+  void finish(TxnId id, ActiveTxn&& t, bool committed, Timestamp commit_ts);
+
+  CCMode mode_;
+  Timestamp clock_ = 0;
+  std::uint64_t next_id_ = 1;
+  std::unordered_map<Key, std::vector<VersionRec>> versions_;
+  std::unordered_map<Key, LockState> locks_;
+  std::unordered_map<TxnId, ActiveTxn> active_;
+  std::vector<adya::HistTxn> finished_;
+  std::size_t committed_ = 0;
+  std::size_t aborted_ = 0;
+};
+
+}  // namespace crooks::store

@@ -1,0 +1,88 @@
+#include "workload/observations.hpp"
+
+#include <algorithm>
+
+namespace crooks::wl {
+
+FuzzedObservations fuzz_observations(std::uint64_t seed,
+                                     const ObservationFuzzOptions& opts) {
+  Rng rng(seed);
+
+  // Phase 1: decide every transaction's write set, so reads can observe any
+  // writer — earlier or later (the checker must figure out whether an
+  // execution ordering them exists).
+  std::vector<std::vector<Key>> writes(opts.transactions);
+  std::unordered_map<Key, std::vector<TxnId>> writers_of;
+  for (std::size_t i = 0; i < opts.transactions; ++i) {
+    const std::size_t n = rng.below(opts.max_writes + 1);
+    std::vector<bool> used(opts.keys, false);
+    for (std::size_t w = 0; w < n; ++w) {
+      const std::uint64_t k = rng.below(opts.keys);
+      if (used[k]) continue;
+      used[k] = true;
+      writes[i].push_back(Key{k});
+      writers_of[Key{k}].push_back(TxnId{i + 1});
+    }
+  }
+
+  // Phase 2: reads.
+  std::vector<model::Transaction> txns;
+  txns.reserve(opts.transactions);
+  Timestamp clock = 0;
+  for (std::size_t i = 0; i < opts.transactions; ++i) {
+    const TxnId id{i + 1};
+    std::vector<model::Operation> ops;
+    std::vector<bool> read_used(opts.keys, false);
+
+    const std::size_t n_reads = rng.below(opts.max_reads + 1);
+    for (std::size_t r = 0; r < n_reads; ++r) {
+      const std::uint64_t kv = rng.below(opts.keys);
+      if (read_used[kv]) continue;
+      read_used[kv] = true;
+      const Key k{kv};
+
+      TxnId observed = kInitTxn;
+      if (rng.chance(opts.p_dangling)) {
+        observed = TxnId{1000 + rng.below(100)};
+      } else {
+        const auto it = writers_of.find(k);
+        if (it != writers_of.end() && !it->second.empty() && rng.chance(0.8)) {
+          observed = it->second[rng.below(it->second.size())];
+          if (observed == id) observed = kInitTxn;  // own writes handled below
+        }
+      }
+      if (rng.chance(opts.p_phantom) && observed != kInitTxn) {
+        ops.push_back(model::Operation::read_intermediate(k, observed));
+      } else {
+        ops.push_back(model::Operation::read(k, observed));
+      }
+    }
+    for (Key k : writes[i]) ops.push_back(model::Operation::write(k, id));
+
+    const SessionId session =
+        opts.sessions == 0
+            ? kNoSession
+            : SessionId{static_cast<std::uint32_t>(rng.below(opts.sessions))};
+    Timestamp start = kNoTimestamp, commit = kNoTimestamp;
+    if (opts.with_timestamps) {
+      start = clock + static_cast<Timestamp>(rng.below(3));
+      commit = start + 1 + static_cast<Timestamp>(rng.below(5));
+      clock = std::max(clock, commit - static_cast<Timestamp>(rng.below(4)));
+      ++clock;
+    }
+    txns.emplace_back(id, std::move(ops), session, SiteId{0}, start, commit);
+  }
+
+  // Random (but syntactically valid) install orders.
+  FuzzedObservations out{model::TransactionSet(std::move(txns)), {}};
+  for (auto& [key, ws] : writers_of) {
+    std::vector<TxnId> order = ws;
+    for (std::size_t i = order.size(); i > 1; --i) {
+      std::swap(order[i - 1], order[rng.below(i)]);
+    }
+    out.version_order.emplace(key, std::move(order));
+  }
+  return out;
+}
+
+}  // namespace crooks::wl

@@ -1,0 +1,39 @@
+// Random client-observation generator — adversarial inputs for the checker.
+//
+// Unlike store runs (which are always *some* system's real behaviour),
+// these observation sets are arbitrary: reads may observe later writers,
+// unknown writers (G1a shapes), or phantom values (G1b shapes). They fuzz
+// the checker's engines, which must stay mutually consistent on any input.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "model/transaction.hpp"
+
+namespace crooks::wl {
+
+struct ObservationFuzzOptions {
+  std::size_t transactions = 6;
+  std::size_t keys = 4;
+  std::size_t max_reads = 3;
+  std::size_t max_writes = 2;
+  double p_dangling = 0.05;  // read names a writer outside the set
+  double p_phantom = 0.05;   // read is marked phantom
+  bool with_timestamps = true;
+  std::uint32_t sessions = 2;  // 0 = none
+};
+
+struct FuzzedObservations {
+  model::TransactionSet txns;
+  /// A syntactically valid install order (a random permutation of each
+  /// key's writers) — usable as a CheckOptions::version_order restriction.
+  std::unordered_map<Key, std::vector<TxnId>> version_order;
+};
+
+FuzzedObservations fuzz_observations(std::uint64_t seed,
+                                     const ObservationFuzzOptions& opts = {});
+
+}  // namespace crooks::wl

@@ -1,0 +1,66 @@
+#include "workload/workload.hpp"
+
+#include <unordered_set>
+
+#include "workload/zipf.hpp"
+
+namespace crooks::wl {
+
+std::vector<store::TxnIntent> generate_mix(const MixOptions& opts) {
+  Rng rng(opts.seed);
+  ZipfGenerator zipf(opts.keys, opts.zipf_theta);
+  std::vector<store::TxnIntent> intents;
+  intents.reserve(opts.transactions);
+
+  for (std::size_t i = 0; i < opts.transactions; ++i) {
+    store::TxnIntent intent;
+    if (opts.sessions > 0) {
+      intent.session = SessionId{static_cast<std::uint32_t>(i % opts.sessions)};
+    }
+    if (opts.sites > 1) {
+      intent.site = SiteId{static_cast<std::uint32_t>(i % opts.sites)};
+    }
+
+    const bool read_only = rng.chance(opts.read_only_fraction);
+    const std::size_t want_writes = read_only ? 0 : opts.writes_per_txn;
+    const std::size_t want = opts.reads_per_txn + want_writes;
+
+    // Distinct keys per transaction: reject duplicates (key spaces in every
+    // experiment are much larger than the footprint, so this terminates fast).
+    std::unordered_set<std::uint64_t> picked;
+    std::vector<std::uint64_t> keys;
+    keys.reserve(want);
+    while (keys.size() < want && picked.size() < opts.keys) {
+      const std::uint64_t k = zipf(rng);
+      if (picked.insert(k).second) keys.push_back(k);
+    }
+
+    std::size_t j = 0;
+    for (; j < opts.reads_per_txn && j < keys.size(); ++j) intent.read(keys[j]);
+    for (; j < keys.size(); ++j) intent.write(keys[j]);
+    intents.push_back(std::move(intent));
+  }
+  return intents;
+}
+
+std::vector<store::TxnIntent> banking_withdrawals(std::size_t pairs) {
+  std::vector<store::TxnIntent> intents;
+  intents.reserve(2 * pairs);
+  for (std::size_t p = 0; p < pairs; ++p) {
+    const std::uint64_t checking = 2 * p;
+    const std::uint64_t savings = 2 * p + 1;
+    // Alice: check both balances, withdraw from checking.
+    intents.push_back(store::TxnIntent{}
+                          .read(checking)
+                          .read(savings)
+                          .write(checking));
+    // Bob: check both balances, withdraw from savings.
+    intents.push_back(store::TxnIntent{}
+                          .read(checking)
+                          .read(savings)
+                          .write(savings));
+  }
+  return intents;
+}
+
+}  // namespace crooks::wl

@@ -1,0 +1,39 @@
+// Workload generators: transaction intents for the store and the
+// replication simulator.
+//
+// The paper's Figure 5 workload is generate_mix with 3 reads + 3 writes,
+// uniform over 10,000 keys. Other experiments use variations (Zipfian skew,
+// read-only fractions, session-structured clients).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "store/runner.hpp"
+
+namespace crooks::wl {
+
+struct MixOptions {
+  std::size_t transactions = 100;
+  std::size_t keys = 1000;
+  std::size_t reads_per_txn = 3;
+  std::size_t writes_per_txn = 3;
+  double zipf_theta = 0;          // 0 = uniform key choice
+  double read_only_fraction = 0;  // fraction of transactions with no writes
+  std::uint32_t sessions = 0;     // >0: assign round-robin session ids
+  std::uint32_t sites = 1;        // >0: assign round-robin site ids (PSI)
+  std::uint64_t seed = 1;
+};
+
+/// Random read/write transactions. Keys within one transaction are distinct
+/// (the model's writes-once rule) and reads precede writes of the same key.
+std::vector<store::TxnIntent> generate_mix(const MixOptions& opts);
+
+/// The Figure 3 banking scenario: `pairs` couples, each with a checking and
+/// a savings account; each couple issues two concurrent withdrawals — one
+/// reads both balances then debits checking, the other reads both then
+/// debits savings. Under SER one of each pair must observe the other; under
+/// SI both may read the stale snapshot (write skew).
+std::vector<store::TxnIntent> banking_withdrawals(std::size_t pairs);
+
+}  // namespace crooks::wl

@@ -1,0 +1,55 @@
+// Zipfian key sampler (Gray et al., "Quickly generating billion-record
+// synthetic databases"), the standard skewed-access model for transactional
+// benchmarks. theta = 0 degenerates to uniform.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace crooks::wl {
+
+class ZipfGenerator {
+ public:
+  ZipfGenerator(std::uint64_t n, double theta) : n_(n), theta_(theta) {
+    if (n == 0) throw std::invalid_argument("empty key space");
+    if (theta < 0 || theta >= 1.0) {
+      throw std::invalid_argument("theta must be in [0, 1)");
+    }
+    if (theta > 0) {
+      zetan_ = zeta(n, theta);
+      const double zeta2 = zeta(2, theta);
+      alpha_ = 1.0 / (1.0 - theta);
+      eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n), 1.0 - theta)) /
+             (1.0 - zeta2 / zetan_);
+    }
+  }
+
+  /// Sample a key index in [0, n).
+  std::uint64_t operator()(Rng& rng) const {
+    if (theta_ == 0) return rng.below(n_);
+    const double u = rng.uniform01();
+    const double uz = u * zetan_;
+    if (uz < 1.0) return 0;
+    if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+    const auto idx = static_cast<std::uint64_t>(
+        static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+    return idx >= n_ ? n_ - 1 : idx;
+  }
+
+ private:
+  static double zeta(std::uint64_t n, double theta) {
+    double sum = 0;
+    for (std::uint64_t i = 1; i <= n; ++i) sum += 1.0 / std::pow(static_cast<double>(i), theta);
+    return sum;
+  }
+
+  std::uint64_t n_;
+  double theta_;
+  double zetan_ = 0, alpha_ = 0, eta_ = 0;
+};
+
+}  // namespace crooks::wl

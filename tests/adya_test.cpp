@@ -1,0 +1,350 @@
+// Adya baseline: history construction, DSG edges, phenomena detection, and
+// the history↔observation bridges.
+#include <gtest/gtest.h>
+
+#include "adya/graph.hpp"
+#include "adya/history.hpp"
+#include "adya/phenomena.hpp"
+
+namespace crooks::adya {
+namespace {
+
+using ct::IsolationLevel;
+
+constexpr Key kX{0}, kY{1};
+
+TEST(History, BuilderDerivesVersionOrderFromCommitOrder) {
+  History h = HistoryBuilder()
+                  .begin(TxnId{1}, 0).write(1, 0).commit(TxnId{1}, 10)
+                  .begin(TxnId{2}, 5).write(2, 0).commit(TxnId{2}, 20)
+                  .build();
+  const auto& order = h.installers(kX);
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], TxnId{1});
+  EXPECT_EQ(order[1], TxnId{2});
+}
+
+TEST(History, ExplicitOrderOverrides) {
+  History h = HistoryBuilder()
+                  .begin(1).write(1, 0).commit(1)
+                  .begin(2).write(2, 0).commit(2)
+                  .order(kX, {TxnId{2}, TxnId{1}})
+                  .build();
+  EXPECT_EQ(h.installers(kX).front(), TxnId{2});
+}
+
+TEST(History, AbortedTransactionsExcludedFromVersionOrder) {
+  History h = HistoryBuilder()
+                  .begin(1).write(1, 0).abort(1)
+                  .begin(2).write(2, 0).commit(2)
+                  .build();
+  ASSERT_EQ(h.installers(kX).size(), 1u);
+  EXPECT_EQ(h.installers(kX)[0], TxnId{2});
+  EXPECT_FALSE(h.by_id(TxnId{1}).committed);
+}
+
+TEST(History, RejectsIncompleteVersionOrder) {
+  std::vector<HistTxn> txns(1);
+  txns[0].id = TxnId{1};
+  txns[0].committed = true;
+  txns[0].events.push_back({EventType::kWrite, kX, Version{TxnId{1}, 1}});
+  EXPECT_THROW(History(std::move(txns), {}), std::invalid_argument);
+}
+
+TEST(History, FinalWriteSeq) {
+  History h = HistoryBuilder()
+                  .begin(1).write(1, 0).write(1, 0).write(1, 1).commit(1)
+                  .build();
+  EXPECT_EQ(h.by_id(TxnId{1}).final_write_seq(kX), 2u);
+  EXPECT_EQ(h.by_id(TxnId{1}).final_write_seq(kY), 1u);
+  EXPECT_FALSE(h.by_id(TxnId{1}).final_write_seq(Key{9}).has_value());
+}
+
+TEST(Dsg, EdgesOfASimpleChain) {
+  // T1 writes x; T2 reads x and writes x.
+  History h = HistoryBuilder()
+                  .begin(1).write(1, 0).commit(1, 10)
+                  .begin(2).read(2, 0, 1).write(2, 0).commit(2, 20)
+                  .build();
+  Dsg g(h);
+  ASSERT_EQ(g.size(), 2u);
+  bool saw_ww = false, saw_wr = false;
+  for (const Edge& e : g.edges()) {
+    if (e.kind == kWW) {
+      saw_ww = true;
+      EXPECT_EQ(g.id_of(e.from), TxnId{1});
+      EXPECT_EQ(g.id_of(e.to), TxnId{2});
+    }
+    if (e.kind == kWR) saw_wr = true;
+    EXPECT_NE(e.kind, kRW);  // T2 reads the version it itself replaces
+  }
+  EXPECT_TRUE(saw_ww);
+  EXPECT_TRUE(saw_wr);
+}
+
+TEST(Dsg, AntiDependencyFromStaleRead) {
+  // T1 reads ⊥ for x; T2 installs x: T1 --rw--> T2.
+  History h = HistoryBuilder()
+                  .begin(1).read(1, 0, 0).commit(1, 10)
+                  .begin(2).write(2, 0).commit(2, 20)
+                  .build();
+  Dsg g(h);
+  bool saw_rw = false;
+  for (const Edge& e : g.edges()) {
+    if (e.kind == kRW) {
+      saw_rw = true;
+      EXPECT_EQ(g.id_of(e.from), TxnId{1});
+      EXPECT_EQ(g.id_of(e.to), TxnId{2});
+    }
+  }
+  EXPECT_TRUE(saw_rw);
+}
+
+TEST(Dsg, CycleDetectionByMask) {
+  // ww cycle via two keys with opposing version orders.
+  History h = HistoryBuilder()
+                  .begin(1).write(1, 0).write(1, 1).commit(1)
+                  .begin(2).write(2, 0).write(2, 1).commit(2)
+                  .order(kX, {TxnId{1}, TxnId{2}})
+                  .order(kY, {TxnId{2}, TxnId{1}})
+                  .build();
+  Dsg g(h);
+  EXPECT_TRUE(g.has_cycle(kWW));
+  EXPECT_FALSE(g.find_cycle(kWW).empty());
+  EXPECT_FALSE(g.has_cycle(kWR));
+}
+
+TEST(Phenomena, G1aDirtyRead) {
+  History h = HistoryBuilder()
+                  .begin(1).write(1, 0).abort(1)
+                  .begin(2).read(2, 0, 1).commit(2)
+                  .build();
+  const Phenomena p = detect(h);
+  EXPECT_TRUE(p.g1a);
+  EXPECT_FALSE(p.g1b);
+  EXPECT_EQ(satisfies(p, IsolationLevel::kReadCommitted), Verdict::kViolated);
+  EXPECT_EQ(satisfies(p, IsolationLevel::kReadUncommitted), Verdict::kSatisfied);
+}
+
+TEST(Phenomena, G1bIntermediateRead) {
+  History h = HistoryBuilder()
+                  .begin(1).write(1, 0).write(1, 0).commit(1, 10)
+                  .begin(2).read(TxnId{2}, kX, Version{TxnId{1}, 1}).commit(2, 20)
+                  .build();
+  const Phenomena p = detect(h);
+  EXPECT_TRUE(p.g1b);
+  EXPECT_FALSE(p.g1a);
+  EXPECT_EQ(satisfies(p, IsolationLevel::kReadCommitted), Verdict::kViolated);
+}
+
+TEST(Phenomena, G1cCircularInformationFlow) {
+  // T1 reads T2's y; T2 reads T1's x: wr cycle.
+  History h = HistoryBuilder()
+                  .begin(1).write(1, 0).read(1, 1, 2).commit(1, 10)
+                  .begin(2).write(2, 1).read(2, 0, 1).commit(2, 20)
+                  .build();
+  const Phenomena p = detect(h);
+  EXPECT_TRUE(p.g1c);
+  EXPECT_FALSE(p.g0);
+  EXPECT_EQ(satisfies(p, IsolationLevel::kReadCommitted), Verdict::kViolated);
+  EXPECT_EQ(satisfies(p, IsolationLevel::kReadUncommitted), Verdict::kSatisfied);
+}
+
+TEST(Phenomena, WriteSkewIsG2NotGSingle) {
+  History h = HistoryBuilder()
+                  .begin(1, 0).read(1, 0, 0).read(1, 1, 0).write(1, 0).commit(1, 10)
+                  .begin(2, 1).read(2, 0, 0).read(2, 1, 0).write(2, 1).commit(2, 11)
+                  .build();
+  const Phenomena p = detect(h);
+  EXPECT_TRUE(p.g2);
+  EXPECT_FALSE(p.g_single);  // the only cycle has two anti-dependency edges
+  EXPECT_FALSE(p.g1());
+  EXPECT_EQ(satisfies(p, IsolationLevel::kSerializable), Verdict::kViolated);
+  EXPECT_EQ(satisfies(p, IsolationLevel::kPSI), Verdict::kSatisfied);
+  ASSERT_TRUE(p.g_si_a.has_value());
+  EXPECT_FALSE(*p.g_si_a);
+  EXPECT_FALSE(*p.g_si_b);
+  EXPECT_EQ(satisfies(p, IsolationLevel::kAnsiSI), Verdict::kSatisfied);
+}
+
+TEST(Phenomena, LostUpdateIsGSingle) {
+  // Both read x=⊥ and write x: T2 --rw--> T1? No — T2's stale read
+  // anti-depends on the *first* installer T1, and T1 --ww--> T2 closes a
+  // cycle with exactly one anti-dependency edge.
+  History h = HistoryBuilder()
+                  .begin(1, 0).read(1, 0, 0).write(1, 0).commit(1, 10)
+                  .begin(2, 1).read(2, 0, 0).write(2, 0).commit(2, 11)
+                  .build();
+  const Phenomena p = detect(h);
+  EXPECT_TRUE(p.g_single);
+  EXPECT_TRUE(p.g2);
+  EXPECT_EQ(satisfies(p, IsolationLevel::kPSI), Verdict::kViolated);
+  EXPECT_EQ(satisfies(p, IsolationLevel::kAnsiSI), Verdict::kViolated);
+  EXPECT_EQ(satisfies(p, IsolationLevel::kReadCommitted), Verdict::kSatisfied);
+}
+
+TEST(Phenomena, FracturedRead) {
+  History h = HistoryBuilder()
+                  .begin(1).write(1, 0).write(1, 1).commit(1, 10)
+                  .begin(2).read(2, 0, 1).read(2, 1, 0).commit(2, 20)
+                  .build();
+  const Phenomena p = detect(h);
+  EXPECT_TRUE(p.fractured);
+  EXPECT_FALSE(p.g1());
+  EXPECT_EQ(satisfies(p, IsolationLevel::kReadAtomic), Verdict::kViolated);
+  EXPECT_EQ(satisfies(p, IsolationLevel::kReadCommitted), Verdict::kSatisfied);
+}
+
+TEST(Phenomena, RealTimeCycleForStrictSer) {
+  // T1 reads T2's write although T2 starts after T1 commits: wr edge T2→T1
+  // plus real-time edge T1→T2 form a cycle. (This history is G1-free only
+  // in the Adya sense if the read is of an installed version — it is.)
+  History h = HistoryBuilder()
+                  .begin(1, 0).read(1, 0, 2).commit(1, 10)
+                  .begin(2, 20).write(2, 0).commit(2, 30)
+                  .build();
+  const Phenomena p = detect(h);
+  ASSERT_TRUE(p.rt_cycle.has_value());
+  EXPECT_TRUE(*p.rt_cycle);
+  EXPECT_EQ(satisfies(p, IsolationLevel::kStrictSerializable), Verdict::kViolated);
+  EXPECT_EQ(satisfies(p, IsolationLevel::kSerializable), Verdict::kSatisfied);
+}
+
+TEST(Phenomena, TimestamplessHistoriesMakeTimedLevelsInapplicable) {
+  History h = HistoryBuilder().begin(1).write(1, 0).commit(1).build();
+  const Phenomena p = detect(h);
+  EXPECT_FALSE(p.g_si_a.has_value());
+  EXPECT_EQ(satisfies(p, IsolationLevel::kAdyaSI), Verdict::kInapplicable);
+  EXPECT_EQ(satisfies(p, IsolationLevel::kStrictSerializable), Verdict::kInapplicable);
+  EXPECT_EQ(satisfies(p, IsolationLevel::kSessionSI), Verdict::kInapplicable);
+}
+
+TEST(Explain, NamesPhenomenonAndCycle) {
+  // Lost update: G-Single cycle T2 -rw-> T1 -ww-> T2.
+  History h = HistoryBuilder()
+                  .begin(1, 0).read(1, 0, 0).write(1, 0).commit(1, 10)
+                  .begin(2, 1).read(2, 0, 0).write(2, 0).commit(2, 11)
+                  .build();
+  const std::string psi = explain_violation(h, IsolationLevel::kPSI);
+  EXPECT_NE(psi.find("G-Single"), std::string::npos) << psi;
+  EXPECT_NE(psi.find("T1"), std::string::npos);
+  EXPECT_NE(psi.find("T2"), std::string::npos);
+  const std::string ser = explain_violation(h, IsolationLevel::kSerializable);
+  EXPECT_NE(ser.find("G2"), std::string::npos) << ser;
+  // Satisfied levels yield an empty explanation.
+  EXPECT_TRUE(explain_violation(h, IsolationLevel::kReadCommitted).empty());
+}
+
+TEST(Explain, DirtyAndIntermediateReads) {
+  History dirty = HistoryBuilder()
+                      .begin(1).write(1, 0).abort(1)
+                      .begin(2).read(2, 0, 1).commit(2)
+                      .build();
+  EXPECT_NE(explain_violation(dirty, IsolationLevel::kReadCommitted).find("G1a"),
+            std::string::npos);
+
+  History mid = HistoryBuilder()
+                    .begin(1).write(1, 0).write(1, 0).commit(1, 10)
+                    .begin(2).read(TxnId{2}, kX, Version{TxnId{1}, 1}).commit(2, 20)
+                    .build();
+  EXPECT_NE(explain_violation(mid, IsolationLevel::kSerializable).find("G1b"),
+            std::string::npos);
+}
+
+TEST(Dsg, FindCycleWithExactlyOneAntiDependency) {
+  History h = HistoryBuilder()
+                  .begin(1, 0).read(1, 0, 0).write(1, 0).commit(1, 10)
+                  .begin(2, 1).read(2, 0, 0).write(2, 0).commit(2, 11)
+                  .build();
+  Dsg g(h);
+  const std::vector<TxnId> cycle = g.find_cycle_with_exactly_one(kRW, kDependency);
+  ASSERT_EQ(cycle.size(), 2u);
+  // The rw edge T2 -rw-> T1 leads; T1 -ww-> T2 closes.
+  EXPECT_EQ(cycle[0], TxnId{2});
+  EXPECT_EQ(cycle[1], TxnId{1});
+  // No such cycle among dependencies alone.
+  EXPECT_TRUE(g.find_cycle_with_exactly_one(kWR, kWR).empty());
+}
+
+TEST(Observations, RoundTripCommittedReadsWrites) {
+  History h = HistoryBuilder()
+                  .begin(1, 0).write(1, 0).commit(1, 10)
+                  .begin(2, 11).read(2, 0, 1).write(2, 1).commit(2, 20)
+                  .build();
+  model::TransactionSet obs = to_observations(h);
+  ASSERT_EQ(obs.size(), 2u);
+  const model::Transaction& t2 = obs.by_id(TxnId{2});
+  ASSERT_EQ(t2.ops().size(), 2u);
+  EXPECT_TRUE(t2.ops()[0].is_read());
+  EXPECT_EQ(t2.ops()[0].value.writer, TxnId{1});
+  EXPECT_EQ(t2.start_ts(), 11);
+  EXPECT_EQ(t2.commit_ts(), 20);
+}
+
+TEST(Observations, IntermediateWritesCollapseAndPhantomReads) {
+  History h = HistoryBuilder()
+                  .begin(1).write(1, 0).write(1, 0).commit(1, 10)
+                  .begin(2).read(TxnId{2}, kX, Version{TxnId{1}, 1}).commit(2, 20)
+                  .build();
+  model::TransactionSet obs = to_observations(h);
+  EXPECT_EQ(obs.by_id(TxnId{1}).ops().size(), 1u);  // one final write
+  const model::Operation& read = obs.by_id(TxnId{2}).ops()[0];
+  EXPECT_TRUE(read.value.phantom);
+}
+
+TEST(Observations, AbortedReadsKeepDanglingWriter) {
+  History h = HistoryBuilder()
+                  .begin(1).write(1, 0).abort(1)
+                  .begin(2).read(2, 0, 1).commit(2)
+                  .build();
+  model::TransactionSet obs = to_observations(h);
+  EXPECT_EQ(obs.size(), 1u);
+  EXPECT_FALSE(obs.contains(TxnId{1}));
+  EXPECT_EQ(obs.by_id(TxnId{2}).ops()[0].value.writer, TxnId{1});
+}
+
+TEST(Observations, OwnReadsDropped) {
+  History h = HistoryBuilder()
+                  .begin(1).write(1, 0).read(1, 0, 1).commit(1)
+                  .build();
+  model::TransactionSet obs = to_observations(h);
+  ASSERT_EQ(obs.by_id(TxnId{1}).ops().size(), 1u);
+  EXPECT_TRUE(obs.by_id(TxnId{1}).ops()[0].is_write());
+}
+
+TEST(Observations, FromObservationsInvertsToObservations) {
+  History h = HistoryBuilder()
+                  .begin(1, 0).write(1, 0).commit(1, 10)
+                  .begin(2, 12).read(2, 0, 1).write(2, 0).commit(2, 20)
+                  .build();
+  model::TransactionSet obs = to_observations(h);
+  History h2 = from_observations(obs, h.version_order());
+  const Phenomena p1 = detect(h);
+  const Phenomena p2 = detect(h2);
+  for (IsolationLevel l : ct::kAllLevels) {
+    EXPECT_EQ(satisfies(p1, l), satisfies(p2, l)) << ct::name_of(l);
+  }
+}
+
+TEST(Observations, FromObservationsRejectsAmbiguousMultiWriterKeys) {
+  model::TransactionSet obs{{model::TxnBuilder(1).write(0).build(),
+                             model::TxnBuilder(2).write(0).build()}};
+  EXPECT_THROW(from_observations(obs, {}), std::invalid_argument);
+}
+
+TEST(Observations, FromObservationsPhantomBecomesG1b) {
+  model::TransactionSet obs{
+      {model::TxnBuilder(1).write(0).build(),
+       model::TxnBuilder(2).read_intermediate(Key{0}, TxnId{1}).build()}};
+  History h = from_observations(obs, {});
+  EXPECT_TRUE(detect(h).g1b);
+}
+
+TEST(Observations, FromObservationsDanglingWriterBecomesG1a) {
+  model::TransactionSet obs{{model::TxnBuilder(2).read(0, 77).build()}};
+  History h = from_observations(obs, {});
+  EXPECT_TRUE(detect(h).g1a);
+}
+
+}  // namespace
+}  // namespace crooks::adya

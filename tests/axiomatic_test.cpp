@@ -1,0 +1,133 @@
+// Theorem 10(b), executable: the state-based CT_PSI and Cerone's axiomatic
+// PSI_A — two entirely different formalisms and two entirely different
+// decision procedures — must agree on every observation set.
+#include <gtest/gtest.h>
+
+#include "adya/axiomatic.hpp"
+#include "checker/checker.hpp"
+#include "workload/observations.hpp"
+
+namespace crooks::adya {
+namespace {
+
+using model::TransactionSet;
+using model::TxnBuilder;
+
+constexpr Key kX{0}, kY{1};
+
+TEST(Axiomatic, CleanChainSatisfiable) {
+  TransactionSet txns{{
+      TxnBuilder(1).write(kX).build(),
+      TxnBuilder(2).read(kX, TxnId{1}).write(kY).build(),
+      TxnBuilder(3).read(kY, TxnId{2}).read(kX, TxnId{1}).build(),
+  }};
+  const AxiomaticResult r = check_psi_axiomatic(txns);
+  EXPECT_TRUE(r.satisfiable) << r.detail;
+}
+
+TEST(Axiomatic, LostUpdateUnsatisfiable) {
+  TransactionSet txns{{
+      TxnBuilder(1).read(kX, kInitTxn).write(kX).build(),
+      TxnBuilder(2).read(kX, kInitTxn).write(kX).build(),
+  }};
+  // NOCONFLICT VIS-orders the two writers; EXT then forces the later one to
+  // see the earlier write — but it read ⊥.
+  EXPECT_FALSE(check_psi_axiomatic(txns).satisfiable);
+}
+
+TEST(Axiomatic, WriteSkewSatisfiable) {
+  TransactionSet txns{{
+      TxnBuilder(1).read(kX, kInitTxn).read(kY, kInitTxn).write(kX).build(),
+      TxnBuilder(2).read(kX, kInitTxn).read(kY, kInitTxn).write(kY).build(),
+  }};
+  EXPECT_TRUE(check_psi_axiomatic(txns).satisfiable);
+}
+
+TEST(Axiomatic, LongForkSatisfiable) {
+  TransactionSet txns{{
+      TxnBuilder(1).write(kX).build(),
+      TxnBuilder(2).write(kY).build(),
+      TxnBuilder(3).read(kX, TxnId{1}).read(kY, kInitTxn).build(),
+      TxnBuilder(4).read(kX, kInitTxn).read(kY, TxnId{2}).build(),
+  }};
+  EXPECT_TRUE(check_psi_axiomatic(txns).satisfiable);
+}
+
+TEST(Axiomatic, CausalityViolationUnsatisfiable) {
+  TransactionSet txns{{
+      TxnBuilder(1).write(kX).build(),
+      TxnBuilder(2).read(kX, TxnId{1}).write(kY).build(),
+      TxnBuilder(3).read(kY, TxnId{2}).read(kX, kInitTxn).build(),
+  }};
+  // TRANSVIS: T3 sees T2 sees T1, so T1's x is visible — yet T3 read ⊥.
+  EXPECT_FALSE(check_psi_axiomatic(txns).satisfiable);
+}
+
+TEST(Axiomatic, DanglingAndPhantomReadsUnsatisfiable) {
+  TransactionSet dangling{{TxnBuilder(1).read(kX, TxnId{99}).build()}};
+  EXPECT_FALSE(check_psi_axiomatic(dangling).satisfiable);
+  TransactionSet phantom{{TxnBuilder(1).write(kX).build(),
+                          TxnBuilder(2).read_intermediate(kX, TxnId{1}).build()}};
+  EXPECT_FALSE(check_psi_axiomatic(phantom).satisfiable);
+}
+
+TEST(Axiomatic, RejectsOversizedSets) {
+  std::vector<model::Transaction> many;
+  for (std::uint64_t i = 1; i <= 10; ++i) many.push_back(TxnBuilder(i).write(i).build());
+  EXPECT_THROW(check_psi_axiomatic(TransactionSet(std::move(many))),
+               std::invalid_argument);
+}
+
+TEST(AxiomaticSer, MatchesClassicScenarios) {
+  TransactionSet skew{{
+      TxnBuilder(1).read(kX, kInitTxn).read(kY, kInitTxn).write(kX).build(),
+      TxnBuilder(2).read(kX, kInitTxn).read(kY, kInitTxn).write(kY).build(),
+  }};
+  EXPECT_FALSE(check_ser_axiomatic(skew).satisfiable);
+
+  TransactionSet chain{{
+      TxnBuilder(1).write(kX).build(),
+      TxnBuilder(2).read(kX, TxnId{1}).write(kY).build(),
+  }};
+  EXPECT_TRUE(check_ser_axiomatic(chain).satisfiable);
+}
+
+/// Theorem 10(b) over randomized adversarial observations: PSI_A ≡ CT_PSI,
+/// and the VIS=AR instance ≡ CT_SER.
+class AxiomaticEquivalence : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AxiomaticEquivalence, SerMatchesStateBasedChecker) {
+  wl::ObservationFuzzOptions opts;
+  opts.transactions = 6;
+  opts.keys = 3;
+  opts.with_timestamps = false;
+  const wl::FuzzedObservations f = wl::fuzz_observations(GetParam(), opts);
+
+  const bool axiomatic = check_ser_axiomatic(f.txns).satisfiable;
+  const checker::CheckResult state_based =
+      checker::check_exhaustive(ct::IsolationLevel::kSerializable, f.txns);
+  ASSERT_NE(state_based.outcome, checker::Outcome::kUnknown);
+  EXPECT_EQ(axiomatic, state_based.satisfiable()) << "seed " << GetParam();
+}
+
+TEST_P(AxiomaticEquivalence, MatchesStateBasedChecker) {
+  wl::ObservationFuzzOptions opts;
+  opts.transactions = 6;
+  opts.keys = 3;
+  opts.with_timestamps = false;
+  const wl::FuzzedObservations f = wl::fuzz_observations(GetParam(), opts);
+
+  const bool axiomatic = check_psi_axiomatic(f.txns).satisfiable;
+  const checker::CheckResult state_based =
+      checker::check_exhaustive(ct::IsolationLevel::kPSI, f.txns);
+  ASSERT_NE(state_based.outcome, checker::Outcome::kUnknown);
+  EXPECT_EQ(axiomatic, state_based.satisfiable())
+      << "seed " << GetParam() << ": PSI_A=" << axiomatic
+      << " CT_PSI=" << state_based.satisfiable();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AxiomaticEquivalence,
+                         ::testing::Range<std::uint64_t>(1, 201));
+
+}  // namespace
+}  // namespace crooks::adya

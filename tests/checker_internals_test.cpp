@@ -1,0 +1,179 @@
+// Engine-internal behaviours: version-order corner cases, candidate
+// ordering, budget accounting, heuristic fallbacks, and witness shape.
+#include <gtest/gtest.h>
+
+#include "checker/checker.hpp"
+
+namespace crooks::checker {
+namespace {
+
+using ct::IsolationLevel;
+using model::TransactionSet;
+using model::TxnBuilder;
+
+constexpr Key kX{0}, kY{1}, kZ{2};
+
+TEST(ExhaustiveInternals, PartialVersionOrderConstrainsOnlyListedKeys) {
+  // x's install order is fixed T2-then-T1; y's is unconstrained (absent).
+  TransactionSet txns{{
+      TxnBuilder(1).write(kX).build(),
+      TxnBuilder(2).write(kX).build(),
+      TxnBuilder(3).read(kX, TxnId{1}).build(),  // needs x's final = T1
+  }};
+  std::unordered_map<Key, std::vector<TxnId>> vo{{kX, {TxnId{2}, TxnId{1}}}};
+  CheckOptions opts;
+  opts.version_order = &vo;
+  // RC: T3 reads T1's x, which must still be current — with order T2,T1 it
+  // is (T1 installs last). Satisfiable.
+  EXPECT_TRUE(check_exhaustive(IsolationLevel::kReadCommitted, txns, opts).satisfiable());
+
+  std::unordered_map<Key, std::vector<TxnId>> vo2{{kX, {TxnId{1}, TxnId{2}}}};
+  CheckOptions opts2;
+  opts2.version_order = &vo2;
+  // Order T1,T2: T3 must read T1's x strictly between them; still RC-fine...
+  EXPECT_TRUE(
+      check_exhaustive(IsolationLevel::kReadCommitted, txns, opts2).satisfiable());
+  // ...but SER needs T3's parent complete: T3 between T1 and T2 works too.
+  EXPECT_TRUE(
+      check_exhaustive(IsolationLevel::kSerializable, txns, opts2).satisfiable());
+}
+
+TEST(ExhaustiveInternals, VersionOrderNamesUnknownTxnsGracefully) {
+  // Install orders may mention transactions missing from the (partial)
+  // observation set; they are simply skipped.
+  TransactionSet txns{{TxnBuilder(1).write(kX).build()}};
+  std::unordered_map<Key, std::vector<TxnId>> vo{{kX, {TxnId{77}, TxnId{1}}}};
+  CheckOptions opts;
+  opts.version_order = &vo;
+  EXPECT_TRUE(check_exhaustive(IsolationLevel::kReadCommitted, txns, opts).satisfiable());
+}
+
+TEST(ExhaustiveInternals, NodesExploredGrowsWithConflict) {
+  TransactionSet easy{{TxnBuilder(1).write(kX).build(), TxnBuilder(2).write(kY).build()}};
+  const CheckResult e = check_exhaustive(IsolationLevel::kSerializable, easy);
+  EXPECT_TRUE(e.satisfiable());
+  EXPECT_LE(e.nodes_explored, 4u);  // first path succeeds
+
+  // An unsatisfiable instance must visit the whole (pruned) tree.
+  TransactionSet hard{{
+      TxnBuilder(1).read(kX, kInitTxn).read(kY, kInitTxn).write(kX).build(),
+      TxnBuilder(2).read(kX, kInitTxn).read(kY, kInitTxn).write(kY).build(),
+  }};
+  const CheckResult h = check_exhaustive(IsolationLevel::kSerializable, hard);
+  EXPECT_TRUE(h.unsatisfiable());
+  EXPECT_GE(h.nodes_explored, 2u);
+}
+
+TEST(ExhaustiveInternals, WitnessPrefersCommitOrderWhenAvailable) {
+  TransactionSet txns{{
+      TxnBuilder(2).write(kY).at(2, 3).build(),
+      TxnBuilder(1).write(kX).at(0, 1).build(),
+      TxnBuilder(3).write(kZ).at(4, 5).build(),
+  }};
+  const CheckResult r = check_exhaustive(IsolationLevel::kSerializable, txns);
+  ASSERT_TRUE(r.satisfiable());
+  // Candidates are tried in commit order first, so the witness is sorted.
+  EXPECT_EQ(r.witness->order(), (std::vector<TxnId>{TxnId{1}, TxnId{2}, TxnId{3}}));
+}
+
+TEST(GraphInternals, HeuristicFindsWitnessWithoutVersionOrder) {
+  // A pure-read chain, no timestamps: the heuristic dependency order works.
+  TransactionSet txns{{
+      TxnBuilder(1).write(kX).build(),
+      TxnBuilder(2).read(kX, TxnId{1}).write(kY).build(),
+      TxnBuilder(3).read(kY, TxnId{2}).build(),
+  }};
+  const CheckResult r = check_graph(IsolationLevel::kSerializable, txns);
+  EXPECT_TRUE(r.satisfiable()) << r.detail;
+  EXPECT_NE(r.detail.find("heuristic"), std::string::npos);
+}
+
+TEST(GraphInternals, HeuristicGivesUpHonestly) {
+  // Untimed multi-writer keys with no version order: the heuristic cannot
+  // build a dependency candidate; it must answer kUnknown, never guess.
+  TransactionSet txns{{
+      TxnBuilder(1).read(kX, kInitTxn).write(kX).build(),
+      TxnBuilder(2).read(kX, kInitTxn).write(kX).build(),
+  }};
+  const CheckResult r = check_graph(IsolationLevel::kAdyaSI, txns);
+  EXPECT_EQ(r.outcome, Outcome::kUnknown);
+  // The dispatcher resolves it with the exhaustive engine instead.
+  EXPECT_TRUE(check(IsolationLevel::kAdyaSI, txns).unsatisfiable());
+}
+
+TEST(GraphInternals, SserUsesRealtimeEdgesWithVersionOrder) {
+  // T2 starts after T1 commits but reads x=⊥. SER passes (order T2,T1);
+  // SSER must fail — via the DSG∪RT cycle once a version order is given.
+  TransactionSet txns{{
+      TxnBuilder(1).write(kX).at(0, 10).build(),
+      TxnBuilder(2).read(kX, kInitTxn).write(kY).at(20, 30).build(),
+  }};
+  std::unordered_map<Key, std::vector<TxnId>> vo{{kX, {TxnId{1}}},
+                                                 {kY, {TxnId{2}}}};
+  CheckOptions opts;
+  opts.version_order = &vo;
+  EXPECT_TRUE(check_graph(IsolationLevel::kSerializable, txns, opts).satisfiable());
+  const CheckResult sser =
+      check_graph(IsolationLevel::kStrictSerializable, txns, opts);
+  EXPECT_TRUE(sser.unsatisfiable());
+  EXPECT_NE(sser.detail.find("real-time"), std::string::npos) << sser.detail;
+}
+
+TEST(GraphInternals, WitnessesAreVerifiedBeforeReporting) {
+  // Every satisfiable answer from any engine carries a witness that passes
+  // the canonical tests (spot-check across levels on one fixture).
+  TransactionSet txns{{
+      TxnBuilder(1).write(kX).at(0, 1).build(),
+      TxnBuilder(2).read(kX, TxnId{1}).write(kY).at(2, 3).build(),
+  }};
+  std::unordered_map<Key, std::vector<TxnId>> vo{{kX, {TxnId{1}}},
+                                                 {kY, {TxnId{2}}}};
+  CheckOptions opts;
+  opts.version_order = &vo;
+  for (IsolationLevel level : ct::kAllLevels) {
+    const CheckResult r = check(level, txns, opts);
+    ASSERT_TRUE(r.satisfiable()) << ct::name_of(level);
+    ASSERT_TRUE(r.witness.has_value());
+    EXPECT_TRUE(verify_witness(level, txns, *r.witness).ok);
+  }
+}
+
+TEST(Dispatch, LargeAdyaSiRefutedThroughHierarchy) {
+  // Timestamp-free Adya SI has no complete polynomial decision, but
+  // AdyaSI ⇒ PSI: a PSI refutation (polynomial, with a version order)
+  // decides instances far beyond the exhaustive threshold. Build a
+  // 40-transaction set containing one lost update.
+  std::vector<model::Transaction> txns;
+  txns.push_back(TxnBuilder(1).read(kX, kInitTxn).write(kX).build());
+  txns.push_back(TxnBuilder(2).read(kX, kInitTxn).write(kX).build());
+  for (std::uint64_t i = 3; i <= 40; ++i) {
+    txns.push_back(TxnBuilder(i).write(Key{i + 100}).build());
+  }
+  const TransactionSet set(std::move(txns));
+  std::unordered_map<Key, std::vector<TxnId>> vo{{kX, {TxnId{1}, TxnId{2}}}};
+  for (std::uint64_t i = 3; i <= 40; ++i) vo[Key{i + 100}] = {TxnId{i}};
+  CheckOptions opts;
+  opts.version_order = &vo;
+  const CheckResult r = check(IsolationLevel::kAdyaSI, set, opts);
+  EXPECT_TRUE(r.unsatisfiable()) << r.detail;
+  EXPECT_NE(r.detail.find("hierarchy"), std::string::npos) << r.detail;
+}
+
+TEST(Dispatch, LargeTimedSiSetsAvoidExhaustive) {
+  // 200 transactions: far past the exhaustive threshold; the pinned
+  // commit-order decision must answer instantly either way.
+  std::vector<model::Transaction> txns;
+  for (std::uint64_t i = 1; i <= 200; ++i) {
+    txns.push_back(TxnBuilder(i)
+                       .write(Key{i})
+                       .at(static_cast<Timestamp>(2 * i), static_cast<Timestamp>(2 * i + 1))
+                       .build());
+  }
+  const TransactionSet set(std::move(txns));
+  const CheckResult r = check(IsolationLevel::kStrongSI, set);
+  EXPECT_TRUE(r.satisfiable()) << r.detail;
+  EXPECT_EQ(r.nodes_explored, 0u);  // no search happened
+}
+
+}  // namespace
+}  // namespace crooks::checker

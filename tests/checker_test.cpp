@@ -1,0 +1,219 @@
+// The ∃e checker: exhaustive and graph engines, their agreement, and the
+// witnesses they produce.
+#include <gtest/gtest.h>
+
+#include "adya/history.hpp"
+#include "adya/phenomena.hpp"
+#include "checker/checker.hpp"
+
+namespace crooks::checker {
+namespace {
+
+using ct::IsolationLevel;
+using model::TransactionSet;
+using model::TxnBuilder;
+
+constexpr Key kX{0}, kY{1};
+
+TransactionSet write_skew() {
+  return TransactionSet{{
+      TxnBuilder(1).read(kX, kInitTxn).read(kY, kInitTxn).write(kX).at(0, 10).build(),
+      TxnBuilder(2).read(kX, kInitTxn).read(kY, kInitTxn).write(kY).at(1, 11).build(),
+  }};
+}
+
+TransactionSet lost_update() {
+  return TransactionSet{{
+      TxnBuilder(1).read(kX, kInitTxn).write(kX).at(0, 10).build(),
+      TxnBuilder(2).read(kX, kInitTxn).write(kX).at(1, 11).build(),
+  }};
+}
+
+TransactionSet long_fork() {
+  return TransactionSet{{
+      TxnBuilder(1).write(kX).at(0, 10).build(),
+      TxnBuilder(2).write(kY).at(1, 11).build(),
+      TxnBuilder(3).read(kX, TxnId{1}).read(kY, kInitTxn).at(2, 12).build(),
+      TxnBuilder(4).read(kX, kInitTxn).read(kY, TxnId{2}).at(3, 13).build(),
+  }};
+}
+
+TEST(Exhaustive, WriteSkewSeparatesSerFromSi) {
+  const TransactionSet txns = write_skew();
+  EXPECT_TRUE(check_exhaustive(IsolationLevel::kAdyaSI, txns).satisfiable());
+  EXPECT_TRUE(check_exhaustive(IsolationLevel::kStrongSI, txns).satisfiable());
+  const CheckResult ser = check_exhaustive(IsolationLevel::kSerializable, txns);
+  EXPECT_TRUE(ser.unsatisfiable());
+  EXPECT_GT(ser.nodes_explored, 0u);
+}
+
+TEST(Exhaustive, LostUpdateRejectedBySnapshotLevels) {
+  const TransactionSet txns = lost_update();
+  EXPECT_TRUE(check_exhaustive(IsolationLevel::kReadCommitted, txns).satisfiable());
+  EXPECT_FALSE(check_exhaustive(IsolationLevel::kAdyaSI, txns).satisfiable());
+  EXPECT_FALSE(check_exhaustive(IsolationLevel::kPSI, txns).satisfiable());
+  EXPECT_FALSE(check_exhaustive(IsolationLevel::kSerializable, txns).satisfiable());
+}
+
+TEST(Exhaustive, LongForkSeparatesPsiFromSi) {
+  const TransactionSet txns = long_fork();
+  EXPECT_TRUE(check_exhaustive(IsolationLevel::kPSI, txns).satisfiable());
+  EXPECT_TRUE(check_exhaustive(IsolationLevel::kReadAtomic, txns).satisfiable());
+  EXPECT_FALSE(check_exhaustive(IsolationLevel::kAdyaSI, txns).satisfiable());
+  EXPECT_FALSE(check_exhaustive(IsolationLevel::kSerializable, txns).satisfiable());
+}
+
+TEST(Exhaustive, WitnessesVerifyAgainstCanonicalTests) {
+  for (const TransactionSet& txns : {write_skew(), lost_update(), long_fork()}) {
+    for (IsolationLevel l : ct::kAllLevels) {
+      const CheckResult r = check_exhaustive(l, txns);
+      if (r.satisfiable()) {
+        ASSERT_TRUE(r.witness.has_value());
+        EXPECT_TRUE(verify_witness(l, txns, *r.witness).ok)
+            << ct::name_of(l) << ": " << verify_witness(l, txns, *r.witness).explanation;
+      }
+    }
+  }
+}
+
+TEST(Exhaustive, EmptySetSatisfiable) {
+  const TransactionSet empty;
+  for (IsolationLevel l : ct::kAllLevels) {
+    EXPECT_TRUE(check_exhaustive(l, empty).satisfiable()) << ct::name_of(l);
+  }
+}
+
+TEST(Exhaustive, MonotoneAcrossHierarchy) {
+  for (const TransactionSet& txns : {write_skew(), lost_update(), long_fork()}) {
+    for (IsolationLevel strong : ct::kAllLevels) {
+      if (!check_exhaustive(strong, txns).satisfiable()) continue;
+      for (IsolationLevel weak : ct::kAllLevels) {
+        if (ct::at_least_as_strong(strong, weak)) {
+          EXPECT_TRUE(check_exhaustive(weak, txns).satisfiable())
+              << ct::name_of(strong) << " sat but " << ct::name_of(weak) << " unsat";
+        }
+      }
+    }
+  }
+}
+
+TEST(Exhaustive, VersionOrderRestrictsExecutions) {
+  // Two blind writes to x and y in opposite install orders: client-centric
+  // SER is satisfiable (clients cannot see install order), but no execution
+  // is consistent with the store's install order.
+  const TransactionSet txns{{TxnBuilder(1).write(kX).write(kY).build(),
+                             TxnBuilder(2).write(kX).write(kY).build()}};
+  EXPECT_TRUE(check_exhaustive(IsolationLevel::kSerializable, txns).satisfiable());
+
+  std::unordered_map<Key, std::vector<TxnId>> vo{
+      {kX, {TxnId{1}, TxnId{2}}},
+      {kY, {TxnId{2}, TxnId{1}}},
+  };
+  CheckOptions opts;
+  opts.version_order = &vo;
+  const CheckResult r = check_exhaustive(IsolationLevel::kSerializable, txns, opts);
+  EXPECT_TRUE(r.unsatisfiable());
+  // Even ReadUncommitted is unsatisfiable under the conflicting install
+  // order — there is no execution at all respecting it (this is G0).
+  EXPECT_TRUE(check_exhaustive(IsolationLevel::kReadUncommitted, txns, opts)
+                  .unsatisfiable());
+}
+
+TEST(Exhaustive, BudgetExhaustionReportsUnknown) {
+  std::vector<model::Transaction> many;
+  for (std::uint64_t i = 1; i <= 12; ++i) {
+    // All read x=⊥ and write x: heavily unsatisfiable under SI, forcing the
+    // search to explore (and hit the tiny budget).
+    many.push_back(TxnBuilder(i).read(kX, kInitTxn).write(Key{100 + i}).write(kX).build());
+  }
+  TransactionSet txns(std::move(many));
+  CheckOptions opts;
+  opts.max_nodes = 50;
+  const CheckResult r = check_exhaustive(IsolationLevel::kAdyaSI, txns, opts);
+  EXPECT_EQ(r.outcome, Outcome::kUnknown);
+}
+
+TEST(GraphEngine, TimedSiFamilyIsPinnedByCommitOrder) {
+  const TransactionSet txns = write_skew();
+  const CheckResult r = check_graph(IsolationLevel::kAnsiSI, txns);
+  EXPECT_TRUE(r.satisfiable());
+  ASSERT_TRUE(r.witness.has_value());
+  // Witness must be the commit-timestamp order: T1 (commit 10), T2 (11).
+  EXPECT_EQ(r.witness->order().front(), TxnId{1});
+
+  const CheckResult lu = check_graph(IsolationLevel::kAnsiSI, lost_update());
+  EXPECT_TRUE(lu.unsatisfiable());
+}
+
+TEST(GraphEngine, TimedSiRequiresTimestamps) {
+  const TransactionSet untimed{{TxnBuilder(1).write(kX).build()}};
+  EXPECT_TRUE(check_graph(IsolationLevel::kStrongSI, untimed).unsatisfiable());
+  EXPECT_TRUE(check_exhaustive(IsolationLevel::kStrongSI, untimed).unsatisfiable());
+}
+
+TEST(GraphEngine, VersionOrderEnablesCompleteDecisions) {
+  const TransactionSet txns = lost_update();
+  std::unordered_map<Key, std::vector<TxnId>> vo{{kX, {TxnId{1}, TxnId{2}}}};
+  CheckOptions opts;
+  opts.version_order = &vo;
+  EXPECT_TRUE(check_graph(IsolationLevel::kPSI, txns, opts).unsatisfiable());
+  EXPECT_TRUE(check_graph(IsolationLevel::kReadCommitted, txns, opts).satisfiable());
+  const CheckResult ser = check_graph(IsolationLevel::kSerializable, txns, opts);
+  EXPECT_TRUE(ser.unsatisfiable());
+  EXPECT_NE(ser.detail.find("G"), std::string::npos);  // names the phenomena
+}
+
+TEST(GraphEngine, AgreesWithExhaustiveUnderVersionOrder) {
+  const TransactionSet sets[] = {write_skew(), lost_update(), long_fork()};
+  for (const TransactionSet& txns : sets) {
+    // Derive a version order: by commit timestamp (all our fixtures carry ts).
+    std::unordered_map<Key, std::vector<TxnId>> vo;
+    std::vector<const model::Transaction*> sorted;
+    for (const model::Transaction& t : txns) sorted.push_back(&t);
+    std::sort(sorted.begin(), sorted.end(), [](auto* a, auto* b) {
+      return a->commit_ts() < b->commit_ts();
+    });
+    for (const model::Transaction* t : sorted) {
+      for (Key k : t->write_set()) vo[k].push_back(t->id());
+    }
+    CheckOptions opts;
+    opts.version_order = &vo;
+    for (IsolationLevel l : ct::kAllLevels) {
+      const CheckResult g = check_graph(l, txns, opts);
+      const CheckResult e = check_exhaustive(l, txns, opts);
+      ASSERT_NE(e.outcome, Outcome::kUnknown);
+      if (g.outcome == Outcome::kUnknown) continue;  // incomplete is allowed
+      EXPECT_EQ(g.outcome, e.outcome)
+          << ct::name_of(l) << ": graph=" << g.detail << " exhaustive=" << e.detail;
+    }
+  }
+}
+
+TEST(Check, DispatchesAndDecides) {
+  EXPECT_TRUE(check(IsolationLevel::kAdyaSI, write_skew()).satisfiable());
+  EXPECT_FALSE(check(IsolationLevel::kSerializable, write_skew()).satisfiable());
+  EXPECT_TRUE(check(IsolationLevel::kPSI, long_fork()).satisfiable());
+  EXPECT_FALSE(check(IsolationLevel::kAnsiSI, lost_update()).satisfiable());
+}
+
+TEST(Check, LargeSatisfiableChainUsesGraphEngine) {
+  // 50 transactions in one causal chain: far beyond the exhaustive
+  // threshold; the graph engine must find the witness.
+  std::vector<model::Transaction> chain;
+  chain.push_back(TxnBuilder(1).write(kX).at(0, 1).build());
+  for (std::uint64_t i = 2; i <= 50; ++i) {
+    chain.push_back(TxnBuilder(i)
+                        .read(kX, TxnId{i - 1})
+                        .write(kX)
+                        .at(static_cast<Timestamp>(2 * i), static_cast<Timestamp>(2 * i + 1))
+                        .build());
+  }
+  TransactionSet txns(std::move(chain));
+  for (IsolationLevel l : ct::kAllLevels) {
+    const CheckResult r = check(l, txns);
+    EXPECT_TRUE(r.satisfiable()) << ct::name_of(l) << ": " << r.detail;
+  }
+}
+
+}  // namespace
+}  // namespace crooks::checker

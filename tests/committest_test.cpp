@@ -1,0 +1,284 @@
+// Commit tests (Tables 1 and 2) evaluated on fixed executions, including the
+// paper's Figure 3 banking example and the per-execution hierarchy property.
+#include <gtest/gtest.h>
+
+#include "committest/commit_test.hpp"
+#include "model/analysis.hpp"
+
+namespace crooks::ct {
+namespace {
+
+using model::Execution;
+using model::ReadStateAnalysis;
+using model::TransactionSet;
+using model::TxnBuilder;
+
+constexpr Key kC{0};  // checking account
+constexpr Key kS{1};  // savings account
+constexpr Key kX{10}, kY{11};
+
+/// Figure 3(b): Alice (T1) and Bob (T2) both read both balances from the
+/// initial state and concurrently withdraw: T1 writes C, T2 writes S.
+struct WriteSkew : ::testing::Test {
+  TransactionSet txns{{
+      TxnBuilder(1).read(kC, kInitTxn).read(kS, kInitTxn).write(kC).at(0, 10).build(),
+      TxnBuilder(2).read(kC, kInitTxn).read(kS, kInitTxn).write(kS).at(1, 11).build(),
+  }};
+  Execution e{txns, {TxnId{1}, TxnId{2}}};
+  ReadStateAnalysis a{txns, e};
+  CommitTester tester{a};
+};
+
+TEST_F(WriteSkew, SerializabilityRejectsSecondWithdrawal) {
+  EXPECT_TRUE(tester.test(IsolationLevel::kSerializable, 0).ok);
+  const CommitTestResult r = tester.test(IsolationLevel::kSerializable, 1);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.violation.find("not complete"), std::string::npos);
+}
+
+TEST_F(WriteSkew, SnapshotIsolationAcceptsBoth) {
+  // Both may read from the same stale complete state s0; their write sets
+  // are disjoint, so NO-CONF holds — the essence of write skew (§5.1).
+  EXPECT_TRUE(tester.test_all(IsolationLevel::kAdyaSI).ok);
+  EXPECT_TRUE(tester.test_all(IsolationLevel::kAnsiSI).ok);
+  EXPECT_TRUE(tester.test_all(IsolationLevel::kStrongSI).ok);
+}
+
+TEST_F(WriteSkew, WeakerLevelsAcceptBoth) {
+  EXPECT_TRUE(tester.test_all(IsolationLevel::kPSI).ok);
+  EXPECT_TRUE(tester.test_all(IsolationLevel::kReadAtomic).ok);
+  EXPECT_TRUE(tester.test_all(IsolationLevel::kReadCommitted).ok);
+}
+
+/// Figure 3(a): under serializability T2 must read from its parent state and
+/// thus observes T1's withdrawal.
+TEST(CommitTest, SerializableBankingObservesParent) {
+  TransactionSet txns{{
+      TxnBuilder(1).read(kC, kInitTxn).read(kS, kInitTxn).write(kC).build(),
+      TxnBuilder(2).read(kC, TxnId{1}).read(kS, kInitTxn).write(kS).build(),
+  }};
+  Execution e(txns, {TxnId{1}, TxnId{2}});
+  ReadStateAnalysis a(txns, e);
+  CommitTester t(a);
+  EXPECT_TRUE(t.test_all(IsolationLevel::kSerializable).ok);
+  EXPECT_TRUE(t.test_all(IsolationLevel::kAdyaSI).ok);  // SER ⊂ SI
+}
+
+TEST(CommitTest, ReadUncommittedAlwaysPasses) {
+  TransactionSet txns{{TxnBuilder(1).read(kX, TxnId{99}).build()}};  // bogus read
+  ReadStateAnalysis a(txns, Execution::identity(txns));
+  CommitTester t(a);
+  EXPECT_TRUE(t.test_all(IsolationLevel::kReadUncommitted).ok);
+  EXPECT_FALSE(t.test_all(IsolationLevel::kReadCommitted).ok);
+}
+
+TEST(CommitTest, ReadCommittedNeedsPreread) {
+  TransactionSet txns{{TxnBuilder(1).write(kX).build(),
+                       TxnBuilder(2).read(kX, TxnId{1}).build()}};
+  // Order T2 before T1: T2 reads from the future.
+  Execution bad(txns, {TxnId{2}, TxnId{1}});
+  ReadStateAnalysis a(txns, bad);
+  const CommitTestResult r = CommitTester(a).test(IsolationLevel::kReadCommitted,
+                                                  txns.dense_index_of(TxnId{2}));
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.violation.find("PREREAD"), std::string::npos);
+
+  Execution good(txns, {TxnId{1}, TxnId{2}});
+  ReadStateAnalysis a2(txns, good);
+  EXPECT_TRUE(CommitTester(a2).test_all(IsolationLevel::kReadCommitted).ok);
+}
+
+TEST(CommitTest, ReadAtomicRejectsFracturedRead) {
+  // T1 writes x and y atomically; T2 sees T1's x but the initial y.
+  TransactionSet txns{{TxnBuilder(1).write(kX).write(kY).build(),
+                       TxnBuilder(2).read(kX, TxnId{1}).read(kY, kInitTxn).build()}};
+  Execution e(txns, {TxnId{1}, TxnId{2}});
+  ReadStateAnalysis a(txns, e);
+  CommitTester t(a);
+  const CommitTestResult r =
+      t.test(IsolationLevel::kReadAtomic, txns.dense_index_of(TxnId{2}));
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.violation.find("fractured"), std::string::npos);
+  EXPECT_TRUE(t.test_all(IsolationLevel::kReadCommitted).ok);  // RC is fine
+}
+
+TEST(CommitTest, ReadAtomicAcceptsAtomicObservation) {
+  TransactionSet txns{{TxnBuilder(1).write(kX).write(kY).build(),
+                       TxnBuilder(2).read(kX, TxnId{1}).read(kY, TxnId{1}).build()}};
+  Execution e(txns, {TxnId{1}, TxnId{2}});
+  ReadStateAnalysis a(txns, e);
+  EXPECT_TRUE(CommitTester(a).test_all(IsolationLevel::kReadAtomic).ok);
+}
+
+TEST(CommitTest, PsiRejectsCausalityViolation) {
+  // T1 writes x; T2 reads x and writes y; T3 reads T2's y but misses T1's x.
+  TransactionSet txns{{
+      TxnBuilder(1).write(kX).build(),
+      TxnBuilder(2).read(kX, TxnId{1}).write(kY).build(),
+      TxnBuilder(3).read(kY, TxnId{2}).read(kX, kInitTxn).build(),
+  }};
+  Execution e(txns, {TxnId{1}, TxnId{2}, TxnId{3}});
+  ReadStateAnalysis a(txns, e);
+  CommitTester t(a);
+  const CommitTestResult r =
+      t.test(IsolationLevel::kPSI, txns.dense_index_of(TxnId{3}));
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.violation.find("CAUS-VIS"), std::string::npos);
+  // Read atomic tolerates it: T2 did not write x.
+  EXPECT_TRUE(t.test_all(IsolationLevel::kReadAtomic).ok);
+}
+
+TEST(CommitTest, PsiAllowsLongForkButSnapshotLevelsReject) {
+  // The long fork: two independent writes observed in opposite orders by
+  // two readers. PSI's per-operation read states accommodate it (each read
+  // of ⊥ is served by s0, each read of a write by the writer's state —
+  // no single snapshot needed); the snapshot family requires a complete
+  // state for T3 and T4, which cannot exist.
+  TransactionSet txns{{
+      TxnBuilder(1).write(kX).build(),
+      TxnBuilder(2).write(kY).build(),
+      TxnBuilder(3).read(kX, TxnId{1}).read(kY, kInitTxn).build(),
+      TxnBuilder(4).read(kX, kInitTxn).read(kY, TxnId{2}).build(),
+  }};
+  Execution e(txns, {TxnId{1}, TxnId{2}, TxnId{3}, TxnId{4}});
+  ReadStateAnalysis a(txns, e);
+  CommitTester t(a);
+  EXPECT_TRUE(t.test_all(IsolationLevel::kPSI).ok);
+  EXPECT_TRUE(t.test_all(IsolationLevel::kReadAtomic).ok);
+  // T3 has no complete state (x=T1 needs s ≥ 1, y=⊥ needs s ≤ 1 — s1 works);
+  // T4 has none (x=⊥ needs s = 0, y=T2 needs s ≥ 2).
+  EXPECT_TRUE(t.test(IsolationLevel::kAdyaSI, txns.dense_index_of(TxnId{3})).ok);
+  EXPECT_FALSE(t.test(IsolationLevel::kAdyaSI, txns.dense_index_of(TxnId{4})).ok);
+  EXPECT_FALSE(t.test_all(IsolationLevel::kSerializable).ok);
+}
+
+TEST(CommitTest, StrictSerializabilityEnforcesRealTime) {
+  // T1 commits (t=10) before T2 starts (t=20), but the execution orders T2
+  // first. Plain SER accepts; strict SER must reject T1 (real-time pred of
+  // T2 placed after it... the violation is detected on T2's sser clause? No:
+  // on T1? The clause is per-T: ∀T' <_s T ⇒ s_{T'} →* s_T, so T2 fails.)
+  TransactionSet txns{{
+      TxnBuilder(1).write(kX).at(0, 10).build(),
+      TxnBuilder(2).write(kY).at(20, 30).build(),
+  }};
+  Execution e(txns, {TxnId{2}, TxnId{1}});
+  ReadStateAnalysis a(txns, e);
+  CommitTester t(a);
+  EXPECT_TRUE(t.test_all(IsolationLevel::kSerializable).ok);
+  const ExecutionVerdict v = t.test_all(IsolationLevel::kStrictSerializable);
+  EXPECT_FALSE(v.ok);
+  EXPECT_EQ(v.violating_txn, TxnId{2});
+}
+
+TEST(CommitTest, AdyaSiRejectsLostUpdate) {
+  TransactionSet txns{{
+      TxnBuilder(1).read(kX, kInitTxn).write(kX).build(),
+      TxnBuilder(2).read(kX, kInitTxn).write(kX).build(),
+  }};
+  Execution e(txns, {TxnId{1}, TxnId{2}});
+  ReadStateAnalysis a(txns, e);
+  CommitTester t(a);
+  const CommitTestResult r =
+      t.test(IsolationLevel::kAdyaSI, txns.dense_index_of(TxnId{2}));
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.violation.find("NO-CONF"), std::string::npos);
+  // PSI also rejects it (ww conflict makes T1 ▷ T2, but T2 read stale x).
+  EXPECT_FALSE(t.test(IsolationLevel::kPSI, txns.dense_index_of(TxnId{2})).ok);
+  // RC tolerates it.
+  EXPECT_TRUE(t.test_all(IsolationLevel::kReadCommitted).ok);
+}
+
+TEST(CommitTest, TimedLevelsRequireTimestamps) {
+  TransactionSet txns{{TxnBuilder(1).write(kX).build()}};
+  ReadStateAnalysis a(txns, Execution::identity(txns));
+  CommitTester t(a);
+  EXPECT_FALSE(t.test(IsolationLevel::kAnsiSI, 0).ok);
+  EXPECT_FALSE(t.test(IsolationLevel::kStrongSI, 0).ok);
+  EXPECT_TRUE(t.test(IsolationLevel::kAdyaSI, 0).ok);
+}
+
+TEST(CommitTest, AnsiSiRequiresCommitOrderedExecution) {
+  TransactionSet txns{{TxnBuilder(1).write(kX).at(0, 10).build(),
+                       TxnBuilder(2).write(kY).at(1, 5).build()}};
+  // Execution T1 then T2 violates C-ORD (T2 committed first in real time).
+  Execution e(txns, {TxnId{1}, TxnId{2}});
+  ReadStateAnalysis a(txns, e);
+  CommitTester t(a);
+  const CommitTestResult r =
+      t.test(IsolationLevel::kAnsiSI, txns.dense_index_of(TxnId{2}));
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.violation.find("C-ORD"), std::string::npos);
+  // Commit-ordered execution passes.
+  Execution e2(txns, {TxnId{2}, TxnId{1}});
+  ReadStateAnalysis a2(txns, e2);
+  EXPECT_TRUE(CommitTester(a2).test_all(IsolationLevel::kAnsiSI).ok);
+}
+
+TEST(CommitTest, SessionSiRejectsTransactionInversion) {
+  // Same session: T1 writes x and commits; T2 later reads stale x=⊥.
+  TransactionSet txns{{
+      TxnBuilder(1).write(kX).session(SessionId{1}).at(0, 10).build(),
+      TxnBuilder(2).read(kX, kInitTxn).session(SessionId{1}).at(20, 30).build(),
+  }};
+  Execution e(txns, {TxnId{1}, TxnId{2}});
+  ReadStateAnalysis a(txns, e);
+  CommitTester t(a);
+  // ANSI SI tolerates the stale snapshot...
+  EXPECT_TRUE(t.test_all(IsolationLevel::kAnsiSI).ok);
+  // ...Session SI does not (T1 →se T2 forces the snapshot past s_{T1}).
+  const CommitTestResult r =
+      t.test(IsolationLevel::kSessionSI, txns.dense_index_of(TxnId{2}));
+  EXPECT_FALSE(r.ok);
+}
+
+TEST(CommitTest, SessionSiIgnoresOtherSessions) {
+  TransactionSet txns{{
+      TxnBuilder(1).write(kX).session(SessionId{1}).at(0, 10).build(),
+      TxnBuilder(2).read(kX, kInitTxn).session(SessionId{2}).at(20, 30).build(),
+  }};
+  Execution e(txns, {TxnId{1}, TxnId{2}});
+  ReadStateAnalysis a(txns, e);
+  CommitTester t(a);
+  EXPECT_TRUE(t.test_all(IsolationLevel::kSessionSI).ok);
+  // Strong SI enforces recency across sessions too.
+  EXPECT_FALSE(t.test_all(IsolationLevel::kStrongSI).ok);
+}
+
+TEST(CommitTest, StrongSiAcceptsFreshSnapshots) {
+  TransactionSet txns{{
+      TxnBuilder(1).write(kX).at(0, 10).build(),
+      TxnBuilder(2).read(kX, TxnId{1}).at(20, 30).build(),
+  }};
+  Execution e(txns, {TxnId{1}, TxnId{2}});
+  ReadStateAnalysis a(txns, e);
+  EXPECT_TRUE(CommitTester(a).test_all(IsolationLevel::kStrongSI).ok);
+}
+
+/// Per-execution hierarchy (the property the implication lattice asserts):
+/// on one fixed execution, passing a stronger test implies passing every
+/// weaker one.
+TEST(CommitTest, HierarchyHoldsPerExecution) {
+  TransactionSet txns{{
+      TxnBuilder(1).write(kX).at(0, 10).build(),
+      TxnBuilder(2).read(kX, TxnId{1}).write(kY).session(SessionId{1}).at(12, 20).build(),
+      TxnBuilder(3).read(kY, TxnId{2}).read(kX, TxnId{1}).session(SessionId{1}).at(22, 30).build(),
+  }};
+  Execution e(txns, {TxnId{1}, TxnId{2}, TxnId{3}});
+  ReadStateAnalysis a(txns, e);
+  CommitTester t(a);
+  for (IsolationLevel strong : kAllLevels) {
+    if (!t.test_all(strong).ok) continue;
+    for (IsolationLevel weak : kAllLevels) {
+      if (at_least_as_strong(strong, weak)) {
+        EXPECT_TRUE(t.test_all(weak).ok)
+            << name_of(strong) << " passed but weaker " << name_of(weak) << " failed";
+      }
+    }
+  }
+  // This particular scenario is fully strong: everything should pass.
+  EXPECT_TRUE(t.test_all(IsolationLevel::kStrictSerializable).ok);
+  EXPECT_TRUE(t.test_all(IsolationLevel::kStrongSI).ok);
+}
+
+}  // namespace
+}  // namespace crooks::ct

@@ -1,0 +1,215 @@
+// The paper's theorems, executable.
+//
+// For every CC mode and many seeds, a store run yields (a) a low-level Adya
+// history with its authoritative version order and (b) pure client
+// observations. The equivalence theorems (1, 3, 4, 6, 10 for the untimed
+// levels; 2, 7, 8, 9 through the commit-order-pinned construction for the
+// timed SI family) assert that phenomena verdicts on the history coincide
+// with state-based checker verdicts on the observations. These tests run
+// that assertion wholesale, plus: every mode satisfies its contract, the
+// exhaustive oracle agrees on small runs, and verdicts are monotone over
+// the hierarchy.
+#include <gtest/gtest.h>
+
+#include "adya/phenomena.hpp"
+#include "checker/checker.hpp"
+#include "store/runner.hpp"
+#include "workload/workload.hpp"
+
+namespace crooks {
+namespace {
+
+using checker::CheckOptions;
+using checker::CheckResult;
+using checker::Outcome;
+using ct::IsolationLevel;
+using store::CCMode;
+using store::RunOptions;
+using store::RunResult;
+
+const CCMode kModes[] = {CCMode::kSerial,           CCMode::kTwoPhaseLocking,
+                         CCMode::kWoundWait,        CCMode::kSnapshotIsolation,
+                         CCMode::kReadAtomic,       CCMode::kReadCommitted,
+                         CCMode::kReadUncommitted};
+
+RunResult small_run(CCMode mode, std::uint64_t seed, std::size_t txns = 18,
+                    std::size_t keys = 6) {
+  const auto intents = wl::generate_mix({.transactions = txns,
+                                         .keys = keys,
+                                         .reads_per_txn = 2,
+                                         .writes_per_txn = 2,
+                                         .seed = seed});
+  return store::run(intents, {.mode = mode,
+                              .seed = seed * 7919 + 1,
+                              .concurrency = 5,
+                              .injected_abort_prob = 0.05,
+                              .retries = 2});
+}
+
+struct ModeSeed {
+  CCMode mode;
+  std::uint64_t seed;
+};
+
+std::vector<ModeSeed> grid() {
+  std::vector<ModeSeed> out;
+  for (CCMode m : kModes) {
+    for (std::uint64_t s = 1; s <= 8; ++s) out.push_back({m, s});
+  }
+  return out;
+}
+
+class StoreEquivalence : public ::testing::TestWithParam<ModeSeed> {};
+
+/// Every mode satisfies its contracted isolation level, judged purely from
+/// client observations (restricted to the store's install order).
+TEST_P(StoreEquivalence, ModeSatisfiesItsContract) {
+  const auto [mode, seed] = GetParam();
+  const RunResult r = small_run(mode, seed);
+  CheckOptions opts;
+  opts.version_order = &r.version_order;
+  const IsolationLevel contract = store::contract_of(mode);
+  const CheckResult res = checker::check(contract, r.observations, opts);
+  ASSERT_NE(res.outcome, Outcome::kUnknown) << res.detail;
+  EXPECT_TRUE(res.satisfiable())
+      << store::name_of(mode) << " run violates its contract "
+      << ct::name_of(contract) << ": " << res.detail;
+}
+
+/// Theorems 1, 3, 4, 6, 10 (untimed levels) and 2/7/8/9 (timed family):
+/// history-based verdict ≡ state-based verdict on the observations.
+TEST_P(StoreEquivalence, PhenomenaMatchCommitTests) {
+  const auto [mode, seed] = GetParam();
+  const RunResult r = small_run(mode, seed);
+  const adya::Phenomena p = adya::detect(r.history);
+  CheckOptions opts;
+  opts.version_order = &r.version_order;
+
+  for (IsolationLevel level : ct::kAllLevels) {
+    const adya::Verdict av = adya::satisfies(p, level);
+    if (av == adya::Verdict::kInapplicable) continue;
+    const CheckResult cr = checker::check(level, r.observations, opts);
+    if (cr.outcome == Outcome::kUnknown) continue;  // engine gave up: no claim
+    EXPECT_EQ(av == adya::Verdict::kSatisfied, cr.satisfiable())
+        << store::name_of(mode) << " seed " << seed << " @ " << ct::name_of(level)
+        << "\n  phenomena: " << p.to_string() << "\n  checker: " << cr.detail;
+  }
+}
+
+/// The exhaustive oracle agrees with the fast engines on small runs.
+TEST_P(StoreEquivalence, ExhaustiveOracleAgreesOnTinyRuns) {
+  const auto [mode, seed] = GetParam();
+  const RunResult r = small_run(mode, seed, /*txns=*/7, /*keys=*/4);
+  CheckOptions opts;
+  opts.version_order = &r.version_order;
+  for (IsolationLevel level : ct::kAllLevels) {
+    const CheckResult fast = checker::check(level, r.observations, opts);
+    const CheckResult oracle = checker::check_exhaustive(level, r.observations, opts);
+    ASSERT_NE(oracle.outcome, Outcome::kUnknown);
+    if (fast.outcome == Outcome::kUnknown) continue;
+    EXPECT_EQ(fast.outcome, oracle.outcome)
+        << store::name_of(mode) << " seed " << seed << " @ " << ct::name_of(level)
+        << "\n  fast: " << fast.detail << "\n  oracle: " << oracle.detail;
+  }
+}
+
+/// Hierarchy (Figure 4 + classic relations): if a run satisfies a stronger
+/// level it satisfies every weaker one.
+TEST_P(StoreEquivalence, VerdictsMonotoneOverHierarchy) {
+  const auto [mode, seed] = GetParam();
+  const RunResult r = small_run(mode, seed);
+  CheckOptions opts;
+  opts.version_order = &r.version_order;
+
+  std::vector<std::pair<IsolationLevel, bool>> verdicts;
+  for (IsolationLevel level : ct::kAllLevels) {
+    const CheckResult cr = checker::check(level, r.observations, opts);
+    if (cr.outcome != Outcome::kUnknown) verdicts.emplace_back(level, cr.satisfiable());
+  }
+  for (auto [strong, ssat] : verdicts) {
+    if (!ssat) continue;
+    for (auto [weak, wsat] : verdicts) {
+      if (ct::at_least_as_strong(strong, weak)) {
+        EXPECT_TRUE(wsat) << store::name_of(mode) << " seed " << seed << ": "
+                          << ct::name_of(strong) << " sat but " << ct::name_of(weak)
+                          << " unsat";
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModes, StoreEquivalence, ::testing::ValuesIn(grid()),
+                         [](const ::testing::TestParamInfo<ModeSeed>& info) {
+                           return std::string(store::name_of(info.param.mode)) + "_s" +
+                                  std::to_string(info.param.seed);
+                         });
+
+/// Weaker modes must actually *exhibit* the anomalies that separate them
+/// from stronger levels (otherwise the differentiation tests above are
+/// vacuous). We search a few seeds for each separation.
+template <typename Pred>
+bool some_seed(CCMode mode, Pred&& pred, std::size_t txns = 40, std::size_t keys = 4,
+               double abort_prob = 0.0) {
+  for (std::uint64_t seed = 1; seed <= 25; ++seed) {
+    const auto intents = wl::generate_mix({.transactions = txns,
+                                           .keys = keys,
+                                           .reads_per_txn = 2,
+                                           .writes_per_txn = 2,
+                                           .seed = seed});
+    const RunResult r = store::run(intents, {.mode = mode,
+                                             .seed = seed + 100,
+                                             .concurrency = 8,
+                                             .injected_abort_prob = abort_prob});
+    if (pred(r)) return true;
+  }
+  return false;
+}
+
+TEST(StoreSeparation, ReadCommittedExhibitsLostUpdates) {
+  EXPECT_TRUE(some_seed(CCMode::kReadCommitted, [](const RunResult& r) {
+    return adya::detect(r.history).g_single;
+  }));
+}
+
+TEST(StoreSeparation, SnapshotIsolationExhibitsWriteSkew) {
+  EXPECT_TRUE(some_seed(CCMode::kSnapshotIsolation, [](const RunResult& r) {
+    const adya::Phenomena p = adya::detect(r.history);
+    return p.g2 && !p.g_single && !p.g1();
+  }));
+}
+
+TEST(StoreSeparation, ReadUncommittedExhibitsDirtyReads) {
+  EXPECT_TRUE(some_seed(
+      CCMode::kReadUncommitted,
+      [](const RunResult& r) { return adya::detect(r.history).g1a; },
+      /*txns=*/40, /*keys=*/4, /*abort_prob=*/0.25));
+}
+
+TEST(StoreSeparation, ReadCommittedExhibitsFracturedReads) {
+  EXPECT_TRUE(some_seed(CCMode::kReadCommitted, [](const RunResult& r) {
+    return adya::detect(r.history).fractured;
+  }));
+}
+
+TEST(StoreSeparation, ReadAtomicNeverFractures) {
+  EXPECT_FALSE(some_seed(CCMode::kReadAtomic, [](const RunResult& r) {
+    return adya::detect(r.history).fractured;
+  }));
+}
+
+TEST(StoreSeparation, TwoPhaseLockingNeverExhibitsG2) {
+  EXPECT_FALSE(some_seed(CCMode::kTwoPhaseLocking, [](const RunResult& r) {
+    const adya::Phenomena p = adya::detect(r.history);
+    return p.g1() || p.g2;
+  }));
+}
+
+TEST(StoreSeparation, WoundWaitNeverExhibitsG2) {
+  EXPECT_FALSE(some_seed(CCMode::kWoundWait, [](const RunResult& r) {
+    const adya::Phenomena p = adya::detect(r.history);
+    return p.g1() || p.g2;
+  }));
+}
+
+}  // namespace
+}  // namespace crooks

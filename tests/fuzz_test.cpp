@@ -1,0 +1,160 @@
+// Property suite over randomized, adversarial observation sets.
+//
+// The generator produces arbitrary observations — reads of later writers, of
+// unknown writers, phantom values — and the properties assert that the
+// checker's engines stay internally consistent on ALL of them:
+//   * every witness verifies against the canonical commit tests,
+//   * verdicts are monotone over the hierarchy,
+//   * the graph engine never contradicts the exhaustive oracle,
+//   * a version-order restriction can only shrink the satisfiable set,
+//   * the online monitor agrees with the batch evaluator on any order,
+//   * serialization round-trips preserve verdicts.
+#include <gtest/gtest.h>
+
+#include "checker/checker.hpp"
+#include "checker/online.hpp"
+#include "model/analysis.hpp"
+#include "report/serialize.hpp"
+#include "workload/observations.hpp"
+
+namespace crooks {
+namespace {
+
+using checker::CheckOptions;
+using checker::CheckResult;
+using checker::Outcome;
+using ct::IsolationLevel;
+
+class Fuzz : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  wl::FuzzedObservations make(bool timestamps = true) const {
+    wl::ObservationFuzzOptions opts;
+    opts.transactions = 7;
+    opts.keys = 4;
+    opts.with_timestamps = timestamps;
+    return wl::fuzz_observations(GetParam(), opts);
+  }
+};
+
+TEST_P(Fuzz, WitnessesVerify) {
+  const wl::FuzzedObservations f = make();
+  for (IsolationLevel level : ct::kAllLevels) {
+    const CheckResult r = checker::check_exhaustive(level, f.txns);
+    ASSERT_NE(r.outcome, Outcome::kUnknown);
+    if (r.satisfiable()) {
+      ASSERT_TRUE(r.witness.has_value());
+      const ct::ExecutionVerdict v = checker::verify_witness(level, f.txns, *r.witness);
+      EXPECT_TRUE(v.ok) << ct::name_of(level) << ": " << v.explanation;
+    }
+  }
+}
+
+TEST_P(Fuzz, HierarchyMonotone) {
+  const wl::FuzzedObservations f = make();
+  std::vector<std::pair<IsolationLevel, bool>> verdicts;
+  for (IsolationLevel level : ct::kAllLevels) {
+    verdicts.emplace_back(level, checker::check_exhaustive(level, f.txns).satisfiable());
+  }
+  for (auto [a, asat] : verdicts) {
+    for (auto [b, bsat] : verdicts) {
+      if (asat && ct::at_least_as_strong(a, b)) {
+        EXPECT_TRUE(bsat) << ct::name_of(a) << " sat but " << ct::name_of(b) << " unsat";
+      }
+    }
+  }
+}
+
+TEST_P(Fuzz, GraphNeverContradictsOracle) {
+  const wl::FuzzedObservations f = make();
+  CheckOptions opts;
+  opts.version_order = &f.version_order;
+  for (IsolationLevel level : ct::kAllLevels) {
+    const CheckResult oracle = checker::check_exhaustive(level, f.txns, opts);
+    const CheckResult graph = checker::check_graph(level, f.txns, opts);
+    ASSERT_NE(oracle.outcome, Outcome::kUnknown);
+    if (graph.outcome == Outcome::kUnknown) continue;
+    EXPECT_EQ(graph.outcome, oracle.outcome)
+        << ct::name_of(level) << "\n graph:  " << graph.detail
+        << "\n oracle: " << oracle.detail;
+  }
+}
+
+TEST_P(Fuzz, VersionOrderOnlyShrinks) {
+  const wl::FuzzedObservations f = make();
+  CheckOptions restricted;
+  restricted.version_order = &f.version_order;
+  for (IsolationLevel level : ct::kAllLevels) {
+    const bool with_vo = checker::check_exhaustive(level, f.txns, restricted).satisfiable();
+    const bool without = checker::check_exhaustive(level, f.txns).satisfiable();
+    if (with_vo) {
+      EXPECT_TRUE(without) << ct::name_of(level)
+                           << ": restricted satisfiable but unrestricted not";
+    }
+  }
+}
+
+TEST_P(Fuzz, DispatchAgreesWithOracle) {
+  const wl::FuzzedObservations f = make();
+  for (IsolationLevel level : ct::kAllLevels) {
+    const CheckResult d = checker::check(level, f.txns);
+    const CheckResult oracle = checker::check_exhaustive(level, f.txns);
+    ASSERT_NE(oracle.outcome, Outcome::kUnknown);
+    if (d.outcome == Outcome::kUnknown) continue;
+    EXPECT_EQ(d.outcome, oracle.outcome) << ct::name_of(level) << ": " << d.detail;
+  }
+}
+
+TEST_P(Fuzz, UntimedObservationsKillTimedLevelsOnly) {
+  const wl::FuzzedObservations f = make(/*timestamps=*/false);
+  for (IsolationLevel level : ct::kAllLevels) {
+    if (!ct::requires_timestamps(level)) continue;
+    EXPECT_TRUE(checker::check(level, f.txns).unsatisfiable()) << ct::name_of(level);
+  }
+  EXPECT_TRUE(checker::check(IsolationLevel::kReadUncommitted, f.txns).satisfiable());
+}
+
+TEST_P(Fuzz, OnlineAgreesWithBatchOnWitnessOrder) {
+  const wl::FuzzedObservations f = make();
+  // Use the RC witness if one exists (a PREREAD-consistent order); fall back
+  // to id order otherwise.
+  const CheckResult rc = checker::check_exhaustive(IsolationLevel::kReadCommitted, f.txns);
+  model::Execution e = rc.satisfiable() ? *rc.witness : model::Execution::identity(f.txns);
+
+  checker::OnlineChecker oc;
+  for (TxnId id : e.order()) oc.append(f.txns.by_id(id));
+
+  const model::ReadStateAnalysis analysis(f.txns, e);
+  const ct::CommitTester batch(analysis);
+  for (IsolationLevel level : ct::kAllLevels) {
+    EXPECT_EQ(oc.status(level).ok, batch.test_all(level).ok)
+        << ct::name_of(level) << ": " << oc.status(level).explanation;
+  }
+}
+
+TEST_P(Fuzz, SerializationPreservesVerdicts) {
+  const wl::FuzzedObservations f = make();
+  report::Observations obs{f.txns, f.version_order};
+  const report::Observations back = report::parse_observations(report::to_text(obs));
+  CheckOptions o1, o2;
+  o1.version_order = &f.version_order;
+  o2.version_order = &back.version_order;
+  for (IsolationLevel level : ct::kAllLevels) {
+    EXPECT_EQ(checker::check_exhaustive(level, f.txns, o1).outcome,
+              checker::check_exhaustive(level, back.txns, o2).outcome)
+        << ct::name_of(level);
+  }
+}
+
+TEST_P(Fuzz, DeterministicVerdicts) {
+  const wl::FuzzedObservations a = make();
+  const wl::FuzzedObservations b = make();
+  for (IsolationLevel level : ct::kAllLevels) {
+    EXPECT_EQ(checker::check(level, a.txns).outcome,
+              checker::check(level, b.txns).outcome);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Fuzz, ::testing::Range<std::uint64_t>(1, 151));
+
+}  // namespace
+}  // namespace crooks

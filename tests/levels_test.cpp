@@ -1,0 +1,70 @@
+#include <gtest/gtest.h>
+
+#include "committest/levels.hpp"
+
+namespace crooks::ct {
+namespace {
+
+TEST(Levels, Names) {
+  EXPECT_EQ(name_of(IsolationLevel::kPSI), "PSI");
+  EXPECT_EQ(name_of(IsolationLevel::kStrictSerializable), "StrictSerializable");
+  for (IsolationLevel l : kAllLevels) EXPECT_NE(name_of(l), "?");
+}
+
+TEST(Levels, Equivalences) {
+  EXPECT_EQ(equivalent_names(IsolationLevel::kPSI), "PL-2+ (Lazy Consistency)");
+  EXPECT_EQ(equivalent_names(IsolationLevel::kAnsiSI), "GSI (Generalized SI)");
+  EXPECT_EQ(equivalent_names(IsolationLevel::kSessionSI), "Strong Session SI, PC-SI");
+}
+
+TEST(Levels, TimestampRequirements) {
+  EXPECT_TRUE(requires_timestamps(IsolationLevel::kAnsiSI));
+  EXPECT_TRUE(requires_timestamps(IsolationLevel::kSessionSI));
+  EXPECT_TRUE(requires_timestamps(IsolationLevel::kStrongSI));
+  EXPECT_TRUE(requires_timestamps(IsolationLevel::kStrictSerializable));
+  EXPECT_FALSE(requires_timestamps(IsolationLevel::kAdyaSI));
+  EXPECT_FALSE(requires_timestamps(IsolationLevel::kPSI));
+  EXPECT_FALSE(requires_timestamps(IsolationLevel::kSerializable));
+}
+
+TEST(Levels, Reflexive) {
+  for (IsolationLevel l : kAllLevels) EXPECT_TRUE(at_least_as_strong(l, l));
+}
+
+TEST(Levels, Figure4SnapshotHierarchy) {
+  using L = IsolationLevel;
+  // Strong SI ⊃ Session SI ⊃ ANSI SI ⊃ Adya SI ⊃ PSI (Figure 4).
+  EXPECT_TRUE(at_least_as_strong(L::kStrongSI, L::kSessionSI));
+  EXPECT_TRUE(at_least_as_strong(L::kSessionSI, L::kAnsiSI));
+  EXPECT_TRUE(at_least_as_strong(L::kAnsiSI, L::kAdyaSI));
+  EXPECT_TRUE(at_least_as_strong(L::kAdyaSI, L::kPSI));
+  EXPECT_TRUE(at_least_as_strong(L::kStrongSI, L::kPSI));  // transitivity
+  // Strictness: no upward implications.
+  EXPECT_FALSE(at_least_as_strong(L::kSessionSI, L::kStrongSI));
+  EXPECT_FALSE(at_least_as_strong(L::kAnsiSI, L::kSessionSI));
+  EXPECT_FALSE(at_least_as_strong(L::kAdyaSI, L::kAnsiSI));
+  EXPECT_FALSE(at_least_as_strong(L::kPSI, L::kAdyaSI));
+}
+
+TEST(Levels, ClassicChain) {
+  using L = IsolationLevel;
+  EXPECT_TRUE(at_least_as_strong(L::kStrictSerializable, L::kSerializable));
+  EXPECT_TRUE(at_least_as_strong(L::kSerializable, L::kAdyaSI));
+  EXPECT_TRUE(at_least_as_strong(L::kPSI, L::kReadAtomic));
+  EXPECT_TRUE(at_least_as_strong(L::kReadAtomic, L::kReadCommitted));
+  EXPECT_TRUE(at_least_as_strong(L::kReadCommitted, L::kReadUncommitted));
+  EXPECT_TRUE(at_least_as_strong(L::kStrictSerializable, L::kReadUncommitted));
+}
+
+TEST(Levels, SerializabilityAndTimedSiAreIncomparable) {
+  using L = IsolationLevel;
+  // Write skew separates SER from the SI family; first-committer-wins
+  // separates the timed SI family from SER.
+  EXPECT_FALSE(at_least_as_strong(L::kSerializable, L::kStrongSI));
+  EXPECT_FALSE(at_least_as_strong(L::kSerializable, L::kAnsiSI));
+  EXPECT_FALSE(at_least_as_strong(L::kStrongSI, L::kSerializable));
+  EXPECT_FALSE(at_least_as_strong(L::kAnsiSI, L::kSerializable));
+}
+
+}  // namespace
+}  // namespace crooks::ct

@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "model/execution.hpp"
+#include "model/operation.hpp"
+#include "model/transaction.hpp"
+
+namespace crooks::model {
+namespace {
+
+TEST(Value, InitialIsBottom) {
+  Value v;
+  EXPECT_TRUE(v.is_initial());
+  EXPECT_FALSE(Value{TxnId{3}}.is_initial());
+  EXPECT_FALSE(Value(kInitTxn, /*ph=*/true).is_initial());
+}
+
+TEST(Operation, Factories) {
+  const Operation r = Operation::read(Key{1}, TxnId{5});
+  EXPECT_TRUE(r.is_read());
+  EXPECT_EQ(r.value.writer, TxnId{5});
+  EXPECT_FALSE(r.value.phantom);
+
+  const Operation w = Operation::write(Key{2}, TxnId{7});
+  EXPECT_TRUE(w.is_write());
+  EXPECT_EQ(w.value.writer, TxnId{7});
+
+  const Operation p = Operation::read_intermediate(Key{1}, TxnId{5});
+  EXPECT_TRUE(p.value.phantom);
+}
+
+TEST(Operation, ToString) {
+  EXPECT_EQ(to_string(Operation::read(Key{1}, TxnId{5})), "r(k1=T5)");
+  EXPECT_EQ(to_string(Operation::write(Key{2}, TxnId{7})), "w(k2)");
+  EXPECT_EQ(to_string(Operation::read_intermediate(Key{1}, TxnId{5})), "r(k1=T5!)");
+}
+
+TEST(Transaction, ReadAndWriteSets) {
+  const Transaction t = TxnBuilder(1).read(10, 0).write(11).read(12, 3).build();
+  EXPECT_EQ(t.read_set().size(), 2u);
+  EXPECT_EQ(t.write_set().size(), 1u);
+  EXPECT_TRUE(t.reads(Key{10}));
+  EXPECT_TRUE(t.writes(Key{11}));
+  EXPECT_FALSE(t.writes(Key{10}));
+  EXPECT_FALSE(t.is_read_only());
+  EXPECT_TRUE(TxnBuilder(2).read(10, 0).build().is_read_only());
+}
+
+TEST(Transaction, RejectsDoubleWrite) {
+  EXPECT_THROW(TxnBuilder(1).write(5).write(5).build(), std::invalid_argument);
+}
+
+TEST(Transaction, TimestampsOptional) {
+  const Transaction untimed = TxnBuilder(1).write(0).build();
+  EXPECT_FALSE(untimed.has_timestamps());
+  const Transaction timed = TxnBuilder(2).write(0).at(10, 20).build();
+  EXPECT_TRUE(timed.has_timestamps());
+  EXPECT_EQ(timed.start_ts(), 10);
+  EXPECT_EQ(timed.commit_ts(), 20);
+}
+
+TEST(Transaction, TimePrecedes) {
+  const Transaction a = TxnBuilder(1).write(0).at(0, 5).build();
+  const Transaction b = TxnBuilder(2).write(1).at(6, 8).build();
+  const Transaction c = TxnBuilder(3).write(2).at(4, 9).build();  // overlaps a
+  EXPECT_TRUE(time_precedes(a, b));
+  EXPECT_FALSE(time_precedes(b, a));
+  EXPECT_FALSE(time_precedes(a, c));
+  EXPECT_FALSE(time_precedes(c, a));
+  const Transaction untimed = TxnBuilder(4).write(3).build();
+  EXPECT_FALSE(time_precedes(a, untimed));
+  EXPECT_FALSE(time_precedes(untimed, b));
+}
+
+TEST(TransactionSet, DenseIndexRoundTrip) {
+  TransactionSet ts({TxnBuilder(5).write(0).build(), TxnBuilder(9).write(1).build()});
+  EXPECT_EQ(ts.size(), 2u);
+  EXPECT_EQ(ts.by_id(TxnId{9}).id(), TxnId{9});
+  EXPECT_EQ(ts.at(ts.dense_index_of(TxnId{5})).id(), TxnId{5});
+  EXPECT_TRUE(ts.contains(TxnId{5}));
+  EXPECT_FALSE(ts.contains(TxnId{6}));
+  EXPECT_THROW(ts.dense_index_of(TxnId{6}), std::out_of_range);
+}
+
+TEST(TransactionSet, RejectsDuplicatesAndReservedId) {
+  EXPECT_THROW(TransactionSet({TxnBuilder(1).build(), TxnBuilder(1).build()}),
+               std::invalid_argument);
+  EXPECT_THROW(TransactionSet({TxnBuilder(0).build()}), std::invalid_argument);
+}
+
+TEST(Execution, PositionsAndParents) {
+  TransactionSet ts({TxnBuilder(1).write(0).build(), TxnBuilder(2).write(1).build(),
+                     TxnBuilder(3).write(2).build()});
+  Execution e(ts, {TxnId{2}, TxnId{3}, TxnId{1}});
+  EXPECT_EQ(e.size(), 3u);
+  EXPECT_EQ(e.state_of(ts.dense_index_of(TxnId{2})), 1);
+  EXPECT_EQ(e.state_of(ts.dense_index_of(TxnId{3})), 2);
+  EXPECT_EQ(e.state_of(ts.dense_index_of(TxnId{1})), 3);
+  EXPECT_EQ(e.parent_of(ts.dense_index_of(TxnId{3})), 1);
+  EXPECT_EQ(e.last_state(), 3);
+}
+
+TEST(Execution, RejectsNonPermutations) {
+  TransactionSet ts({TxnBuilder(1).build(), TxnBuilder(2).build()});
+  EXPECT_THROW(Execution(ts, {TxnId{1}}), std::invalid_argument);
+  EXPECT_THROW(Execution(ts, {TxnId{1}, TxnId{1}}), std::invalid_argument);
+  EXPECT_THROW(Execution(ts, {TxnId{1}, TxnId{3}}), std::out_of_range);
+}
+
+TEST(Execution, MaterializeStates) {
+  TransactionSet ts({TxnBuilder(1).write(10).build(),
+                     TxnBuilder(2).write(10).write(11).build()});
+  Execution e(ts, {TxnId{1}, TxnId{2}});
+  const auto s0 = e.materialize(ts, 0);
+  EXPECT_TRUE(s0.empty());  // all keys implicitly ⊥
+  const auto s1 = e.materialize(ts, 1);
+  EXPECT_EQ(s1.at(Key{10}).writer, TxnId{1});
+  const auto s2 = e.materialize(ts, 2);
+  EXPECT_EQ(s2.at(Key{10}).writer, TxnId{2});
+  EXPECT_EQ(s2.at(Key{11}).writer, TxnId{2});
+  EXPECT_THROW(e.materialize(ts, 3), std::out_of_range);
+}
+
+TEST(Execution, IdentityOrder) {
+  TransactionSet ts({TxnBuilder(4).build(), TxnBuilder(2).build()});
+  Execution e = Execution::identity(ts);
+  EXPECT_EQ(e.order().front(), TxnId{4});
+  EXPECT_EQ(e.order().back(), TxnId{2});
+}
+
+TEST(Execution, ToStringShape) {
+  TransactionSet ts({TxnBuilder(1).build()});
+  EXPECT_EQ(to_string(Execution::identity(ts)), "s0 -T1-> s1");
+}
+
+}  // namespace
+}  // namespace crooks::model

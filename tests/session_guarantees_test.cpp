@@ -1,0 +1,156 @@
+// Session guarantees (Terry et al.) as state-based tests.
+#include <gtest/gtest.h>
+
+#include "committest/session_guarantees.hpp"
+#include "model/analysis.hpp"
+
+namespace crooks::ct {
+namespace {
+
+using model::Execution;
+using model::ReadStateAnalysis;
+using model::TransactionSet;
+using model::TxnBuilder;
+
+constexpr Key kX{0}, kY{1};
+constexpr SessionId kS1{1}, kS2{2};
+
+ExecutionVerdict eval(SessionGuarantee g, const TransactionSet& txns,
+                      std::vector<TxnId> order) {
+  const Execution e(txns, std::move(order));
+  const ReadStateAnalysis a(txns, e);
+  return SessionTester(a).test_all(g);
+}
+
+TEST(SessionGuarantees, Names) {
+  for (SessionGuarantee g : kAllSessionGuarantees) EXPECT_NE(name_of(g), "?");
+}
+
+TEST(SessionGuarantees, ReadMyWritesViolatedByStaleRead) {
+  TransactionSet txns{{
+      TxnBuilder(1).write(kX).session(kS1).at(0, 10).build(),
+      TxnBuilder(2).read(kX, kInitTxn).session(kS1).at(20, 30).build(),
+  }};
+  EXPECT_FALSE(eval(SessionGuarantee::kReadMyWrites, txns, {TxnId{1}, TxnId{2}}).ok);
+  // Reading the session's own write is fine.
+  TransactionSet ok{{
+      TxnBuilder(1).write(kX).session(kS1).at(0, 10).build(),
+      TxnBuilder(2).read(kX, TxnId{1}).session(kS1).at(20, 30).build(),
+  }};
+  EXPECT_TRUE(eval(SessionGuarantee::kReadMyWrites, ok, {TxnId{1}, TxnId{2}}).ok);
+}
+
+TEST(SessionGuarantees, ReadMyWritesAcceptsNewerVersions) {
+  // A third party overwrote the session's write; reading the newer version
+  // still satisfies RMW.
+  TransactionSet txns{{
+      TxnBuilder(1).write(kX).session(kS1).at(0, 10).build(),
+      TxnBuilder(3).write(kX).at(11, 12).build(),
+      TxnBuilder(2).read(kX, TxnId{3}).session(kS1).at(20, 30).build(),
+  }};
+  EXPECT_TRUE(
+      eval(SessionGuarantee::kReadMyWrites, txns, {TxnId{1}, TxnId{3}, TxnId{2}}).ok);
+}
+
+TEST(SessionGuarantees, OtherSessionsUnconstrained) {
+  TransactionSet txns{{
+      TxnBuilder(1).write(kX).session(kS1).at(0, 10).build(),
+      TxnBuilder(2).read(kX, kInitTxn).session(kS2).at(20, 30).build(),
+  }};
+  for (SessionGuarantee g : kAllSessionGuarantees) {
+    EXPECT_TRUE(eval(g, txns, {TxnId{1}, TxnId{2}}).ok) << name_of(g);
+  }
+}
+
+TEST(SessionGuarantees, MonotonicReadsViolatedByTimeTravel) {
+  // T2 reads x=T3 (new); later T4 in the same session reads x=⊥ (old).
+  TransactionSet txns{{
+      TxnBuilder(3).write(kX).at(0, 5).build(),
+      TxnBuilder(2).read(kX, TxnId{3}).session(kS1).at(6, 10).build(),
+      TxnBuilder(4).read(kX, kInitTxn).session(kS1).at(20, 30).build(),
+  }};
+  // Execution must let T4 read ⊥: place T4 before T3.
+  const ExecutionVerdict v =
+      eval(SessionGuarantee::kMonotonicReads, txns, {TxnId{4}, TxnId{3}, TxnId{2}});
+  EXPECT_FALSE(v.ok);
+  EXPECT_EQ(v.violating_txn, TxnId{4});
+}
+
+TEST(SessionGuarantees, MonotonicReadsOkWhenVersionsAdvance) {
+  TransactionSet txns{{
+      TxnBuilder(3).write(kX).at(0, 5).build(),
+      TxnBuilder(2).read(kX, kInitTxn).session(kS1).at(1, 2).build(),
+      TxnBuilder(4).read(kX, TxnId{3}).session(kS1).at(20, 30).build(),
+  }};
+  EXPECT_TRUE(
+      eval(SessionGuarantee::kMonotonicReads, txns, {TxnId{2}, TxnId{3}, TxnId{4}}).ok);
+}
+
+TEST(SessionGuarantees, MonotonicWritesOrderSessionStates) {
+  TransactionSet txns{{
+      TxnBuilder(1).write(kX).session(kS1).at(0, 10).build(),
+      TxnBuilder(2).write(kY).session(kS1).at(20, 30).build(),
+  }};
+  EXPECT_TRUE(eval(SessionGuarantee::kMonotonicWrites, txns, {TxnId{1}, TxnId{2}}).ok);
+  EXPECT_FALSE(eval(SessionGuarantee::kMonotonicWrites, txns, {TxnId{2}, TxnId{1}}).ok);
+}
+
+TEST(SessionGuarantees, WritesFollowReads) {
+  // T2 (session) read T1's x; T3 continues the session. T1 must precede T3.
+  TransactionSet txns{{
+      TxnBuilder(1).write(kX).at(0, 5).build(),
+      TxnBuilder(2).read(kX, TxnId{1}).session(kS1).at(6, 10).build(),
+      TxnBuilder(3).write(kY).session(kS1).at(20, 30).build(),
+  }};
+  EXPECT_TRUE(
+      eval(SessionGuarantee::kWritesFollowReads, txns, {TxnId{1}, TxnId{2}, TxnId{3}}).ok);
+  const ExecutionVerdict v =
+      eval(SessionGuarantee::kWritesFollowReads, txns, {TxnId{3}, TxnId{1}, TxnId{2}});
+  EXPECT_FALSE(v.ok);
+  EXPECT_EQ(v.violating_txn, TxnId{3});
+}
+
+TEST(SessionGuarantees, CheckDecidesOnCommitOrder) {
+  TransactionSet stale{{
+      TxnBuilder(1).write(kX).session(kS1).at(0, 10).build(),
+      TxnBuilder(2).read(kX, kInitTxn).session(kS1).at(20, 30).build(),
+  }};
+  EXPECT_FALSE(check_session_guarantee(SessionGuarantee::kReadMyWrites, stale).ok);
+  EXPECT_TRUE(check_session_guarantee(SessionGuarantee::kMonotonicWrites, stale).ok);
+
+  TransactionSet fresh{{
+      TxnBuilder(1).write(kX).session(kS1).at(0, 10).build(),
+      TxnBuilder(2).read(kX, TxnId{1}).session(kS1).at(20, 30).build(),
+  }};
+  for (SessionGuarantee g : kAllSessionGuarantees) {
+    EXPECT_TRUE(check_session_guarantee(g, fresh).ok) << name_of(g);
+  }
+}
+
+TEST(SessionGuarantees, CheckRequiresTimestamps) {
+  TransactionSet untimed{{TxnBuilder(1).write(kX).session(kS1).build()}};
+  const ExecutionVerdict v =
+      check_session_guarantee(SessionGuarantee::kReadMyWrites, untimed);
+  EXPECT_FALSE(v.ok);
+  EXPECT_NE(v.explanation.find("time oracle"), std::string::npos);
+}
+
+/// Session SI implies all four guarantees on the same execution — the
+/// hierarchy relation between §5.2 and the classic session guarantees.
+TEST(SessionGuarantees, ImpliedBySessionSi) {
+  TransactionSet txns{{
+      TxnBuilder(1).write(kX).session(kS1).at(0, 10).build(),
+      TxnBuilder(2).read(kX, TxnId{1}).write(kY).session(kS1).at(12, 20).build(),
+      TxnBuilder(3).read(kX, TxnId{1}).read(kY, TxnId{2}).session(kS1).at(22, 30).build(),
+  }};
+  const Execution e(txns, {TxnId{1}, TxnId{2}, TxnId{3}});
+  const ReadStateAnalysis a(txns, e);
+  ASSERT_TRUE(CommitTester(a).test_all(IsolationLevel::kSessionSI).ok);
+  SessionTester st(a);
+  for (SessionGuarantee g : kAllSessionGuarantees) {
+    EXPECT_TRUE(st.test_all(g).ok) << name_of(g);
+  }
+}
+
+}  // namespace
+}  // namespace crooks::ct

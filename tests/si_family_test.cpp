@@ -1,0 +1,179 @@
+// Clause-by-clause behaviour of the snapshot-family commit tests (Table 2):
+// COMPLETE, NO-CONF boundaries, C-ORD, T_s <_s T witness selection, and the
+// session / real-time recency lower bounds.
+#include <gtest/gtest.h>
+
+#include "committest/commit_test.hpp"
+#include "model/analysis.hpp"
+
+namespace crooks::ct {
+namespace {
+
+using model::Execution;
+using model::ReadStateAnalysis;
+using model::TransactionSet;
+using model::TxnBuilder;
+
+constexpr Key kX{0}, kY{1}, kZ{2};
+
+struct Harness {
+  TransactionSet txns;
+  Execution e;
+  ReadStateAnalysis a;
+  CommitTester tester;
+
+  Harness(TransactionSet t, std::vector<TxnId> order)
+      : txns(std::move(t)), e(txns, std::move(order)), a(txns, e), tester(a) {}
+};
+
+TEST(SiClauses, NoConfExactBoundary) {
+  // T3 reads from s1 (x=T1) and writes y; y was last written at s2 by T2.
+  // The only complete state for T3's read is s1, but NO-CONF needs s ≥ 2:
+  // the candidate interval [max(1,2), parent] ∩ [1,1] is empty → fail.
+  TransactionSet txns{{
+      TxnBuilder(1).write(kX).build(),
+      TxnBuilder(2).write(kX).write(kY).build(),
+      TxnBuilder(3).read(kX, TxnId{1}).write(kY).build(),
+  }};
+  Harness h(std::move(txns), {TxnId{1}, TxnId{2}, TxnId{3}});
+  const CommitTestResult r =
+      h.tester.test(IsolationLevel::kAdyaSI, h.txns.dense_index_of(TxnId{3}));
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.violation.find("NO-CONF"), std::string::npos);
+}
+
+TEST(SiClauses, NoConfSatisfiedAtExactState) {
+  // Same shape but T3 reads from T2's x: the complete state IS s2, which
+  // equals the conflict threshold — the boundary case must pass.
+  TransactionSet txns{{
+      TxnBuilder(1).write(kX).build(),
+      TxnBuilder(2).write(kX).write(kY).build(),
+      TxnBuilder(3).read(kX, TxnId{2}).write(kY).build(),
+  }};
+  Harness h(std::move(txns), {TxnId{1}, TxnId{2}, TxnId{3}});
+  EXPECT_TRUE(h.tester.test(IsolationLevel::kAdyaSI, h.txns.dense_index_of(TxnId{3})).ok);
+}
+
+TEST(SiClauses, WitnessNeedNotBeParent) {
+  // T3 reads the stale-but-complete s1; two unrelated commits intervene.
+  TransactionSet txns{{
+      TxnBuilder(1).write(kX).build(),
+      TxnBuilder(2).write(kY).build(),
+      TxnBuilder(4).write(kY).build(),
+      TxnBuilder(3).read(kX, TxnId{1}).read(kY, kInitTxn).write(kZ).build(),
+  }};
+  Harness h(std::move(txns), {TxnId{1}, TxnId{2}, TxnId{4}, TxnId{3}});
+  EXPECT_TRUE(h.tester.test(IsolationLevel::kAdyaSI, h.txns.dense_index_of(TxnId{3})).ok);
+  // y=⊥ is only current in s0 and... no: T2 writes y at s2, so the read of
+  // y=⊥ pins the snapshot to s1 at the latest; SER needs the parent s3.
+  EXPECT_FALSE(
+      h.tester.test(IsolationLevel::kSerializable, h.txns.dense_index_of(TxnId{3})).ok);
+}
+
+TEST(SiClauses, CordRejectsInvertedAdjacentPair) {
+  TransactionSet txns{{
+      TxnBuilder(1).write(kX).at(0, 20).build(),
+      TxnBuilder(2).write(kY).at(1, 10).build(),
+  }};
+  // Execution T1, T2 puts commit 20 before commit 10.
+  Harness h(std::move(txns), {TxnId{1}, TxnId{2}});
+  const CommitTestResult r =
+      h.tester.test(IsolationLevel::kAnsiSI, h.txns.dense_index_of(TxnId{2}));
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.violation.find("C-ORD"), std::string::npos);
+  // The untimed test does not care.
+  EXPECT_TRUE(h.tester.test_all(IsolationLevel::kAdyaSI).ok);
+}
+
+TEST(SiClauses, WitnessMustTimePrecede) {
+  // T2 starts before T1 commits, and reads T1's write: under ANSI SI the
+  // snapshot's generator must commit before T2 starts — s1 does not qualify
+  // and s0 is not complete for the read.
+  TransactionSet txns{{
+      TxnBuilder(1).write(kX).at(0, 10).build(),
+      TxnBuilder(2).read(kX, TxnId{1}).at(5, 20).build(),
+  }};
+  Harness h(std::move(txns), {TxnId{1}, TxnId{2}});
+  const CommitTestResult r =
+      h.tester.test(IsolationLevel::kAnsiSI, h.txns.dense_index_of(TxnId{2}));
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.violation.find("T_s <_s T"), std::string::npos);
+  // Adya SI (logical timestamps) accepts exactly this — the paper's point
+  // about reading "further in the past than necessary" vs early visibility.
+  EXPECT_TRUE(h.tester.test(IsolationLevel::kAdyaSI, h.txns.dense_index_of(TxnId{2})).ok);
+}
+
+TEST(SiClauses, InitialStateAlwaysTimePrecedes) {
+  TransactionSet txns{{TxnBuilder(1).read(kX, kInitTxn).at(0, 1).build()}};
+  Harness h(std::move(txns), {TxnId{1}});
+  EXPECT_TRUE(h.tester.test_all(IsolationLevel::kStrongSI).ok);
+}
+
+TEST(SiClauses, SessionRecencyLowerBound) {
+  // Session: T1 then T3. T3's snapshot must include s_{T1}; reading y=⊥ pins
+  // it before T2's write of y... which is after T1 — consistent. But reading
+  // x=⊥ would pin it before s_{T1}: violation.
+  TransactionSet ok_txns{{
+      TxnBuilder(1).write(kX).session(SessionId{1}).at(0, 10).build(),
+      TxnBuilder(2).write(kY).at(11, 40).build(),
+      TxnBuilder(3).read(kX, TxnId{1}).read(kY, kInitTxn).session(SessionId{1}).at(20, 30).build(),
+  }};
+  Harness good(std::move(ok_txns), {TxnId{1}, TxnId{3}, TxnId{2}});
+  EXPECT_TRUE(good.tester.test_all(IsolationLevel::kSessionSI).ok)
+      << good.tester.test_all(IsolationLevel::kSessionSI).explanation;
+
+  TransactionSet bad_txns{{
+      TxnBuilder(1).write(kX).session(SessionId{1}).at(0, 10).build(),
+      TxnBuilder(3).read(kX, kInitTxn).session(SessionId{1}).at(20, 30).build(),
+  }};
+  Harness bad(std::move(bad_txns), {TxnId{1}, TxnId{3}});
+  const CommitTestResult r =
+      bad.tester.test(IsolationLevel::kSessionSI, bad.txns.dense_index_of(TxnId{3}));
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.violation.find("recency"), std::string::npos);
+}
+
+TEST(SiClauses, StrongRecencyCountsAllSessions) {
+  // T2 (other session) commits before T3 starts; T3 reads x=⊥ from before
+  // T2's write: Strong SI rejects, Session SI (no shared session) accepts.
+  TransactionSet txns{{
+      TxnBuilder(2).write(kX).session(SessionId{7}).at(0, 10).build(),
+      TxnBuilder(3).read(kX, kInitTxn).session(SessionId{8}).at(20, 30).build(),
+  }};
+  Harness h(std::move(txns), {TxnId{2}, TxnId{3}});
+  EXPECT_TRUE(h.tester.test_all(IsolationLevel::kSessionSI).ok);
+  const CommitTestResult r =
+      h.tester.test(IsolationLevel::kStrongSI, h.txns.dense_index_of(TxnId{3}));
+  EXPECT_FALSE(r.ok);
+}
+
+TEST(SiClauses, ReadOnlyTransactionsNeverConflict) {
+  // NO-CONF is vacuous for read-only transactions: any complete state works.
+  TransactionSet txns{{
+      TxnBuilder(1).write(kX).build(),
+      TxnBuilder(2).write(kX).build(),
+      TxnBuilder(3).read(kX, TxnId{1}).build(),
+  }};
+  Harness h(std::move(txns), {TxnId{1}, TxnId{2}, TxnId{3}});
+  EXPECT_TRUE(h.tester.test(IsolationLevel::kAdyaSI, h.txns.dense_index_of(TxnId{3})).ok);
+}
+
+TEST(SiClauses, HelperAccessors) {
+  TransactionSet txns{{
+      TxnBuilder(1).write(kX).session(SessionId{1}).at(0, 10).build(),
+      TxnBuilder(2).write(kY).session(SessionId{1}).at(20, 30).build(),
+      TxnBuilder(3).write(kZ).session(SessionId{2}).at(22, 40).build(),
+  }};
+  Harness h(std::move(txns), {TxnId{1}, TxnId{2}, TxnId{3}});
+  const std::size_t d2 = h.txns.dense_index_of(TxnId{2});
+  const std::size_t d3 = h.txns.dense_index_of(TxnId{3});
+  EXPECT_EQ(h.tester.realtime_pred_max_state(d2), 1);  // T1's state
+  EXPECT_EQ(h.tester.session_pred_max_state(d2), 1);
+  EXPECT_EQ(h.tester.realtime_pred_max_state(d3), 1);  // T1 <_s T3 only
+  EXPECT_EQ(h.tester.session_pred_max_state(d3), 0);   // alone in session 2
+  EXPECT_TRUE(h.tester.commit_ordered_with_parent(d2));
+  EXPECT_TRUE(h.tester.commit_ordered_with_parent(h.txns.dense_index_of(TxnId{1})));
+}
+
+}  // namespace
+}  // namespace crooks::ct

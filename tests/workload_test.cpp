@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "workload/workload.hpp"
+#include "workload/zipf.hpp"
+
+namespace crooks::wl {
+namespace {
+
+TEST(Zipf, UniformWhenThetaZero) {
+  ZipfGenerator z(10, 0.0);
+  Rng rng(1);
+  std::map<std::uint64_t, int> counts;
+  for (int i = 0; i < 10000; ++i) ++counts[z(rng)];
+  for (auto& [k, c] : counts) {
+    EXPECT_GT(c, 700);
+    EXPECT_LT(c, 1300);
+  }
+}
+
+TEST(Zipf, SkewedWhenThetaHigh) {
+  ZipfGenerator z(1000, 0.99);
+  Rng rng(2);
+  std::map<std::uint64_t, int> counts;
+  for (int i = 0; i < 20000; ++i) ++counts[z(rng)];
+  // The hottest key should absorb far more than uniform share (20).
+  EXPECT_GT(counts[0], 1000);
+}
+
+TEST(Zipf, AllSamplesInRange) {
+  ZipfGenerator z(50, 0.8);
+  Rng rng(3);
+  for (int i = 0; i < 5000; ++i) EXPECT_LT(z(rng), 50u);
+}
+
+TEST(Zipf, RejectsBadParameters) {
+  EXPECT_THROW(ZipfGenerator(0, 0.5), std::invalid_argument);
+  EXPECT_THROW(ZipfGenerator(10, 1.0), std::invalid_argument);
+  EXPECT_THROW(ZipfGenerator(10, -0.1), std::invalid_argument);
+}
+
+TEST(Mix, RespectsShape) {
+  const auto intents = generate_mix({.transactions = 50,
+                                     .keys = 100,
+                                     .reads_per_txn = 3,
+                                     .writes_per_txn = 2,
+                                     .seed = 4});
+  ASSERT_EQ(intents.size(), 50u);
+  for (const auto& i : intents) {
+    ASSERT_EQ(i.steps.size(), 5u);
+    for (std::size_t j = 0; j < 3; ++j) EXPECT_TRUE(i.steps[j].is_read);
+    for (std::size_t j = 3; j < 5; ++j) EXPECT_FALSE(i.steps[j].is_read);
+  }
+}
+
+TEST(Mix, KeysDistinctWithinTransaction) {
+  const auto intents = generate_mix({.transactions = 100,
+                                     .keys = 10,
+                                     .reads_per_txn = 3,
+                                     .writes_per_txn = 3,
+                                     .seed = 5});
+  for (const auto& i : intents) {
+    std::set<std::uint64_t> keys;
+    for (const auto& s : i.steps) EXPECT_TRUE(keys.insert(s.key.value).second);
+  }
+}
+
+TEST(Mix, ReadOnlyFraction) {
+  const auto intents = generate_mix({.transactions = 200,
+                                     .keys = 100,
+                                     .reads_per_txn = 2,
+                                     .writes_per_txn = 2,
+                                     .read_only_fraction = 0.5,
+                                     .seed = 6});
+  std::size_t read_only = 0;
+  for (const auto& i : intents) {
+    bool any_write = false;
+    for (const auto& s : i.steps) any_write |= !s.is_read;
+    read_only += any_write ? 0 : 1;
+  }
+  EXPECT_GT(read_only, 60u);
+  EXPECT_LT(read_only, 140u);
+}
+
+TEST(Mix, SessionsAndSitesRoundRobin) {
+  const auto intents = generate_mix({.transactions = 9,
+                                     .keys = 50,
+                                     .sessions = 3,
+                                     .sites = 3,
+                                     .seed = 7});
+  for (std::size_t i = 0; i < intents.size(); ++i) {
+    EXPECT_EQ(intents[i].session.value, i % 3);
+    EXPECT_EQ(intents[i].site.value, i % 3);
+  }
+}
+
+TEST(Mix, DeterministicPerSeed) {
+  const auto a = generate_mix({.transactions = 20, .keys = 30, .seed = 8});
+  const auto b = generate_mix({.transactions = 20, .keys = 30, .seed = 8});
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].steps.size(), b[i].steps.size());
+    for (std::size_t j = 0; j < a[i].steps.size(); ++j) {
+      EXPECT_EQ(a[i].steps[j].key, b[i].steps[j].key);
+    }
+  }
+}
+
+TEST(Banking, PairsShape) {
+  const auto intents = banking_withdrawals(4);
+  ASSERT_EQ(intents.size(), 8u);
+  // Alice debits checking (even key), Bob debits savings (odd key).
+  EXPECT_EQ(intents[0].steps.back().key.value, 0u);
+  EXPECT_EQ(intents[1].steps.back().key.value, 1u);
+  EXPECT_EQ(intents[6].steps.back().key.value, 6u);
+  EXPECT_EQ(intents[7].steps.back().key.value, 7u);
+}
+
+}  // namespace
+}  // namespace crooks::wl

@@ -1,0 +1,111 @@
+// crooks-check: audit client observations for isolation violations.
+//
+//   crooks-check [OPTIONS] [FILE]
+//
+// Reads observations (see src/report/serialize.hpp for the format) from FILE
+// or stdin and prints an isolation audit. Exit status: 0 when the requested
+// level (or, by default, the weakest level ReadUncommitted) is satisfied,
+// 1 on violation, 2 on usage/parse errors.
+//
+// Options:
+//   --level=NAME   verdict/exit status for one level (e.g. Serializable)
+//   --quiet        print only the verdict line
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <optional>
+
+#include "report/report.hpp"
+
+using namespace crooks;
+
+namespace {
+
+std::optional<ct::IsolationLevel> level_by_name(const std::string& name) {
+  for (ct::IsolationLevel l : ct::kAllLevels) {
+    if (name == ct::name_of(l)) return l;
+  }
+  return std::nullopt;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: crooks-check [--level=NAME] [--quiet] [FILE]\n"
+               "levels:");
+  for (ct::IsolationLevel l : ct::kAllLevels) {
+    std::fprintf(stderr, " %s", std::string(ct::name_of(l)).c_str());
+  }
+  std::fprintf(stderr, "\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::optional<ct::IsolationLevel> requested;
+  bool quiet = false;
+  std::string file;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--level=", 0) == 0) {
+      requested = level_by_name(arg.substr(8));
+      if (!requested.has_value()) {
+        std::fprintf(stderr, "unknown level '%s'\n", arg.substr(8).c_str());
+        return usage();
+      }
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (arg == "--help" || arg == "-h") {
+      return usage();
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+      return usage();
+    } else if (file.empty()) {
+      file = arg;
+    } else {
+      return usage();
+    }
+  }
+
+  report::Observations obs;
+  try {
+    if (file.empty()) {
+      obs = report::parse_observations(std::cin);
+    } else {
+      std::ifstream in(file);
+      if (!in) {
+        std::fprintf(stderr, "cannot open '%s'\n", file.c_str());
+        return 2;
+      }
+      obs = report::parse_observations(in);
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "parse error: %s\n", e.what());
+    return 2;
+  }
+
+  checker::CheckOptions opts;
+  if (obs.has_version_order()) opts.version_order = &obs.version_order;
+
+  if (requested.has_value()) {
+    const checker::CheckResult r = checker::check(*requested, obs.txns, opts);
+    std::printf("%s: %s\n", std::string(ct::name_of(*requested)).c_str(),
+                r.satisfiable()     ? "SATISFIABLE"
+                : r.unsatisfiable() ? "UNSATISFIABLE"
+                                    : "UNDECIDED");
+    if (!quiet && !r.detail.empty()) std::printf("%s\n", r.detail.c_str());
+    return r.satisfiable() ? 0 : 1;
+  }
+
+  const report::AuditResult a = report::audit(obs, opts);
+  if (quiet) {
+    std::printf("strongest: %s\n",
+                a.strongest.has_value() ? std::string(ct::name_of(*a.strongest)).c_str()
+                                        : "none");
+  } else {
+    std::printf("%s", a.text.c_str());
+  }
+  return a.strongest.has_value() ? 0 : 1;
+}
