@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_schedules.dir/bench_fig1_schedules.cpp.o"
+  "CMakeFiles/bench_fig1_schedules.dir/bench_fig1_schedules.cpp.o.d"
+  "bench_fig1_schedules"
+  "bench_fig1_schedules.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_schedules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

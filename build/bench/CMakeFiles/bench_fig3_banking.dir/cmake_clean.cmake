@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_banking.dir/bench_fig3_banking.cpp.o"
+  "CMakeFiles/bench_fig3_banking.dir/bench_fig3_banking.cpp.o.d"
+  "bench_fig3_banking"
+  "bench_fig3_banking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_banking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_hierarchy.dir/bench_fig4_hierarchy.cpp.o"
+  "CMakeFiles/bench_fig4_hierarchy.dir/bench_fig4_hierarchy.cpp.o.d"
+  "bench_fig4_hierarchy"
+  "bench_fig4_hierarchy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_hierarchy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

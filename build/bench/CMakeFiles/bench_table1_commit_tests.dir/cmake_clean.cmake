@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_commit_tests.dir/bench_table1_commit_tests.cpp.o"
+  "CMakeFiles/bench_table1_commit_tests.dir/bench_table1_commit_tests.cpp.o.d"
+  "bench_table1_commit_tests"
+  "bench_table1_commit_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_commit_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_si_family.dir/bench_table2_si_family.cpp.o"
+  "CMakeFiles/bench_table2_si_family.dir/bench_table2_si_family.cpp.o.d"
+  "bench_table2_si_family"
+  "bench_table2_si_family.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_si_family.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

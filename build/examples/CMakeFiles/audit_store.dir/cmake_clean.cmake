@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/audit_store.dir/audit_store.cpp.o"
+  "CMakeFiles/audit_store.dir/audit_store.cpp.o.d"
+  "audit_store"
+  "audit_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/audit_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/banking_write_skew.dir/banking_write_skew.cpp.o"
+  "CMakeFiles/banking_write_skew.dir/banking_write_skew.cpp.o.d"
+  "banking_write_skew"
+  "banking_write_skew.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/banking_write_skew.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

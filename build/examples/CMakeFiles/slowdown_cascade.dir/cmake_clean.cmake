@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slowdown_cascade.dir/slowdown_cascade.cpp.o"
+  "CMakeFiles/slowdown_cascade.dir/slowdown_cascade.cpp.o.d"
+  "slowdown_cascade"
+  "slowdown_cascade.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slowdown_cascade.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/adya/axiomatic.cpp" "src/adya/CMakeFiles/crooks_adya.dir/axiomatic.cpp.o" "gcc" "src/adya/CMakeFiles/crooks_adya.dir/axiomatic.cpp.o.d"
+  "/root/repo/src/adya/graph.cpp" "src/adya/CMakeFiles/crooks_adya.dir/graph.cpp.o" "gcc" "src/adya/CMakeFiles/crooks_adya.dir/graph.cpp.o.d"
+  "/root/repo/src/adya/observations.cpp" "src/adya/CMakeFiles/crooks_adya.dir/observations.cpp.o" "gcc" "src/adya/CMakeFiles/crooks_adya.dir/observations.cpp.o.d"
+  "/root/repo/src/adya/phenomena.cpp" "src/adya/CMakeFiles/crooks_adya.dir/phenomena.cpp.o" "gcc" "src/adya/CMakeFiles/crooks_adya.dir/phenomena.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/model/CMakeFiles/crooks_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/committest/CMakeFiles/crooks_committest.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crooks_adya.dir/axiomatic.cpp.o"
+  "CMakeFiles/crooks_adya.dir/axiomatic.cpp.o.d"
+  "CMakeFiles/crooks_adya.dir/graph.cpp.o"
+  "CMakeFiles/crooks_adya.dir/graph.cpp.o.d"
+  "CMakeFiles/crooks_adya.dir/observations.cpp.o"
+  "CMakeFiles/crooks_adya.dir/observations.cpp.o.d"
+  "CMakeFiles/crooks_adya.dir/phenomena.cpp.o"
+  "CMakeFiles/crooks_adya.dir/phenomena.cpp.o.d"
+  "libcrooks_adya.a"
+  "libcrooks_adya.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crooks_adya.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for crooks_adya.
+# This may be replaced when dependencies are built.

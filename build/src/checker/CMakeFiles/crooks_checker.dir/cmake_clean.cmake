@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crooks_checker.dir/exhaustive.cpp.o"
+  "CMakeFiles/crooks_checker.dir/exhaustive.cpp.o.d"
+  "CMakeFiles/crooks_checker.dir/graph_engine.cpp.o"
+  "CMakeFiles/crooks_checker.dir/graph_engine.cpp.o.d"
+  "CMakeFiles/crooks_checker.dir/online.cpp.o"
+  "CMakeFiles/crooks_checker.dir/online.cpp.o.d"
+  "libcrooks_checker.a"
+  "libcrooks_checker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crooks_checker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

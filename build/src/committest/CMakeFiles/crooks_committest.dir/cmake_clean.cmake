@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crooks_committest.dir/commit_test.cpp.o"
+  "CMakeFiles/crooks_committest.dir/commit_test.cpp.o.d"
+  "CMakeFiles/crooks_committest.dir/session_guarantees.cpp.o"
+  "CMakeFiles/crooks_committest.dir/session_guarantees.cpp.o.d"
+  "libcrooks_committest.a"
+  "libcrooks_committest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crooks_committest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

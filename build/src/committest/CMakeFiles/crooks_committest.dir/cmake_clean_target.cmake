@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcrooks_committest.a"
+)

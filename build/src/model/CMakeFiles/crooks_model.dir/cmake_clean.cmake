@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crooks_model.dir/analysis.cpp.o"
+  "CMakeFiles/crooks_model.dir/analysis.cpp.o.d"
+  "libcrooks_model.a"
+  "libcrooks_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crooks_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

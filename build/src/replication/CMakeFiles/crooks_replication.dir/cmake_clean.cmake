@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crooks_replication.dir/geo_store.cpp.o"
+  "CMakeFiles/crooks_replication.dir/geo_store.cpp.o.d"
+  "CMakeFiles/crooks_replication.dir/simulator.cpp.o"
+  "CMakeFiles/crooks_replication.dir/simulator.cpp.o.d"
+  "libcrooks_replication.a"
+  "libcrooks_replication.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crooks_replication.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crooks_report.dir/report.cpp.o"
+  "CMakeFiles/crooks_report.dir/report.cpp.o.d"
+  "CMakeFiles/crooks_report.dir/serialize.cpp.o"
+  "CMakeFiles/crooks_report.dir/serialize.cpp.o.d"
+  "libcrooks_report.a"
+  "libcrooks_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crooks_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crooks_store.dir/runner.cpp.o"
+  "CMakeFiles/crooks_store.dir/runner.cpp.o.d"
+  "CMakeFiles/crooks_store.dir/store.cpp.o"
+  "CMakeFiles/crooks_store.dir/store.cpp.o.d"
+  "libcrooks_store.a"
+  "libcrooks_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crooks_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

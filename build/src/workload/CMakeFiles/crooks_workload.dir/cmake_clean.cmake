@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crooks_workload.dir/observations.cpp.o"
+  "CMakeFiles/crooks_workload.dir/observations.cpp.o.d"
+  "CMakeFiles/crooks_workload.dir/workload.cpp.o"
+  "CMakeFiles/crooks_workload.dir/workload.cpp.o.d"
+  "libcrooks_workload.a"
+  "libcrooks_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crooks_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

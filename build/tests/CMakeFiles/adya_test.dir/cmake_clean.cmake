@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adya_test.dir/adya_test.cpp.o"
+  "CMakeFiles/adya_test.dir/adya_test.cpp.o.d"
+  "adya_test"
+  "adya_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adya_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

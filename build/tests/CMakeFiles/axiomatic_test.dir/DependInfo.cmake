@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/axiomatic_test.cpp" "tests/CMakeFiles/axiomatic_test.dir/axiomatic_test.cpp.o" "gcc" "tests/CMakeFiles/axiomatic_test.dir/axiomatic_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/adya/CMakeFiles/crooks_adya.dir/DependInfo.cmake"
+  "/root/repo/build/src/checker/CMakeFiles/crooks_checker.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/crooks_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/store/CMakeFiles/crooks_store.dir/DependInfo.cmake"
+  "/root/repo/build/src/committest/CMakeFiles/crooks_committest.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/crooks_model.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/axiomatic_test.dir/axiomatic_test.cpp.o"
+  "CMakeFiles/axiomatic_test.dir/axiomatic_test.cpp.o.d"
+  "axiomatic_test"
+  "axiomatic_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/axiomatic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/checker_internals_test.dir/checker_internals_test.cpp.o"
+  "CMakeFiles/checker_internals_test.dir/checker_internals_test.cpp.o.d"
+  "checker_internals_test"
+  "checker_internals_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/checker_internals_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

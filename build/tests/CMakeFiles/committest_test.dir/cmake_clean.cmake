@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/committest_test.dir/committest_test.cpp.o"
+  "CMakeFiles/committest_test.dir/committest_test.cpp.o.d"
+  "committest_test"
+  "committest_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/committest_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

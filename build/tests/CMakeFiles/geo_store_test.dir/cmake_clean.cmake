@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geo_store_test.dir/geo_store_test.cpp.o"
+  "CMakeFiles/geo_store_test.dir/geo_store_test.cpp.o.d"
+  "geo_store_test"
+  "geo_store_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geo_store_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/si_family_test.dir/si_family_test.cpp.o"
+  "CMakeFiles/si_family_test.dir/si_family_test.cpp.o.d"
+  "si_family_test"
+  "si_family_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/si_family_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

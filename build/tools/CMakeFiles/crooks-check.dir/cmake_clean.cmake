@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crooks-check.dir/crooks_check.cpp.o"
+  "CMakeFiles/crooks-check.dir/crooks_check.cpp.o.d"
+  "crooks-check"
+  "crooks-check.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crooks-check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
