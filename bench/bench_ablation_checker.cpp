@@ -5,7 +5,18 @@
 // observations, across observation-set sizes. This quantifies why the
 // equivalence theorems matter operationally: they turn an exponential
 // search into a serialization-graph pass.
+//
+// The *Scaling benchmarks track the parallel layer: check_batch throughput
+// (histories/sec) and branch-parallel refutation latency as thread count
+// grows. Each run exports {threads, histories_per_sec, speedup} counters, so
+// a JSON export (--benchmark_format=json > BENCH_checker.json) records the
+// scaling curve; `speedup` is relative to the threads=1 run of the same
+// benchmark within the same process.
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <map>
+#include <string>
 
 #include "checker/checker.hpp"
 #include "store/runner.hpp"
@@ -107,6 +118,119 @@ void BM_ReadStateAnalysis(benchmark::State& state) {
   state.SetComplexityN(state.range(0));
 }
 BENCHMARK(BM_ReadStateAnalysis)->Arg(32)->Arg(128)->Arg(512)->Arg(2048)->Complexity();
+
+/// Seconds-per-iteration baselines keyed by benchmark name, captured at
+/// threads == 1 (google-benchmark runs the Arg(1) instance first).
+std::map<std::string, double>& baselines() {
+  static std::map<std::string, double> b;
+  return b;
+}
+
+void record_scaling(benchmark::State& state, const std::string& name,
+                    double secs_per_iter, double items_per_iter) {
+  const auto threads = static_cast<double>(state.range(0));
+  if (threads == 1) baselines()[name] = secs_per_iter;
+  const double base = baselines().count(name) ? baselines()[name] : secs_per_iter;
+  state.counters["threads"] = threads;
+  state.counters["histories_per_sec"] = items_per_iter / secs_per_iter;
+  state.counters["speedup"] = base / secs_per_iter;
+}
+
+/// check_batch over many independent histories — the store-runner /
+/// fuzz-suite shape. Half are store-generated (satisfiable, witness found
+/// fast), half are write-skew refutations (the whole pruned tree must be
+/// exhausted), mirroring a real audit stream. No version order, so every
+/// history goes through the exhaustive engine (threshold raised past the
+/// history sizes).
+std::vector<model::TransactionSet> batch_histories(std::size_t count) {
+  std::vector<model::TransactionSet> histories;
+  histories.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    histories.push_back(i % 2 == 0 ? run_of_size(9 + i % 3).observations
+                                   : unsat_instance(8 + i % 3));
+  }
+  return histories;
+}
+
+void BM_CheckBatchScaling(benchmark::State& state) {
+  constexpr std::size_t kHistories = 64;
+  static const std::vector<model::TransactionSet> histories = batch_histories(kHistories);
+
+  checker::CheckOptions opts;
+  opts.exhaustive_threshold = 64;
+  opts.threads = static_cast<std::size_t>(state.range(0));
+
+  double secs = 0;
+  for (auto _ : state) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto results =
+        checker::check_batch(ct::IsolationLevel::kSerializable, histories, opts);
+    benchmark::DoNotOptimize(results.data());
+    secs += std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(kHistories * state.iterations()));
+  record_scaling(state, "CheckBatch", secs / static_cast<double>(state.iterations()),
+                 kHistories);
+}
+BENCHMARK(BM_CheckBatchScaling)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
+
+/// Branch-parallel exhaustive refutation of one hard instance: the verdict
+/// needs the whole pruned permutation tree, which the workers split by
+/// top-level prefix branch.
+void BM_ParallelExhaustiveScaling(benchmark::State& state) {
+  const model::TransactionSet txns = unsat_instance(10);
+  checker::CheckOptions opts;
+  opts.threads = static_cast<std::size_t>(state.range(0));
+
+  double secs = 0;
+  for (auto _ : state) {
+    const auto t0 = std::chrono::steady_clock::now();
+    benchmark::DoNotOptimize(
+        checker::check_exhaustive(ct::IsolationLevel::kSerializable, txns, opts)
+            .outcome);
+    secs += std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  }
+  record_scaling(state, "ParallelExhaustive",
+                 secs / static_cast<double>(state.iterations()), 1);
+}
+BENCHMARK(BM_ParallelExhaustiveScaling)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
+
+/// End-to-end store pipeline: run + verify many workloads through
+/// run_verified_batch (runs and checks both fan out).
+void BM_VerifiedBatchScaling(benchmark::State& state) {
+  constexpr std::size_t kWorkloads = 32;
+  static const std::vector<std::vector<store::TxnIntent>> workloads = [] {
+    std::vector<std::vector<store::TxnIntent>> ws;
+    ws.reserve(kWorkloads);
+    for (std::size_t i = 0; i < kWorkloads; ++i) {
+      ws.push_back(wl::generate_mix({.transactions = 24,
+                                     .keys = 8,
+                                     .reads_per_txn = 2,
+                                     .writes_per_txn = 2,
+                                     .seed = 100 + i}));
+    }
+    return ws;
+  }();
+
+  checker::CheckOptions copts;
+  copts.threads = static_cast<std::size_t>(state.range(0));
+
+  double secs = 0;
+  for (auto _ : state) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto verified = store::run_verified_batch(
+        workloads,
+        {.mode = store::CCMode::kSnapshotIsolation, .seed = 7, .concurrency = 4,
+         .retries = 3},
+        ct::IsolationLevel::kSerializable, copts);
+    benchmark::DoNotOptimize(verified.data());
+    secs += std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(kWorkloads * state.iterations()));
+  record_scaling(state, "VerifiedBatch",
+                 secs / static_cast<double>(state.iterations()), kWorkloads);
+}
+BENCHMARK(BM_VerifiedBatchScaling)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
 
 void BM_PrecedenceClosure(benchmark::State& state) {
   const store::RunResult r = run_of_size(static_cast<std::size_t>(state.range(0)));

@@ -1,0 +1,42 @@
+// Batch checking: fan independent histories across a thread pool.
+//
+// Histories in a batch share nothing — each gets its own dispatcher call with
+// its own (optional) version order — so the only coordination is the pool
+// itself. Per-history searches run single-threaded: when there are many
+// histories, spending the core budget across them beats nesting parallelism
+// inside each factorial search, and it keeps every per-history result
+// bit-for-bit identical to a lone check() with threads = 1.
+#include "checker/checker.hpp"
+#include "common/thread_pool.hpp"
+
+namespace crooks::checker {
+
+std::size_t CheckOptions::resolved_threads() const {
+  return threads == 0 ? ThreadPool::default_threads() : threads;
+}
+
+std::vector<CheckResult> check_batch(ct::IsolationLevel level,
+                                     std::span<const BatchItem> items,
+                                     const CheckOptions& opts) {
+  std::vector<CheckResult> results(items.size());
+  parallel_for_each_index(
+      opts.resolved_threads(), items.size(), [&](std::size_t i) {
+        CheckOptions local = opts;
+        local.threads = 1;  // batch-level parallelism only; see header comment
+        if (items[i].version_order != nullptr) {
+          local.version_order = items[i].version_order;
+        }
+        results[i] = check(level, *items[i].txns, local);
+      });
+  return results;
+}
+
+std::vector<CheckResult> check_batch(ct::IsolationLevel level,
+                                     std::span<const model::TransactionSet> histories,
+                                     const CheckOptions& opts) {
+  std::vector<BatchItem> items(histories.size());
+  for (std::size_t i = 0; i < histories.size(); ++i) items[i].txns = &histories[i];
+  return check_batch(level, std::span<const BatchItem>(items), opts);
+}
+
+}  // namespace crooks::checker

@@ -28,6 +28,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -77,11 +78,53 @@ struct CheckOptions {
   /// e.g. two blind writes can always be ordered either way (this is the
   /// paper's Figure 1(l) point about systems that refuse to reorder writes).
   const std::unordered_map<Key, std::vector<TxnId>>* version_order = nullptr;
+
+  /// Worker threads for the parallel layers: check_batch fans histories
+  /// across this many workers, and the exhaustive engine distributes disjoint
+  /// top-level prefix branches. 0 means hardware_concurrency; 1 preserves the
+  /// fully sequential behaviour bit-for-bit (including nodes_explored — use
+  /// threads = 1 when debugging node-count regressions).
+  ///
+  /// Determinism contract (see DESIGN.md §2.3): for a fixed input, the
+  /// verdict (kSatisfiable / kUnsatisfiable / kUnknown) is the same for every
+  /// thread count and every scheduling. A parallel run may choose a different
+  /// witness than the sequential one — it still passes verify_witness — and
+  /// may report a different nodes_explored, and it may answer kSatisfiable on
+  /// budget-limited instances where the sequential engine gives up with
+  /// kUnknown (never the reverse, and it never contradicts a definite
+  /// sequential verdict).
+  std::size_t threads = 0;
+
+  /// Resolved thread count (threads == 0 ⇒ hardware_concurrency).
+  std::size_t resolved_threads() const;
+};
+
+/// One history in a check_batch call: its observations plus (optionally) its
+/// own authoritative version order. A null version_order falls back to the
+/// batch-level CheckOptions::version_order.
+struct BatchItem {
+  const model::TransactionSet* txns = nullptr;
+  const std::unordered_map<Key, std::vector<TxnId>>* version_order = nullptr;
 };
 
 /// Decide ∃e ∀T CT_I(T, e), picking the strongest applicable engine.
 CheckResult check(ct::IsolationLevel level, const model::TransactionSet& txns,
                   const CheckOptions& opts = {});
+
+/// Check many independent histories concurrently, fanning them across
+/// opts.threads pool workers. Each history is decided by the same dispatch
+/// as check() (running its own search single-threaded — the parallelism
+/// budget is spent across histories, not nested within one). Results are
+/// returned in input order and are identical to checking each history alone.
+std::vector<CheckResult> check_batch(ct::IsolationLevel level,
+                                     std::span<const BatchItem> items,
+                                     const CheckOptions& opts = {});
+
+/// check_batch over bare observation sets; every history shares
+/// opts.version_order (usually null).
+std::vector<CheckResult> check_batch(ct::IsolationLevel level,
+                                     std::span<const model::TransactionSet> histories,
+                                     const CheckOptions& opts = {});
 
 /// Branch-and-bound over execution prefixes. Sound and complete (with
 /// respect to opts.version_order when set); factorial.

@@ -9,10 +9,21 @@
 // later can never change a placed transaction's verdict, so a failing
 // placement prunes the whole subtree, and a fully built order in which every
 // placement passed is a genuine witness.
+//
+// Parallel mode (opts.threads != 1, |𝒯| ≥ kMinParallelSize): the n disjoint
+// top-level prefix branches — "transaction d is placed first" — partition the
+// whole search tree, so each branch is handed to a pool worker as an
+// independent search seeded with that first placement. Coordination is one
+// atomic first-witness flag; every branch runs under the full node budget and
+// the per-branch outcomes are combined by a fixed rule (see run_parallel), so
+// the verdict is a deterministic function of the input even though witness
+// choice and nodes_explored may vary with scheduling.
 #include <algorithm>
+#include <atomic>
 
 #include "checker/checker.hpp"
 #include "common/bitset.hpp"
+#include "common/thread_pool.hpp"
 
 namespace crooks::checker {
 
@@ -21,6 +32,11 @@ namespace {
 using ct::IsolationLevel;
 using model::Operation;
 using model::Transaction;
+
+/// Below this size a search finishes in microseconds; spawning workers only
+/// adds noise (and would make the tiny fixtures' witness shapes and node
+/// counts scheduling-dependent).
+constexpr std::size_t kMinParallelSize = 4;
 
 class PrefixSearch {
  public:
@@ -80,16 +96,7 @@ class PrefixSearch {
   }
 
   CheckResult run() {
-    if (ct::requires_timestamps(level_)) {
-      for (const Transaction& t : *txns_) {
-        if (!t.has_timestamps()) {
-          return {Outcome::kUnsatisfiable, std::nullopt,
-                  std::string(ct::name_of(level_)) + " requires the time oracle but " +
-                      crooks::to_string(t.id()) + " has no timestamps",
-                  0};
-        }
-      }
-    }
+    if (auto pre = timestamps_precheck()) return *std::move(pre);
     if (dfs()) {
       std::vector<TxnId> ids;
       ids.reserve(order_.size());
@@ -104,12 +111,123 @@ class PrefixSearch {
             "exhaustive search: no execution satisfies the commit test", nodes_};
   }
 
+  /// Branch-parallel search over the top-level prefix branches.
+  ///
+  /// Determinism: each branch (a copy of the root search with candidate i
+  /// forced first) runs under the full max_nodes cap, so its outcome —
+  /// refuted, witness, or cap hit — is a pure function of the input. The
+  /// combination rule below is a pure function of those outcomes:
+  ///   * any branch holds a witness            → kSatisfiable
+  ///   * no witness, no cap hit, Σnodes < cap  → kUnsatisfiable
+  ///   * otherwise                             → kUnknown
+  /// First-witness early termination (the shared `cancel` flag) is sound
+  /// under this rule: a branch is only ever cancelled by a witness elsewhere,
+  /// which already fixes the verdict at kSatisfiable. When no branch contains
+  /// a witness nothing is ever cancelled, so the refutation/budget outcomes
+  /// are exactly the sequential ones and Σnodes equals the sequential node
+  /// count. The verdict therefore agrees with run() whenever run() is
+  /// definite; on budget-limited instances the parallel engine may upgrade
+  /// run()'s kUnknown to kSatisfiable (never the reverse).
+  CheckResult run_parallel(std::size_t threads) {
+    if (auto pre = timestamps_precheck()) return *std::move(pre);
+    std::vector<BranchOutcome> outcomes(n_);
+    std::atomic<bool> cancel{false};
+    {
+      ThreadPool pool(std::min(threads, n_));
+      for (std::size_t i = 0; i < n_; ++i) {
+        pool.submit([this, i, &outcomes, &cancel] {
+          if (cancel.load(std::memory_order_relaxed)) return;  // stays kCancelled
+          PrefixSearch branch(*this);
+          outcomes[i] = branch.run_branch(candidates_[i], &cancel);
+          if (outcomes[i].kind == BranchOutcome::Kind::kWitness) {
+            cancel.store(true, std::memory_order_relaxed);
+          }
+        });
+      }
+      pool.wait();
+    }
+
+    std::uint64_t total = 0;
+    for (const BranchOutcome& o : outcomes) total += o.nodes;
+    for (BranchOutcome& o : outcomes) {
+      if (o.kind == BranchOutcome::Kind::kWitness) {
+        return {Outcome::kSatisfiable, model::Execution(*txns_, std::move(o.order)),
+                "witness found by parallel exhaustive search", total};
+      }
+    }
+    bool capped = false;
+    for (const BranchOutcome& o : outcomes) {
+      capped |= o.kind == BranchOutcome::Kind::kCapped;
+    }
+    if (capped || total >= max_nodes_) {
+      return {Outcome::kUnknown, std::nullopt, "search budget exhausted", total};
+    }
+    return {Outcome::kUnsatisfiable, std::nullopt,
+            "exhaustive search: no execution satisfies the commit test", total};
+  }
+
  private:
   struct OpInterval {
     StateIndex sf = 0;
     StateIndex sl = -1;
     bool empty() const { return sf > sl; }
   };
+
+  /// What one top-level prefix branch concluded about its subtree.
+  struct BranchOutcome {
+    enum class Kind : std::uint8_t {
+      kCancelled,  // skipped/aborted because another branch found a witness
+      kRefuted,    // subtree fully explored, no witness
+      kWitness,    // `order` is a complete passing execution
+      kCapped,     // hit the per-branch node cap
+    };
+    Kind kind = Kind::kCancelled;
+    std::uint64_t nodes = 0;
+    std::vector<TxnId> order;
+  };
+
+  /// kUnsatisfiable early-out shared by run()/run_parallel(): timed levels
+  /// need every transaction timestamped.
+  std::optional<CheckResult> timestamps_precheck() const {
+    if (!ct::requires_timestamps(level_)) return std::nullopt;
+    for (const Transaction& t : *txns_) {
+      if (!t.has_timestamps()) {
+        return CheckResult{Outcome::kUnsatisfiable, std::nullopt,
+                           std::string(ct::name_of(level_)) +
+                               " requires the time oracle but " +
+                               crooks::to_string(t.id()) + " has no timestamps",
+                           0};
+      }
+    }
+    return std::nullopt;
+  }
+
+  /// Explore the subtree rooted at placing `root` first. Charges the root
+  /// try exactly like the sequential top-level loop (one node, admissibility
+  /// gate), so in the no-witness case Σ branch nodes == sequential nodes.
+  BranchOutcome run_branch(std::size_t root, const std::atomic<bool>* cancel) {
+    cancel_ = cancel;
+    bool found = false;
+    ++nodes_;
+    if (vo_admissible(root) && admissible(root)) {
+      place(root);
+      found = dfs();
+    }
+    BranchOutcome out;
+    out.nodes = nodes_;
+    if (found) {
+      out.kind = BranchOutcome::Kind::kWitness;
+      out.order.reserve(order_.size());
+      for (std::size_t d : order_) out.order.push_back(txns_->at(d).id());
+    } else if (cancelled_) {
+      out.kind = BranchOutcome::Kind::kCancelled;
+    } else if (nodes_ >= max_nodes_) {
+      out.kind = BranchOutcome::Kind::kCapped;
+    } else {
+      out.kind = BranchOutcome::Kind::kRefuted;
+    }
+    return out;
+  }
 
   bool placed(std::size_t d) const { return pos_[d] != 0; }
 
@@ -327,6 +445,11 @@ class PrefixSearch {
   bool dfs() {
     if (order_.size() == n_) return true;
     if (nodes_ >= max_nodes_) return false;
+    if (cancel_ != nullptr && (nodes_ & 1023) == 0 &&
+        cancel_->load(std::memory_order_relaxed)) {
+      cancelled_ = true;
+      return false;
+    }
     for (std::size_t d : candidates_) {
       if (placed(d)) continue;
       ++nodes_;
@@ -334,7 +457,7 @@ class PrefixSearch {
       place(d);
       if (dfs()) return true;
       unplace();
-      if (nodes_ >= max_nodes_) return false;
+      if (cancelled_ || nodes_ >= max_nodes_) return false;
     }
     return false;
   }
@@ -344,6 +467,8 @@ class PrefixSearch {
   std::uint64_t max_nodes_;
   std::size_t n_;
   std::uint64_t nodes_ = 0;
+  const std::atomic<bool>* cancel_ = nullptr;  // set on branch copies only
+  bool cancelled_ = false;
 
   std::vector<std::size_t> candidates_;
   std::vector<std::size_t> order_;
@@ -365,7 +490,12 @@ CheckResult check_exhaustive(ct::IsolationLevel level, const model::TransactionS
     return {Outcome::kSatisfiable, model::Execution::identity(txns),
             "empty transaction set", 0};
   }
-  return PrefixSearch(level, txns, opts).run();
+  PrefixSearch search(level, txns, opts);
+  const std::size_t threads = opts.resolved_threads();
+  if (threads > 1 && txns.size() >= kMinParallelSize) {
+    return search.run_parallel(threads);
+  }
+  return search.run();
 }
 
 ct::ExecutionVerdict verify_witness(ct::IsolationLevel level,

@@ -1,0 +1,132 @@
+// Fixed-size worker pool with a shared FIFO task queue.
+//
+// The checker's parallel layers (check_batch fan-out, the branch-parallel
+// exhaustive search) are structured as "submit N independent tasks, wait for
+// all of them": the pool supports exactly that shape. Tasks are void()
+// callables; the first exception thrown by any task is captured and rethrown
+// from wait(), so a parallel section fails as loudly as a sequential loop
+// would instead of losing the error inside a worker thread.
+#pragma once
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace crooks {
+
+class ThreadPool {
+ public:
+  /// `threads == 0` means hardware_concurrency (at least 1).
+  explicit ThreadPool(std::size_t threads = 0) {
+    if (threads == 0) threads = default_threads();
+    workers_.reserve(threads);
+    for (std::size_t i = 0; i < threads; ++i) {
+      workers_.emplace_back([this] { worker_loop(); });
+    }
+  }
+
+  /// Joins the workers. Tasks still queued (not yet started) are dropped;
+  /// call wait() first if every submitted task must run.
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+      queue_.clear();
+    }
+    cv_.notify_all();
+    for (std::thread& w : workers_) w.join();
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  static std::size_t default_threads() {
+    const unsigned hc = std::thread::hardware_concurrency();
+    return hc == 0 ? 1 : static_cast<std::size_t>(hc);
+  }
+
+  /// Enqueue one task; returns immediately.
+  void submit(std::function<void()> task) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++outstanding_;
+      queue_.push_back(std::move(task));
+    }
+    cv_.notify_one();
+  }
+
+  /// Block until every task submitted so far has finished, then rethrow the
+  /// first exception any of them raised (if any). The pool is reusable after
+  /// wait() returns or throws.
+  void wait() {
+    std::unique_lock<std::mutex> lock(mu_);
+    idle_cv_.wait(lock, [this] { return outstanding_ == 0; });
+    if (error_) {
+      std::exception_ptr e = std::exchange(error_, nullptr);
+      lock.unlock();
+      std::rethrow_exception(e);
+    }
+  }
+
+ private:
+  void worker_loop() {
+    for (;;) {
+      std::function<void()> task;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+        if (queue_.empty()) return;  // stop_ set and queue drained/cleared
+        task = std::move(queue_.front());
+        queue_.pop_front();
+      }
+      try {
+        task();
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (!error_) error_ = std::current_exception();
+      }
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (--outstanding_ == 0) idle_cv_.notify_all();
+      }
+    }
+  }
+
+  std::mutex mu_;
+  std::condition_variable cv_;       // workers: queue non-empty or stopping
+  std::condition_variable idle_cv_;  // wait(): all submitted tasks finished
+  std::deque<std::function<void()>> queue_;
+  std::size_t outstanding_ = 0;  // queued + running
+  bool stop_ = false;
+  std::exception_ptr error_;
+  std::vector<std::thread> workers_;
+};
+
+/// Run fn(i) for every i in [0, n) across `threads` workers and block until
+/// all complete. threads == 0 means hardware_concurrency; threads == 1 (or
+/// n <= 1) runs inline on the calling thread with no pool at all, so the
+/// single-threaded path is bit-for-bit the plain loop.
+inline void parallel_for_each_index(std::size_t threads, std::size_t n,
+                                    const std::function<void(std::size_t)>& fn) {
+  if (threads == 0) threads = ThreadPool::default_threads();
+  if (threads == 1 || n <= 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  ThreadPool pool(std::min(threads, n));
+  for (std::size_t i = 0; i < n; ++i) {
+    pool.submit([&fn, i] { fn(i); });
+  }
+  pool.wait();
+}
+
+}  // namespace crooks

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "common/rng.hpp"
+#include "common/thread_pool.hpp"
 
 namespace crooks::store {
 
@@ -118,6 +119,32 @@ RunResult run(const std::vector<TxnIntent>& intents, const RunOptions& options) 
   RunResult result{store.history(), store.observations(), store.version_order(),
                    store.committed_count(), store.aborted_count(), blocked_steps};
   return result;
+}
+
+std::vector<VerifiedRun> run_verified_batch(
+    const std::vector<std::vector<TxnIntent>>& workloads, const RunOptions& base,
+    ct::IsolationLevel level, const checker::CheckOptions& copts) {
+  // Stage 1: the runs. Each is a pure function of (intents, options), so
+  // fanning them across the pool preserves the sequential results exactly.
+  std::vector<VerifiedRun> out(workloads.size());
+  parallel_for_each_index(copts.resolved_threads(), workloads.size(),
+                          [&](std::size_t i) {
+                            RunOptions o = base;
+                            o.seed = base.seed + i;
+                            out[i].run = run(workloads[i], o);
+                          });
+
+  // Stage 2: one batch check over every run's observations, each restricted
+  // by its own install order (the store is authoritative about it).
+  std::vector<checker::BatchItem> items(out.size());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    items[i] = {&out[i].run.observations, &out[i].run.version_order};
+  }
+  std::vector<checker::CheckResult> verdicts = checker::check_batch(level, items, copts);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i].verdict = std::move(verdicts[i]);
+  }
+  return out;
 }
 
 }  // namespace crooks::store

@@ -12,6 +12,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "checker/checker.hpp"
 #include "store/store.hpp"
 
 namespace crooks::store {
@@ -56,5 +57,21 @@ struct RunResult {
 };
 
 RunResult run(const std::vector<TxnIntent>& intents, const RunOptions& options);
+
+/// One workload's run plus its isolation verdict from the batch checker.
+struct VerifiedRun {
+  RunResult run;
+  checker::CheckResult verdict;
+};
+
+/// Run every workload (workload i uses seed base.seed + i, other options
+/// shared) and verify each run's observations at `level` in one
+/// checker::check_batch call, restricted by that run's own authoritative
+/// version order. Both the runs and the checks fan out across
+/// copts.threads pool workers; results are in input order and every run is
+/// bit-for-bit the run(intents, options) result for its seed.
+std::vector<VerifiedRun> run_verified_batch(
+    const std::vector<std::vector<TxnIntent>>& workloads, const RunOptions& base,
+    ct::IsolationLevel level, const checker::CheckOptions& copts = {});
 
 }  // namespace crooks::store

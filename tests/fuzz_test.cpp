@@ -8,11 +8,14 @@
 //   * the graph engine never contradicts the exhaustive oracle,
 //   * a version-order restriction can only shrink the satisfiable set,
 //   * the online monitor agrees with the batch evaluator on any order,
-//   * serialization round-trips preserve verdicts.
+//   * serialization round-trips preserve verdicts,
+//   * budget- and thread-randomized runs never contradict the unbounded
+//     sequential oracle (kUnknown is the only allowed divergence).
 #include <gtest/gtest.h>
 
 #include "checker/checker.hpp"
 #include "checker/online.hpp"
+#include "common/rng.hpp"
 #include "model/analysis.hpp"
 #include "report/serialize.hpp"
 #include "workload/observations.hpp"
@@ -142,6 +145,52 @@ TEST_P(Fuzz, SerializationPreservesVerdicts) {
     EXPECT_EQ(checker::check_exhaustive(level, f.txns, o1).outcome,
               checker::check_exhaustive(level, back.txns, o2).outcome)
         << ct::name_of(level);
+  }
+}
+
+TEST_P(Fuzz, RandomizedBudgetsAndThreadsNeverContradict) {
+  // Randomize the engine-selection threshold, the node budget (small enough
+  // to hit the kUnknown paths regularly) and the worker count, under both
+  // the exhaustive engine and the full dispatcher. A truncated or parallel
+  // run may give up (kUnknown) but must never contradict the unbounded
+  // sequential oracle, must reproduce its own verdict, and every witness
+  // must verify.
+  const std::uint64_t seed = GetParam();
+  Rng rng(seed * 0x9e3779b9ULL + 17);
+  const wl::FuzzedObservations f = make();
+
+  CheckOptions fuzzed;
+  fuzzed.exhaustive_threshold = rng.below(12);  // sometimes below |𝒯|
+  fuzzed.max_nodes = 1 + rng.below(2000);       // often exhausted at |𝒯| = 7
+  fuzzed.threads = 1 + rng.below(8);
+  const std::string config = "seed=" + std::to_string(seed) +
+                             " threshold=" + std::to_string(fuzzed.exhaustive_threshold) +
+                             " max_nodes=" + std::to_string(fuzzed.max_nodes) +
+                             " threads=" + std::to_string(fuzzed.threads);
+
+  CheckOptions unbounded;
+  unbounded.threads = 1;
+  for (IsolationLevel level : ct::kAllLevels) {
+    const CheckResult oracle = checker::check_exhaustive(level, f.txns, unbounded);
+    ASSERT_NE(oracle.outcome, Outcome::kUnknown) << config;
+    const CheckResult budgeted = checker::check_exhaustive(level, f.txns, fuzzed);
+    const CheckResult again = checker::check_exhaustive(level, f.txns, fuzzed);
+    EXPECT_EQ(budgeted.outcome, again.outcome)
+        << ct::name_of(level) << " verdict not reproducible: " << config;
+    if (budgeted.outcome != Outcome::kUnknown) {
+      EXPECT_EQ(budgeted.outcome, oracle.outcome) << ct::name_of(level) << " " << config;
+    }
+    if (budgeted.satisfiable()) {
+      ASSERT_TRUE(budgeted.witness.has_value()) << config;
+      EXPECT_TRUE(checker::verify_witness(level, f.txns, *budgeted.witness).ok)
+          << ct::name_of(level) << " " << config;
+    }
+
+    const CheckResult dispatched = checker::check(level, f.txns, fuzzed);
+    if (dispatched.outcome != Outcome::kUnknown) {
+      EXPECT_EQ(dispatched.outcome, oracle.outcome)
+          << ct::name_of(level) << " dispatcher " << config << ": " << dispatched.detail;
+    }
   }
 }
 

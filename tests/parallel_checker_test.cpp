@@ -1,0 +1,259 @@
+// Differential harness for the parallel checker layers.
+//
+// Parallelism can silently break search soundness (a lost branch, a racy
+// budget, a witness assembled from a cancelled worker), so every parallel
+// path is cross-validated here against the sequential ground truth on
+// randomized adversarial observation sets:
+//   * branch-parallel exhaustive search at 2 and 8 threads must reach the
+//     verdict of check_exhaustive with threads = 1, and its witnesses must
+//     pass verify_witness;
+//   * check_batch must equal element-wise sequential checking, in input
+//     order, with per-item version orders honoured;
+//   * verdicts must be reproducible run-to-run at every thread count, even
+//     when the node budget truncates the search;
+//   * the pool itself must run every task and propagate exceptions.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+
+#include "checker/checker.hpp"
+#include "common/thread_pool.hpp"
+#include "store/runner.hpp"
+#include "workload/observations.hpp"
+#include "workload/workload.hpp"
+
+namespace crooks {
+namespace {
+
+using checker::BatchItem;
+using checker::CheckOptions;
+using checker::CheckResult;
+using checker::Outcome;
+using ct::IsolationLevel;
+
+constexpr std::size_t kThreadCounts[] = {1, 2, 8};
+
+class ParallelDifferential : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  wl::FuzzedObservations make() const {
+    wl::ObservationFuzzOptions opts;
+    opts.transactions = 7;
+    opts.keys = 4;
+    return wl::fuzz_observations(GetParam(), opts);
+  }
+};
+
+TEST_P(ParallelDifferential, ExhaustiveVerdictsMatchSequential) {
+  const wl::FuzzedObservations f = make();
+  for (IsolationLevel level : ct::kAllLevels) {
+    CheckOptions seq;
+    seq.threads = 1;
+    const CheckResult oracle = checker::check_exhaustive(level, f.txns, seq);
+    ASSERT_NE(oracle.outcome, Outcome::kUnknown);
+    for (std::size_t threads : kThreadCounts) {
+      CheckOptions par = seq;
+      par.threads = threads;
+      const CheckResult r = checker::check_exhaustive(level, f.txns, par);
+      EXPECT_EQ(r.outcome, oracle.outcome)
+          << ct::name_of(level) << " at " << threads << " threads: " << r.detail;
+      if (r.satisfiable()) {
+        ASSERT_TRUE(r.witness.has_value());
+        const ct::ExecutionVerdict v = checker::verify_witness(level, f.txns, *r.witness);
+        EXPECT_TRUE(v.ok) << ct::name_of(level) << " at " << threads
+                          << " threads: " << v.explanation;
+      }
+    }
+  }
+}
+
+TEST_P(ParallelDifferential, ExhaustiveVerdictsMatchUnderVersionOrder) {
+  const wl::FuzzedObservations f = make();
+  for (IsolationLevel level : ct::kAllLevels) {
+    CheckOptions seq;
+    seq.threads = 1;
+    seq.version_order = &f.version_order;
+    const CheckResult oracle = checker::check_exhaustive(level, f.txns, seq);
+    ASSERT_NE(oracle.outcome, Outcome::kUnknown);
+    for (std::size_t threads : kThreadCounts) {
+      CheckOptions par = seq;
+      par.threads = threads;
+      const CheckResult r = checker::check_exhaustive(level, f.txns, par);
+      EXPECT_EQ(r.outcome, oracle.outcome)
+          << ct::name_of(level) << " at " << threads << " threads";
+      if (r.satisfiable()) {
+        EXPECT_TRUE(checker::verify_witness(level, f.txns, *r.witness).ok);
+      }
+    }
+  }
+}
+
+TEST_P(ParallelDifferential, CheckBatchEqualsElementwiseCheck) {
+  // A batch mixing three histories (plain, and two restricted by their own
+  // version order) must reproduce the lone check() results in input order.
+  const wl::FuzzedObservations a = wl::fuzz_observations(GetParam() * 3 + 1);
+  const wl::FuzzedObservations b = wl::fuzz_observations(GetParam() * 3 + 2);
+  const wl::FuzzedObservations c = wl::fuzz_observations(GetParam() * 3 + 3);
+  const std::vector<BatchItem> items = {
+      {&a.txns, nullptr},
+      {&b.txns, &b.version_order},
+      {&c.txns, &c.version_order},
+  };
+  for (IsolationLevel level : {IsolationLevel::kReadAtomic, IsolationLevel::kPSI,
+                               IsolationLevel::kSerializable}) {
+    std::vector<CheckResult> lone;
+    for (const BatchItem& item : items) {
+      CheckOptions o;
+      o.threads = 1;
+      o.version_order = item.version_order;
+      lone.push_back(checker::check(level, *item.txns, o));
+    }
+    for (std::size_t threads : kThreadCounts) {
+      CheckOptions o;
+      o.threads = threads;
+      const std::vector<CheckResult> batch = checker::check_batch(level, items, o);
+      ASSERT_EQ(batch.size(), items.size());
+      for (std::size_t i = 0; i < items.size(); ++i) {
+        EXPECT_EQ(batch[i].outcome, lone[i].outcome)
+            << ct::name_of(level) << " item " << i << " at " << threads << " threads";
+        if (batch[i].satisfiable()) {
+          ASSERT_TRUE(batch[i].witness.has_value());
+          EXPECT_TRUE(
+              checker::verify_witness(level, *items[i].txns, *batch[i].witness).ok);
+        }
+      }
+    }
+  }
+}
+
+TEST_P(ParallelDifferential, BudgetLimitedVerdictsAreReproducible) {
+  // Tiny node budgets truncate the search; the deterministic combination
+  // rule must still give the same verdict on every rerun at every thread
+  // count, and a definite verdict must agree with the unbounded oracle.
+  const wl::FuzzedObservations f = make();
+  for (IsolationLevel level : {IsolationLevel::kReadAtomic, IsolationLevel::kAdyaSI,
+                               IsolationLevel::kSerializable}) {
+    CheckOptions unbounded;
+    unbounded.threads = 1;
+    const CheckResult oracle = checker::check_exhaustive(level, f.txns, unbounded);
+    for (std::uint64_t budget : {5ull, 40ull, 400ull}) {
+      for (std::size_t threads : kThreadCounts) {
+        CheckOptions o;
+        o.threads = threads;
+        o.max_nodes = budget;
+        const CheckResult first = checker::check_exhaustive(level, f.txns, o);
+        for (int rerun = 0; rerun < 3; ++rerun) {
+          const CheckResult again = checker::check_exhaustive(level, f.txns, o);
+          EXPECT_EQ(again.outcome, first.outcome)
+              << ct::name_of(level) << " budget " << budget << " threads " << threads;
+        }
+        if (first.outcome != Outcome::kUnknown) {
+          EXPECT_EQ(first.outcome, oracle.outcome)
+              << ct::name_of(level) << " budget " << budget << " threads " << threads;
+        }
+        if (first.satisfiable()) {
+          EXPECT_TRUE(checker::verify_witness(level, f.txns, *first.witness).ok);
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParallelDifferential,
+                         ::testing::Range<std::uint64_t>(1, 41));
+
+TEST(CheckBatch, EmptyAndSingle) {
+  EXPECT_TRUE(
+      checker::check_batch(IsolationLevel::kSerializable,
+                           std::span<const model::TransactionSet>())
+          .empty());
+
+  const wl::FuzzedObservations f = wl::fuzz_observations(7);
+  const std::vector<model::TransactionSet> one = {f.txns};
+  const auto r = checker::check_batch(IsolationLevel::kSerializable, one);
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_EQ(r[0].outcome,
+            checker::check(IsolationLevel::kSerializable, f.txns).outcome);
+}
+
+TEST(RunVerifiedBatch, MatchesIndividualRunsAndVerdicts) {
+  std::vector<std::vector<store::TxnIntent>> workloads;
+  for (std::size_t i = 0; i < 6; ++i) {
+    workloads.push_back(wl::generate_mix({.transactions = 10,
+                                          .keys = 5,
+                                          .reads_per_txn = 2,
+                                          .writes_per_txn = 2,
+                                          .seed = 50 + i}));
+  }
+  store::RunOptions base{.mode = store::CCMode::kSnapshotIsolation,
+                         .seed = 3,
+                         .concurrency = 4,
+                         .retries = 2};
+  checker::CheckOptions copts;
+  copts.threads = 4;
+  const std::vector<store::VerifiedRun> batch = store::run_verified_batch(
+      workloads, base, IsolationLevel::kSerializable, copts);
+  ASSERT_EQ(batch.size(), workloads.size());
+
+  for (std::size_t i = 0; i < workloads.size(); ++i) {
+    store::RunOptions o = base;
+    o.seed = base.seed + i;
+    const store::RunResult lone = store::run(workloads[i], o);
+    EXPECT_EQ(batch[i].run.committed, lone.committed);
+    EXPECT_EQ(batch[i].run.observations.size(), lone.observations.size());
+
+    checker::CheckOptions seq;
+    seq.threads = 1;
+    seq.version_order = &lone.version_order;
+    EXPECT_EQ(batch[i].verdict.outcome,
+              checker::check(IsolationLevel::kSerializable, lone.observations, seq)
+                  .outcome)
+        << "workload " << i;
+  }
+}
+
+TEST(ThreadPool, RunsEveryTask) {
+  ThreadPool pool(4);
+  std::atomic<int> sum{0};
+  for (int i = 1; i <= 100; ++i) {
+    pool.submit([&sum, i] { sum.fetch_add(i, std::memory_order_relaxed); });
+  }
+  pool.wait();
+  EXPECT_EQ(sum.load(), 5050);
+}
+
+TEST(ThreadPool, ReusableAcrossWaves) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  for (int wave = 0; wave < 3; ++wave) {
+    for (int i = 0; i < 10; ++i) {
+      pool.submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+    }
+    pool.wait();
+    EXPECT_EQ(count.load(), (wave + 1) * 10);
+  }
+}
+
+TEST(ThreadPool, PropagatesFirstTaskException) {
+  ThreadPool pool(3);
+  std::atomic<int> completed{0};
+  for (int i = 0; i < 20; ++i) {
+    pool.submit([&completed, i] {
+      if (i == 7) throw std::runtime_error("task 7 failed");
+      completed.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  EXPECT_THROW(pool.wait(), std::runtime_error);
+  // The pool stays usable after an exception.
+  pool.submit([&completed] { completed.fetch_add(1, std::memory_order_relaxed); });
+  EXPECT_NO_THROW(pool.wait());
+}
+
+TEST(ThreadPool, DefaultThreadsIsAtLeastOne) {
+  EXPECT_GE(ThreadPool::default_threads(), 1u);
+  ThreadPool pool;  // default-sized pool must construct and tear down cleanly
+  EXPECT_GE(pool.size(), 1u);
+}
+
+}  // namespace
+}  // namespace crooks

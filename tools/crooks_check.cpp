@@ -9,12 +9,14 @@
 //
 // Options:
 //   --level=NAME   verdict/exit status for one level (e.g. Serializable)
+//   --threads=N    checker worker threads (0 = all cores, 1 = sequential)
 //   --quiet        print only the verdict line
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <optional>
+#include <string>
 
 #include "report/report.hpp"
 
@@ -31,7 +33,7 @@ std::optional<ct::IsolationLevel> level_by_name(const std::string& name) {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: crooks-check [--level=NAME] [--quiet] [FILE]\n"
+               "usage: crooks-check [--level=NAME] [--threads=N] [--quiet] [FILE]\n"
                "levels:");
   for (ct::IsolationLevel l : ct::kAllLevels) {
     std::fprintf(stderr, " %s", std::string(ct::name_of(l)).c_str());
@@ -45,6 +47,7 @@ int usage() {
 int main(int argc, char** argv) {
   std::optional<ct::IsolationLevel> requested;
   bool quiet = false;
+  std::size_t threads = 0;  // 0 = hardware_concurrency
   std::string file;
 
   for (int i = 1; i < argc; ++i) {
@@ -55,11 +58,25 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "unknown level '%s'\n", arg.substr(8).c_str());
         return usage();
       }
+    } else if (arg.rfind("--threads=", 0) == 0 ||
+               (arg == "--threads" && i + 1 < argc)) {
+      const std::string value = arg == "--threads" ? argv[++i] : arg.substr(10);
+      if (value.empty() ||
+          value.find_first_not_of("0123456789") != std::string::npos) {
+        std::fprintf(stderr, "bad thread count '%s'\n", value.c_str());
+        return usage();
+      }
+      try {
+        threads = static_cast<std::size_t>(std::stoul(value));
+      } catch (const std::exception&) {  // out of range
+        std::fprintf(stderr, "bad thread count '%s'\n", value.c_str());
+        return usage();
+      }
     } else if (arg == "--quiet") {
       quiet = true;
     } else if (arg == "--help" || arg == "-h") {
       return usage();
-    } else if (!arg.empty() && arg[0] == '-') {
+    } else if (arg != "-" && !arg.empty() && arg[0] == '-') {
       std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
       return usage();
     } else if (file.empty()) {
@@ -71,7 +88,7 @@ int main(int argc, char** argv) {
 
   report::Observations obs;
   try {
-    if (file.empty()) {
+    if (file.empty() || file == "-") {
       obs = report::parse_observations(std::cin);
     } else {
       std::ifstream in(file);
@@ -87,6 +104,7 @@ int main(int argc, char** argv) {
   }
 
   checker::CheckOptions opts;
+  opts.threads = threads;
   if (obs.has_version_order()) opts.version_order = &obs.version_order;
 
   if (requested.has_value()) {
