@@ -17,8 +17,10 @@
 #include <chrono>
 #include <map>
 #include <string>
+#include <thread>
 
 #include "checker/checker.hpp"
+#include "checker/reference.hpp"
 #include "store/runner.hpp"
 #include "workload/workload.hpp"
 
@@ -134,6 +136,9 @@ void record_scaling(benchmark::State& state, const std::string& name,
   state.counters["threads"] = threads;
   state.counters["histories_per_sec"] = items_per_iter / secs_per_iter;
   state.counters["speedup"] = base / secs_per_iter;
+  // Scaling curves are meaningless without the core count of the host that
+  // produced them; record it in every exported row.
+  state.counters["host_cpus"] = std::thread::hardware_concurrency();
 }
 
 /// check_batch over many independent histories — the store-runner /
@@ -231,6 +236,63 @@ void BM_VerifiedBatchScaling(benchmark::State& state) {
                  secs / static_cast<double>(state.iterations()), kWorkloads);
 }
 BENCHMARK(BM_VerifiedBatchScaling)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
+
+/// Representation ablation: the same sequential exhaustive search on the
+/// hashed (pre-compile, checker::reference) vs the compiled (interned,
+/// flat-indexed) history representation. The workload is exhaustive-heavy —
+/// half store-generated satisfiable histories, half write-skew refutations
+/// whose whole pruned permutation tree must be exhausted — so per-node cost
+/// dominates. Exported counters: histories_per_sec, ns_per_node (elapsed
+/// over total branch-and-bound nodes), host_cpus, and, on the compiled run,
+/// speedup_vs_hashed (the two variants share one process, so the baseline
+/// is always measured in the same run). Export with
+///   --benchmark_filter=Representation --benchmark_format=json
+///     > BENCH_checker_compiled.json
+void run_representation(benchmark::State& state, bool compiled) {
+  constexpr std::size_t kHistories = 24;
+  static const std::vector<model::TransactionSet> histories = batch_histories(kHistories);
+
+  checker::CheckOptions opts;
+  opts.exhaustive_threshold = 64;
+  opts.threads = 1;
+
+  double secs = 0;
+  std::uint64_t total_nodes = 0;
+  for (auto _ : state) {
+    const auto t0 = std::chrono::steady_clock::now();
+    std::uint64_t nodes = 0;
+    for (const model::TransactionSet& h : histories) {
+      const checker::CheckResult r =
+          compiled ? checker::check_exhaustive(ct::IsolationLevel::kSerializable, h, opts)
+                   : checker::reference::check_exhaustive_hashed(
+                         ct::IsolationLevel::kSerializable, h, opts);
+      benchmark::DoNotOptimize(r.outcome);
+      nodes += r.nodes_explored;
+    }
+    secs += std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+    total_nodes += nodes;
+  }
+  const double secs_per_iter = secs / static_cast<double>(state.iterations());
+  state.SetItemsProcessed(static_cast<std::int64_t>(kHistories * state.iterations()));
+  state.counters["histories_per_sec"] = static_cast<double>(kHistories) / secs_per_iter;
+  state.counters["ns_per_node"] = secs * 1e9 / static_cast<double>(total_nodes);
+  state.counters["host_cpus"] = std::thread::hardware_concurrency();
+  if (!compiled) {
+    baselines()["Representation"] = secs_per_iter;
+  } else if (baselines().count("Representation")) {
+    state.counters["speedup_vs_hashed"] = baselines()["Representation"] / secs_per_iter;
+  }
+}
+
+void BM_RepresentationHashed(benchmark::State& state) {
+  run_representation(state, /*compiled=*/false);
+}
+BENCHMARK(BM_RepresentationHashed)->UseRealTime();
+
+void BM_RepresentationCompiled(benchmark::State& state) {
+  run_representation(state, /*compiled=*/true);
+}
+BENCHMARK(BM_RepresentationCompiled)->UseRealTime();
 
 void BM_PrecedenceClosure(benchmark::State& state) {
   const store::RunResult r = run_of_size(static_cast<std::size_t>(state.range(0)));

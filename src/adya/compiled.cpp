@@ -1,0 +1,262 @@
+// Compiled-form counterparts of the Adya layer: install orders, DSG
+// construction and phenomena detection straight from model::CompiledHistory,
+// without lifting observations into a History first. The graph engine's hot
+// path runs entirely on these; from_observations survives for the cold
+// explanation path and the equivalence tests.
+#include <algorithm>
+#include <cstddef>
+#include <span>
+#include <stdexcept>
+
+#include "adya/graph.hpp"
+#include "adya/phenomena.hpp"
+
+namespace crooks::adya {
+
+namespace {
+
+/// Does some read observe `id` as an unknown (non-member) writer? The
+/// History path materializes such writers as synthetic *aborted*
+/// transactions, which changes which validation error fires.
+bool is_dangling_writer(const model::CompiledHistory& ch, TxnId id) {
+  for (model::TxnIdx d = 0; d < ch.size(); ++d) {
+    const std::span<const model::CompiledOp> cops = ch.ops(d);
+    const auto& ops = ch.txns().at(d).ops();
+    for (std::size_t i = 0; i < cops.size(); ++i) {
+      if ((cops[i].flags & model::kOpUnknownWriter) != 0 &&
+          ops[i].value.writer == id) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+InstallOrders compile_install_orders(
+    const model::CompiledHistory& ch,
+    const std::unordered_map<Key, std::vector<TxnId>>* version_order) {
+  const model::TransactionSet& txns = ch.txns();
+  InstallOrders io;
+  io.by_key.resize(ch.key_count());
+
+  // Complete the order for keys with at most one committed writer; a
+  // multi-writer key must be covered (from_observations' precondition).
+  for (model::KeyIdx k = 0; k < ch.key_count(); ++k) {
+    const auto writers = ch.writers_of(k);
+    if (writers.empty()) continue;
+    if (version_order != nullptr && version_order->contains(ch.keys().key_of(k))) {
+      continue;
+    }
+    if (writers.size() > 1) {
+      throw std::invalid_argument("version order missing for multi-writer key " +
+                                  crooks::to_string(ch.keys().key_of(k)));
+    }
+    io.by_key[k].assign(writers.begin(), writers.end());
+  }
+
+  // Validate and intern the explicit entries (History::validate part one).
+  if (version_order != nullptr) {
+    for (const auto& [key, order] : *version_order) {
+      const model::KeyIdx k = ch.keys().find(key);
+      std::vector<model::TxnIdx> interned;
+      interned.reserve(order.size());
+      for (TxnId id : order) {
+        if (!txns.contains(id)) {
+          if (is_dangling_writer(ch, id)) {
+            throw std::invalid_argument(
+                "version order must contain exactly the committed writers of the key");
+          }
+          throw std::invalid_argument("version order names unknown transaction");
+        }
+        const auto d = static_cast<model::TxnIdx>(txns.dense_index_of(id));
+        if (k == model::kNoKeyIdx || !ch.writes_key(d, k)) {
+          throw std::invalid_argument(
+              "version order must contain exactly the committed writers of the key");
+        }
+        interned.push_back(d);
+      }
+      if (k != model::kNoKeyIdx) io.by_key[k] = std::move(interned);
+    }
+  }
+
+  // Completeness: << is a *total* order on committed versions (Def. A.1),
+  // so every committed final writer of a key must appear in its order.
+  for (model::TxnIdx d = 0; d < ch.size(); ++d) {
+    for (model::KeyIdx k : ch.write_keys(d)) {
+      const std::vector<model::TxnIdx>& order = io.by_key[k];
+      if (std::find(order.begin(), order.end(), d) == order.end()) {
+        throw std::invalid_argument("version order misses a committed writer of " +
+                                    crooks::to_string(ch.keys().key_of(k)));
+      }
+    }
+  }
+  return io;
+}
+
+Dsg::Dsg(const model::CompiledHistory& ch, const InstallOrders& io) {
+  const std::size_t n = ch.size();
+  ids_.reserve(n);
+  for (model::TxnIdx d = 0; d < n; ++d) {
+    node_.emplace(ch.id_of(d), ids_.size());
+    ids_.push_back(ch.id_of(d));
+  }
+  adj_.resize(n);
+
+  auto add_edge = [&](std::size_t from, std::size_t to, EdgeKind kind, Key key) {
+    if (from == to) return;
+    adj_[from].push_back(edges_.size());
+    edges_.push_back({from, to, kind, key});
+  };
+
+  // Write-dependencies: consecutive installed versions (Definition A.2).
+  for (model::KeyIdx k = 0; k < io.by_key.size(); ++k) {
+    const std::vector<model::TxnIdx>& inst = io.by_key[k];
+    for (std::size_t i = 0; i + 1 < inst.size(); ++i) {
+      add_edge(inst[i], inst[i + 1], kWW, ch.keys().key_of(k));
+    }
+  }
+
+  // Read- and anti-dependencies. Only reads of *installed* versions create
+  // DSG edges; the dirty / intermediate skips are precomputed flags.
+  for (model::TxnIdx d = 0; d < n; ++d) {
+    for (const model::CompiledOp& op : ch.ops(d)) {
+      if (!op.is_read() || (op.flags & model::kOpSelfWriter) != 0) continue;
+      const std::vector<model::TxnIdx>& inst = io.by_key[op.key];
+      if ((op.flags & model::kOpInitWriter) != 0) {
+        // Read of ⊥: anti-depends on the first installer of the key.
+        if (!inst.empty()) add_edge(d, inst.front(), kRW, ch.keys().key_of(op.key));
+        continue;
+      }
+      if ((op.flags & model::kOpUnknownWriter) != 0) continue;  // G1a
+      if ((op.flags & (model::kOpPhantom | model::kOpWriterMissesKey)) != 0) {
+        continue;  // G1b: observed version is not the writer's final one
+      }
+      auto it = std::find(inst.begin(), inst.end(), op.writer);
+      if (it == inst.end()) continue;
+      add_edge(op.writer, d, kWR, ch.keys().key_of(op.key));
+      // Anti-dependency to the installer of the *next* version, if any.
+      const std::size_t next = static_cast<std::size_t>(it - inst.begin()) + 1;
+      if (next < inst.size()) add_edge(d, inst[next], kRW, ch.keys().key_of(op.key));
+    }
+  }
+}
+
+bool Dsg::add_start_edges(const model::CompiledHistory& ch) {
+  if (!ch.all_timestamped()) return false;
+  const model::CompiledHistory::Adjacency& adj = ch.adjacency();
+  for (model::TxnIdx b = 0; b < ch.size(); ++b) {
+    for (model::TxnIdx a : adj.rt_preds.row(b)) {
+      adj_[a].push_back(edges_.size());
+      edges_.push_back({a, b, kSD, Key{}});
+    }
+  }
+  return true;
+}
+
+bool Dsg::add_realtime_edges(const model::CompiledHistory& ch) {
+  if (!ch.all_timestamped()) return false;
+  const model::CompiledHistory::Adjacency& adj = ch.adjacency();
+  for (model::TxnIdx b = 0; b < ch.size(); ++b) {
+    for (model::TxnIdx a : adj.rt_preds.row(b)) {
+      adj_[a].push_back(edges_.size());
+      edges_.push_back({a, b, kRT, Key{}});
+    }
+  }
+  return true;
+}
+
+namespace {
+
+// Fractured reads (Appendix B.1): T reads x written (finally) by T_i; T_i
+// also finally wrote y; T reads a version of y strictly older than T_i's.
+bool detect_fractured(const model::CompiledHistory& ch, const InstallOrders& io) {
+  for (model::TxnIdx d = 0; d < ch.size(); ++d) {
+    const std::span<const model::CompiledOp> ops = ch.ops(d);
+    for (const model::CompiledOp& r1 : ops) {
+      if (!r1.is_read()) continue;
+      if ((r1.flags & (model::kOpInitWriter | model::kOpSelfWriter |
+                       model::kOpUnknownWriter)) != 0) {
+        continue;
+      }
+      if ((r1.flags & (model::kOpPhantom | model::kOpWriterMissesKey)) != 0) {
+        continue;  // r1 must observe the writer's final version
+      }
+      const model::TxnIdx wi = r1.writer;
+      for (const model::CompiledOp& r2 : ops) {
+        if (!r2.is_read() || (r2.flags & model::kOpSelfWriter) != 0) continue;
+        if (!ch.writes_key(wi, r2.key)) continue;
+        const std::vector<model::TxnIdx>& inst = io.by_key[r2.key];
+        // Install position of r2's observed writer: -1 for ⊥, skip if absent.
+        std::ptrdiff_t read_pos = -1;
+        if ((r2.flags & model::kOpInitWriter) == 0) {
+          if ((r2.flags & model::kOpUnknownWriter) != 0) continue;
+          auto it = std::find(inst.begin(), inst.end(), r2.writer);
+          if (it == inst.end()) continue;
+          read_pos = it - inst.begin();
+        }
+        auto wit = std::find(inst.begin(), inst.end(), wi);
+        if (wit == inst.end()) continue;
+        if (read_pos < wit - inst.begin()) return true;
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+Phenomena detect(const model::CompiledHistory& ch, const InstallOrders& io) {
+  Phenomena p;
+
+  // G1a / G1b are single flag tests: a dirty read *is* an unknown-writer op,
+  // an intermediate read *is* a phantom or writer-misses-key op.
+  for (model::TxnIdx d = 0; d < ch.size(); ++d) {
+    for (const model::CompiledOp& op : ch.ops(d)) {
+      if (!op.is_read() ||
+          (op.flags & (model::kOpInitWriter | model::kOpSelfWriter)) != 0) {
+        continue;
+      }
+      if ((op.flags & model::kOpUnknownWriter) != 0) {
+        p.g1a = true;
+      } else if ((op.flags & (model::kOpPhantom | model::kOpWriterMissesKey)) != 0) {
+        p.g1b = true;
+      }
+    }
+  }
+  p.fractured = detect_fractured(ch, io);
+
+  Dsg dsg(ch, io);
+  p.g0 = dsg.has_cycle(kWW);
+  p.g1c = dsg.has_cycle(kDependency);
+  // G2 = some cycle contains an anti-dependency edge ⟺ some rw edge (u,v)
+  // is closed by a path v →* u over arbitrary DSG edges. With the path
+  // restricted to dependency edges the cycle has *exactly* one rw: G-Single.
+  p.g2 = dsg.cycle_with_exactly_one(kRW, kAllDsg);
+  p.g_single = dsg.cycle_with_exactly_one(kRW, kDependency);
+
+  Dsg ssg = dsg;  // start / real-time edges are additive: copy, don't rebuild
+  if (ssg.add_start_edges(ch)) {
+    // G-SIa: a ww/wr edge without a corresponding start-dependency edge.
+    bool sia = false;
+    for (const Edge& e : ssg.edges()) {
+      if (e.kind != kWW && e.kind != kWR) continue;
+      if (!(ch.commit_ts(static_cast<model::TxnIdx>(e.from)) <
+            ch.start_ts(static_cast<model::TxnIdx>(e.to)))) {
+        sia = true;
+        break;
+      }
+    }
+    p.g_si_a = sia;
+    p.g_si_b = ssg.cycle_with_exactly_one(kRW, kDependency | kSD);
+  }
+
+  Dsg rt = dsg;
+  if (rt.add_realtime_edges(ch)) {
+    p.rt_cycle = rt.has_cycle(kAllDsg | kRT);
+  }
+  return p;
+}
+
+}  // namespace crooks::adya

@@ -9,6 +9,7 @@
 
 #include "adya/history.hpp"
 #include "common/ids.hpp"
+#include "model/compiled.hpp"
 
 namespace crooks::adya {
 
@@ -30,12 +31,40 @@ struct Edge {
   Key key{};  // the conflicting key (meaningless for kSD / kRT)
 };
 
+/// Per-key install orders over a compiled history: `by_key[k]` lists the
+/// dense indices of key k's installers in version order (⊥ implicit at the
+/// front). This is the interned counterpart of History::version_order() —
+/// building it validates the order exactly as the History constructor does.
+struct InstallOrders {
+  std::vector<std::vector<model::TxnIdx>> by_key;  // indexed by KeyIdx
+};
+
+/// Intern and validate a client-supplied version order against a compiled
+/// history. Mirrors from_observations + History::validate: completes the
+/// order for keys with at most one committed writer, and throws
+/// std::invalid_argument with the same messages on a multi-writer key
+/// missing from the order, an order naming an unknown transaction or a
+/// non-writer, or an order missing a committed writer. `version_order` may
+/// be null (treated as empty).
+InstallOrders compile_install_orders(
+    const model::CompiledHistory& ch,
+    const std::unordered_map<Key, std::vector<TxnId>>* version_order);
+
 /// The serialization graph over the committed transactions of a history.
 /// Start-dependency and real-time edges are added on demand (they are O(n²)
 /// and only needed by the SI / strict-serializability phenomena).
 class Dsg {
  public:
   explicit Dsg(const History& h);
+
+  /// Same graph built from the compiled form, without lifting observations
+  /// into an Adya history first: node i is dense index i, the read edges come
+  /// straight from the precomputed per-op writer resolution (the G1a / G1b
+  /// skip conditions are single flag tests), and WW edges follow the interned
+  /// install orders. The edge *set* is identical to Dsg(from_observations(...));
+  /// only the (irrelevant) edge insertion order differs — and is deterministic
+  /// here, where the History path iterates an unordered_map.
+  Dsg(const model::CompiledHistory& ch, const InstallOrders& io);
 
   std::size_t size() const { return ids_.size(); }
   TxnId id_of(std::size_t node) const { return ids_[node]; }
@@ -53,6 +82,12 @@ class Dsg {
   /// predicate as start-dependency; kept as a distinct kind so strict
   /// serializability and SI phenomena do not interfere).
   bool add_realtime_edges(const History& h);
+
+  /// Compiled counterparts: reuse the CompiledHistory's real-time adjacency
+  /// (one O(n log n) pass, shared with the exhaustive engine) instead of the
+  /// O(n²) timestamp scan. Valid only for a Dsg built from the same `ch`.
+  bool add_start_edges(const model::CompiledHistory& ch);
+  bool add_realtime_edges(const model::CompiledHistory& ch);
 
   /// Is there a directed cycle using only edges whose kind is in `mask`?
   bool has_cycle(std::uint8_t mask) const;

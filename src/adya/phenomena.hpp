@@ -35,6 +35,13 @@ struct Phenomena {
 
 Phenomena detect(const History& h);
 
+/// Same phenomena from the compiled form. G1a, G1b and fractured reads fall
+/// out of the precomputed per-op flags (a dirty read *is* an unknown-writer
+/// op; an intermediate read *is* a phantom or writer-misses-key op); the
+/// graph phenomena reuse one compiled Dsg, copied — not rebuilt — for the
+/// timestamped variants. Verdict-equivalent to detect(from_observations(...)).
+Phenomena detect(const model::CompiledHistory& ch, const InstallOrders& io);
+
 enum class Verdict {
   kSatisfied,
   kViolated,

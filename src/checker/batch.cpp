@@ -26,7 +26,11 @@ std::vector<CheckResult> check_batch(ct::IsolationLevel level,
         if (items[i].version_order != nullptr) {
           local.version_order = items[i].version_order;
         }
-        results[i] = check(level, *items[i].txns, local);
+        // Compile once per history, in the worker: every engine the
+        // dispatcher may try (graph, exhaustive, hierarchy inference)
+        // shares this one compiled form instead of re-interning.
+        const model::CompiledHistory ch(*items[i].txns);
+        results[i] = check(level, ch, local);
       });
   return results;
 }

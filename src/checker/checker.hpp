@@ -111,6 +111,11 @@ struct BatchItem {
 CheckResult check(ct::IsolationLevel level, const model::TransactionSet& txns,
                   const CheckOptions& opts = {});
 
+/// Same, over an existing compilation of the history. All engines consume the
+/// compiled form; the TransactionSet overloads compile once and delegate here.
+CheckResult check(ct::IsolationLevel level, const model::CompiledHistory& ch,
+                  const CheckOptions& opts = {});
+
 /// Check many independent histories concurrently, fanning them across
 /// opts.threads pool workers. Each history is decided by the same dispatch
 /// as check() (running its own search single-threaded — the parallelism
@@ -131,16 +136,24 @@ std::vector<CheckResult> check_batch(ct::IsolationLevel level,
 CheckResult check_exhaustive(ct::IsolationLevel level,
                              const model::TransactionSet& txns,
                              const CheckOptions& opts = {});
+CheckResult check_exhaustive(ct::IsolationLevel level,
+                             const model::CompiledHistory& ch,
+                             const CheckOptions& opts = {});
 
 /// Constructive graph engine. Complete exactly when `detail` says so (see
 /// header comment); otherwise may return kUnknown.
 CheckResult check_graph(ct::IsolationLevel level, const model::TransactionSet& txns,
+                        const CheckOptions& opts = {});
+CheckResult check_graph(ct::IsolationLevel level, const model::CompiledHistory& ch,
                         const CheckOptions& opts = {});
 
 /// Re-verify a witness against the canonical commit tests (used by tests to
 /// guard against divergence between search-time and analysis-time logic).
 ct::ExecutionVerdict verify_witness(ct::IsolationLevel level,
                                     const model::TransactionSet& txns,
+                                    const model::Execution& e);
+ct::ExecutionVerdict verify_witness(ct::IsolationLevel level,
+                                    const model::CompiledHistory& ch,
                                     const model::Execution& e);
 
 }  // namespace crooks::checker

@@ -10,6 +10,12 @@
 // placement prunes the whole subtree, and a fully built order in which every
 // placement passed is a genuine witness.
 //
+// The search runs entirely on the CompiledHistory form: operations are
+// pre-classified (phantom / internal / unknown writer), writers and keys are
+// dense indices, and the per-node state — timelines, version-order cursors,
+// footprints, real-time/session predecessor counts — lives in flat vectors
+// indexed by KeyIdx/TxnIdx. No hash map or hash set is touched between nodes.
+//
 // Parallel mode (opts.threads != 1, |𝒯| ≥ kMinParallelSize): the n disjoint
 // top-level prefix branches — "transaction d is placed first" — partition the
 // whole search tree, so each branch is handed to a pool worker as an
@@ -24,14 +30,18 @@
 #include "checker/checker.hpp"
 #include "common/bitset.hpp"
 #include "common/thread_pool.hpp"
+#include "model/compiled.hpp"
 
 namespace crooks::checker {
 
 namespace {
 
 using ct::IsolationLevel;
-using model::Operation;
-using model::Transaction;
+using model::CompiledHistory;
+using model::CompiledOp;
+using model::KeyIdx;
+using model::OpClass;
+using model::TxnIdx;
 
 /// Below this size a search finishes in microseconds; spawning workers only
 /// adds noise (and would make the tiny fixtures' witness shapes and node
@@ -40,59 +50,43 @@ constexpr std::size_t kMinParallelSize = 4;
 
 class PrefixSearch {
  public:
-  PrefixSearch(IsolationLevel level, const model::TransactionSet& txns,
-               const CheckOptions& opts)
-      : level_(level), txns_(&txns), max_nodes_(opts.max_nodes), n_(txns.size()) {
+  PrefixSearch(IsolationLevel level, const CompiledHistory& ch, const CheckOptions& opts)
+      : level_(level),
+        ch_(&ch),
+        adj_(&ch.adjacency()),
+        candidates_(&ch.ts_order()),
+        max_nodes_(opts.max_nodes),
+        n_(ch.size()) {
     // Optional version-order restriction: a transaction writing key k may
-    // only be placed when it is the next not-yet-placed installer of k.
-    if (opts.version_order != nullptr) {
+    // only be placed when it is the next not-yet-placed installer of k. A key
+    // present in the version order restricts its writers even when none of
+    // its named installers belong to the set (an empty compiled sequence
+    // blocks every writer of the key, exactly like the pre-compile engine).
+    if (opts.version_order != nullptr && !opts.version_order->empty()) {
+      vo_active_ = true;
+      vo_has_.assign(ch.key_count(), false);
+      vo_seq_.resize(ch.key_count());
+      vo_next_.assign(ch.key_count(), 0);
       for (const auto& [key, installers] : *opts.version_order) {
-        auto& seq = vo_[key];
+        const KeyIdx k = ch.keys().find(key);
+        if (k == model::kNoKeyIdx) continue;  // key never touched by the set
+        vo_has_[k] = true;
         for (TxnId id : installers) {
-          if (txns.contains(id)) seq.push_back(txns.dense_index_of(id));
-        }
-      }
-      vo_next_.reserve(vo_.size());
-      for (const auto& [key, seq] : vo_) vo_next_[key] = 0;
-    }
-    pos_.assign(n_, 0);
-    prec_.assign(n_, DynamicBitset(n_));
-    remaining_rt_.assign(n_, 0);
-    remaining_sess_.assign(n_, 0);
-    rt_preds_.resize(n_);
-    sess_preds_.resize(n_);
-    rt_succs_.resize(n_);
-    sess_succs_.resize(n_);
-
-    for (std::size_t a = 0; a < n_; ++a) {
-      for (std::size_t b = 0; b < n_; ++b) {
-        if (a == b) continue;
-        const Transaction& ta = txns.at(a);
-        const Transaction& tb = txns.at(b);
-        if (time_precedes(ta, tb)) {
-          rt_preds_[b].push_back(a);
-          rt_succs_[a].push_back(b);
-          if (ta.session() != kNoSession && ta.session() == tb.session()) {
-            sess_preds_[b].push_back(a);
-            sess_succs_[a].push_back(b);
+          if (ch.txns().contains(id)) {
+            vo_seq_[k].push_back(static_cast<TxnIdx>(ch.txns().dense_index_of(id)));
           }
         }
       }
-      remaining_rt_[a] = rt_preds_[a].size();
-      remaining_sess_[a] = sess_preds_[a].size();
     }
-
-    // Candidate order: commit-timestamp order first (the natural witness for
-    // most levels), falling back to declaration order.
-    candidates_.resize(n_);
-    for (std::size_t i = 0; i < n_; ++i) candidates_[i] = i;
-    std::stable_sort(candidates_.begin(), candidates_.end(),
-                     [&](std::size_t a, std::size_t b) {
-                       const Timestamp ca = txns.at(a).commit_ts();
-                       const Timestamp cb = txns.at(b).commit_ts();
-                       if (ca == kNoTimestamp || cb == kNoTimestamp) return false;
-                       return ca < cb;
-                     });
+    pos_.assign(n_, 0);
+    prec_.assign(n_, DynamicBitset(n_));
+    timelines_.resize(ch.key_count());
+    remaining_rt_.resize(n_);
+    remaining_sess_.resize(n_);
+    for (TxnIdx d = 0; d < n_; ++d) {
+      remaining_rt_[d] = adj_->rt_preds.row_size(d);
+      remaining_sess_[d] = adj_->sess_preds.row_size(d);
+    }
   }
 
   CheckResult run() {
@@ -100,8 +94,8 @@ class PrefixSearch {
     if (dfs()) {
       std::vector<TxnId> ids;
       ids.reserve(order_.size());
-      for (std::size_t d : order_) ids.push_back(txns_->at(d).id());
-      return {Outcome::kSatisfiable, model::Execution(*txns_, std::move(ids)),
+      for (TxnIdx d : order_) ids.push_back(ch_->id_of(d));
+      return {Outcome::kSatisfiable, model::Execution(ch_->txns(), std::move(ids)),
               "witness found by exhaustive search", nodes_};
     }
     if (nodes_ >= max_nodes_) {
@@ -133,12 +127,12 @@ class PrefixSearch {
     std::vector<BranchOutcome> outcomes(n_);
     std::atomic<bool> cancel{false};
     {
-      ThreadPool pool(std::min(threads, n_));
+      ThreadPool pool(std::min(threads, static_cast<std::size_t>(n_)));
       for (std::size_t i = 0; i < n_; ++i) {
         pool.submit([this, i, &outcomes, &cancel] {
           if (cancel.load(std::memory_order_relaxed)) return;  // stays kCancelled
           PrefixSearch branch(*this);
-          outcomes[i] = branch.run_branch(candidates_[i], &cancel);
+          outcomes[i] = branch.run_branch((*candidates_)[i], &cancel);
           if (outcomes[i].kind == BranchOutcome::Kind::kWitness) {
             cancel.store(true, std::memory_order_relaxed);
           }
@@ -151,7 +145,7 @@ class PrefixSearch {
     for (const BranchOutcome& o : outcomes) total += o.nodes;
     for (BranchOutcome& o : outcomes) {
       if (o.kind == BranchOutcome::Kind::kWitness) {
-        return {Outcome::kSatisfiable, model::Execution(*txns_, std::move(o.order)),
+        return {Outcome::kSatisfiable, model::Execution(ch_->txns(), std::move(o.order)),
                 "witness found by parallel exhaustive search", total};
       }
     }
@@ -190,12 +184,12 @@ class PrefixSearch {
   /// need every transaction timestamped.
   std::optional<CheckResult> timestamps_precheck() const {
     if (!ct::requires_timestamps(level_)) return std::nullopt;
-    for (const Transaction& t : *txns_) {
-      if (!t.has_timestamps()) {
+    for (TxnIdx d = 0; d < n_; ++d) {
+      if (!ch_->has_timestamps(d)) {
         return CheckResult{Outcome::kUnsatisfiable, std::nullopt,
                            std::string(ct::name_of(level_)) +
                                " requires the time oracle but " +
-                               crooks::to_string(t.id()) + " has no timestamps",
+                               crooks::to_string(ch_->id_of(d)) + " has no timestamps",
                            0};
       }
     }
@@ -205,7 +199,7 @@ class PrefixSearch {
   /// Explore the subtree rooted at placing `root` first. Charges the root
   /// try exactly like the sequential top-level loop (one node, admissibility
   /// gate), so in the no-witness case Σ branch nodes == sequential nodes.
-  BranchOutcome run_branch(std::size_t root, const std::atomic<bool>* cancel) {
+  BranchOutcome run_branch(TxnIdx root, const std::atomic<bool>* cancel) {
     cancel_ = cancel;
     bool found = false;
     ++nodes_;
@@ -218,7 +212,7 @@ class PrefixSearch {
     if (found) {
       out.kind = BranchOutcome::Kind::kWitness;
       out.order.reserve(order_.size());
-      for (std::size_t d : order_) out.order.push_back(txns_->at(d).id());
+      for (TxnIdx d : order_) out.order.push_back(ch_->id_of(d));
     } else if (cancelled_) {
       out.kind = BranchOutcome::Kind::kCancelled;
     } else if (nodes_ >= max_nodes_) {
@@ -229,39 +223,26 @@ class PrefixSearch {
     return out;
   }
 
-  bool placed(std::size_t d) const { return pos_[d] != 0; }
+  bool placed(TxnIdx d) const { return pos_[d] != 0; }
 
-  const std::vector<std::pair<StateIndex, std::size_t>>& timeline(Key k) const {
-    static const std::vector<std::pair<StateIndex, std::size_t>> kEmpty;
-    auto it = timelines_.find(k);
-    return it == timelines_.end() ? kEmpty : it->second;
-  }
-
-  /// Read-state interval of op `i` of transaction `d` if placed now.
-  OpInterval interval_of(std::size_t d, std::size_t i, StateIndex parent) const {
-    const Transaction& t = txns_->at(d);
-    const Operation& op = t.ops()[i];
-    if (op.is_write()) return {0, parent};
-    if (op.value.phantom) return {0, -1};
-
-    for (std::size_t j = 0; j < i; ++j) {
-      const Operation& prev = t.ops()[j];
-      if (prev.is_write() && prev.key == op.key) {
-        // Internal read: must observe the transaction's own write.
-        return op.value.writer == t.id() ? OpInterval{0, parent} : OpInterval{0, -1};
-      }
-    }
-
-    const TxnId w = op.value.writer;
-    if (w == t.id()) return {0, -1};
+  /// Read-state interval of a compiled op of transaction `d` if placed now.
+  OpInterval interval_of(const CompiledOp& op, StateIndex parent) const {
     StateIndex version_pos = 0;
-    if (w != kInitTxn) {
-      if (!txns_->contains(w)) return {0, -1};
-      const std::size_t wd = txns_->dense_index_of(w);
-      if (!placed(wd) || !txns_->at(wd).writes(op.key)) return {0, -1};
-      version_pos = pos_[wd];
+    switch (op.cls) {
+      case OpClass::kWrite:
+      case OpClass::kReadInternal:
+        return {0, parent};
+      case OpClass::kReadNever:
+        return {0, -1};
+      case OpClass::kReadInitial:
+        version_pos = 0;
+        break;
+      case OpClass::kReadExternal:
+        if (!placed(op.writer)) return {0, -1};
+        version_pos = pos_[op.writer];
+        break;
     }
-    const auto& tl = timeline(op.key);
+    const auto& tl = timelines_[op.key];
     auto it = std::upper_bound(
         tl.begin(), tl.end(), version_pos,
         [](StateIndex v, const auto& en) { return v < en.first; });
@@ -269,38 +250,27 @@ class PrefixSearch {
     return {version_pos, std::min(next_write - 1, parent)};
   }
 
-  /// Is the read at index i of transaction d internal (reads own write)?
-  bool is_internal(std::size_t d, std::size_t i) const {
-    const Transaction& t = txns_->at(d);
-    for (std::size_t j = 0; j < i; ++j) {
-      if (t.ops()[j].is_write() && t.ops()[j].key == t.ops()[i].key) return true;
-    }
-    return false;
-  }
-
-  /// Evaluate CT_level(T, prefix + T). Fills scratch_ with the op intervals.
   /// Does placing `d` now respect the version-order restriction?
-  bool vo_admissible(std::size_t d) const {
-    if (vo_.empty()) return true;
-    for (Key k : txns_->at(d).write_set()) {
-      auto it = vo_.find(k);
-      if (it == vo_.end()) continue;
-      const std::size_t next = vo_next_.at(k);
-      if (next >= it->second.size() || it->second[next] != d) return false;
+  bool vo_admissible(TxnIdx d) const {
+    if (!vo_active_) return true;
+    for (KeyIdx k : ch_->write_keys(d)) {
+      if (!vo_has_[k]) continue;
+      const std::size_t next = vo_next_[k];
+      if (next >= vo_seq_[k].size() || vo_seq_[k][next] != d) return false;
     }
     return true;
   }
 
-  bool admissible(std::size_t d) {
-    const Transaction& t = txns_->at(d);
+  /// Evaluate CT_level(T, prefix + T). Fills scratch_ with the op intervals.
+  bool admissible(TxnIdx d) {
+    const std::span<const CompiledOp> cops = ch_->ops(d);
     const StateIndex parent = static_cast<StateIndex>(order_.size());
-    const std::size_t nops = t.ops().size();
-    scratch_.resize(nops);
+    scratch_.resize(cops.size());
 
     bool preread = true;
     StateIndex complete_lo = 0, complete_hi = parent;
-    for (std::size_t i = 0; i < nops; ++i) {
-      scratch_[i] = interval_of(d, i, parent);
+    for (std::size_t i = 0; i < cops.size(); ++i) {
+      scratch_[i] = interval_of(cops[i], parent);
       if (scratch_[i].empty()) preread = false;
       complete_lo = std::max(complete_lo, scratch_[i].sf);
       complete_hi = std::min(complete_hi, scratch_[i].sl);
@@ -329,61 +299,63 @@ class PrefixSearch {
     return false;
   }
 
-  bool fractured(std::size_t d) const {
-    const Transaction& t = txns_->at(d);
-    for (std::size_t i = 0; i < t.ops().size(); ++i) {
-      const Operation& r1 = t.ops()[i];
-      if (!r1.is_read() || is_internal(d, i)) continue;
-      if (r1.value.writer == kInitTxn) continue;
-      const Transaction& w1 = txns_->by_id(r1.value.writer);
-      for (std::size_t j = 0; j < t.ops().size(); ++j) {
-        const Operation& r2 = t.ops()[j];
-        if (!r2.is_read() || is_internal(d, j)) continue;
-        if (w1.writes(r2.key) && scratch_[i].sf > scratch_[j].sf) return true;
+  /// Non-internal external read of a member writer. Under PREREAD (the only
+  /// context fractured()/caus_vis() run in) this is exactly the pre-compile
+  /// "is_read && !is_internal && writer != ⊥" predicate.
+  static bool external_read(const CompiledOp& op) {
+    return op.cls == OpClass::kReadExternal &&
+           (op.flags & model::kOpPositionalInternal) == 0;
+  }
+
+  bool fractured(TxnIdx d) const {
+    const std::span<const CompiledOp> cops = ch_->ops(d);
+    for (std::size_t i = 0; i < cops.size(); ++i) {
+      if (!external_read(cops[i])) continue;
+      const TxnIdx w1 = cops[i].writer;
+      for (std::size_t j = 0; j < cops.size(); ++j) {
+        const CompiledOp& r2 = cops[j];
+        if (!r2.is_read() || (r2.flags & model::kOpPositionalInternal) != 0) continue;
+        if (ch_->writes_key(w1, r2.key) && scratch_[i].sf > scratch_[j].sf) return true;
       }
     }
     return false;
   }
 
-  bool caus_vis(std::size_t d) {
-    const Transaction& t = txns_->at(d);
+  bool caus_vis(TxnIdx d) {
+    const std::span<const CompiledOp> cops = ch_->ops(d);
     // Assemble PREC_e(T) from the already-placed predecessors.
     DynamicBitset& prec = prec_[d];
     prec = DynamicBitset(n_);
-    auto absorb = [&](std::size_t pd) {
+    auto absorb = [&](TxnIdx pd) {
       prec.set(pd);
       prec.or_with(prec_[pd]);
     };
-    for (std::size_t i = 0; i < t.ops().size(); ++i) {
-      const Operation& op = t.ops()[i];
-      if (!op.is_read() || is_internal(d, i)) continue;
-      if (op.value.writer == kInitTxn) continue;
-      absorb(txns_->dense_index_of(op.value.writer));  // placed: preread holds
+    for (const CompiledOp& op : cops) {
+      if (external_read(op)) absorb(op.writer);  // placed: preread holds
     }
-    for (Key k : t.write_set()) {
-      for (const auto& [pos, wd] : timeline(k)) absorb(wd);
+    for (KeyIdx k : ch_->write_keys(d)) {
+      for (const auto& [pos, wd] : timelines_[k]) absorb(wd);
     }
     // ∀T' ▷ T, ∀o: o.k ∈ W_{T'} ⇒ s_{T'} →* sl_o.
-    for (std::size_t i = 0; i < t.ops().size(); ++i) {
-      const Operation& op = t.ops()[i];
-      if (!op.is_read() || is_internal(d, i)) continue;
-      for (const auto& [pos, wd] : timeline(op.key)) {
+    for (std::size_t i = 0; i < cops.size(); ++i) {
+      const CompiledOp& op = cops[i];
+      if (!op.is_read() || (op.flags & model::kOpPositionalInternal) != 0) continue;
+      for (const auto& [pos, wd] : timelines_[op.key]) {
         if (pos > scratch_[i].sl && prec.test(wd)) return false;
       }
     }
     return true;
   }
 
-  bool si_family(std::size_t d, StateIndex parent, StateIndex complete_lo,
+  bool si_family(TxnIdx d, StateIndex parent, StateIndex complete_lo,
                  StateIndex complete_hi) const {
-    const Transaction& t = txns_->at(d);
     const bool timed = level_ != IsolationLevel::kAdyaSI;
 
     if (timed) {
       // C-ORD(T_{s_p}, T): commit order along the execution.
-      if (!order_.empty()) {
-        const Transaction& prev = txns_->at(order_.back());
-        if (!(prev.commit_ts() < t.commit_ts())) return false;
+      if (!order_.empty() &&
+          !(ch_->commit_ts(order_.back()) < ch_->commit_ts(d))) {
+        return false;
       }
     }
     if (level_ == IsolationLevel::kStrictSerializable ||
@@ -394,15 +366,15 @@ class PrefixSearch {
 
     StateIndex lower = 0;
     if (level_ == IsolationLevel::kStrongSI) {
-      for (std::size_t p : rt_preds_[d]) lower = std::max(lower, pos_[p]);
+      for (TxnIdx p : adj_->rt_preds.row(d)) lower = std::max(lower, pos_[p]);
     } else if (level_ == IsolationLevel::kSessionSI) {
-      for (std::size_t p : sess_preds_[d]) lower = std::max(lower, pos_[p]);
+      for (TxnIdx p : adj_->sess_preds.row(d)) lower = std::max(lower, pos_[p]);
     }
 
     // NO-CONF: last prefix write of any key in W_T.
     StateIndex no_conf = 0;
-    for (Key k : t.write_set()) {
-      const auto& tl = timeline(k);
+    for (KeyIdx k : ch_->write_keys(d)) {
+      const auto& tl = timelines_[k];
       if (!tl.empty()) no_conf = std::max(no_conf, tl.back().first);
     }
 
@@ -413,33 +385,33 @@ class PrefixSearch {
 
     for (StateIndex s = hi; s >= lo; --s) {
       if (s == 0) return true;
-      const Transaction& gen = txns_->at(order_[static_cast<std::size_t>(s) - 1]);
-      if (time_precedes(gen, t)) return true;
+      const TxnIdx gen = order_[static_cast<std::size_t>(s) - 1];
+      if (ch_->time_precedes(gen, d)) return true;
     }
     return false;
   }
 
-  void place(std::size_t d) {
+  void place(TxnIdx d) {
     order_.push_back(d);
     pos_[d] = static_cast<StateIndex>(order_.size());
-    for (Key k : txns_->at(d).write_set()) {
+    for (KeyIdx k : ch_->write_keys(d)) {
       timelines_[k].emplace_back(pos_[d], d);
-      if (auto it = vo_next_.find(k); it != vo_next_.end()) ++it->second;
+      if (vo_active_ && vo_has_[k]) ++vo_next_[k];
     }
-    for (std::size_t s : rt_succs_[d]) --remaining_rt_[s];
-    for (std::size_t s : sess_succs_[d]) --remaining_sess_[s];
+    for (TxnIdx s : adj_->rt_succs.row(d)) --remaining_rt_[s];
+    for (TxnIdx s : adj_->sess_succs.row(d)) --remaining_sess_[s];
   }
 
   void unplace() {
-    const std::size_t d = order_.back();
+    const TxnIdx d = order_.back();
     order_.pop_back();
     pos_[d] = 0;
-    for (Key k : txns_->at(d).write_set()) {
+    for (KeyIdx k : ch_->write_keys(d)) {
       timelines_[k].pop_back();
-      if (auto it = vo_next_.find(k); it != vo_next_.end()) --it->second;
+      if (vo_active_ && vo_has_[k]) --vo_next_[k];
     }
-    for (std::size_t s : rt_succs_[d]) ++remaining_rt_[s];
-    for (std::size_t s : sess_succs_[d]) ++remaining_sess_[s];
+    for (TxnIdx s : adj_->rt_succs.row(d)) ++remaining_rt_[s];
+    for (TxnIdx s : adj_->sess_succs.row(d)) ++remaining_sess_[s];
   }
 
   bool dfs() {
@@ -450,7 +422,7 @@ class PrefixSearch {
       cancelled_ = true;
       return false;
     }
-    for (std::size_t d : candidates_) {
+    for (TxnIdx d : *candidates_) {
       if (placed(d)) continue;
       ++nodes_;
       if (!vo_admissible(d) || !admissible(d)) continue;
@@ -463,26 +435,42 @@ class PrefixSearch {
   }
 
   IsolationLevel level_;
-  const model::TransactionSet* txns_;
+  const CompiledHistory* ch_;
+  const CompiledHistory::Adjacency* adj_;
+  const std::vector<TxnIdx>* candidates_;  // ch_->ts_order(): fixed SWO comparator
   std::uint64_t max_nodes_;
   std::size_t n_;
   std::uint64_t nodes_ = 0;
   const std::atomic<bool>* cancel_ = nullptr;  // set on branch copies only
   bool cancelled_ = false;
 
-  std::vector<std::size_t> candidates_;
-  std::vector<std::size_t> order_;
+  std::vector<TxnIdx> order_;
   std::vector<StateIndex> pos_;  // 0 = unplaced, else 1-based state index
-  std::unordered_map<Key, std::vector<std::pair<StateIndex, std::size_t>>> timelines_;
-  std::unordered_map<Key, std::vector<std::size_t>> vo_;  // install order (dense)
-  std::unordered_map<Key, std::size_t> vo_next_;          // next unplaced installer
+  std::vector<std::vector<std::pair<StateIndex, TxnIdx>>> timelines_;  // by KeyIdx
+  bool vo_active_ = false;
+  std::vector<char> vo_has_;                 // by KeyIdx: key named in version order
+  std::vector<std::vector<TxnIdx>> vo_seq_;  // by KeyIdx: install order (dense)
+  std::vector<std::uint32_t> vo_next_;       // by KeyIdx: next unplaced installer
   std::vector<DynamicBitset> prec_;
-  std::vector<std::vector<std::size_t>> rt_preds_, sess_preds_, rt_succs_, sess_succs_;
   std::vector<std::size_t> remaining_rt_, remaining_sess_;
   std::vector<OpInterval> scratch_;
 };
 
 }  // namespace
+
+CheckResult check_exhaustive(ct::IsolationLevel level, const model::CompiledHistory& ch,
+                             const CheckOptions& opts) {
+  if (ch.size() == 0) {
+    return {Outcome::kSatisfiable, model::Execution::identity(ch.txns()),
+            "empty transaction set", 0};
+  }
+  PrefixSearch search(level, ch, opts);
+  const std::size_t threads = opts.resolved_threads();
+  if (threads > 1 && ch.size() >= kMinParallelSize) {
+    return search.run_parallel(threads);
+  }
+  return search.run();
+}
 
 CheckResult check_exhaustive(ct::IsolationLevel level, const model::TransactionSet& txns,
                              const CheckOptions& opts) {
@@ -490,18 +478,20 @@ CheckResult check_exhaustive(ct::IsolationLevel level, const model::TransactionS
     return {Outcome::kSatisfiable, model::Execution::identity(txns),
             "empty transaction set", 0};
   }
-  PrefixSearch search(level, txns, opts);
-  const std::size_t threads = opts.resolved_threads();
-  if (threads > 1 && txns.size() >= kMinParallelSize) {
-    return search.run_parallel(threads);
-  }
-  return search.run();
+  const model::CompiledHistory ch(txns);
+  return check_exhaustive(level, ch, opts);
 }
 
 ct::ExecutionVerdict verify_witness(ct::IsolationLevel level,
                                     const model::TransactionSet& txns,
                                     const model::Execution& e) {
   return ct::test_execution(level, txns, e);
+}
+
+ct::ExecutionVerdict verify_witness(ct::IsolationLevel level,
+                                    const model::CompiledHistory& ch,
+                                    const model::Execution& e) {
+  return ct::test_execution(level, ch, e);
 }
 
 }  // namespace crooks::checker

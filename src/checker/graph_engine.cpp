@@ -6,15 +6,22 @@
 // commit-timestamp-sorted order is the *only* candidate — testing it decides
 // satisfiability outright (Theorems 7–9's constructions).
 //
-// Untimed levels with an authoritative version order: lift the observations
-// into an Adya history, detect phenomena (the theorems' ⇒ contrapositive
-// gives unsatisfiability), and on the absence of phenomena construct the
-// witness by topologically sorting the serialization graph with exactly the
-// edge set each theorem's ⇐ proof uses (A.2, A.4, A.5, B.2, E.2).
+// Untimed levels with an authoritative version order: intern the order
+// against the compiled history, detect phenomena (the theorems' ⇒
+// contrapositive gives unsatisfiability), and on the absence of phenomena
+// construct the witness by topologically sorting the serialization graph with
+// exactly the edge set each theorem's ⇐ proof uses (A.2, A.4, A.5, B.2, E.2).
+//
+// The engine runs entirely on model::CompiledHistory — phenomena, graph
+// edges, commit-order candidates and witness verification all share the one
+// compiled form (the TransactionSet overloads compile once and delegate).
+// Only the cold unsatisfiable-explanation path lifts observations into an
+// Adya history, where the phenomenon renderers live.
 //
 // Everything found is re-verified against the canonical commit tests before
 // being reported — the engine never returns an unchecked witness.
 #include <algorithm>
+#include <numeric>
 #include <queue>
 
 #include "adya/graph.hpp"
@@ -26,13 +33,15 @@ namespace crooks::checker {
 namespace {
 
 using ct::IsolationLevel;
-using model::Transaction;
+using model::CompiledHistory;
+using model::TxnIdx;
 
 /// Kahn topological sort over the DSG edges selected by `mask`, breaking
 /// ties toward smaller commit timestamp then smaller id (deterministic,
-/// and commit order is the natural witness). Empty result on a cycle.
+/// and commit order is the natural witness). Requires a Dsg built from `ch`
+/// (node i == dense index i). Empty result on a cycle.
 std::vector<TxnId> topo_order(const adya::Dsg& dsg, std::uint8_t mask,
-                              const model::TransactionSet& txns) {
+                              const CompiledHistory& ch) {
   const std::size_t n = dsg.size();
   std::vector<std::size_t> indegree(n, 0);
   std::vector<std::vector<std::size_t>> out(n);
@@ -43,10 +52,12 @@ std::vector<TxnId> topo_order(const adya::Dsg& dsg, std::uint8_t mask,
   }
 
   auto later = [&](std::size_t a, std::size_t b) {
-    const Transaction& ta = txns.by_id(dsg.id_of(a));
-    const Transaction& tb = txns.by_id(dsg.id_of(b));
-    if (ta.commit_ts() != tb.commit_ts()) return ta.commit_ts() > tb.commit_ts();
-    return ta.id() > tb.id();
+    const auto ta = static_cast<TxnIdx>(a);
+    const auto tb = static_cast<TxnIdx>(b);
+    if (ch.commit_ts(ta) != ch.commit_ts(tb)) {
+      return ch.commit_ts(ta) > ch.commit_ts(tb);
+    }
+    return ch.id_of(ta) > ch.id_of(tb);
   };
   std::priority_queue<std::size_t, std::vector<std::size_t>, decltype(later)> ready(later);
   for (std::size_t i = 0; i < n; ++i) {
@@ -80,10 +91,10 @@ std::uint8_t witness_mask(IsolationLevel level) {
   }
 }
 
-CheckResult verified_sat(IsolationLevel level, const model::TransactionSet& txns,
+CheckResult verified_sat(IsolationLevel level, const CompiledHistory& ch,
                          std::vector<TxnId> order, std::string how) {
-  model::Execution e(txns, std::move(order));
-  if (ct::ExecutionVerdict v = verify_witness(level, txns, e); !v.ok) {
+  model::Execution e(ch.txns(), std::move(order));
+  if (ct::ExecutionVerdict v = verify_witness(level, ch, e); !v.ok) {
     return {Outcome::kUnknown, std::nullopt,
             "internal: constructed witness failed verification (" + v.explanation + ")",
             0};
@@ -93,52 +104,61 @@ CheckResult verified_sat(IsolationLevel level, const model::TransactionSet& txns
 
 /// The commit-timestamp-sorted execution; nullopt when timestamps are
 /// missing or commit timestamps collide.
-std::optional<std::vector<TxnId>> commit_sorted(const model::TransactionSet& txns) {
-  std::vector<const Transaction*> ts;
-  ts.reserve(txns.size());
-  for (const Transaction& t : txns) {
-    if (t.commit_ts() == kNoTimestamp) return std::nullopt;
-    ts.push_back(&t);
+std::optional<std::vector<TxnId>> commit_sorted(const CompiledHistory& ch) {
+  const std::size_t n = ch.size();
+  std::vector<TxnIdx> ds(n);
+  std::iota(ds.begin(), ds.end(), TxnIdx{0});
+  for (TxnIdx d = 0; d < n; ++d) {
+    if (ch.commit_ts(d) == kNoTimestamp) return std::nullopt;
   }
-  std::sort(ts.begin(), ts.end(), [](const Transaction* a, const Transaction* b) {
-    return a->commit_ts() < b->commit_ts();
+  std::sort(ds.begin(), ds.end(), [&](TxnIdx a, TxnIdx b) {
+    if (ch.commit_ts(a) != ch.commit_ts(b)) return ch.commit_ts(a) < ch.commit_ts(b);
+    return a < b;  // collision → rejected below; keep the sort a total order
   });
-  for (std::size_t i = 0; i + 1 < ts.size(); ++i) {
-    if (ts[i]->commit_ts() == ts[i + 1]->commit_ts()) return std::nullopt;
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    if (ch.commit_ts(ds[i]) == ch.commit_ts(ds[i + 1])) return std::nullopt;
   }
   std::vector<TxnId> order;
-  order.reserve(ts.size());
-  for (const Transaction* t : ts) order.push_back(t->id());
+  order.reserve(n);
+  for (TxnIdx d : ds) order.push_back(ch.id_of(d));
   return order;
 }
 
 }  // namespace
 
-CheckResult check_graph(IsolationLevel level, const model::TransactionSet& txns,
+CheckResult check_graph(IsolationLevel level, const CompiledHistory& ch,
                         const CheckOptions& opts) {
-  if (txns.empty()) {
-    return {Outcome::kSatisfiable, model::Execution::identity(txns), "empty set", 0};
+  if (ch.size() == 0) {
+    return {Outcome::kSatisfiable, model::Execution::identity(ch.txns()), "empty set", 0};
+  }
+
+  // Timestamp-requiring levels are unsatisfiable as soon as one transaction
+  // is outside the time oracle (same convention as the exhaustive engine's
+  // precheck). Gating here keeps the heuristic path below from "verifying"
+  // an SSER candidate whose real-time clauses hold only vacuously because
+  // the missing timestamps make every real-time predecessor set empty.
+  if (ct::requires_timestamps(level)) {
+    for (TxnIdx d = 0; d < ch.size(); ++d) {
+      if (!ch.has_timestamps(d)) {
+        return {Outcome::kUnsatisfiable, std::nullopt,
+                std::string(ct::name_of(level)) +
+                    " requires the time oracle; no timestamps on " +
+                    crooks::to_string(ch.id_of(d)),
+                0};
+      }
+    }
   }
 
   // --- Timed SI family: C-ORD pins the execution to commit order. ---------
   if (level == IsolationLevel::kAnsiSI || level == IsolationLevel::kSessionSI ||
       level == IsolationLevel::kStrongSI) {
-    for (const Transaction& t : txns) {
-      if (!t.has_timestamps()) {
-        return {Outcome::kUnsatisfiable, std::nullopt,
-                std::string(ct::name_of(level)) +
-                    " requires the time oracle; no timestamps on " +
-                    crooks::to_string(t.id()),
-                0};
-      }
-    }
-    auto order = commit_sorted(txns);
+    auto order = commit_sorted(ch);
     if (!order.has_value()) {
       return {Outcome::kUnsatisfiable, std::nullopt,
               "C-ORD needs distinct commit timestamps", 0};
     }
-    model::Execution e(txns, std::move(*order));
-    ct::ExecutionVerdict v = verify_witness(level, txns, e);
+    model::Execution e(ch.txns(), std::move(*order));
+    ct::ExecutionVerdict v = verify_witness(level, ch, e);
     if (v.ok) {
       return {Outcome::kSatisfiable, std::move(e),
               "commit test passes on the commit-order execution (the only "
@@ -153,26 +173,28 @@ CheckResult check_graph(IsolationLevel level, const model::TransactionSet& txns,
 
   // --- Untimed levels with an authoritative version order: phenomena. -----
   if (opts.version_order != nullptr && level != IsolationLevel::kAdyaSI) {
-    adya::History h = adya::from_observations(txns, *opts.version_order);
-    const adya::Phenomena p = adya::detect(h);
+    const adya::InstallOrders io = adya::compile_install_orders(ch, opts.version_order);
+    const adya::Phenomena p = adya::detect(ch, io);
     const adya::Verdict verdict = adya::satisfies(p, level);
     if (verdict == adya::Verdict::kViolated) {
+      // Cold path: lift into an Adya history only to render the diagnosis.
+      adya::History h = adya::from_observations(ch.txns(), *opts.version_order);
       return {Outcome::kUnsatisfiable, std::nullopt,
               "under the system's install order: " + adya::explain_violation(h, level),
               0};
     }
     if (verdict == adya::Verdict::kSatisfied) {
-      adya::Dsg dsg(h);
+      adya::Dsg dsg(ch, io);
       std::uint8_t mask = witness_mask(level);
       if (level == IsolationLevel::kStrictSerializable) {
-        if (!dsg.add_realtime_edges(h)) {
+        if (!dsg.add_realtime_edges(ch)) {
           return {Outcome::kUnsatisfiable, std::nullopt,
                   "StrictSerializable requires the time oracle", 0};
         }
       }
-      std::vector<TxnId> order = topo_order(dsg, mask, txns);
+      std::vector<TxnId> order = topo_order(dsg, mask, ch);
       if (!order.empty()) {
-        return verified_sat(level, txns, std::move(order),
+        return verified_sat(level, ch, std::move(order),
                             "witness from topological sort of the serialization "
                             "graph (no phenomena under the install order)");
       }
@@ -184,23 +206,22 @@ CheckResult check_graph(IsolationLevel level, const model::TransactionSet& txns,
 
   // --- Heuristic: try natural candidate orders, verify each. --------------
   std::vector<std::pair<std::string, std::vector<TxnId>>> candidates;
-  if (auto cs = commit_sorted(txns); cs.has_value()) {
+  if (auto cs = commit_sorted(ch); cs.has_value()) {
     candidates.emplace_back("commit-timestamp order", std::move(*cs));
   }
   {
     // Dependency topological order using the observations' wr edges plus
     // whatever ww edges a version order pins (if none: single-writer keys).
     try {
-      std::unordered_map<Key, std::vector<TxnId>> empty_vo;
-      adya::History h = adya::from_observations(
-          txns, opts.version_order != nullptr ? *opts.version_order : empty_vo);
-      adya::Dsg dsg(h);
+      const adya::InstallOrders io =
+          adya::compile_install_orders(ch, opts.version_order);
+      adya::Dsg dsg(ch, io);
       std::vector<TxnId> order =
           topo_order(dsg, level == IsolationLevel::kSerializable ||
                               level == IsolationLevel::kStrictSerializable
                           ? adya::kAllDsg
                           : adya::kDependency,
-                     txns);
+                     ch);
       if (!order.empty()) candidates.emplace_back("dependency topological order", order);
     } catch (const std::invalid_argument&) {
       // multi-writer keys without version order: no dependency candidate
@@ -208,8 +229,8 @@ CheckResult check_graph(IsolationLevel level, const model::TransactionSet& txns,
   }
 
   for (auto& [how, order] : candidates) {
-    model::Execution e(txns, std::move(order));
-    if (verify_witness(level, txns, e).ok) {
+    model::Execution e(ch.txns(), std::move(order));
+    if (verify_witness(level, ch, e).ok) {
       return {Outcome::kSatisfiable, std::move(e), "heuristic: " + how + " verified", 0};
     }
   }
@@ -217,7 +238,13 @@ CheckResult check_graph(IsolationLevel level, const model::TransactionSet& txns,
           "no candidate order verified; graph engine is incomplete here", 0};
 }
 
-CheckResult check(IsolationLevel level, const model::TransactionSet& txns,
+CheckResult check_graph(IsolationLevel level, const model::TransactionSet& txns,
+                        const CheckOptions& opts) {
+  const CompiledHistory ch(txns);
+  return check_graph(level, ch, opts);
+}
+
+CheckResult check(IsolationLevel level, const CompiledHistory& ch,
                   const CheckOptions& opts) {
   // Complete graph decisions first (polynomial).
   const bool timed_pinned = level == IsolationLevel::kAnsiSI ||
@@ -232,13 +259,13 @@ CheckResult check(IsolationLevel level, const model::TransactionSet& txns,
        level == IsolationLevel::kStrictSerializable);
 
   if (timed_pinned || vo_complete) {
-    CheckResult r = check_graph(level, txns, opts);
+    CheckResult r = check_graph(level, ch, opts);
     if (r.outcome != Outcome::kUnknown) return r;
   }
-  if (txns.size() <= opts.exhaustive_threshold) {
-    return check_exhaustive(level, txns, opts);
+  if (ch.size() <= opts.exhaustive_threshold) {
+    return check_exhaustive(level, ch, opts);
   }
-  CheckResult r = check_graph(level, txns, opts);
+  CheckResult r = check_graph(level, ch, opts);
   if (r.outcome != Outcome::kUnknown) return r;
 
   // Hierarchy inference for the one large-instance gap: timestamp-free
@@ -246,13 +273,13 @@ CheckResult check(IsolationLevel level, const model::TransactionSet& txns,
   // sound in both directions — a serializable witness also witnesses SI
   // (SER ⇒ AdyaSI), and an unsatisfiable PSI refutes SI (AdyaSI ⇒ PSI).
   if (level == IsolationLevel::kAdyaSI) {
-    CheckResult ser = check_graph(IsolationLevel::kSerializable, txns, opts);
+    CheckResult ser = check_graph(IsolationLevel::kSerializable, ch, opts);
     if (ser.outcome == Outcome::kSatisfiable &&
-        verify_witness(level, txns, *ser.witness).ok) {
+        verify_witness(level, ch, *ser.witness).ok) {
       ser.detail += " (serializable witness also satisfies CT_SI)";
       return ser;
     }
-    CheckResult psi = check_graph(IsolationLevel::kPSI, txns, opts);
+    CheckResult psi = check_graph(IsolationLevel::kPSI, ch, opts);
     if (psi.outcome == Outcome::kUnsatisfiable) {
       psi.detail = "refuted via the hierarchy (AdyaSI ⇒ PSI): " + psi.detail;
       return psi;
@@ -261,7 +288,13 @@ CheckResult check(IsolationLevel level, const model::TransactionSet& txns,
 
   // Last resort: bounded exhaustive search may still find a witness quickly
   // (the candidate ordering starts from commit order).
-  return check_exhaustive(level, txns, opts);
+  return check_exhaustive(level, ch, opts);
+}
+
+CheckResult check(IsolationLevel level, const model::TransactionSet& txns,
+                  const CheckOptions& opts) {
+  const CompiledHistory ch(txns);
+  return check(level, ch, opts);
 }
 
 }  // namespace crooks::checker

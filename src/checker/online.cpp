@@ -64,13 +64,13 @@ OnlineChecker::OpView OnlineChecker::analyze_op(const Transaction& t,
     }
     version_pos = txns_[it->second].state;
   }
-  const auto tl = timelines_.find(op.key);
+  const auto* tl = timeline_of(op.key);
   StateIndex next_write = parent + 2;
-  if (tl != timelines_.end()) {
+  if (tl != nullptr) {
     auto it = std::upper_bound(
-        tl->second.begin(), tl->second.end(), version_pos,
+        tl->begin(), tl->end(), version_pos,
         [](StateIndex v, const auto& en) { return v < en.first; });
-    if (it != tl->second.end()) next_write = it->first;
+    if (it != tl->end()) next_write = it->first;
   }
   return {{version_pos, std::min(next_write - 1, parent)}, false};
 }
@@ -87,16 +87,86 @@ bool OnlineChecker::append(const Transaction& txn) {
     p.ops.push_back(analyze_op(txn, i, parent));
   }
 
+  commit_placed(std::move(p));
+  return true;
+}
+
+std::size_t OnlineChecker::append_all(const model::CompiledHistory& ch) {
+  if (!txns_.empty() || !index_.empty()) {
+    // Mixed stream: writer resolution must see previously appended
+    // transactions, which the compiled form knows nothing about.
+    std::size_t appended = 0;
+    for (model::TxnIdx d = 0; d < ch.size(); ++d) {
+      if (append(ch.txns().at(d))) ++appended;
+    }
+    return appended;
+  }
+
+  // Fresh checker, whole history: dense index d is applied at state d + 1,
+  // so every branch of analyze_op is a precomputed flag or integer compare.
+  for (model::TxnIdx d = 0; d < ch.size(); ++d) {
+    Placed p;
+    p.txn = ch.txns().at(d);
+    p.state = static_cast<StateIndex>(d) + 1;
+    const StateIndex parent = p.state - 1;
+    const std::span<const model::CompiledOp> cops = ch.ops(d);
+    p.ops.reserve(cops.size());
+    for (const model::CompiledOp& c : cops) {
+      if (c.is_write()) {
+        p.ops.push_back({{0, parent}, false});
+        continue;
+      }
+      if ((c.flags & model::kOpPhantom) != 0) {
+        p.ops.push_back({{0, -1}, false});
+        continue;
+      }
+      if ((c.flags & model::kOpPositionalInternal) != 0) {
+        p.ops.push_back((c.flags & model::kOpSelfWriter) != 0
+                            ? OpView{{0, parent}, true}
+                            : OpView{{0, -1}, true});
+        continue;
+      }
+      if ((c.flags & model::kOpSelfWriter) != 0) {
+        p.ops.push_back({{0, -1}, false});
+        continue;
+      }
+      StateIndex version_pos = 0;
+      if ((c.flags & model::kOpInitWriter) == 0) {
+        if ((c.flags & (model::kOpUnknownWriter | model::kOpWriterMissesKey)) != 0 ||
+            c.writer >= d) {  // writer not applied yet: reads from the future
+          p.ops.push_back({{0, -1}, false});
+          continue;
+        }
+        version_pos = static_cast<StateIndex>(c.writer) + 1;
+      }
+      const auto* tl = timeline_of(ch.keys().key_of(c.key));
+      StateIndex next_write = parent + 2;
+      if (tl != nullptr) {
+        auto it = std::upper_bound(
+            tl->begin(), tl->end(), version_pos,
+            [](StateIndex v, const auto& en) { return v < en.first; });
+        if (it != tl->end()) next_write = it->first;
+      }
+      p.ops.push_back({{version_pos, std::min(next_write - 1, parent)}, false});
+    }
+
+    commit_placed(std::move(p));
+  }
+  return ch.size();
+}
+
+void OnlineChecker::commit_placed(Placed p) {
   evaluate_new(p);
   check_retroactive_inversions(p);
 
   // Install.
-  index_.emplace(txn.id(), txns_.size());
-  for (Key k : txn.write_set()) {
-    timelines_[k].emplace_back(p.state, txns_.size());
+  index_.emplace(p.txn.id(), txns_.size());
+  for (Key k : p.txn.write_set()) {
+    const model::KeyIdx ki = keys_.intern(k);
+    if (ki == timelines_.size()) timelines_.emplace_back();
+    timelines_[ki].emplace_back(p.state, txns_.size());
   }
   txns_.push_back(std::move(p));
-  return true;
 }
 
 void OnlineChecker::evaluate_new(Placed& p) {
@@ -151,15 +221,15 @@ void OnlineChecker::evaluate_new(Placed& p) {
       if (auto it = index_.find(op.value.writer); it != index_.end()) absorb(it->second);
     }
     for (Key k : t.write_set()) {
-      if (auto tl = timelines_.find(k); tl != timelines_.end()) {
-        for (const auto& [pos, slot] : tl->second) absorb(slot);
+      if (const auto* tl = timeline_of(k)) {
+        for (const auto& [pos, slot] : *tl) absorb(slot);
       }
     }
     for (std::size_t i = 0; i < t.ops().size(); ++i) {
       const Operation& op = t.ops()[i];
       if (!op.is_read() || p.ops[i].internal) continue;
-      if (auto tl = timelines_.find(op.key); tl != timelines_.end()) {
-        for (const auto& [pos, slot] : tl->second) {
+      if (const auto* tl = timeline_of(op.key)) {
+        for (const auto& [pos, slot] : *tl) {
           if (pos > p.ops[i].rs.last && self.prec.test(slot)) {
             violate(IsolationLevel::kPSI, t.id(),
                     "CAUS-VIS fails: misses " + crooks::to_string(txns_[slot].txn.id()) +
@@ -187,8 +257,8 @@ void OnlineChecker::evaluate_new(Placed& p) {
                                       IsolationLevel::kStrongSI};
   StateIndex no_conf = 0;
   for (Key k : t.write_set()) {
-    if (auto tl = timelines_.find(k); tl != timelines_.end() && !tl->second.empty()) {
-      no_conf = std::max(no_conf, tl->second.back().first);
+    if (const auto* tl = timeline_of(k)) {
+      no_conf = std::max(no_conf, tl->back().first);
     }
   }
   for (IsolationLevel level : si_family) {

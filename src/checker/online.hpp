@@ -17,16 +17,17 @@
 // with checker::check.
 #pragma once
 
-#include <deque>
 #include <map>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "committest/levels.hpp"
 #include "common/bitset.hpp"
 #include "common/ids.hpp"
 #include "common/interval.hpp"
+#include "model/compiled.hpp"
 #include "model/transaction.hpp"
 
 namespace crooks::checker {
@@ -46,6 +47,16 @@ class OnlineChecker {
   /// Append the next committed transaction. Returns false if the id was
   /// already seen (the transaction is ignored).
   bool append(const model::Transaction& txn);
+
+  /// Audit a whole history's apply order: append every transaction of `ch`
+  /// in dense (declaration) order, returning how many were accepted. On a
+  /// fresh checker this runs on the compiled ops directly — the writer of
+  /// each read is already resolved to a dense index, so "has the writer been
+  /// applied yet" is an integer compare instead of an id-hash probe, and the
+  /// phantom / internal / unknown-writer branches are precomputed flags. On
+  /// a non-empty checker it falls back to per-transaction append() (writer
+  /// resolution must then consult the whole mixed stream).
+  std::size_t append_all(const model::CompiledHistory& ch);
 
   const LevelStatus& status(ct::IsolationLevel level) const;
   bool all_ok() const;
@@ -77,10 +88,23 @@ class OnlineChecker {
   void evaluate_new(Placed& p);
   void check_retroactive_inversions(const Placed& p);
 
+  /// Shared tail of append / append_all: evaluate the commit tests for the
+  /// placed transaction, then install it into the index and timelines.
+  void commit_placed(Placed p);
+
+  /// Timeline of `k`, or null when no applied transaction wrote it yet.
+  const std::vector<std::pair<StateIndex, std::size_t>>* timeline_of(Key k) const {
+    const model::KeyIdx ki = keys_.find(k);
+    return ki == model::kNoKeyIdx || timelines_[ki].empty() ? nullptr
+                                                            : &timelines_[ki];
+  }
+
   std::map<ct::IsolationLevel, LevelStatus> statuses_;
   std::vector<Placed> txns_;  // in append (= execution) order
-  std::map<TxnId, std::size_t> index_;
-  std::map<Key, std::vector<std::pair<StateIndex, std::size_t>>> timelines_;
+  std::unordered_map<TxnId, std::size_t> index_;
+  // Keys interned as the stream reveals them; timelines indexed by KeyIdx.
+  model::KeyInterner keys_;
+  std::vector<std::vector<std::pair<StateIndex, std::size_t>>> timelines_;
 };
 
 }  // namespace crooks::checker

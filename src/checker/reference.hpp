@@ -1,0 +1,47 @@
+// Frozen hash-based reference engine.
+//
+// This is the pre-compile exhaustive search and read-state analysis, kept
+// verbatim as a baseline: per-key timelines in unordered_maps, `contains(w)` /
+// `by_id(w)` probes on every search node — exactly the representation
+// CompiledHistory replaced. Two consumers:
+//
+//  * tests/compiled_history_test.cpp runs it differentially against the
+//    compiled engines — verdicts must agree on every level, with and without
+//    version orders (compilation is a pure re-indexing);
+//  * bench_ablation_checker's `representation` ablation measures the speedup
+//    of the compiled engine over this baseline in the same binary.
+//
+// The one deliberate divergence from the historical code: the candidate
+// comparator. The original compared untimestamped transactions "equivalent"
+// to everything, which is not a strict weak order on mixed
+// timestamped/untimestamped sets (UB in std::sort) — freezing that would
+// freeze the bug. This copy uses the fixed total order (timestamped first by
+// commit timestamp, untimestamped after, dense index as tie-break), which is
+// also CompiledHistory::ts_order() — candidate ordering affects node counts
+// and witness choice, never verdicts.
+//
+// Do not "improve" this file; it is only useful while it stays hashed.
+#pragma once
+
+#include <vector>
+
+#include "checker/checker.hpp"
+#include "common/interval.hpp"
+
+namespace crooks::checker::reference {
+
+/// Sequential branch-and-bound over execution prefixes on the hashed
+/// representation. Verdict-equivalent to check_exhaustive(level, txns, opts)
+/// with opts.threads == 1 (identical candidate order ⇒ identical node
+/// counts, too).
+CheckResult check_exhaustive_hashed(ct::IsolationLevel level,
+                                    const model::TransactionSet& txns,
+                                    const CheckOptions& opts = {});
+
+/// The hashed read-state computation: per-op RS_e(o) intervals of every
+/// transaction under `e`, index-aligned with Transaction::ops(). Must match
+/// ReadStateAnalysis (which runs on the compiled form) interval-for-interval.
+std::vector<std::vector<StateInterval>> read_state_intervals_hashed(
+    const model::TransactionSet& txns, const model::Execution& e);
+
+}  // namespace crooks::checker::reference

@@ -3,15 +3,22 @@
 #include <algorithm>
 #include <map>
 
+#include "model/compiled.hpp"
 #include "model/execution.hpp"
 #include "model/transaction.hpp"
 
 namespace crooks::ct {
 
+using model::CompiledHistory;
+using model::CompiledOp;
+using model::KeyIdx;
+using model::OpClass;
 using model::Operation;
 using model::ReadStateAnalysis;
 using model::Transaction;
 using model::TxnAnalysis;
+using model::TxnIdx;
+using model::VersionEntry;
 
 CommitTester::CommitTester(const ReadStateAnalysis& analysis) : a_(&analysis) {}
 
@@ -34,11 +41,10 @@ void CommitTester::ensure_time_index() const {
     SessionId session;
   };
   std::vector<Entry> entries;
-  const auto& txns = a_->txns();
-  for (std::size_t d = 0; d < txns.size(); ++d) {
-    const Transaction& t = txns.at(d);
-    if (t.commit_ts() == kNoTimestamp) continue;
-    entries.push_back({t.commit_ts(), a_->txn(d).state, t.session()});
+  const CompiledHistory& ch = a_->compiled();
+  for (TxnIdx d = 0; d < ch.size(); ++d) {
+    if (ch.commit_ts(d) == kNoTimestamp) continue;
+    entries.push_back({ch.commit_ts(d), a_->txn(d).state, ch.session(d)});
   }
   std::sort(entries.begin(), entries.end(),
             [](const Entry& x, const Entry& y) { return x.ts < y.ts; });
@@ -69,18 +75,20 @@ void CommitTester::ensure_time_index() const {
 }
 
 StateIndex CommitTester::realtime_pred_max_state(std::size_t dense) const {
-  const Transaction& t = a_->txns().at(dense);
-  if (t.start_ts() == kNoTimestamp) return 0;
+  const Timestamp start = a_->compiled().start_ts(static_cast<TxnIdx>(dense));
+  if (start == kNoTimestamp) return 0;
   ensure_time_index();
-  return global_time_index_->max_state_before(t.start_ts());
+  return global_time_index_->max_state_before(start);
 }
 
 StateIndex CommitTester::session_pred_max_state(std::size_t dense) const {
-  const Transaction& t = a_->txns().at(dense);
-  if (t.start_ts() == kNoTimestamp || t.session() == kNoSession) return 0;
+  const CompiledHistory& ch = a_->compiled();
+  const Timestamp start = ch.start_ts(static_cast<TxnIdx>(dense));
+  const SessionId session = ch.session(static_cast<TxnIdx>(dense));
+  if (start == kNoTimestamp || session == kNoSession) return 0;
   ensure_time_index();
   for (const auto& [sess, idx] : session_time_index_) {
-    if (sess == t.session()) return idx.max_state_before(t.start_ts());
+    if (sess == session) return idx.max_state_before(start);
   }
   return 0;
 }
@@ -88,12 +96,12 @@ StateIndex CommitTester::session_pred_max_state(std::size_t dense) const {
 bool CommitTester::commit_ordered_with_parent(std::size_t dense) const {
   const TxnAnalysis& ta = a_->txn(dense);
   if (ta.parent == 0) return true;  // parent is the initial state
-  const Transaction& t = a_->txns().at(dense);
-  const TxnId parent_id =
-      a_->execution().order()[static_cast<std::size_t>(ta.parent) - 1];
-  const Transaction& parent = a_->txns().by_id(parent_id);
-  return parent.commit_ts() != kNoTimestamp && t.commit_ts() != kNoTimestamp &&
-         parent.commit_ts() < t.commit_ts();
+  const CompiledHistory& ch = a_->compiled();
+  const TxnIdx parent_dense =
+      a_->execution().dense_at(static_cast<std::size_t>(ta.parent) - 1);
+  return ch.commit_ts(parent_dense) != kNoTimestamp &&
+         ch.commit_ts(static_cast<TxnIdx>(dense)) != kNoTimestamp &&
+         ch.commit_ts(parent_dense) < ch.commit_ts(static_cast<TxnIdx>(dense));
 }
 
 // ------------------------------------------------------------ simple levels
@@ -124,24 +132,24 @@ CommitTestResult CommitTester::test_ra(std::size_t dense) const {
 
   // CT_RA (Def. B.1): for external reads r1, r2, if the transaction observed
   // by r1 also wrote r2's key, then sf_{r1} →* sf_{r2} (no fractured reads).
-  const Transaction& t = a_->txns().at(dense);
+  // PREREAD holds here, so every read with an external member writer is
+  // kReadExternal with a valid dense writer index.
+  const CompiledHistory& ch = a_->compiled();
+  const std::span<const CompiledOp> cops = ch.ops(static_cast<TxnIdx>(dense));
   const TxnAnalysis& ta = a_->txn(dense);
-  for (std::size_t i = 0; i < t.ops().size(); ++i) {
-    const Operation& r1 = t.ops()[i];
-    if (!r1.is_read() || ta.ops[i].internal) continue;
-    const TxnId w1 = r1.value.writer;
-    if (w1 == kInitTxn) continue;  // ⊥ is "written" at state 0: never fractures
-    const Transaction& writer1 = a_->txns().by_id(w1);
-    for (std::size_t j = 0; j < t.ops().size(); ++j) {
-      const Operation& r2 = t.ops()[j];
-      if (!r2.is_read() || ta.ops[j].internal) continue;
-      if (!writer1.writes(r2.key)) continue;
+  for (std::size_t i = 0; i < cops.size(); ++i) {
+    if (cops[i].cls != OpClass::kReadExternal) continue;
+    const TxnIdx w1 = cops[i].writer;
+    for (std::size_t j = 0; j < cops.size(); ++j) {
+      if (!cops[j].is_read() || ta.ops[j].internal) continue;
+      if (!ch.writes_key(w1, cops[j].key)) continue;
       if (ta.ops[i].rs.first > ta.ops[j].rs.first) {
+        const Transaction& t = a_->txns().at(dense);
         return CommitTestResult::fail(
-            "fractured read: " + model::to_string(r1) + " observes " +
-            crooks::to_string(w1) + " which also wrote " + crooks::to_string(r2.key) +
-            ", but " + model::to_string(r2) + " reads from the earlier state s" +
-            std::to_string(ta.ops[j].rs.first));
+            "fractured read: " + model::to_string(t.ops()[i]) + " observes " +
+            crooks::to_string(ch.id_of(w1)) + " which also wrote " +
+            crooks::to_string(t.ops()[j].key) + ", but " + model::to_string(t.ops()[j]) +
+            " reads from the earlier state s" + std::to_string(ta.ops[j].rs.first));
       }
     }
   }
@@ -154,28 +162,29 @@ CommitTestResult CommitTester::test_psi(std::size_t dense) const {
   // CT_PSI (Def. 6): ∀T' ▷ T, ∀o ∈ Σ_T: o.k ∈ W_{T'} ⇒ s_{T'} →* sl_o.
   // Only external reads can violate this: for writes and internal reads,
   // sl_o = s_p and every predecessor precedes s_T (Lemma E.2).
-  const Transaction& t = a_->txns().at(dense);
+  const CompiledHistory& ch = a_->compiled();
+  const std::span<const CompiledOp> cops = ch.ops(static_cast<TxnIdx>(dense));
   const TxnAnalysis& ta = a_->txn(dense);
   const auto& prec = a_->precedence().prec_set(dense);
 
-  for (std::size_t i = 0; i < t.ops().size(); ++i) {
-    const Operation& op = t.ops()[i];
-    if (!op.is_read() || ta.ops[i].internal) continue;
+  for (std::size_t i = 0; i < cops.size(); ++i) {
+    if (!cops[i].is_read() || ta.ops[i].internal) continue;
     const StateIndex sl = ta.ops[i].rs.last;
     CommitTestResult res = CommitTestResult::pass();
-    a_->for_writers_in(op.key, sl, a_->execution().last_state(),
-                       [&](TxnId w, StateIndex pos) {
-                         if (w == kInitTxn || !res.ok) return;
-                         const std::size_t wd = a_->txns().dense_index_of(w);
-                         if (wd != dense && prec.test(wd)) {
-                           res = CommitTestResult::fail(
-                               "CAUS-VIS fails: " + crooks::to_string(w) +
-                               " ▷-precedes this transaction and wrote " +
-                               crooks::to_string(op.key) + " at state s" +
-                               std::to_string(pos) + ", after sl(" +
-                               model::to_string(op) + ") = s" + std::to_string(sl));
-                         }
-                       });
+    a_->for_writers_in_idx(cops[i].key, sl, a_->execution().last_state(),
+                           [&](const VersionEntry& v) {
+                             if (v.writer_dense == model::kNoTxnIdx || !res.ok) return;
+                             if (v.writer_dense != dense && prec.test(v.writer_dense)) {
+                               const Transaction& t = a_->txns().at(dense);
+                               res = CommitTestResult::fail(
+                                   "CAUS-VIS fails: " + crooks::to_string(v.writer) +
+                                   " ▷-precedes this transaction and wrote " +
+                                   crooks::to_string(t.ops()[i].key) + " at state s" +
+                                   std::to_string(v.pos) + ", after sl(" +
+                                   model::to_string(t.ops()[i]) + ") = s" +
+                                   std::to_string(sl));
+                             }
+                           });
     if (!res) return res;
   }
   return CommitTestResult::pass();
@@ -221,25 +230,26 @@ std::optional<StateIndex> CommitTester::si_witness(std::size_t dense, StateIndex
   // T_s <_s T: the witness state's generating transaction must commit (real
   // time) before T starts. Scan from the most recent candidate backwards;
   // s = 0 (the initial state) always qualifies.
-  const Transaction& t = a_->txns().at(dense);
+  const CompiledHistory& ch = a_->compiled();
   for (StateIndex s = cand.last; s >= cand.first; --s) {
     if (s == 0) return s;
-    const TxnId gen = a_->execution().order()[static_cast<std::size_t>(s) - 1];
-    if (time_precedes(a_->txns().by_id(gen), t)) return s;
+    const TxnIdx gen = a_->execution().dense_at(static_cast<std::size_t>(s) - 1);
+    if (ch.time_precedes(gen, static_cast<TxnIdx>(dense))) return s;
   }
   return std::nullopt;
 }
 
 CommitTestResult CommitTester::test_si_family(IsolationLevel level,
                                               std::size_t dense) const {
-  const Transaction& t = a_->txns().at(dense);
+  const CompiledHistory& ch = a_->compiled();
   const TxnAnalysis& ta = a_->txn(dense);
 
   const bool timed = level != IsolationLevel::kAdyaSI;
-  if (timed && !t.has_timestamps()) {
+  if (timed && !ch.has_timestamps(static_cast<TxnIdx>(dense))) {
     return CommitTestResult::fail(std::string(name_of(level)) +
                                   " requires the time oracle, but " +
-                                  crooks::to_string(t.id()) + " has no timestamps");
+                                  crooks::to_string(ch.id_of(static_cast<TxnIdx>(dense))) +
+                                  " has no timestamps");
   }
   if (timed && !commit_ordered_with_parent(dense)) {
     return CommitTestResult::fail(
@@ -298,8 +308,8 @@ CommitTestResult CommitTester::test(IsolationLevel level, std::size_t dense) con
 ExecutionVerdict CommitTester::test_all(IsolationLevel level) const {
   for (std::size_t d = 0; d < a_->size(); ++d) {
     if (CommitTestResult r = test(level, d); !r) {
-      return {false, a_->txns().at(d).id(),
-              crooks::to_string(a_->txns().at(d).id()) + ": " + r.violation};
+      const TxnId id = a_->compiled().id_of(static_cast<TxnIdx>(d));
+      return {false, id, crooks::to_string(id) + ": " + r.violation};
     }
   }
   return {true, std::nullopt, {}};
@@ -308,6 +318,12 @@ ExecutionVerdict CommitTester::test_all(IsolationLevel level) const {
 ExecutionVerdict test_execution(IsolationLevel level, const model::TransactionSet& txns,
                                 const model::Execution& e) {
   const model::ReadStateAnalysis analysis(txns, e);
+  return CommitTester(analysis).test_all(level);
+}
+
+ExecutionVerdict test_execution(IsolationLevel level, const model::CompiledHistory& ch,
+                                const model::Execution& e) {
+  const model::ReadStateAnalysis analysis(ch, e);
   return CommitTester(analysis).test_all(level);
 }
 

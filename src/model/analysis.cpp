@@ -9,38 +9,48 @@ namespace {
 
 // Shared empty timeline (just the initial ⊥ version) for keys never written.
 const std::vector<VersionEntry>& initial_only_timeline() {
-  static const std::vector<VersionEntry> kInitial{{0, kInitTxn}};
+  static const std::vector<VersionEntry> kInitial{{0, kInitTxn, kNoTxnIdx}};
   return kInitial;
 }
 
 }  // namespace
 
 ReadStateAnalysis::ReadStateAnalysis(const TransactionSet& txns, const Execution& e)
-    : txns_(&txns), exec_(&e), txn_(txns.size()) {
+    : owned_(std::make_unique<CompiledHistory>(txns)), ch_(owned_.get()), exec_(&e) {
+  init();
+}
+
+ReadStateAnalysis::ReadStateAnalysis(const CompiledHistory& ch, const Execution& e)
+    : ch_(&ch), exec_(&e) {
+  init();
+}
+
+void ReadStateAnalysis::init() {
+  txn_.resize(ch_->size());
+
   // Build per-key version timelines by walking the execution order once.
-  for (std::size_t j = 0; j < e.order().size(); ++j) {
-    const Transaction& t = txns.by_id(e.order()[j]);
+  timelines_.assign(ch_->key_count(), {{0, kInitTxn, kNoTxnIdx}});
+  for (std::size_t j = 0; j < exec_->size(); ++j) {
+    const TxnIdx d = exec_->dense_at(j);
     const StateIndex pos = static_cast<StateIndex>(j) + 1;
-    for (Key k : t.write_set()) {
-      auto [it, inserted] = timelines_.try_emplace(k);
-      if (inserted) it->second.push_back({0, kInitTxn});
-      it->second.push_back({pos, t.id()});
+    for (KeyIdx k : ch_->write_keys(d)) {
+      timelines_[k].push_back({pos, ch_->id_of(d), d});
     }
   }
 
-  for (std::size_t dense = 0; dense < txns.size(); ++dense) {
+  for (std::size_t dense = 0; dense < ch_->size(); ++dense) {
     analyze_transaction(dense);
     if (!txn_[dense].preread) preread_all_ = false;
   }
 }
 
 const std::vector<VersionEntry>& ReadStateAnalysis::timeline(Key k) const {
-  auto it = timelines_.find(k);
-  return it == timelines_.end() ? initial_only_timeline() : it->second;
+  const KeyIdx ki = ch_->keys().find(k);
+  return ki == kNoKeyIdx ? initial_only_timeline() : timelines_[ki];
 }
 
-StateIndex ReadStateAnalysis::last_write_at_or_before(Key k, StateIndex s) const {
-  const std::vector<VersionEntry>& tl = timeline(k);
+StateIndex ReadStateAnalysis::last_write_at_or_before_idx(KeyIdx k, StateIndex s) const {
+  const std::vector<VersionEntry>& tl = timelines_[k];
   // Last entry with pos <= s. Entry 0 always has pos == 0 <= s for s >= 0.
   auto it = std::upper_bound(tl.begin(), tl.end(), s,
                              [](StateIndex v, const VersionEntry& en) { return v < en.pos; });
@@ -48,47 +58,36 @@ StateIndex ReadStateAnalysis::last_write_at_or_before(Key k, StateIndex s) const
   return std::prev(it)->pos;
 }
 
-StateInterval ReadStateAnalysis::read_states_of(const Transaction& t, std::size_t dense,
-                                                std::size_t op_index, bool& internal) const {
-  const Operation& op = t.ops()[op_index];
+StateIndex ReadStateAnalysis::last_write_at_or_before(Key k, StateIndex s) const {
+  const KeyIdx ki = ch_->keys().find(k);
+  return ki == kNoKeyIdx ? 0 : last_write_at_or_before_idx(ki, s);
+}
+
+StateInterval ReadStateAnalysis::read_states_of(std::size_t dense,
+                                                const CompiledOp& op) const {
   const StateIndex parent = exec_->parent_of(dense);
-  internal = false;
-
-  if (op.is_write()) {
-    // By convention (§3), writes can "read" from any state up to the parent.
-    return {0, parent};
-  }
-
-  // A phantom observation (intermediate write, Adya's G1b) exists in no state.
-  if (op.value.phantom) return {};
-
-  // Internal read: the transaction wrote this key earlier in program order.
-  for (std::size_t i = 0; i < op_index; ++i) {
-    const Operation& prev = t.ops()[i];
-    if (prev.is_write() && prev.key == op.key) {
-      internal = true;
-      // Definition 2: such a read must return the transaction's own write;
-      // its read-state set is, by convention, every state up to the parent.
-      // An observation violating read-your-own-writes has no read state.
-      if (op.value.writer == t.id()) return {0, parent};
-      return {};  // empty: malformed observation, PREREAD will fail
-    }
-  }
-
-  // External read of the value written by op.value.writer.
-  const TxnId writer = op.value.writer;
-  if (writer == t.id()) return {};  // claims to read own write it never made
 
   StateIndex version_pos = 0;
-  if (writer != kInitTxn) {
-    if (!txns_->contains(writer)) return {};  // writer aborted / unknown
-    const Transaction& w = txns_->by_id(writer);
-    if (!w.writes(op.key)) return {};  // writer never wrote this key
-    version_pos = exec_->state_of(txns_->dense_index_of(writer));
+  switch (op.cls) {
+    case OpClass::kWrite:
+    case OpClass::kReadInternal:
+      // Writes (by the §3 convention) and reads of the transaction's own
+      // earlier write can "read" from any state up to the parent.
+      return {0, parent};
+    case OpClass::kReadNever:
+      // Phantom, malformed internal, self-external, unknown writer, or the
+      // writer never wrote this key: no state exhibits the observation.
+      return {};
+    case OpClass::kReadInitial:
+      version_pos = 0;
+      break;
+    case OpClass::kReadExternal:
+      version_pos = exec_->state_of(op.writer);
+      break;
   }
 
   // The version is current from version_pos until the next write of the key.
-  const std::vector<VersionEntry>& tl = timeline(op.key);
+  const std::vector<VersionEntry>& tl = timelines_[op.key];
   auto it = std::upper_bound(tl.begin(), tl.end(), version_pos,
                              [](StateIndex v, const VersionEntry& en) { return v < en.pos; });
   const StateIndex next_write =
@@ -99,18 +98,17 @@ StateInterval ReadStateAnalysis::read_states_of(const Transaction& t, std::size_
 }
 
 void ReadStateAnalysis::analyze_transaction(std::size_t dense) {
-  const Transaction& t = txns_->at(dense);
+  const std::span<const CompiledOp> cops = ch_->ops(static_cast<TxnIdx>(dense));
   TxnAnalysis& out = txn_[dense];
   out.state = exec_->state_of(dense);
   out.parent = out.state - 1;
   out.preread = true;
   out.complete = {0, out.parent};
-  out.ops.resize(t.ops().size());
+  out.ops.resize(cops.size());
 
-  for (std::size_t i = 0; i < t.ops().size(); ++i) {
-    bool internal = false;
-    const StateInterval rs = read_states_of(t, dense, i, internal);
-    out.ops[i] = {rs, internal};
+  for (std::size_t i = 0; i < cops.size(); ++i) {
+    const StateInterval rs = read_states_of(dense, cops[i]);
+    out.ops[i] = {rs, cops[i].internal()};
     if (rs.empty()) out.preread = false;
     out.complete = out.complete.intersect(rs);
   }
@@ -120,8 +118,8 @@ void ReadStateAnalysis::analyze_transaction(std::size_t dense) {
   // key differs iff someone rewrote it). The earliest conflict-free state is
   // therefore the last position ≤ s_p at which any key of W_T was written.
   StateIndex min_ok = 0;
-  for (Key k : t.write_set()) {
-    min_ok = std::max(min_ok, last_write_at_or_before(k, out.parent));
+  for (KeyIdx k : ch_->write_keys(static_cast<TxnIdx>(dense))) {
+    min_ok = std::max(min_ok, last_write_at_or_before_idx(k, out.parent));
   }
   out.no_conf_min = min_ok;
 }
@@ -130,16 +128,16 @@ const Precedence& ReadStateAnalysis::precedence() const {
   if (precedence_.has_value()) return *precedence_;
 
   Precedence p;
-  const std::size_t n = txns_->size();
+  const std::size_t n = ch_->size();
   p.prec_.assign(n, DynamicBitset(n));
   p.direct_count_.assign(n, 0);
 
   // Walk transactions in execution order so that every direct predecessor's
   // transitive set is already complete when we fold it in (Lemma E.1/E.2:
   // under PREREAD, predecessors occur strictly earlier in e).
-  for (TxnId id : exec_->order()) {
-    const std::size_t dense = txns_->dense_index_of(id);
-    const Transaction& t = txns_->at(dense);
+  for (std::size_t j = 0; j < exec_->size(); ++j) {
+    const TxnIdx dense = exec_->dense_at(j);
+    const std::span<const CompiledOp> cops = ch_->ops(dense);
     const TxnAnalysis& ta = txn_[dense];
     DynamicBitset& mine = p.prec_[dense];
     DynamicBitset direct_set(n);  // D-PREC_e(T): distinct direct predecessors
@@ -152,21 +150,19 @@ const Precedence& ReadStateAnalysis::precedence() const {
     };
 
     // Read dependencies: the writer of each operation's first read state.
-    for (std::size_t i = 0; i < t.ops().size(); ++i) {
-      const Operation& op = t.ops()[i];
-      const OpAnalysis& oa = ta.ops[i];
-      if (!op.is_read() || oa.internal || oa.rs.empty()) continue;
-      const TxnId w = op.value.writer;
-      if (w == kInitTxn) continue;
-      add_direct(txns_->dense_index_of(w));
+    // Only external reads of a member writer contribute (internal reads and
+    // reads of ⊥ have no writer; empty-RS reads contribute no edges).
+    for (std::size_t i = 0; i < cops.size(); ++i) {
+      if (cops[i].cls != OpClass::kReadExternal || ta.ops[i].rs.empty()) continue;
+      add_direct(cops[i].writer);
     }
 
     // Write-write dependencies: every earlier transaction writing a key that
     // this transaction also writes.
-    for (Key k : t.write_set()) {
-      for_writers_in(k, 0, ta.parent, [&](TxnId w, StateIndex) {
-        if (w == kInitTxn) return;
-        add_direct(txns_->dense_index_of(w));
+    for (KeyIdx k : ch_->write_keys(dense)) {
+      for_writers_in_idx(k, 0, ta.parent, [&](const VersionEntry& v) {
+        if (v.writer_dense == kNoTxnIdx) return;  // the initial ⊥ version
+        add_direct(v.writer_dense);
       });
     }
 

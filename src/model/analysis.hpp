@@ -8,18 +8,22 @@
 // threshold (the earliest state s with Δ(s, s_p) ∩ W_T = ∅); and, lazily,
 // the D-PREC / PREC precedence relation used by the PSI / PL-2+ commit test.
 //
-// Everything is index arithmetic on per-key version timelines; no state is
-// ever materialized. Construction is O(|ops| · log |versions|).
+// The analysis operates on the CompiledHistory form: operation classification
+// (phantom / internal / unknown writer) and writer resolution are precomputed
+// there, so this pass is pure index arithmetic on per-key version timelines
+// indexed by dense KeyIdx; no state is ever materialized and no hashing
+// happens per operation. Construction is O(|ops| · log |versions|).
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "common/bitset.hpp"
 #include "common/ids.hpp"
 #include "common/interval.hpp"
+#include "model/compiled.hpp"
 #include "model/execution.hpp"
 #include "model/transaction.hpp"
 
@@ -27,8 +31,9 @@ namespace crooks::model {
 
 /// One installed version of a key in the execution order.
 struct VersionEntry {
-  StateIndex pos = 0;       // state index where this version became current
-  TxnId writer = kInitTxn;  // transaction that installed it
+  StateIndex pos = 0;              // state index where this version became current
+  TxnId writer = kInitTxn;         // transaction that installed it
+  TxnIdx writer_dense = kNoTxnIdx; // dense index of the writer (kNoTxnIdx for ⊥)
 };
 
 /// Per-operation results.
@@ -67,13 +72,19 @@ class Precedence {
 
 class ReadStateAnalysis {
  public:
+  /// Compiles the set privately; prefer the CompiledHistory overload when the
+  /// same history is analyzed against several executions.
   ReadStateAnalysis(const TransactionSet& txns, const Execution& e);
 
-  const TransactionSet& txns() const { return *txns_; }
+  /// Shares an existing compilation (must outlive this analysis).
+  ReadStateAnalysis(const CompiledHistory& ch, const Execution& e);
+
+  const TransactionSet& txns() const { return ch_->txns(); }
+  const CompiledHistory& compiled() const { return *ch_; }
   const Execution& execution() const { return *exec_; }
 
   const TxnAnalysis& txn(std::size_t dense) const { return txn_[dense]; }
-  const TxnAnalysis& txn(TxnId id) const { return txn_[txns_->dense_index_of(id)]; }
+  const TxnAnalysis& txn(TxnId id) const { return txn_[txns().dense_index_of(id)]; }
   std::size_t size() const { return txn_.size(); }
 
   /// PREREAD_e(𝒯): every operation of every transaction has a read state.
@@ -82,19 +93,31 @@ class ReadStateAnalysis {
   /// The ordered version timeline of a key (always starts with the initial ⊥
   /// version at state 0).
   const std::vector<VersionEntry>& timeline(Key k) const;
+  const std::vector<VersionEntry>& timeline_idx(KeyIdx k) const { return timelines_[k]; }
 
   /// State index of the last write to `k` at or before state `s` (0 when `k`
   /// was never written that early, i.e. the key still holds ⊥).
   StateIndex last_write_at_or_before(Key k, StateIndex s) const;
+  StateIndex last_write_at_or_before_idx(KeyIdx k, StateIndex s) const;
 
   /// Invoke f(writer TxnId, position) for every version of `k` installed at a
   /// state index in (lo, hi]; both bounds are state indices.
   template <typename F>
   void for_writers_in(Key k, StateIndex lo_exclusive, StateIndex hi_inclusive, F&& f) const {
-    const std::vector<VersionEntry>& tl = timeline(k);
-    for (const VersionEntry& v : tl) {
+    for (const VersionEntry& v : timeline(k)) {
       if (v.pos > hi_inclusive) break;
       if (v.pos > lo_exclusive) f(v.writer, v.pos);
+    }
+  }
+
+  /// Same, over dense key index; f receives the full VersionEntry (so callers
+  /// can use the dense writer index without a hash lookup).
+  template <typename F>
+  void for_writers_in_idx(KeyIdx k, StateIndex lo_exclusive, StateIndex hi_inclusive,
+                          F&& f) const {
+    for (const VersionEntry& v : timelines_[k]) {
+      if (v.pos > hi_inclusive) break;
+      if (v.pos > lo_exclusive) f(v);
     }
   }
 
@@ -104,13 +127,14 @@ class ReadStateAnalysis {
   const Precedence& precedence() const;
 
  private:
+  void init();
   void analyze_transaction(std::size_t dense);
-  StateInterval read_states_of(const Transaction& t, std::size_t dense,
-                               std::size_t op_index, bool& internal) const;
+  StateInterval read_states_of(std::size_t dense, const CompiledOp& op) const;
 
-  const TransactionSet* txns_;
+  std::unique_ptr<const CompiledHistory> owned_;  // set by the TransactionSet ctor
+  const CompiledHistory* ch_;
   const Execution* exec_;
-  std::unordered_map<Key, std::vector<VersionEntry>> timelines_;
+  std::vector<std::vector<VersionEntry>> timelines_;  // indexed by KeyIdx
   std::vector<TxnAnalysis> txn_;
   bool preread_all_ = true;
   mutable std::optional<Precedence> precedence_;

@@ -1,0 +1,216 @@
+#include "model/compiled.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace crooks::model {
+
+CompiledHistory::CompiledHistory(const TransactionSet& txns)
+    : txns_(&txns), n_(txns.size()) {
+  // Pass 1: intern every key in first-appearance order so KeyIdx assignment is
+  // deterministic across runs and thread counts.
+  for (const Transaction& t : txns) {
+    for (const Operation& op : t.ops()) keys_.intern(op.key);
+  }
+  const std::size_t kc = keys_.size();
+
+  // Pass 2: write footprints (sorted dense arrays + bitset masks). Every key a
+  // transaction writes appears among its ops, so find() always resolves.
+  write_mask_.reserve(n_);
+  wk_begin_.assign(n_ + 1, 0);
+  for (TxnIdx d = 0; d < n_; ++d) {
+    const Transaction& t = txns.at(d);
+    DynamicBitset mask(kc);
+    std::vector<KeyIdx> wk;
+    wk.reserve(t.write_set().size());
+    for (Key k : t.write_set()) {
+      const KeyIdx ki = keys_.find(k);
+      mask.set(ki);
+      wk.push_back(ki);
+    }
+    std::sort(wk.begin(), wk.end());
+    write_keys_.insert(write_keys_.end(), wk.begin(), wk.end());
+    wk_begin_[d + 1] = static_cast<std::uint32_t>(write_keys_.size());
+    write_mask_.push_back(std::move(mask));
+  }
+
+  // Pass 3: classify every operation, mirroring the branch order of
+  // ReadStateAnalysis::read_states_of exactly (phantom before internal before
+  // self before unknown-writer before writer-misses-key).
+  op_begin_.assign(n_ + 1, 0);
+  rk_begin_.assign(n_ + 1, 0);
+  start_ts_.resize(n_);
+  commit_ts_.resize(n_);
+  session_.resize(n_);
+  std::vector<bool> written_so_far(kc, false);  // per-txn program-order scratch
+  std::vector<KeyIdx> touched;
+  for (TxnIdx d = 0; d < n_; ++d) {
+    const Transaction& t = txns.at(d);
+    start_ts_[d] = t.start_ts();
+    commit_ts_[d] = t.commit_ts();
+    session_[d] = t.session();
+    if (!t.has_timestamps()) all_timestamped_ = false;
+
+    touched.clear();
+    std::vector<KeyIdx> rk;
+    for (const Operation& op : t.ops()) {
+      CompiledOp c;
+      c.key = keys_.find(op.key);
+      if (op.is_write()) {
+        ops_.push_back(c);
+        written_so_far[c.key] = true;
+        touched.push_back(c.key);
+        continue;
+      }
+
+      rk.push_back(c.key);
+      const TxnId w = op.value.writer;
+      const bool positional_internal = written_so_far[c.key];
+      const bool is_self = w == t.id();
+      const bool is_init = w == kInitTxn;
+      const bool known = !is_init && txns.contains(w);
+      if (op.value.phantom) c.flags |= kOpPhantom;
+      if (is_init) c.flags |= kOpInitWriter;
+      if (is_self) c.flags |= kOpSelfWriter;
+      if (!is_init && !known) c.flags |= kOpUnknownWriter;
+      if (positional_internal) c.flags |= kOpPositionalInternal;
+      if (known) {
+        c.writer = static_cast<TxnIdx>(txns.dense_index_of(w));
+        if (!txns.at(c.writer).writes(op.key)) c.flags |= kOpWriterMissesKey;
+      }
+
+      if (op.value.phantom) {
+        c.cls = OpClass::kReadNever;
+      } else if (positional_internal) {
+        c.cls = is_self ? OpClass::kReadInternal : OpClass::kReadNever;
+      } else if (is_self) {
+        c.cls = OpClass::kReadNever;
+      } else if (is_init) {
+        c.cls = OpClass::kReadInitial;
+      } else if (!known || (c.flags & kOpWriterMissesKey) != 0) {
+        c.cls = OpClass::kReadNever;
+      } else {
+        c.cls = OpClass::kReadExternal;
+      }
+      ops_.push_back(c);
+    }
+    op_begin_[d + 1] = static_cast<std::uint32_t>(ops_.size());
+    for (KeyIdx k : touched) written_so_far[k] = false;
+
+    std::sort(rk.begin(), rk.end());
+    rk.erase(std::unique(rk.begin(), rk.end()), rk.end());
+    read_keys_.insert(read_keys_.end(), rk.begin(), rk.end());
+    rk_begin_[d + 1] = static_cast<std::uint32_t>(read_keys_.size());
+  }
+
+  // Pass 4: per-key writer lists (CSR over KeyIdx, writers in dense order).
+  writers_of_.begin.assign(kc + 1, 0);
+  for (TxnIdx d = 0; d < n_; ++d) {
+    for (KeyIdx k : write_keys(d)) ++writers_of_.begin[k + 1];
+  }
+  std::partial_sum(writers_of_.begin.begin(), writers_of_.begin.end(),
+                   writers_of_.begin.begin());
+  writers_of_.items.resize(writers_of_.begin.back());
+  std::vector<std::uint32_t> fill(writers_of_.begin.begin(), writers_of_.begin.end() - 1);
+  for (TxnIdx d = 0; d < n_; ++d) {
+    for (KeyIdx k : write_keys(d)) writers_of_.items[fill[k]++] = d;
+  }
+
+  // Candidate order (see ts_order() — fixed strict-weak-order comparator).
+  ts_order_.resize(n_);
+  std::iota(ts_order_.begin(), ts_order_.end(), TxnIdx{0});
+  std::sort(ts_order_.begin(), ts_order_.end(), [this](TxnIdx a, TxnIdx b) {
+    const bool ta = commit_ts_[a] != kNoTimestamp;
+    const bool tb = commit_ts_[b] != kNoTimestamp;
+    if (ta != tb) return ta;  // timestamped first
+    if (ta && commit_ts_[a] != commit_ts_[b]) return commit_ts_[a] < commit_ts_[b];
+    return a < b;  // deterministic tie-break: dense (declaration) order
+  });
+}
+
+const CompiledHistory::Adjacency& CompiledHistory::adjacency() const {
+  std::call_once(adj_once_, [this] { adj_ = build_adjacency(); });
+  return *adj_;
+}
+
+CompiledHistory::Adjacency CompiledHistory::build_adjacency() const {
+  Adjacency adj;
+  const std::size_t n = n_;
+
+  // Committed transactions sorted by (commit_ts, dense): for any b, the
+  // real-time predecessors {a : commit(a) < start(b)} form a prefix of this
+  // array, found by one binary search instead of an O(n) scan per b.
+  std::vector<TxnIdx> by_commit;
+  by_commit.reserve(n);
+  for (TxnIdx d = 0; d < n; ++d) {
+    if (commit_ts_[d] != kNoTimestamp) by_commit.push_back(d);
+  }
+  std::sort(by_commit.begin(), by_commit.end(), [this](TxnIdx a, TxnIdx b) {
+    if (commit_ts_[a] != commit_ts_[b]) return commit_ts_[a] < commit_ts_[b];
+    return a < b;
+  });
+
+  auto prefix_of = [&](TxnIdx b) -> std::size_t {
+    if (start_ts_[b] == kNoTimestamp) return 0;
+    const Timestamp s = start_ts_[b];
+    auto it = std::lower_bound(by_commit.begin(), by_commit.end(), s,
+                               [this](TxnIdx a, Timestamp v) { return commit_ts_[a] < v; });
+    return static_cast<std::size_t>(it - by_commit.begin());
+  };
+  auto self_in_prefix = [&](TxnIdx b) {
+    return commit_ts_[b] != kNoTimestamp && start_ts_[b] != kNoTimestamp &&
+           commit_ts_[b] < start_ts_[b];
+  };
+
+  adj.rt_preds.begin.assign(n + 1, 0);
+  adj.sess_preds.begin.assign(n + 1, 0);
+  std::vector<std::size_t> prefix(n, 0);
+  for (TxnIdx b = 0; b < n; ++b) {
+    prefix[b] = prefix_of(b);
+    std::size_t rt = prefix[b] - (self_in_prefix(b) ? 1 : 0);
+    std::size_t sess = 0;
+    if (session_[b] != kNoSession) {
+      for (std::size_t i = 0; i < prefix[b]; ++i) {
+        const TxnIdx a = by_commit[i];
+        if (a != b && session_[a] == session_[b]) ++sess;
+      }
+    }
+    adj.rt_preds.begin[b + 1] = adj.rt_preds.begin[b] + static_cast<std::uint32_t>(rt);
+    adj.sess_preds.begin[b + 1] = adj.sess_preds.begin[b] + static_cast<std::uint32_t>(sess);
+  }
+
+  adj.rt_preds.items.resize(adj.rt_preds.begin.back());
+  adj.sess_preds.items.resize(adj.sess_preds.begin.back());
+  std::vector<std::uint32_t> rt_succ_count(n, 0), sess_succ_count(n, 0);
+  for (TxnIdx b = 0; b < n; ++b) {
+    std::uint32_t rt = adj.rt_preds.begin[b];
+    std::uint32_t sess = adj.sess_preds.begin[b];
+    for (std::size_t i = 0; i < prefix[b]; ++i) {
+      const TxnIdx a = by_commit[i];
+      if (a == b) continue;
+      adj.rt_preds.items[rt++] = a;
+      ++rt_succ_count[a];
+      if (session_[b] != kNoSession && session_[a] == session_[b]) {
+        adj.sess_preds.items[sess++] = a;
+        ++sess_succ_count[a];
+      }
+    }
+  }
+
+  auto invert = [n](const Csr& preds, const std::vector<std::uint32_t>& counts) {
+    Csr succs;
+    succs.begin.assign(n + 1, 0);
+    for (std::size_t a = 0; a < n; ++a) succs.begin[a + 1] = succs.begin[a] + counts[a];
+    succs.items.resize(succs.begin.back());
+    std::vector<std::uint32_t> fill(succs.begin.begin(), succs.begin.end() - 1);
+    for (TxnIdx b = 0; b < n; ++b) {
+      for (TxnIdx a : preds.row(b)) succs.items[fill[a]++] = b;
+    }
+    return succs;
+  };
+  adj.rt_succs = invert(adj.rt_preds, rt_succ_count);
+  adj.sess_succs = invert(adj.sess_preds, sess_succ_count);
+  return adj;
+}
+
+}  // namespace crooks::model

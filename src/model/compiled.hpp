@@ -1,0 +1,229 @@
+// Compiled history: the one interned, flat representation every engine shares.
+//
+// Every consumer of a TransactionSet used to re-derive the same structure from
+// hash-based containers — per-key timelines in unordered_maps, `contains(w)` /
+// `write_set().contains(k)` probes on every search node, O(n²) real-time
+// scans. CompiledHistory performs that derivation exactly once:
+//
+//   * keys are interned to dense `KeyIdx` (0..key_count),
+//   * each read's observed writer is resolved once to a dense `TxnIdx`, with
+//     phantom / unknown-writer / internal-read classification precomputed as
+//     an `OpClass` + flags (so search-time interval logic is a switch on a
+//     byte, not a chain of hash probes),
+//   * per-transaction read/write footprints are sorted dense arrays plus a
+//     per-transaction `DynamicBitset` write mask (O(1) "does T write k"),
+//   * per-key committed-writer lists are CSR rows over `KeyIdx`,
+//   * read-from edges are the `kReadExternal` ops themselves (writer already
+//     dense), and
+//   * real-time + session predecessor/successor adjacency is computed in one
+//     sorted pass, lazily (only the exhaustive engine needs it; read-state
+//     analysis of large histories must not pay O(n²)).
+//
+// Lifetime / aliasing contract: a CompiledHistory BORROWS its TransactionSet —
+// it stores a pointer and never copies the transactions. The TransactionSet
+// must outlive the CompiledHistory, and must not be moved while compiled views
+// of it exist (moving the set would dangle `txns_`). Engines that need shared
+// ownership hold the pair behind a shared_ptr (see ReadStateAnalysis's
+// convenience constructor). CompiledHistory itself is immovable: lazy
+// adjacency is guarded by a std::once_flag so concurrent search branches can
+// share one compiled instance without synchronizing.
+//
+// Verdict independence: compilation is a pure re-indexing — every predicate an
+// engine evaluates (read-state intervals, PREREAD/COMPLETE/NO-CONF, version
+// order admissibility, phenomena) is defined on the underlying observations,
+// and the compiled fields are bijective images of them. The differential suite
+// (tests/compiled_history_test.cpp) checks verdict-for-verdict agreement with
+// the frozen hash-based reference on every level.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "common/bitset.hpp"
+#include "common/ids.hpp"
+#include "model/transaction.hpp"
+
+namespace crooks::model {
+
+/// Dense index of an interned key (assignment order of first appearance).
+using KeyIdx = std::uint32_t;
+/// Dense index of a transaction (== TransactionSet::dense_index_of).
+using TxnIdx = std::uint32_t;
+
+inline constexpr KeyIdx kNoKeyIdx = ~KeyIdx{0};
+inline constexpr TxnIdx kNoTxnIdx = ~TxnIdx{0};
+
+/// Key ↔ dense-index bijection. Also used standalone by the online monitor,
+/// whose key universe grows with the stream.
+class KeyInterner {
+ public:
+  KeyIdx intern(Key k) {
+    auto [it, inserted] = idx_.try_emplace(k, static_cast<KeyIdx>(keys_.size()));
+    if (inserted) keys_.push_back(k);
+    return it->second;
+  }
+
+  /// kNoKeyIdx when the key was never interned.
+  KeyIdx find(Key k) const {
+    auto it = idx_.find(k);
+    return it == idx_.end() ? kNoKeyIdx : it->second;
+  }
+
+  Key key_of(KeyIdx i) const { return keys_[i]; }
+  std::size_t size() const { return keys_.size(); }
+
+ private:
+  std::unordered_map<Key, KeyIdx> idx_;
+  std::vector<Key> keys_;
+};
+
+/// Precomputed classification of one operation — the branch structure of
+/// ReadStateAnalysis::read_states_of / PrefixSearch::interval_of, resolved at
+/// compile time so the per-node search path is hash-free.
+enum class OpClass : std::uint8_t {
+  kWrite,         // RS = [0, parent] by convention (§3)
+  kReadInitial,   // external read of ⊥: version installed at state 0
+  kReadExternal,  // external read of `writer` (a committed member, key match)
+  kReadInternal,  // read after own write, observing the own write: RS = [0, parent]
+  kReadNever,     // RS = ∅ in every execution (phantom, malformed internal,
+                  // self-external, unknown writer, writer misses the key)
+};
+
+// Structural facts about a read, recorded independently of OpClass so the
+// Adya phenomena (G1a/G1b/fractured) can be re-derived without re-parsing.
+inline constexpr std::uint8_t kOpPhantom = 1 << 0;             // observed non-final write
+inline constexpr std::uint8_t kOpInitWriter = 1 << 1;          // observed writer is ⊥
+inline constexpr std::uint8_t kOpSelfWriter = 1 << 2;          // observed writer is self
+inline constexpr std::uint8_t kOpUnknownWriter = 1 << 3;       // writer outside the set
+inline constexpr std::uint8_t kOpWriterMissesKey = 1 << 4;     // member, but never writes key
+inline constexpr std::uint8_t kOpPositionalInternal = 1 << 5;  // own write earlier in Σ_T
+
+struct CompiledOp {
+  KeyIdx key = kNoKeyIdx;
+  /// Resolved dense index of the observed writer whenever it is a member of
+  /// the set (including self and writer-misses-key reads, so phenomena can be
+  /// reconstructed); kNoTxnIdx for writes, ⊥ and unknown writers.
+  TxnIdx writer = kNoTxnIdx;
+  OpClass cls = OpClass::kWrite;
+  std::uint8_t flags = 0;
+
+  bool is_write() const { return cls == OpClass::kWrite; }
+  bool is_read() const { return cls != OpClass::kWrite; }
+
+  /// Matches OpAnalysis::internal: a positional-internal read, with the
+  /// phantom check taking precedence (a phantom read is never "internal").
+  bool internal() const {
+    return is_read() && (flags & kOpPositionalInternal) != 0 &&
+           (flags & kOpPhantom) == 0;
+  }
+};
+
+/// Compressed sparse rows: `row(i)` is a span over a shared items array.
+struct Csr {
+  std::vector<std::uint32_t> begin;  // size = rows + 1
+  std::vector<TxnIdx> items;
+
+  std::span<const TxnIdx> row(std::size_t i) const {
+    return {items.data() + begin[i], items.data() + begin[i + 1]};
+  }
+  std::size_t row_size(std::size_t i) const { return begin[i + 1] - begin[i]; }
+};
+
+class CompiledHistory {
+ public:
+  explicit CompiledHistory(const TransactionSet& txns);
+
+  CompiledHistory(const CompiledHistory&) = delete;
+  CompiledHistory& operator=(const CompiledHistory&) = delete;
+
+  const TransactionSet& txns() const { return *txns_; }
+  std::size_t size() const { return n_; }
+  std::size_t key_count() const { return keys_.size(); }
+  const KeyInterner& keys() const { return keys_; }
+
+  TxnId id_of(TxnIdx d) const { return txns_->at(d).id(); }
+
+  // --- per-transaction compiled ops and footprints --------------------------
+
+  /// Ops of transaction `d`, index-aligned with Transaction::ops().
+  std::span<const CompiledOp> ops(TxnIdx d) const {
+    return {ops_.data() + op_begin_[d], ops_.data() + op_begin_[d + 1]};
+  }
+
+  /// Sorted dense keys the transaction (finally) writes / externally reads.
+  std::span<const KeyIdx> write_keys(TxnIdx d) const {
+    return {write_keys_.data() + wk_begin_[d], write_keys_.data() + wk_begin_[d + 1]};
+  }
+  std::span<const KeyIdx> read_keys(TxnIdx d) const {
+    return {read_keys_.data() + rk_begin_[d], read_keys_.data() + rk_begin_[d + 1]};
+  }
+
+  /// O(1) membership test on the write footprint.
+  bool writes_key(TxnIdx d, KeyIdx k) const { return write_mask_[d].test(k); }
+  const DynamicBitset& write_mask(TxnIdx d) const { return write_mask_[d]; }
+
+  /// Committed writers of a key, in dense (declaration) order.
+  std::span<const TxnIdx> writers_of(KeyIdx k) const { return writers_of_.row(k); }
+
+  // --- timestamps and sessions ---------------------------------------------
+
+  Timestamp start_ts(TxnIdx d) const { return start_ts_[d]; }
+  Timestamp commit_ts(TxnIdx d) const { return commit_ts_[d]; }
+  SessionId session(TxnIdx d) const { return session_[d]; }
+  bool has_timestamps(TxnIdx d) const {
+    return start_ts_[d] != kNoTimestamp && commit_ts_[d] != kNoTimestamp;
+  }
+  bool all_timestamped() const { return all_timestamped_; }
+
+  /// T_a <_s T_b (§3): commit(a) strictly before start(b), both known.
+  bool time_precedes(TxnIdx a, TxnIdx b) const {
+    return commit_ts_[a] != kNoTimestamp && start_ts_[b] != kNoTimestamp &&
+           commit_ts_[a] < start_ts_[b];
+  }
+
+  /// Deterministic candidate order: timestamped transactions first, by
+  /// (commit_ts, dense index); untimestamped after, in dense order. This is a
+  /// total order — unlike the pre-compile comparator, which compared
+  /// untimestamped elements "equivalent" to everything and was not a strict
+  /// weak order on mixed inputs (UB under std::sort).
+  const std::vector<TxnIdx>& ts_order() const { return ts_order_; }
+
+  // --- real-time / session adjacency (lazy) --------------------------------
+
+  struct Adjacency {
+    Csr rt_preds, rt_succs;      // a ∈ rt_preds[b] ⟺ a <_s b
+    Csr sess_preds, sess_succs;  // same, restricted to a.session == b.session
+  };
+
+  /// Computed on first use (one sorted pass + edge fill), then shared;
+  /// thread-safe so parallel search branches can share one instance.
+  const Adjacency& adjacency() const;
+
+ private:
+  Adjacency build_adjacency() const;
+
+  const TransactionSet* txns_;
+  std::size_t n_ = 0;
+  KeyInterner keys_;
+
+  std::vector<CompiledOp> ops_;
+  std::vector<std::uint32_t> op_begin_;
+  std::vector<KeyIdx> write_keys_, read_keys_;
+  std::vector<std::uint32_t> wk_begin_, rk_begin_;
+  std::vector<DynamicBitset> write_mask_;
+  Csr writers_of_;  // rows indexed by KeyIdx
+
+  std::vector<Timestamp> start_ts_, commit_ts_;
+  std::vector<SessionId> session_;
+  bool all_timestamped_ = true;
+  std::vector<TxnIdx> ts_order_;
+
+  mutable std::once_flag adj_once_;
+  mutable std::optional<Adjacency> adj_;
+};
+
+}  // namespace crooks::model

@@ -135,7 +135,10 @@ std::vector<VerifiedRun> run_verified_batch(
                           });
 
   // Stage 2: one batch check over every run's observations, each restricted
-  // by its own install order (the store is authoritative about it).
+  // by its own install order (the store is authoritative about it). The
+  // batch worker compiles each history once (model::CompiledHistory) and
+  // every engine the dispatcher tries shares that compilation; the compiled
+  // form borrows the observations, which out[i] keeps alive across the call.
   std::vector<checker::BatchItem> items(out.size());
   for (std::size_t i = 0; i < out.size(); ++i) {
     items[i] = {&out[i].run.observations, &out[i].run.version_order};

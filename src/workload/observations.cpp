@@ -69,6 +69,12 @@ FuzzedObservations fuzz_observations(std::uint64_t seed,
       commit = start + 1 + static_cast<Timestamp>(rng.below(5));
       clock = std::max(clock, commit - static_cast<Timestamp>(rng.below(4)));
       ++clock;
+      // Drop the pair (not just one) so has_timestamps() is cleanly false;
+      // guarded so the rng stream is untouched when the knob is off.
+      if (opts.p_untimestamped > 0 && rng.chance(opts.p_untimestamped)) {
+        start = kNoTimestamp;
+        commit = kNoTimestamp;
+      }
     }
     txns.emplace_back(id, std::move(ops), session, SiteId{0}, start, commit);
   }

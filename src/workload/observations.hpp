@@ -23,6 +23,12 @@ struct ObservationFuzzOptions {
   double p_dangling = 0.05;  // read names a writer outside the set
   double p_phantom = 0.05;   // read is marked phantom
   bool with_timestamps = true;
+  /// With timestamps on, each transaction independently *loses* its
+  /// timestamps with this probability. Produces the mixed
+  /// timestamped/untimestamped sets whose candidate ordering broke the
+  /// pre-compile comparator (not a strict weak order ⇒ UB in std::sort).
+  /// 0 leaves the generated stream bit-identical to older seeds.
+  double p_untimestamped = 0.0;
   std::uint32_t sessions = 2;  // 0 = none
 };
 

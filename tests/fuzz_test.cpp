@@ -15,6 +15,7 @@
 
 #include "checker/checker.hpp"
 #include "checker/online.hpp"
+#include "checker/reference.hpp"
 #include "common/rng.hpp"
 #include "model/analysis.hpp"
 #include "report/serialize.hpp"
@@ -173,6 +174,12 @@ TEST_P(Fuzz, RandomizedBudgetsAndThreadsNeverContradict) {
   for (IsolationLevel level : ct::kAllLevels) {
     const CheckResult oracle = checker::check_exhaustive(level, f.txns, unbounded);
     ASSERT_NE(oracle.outcome, Outcome::kUnknown) << config;
+    // The frozen hash-based engine is a second, independent oracle: the
+    // compiled representation must not change any unbounded verdict.
+    const CheckResult hashed =
+        checker::reference::check_exhaustive_hashed(level, f.txns, unbounded);
+    ASSERT_EQ(hashed.outcome, oracle.outcome)
+        << ct::name_of(level) << " hashed reference disagrees: " << config;
     const CheckResult budgeted = checker::check_exhaustive(level, f.txns, fuzzed);
     const CheckResult again = checker::check_exhaustive(level, f.txns, fuzzed);
     EXPECT_EQ(budgeted.outcome, again.outcome)
@@ -190,6 +197,43 @@ TEST_P(Fuzz, RandomizedBudgetsAndThreadsNeverContradict) {
     if (dispatched.outcome != Outcome::kUnknown) {
       EXPECT_EQ(dispatched.outcome, oracle.outcome)
           << ct::name_of(level) << " dispatcher " << config << ": " << dispatched.detail;
+    }
+  }
+}
+
+TEST_P(Fuzz, MixedTimestampsBudgetsAndThreads) {
+  // Strict-weak-order regression under the same randomized budget/thread
+  // sweep: sets mixing timestamped and untimestamped transactions used to
+  // hit undefined behaviour in the candidate sort. They must now behave
+  // like any other input — definite sequential verdicts, agreement with the
+  // hashed reference, and budgeted/parallel runs that never contradict.
+  const std::uint64_t seed = GetParam();
+  Rng rng(seed * 0x51ed2701ULL + 5);
+  wl::ObservationFuzzOptions o;
+  o.transactions = 7;
+  o.keys = 4;
+  o.p_untimestamped = 0.35;
+  const wl::FuzzedObservations f = wl::fuzz_observations(seed, o);
+
+  CheckOptions fuzzed;
+  fuzzed.max_nodes = 1 + rng.below(2000);
+  fuzzed.threads = 1 + rng.below(8);
+  CheckOptions unbounded;
+  unbounded.threads = 1;
+  for (IsolationLevel level : ct::kAllLevels) {
+    const CheckResult oracle = checker::check_exhaustive(level, f.txns, unbounded);
+    ASSERT_NE(oracle.outcome, Outcome::kUnknown) << ct::name_of(level);
+    EXPECT_EQ(
+        checker::reference::check_exhaustive_hashed(level, f.txns, unbounded).outcome,
+        oracle.outcome)
+        << ct::name_of(level) << " seed=" << seed;
+    const CheckResult budgeted = checker::check_exhaustive(level, f.txns, fuzzed);
+    if (budgeted.outcome != Outcome::kUnknown) {
+      EXPECT_EQ(budgeted.outcome, oracle.outcome) << ct::name_of(level);
+    }
+    if (budgeted.satisfiable()) {
+      EXPECT_TRUE(checker::verify_witness(level, f.txns, *budgeted.witness).ok)
+          << ct::name_of(level);
     }
   }
 }
