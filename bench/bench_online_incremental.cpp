@@ -1,0 +1,144 @@
+// Streaming audit throughput: the incremental compiled online checker vs its
+// two ablations, on the same store-generated commit stream.
+//
+//  * Incremental      — one OnlineChecker fed blocks via append_all; each
+//    block is one CompiledDelta (extend the interners, re-resolve pending
+//    writers, splice ts_order), so steady-state cost per transaction is
+//    independent of how much stream came before. This is the `--follow` path.
+//  * FreshRecompile   — what append_all on a non-empty checker did before
+//    deltas existed conceptually: at every block boundary, build a fresh
+//    checker and replay the whole prefix. Work grows quadratically in the
+//    number of blocks.
+//  * Hashed           — checker::reference::OnlineCheckerHashed, the frozen
+//    pre-compile monitor: per-transaction appends with id-hash writer probes,
+//    O(n) recency scans and O(n) retroactive scans.
+//
+// Counters per exported row: appends_per_sec (steady-state transactions
+// audited per second), fallback_appends (OnlineChecker's hashed-fallback
+// tripwire — CI fails if this is ever nonzero), host_cpus, and on the
+// incremental runs speedup_vs_hashed / speedup_vs_recompile (the baselines
+// run first in the same process). Export with
+//   --benchmark_format=json > BENCH_checker_online.json
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "checker/online.hpp"
+#include "checker/reference.hpp"
+#include "store/runner.hpp"
+#include "workload/workload.hpp"
+
+using namespace crooks;
+
+namespace {
+
+constexpr std::size_t kStreamTxns = 5000;
+
+/// The commit stream: a store run's observations in apply order. Generated
+/// once; every variant audits the identical stream.
+const model::TransactionSet& stream() {
+  static const model::TransactionSet txns = [] {
+    const auto intents = wl::generate_mix({.transactions = kStreamTxns,
+                                           .keys = 64,
+                                           .reads_per_txn = 2,
+                                           .writes_per_txn = 2,
+                                           .seed = 41});
+    return store::run(intents, {.mode = store::CCMode::kSnapshotIsolation,
+                                .seed = 83, .concurrency = 4, .retries = 3})
+        .observations;
+  }();
+  return txns;
+}
+
+std::map<std::string, double>& baselines() {
+  static std::map<std::string, double> b;
+  return b;
+}
+
+void record(benchmark::State& state, double secs_per_iter, std::size_t appends,
+            std::uint64_t fallback) {
+  state.SetItemsProcessed(static_cast<std::int64_t>(appends) *
+                          static_cast<std::int64_t>(state.iterations()));
+  state.counters["appends_per_sec"] = static_cast<double>(appends) / secs_per_iter;
+  state.counters["fallback_appends"] = static_cast<double>(fallback);
+  state.counters["host_cpus"] = std::thread::hardware_concurrency();
+}
+
+/// Frozen hashed monitor, per-transaction appends over the whole stream.
+void BM_OnlineHashed(benchmark::State& state) {
+  const model::TransactionSet& txns = stream();
+  double secs = 0;
+  for (auto _ : state) {
+    const auto t0 = std::chrono::steady_clock::now();
+    checker::reference::OnlineCheckerHashed chk;
+    benchmark::DoNotOptimize(chk.append_all(txns));
+    benchmark::DoNotOptimize(chk.all_ok());
+    secs += std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  }
+  const double secs_per_iter = secs / static_cast<double>(state.iterations());
+  baselines()["Hashed"] = secs_per_iter;
+  record(state, secs_per_iter, txns.size(), 0);
+}
+BENCHMARK(BM_OnlineHashed)->UseRealTime();
+
+/// Re-audit from scratch at every block boundary (block size = Arg). The
+/// appends counted are the stream's transactions — the quadratic replay work
+/// is the overhead under measurement, exactly what deltas eliminate.
+void BM_OnlineFreshRecompile(benchmark::State& state) {
+  const model::TransactionSet& txns = stream();
+  const auto block = static_cast<std::size_t>(state.range(0));
+  std::vector<model::Transaction> all(txns.begin(), txns.end());
+  double secs = 0;
+  for (auto _ : state) {
+    const auto t0 = std::chrono::steady_clock::now();
+    for (std::size_t end = block; end - block < all.size(); end += block) {
+      checker::OnlineChecker chk;
+      benchmark::DoNotOptimize(chk.append_all(
+          std::span<const model::Transaction>(all.data(), std::min(end, all.size()))));
+      benchmark::DoNotOptimize(chk.all_ok());
+    }
+    secs += std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  }
+  const double secs_per_iter = secs / static_cast<double>(state.iterations());
+  baselines()["FreshRecompile"] = secs_per_iter;
+  record(state, secs_per_iter, all.size(), 0);
+}
+BENCHMARK(BM_OnlineFreshRecompile)->Arg(100)->UseRealTime();
+
+/// The real streaming path: one checker, one CompiledDelta per block.
+void BM_OnlineIncremental(benchmark::State& state) {
+  const model::TransactionSet& txns = stream();
+  const auto block = static_cast<std::size_t>(state.range(0));
+  std::vector<model::Transaction> all(txns.begin(), txns.end());
+  double secs = 0;
+  std::uint64_t fallback = 0;
+  for (auto _ : state) {
+    const auto t0 = std::chrono::steady_clock::now();
+    checker::OnlineChecker chk;
+    for (std::size_t off = 0; off < all.size(); off += block) {
+      benchmark::DoNotOptimize(chk.append_all(std::span<const model::Transaction>(
+          all.data() + off, std::min(block, all.size() - off))));
+    }
+    benchmark::DoNotOptimize(chk.all_ok());
+    secs += std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+    fallback += chk.stats().hashed_fallback_appends;
+  }
+  const double secs_per_iter = secs / static_cast<double>(state.iterations());
+  record(state, secs_per_iter, all.size(), fallback);
+  if (baselines().count("Hashed")) {
+    state.counters["speedup_vs_hashed"] = baselines()["Hashed"] / secs_per_iter;
+  }
+  if (baselines().count("FreshRecompile")) {
+    state.counters["speedup_vs_recompile"] =
+        baselines()["FreshRecompile"] / secs_per_iter;
+  }
+}
+BENCHMARK(BM_OnlineIncremental)->Arg(1)->Arg(10)->Arg(100)->UseRealTime();
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -6,10 +6,43 @@
 // histories, spending the core budget across them beats nesting parallelism
 // inside each factorial search, and it keeps every per-history result
 // bit-for-bit identical to a lone check() with threads = 1.
+//
+// One exception to "share nothing": audit streams often submit growing
+// prefixes of the same history (check after every block). Consecutive items
+// where each history extends the previous one are detected and compiled once
+// into a growable CompiledHistory, re-using CompiledHistory::extend deltas
+// instead of re-interning the shared prefix per item. A grown compilation is
+// structurally identical to a fresh one (see model/compiled.hpp), so results
+// are still bit-for-bit what a lone check() would produce.
+#include <vector>
+
 #include "checker/checker.hpp"
 #include "common/thread_pool.hpp"
 
 namespace crooks::checker {
+
+namespace {
+
+using model::Transaction;
+using model::TransactionSet;
+
+/// True when `next` is `prev` plus zero or more appended transactions
+/// (attribute- and op-exact on the shared prefix).
+bool extends_prefix(const TransactionSet& prev, const TransactionSet& next) {
+  if (next.size() < prev.size()) return false;
+  for (std::size_t i = 0; i < prev.size(); ++i) {
+    const Transaction& a = prev.at(i);
+    const Transaction& b = next.at(i);
+    if (a.id() != b.id() || a.session() != b.session() || a.site() != b.site() ||
+        a.start_ts() != b.start_ts() || a.commit_ts() != b.commit_ts() ||
+        a.ops() != b.ops()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
 
 std::size_t CheckOptions::resolved_threads() const {
   return threads == 0 ? ThreadPool::default_threads() : threads;
@@ -19,18 +52,61 @@ std::vector<CheckResult> check_batch(ct::IsolationLevel level,
                                      std::span<const BatchItem> items,
                                      const CheckOptions& opts) {
   std::vector<CheckResult> results(items.size());
+
+  // Group consecutive items into maximal prefix-extension chains. A chain of
+  // one is the common case and takes the original borrowing-compile path.
+  struct Chain {
+    std::size_t first = 0, count = 1;
+  };
+  std::vector<Chain> chains;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (!chains.empty()) {
+      const Chain& c = chains.back();
+      const TransactionSet& prev = *items[c.first + c.count - 1].txns;
+      if (!prev.empty() && extends_prefix(prev, *items[i].txns)) {
+        ++chains.back().count;
+        continue;
+      }
+    }
+    chains.push_back({i, 1});
+  }
+
   parallel_for_each_index(
-      opts.resolved_threads(), items.size(), [&](std::size_t i) {
-        CheckOptions local = opts;
-        local.threads = 1;  // batch-level parallelism only; see header comment
-        if (items[i].version_order != nullptr) {
-          local.version_order = items[i].version_order;
+      opts.resolved_threads(), chains.size(), [&](std::size_t ci) {
+        const Chain& chain = chains[ci];
+        auto local_opts = [&](std::size_t item) {
+          CheckOptions local = opts;
+          local.threads = 1;  // batch-level parallelism only; see header comment
+          if (items[item].version_order != nullptr) {
+            local.version_order = items[item].version_order;
+          }
+          return local;
+        };
+        if (chain.count == 1) {
+          const std::size_t i = chain.first;
+          // Compile once per history, in the worker: every engine the
+          // dispatcher may try (graph, exhaustive, hierarchy inference)
+          // shares this one compiled form instead of re-interning.
+          const model::CompiledHistory ch(*items[i].txns);
+          results[i] = check(level, ch, local_opts(i));
+          return;
         }
-        // Compile once per history, in the worker: every engine the
-        // dispatcher may try (graph, exhaustive, hierarchy inference)
-        // shares this one compiled form instead of re-interning.
-        const model::CompiledHistory ch(*items[i].txns);
-        results[i] = check(level, ch, local);
+        // Prefix chain: grow one compilation across the run, appending only
+        // each item's new suffix as a CompiledDelta.
+        model::CompiledHistory ch;
+        std::size_t compiled = 0;
+        for (std::size_t j = 0; j < chain.count; ++j) {
+          const std::size_t i = chain.first + j;
+          const TransactionSet& hist = *items[i].txns;
+          std::vector<Transaction> block;
+          block.reserve(hist.size() - compiled);
+          for (std::size_t t = compiled; t < hist.size(); ++t) {
+            block.push_back(hist.at(t));
+          }
+          if (!block.empty()) ch.extend(block);
+          compiled = hist.size();
+          results[i] = check(level, ch, local_opts(i));
+        }
       });
   return results;
 }
@@ -41,6 +117,22 @@ std::vector<CheckResult> check_batch(ct::IsolationLevel level,
   std::vector<BatchItem> items(histories.size());
   for (std::size_t i = 0; i < histories.size(); ++i) items[i].txns = &histories[i];
   return check_batch(level, std::span<const BatchItem>(items), opts);
+}
+
+std::vector<CheckResult> check_incremental(ct::IsolationLevel level,
+                                           std::span<const model::TransactionSet> blocks,
+                                           const CheckOptions& opts) {
+  std::vector<CheckResult> results(blocks.size());
+  model::CompiledHistory ch;
+  for (std::size_t i = 0; i < blocks.size(); ++i) {
+    const TransactionSet& block = blocks[i];
+    std::vector<Transaction> txns;
+    txns.reserve(block.size());
+    for (std::size_t t = 0; t < block.size(); ++t) txns.push_back(block.at(t));
+    if (!txns.empty()) ch.extend(txns);
+    results[i] = check(level, ch, opts);
+  }
+  return results;
 }
 
 }  // namespace crooks::checker

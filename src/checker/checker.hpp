@@ -126,10 +126,23 @@ std::vector<CheckResult> check_batch(ct::IsolationLevel level,
                                      const CheckOptions& opts = {});
 
 /// check_batch over bare observation sets; every history shares
-/// opts.version_order (usually null).
+/// opts.version_order (usually null). Consecutive histories where each
+/// extends the previous one (same transactions plus an appended suffix) are
+/// compiled once and grown per item via CompiledHistory::extend — an audit
+/// stream of growing prefixes never re-interns its shared prefix.
 std::vector<CheckResult> check_batch(ct::IsolationLevel level,
                                      std::span<const model::TransactionSet> histories,
                                      const CheckOptions& opts = {});
+
+/// Audit a growing history at block granularity: result i answers the ∃e
+/// question for the concatenation of blocks[0..i]. The shared prefix is
+/// compiled once and extended incrementally (CompiledDelta per block).
+/// Inherently sequential across blocks — opts.threads parallelizes within
+/// each per-prefix check instead. Throws std::invalid_argument if a block
+/// repeats a transaction id seen in an earlier block.
+std::vector<CheckResult> check_incremental(ct::IsolationLevel level,
+                                           std::span<const model::TransactionSet> blocks,
+                                           const CheckOptions& opts = {});
 
 /// Branch-and-bound over execution prefixes. Sound and complete (with
 /// respect to opts.version_order when set); factorial.

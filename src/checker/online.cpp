@@ -1,12 +1,14 @@
 #include "checker/online.hpp"
 
 #include <algorithm>
+#include <unordered_set>
 
 namespace crooks::checker {
 
 using ct::IsolationLevel;
-using model::Operation;
+using model::CompiledOp;
 using model::Transaction;
+using model::TxnIdx;
 
 OnlineChecker::OnlineChecker(std::vector<IsolationLevel> levels) {
   for (IsolationLevel l : levels) statuses_.emplace(l, LevelStatus{});
@@ -39,79 +41,61 @@ void OnlineChecker::violate(IsolationLevel level, TxnId txn, std::string why) {
   it->second.explanation = crooks::to_string(txn) + ": " + std::move(why);
 }
 
-OnlineChecker::OpView OnlineChecker::analyze_op(const Transaction& t,
-                                                std::size_t op_index,
-                                                StateIndex parent) const {
-  const Operation& op = t.ops()[op_index];
-  if (op.is_write()) return {{0, parent}, false};
-  if (op.value.phantom) return {{0, -1}, false};
-
-  for (std::size_t j = 0; j < op_index; ++j) {
-    const Operation& prev = t.ops()[j];
-    if (prev.is_write() && prev.key == op.key) {
-      return op.value.writer == t.id() ? OpView{{0, parent}, true}
-                                       : OpView{{0, -1}, true};
-    }
-  }
-
-  const TxnId w = op.value.writer;
-  if (w == t.id()) return {{0, -1}, false};
-  StateIndex version_pos = 0;
-  if (w != kInitTxn) {
-    auto it = index_.find(w);
-    if (it == index_.end() || !txns_[it->second].txn.writes(op.key)) {
-      return {{0, -1}, false};
-    }
-    version_pos = txns_[it->second].state;
-  }
-  const auto* tl = timeline_of(op.key);
-  StateIndex next_write = parent + 2;
-  if (tl != nullptr) {
-    auto it = std::upper_bound(
-        tl->begin(), tl->end(), version_pos,
-        [](StateIndex v, const auto& en) { return v < en.first; });
-    if (it != tl->end()) next_write = it->first;
-  }
-  return {{version_pos, std::min(next_write - 1, parent)}, false};
-}
-
 bool OnlineChecker::append(const Transaction& txn) {
-  if (index_.contains(txn.id())) return false;
-
-  Placed p;
-  p.txn = txn;
-  p.state = static_cast<StateIndex>(txns_.size()) + 1;
-  const StateIndex parent = p.state - 1;
-  p.ops.reserve(txn.ops().size());
-  for (std::size_t i = 0; i < txn.ops().size(); ++i) {
-    p.ops.push_back(analyze_op(txn, i, parent));
+  if (txn.id() == kInitTxn || stream_.txns().contains(txn.id())) {
+    ++stats_.duplicates_ignored;
+    return false;
   }
-
-  commit_placed(std::move(p));
+  ingest(stream_.extend(txn));
   return true;
 }
 
-std::size_t OnlineChecker::append_all(const model::CompiledHistory& ch) {
-  if (!txns_.empty() || !index_.empty()) {
-    // Mixed stream: writer resolution must see previously appended
-    // transactions, which the compiled form knows nothing about.
-    std::size_t appended = 0;
-    for (model::TxnIdx d = 0; d < ch.size(); ++d) {
-      if (append(ch.txns().at(d))) ++appended;
+std::size_t OnlineChecker::append_all(std::span<const Transaction> block) {
+  std::vector<Transaction> fresh;
+  fresh.reserve(block.size());
+  std::unordered_set<TxnId> in_block;
+  for (const Transaction& t : block) {
+    if (t.id() == kInitTxn || stream_.txns().contains(t.id()) ||
+        !in_block.insert(t.id()).second) {
+      ++stats_.duplicates_ignored;
+      continue;
     }
-    return appended;
+    fresh.push_back(t);
   }
+  if (fresh.empty()) return 0;
+  ingest(stream_.extend(fresh));
+  return fresh.size();
+}
 
-  // Fresh checker, whole history: dense index d is applied at state d + 1,
-  // so every branch of analyze_op is a precomputed flag or integer compare.
-  for (model::TxnIdx d = 0; d < ch.size(); ++d) {
+std::size_t OnlineChecker::append_all(const model::TransactionSet& txns) {
+  const std::vector<Transaction> block(txns.begin(), txns.end());
+  return append_all(std::span<const Transaction>(block));
+}
+
+std::size_t OnlineChecker::append_all(const model::CompiledHistory& ch) {
+  std::vector<Transaction> block;
+  block.reserve(ch.size());
+  for (TxnIdx d = 0; d < ch.size(); ++d) block.push_back(ch.txns().at(d));
+  return append_all(std::span<const Transaction>(block));
+}
+
+void OnlineChecker::ingest(const model::CompiledDelta& delta) {
+  ++stats_.blocks;
+  stats_.compiled_appends += delta.count;
+  timelines_.resize(stream_.key_count());
+
+  // Evaluate the block's transactions one by one in dense (= apply) order:
+  // when transaction d is evaluated only [0, d) is installed, so "has the
+  // observed writer been applied yet" is the dense compare `writer < d` —
+  // exact for prefix writers, earlier block members, and intra-block forward
+  // references alike.
+  for (TxnIdx d = delta.first; d < delta.first + delta.count; ++d) {
     Placed p;
-    p.txn = ch.txns().at(d);
     p.state = static_cast<StateIndex>(d) + 1;
     const StateIndex parent = p.state - 1;
-    const std::span<const model::CompiledOp> cops = ch.ops(d);
+    const std::span<const CompiledOp> cops = stream_.ops(d);
     p.ops.reserve(cops.size());
-    for (const model::CompiledOp& c : cops) {
+    for (const CompiledOp& c : cops) {
       if (c.is_write()) {
         p.ops.push_back({{0, parent}, false});
         continue;
@@ -139,7 +123,7 @@ std::size_t OnlineChecker::append_all(const model::CompiledHistory& ch) {
         }
         version_pos = static_cast<StateIndex>(c.writer) + 1;
       }
-      const auto* tl = timeline_of(ch.keys().key_of(c.key));
+      const auto* tl = timeline_of(c.key);
       StateIndex next_write = parent + 2;
       if (tl != nullptr) {
         auto it = std::upper_bound(
@@ -150,28 +134,28 @@ std::size_t OnlineChecker::append_all(const model::CompiledHistory& ch) {
       p.ops.push_back({{version_pos, std::min(next_write - 1, parent)}, false});
     }
 
-    commit_placed(std::move(p));
+    commit_placed(d, std::move(p));
   }
-  return ch.size();
 }
 
-void OnlineChecker::commit_placed(Placed p) {
-  evaluate_new(p);
-  check_retroactive_inversions(p);
+void OnlineChecker::commit_placed(TxnIdx d, Placed p) {
+  evaluate_new(d, p);
+  check_retroactive_inversions(d);
 
   // Install.
-  index_.emplace(p.txn.id(), txns_.size());
-  for (Key k : p.txn.write_set()) {
-    const model::KeyIdx ki = keys_.intern(k);
-    if (ki == timelines_.size()) timelines_.emplace_back();
-    timelines_[ki].emplace_back(p.state, txns_.size());
+  for (model::KeyIdx k : stream_.write_keys(d)) {
+    timelines_[k].emplace_back(p.state, static_cast<std::size_t>(d));
   }
+  const SessionId s = stream_.session(d);
+  if (s != kNoSession) session_states_[s].push_back(p.state);
+  max_start_applied_ = std::max(max_start_applied_, stream_.start_ts(d));
   txns_.push_back(std::move(p));
 }
 
-void OnlineChecker::evaluate_new(Placed& p) {
-  const Transaction& t = p.txn;
+void OnlineChecker::evaluate_new(TxnIdx d, Placed& p) {
+  const TxnId id = stream_.id_of(d);
   const StateIndex parent = p.state - 1;
+  const std::span<const CompiledOp> cops = stream_.ops(d);
 
   bool preread = true;
   StateIndex complete_lo = 0, complete_hi = parent;
@@ -184,24 +168,27 @@ void OnlineChecker::evaluate_new(Placed& p) {
   if (!preread) {
     for (IsolationLevel l : {IsolationLevel::kReadCommitted, IsolationLevel::kReadAtomic,
                              IsolationLevel::kPSI}) {
-      if (tracking(l)) violate(l, t.id(), "PREREAD fails in the apply order");
+      if (tracking(l)) violate(l, id, "PREREAD fails in the apply order");
     }
   }
 
   // Fractured reads (RA).
   if (tracking(IsolationLevel::kReadAtomic) && preread) {
-    for (std::size_t i = 0; i < t.ops().size(); ++i) {
-      const Operation& r1 = t.ops()[i];
-      if (!r1.is_read() || p.ops[i].internal || r1.value.writer == kInitTxn) continue;
-      auto wit = index_.find(r1.value.writer);
-      if (wit == index_.end()) continue;
-      const Transaction& w1 = txns_[wit->second].txn;
-      for (std::size_t j = 0; j < t.ops().size(); ++j) {
-        const Operation& r2 = t.ops()[j];
-        if (!r2.is_read() || p.ops[j].internal) continue;
-        if (w1.writes(r2.key) && p.ops[i].rs.first > p.ops[j].rs.first) {
-          violate(IsolationLevel::kReadAtomic, t.id(),
-                  "fractured read across " + crooks::to_string(w1.id()) + "'s writes");
+    for (std::size_t i = 0; i < cops.size(); ++i) {
+      const CompiledOp& c1 = cops[i];
+      if (!c1.is_read() || p.ops[i].internal ||
+          (c1.flags & model::kOpInitWriter) != 0) {
+        continue;
+      }
+      if (c1.writer == model::kNoTxnIdx || c1.writer >= d) continue;  // not applied
+      for (std::size_t j = 0; j < cops.size(); ++j) {
+        const CompiledOp& c2 = cops[j];
+        if (!c2.is_read() || p.ops[j].internal) continue;
+        if (stream_.writes_key(c1.writer, c2.key) &&
+            p.ops[i].rs.first > p.ops[j].rs.first) {
+          violate(IsolationLevel::kReadAtomic, id,
+                  "fractured read across " + crooks::to_string(stream_.id_of(c1.writer)) +
+                      "'s writes");
         }
       }
     }
@@ -209,31 +196,35 @@ void OnlineChecker::evaluate_new(Placed& p) {
 
   // CAUS-VIS (PSI). Build the transitive PREC set from placed predecessors.
   if (tracking(IsolationLevel::kPSI) && preread) {
-    Placed& self = p;
-    self.prec.grow(txns_.size() + 1);
+    p.prec.grow(txns_.size() + 1);
     auto absorb = [&](std::size_t slot) {
-      self.prec.set(slot);
-      self.prec.or_with(txns_[slot].prec);
+      p.prec.set(slot);
+      p.prec.or_with(txns_[slot].prec);
     };
-    for (std::size_t i = 0; i < t.ops().size(); ++i) {
-      const Operation& op = t.ops()[i];
-      if (!op.is_read() || p.ops[i].internal || op.value.writer == kInitTxn) continue;
-      if (auto it = index_.find(op.value.writer); it != index_.end()) absorb(it->second);
+    for (std::size_t i = 0; i < cops.size(); ++i) {
+      const CompiledOp& c = cops[i];
+      if (!c.is_read() || p.ops[i].internal ||
+          (c.flags & model::kOpInitWriter) != 0) {
+        continue;
+      }
+      if (c.writer != model::kNoTxnIdx && c.writer < d) absorb(c.writer);
     }
-    for (Key k : t.write_set()) {
+    for (model::KeyIdx k : stream_.write_keys(d)) {
       if (const auto* tl = timeline_of(k)) {
         for (const auto& [pos, slot] : *tl) absorb(slot);
       }
     }
-    for (std::size_t i = 0; i < t.ops().size(); ++i) {
-      const Operation& op = t.ops()[i];
-      if (!op.is_read() || p.ops[i].internal) continue;
-      if (const auto* tl = timeline_of(op.key)) {
+    for (std::size_t i = 0; i < cops.size(); ++i) {
+      const CompiledOp& c = cops[i];
+      if (!c.is_read() || p.ops[i].internal) continue;
+      if (const auto* tl = timeline_of(c.key)) {
         for (const auto& [pos, slot] : *tl) {
-          if (pos > p.ops[i].rs.last && self.prec.test(slot)) {
-            violate(IsolationLevel::kPSI, t.id(),
-                    "CAUS-VIS fails: misses " + crooks::to_string(txns_[slot].txn.id()) +
-                        "'s write to " + crooks::to_string(op.key));
+          if (pos > p.ops[i].rs.last && p.prec.test(slot)) {
+            violate(IsolationLevel::kPSI, id,
+                    "CAUS-VIS fails: misses " +
+                        crooks::to_string(stream_.id_of(static_cast<TxnIdx>(slot))) +
+                        "'s write to " +
+                        crooks::to_string(stream_.keys().key_of(c.key)));
           }
         }
       }
@@ -243,11 +234,11 @@ void OnlineChecker::evaluate_new(Placed& p) {
   // Serializability: the parent state must be complete.
   const bool parent_complete = complete_lo <= parent && complete_hi >= parent;
   if (tracking(IsolationLevel::kSerializable) && !parent_complete) {
-    violate(IsolationLevel::kSerializable, t.id(),
+    violate(IsolationLevel::kSerializable, id,
             "parent state is not complete in the apply order");
   }
   if (tracking(IsolationLevel::kStrictSerializable) && !parent_complete) {
-    violate(IsolationLevel::kStrictSerializable, t.id(),
+    violate(IsolationLevel::kStrictSerializable, id,
             "parent state is not complete in the apply order");
   }
 
@@ -256,77 +247,112 @@ void OnlineChecker::evaluate_new(Placed& p) {
                                       IsolationLevel::kSessionSI,
                                       IsolationLevel::kStrongSI};
   StateIndex no_conf = 0;
-  for (Key k : t.write_set()) {
+  for (model::KeyIdx k : stream_.write_keys(d)) {
     if (const auto* tl = timeline_of(k)) {
       no_conf = std::max(no_conf, tl->back().first);
     }
   }
+  // Real-time recency bound: # applied transactions with commit < start(d).
+  // A timed level that is still alive has already enforced, at every prior
+  // append, that the applied stream is fully timestamped (time-oracle clause)
+  // and in strictly increasing commit order (C-ORD clause) — so the hashed
+  // engine's O(n) time_precedes scan collapses to one binary search over the
+  // dense prefix. Computed lazily: only timed levels that survive their
+  // preconditions need it, and only they may trust it.
+  const Timestamp start_t = stream_.start_ts(d);
+  StateIndex pos_cache = -1;
+  auto applied_before_start = [&]() -> StateIndex {
+    if (pos_cache < 0) {
+      std::size_t lo = 0, hi = static_cast<std::size_t>(d);
+      while (lo < hi) {
+        const std::size_t mid = lo + (hi - lo) / 2;
+        if (stream_.commit_ts(static_cast<TxnIdx>(mid)) < start_t) {
+          lo = mid + 1;
+        } else {
+          hi = mid;
+        }
+      }
+      pos_cache = static_cast<StateIndex>(lo);
+    }
+    return pos_cache;
+  };
   for (IsolationLevel level : si_family) {
     if (!tracking(level) || !statuses_.at(level).ok) continue;
     const bool timed = level != IsolationLevel::kAdyaSI;
-    if (timed && !t.has_timestamps()) {
-      violate(level, t.id(), "requires the time oracle");
+    if (timed && !stream_.has_timestamps(d)) {
+      violate(level, id, "requires the time oracle");
       continue;
     }
-    if (timed && !txns_.empty()) {
-      const Transaction& prev = txns_.back().txn;
-      if (!(prev.commit_ts() < t.commit_ts())) {
-        violate(level, t.id(), "C-ORD fails: applied out of commit order");
+    if (timed && d > 0) {
+      if (!(stream_.commit_ts(d - 1) < stream_.commit_ts(d))) {
+        violate(level, id, "C-ORD fails: applied out of commit order");
         continue;
       }
     }
     StateIndex lower = 0;
-    if (level == IsolationLevel::kStrongSI || level == IsolationLevel::kSessionSI) {
-      for (const Placed& q : txns_) {
-        if (!time_precedes(q.txn, t)) continue;
-        if (level == IsolationLevel::kSessionSI &&
-            (t.session() == kNoSession || q.txn.session() != t.session())) {
-          continue;
-        }
-        lower = std::max(lower, q.state);
+    if (level == IsolationLevel::kStrongSI) {
+      lower = applied_before_start();
+    } else if (level == IsolationLevel::kSessionSI &&
+               stream_.session(d) != kNoSession) {
+      if (auto sit = session_states_.find(stream_.session(d));
+          sit != session_states_.end()) {
+        // Largest applied same-session state within the real-time prefix.
+        const StateIndex pos = applied_before_start();
+        auto it = std::upper_bound(sit->second.begin(), sit->second.end(), pos);
+        if (it != sit->second.begin()) lower = *(it - 1);
       }
     }
     const StateIndex lo = std::max({complete_lo, no_conf, lower});
     const StateIndex hi = std::min(complete_hi, parent);
-    bool ok = false;
-    for (StateIndex s = hi; s >= lo; --s) {
-      if (s == 0) {
-        ok = true;
-        break;
-      }
-      if (!timed || time_precedes(txns_[static_cast<std::size_t>(s) - 1].txn, t)) {
-        ok = true;
-        break;
-      }
-    }
+    // ∃ admissible s ∈ [lo, hi]: s == 0 always qualifies; a timed level also
+    // accepts any s whose generating transaction real-time-precedes d, i.e.
+    // s ≤ applied_before_start() — so the descending scan reduces to bounds.
+    bool ok = hi >= lo;
+    if (ok && timed && lo > 0) ok = lo <= applied_before_start();
     if (!ok) {
-      violate(level, t.id(), "no admissible snapshot state in the apply order");
+      violate(level, id, "no admissible snapshot state in the apply order");
     }
   }
 }
 
-void OnlineChecker::check_retroactive_inversions(const Placed& p) {
+void OnlineChecker::check_retroactive_inversions(TxnIdx d) {
   // A late-arriving transaction that committed before an already-applied
   // transaction *started* retroactively violates the real-time clauses of
   // strict serializability and Strong SI (and Session SI within a session).
-  const Transaction& late = p.txn;
-  if (late.commit_ts() == kNoTimestamp) return;
-  for (const Placed& q : txns_) {
-    if (!time_precedes(late, q.txn)) continue;
+  const Timestamp commit_d = stream_.commit_ts(d);
+  if (commit_d == kNoTimestamp) return;
+  // ∃ applied q with commit(d) < start(q) ⟺ commit(d) < max applied start —
+  // on a monotone stream (the common case) this skips the O(n) scan entirely.
+  if (!(commit_d < max_start_applied_)) return;
+  auto live = [&](IsolationLevel l) {
+    auto it = statuses_.find(l);
+    return it != statuses_.end() && it->second.ok;
+  };
+  if (!live(IsolationLevel::kStrictSerializable) && !live(IsolationLevel::kStrongSI) &&
+      !live(IsolationLevel::kSessionSI)) {
+    return;
+  }
+
+  const TxnId late_id = stream_.id_of(d);
+  const SessionId late_session = stream_.session(d);
+  for (std::size_t slot = 0; slot < txns_.size(); ++slot) {
+    const TxnIdx q = static_cast<TxnIdx>(slot);
+    if (!stream_.time_precedes(d, q)) continue;
+    const TxnId q_id = stream_.id_of(q);
     if (tracking(IsolationLevel::kStrictSerializable)) {
-      violate(IsolationLevel::kStrictSerializable, q.txn.id(),
-              "real-time predecessor " + crooks::to_string(late.id()) +
+      violate(IsolationLevel::kStrictSerializable, q_id,
+              "real-time predecessor " + crooks::to_string(late_id) +
                   " was applied after it");
     }
     if (tracking(IsolationLevel::kStrongSI)) {
-      violate(IsolationLevel::kStrongSI, q.txn.id(),
-              "snapshot misses " + crooks::to_string(late.id()) +
+      violate(IsolationLevel::kStrongSI, q_id,
+              "snapshot misses " + crooks::to_string(late_id) +
                   ", which committed before it started");
     }
-    if (tracking(IsolationLevel::kSessionSI) && q.txn.session() != kNoSession &&
-        q.txn.session() == late.session()) {
-      violate(IsolationLevel::kSessionSI, q.txn.id(),
-              "session predecessor " + crooks::to_string(late.id()) +
+    if (tracking(IsolationLevel::kSessionSI) && stream_.session(q) != kNoSession &&
+        stream_.session(q) == late_session) {
+      violate(IsolationLevel::kSessionSI, q_id,
+              "session predecessor " + crooks::to_string(late_id) +
                   " was applied after it");
     }
   }

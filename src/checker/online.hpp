@@ -11,14 +11,28 @@
 // recency clauses are re-checked retroactively when a late transaction
 // reveals an inversion.
 //
+// The checker owns a growable CompiledHistory and feeds every appended block
+// through CompiledHistory::extend, so the whole stream — first block or
+// ten-thousandth — is evaluated on compiled ops: writer recency is a dense
+// integer compare, phantom/internal/unknown-writer branches are precomputed
+// flags, and the real-time recency clauses use the monotone commit order the
+// timed levels themselves enforce (binary search instead of an O(n) scan).
+// There is no hashed fallback path; stats().hashed_fallback_appends exists
+// purely as a regression tripwire (asserted == 0 by the differential suite
+// and by CI's bench gate). The frozen per-transaction hashed monitor lives in
+// checker::reference::OnlineCheckerHashed for differential testing and as
+// the bench baseline.
+//
 // The verdict is per-execution (CT_I over THIS order), the streaming
 // analogue of ct::test_execution. A violation here means the system's own
 // apply order is not a witness; the ∃e question can still be asked offline
 // with checker::check.
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <optional>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -44,26 +58,44 @@ class OnlineChecker {
     std::string explanation;
   };
 
+  /// Streaming throughput accounting, exported by bench_online_incremental
+  /// and asserted by the differential suite.
+  struct Stats {
+    std::uint64_t blocks = 0;            // extend() calls (append() = block of 1)
+    std::uint64_t compiled_appends = 0;  // transactions evaluated on compiled deltas
+    /// Transactions evaluated on the pre-compile hashed path. Always 0 —
+    /// every call path compiles — kept as a regression tripwire (CI fails the
+    /// bench gate if it ever goes positive).
+    std::uint64_t hashed_fallback_appends = 0;
+    std::uint64_t duplicates_ignored = 0;
+  };
+
   /// Append the next committed transaction. Returns false if the id was
-  /// already seen (the transaction is ignored).
+  /// already seen or reserved (the transaction is ignored).
   bool append(const model::Transaction& txn);
 
-  /// Audit a whole history's apply order: append every transaction of `ch`
-  /// in dense (declaration) order, returning how many were accepted. On a
-  /// fresh checker this runs on the compiled ops directly — the writer of
-  /// each read is already resolved to a dense index, so "has the writer been
-  /// applied yet" is an integer compare instead of an id-hash probe, and the
-  /// phantom / internal / unknown-writer branches are precomputed flags. On
-  /// a non-empty checker it falls back to per-transaction append() (writer
-  /// resolution must then consult the whole mixed stream).
+  /// Append a block of transactions in declaration order, returning how many
+  /// were accepted (duplicates are ignored, not errors). The block is
+  /// compiled as one CompiledDelta — fresh checker or not, every transaction
+  /// is evaluated on compiled ops; there is no fallback to the hashed path.
+  std::size_t append_all(std::span<const model::Transaction> block);
+  std::size_t append_all(const model::TransactionSet& txns);
+  /// Compatibility overload: audits ch's transactions in dense order. The
+  /// checker re-compiles them into its own stream (ch's dense indices need
+  /// not match the stream's).
   std::size_t append_all(const model::CompiledHistory& ch);
 
   const LevelStatus& status(ct::IsolationLevel level) const;
   bool all_ok() const;
   std::size_t size() const { return txns_.size(); }
+  const Stats& stats() const { return stats_; }
 
   /// The levels still satisfied by the execution so far.
   std::vector<ct::IsolationLevel> surviving_levels() const;
+
+  /// The compiled view of the stream so far (dense index == apply order).
+  /// Any engine can consume it, e.g. for an offline ∃e check of the prefix.
+  const model::CompiledHistory& stream() const { return stream_; }
 
  private:
   struct OpView {
@@ -72,8 +104,7 @@ class OnlineChecker {
   };
 
   struct Placed {
-    model::Transaction txn;
-    StateIndex state = 0;  // 1-based
+    StateIndex state = 0;  // 1-based; == dense index + 1
     std::vector<OpView> ops;
     DynamicBitset prec;  // populated only when PSI is tracked
   };
@@ -83,28 +114,32 @@ class OnlineChecker {
   }
   void violate(ct::IsolationLevel level, TxnId txn, std::string why);
 
-  OpView analyze_op(const model::Transaction& t, std::size_t op_index,
-                    StateIndex parent) const;
-  void evaluate_new(Placed& p);
-  void check_retroactive_inversions(const Placed& p);
+  /// Shared tail of every append path: compute the read-state views of the
+  /// block's transactions against the stream prefix, evaluate their commit
+  /// tests, and install them (timelines, session index, recency maxima).
+  void ingest(const model::CompiledDelta& delta);
+  void evaluate_new(model::TxnIdx d, Placed& p);
+  void check_retroactive_inversions(model::TxnIdx d);
+  void commit_placed(model::TxnIdx d, Placed p);
 
-  /// Shared tail of append / append_all: evaluate the commit tests for the
-  /// placed transaction, then install it into the index and timelines.
-  void commit_placed(Placed p);
-
-  /// Timeline of `k`, or null when no applied transaction wrote it yet.
-  const std::vector<std::pair<StateIndex, std::size_t>>* timeline_of(Key k) const {
-    const model::KeyIdx ki = keys_.find(k);
-    return ki == model::kNoKeyIdx || timelines_[ki].empty() ? nullptr
-                                                            : &timelines_[ki];
+  /// Timeline of dense key `k`, or null when nothing applied wrote it yet.
+  const std::vector<std::pair<StateIndex, std::size_t>>* timeline_of(
+      model::KeyIdx k) const {
+    return k >= timelines_.size() || timelines_[k].empty() ? nullptr
+                                                           : &timelines_[k];
   }
 
   std::map<ct::IsolationLevel, LevelStatus> statuses_;
-  std::vector<Placed> txns_;  // in append (= execution) order
-  std::unordered_map<TxnId, std::size_t> index_;
-  // Keys interned as the stream reveals them; timelines indexed by KeyIdx.
-  model::KeyInterner keys_;
+  model::CompiledHistory stream_;  // owning; dense index == apply order
+  std::vector<Placed> txns_;       // per applied transaction, same order
+  // Timelines indexed by the stream's KeyIdx: (installed state, dense writer).
   std::vector<std::vector<std::pair<StateIndex, std::size_t>>> timelines_;
+  // Per-session applied states (ascending), for the Session SI recency bound.
+  std::unordered_map<SessionId, std::vector<StateIndex>> session_states_;
+  // Max start_ts over applied transactions: a late transaction can invert a
+  // real-time clause iff some applied transaction started after it committed.
+  Timestamp max_start_applied_ = kNoTimestamp;
+  Stats stats_;
 };
 
 }  // namespace crooks::checker

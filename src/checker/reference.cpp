@@ -447,4 +447,277 @@ std::vector<std::vector<StateInterval>> read_state_intervals_hashed(
   return out;
 }
 
+// ---------------------------------------------------------------------------
+// OnlineCheckerHashed: the pre-incremental streaming monitor, verbatim.
+// ---------------------------------------------------------------------------
+
+OnlineCheckerHashed::OnlineCheckerHashed(std::vector<IsolationLevel> levels) {
+  for (IsolationLevel l : levels) statuses_.emplace(l, LevelStatus{});
+}
+
+const OnlineCheckerHashed::LevelStatus& OnlineCheckerHashed::status(
+    IsolationLevel level) const {
+  return statuses_.at(level);
+}
+
+bool OnlineCheckerHashed::all_ok() const {
+  for (const auto& [level, s] : statuses_) {
+    if (!s.ok) return false;
+  }
+  return true;
+}
+
+std::vector<IsolationLevel> OnlineCheckerHashed::surviving_levels() const {
+  std::vector<IsolationLevel> out;
+  for (const auto& [level, s] : statuses_) {
+    if (s.ok) out.push_back(level);
+  }
+  return out;
+}
+
+void OnlineCheckerHashed::violate(IsolationLevel level, TxnId txn, std::string why) {
+  auto it = statuses_.find(level);
+  if (it == statuses_.end() || !it->second.ok) return;  // sticky first violation
+  it->second.ok = false;
+  it->second.first_violation = txn;
+  it->second.explanation = crooks::to_string(txn) + ": " + std::move(why);
+}
+
+OnlineCheckerHashed::OpView OnlineCheckerHashed::analyze_op(const Transaction& t,
+                                                            std::size_t op_index,
+                                                            StateIndex parent) const {
+  const Operation& op = t.ops()[op_index];
+  if (op.is_write()) return {{0, parent}, false};
+  if (op.value.phantom) return {{0, -1}, false};
+
+  for (std::size_t j = 0; j < op_index; ++j) {
+    const Operation& prev = t.ops()[j];
+    if (prev.is_write() && prev.key == op.key) {
+      return op.value.writer == t.id() ? OpView{{0, parent}, true}
+                                       : OpView{{0, -1}, true};
+    }
+  }
+
+  const TxnId w = op.value.writer;
+  if (w == t.id()) return {{0, -1}, false};
+  StateIndex version_pos = 0;
+  if (w != kInitTxn) {
+    auto it = index_.find(w);
+    if (it == index_.end() || !txns_[it->second].txn.writes(op.key)) {
+      return {{0, -1}, false};
+    }
+    version_pos = txns_[it->second].state;
+  }
+  const auto* tl = timeline_of(op.key);
+  StateIndex next_write = parent + 2;
+  if (tl != nullptr) {
+    auto it = std::upper_bound(
+        tl->begin(), tl->end(), version_pos,
+        [](StateIndex v, const auto& en) { return v < en.first; });
+    if (it != tl->end()) next_write = it->first;
+  }
+  return {{version_pos, std::min(next_write - 1, parent)}, false};
+}
+
+bool OnlineCheckerHashed::append(const Transaction& txn) {
+  if (index_.contains(txn.id())) return false;
+
+  Placed p;
+  p.txn = txn;
+  p.state = static_cast<StateIndex>(txns_.size()) + 1;
+  const StateIndex parent = p.state - 1;
+  p.ops.reserve(txn.ops().size());
+  for (std::size_t i = 0; i < txn.ops().size(); ++i) {
+    p.ops.push_back(analyze_op(txn, i, parent));
+  }
+
+  commit_placed(std::move(p));
+  return true;
+}
+
+std::size_t OnlineCheckerHashed::append_all(const model::TransactionSet& txns) {
+  std::size_t appended = 0;
+  for (std::size_t d = 0; d < txns.size(); ++d) {
+    if (append(txns.at(d))) ++appended;
+  }
+  return appended;
+}
+
+void OnlineCheckerHashed::commit_placed(Placed p) {
+  evaluate_new(p);
+  check_retroactive_inversions(p);
+
+  // Install.
+  index_.emplace(p.txn.id(), txns_.size());
+  for (Key k : p.txn.write_set()) {
+    const model::KeyIdx ki = keys_.intern(k);
+    if (ki == timelines_.size()) timelines_.emplace_back();
+    timelines_[ki].emplace_back(p.state, txns_.size());
+  }
+  txns_.push_back(std::move(p));
+}
+
+void OnlineCheckerHashed::evaluate_new(Placed& p) {
+  const Transaction& t = p.txn;
+  const StateIndex parent = p.state - 1;
+
+  bool preread = true;
+  StateIndex complete_lo = 0, complete_hi = parent;
+  for (const OpView& o : p.ops) {
+    if (o.rs.empty()) preread = false;
+    complete_lo = std::max(complete_lo, o.rs.first);
+    complete_hi = std::min(complete_hi, o.rs.last);
+  }
+
+  if (!preread) {
+    for (IsolationLevel l : {IsolationLevel::kReadCommitted, IsolationLevel::kReadAtomic,
+                             IsolationLevel::kPSI}) {
+      if (tracking(l)) violate(l, t.id(), "PREREAD fails in the apply order");
+    }
+  }
+
+  // Fractured reads (RA).
+  if (tracking(IsolationLevel::kReadAtomic) && preread) {
+    for (std::size_t i = 0; i < t.ops().size(); ++i) {
+      const Operation& r1 = t.ops()[i];
+      if (!r1.is_read() || p.ops[i].internal || r1.value.writer == kInitTxn) continue;
+      auto wit = index_.find(r1.value.writer);
+      if (wit == index_.end()) continue;
+      const Transaction& w1 = txns_[wit->second].txn;
+      for (std::size_t j = 0; j < t.ops().size(); ++j) {
+        const Operation& r2 = t.ops()[j];
+        if (!r2.is_read() || p.ops[j].internal) continue;
+        if (w1.writes(r2.key) && p.ops[i].rs.first > p.ops[j].rs.first) {
+          violate(IsolationLevel::kReadAtomic, t.id(),
+                  "fractured read across " + crooks::to_string(w1.id()) + "'s writes");
+        }
+      }
+    }
+  }
+
+  // CAUS-VIS (PSI). Build the transitive PREC set from placed predecessors.
+  if (tracking(IsolationLevel::kPSI) && preread) {
+    Placed& self = p;
+    self.prec.grow(txns_.size() + 1);
+    auto absorb = [&](std::size_t slot) {
+      self.prec.set(slot);
+      self.prec.or_with(txns_[slot].prec);
+    };
+    for (std::size_t i = 0; i < t.ops().size(); ++i) {
+      const Operation& op = t.ops()[i];
+      if (!op.is_read() || p.ops[i].internal || op.value.writer == kInitTxn) continue;
+      if (auto it = index_.find(op.value.writer); it != index_.end()) absorb(it->second);
+    }
+    for (Key k : t.write_set()) {
+      if (const auto* tl = timeline_of(k)) {
+        for (const auto& [pos, slot] : *tl) absorb(slot);
+      }
+    }
+    for (std::size_t i = 0; i < t.ops().size(); ++i) {
+      const Operation& op = t.ops()[i];
+      if (!op.is_read() || p.ops[i].internal) continue;
+      if (const auto* tl = timeline_of(op.key)) {
+        for (const auto& [pos, slot] : *tl) {
+          if (pos > p.ops[i].rs.last && self.prec.test(slot)) {
+            violate(IsolationLevel::kPSI, t.id(),
+                    "CAUS-VIS fails: misses " + crooks::to_string(txns_[slot].txn.id()) +
+                        "'s write to " + crooks::to_string(op.key));
+          }
+        }
+      }
+    }
+  }
+
+  // Serializability: the parent state must be complete.
+  const bool parent_complete = complete_lo <= parent && complete_hi >= parent;
+  if (tracking(IsolationLevel::kSerializable) && !parent_complete) {
+    violate(IsolationLevel::kSerializable, t.id(),
+            "parent state is not complete in the apply order");
+  }
+  if (tracking(IsolationLevel::kStrictSerializable) && !parent_complete) {
+    violate(IsolationLevel::kStrictSerializable, t.id(),
+            "parent state is not complete in the apply order");
+  }
+
+  // The snapshot family.
+  const IsolationLevel si_family[] = {IsolationLevel::kAdyaSI, IsolationLevel::kAnsiSI,
+                                      IsolationLevel::kSessionSI,
+                                      IsolationLevel::kStrongSI};
+  StateIndex no_conf = 0;
+  for (Key k : t.write_set()) {
+    if (const auto* tl = timeline_of(k)) {
+      no_conf = std::max(no_conf, tl->back().first);
+    }
+  }
+  for (IsolationLevel level : si_family) {
+    if (!tracking(level) || !statuses_.at(level).ok) continue;
+    const bool timed = level != IsolationLevel::kAdyaSI;
+    if (timed && !t.has_timestamps()) {
+      violate(level, t.id(), "requires the time oracle");
+      continue;
+    }
+    if (timed && !txns_.empty()) {
+      const Transaction& prev = txns_.back().txn;
+      if (!(prev.commit_ts() < t.commit_ts())) {
+        violate(level, t.id(), "C-ORD fails: applied out of commit order");
+        continue;
+      }
+    }
+    StateIndex lower = 0;
+    if (level == IsolationLevel::kStrongSI || level == IsolationLevel::kSessionSI) {
+      for (const Placed& q : txns_) {
+        if (!time_precedes(q.txn, t)) continue;
+        if (level == IsolationLevel::kSessionSI &&
+            (t.session() == kNoSession || q.txn.session() != t.session())) {
+          continue;
+        }
+        lower = std::max(lower, q.state);
+      }
+    }
+    const StateIndex lo = std::max({complete_lo, no_conf, lower});
+    const StateIndex hi = std::min(complete_hi, parent);
+    bool ok = false;
+    for (StateIndex s = hi; s >= lo; --s) {
+      if (s == 0) {
+        ok = true;
+        break;
+      }
+      if (!timed || time_precedes(txns_[static_cast<std::size_t>(s) - 1].txn, t)) {
+        ok = true;
+        break;
+      }
+    }
+    if (!ok) {
+      violate(level, t.id(), "no admissible snapshot state in the apply order");
+    }
+  }
+}
+
+void OnlineCheckerHashed::check_retroactive_inversions(const Placed& p) {
+  // A late-arriving transaction that committed before an already-applied
+  // transaction *started* retroactively violates the real-time clauses of
+  // strict serializability and Strong SI (and Session SI within a session).
+  const Transaction& late = p.txn;
+  if (late.commit_ts() == kNoTimestamp) return;
+  for (const Placed& q : txns_) {
+    if (!time_precedes(late, q.txn)) continue;
+    if (tracking(IsolationLevel::kStrictSerializable)) {
+      violate(IsolationLevel::kStrictSerializable, q.txn.id(),
+              "real-time predecessor " + crooks::to_string(late.id()) +
+                  " was applied after it");
+    }
+    if (tracking(IsolationLevel::kStrongSI)) {
+      violate(IsolationLevel::kStrongSI, q.txn.id(),
+              "snapshot misses " + crooks::to_string(late.id()) +
+                  ", which committed before it started");
+    }
+    if (tracking(IsolationLevel::kSessionSI) && q.txn.session() != kNoSession &&
+        q.txn.session() == late.session()) {
+      violate(IsolationLevel::kSessionSI, q.txn.id(),
+              "session predecessor " + crooks::to_string(late.id()) +
+                  " was applied after it");
+    }
+  }
+}
+
 }  // namespace crooks::checker::reference

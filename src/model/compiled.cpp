@@ -1,24 +1,59 @@
 #include "model/compiled.hpp"
 
 #include <algorithm>
-#include <numeric>
+#include <stdexcept>
+#include <unordered_set>
 
 namespace crooks::model {
 
 CompiledHistory::CompiledHistory(const TransactionSet& txns)
     : txns_(&txns), n_(txns.size()) {
-  // Pass 1: intern every key in first-appearance order so KeyIdx assignment is
-  // deterministic across runs and thread counts.
-  for (const Transaction& t : txns) {
-    for (const Operation& op : t.ops()) keys_.intern(op.key);
+  compile_block(0);
+}
+
+CompiledHistory::CompiledHistory() : txns_(nullptr) {
+  owned_ = std::make_unique<TransactionSet>();
+  txns_ = owned_.get();
+  compile_block(0);
+}
+
+bool CompiledHistory::ts_less(TxnIdx a, TxnIdx b) const {
+  const bool ta = commit_ts_[a] != kNoTimestamp;
+  const bool tb = commit_ts_[b] != kNoTimestamp;
+  if (ta != tb) return ta;  // timestamped first
+  if (ta && commit_ts_[a] != commit_ts_[b]) return commit_ts_[a] < commit_ts_[b];
+  return a < b;  // deterministic tie-break: dense (declaration) order
+}
+
+void CompiledHistory::compile_block(TxnIdx first) {
+  const TransactionSet& txns = *txns_;
+  const std::size_t n = n_;
+  if (op_begin_.empty()) {  // bootstrap the offset arrays
+    op_begin_.push_back(0);
+    wk_begin_.push_back(0);
+    rk_begin_.push_back(0);
+  }
+
+  // Pass 1: intern every key of the block in first-appearance order so KeyIdx
+  // assignment is deterministic across runs and thread counts — and identical
+  // whether the history was compiled whole or grown block by block.
+  for (TxnIdx d = first; d < n; ++d) {
+    for (const Operation& op : txns.at(d).ops()) keys_.intern(op.key);
   }
   const std::size_t kc = keys_.size();
+  writers_of_.rows.resize(kc);
+  if (written_scratch_.size() < kc) written_scratch_.resize(kc, 0);
 
   // Pass 2: write footprints (sorted dense arrays + bitset masks). Every key a
-  // transaction writes appears among its ops, so find() always resolves.
-  write_mask_.reserve(n_);
-  wk_begin_.assign(n_ + 1, 0);
-  for (TxnIdx d = 0; d < n_; ++d) {
+  // transaction writes appears among its ops, so find() always resolves. Masks
+  // are sized to the key universe at this block — writes_key() guards reads
+  // with later-interned keys.
+  // Reserve only on the first (bulk) compile: re-reserving to exactly n on
+  // every extend would reallocate the whole vector per block, turning a long
+  // stream of small appends quadratic. Later blocks rely on push_back's
+  // amortized geometric growth instead.
+  if (write_mask_.empty()) write_mask_.reserve(n);
+  for (TxnIdx d = first; d < n; ++d) {
     const Transaction& t = txns.at(d);
     DynamicBitset mask(kc);
     std::vector<KeyIdx> wk;
@@ -30,21 +65,21 @@ CompiledHistory::CompiledHistory(const TransactionSet& txns)
     }
     std::sort(wk.begin(), wk.end());
     write_keys_.insert(write_keys_.end(), wk.begin(), wk.end());
-    wk_begin_[d + 1] = static_cast<std::uint32_t>(write_keys_.size());
+    wk_begin_.push_back(static_cast<std::uint32_t>(write_keys_.size()));
     write_mask_.push_back(std::move(mask));
   }
 
   // Pass 3: classify every operation, mirroring the branch order of
   // ReadStateAnalysis::read_states_of exactly (phantom before internal before
-  // self before unknown-writer before writer-misses-key).
-  op_begin_.assign(n_ + 1, 0);
-  rk_begin_.assign(n_ + 1, 0);
-  start_ts_.resize(n_);
-  commit_ts_.resize(n_);
-  session_.resize(n_);
-  std::vector<bool> written_so_far(kc, false);  // per-txn program-order scratch
+  // self before unknown-writer before writer-misses-key). `contains` sees the
+  // prefix plus the whole block, so intra-block forward references resolve;
+  // only writers absent from the entire set-so-far stay unknown (and are
+  // queued in `pending_` for re-resolution by a later block).
+  start_ts_.resize(n);
+  commit_ts_.resize(n);
+  session_.resize(n);
   std::vector<KeyIdx> touched;
-  for (TxnIdx d = 0; d < n_; ++d) {
+  for (TxnIdx d = first; d < n; ++d) {
     const Transaction& t = txns.at(d);
     start_ts_[d] = t.start_ts();
     commit_ts_[d] = t.commit_ts();
@@ -53,19 +88,20 @@ CompiledHistory::CompiledHistory(const TransactionSet& txns)
 
     touched.clear();
     std::vector<KeyIdx> rk;
-    for (const Operation& op : t.ops()) {
+    for (std::size_t oi = 0; oi < t.ops().size(); ++oi) {
+      const Operation& op = t.ops()[oi];
       CompiledOp c;
       c.key = keys_.find(op.key);
       if (op.is_write()) {
         ops_.push_back(c);
-        written_so_far[c.key] = true;
+        written_scratch_[c.key] = 1;
         touched.push_back(c.key);
         continue;
       }
 
       rk.push_back(c.key);
       const TxnId w = op.value.writer;
-      const bool positional_internal = written_so_far[c.key];
+      const bool positional_internal = written_scratch_[c.key] != 0;
       const bool is_self = w == t.id();
       const bool is_init = w == kInitTxn;
       const bool known = !is_init && txns.contains(w);
@@ -77,6 +113,8 @@ CompiledHistory::CompiledHistory(const TransactionSet& txns)
       if (known) {
         c.writer = static_cast<TxnIdx>(txns.dense_index_of(w));
         if (!txns.at(c.writer).writes(op.key)) c.flags |= kOpWriterMissesKey;
+      } else if (!is_init && owned_ != nullptr) {
+        pending_[w].emplace_back(d, static_cast<std::uint32_t>(oi));
       }
 
       if (op.value.phantom) {
@@ -94,42 +132,111 @@ CompiledHistory::CompiledHistory(const TransactionSet& txns)
       }
       ops_.push_back(c);
     }
-    op_begin_[d + 1] = static_cast<std::uint32_t>(ops_.size());
-    for (KeyIdx k : touched) written_so_far[k] = false;
+    op_begin_.push_back(static_cast<std::uint32_t>(ops_.size()));
+    for (KeyIdx k : touched) written_scratch_[k] = 0;
 
     std::sort(rk.begin(), rk.end());
     rk.erase(std::unique(rk.begin(), rk.end()), rk.end());
     read_keys_.insert(read_keys_.end(), rk.begin(), rk.end());
-    rk_begin_[d + 1] = static_cast<std::uint32_t>(read_keys_.size());
+    rk_begin_.push_back(static_cast<std::uint32_t>(read_keys_.size()));
   }
 
-  // Pass 4: per-key writer lists (CSR over KeyIdx, writers in dense order).
-  writers_of_.begin.assign(kc + 1, 0);
-  for (TxnIdx d = 0; d < n_; ++d) {
-    for (KeyIdx k : write_keys(d)) ++writers_of_.begin[k + 1];
-  }
-  std::partial_sum(writers_of_.begin.begin(), writers_of_.begin.end(),
-                   writers_of_.begin.begin());
-  writers_of_.items.resize(writers_of_.begin.back());
-  std::vector<std::uint32_t> fill(writers_of_.begin.begin(), writers_of_.begin.end() - 1);
-  for (TxnIdx d = 0; d < n_; ++d) {
-    for (KeyIdx k : write_keys(d)) writers_of_.items[fill[k]++] = d;
+  // Pass 4: per-key writer lists (rows over KeyIdx, writers in dense order —
+  // appending block writers preserves the order a whole-set compile produces).
+  for (TxnIdx d = first; d < n; ++d) {
+    for (KeyIdx k : write_keys(d)) writers_of_.rows[k].push_back(d);
   }
 
-  // Candidate order (see ts_order() — fixed strict-weak-order comparator).
-  ts_order_.resize(n_);
-  std::iota(ts_order_.begin(), ts_order_.end(), TxnIdx{0});
-  std::sort(ts_order_.begin(), ts_order_.end(), [this](TxnIdx a, TxnIdx b) {
-    const bool ta = commit_ts_[a] != kNoTimestamp;
-    const bool tb = commit_ts_[b] != kNoTimestamp;
-    if (ta != tb) return ta;  // timestamped first
-    if (ta && commit_ts_[a] != commit_ts_[b]) return commit_ts_[a] < commit_ts_[b];
-    return a < b;  // deterministic tie-break: dense (declaration) order
-  });
+  // Candidate order (see ts_order()): splice the block's timestamped
+  // candidates into the sorted timestamped prefix and append its
+  // untimestamped ones — every new dense index exceeds every old one, so the
+  // untimestamped region stays in dense order without re-sorting.
+  std::vector<TxnIdx> timed, untimed;
+  for (TxnIdx d = first; d < n; ++d) {
+    (commit_ts_[d] != kNoTimestamp ? timed : untimed).push_back(d);
+  }
+  std::sort(timed.begin(), timed.end(),
+            [this](TxnIdx a, TxnIdx b) { return ts_less(a, b); });
+  ts_order_.insert(ts_order_.begin() + static_cast<std::ptrdiff_t>(ts_timed_),
+                   timed.begin(), timed.end());
+  // Streams usually arrive in commit order, putting the whole block after the
+  // existing timestamped prefix — then the insert above already left the
+  // region sorted and the O(prefix) merge (which would make per-transaction
+  // appends quadratic over a long stream) can be skipped. ts_less is a total
+  // order (dense tie-break), so "not after the prefix" is a strict test.
+  if (!timed.empty() && ts_timed_ > 0 &&
+      ts_less(timed.front(), ts_order_[ts_timed_ - 1])) {
+    std::inplace_merge(
+        ts_order_.begin(),
+        ts_order_.begin() + static_cast<std::ptrdiff_t>(ts_timed_),
+        ts_order_.begin() + static_cast<std::ptrdiff_t>(ts_timed_ + timed.size()),
+        [this](TxnIdx a, TxnIdx b) { return ts_less(a, b); });
+  }
+  ts_timed_ += timed.size();
+  ts_order_.insert(ts_order_.end(), untimed.begin(), untimed.end());
+}
+
+const CompiledDelta& CompiledHistory::extend(std::span<const Transaction> block) {
+  if (owned_ == nullptr) {
+    throw std::logic_error(
+        "CompiledHistory::extend: a borrowing compilation is immutable");
+  }
+  // Validate before mutating anything so a bad block leaves the history as-is.
+  // (The intra-block set is skipped for single-transaction blocks — the
+  // append() streaming path — where it can't trigger.)
+  std::unordered_set<TxnId> in_block;
+  for (const Transaction& t : block) {
+    if (t.id() == kInitTxn) {
+      throw std::invalid_argument("TxnId 0 is reserved for the initial state");
+    }
+    if (owned_->contains(t.id()) ||
+        (block.size() > 1 && !in_block.insert(t.id()).second)) {
+      throw std::invalid_argument("duplicate transaction id " +
+                                  crooks::to_string(t.id()));
+    }
+  }
+
+  delta_ = CompiledDelta{};
+  delta_.first = static_cast<TxnIdx>(n_);
+  delta_.first_new_key = static_cast<KeyIdx>(keys_.size());
+  for (const Transaction& t : block) owned_->append(t);
+  const TxnIdx first = static_cast<TxnIdx>(n_);
+  n_ = txns_->size();
+  compile_block(first);
+  delta_.count = static_cast<std::uint32_t>(n_ - first);
+
+  // Re-resolve prefix reads whose observed writer arrived in this block. This
+  // keys off the awaited id, not the touched keys, so even a writer that
+  // never writes the awaited key is resolved (to kOpWriterMissesKey) exactly
+  // as a whole-set compile would.
+  for (TxnIdx d = first; d < n_; ++d) {
+    auto it = pending_.find(id_of(d));
+    if (it == pending_.end()) continue;
+    for (const auto& [td, oi] : it->second) {
+      CompiledOp& c = ops_[op_begin_[td] + oi];
+      c.writer = d;
+      c.flags = static_cast<std::uint8_t>(c.flags & ~kOpUnknownWriter);
+      if (!writes_key(d, c.key)) c.flags |= kOpWriterMissesKey;
+      if ((c.flags & (kOpPhantom | kOpPositionalInternal | kOpSelfWriter |
+                      kOpInitWriter)) == 0) {
+        c.cls = (c.flags & kOpWriterMissesKey) != 0 ? OpClass::kReadNever
+                                                    : OpClass::kReadExternal;
+      }
+      delta_.resolved.emplace_back(td, oi);
+    }
+    pending_.erase(it);
+  }
+
+  if (adj_ready_.load(std::memory_order_relaxed)) extend_adjacency(*adj_, first);
+  return delta_;
 }
 
 const CompiledHistory::Adjacency& CompiledHistory::adjacency() const {
-  std::call_once(adj_once_, [this] { adj_ = build_adjacency(); });
+  if (!adj_ready_.load(std::memory_order_acquire)) {
+    std::lock_guard<std::mutex> lock(adj_mu_);
+    if (!adj_.has_value()) adj_ = build_adjacency();
+    adj_ready_.store(true, std::memory_order_release);
+  }
   return *adj_;
 }
 
@@ -139,78 +246,138 @@ CompiledHistory::Adjacency CompiledHistory::build_adjacency() const {
 
   // Committed transactions sorted by (commit_ts, dense): for any b, the
   // real-time predecessors {a : commit(a) < start(b)} form a prefix of this
-  // array, found by one binary search instead of an O(n) scan per b.
-  std::vector<TxnIdx> by_commit;
-  by_commit.reserve(n);
+  // array, found by one binary search instead of an O(n) scan per b. The
+  // start-sorted twin serves extend_adjacency (which old rows gain a new
+  // predecessor).
+  adj.by_commit.reserve(n);
+  adj.by_start.reserve(n);
   for (TxnIdx d = 0; d < n; ++d) {
-    if (commit_ts_[d] != kNoTimestamp) by_commit.push_back(d);
+    if (commit_ts_[d] != kNoTimestamp) adj.by_commit.push_back(d);
+    if (start_ts_[d] != kNoTimestamp) adj.by_start.push_back(d);
   }
-  std::sort(by_commit.begin(), by_commit.end(), [this](TxnIdx a, TxnIdx b) {
+  std::sort(adj.by_commit.begin(), adj.by_commit.end(), [this](TxnIdx a, TxnIdx b) {
     if (commit_ts_[a] != commit_ts_[b]) return commit_ts_[a] < commit_ts_[b];
     return a < b;
   });
+  std::sort(adj.by_start.begin(), adj.by_start.end(), [this](TxnIdx a, TxnIdx b) {
+    if (start_ts_[a] != start_ts_[b]) return start_ts_[a] < start_ts_[b];
+    return a < b;
+  });
 
-  auto prefix_of = [&](TxnIdx b) -> std::size_t {
-    if (start_ts_[b] == kNoTimestamp) return 0;
+  adj.rt_preds.rows.resize(n);
+  adj.rt_succs.rows.resize(n);
+  adj.sess_preds.rows.resize(n);
+  adj.sess_succs.rows.resize(n);
+  for (TxnIdx b = 0; b < n; ++b) {
+    if (start_ts_[b] == kNoTimestamp) continue;
     const Timestamp s = start_ts_[b];
-    auto it = std::lower_bound(by_commit.begin(), by_commit.end(), s,
-                               [this](TxnIdx a, Timestamp v) { return commit_ts_[a] < v; });
-    return static_cast<std::size_t>(it - by_commit.begin());
-  };
-  auto self_in_prefix = [&](TxnIdx b) {
-    return commit_ts_[b] != kNoTimestamp && start_ts_[b] != kNoTimestamp &&
-           commit_ts_[b] < start_ts_[b];
-  };
-
-  adj.rt_preds.begin.assign(n + 1, 0);
-  adj.sess_preds.begin.assign(n + 1, 0);
-  std::vector<std::size_t> prefix(n, 0);
-  for (TxnIdx b = 0; b < n; ++b) {
-    prefix[b] = prefix_of(b);
-    std::size_t rt = prefix[b] - (self_in_prefix(b) ? 1 : 0);
-    std::size_t sess = 0;
-    if (session_[b] != kNoSession) {
-      for (std::size_t i = 0; i < prefix[b]; ++i) {
-        const TxnIdx a = by_commit[i];
-        if (a != b && session_[a] == session_[b]) ++sess;
-      }
-    }
-    adj.rt_preds.begin[b + 1] = adj.rt_preds.begin[b] + static_cast<std::uint32_t>(rt);
-    adj.sess_preds.begin[b + 1] = adj.sess_preds.begin[b] + static_cast<std::uint32_t>(sess);
-  }
-
-  adj.rt_preds.items.resize(adj.rt_preds.begin.back());
-  adj.sess_preds.items.resize(adj.sess_preds.begin.back());
-  std::vector<std::uint32_t> rt_succ_count(n, 0), sess_succ_count(n, 0);
-  for (TxnIdx b = 0; b < n; ++b) {
-    std::uint32_t rt = adj.rt_preds.begin[b];
-    std::uint32_t sess = adj.sess_preds.begin[b];
-    for (std::size_t i = 0; i < prefix[b]; ++i) {
-      const TxnIdx a = by_commit[i];
+    auto end = std::lower_bound(
+        adj.by_commit.begin(), adj.by_commit.end(), s,
+        [this](TxnIdx a, Timestamp v) { return commit_ts_[a] < v; });
+    for (auto it = adj.by_commit.begin(); it != end; ++it) {
+      const TxnIdx a = *it;
       if (a == b) continue;
-      adj.rt_preds.items[rt++] = a;
-      ++rt_succ_count[a];
+      adj.rt_preds.rows[b].push_back(a);
       if (session_[b] != kNoSession && session_[a] == session_[b]) {
-        adj.sess_preds.items[sess++] = a;
-        ++sess_succ_count[a];
+        adj.sess_preds.rows[b].push_back(a);
+      }
+    }
+  }
+  // Invert: iterating b in ascending dense order keeps every successor row in
+  // ascending dense order, the canonical form extend_adjacency preserves.
+  for (TxnIdx b = 0; b < n; ++b) {
+    for (TxnIdx a : adj.rt_preds.rows[b]) adj.rt_succs.rows[a].push_back(b);
+    for (TxnIdx a : adj.sess_preds.rows[b]) adj.sess_succs.rows[a].push_back(b);
+  }
+  return adj;
+}
+
+void CompiledHistory::extend_adjacency(Adjacency& adj, TxnIdx first) const {
+  const std::size_t n = n_;
+  adj.rt_preds.rows.resize(n);
+  adj.rt_succs.rows.resize(n);
+  adj.sess_preds.rows.resize(n);
+  adj.sess_succs.rows.resize(n);
+
+  auto commit_less = [this](TxnIdx a, TxnIdx b) {
+    if (commit_ts_[a] != commit_ts_[b]) return commit_ts_[a] < commit_ts_[b];
+    return a < b;
+  };
+  auto start_less = [this](TxnIdx a, TxnIdx b) {
+    if (start_ts_[a] != start_ts_[b]) return start_ts_[a] < start_ts_[b];
+    return a < b;
+  };
+  for (TxnIdx d = first; d < n; ++d) {
+    if (commit_ts_[d] != kNoTimestamp) {
+      adj.by_commit.insert(
+          std::lower_bound(adj.by_commit.begin(), adj.by_commit.end(), d, commit_less),
+          d);
+    }
+    if (start_ts_[d] != kNoTimestamp) {
+      adj.by_start.insert(
+          std::lower_bound(adj.by_start.begin(), adj.by_start.end(), d, start_less),
+          d);
+    }
+  }
+
+  // New transactions' full predecessor rows, exactly as build_adjacency would
+  // compute them (the sort indices already include the whole block, so
+  // intra-block real-time edges appear too). Old predecessors' successor rows
+  // are appended in ascending new-dense order, preserving the canonical form;
+  // new transactions' successor rows are collected and sorted at the end.
+  std::vector<std::vector<TxnIdx>> succ_new(n - first), sess_succ_new(n - first);
+  for (TxnIdx b = first; b < n; ++b) {
+    if (start_ts_[b] == kNoTimestamp) continue;
+    auto end = std::lower_bound(
+        adj.by_commit.begin(), adj.by_commit.end(), start_ts_[b],
+        [this](TxnIdx a, Timestamp v) { return commit_ts_[a] < v; });
+    for (auto it = adj.by_commit.begin(); it != end; ++it) {
+      const TxnIdx a = *it;
+      if (a == b) continue;
+      adj.rt_preds.rows[b].push_back(a);
+      if (a < first) {
+        adj.rt_succs.rows[a].push_back(b);
+      } else {
+        succ_new[a - first].push_back(b);
+      }
+      if (session_[b] != kNoSession && session_[a] == session_[b]) {
+        adj.sess_preds.rows[b].push_back(a);
+        if (a < first) {
+          adj.sess_succs.rows[a].push_back(b);
+        } else {
+          sess_succ_new[a - first].push_back(b);
+        }
       }
     }
   }
 
-  auto invert = [n](const Csr& preds, const std::vector<std::uint32_t>& counts) {
-    Csr succs;
-    succs.begin.assign(n + 1, 0);
-    for (std::size_t a = 0; a < n; ++a) succs.begin[a + 1] = succs.begin[a] + counts[a];
-    succs.items.resize(succs.begin.back());
-    std::vector<std::uint32_t> fill(succs.begin.begin(), succs.begin.end() - 1);
-    for (TxnIdx b = 0; b < n; ++b) {
-      for (TxnIdx a : preds.row(b)) succs.items[fill[a]++] = b;
+  // A new transaction can also be a late-arriving predecessor of an *old* one
+  // (commit(new) < start(old)): insert it at its (commit, dense) position in
+  // the old row, keeping the row bit-identical to a fresh build.
+  for (TxnIdx a = first; a < n; ++a) {
+    if (commit_ts_[a] == kNoTimestamp) continue;
+    auto it = std::upper_bound(
+        adj.by_start.begin(), adj.by_start.end(), commit_ts_[a],
+        [this](Timestamp v, TxnIdx q) { return v < start_ts_[q]; });
+    for (; it != adj.by_start.end(); ++it) {
+      const TxnIdx q = *it;
+      if (q >= first) continue;  // new q: handled by the block pass above
+      auto& row = adj.rt_preds.rows[q];
+      row.insert(std::lower_bound(row.begin(), row.end(), a, commit_less), a);
+      succ_new[a - first].push_back(q);
+      if (session_[q] != kNoSession && session_[a] == session_[q]) {
+        auto& srow = adj.sess_preds.rows[q];
+        srow.insert(std::lower_bound(srow.begin(), srow.end(), a, commit_less), a);
+        sess_succ_new[a - first].push_back(q);
+      }
     }
-    return succs;
-  };
-  adj.rt_succs = invert(adj.rt_preds, rt_succ_count);
-  adj.sess_succs = invert(adj.sess_preds, sess_succ_count);
-  return adj;
+  }
+  for (TxnIdx a = first; a < n; ++a) {
+    std::sort(succ_new[a - first].begin(), succ_new[a - first].end());
+    std::sort(sess_succ_new[a - first].begin(), sess_succ_new[a - first].end());
+    adj.rt_succs.rows[a] = std::move(succ_new[a - first]);
+    adj.sess_succs.rows[a] = std::move(sess_succ_new[a - first]);
+  }
 }
 
 }  // namespace crooks::model

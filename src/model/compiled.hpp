@@ -12,21 +12,32 @@
 //     byte, not a chain of hash probes),
 //   * per-transaction read/write footprints are sorted dense arrays plus a
 //     per-transaction `DynamicBitset` write mask (O(1) "does T write k"),
-//   * per-key committed-writer lists are CSR rows over `KeyIdx`,
+//   * per-key committed-writer lists are rows over `KeyIdx`,
 //   * read-from edges are the `kReadExternal` ops themselves (writer already
 //     dense), and
 //   * real-time + session predecessor/successor adjacency is computed in one
 //     sorted pass, lazily (only the exhaustive engine needs it; read-state
 //     analysis of large histories must not pay O(n²)).
 //
-// Lifetime / aliasing contract: a CompiledHistory BORROWS its TransactionSet —
-// it stores a pointer and never copies the transactions. The TransactionSet
-// must outlive the CompiledHistory, and must not be moved while compiled views
-// of it exist (moving the set would dangle `txns_`). Engines that need shared
-// ownership hold the pair behind a shared_ptr (see ReadStateAnalysis's
-// convenience constructor). CompiledHistory itself is immovable: lazy
-// adjacency is guarded by a std::once_flag so concurrent search branches can
-// share one compiled instance without synchronizing.
+// Two construction modes:
+//
+//   * Borrowing (the original): `CompiledHistory(set)` compiles a finished
+//     TransactionSet it does not own. The set must outlive the compiled view
+//     and must not be moved while it exists. This form is immutable.
+//   * Owning / growable (streaming): the default constructor produces an
+//     empty history that owns its TransactionSet; `extend(block)` appends a
+//     block of transactions and recompiles *incrementally* — interners are
+//     extended, footprint/adjacency rows are appended in place, previously
+//     unknown writers are re-resolved when they arrive, and the block's
+//     candidates are spliced into `ts_order` without re-sorting the prefix.
+//     The result is structurally identical to compiling the concatenated set
+//     from scratch (asserted field-for-field by tests/online_incremental_test),
+//     so every engine can consume a grown history transparently.
+//
+// Thread-safety: concurrent readers may share one instance (lazy adjacency is
+// built under a mutex with an atomic published flag). `extend` is a writer:
+// it must not race with any reader — the streaming OnlineChecker, its only
+// concurrent-capable consumer, is externally synchronized anyway.
 //
 // Verdict independence: compilation is a pure re-indexing — every predicate an
 // engine evaluates (read-state intervals, PREREAD/COMPLETE/NO-CONF, version
@@ -36,7 +47,9 @@
 // the frozen hash-based reference on every level.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <span>
@@ -57,8 +70,8 @@ using TxnIdx = std::uint32_t;
 inline constexpr KeyIdx kNoKeyIdx = ~KeyIdx{0};
 inline constexpr TxnIdx kNoTxnIdx = ~TxnIdx{0};
 
-/// Key ↔ dense-index bijection. Also used standalone by the online monitor,
-/// whose key universe grows with the stream.
+/// Key ↔ dense-index bijection. Also used standalone by consumers whose key
+/// universe grows with a stream.
 class KeyInterner {
  public:
   KeyIdx intern(Key k) {
@@ -122,23 +135,52 @@ struct CompiledOp {
   }
 };
 
-/// Compressed sparse rows: `row(i)` is a span over a shared items array.
-struct Csr {
-  std::vector<std::uint32_t> begin;  // size = rows + 1
-  std::vector<TxnIdx> items;
+/// Sparse rows: `row(i)` is a span over row i's items. Stored per-row (not as
+/// one flat CSR) so `extend` can append to interior rows in place; the row
+/// accessors are unchanged from the CSR form, so engines are oblivious.
+struct Rows {
+  std::vector<std::vector<TxnIdx>> rows;
 
-  std::span<const TxnIdx> row(std::size_t i) const {
-    return {items.data() + begin[i], items.data() + begin[i + 1]};
-  }
-  std::size_t row_size(std::size_t i) const { return begin[i + 1] - begin[i]; }
+  std::span<const TxnIdx> row(std::size_t i) const { return rows[i]; }
+  std::size_t row_size(std::size_t i) const { return rows[i].size(); }
+  std::size_t size() const { return rows.size(); }
+};
+
+/// What one `CompiledHistory::extend` call added — the delta a streaming
+/// consumer needs to evaluate exactly the new transactions.
+struct CompiledDelta {
+  TxnIdx first = 0;             // dense index of the block's first transaction
+  std::uint32_t count = 0;      // transactions appended
+  KeyIdx first_new_key = 0;     // keys [first_new_key, key_count) are new
+  /// Reads of *prefix* transactions whose observed writer arrived in this
+  /// block and was re-resolved in place: (owner dense index, op index).
+  std::vector<std::pair<TxnIdx, std::uint32_t>> resolved;
 };
 
 class CompiledHistory {
  public:
+  /// Borrowing mode: compile a finished set (must outlive this object).
   explicit CompiledHistory(const TransactionSet& txns);
+
+  /// Owning / growable mode: an empty history that owns its TransactionSet.
+  /// Grow it with extend(); txns() always reflects the transactions so far.
+  CompiledHistory();
 
   CompiledHistory(const CompiledHistory&) = delete;
   CompiledHistory& operator=(const CompiledHistory&) = delete;
+
+  /// True in the growable mode (default-constructed).
+  bool owns_transactions() const { return owned_ != nullptr; }
+
+  /// Append a block of transactions and recompile incrementally. Only valid
+  /// in the owning mode (throws std::logic_error otherwise); throws
+  /// std::invalid_argument on a duplicate or reserved id, like the
+  /// TransactionSet constructor. The returned delta is valid until the next
+  /// extend(). Not thread-safe against concurrent readers.
+  const CompiledDelta& extend(std::span<const Transaction> block);
+  const CompiledDelta& extend(const Transaction& txn) {
+    return extend(std::span<const Transaction>(&txn, 1));
+  }
 
   const TransactionSet& txns() const { return *txns_; }
   std::size_t size() const { return n_; }
@@ -162,8 +204,12 @@ class CompiledHistory {
     return {read_keys_.data() + rk_begin_[d], read_keys_.data() + rk_begin_[d + 1]};
   }
 
-  /// O(1) membership test on the write footprint.
-  bool writes_key(TxnIdx d, KeyIdx k) const { return write_mask_[d].test(k); }
+  /// O(1) membership test on the write footprint. Safe for keys interned
+  /// after `d` was compiled (a grown history's masks are not retro-widened):
+  /// a transaction never writes a key first revealed by a later block.
+  bool writes_key(TxnIdx d, KeyIdx k) const {
+    return k < write_mask_[d].size() && write_mask_[d].test(k);
+  }
   const DynamicBitset& write_mask(TxnIdx d) const { return write_mask_[d]; }
 
   /// Committed writers of a key, in dense (declaration) order.
@@ -189,24 +235,37 @@ class CompiledHistory {
   /// (commit_ts, dense index); untimestamped after, in dense order. This is a
   /// total order — unlike the pre-compile comparator, which compared
   /// untimestamped elements "equivalent" to everything and was not a strict
-  /// weak order on mixed inputs (UB under std::sort).
+  /// weak order on mixed inputs (UB under std::sort). extend() splices new
+  /// candidates into both regions without re-sorting the prefix.
   const std::vector<TxnIdx>& ts_order() const { return ts_order_; }
 
   // --- real-time / session adjacency (lazy) --------------------------------
 
   struct Adjacency {
-    Csr rt_preds, rt_succs;      // a ∈ rt_preds[b] ⟺ a <_s b
-    Csr sess_preds, sess_succs;  // same, restricted to a.session == b.session
+    Rows rt_preds, rt_succs;      // a ∈ rt_preds[b] ⟺ a <_s b
+    Rows sess_preds, sess_succs;  // same, restricted to a.session == b.session
+    // Sort indices kept so extend() can update the rows incrementally:
+    std::vector<TxnIdx> by_commit;  // commit-timestamped txns, by (commit, dense)
+    std::vector<TxnIdx> by_start;   // start-timestamped txns, by (start, dense)
   };
 
   /// Computed on first use (one sorted pass + edge fill), then shared;
-  /// thread-safe so parallel search branches can share one instance.
+  /// thread-safe so parallel search branches can share one instance. If
+  /// already materialized when extend() runs, the rows are updated in place
+  /// (prefix rows gain late-arriving predecessors at their sorted position),
+  /// bit-identical to rebuilding from scratch.
   const Adjacency& adjacency() const;
 
  private:
+  /// Compile transactions [first, txns_->size()): the constructor's whole-set
+  /// pass and extend()'s per-block pass are the same code.
+  void compile_block(TxnIdx first);
   Adjacency build_adjacency() const;
+  void extend_adjacency(Adjacency& adj, TxnIdx first) const;
+  bool ts_less(TxnIdx a, TxnIdx b) const;
 
   const TransactionSet* txns_;
+  std::unique_ptr<TransactionSet> owned_;  // set iff owning / growable mode
   std::size_t n_ = 0;
   KeyInterner keys_;
 
@@ -215,14 +274,22 @@ class CompiledHistory {
   std::vector<KeyIdx> write_keys_, read_keys_;
   std::vector<std::uint32_t> wk_begin_, rk_begin_;
   std::vector<DynamicBitset> write_mask_;
-  Csr writers_of_;  // rows indexed by KeyIdx
+  Rows writers_of_;  // rows indexed by KeyIdx
 
   std::vector<Timestamp> start_ts_, commit_ts_;
   std::vector<SessionId> session_;
   bool all_timestamped_ = true;
   std::vector<TxnIdx> ts_order_;
+  std::size_t ts_timed_ = 0;  // length of the timestamped prefix of ts_order_
 
-  mutable std::once_flag adj_once_;
+  /// Owning mode: reads whose observed writer is not (yet) a member, by
+  /// awaited writer id — re-resolved in place if that writer arrives later.
+  std::unordered_map<TxnId, std::vector<std::pair<TxnIdx, std::uint32_t>>> pending_;
+  CompiledDelta delta_;
+  std::vector<char> written_scratch_;  // per-txn program-order scratch, keyed by KeyIdx
+
+  mutable std::mutex adj_mu_;
+  mutable std::atomic<bool> adj_ready_{false};
   mutable std::optional<Adjacency> adj_;
 };
 

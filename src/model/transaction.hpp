@@ -134,9 +134,11 @@ class TxnBuilder {
   std::vector<Operation> ops_;
 };
 
-/// An immutable, indexable collection of committed transactions — the set 𝒯
-/// over which executions are defined. Provides a dense index so analyses can
-/// use flat arrays instead of hash maps on TxnId.
+/// An indexable collection of committed transactions — the set 𝒯 over which
+/// executions are defined. Provides a dense index so analyses can use flat
+/// arrays instead of hash maps on TxnId. Append-only: transactions are never
+/// removed or reordered, so dense indices are stable forever (the growable
+/// CompiledHistory and the streaming OnlineChecker rely on this).
 class TransactionSet {
  public:
   TransactionSet() = default;
@@ -151,6 +153,19 @@ class TransactionSet {
         throw std::invalid_argument("duplicate transaction id " + crooks::to_string(id));
       }
     }
+  }
+
+  /// Append one committed transaction (streaming construction — used by the
+  /// growable CompiledHistory). Same validation as the constructor.
+  void append(Transaction t) {
+    const TxnId id = t.id();
+    if (id == kInitTxn) {
+      throw std::invalid_argument("TxnId 0 is reserved for the initial state");
+    }
+    if (!index_.emplace(id, txns_.size()).second) {
+      throw std::invalid_argument("duplicate transaction id " + crooks::to_string(id));
+    }
+    txns_.push_back(std::move(t));
   }
 
   std::size_t size() const { return txns_.size(); }

@@ -1,0 +1,157 @@
+// See stream_audit.hpp. The loop deals with two realities of tailing a file
+// another process writes: reads can catch the writer mid-line (a line without
+// its newline yet — buffered in `partial` and completed on a later poll), and
+// mid-block (a `txn` opened but its `end` not yet written — complete blocks
+// are batched, the open one waits).
+#include "report/stream_audit.hpp"
+
+#include <chrono>
+#include <span>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "report/serialize.hpp"
+
+namespace crooks::report {
+
+namespace {
+
+/// First whitespace-separated token of `line`, with any '#' comment removed.
+std::string first_token(const std::string& line) {
+  const std::size_t hash = line.find('#');
+  std::istringstream is(hash == std::string::npos ? line : line.substr(0, hash));
+  std::string tok;
+  is >> tok;
+  return tok;
+}
+
+}  // namespace
+
+StreamAuditResult stream_audit(
+    std::istream& in, const StreamAuditOptions& opts,
+    const std::function<bool(const StreamBlockReport&)>& on_block) {
+  using Clock = std::chrono::steady_clock;
+
+  StreamAuditResult result;
+  checker::OnlineChecker chk(opts.levels);
+
+  std::string partial;           // line fragment read before its newline
+  std::string open_block;        // lines of a `txn` block awaiting its `end`
+  std::uint64_t open_block_line = 0;
+  bool in_block = false;
+  // Complete blocks awaiting the next flush. Each block is parsed on its own
+  // the moment its `end` arrives: a writer re-emitting a transaction block is
+  // a checker-level duplicate (ignored) no matter how the blocks happen to
+  // batch across polls — parsing a whole batch as one document would instead
+  // turn "both copies arrived in the same poll" into a fatal parse error.
+  std::vector<model::Transaction> batch;
+  std::uint64_t line_no = 0;
+  bool stop = false;
+  Clock::time_point last_input = Clock::now();
+
+  auto fail = [&](const std::string& why) {
+    result.error = "line " + std::to_string(line_no) + ": " + why;
+    stop = true;
+  };
+
+  auto consume_line = [&](const std::string& line) {
+    ++line_no;
+    const std::string tok = first_token(line);
+    if (in_block) {
+      if (tok == "txn") return fail("'txn' inside an unfinished block");
+      if (tok == "vo") return fail("'vo' inside an unfinished block");
+      open_block += line;
+      open_block += '\n';
+      if (tok == "end") {
+        in_block = false;
+        Observations obs;
+        try {
+          obs = parse_observations(open_block);
+        } catch (const std::exception& e) {
+          result.error = "block starting at line " +
+                         std::to_string(open_block_line) + ": " + e.what();
+          stop = true;
+          return;
+        }
+        for (const model::Transaction& t : obs.txns) batch.push_back(t);
+        open_block.clear();
+      }
+      return;
+    }
+    if (tok.empty()) return;  // blank or comment-only
+    if (tok == "vo") {
+      return fail(
+          "version order ('vo') is not allowed in streaming mode: the "
+          "monitor judges the apply order itself; use an offline check "
+          "for the ∃e question");
+    }
+    if (tok != "txn") return fail("expected 'txn', got '" + tok + "'");
+    in_block = true;
+    open_block_line = line_no;
+    open_block = line;
+    open_block += '\n';
+  };
+
+  auto flush = [&]() {
+    if (stop || batch.empty()) return;
+    const checker::OnlineChecker::Stats before = chk.stats();
+    const std::vector<ct::IsolationLevel> alive_before = chk.surviving_levels();
+    const Clock::time_point t0 = Clock::now();
+    const std::size_t accepted =
+        chk.append_all(std::span<const model::Transaction>(batch));
+    const Clock::time_point t1 = Clock::now();
+
+    StreamBlockReport rep;
+    rep.block = ++result.blocks;
+    rep.transactions = accepted;
+    rep.duplicates = chk.stats().duplicates_ignored - before.duplicates_ignored;
+    rep.seconds = std::chrono::duration<double>(t1 - t0).count();
+    for (ct::IsolationLevel level : alive_before) {
+      if (!chk.status(level).ok) rep.died.push_back(level);
+    }
+    rep.checker = &chk;
+
+    result.transactions += accepted;
+    result.duplicates += rep.duplicates;
+    batch.clear();
+
+    if (on_block && !on_block(rep)) stop = true;
+    if (opts.max_blocks != 0 && result.blocks >= opts.max_blocks) stop = true;
+  };
+
+  std::string line;
+  while (!stop) {
+    if (std::getline(in, line)) {
+      last_input = Clock::now();
+      if (in.eof()) {
+        // The writer hasn't finished this line yet; hold it for later polls.
+        partial += line;
+        continue;
+      }
+      consume_line(partial + line);
+      partial.clear();
+      continue;
+    }
+    // Caught up with the stream: audit everything complete, then poll.
+    flush();
+    if (stop) break;
+    if (opts.idle_exit_ms > 0 &&
+        Clock::now() - last_input >= std::chrono::milliseconds(opts.idle_exit_ms)) {
+      break;
+    }
+    in.clear();
+    std::this_thread::sleep_for(std::chrono::milliseconds(opts.poll_ms));
+  }
+  flush();  // blocks completed by the final reads before a stop condition
+
+  result.surviving = chk.surviving_levels();
+  for (ct::IsolationLevel level : opts.levels) {
+    result.statuses.emplace(level, chk.status(level));
+  }
+  result.checker_stats = chk.stats();
+  return result;
+}
+
+}  // namespace crooks::report

@@ -1,0 +1,77 @@
+// Streaming audit: tail a growing observation stream through OnlineChecker.
+//
+// This is the library behind `crooks-check --follow`: it reads the plain-text
+// observation format (serialize.hpp) from a stream that may still be growing
+// (a history file another process appends to), groups complete `txn … end`
+// blocks into batches, and feeds each batch to OnlineChecker::append_all —
+// one CompiledDelta per batch, so a monitor that runs for days never leaves
+// the compiled path. It lives in the report library (not the CLI) so tests
+// can exercise the tailing loop in-process, including under ThreadSanitizer
+// with a concurrent writer.
+//
+// Batching semantics: while input is available, complete blocks accumulate;
+// whenever the reader catches up with the stream (EOF), everything
+// accumulated is appended as one batch and reported via the callback. At EOF
+// the stream's failbit is cleared and reading resumes after `poll_ms` —
+// tail -f semantics — until `idle_exit_ms` passes without new input,
+// `max_blocks` batches have been audited, or the callback returns false.
+//
+// `vo` (version order) lines are rejected: the streaming verdict is about the
+// apply order itself, and the offline ∃e checkers own the version-order
+// question.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <istream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "checker/online.hpp"
+
+namespace crooks::report {
+
+struct StreamAuditOptions {
+  /// Levels the monitor tracks (default: all ten).
+  std::vector<ct::IsolationLevel> levels = {ct::kAllLevels.begin(),
+                                            ct::kAllLevels.end()};
+  /// Sleep between polls once the reader has caught up with the stream.
+  int poll_ms = 50;
+  /// Stop after this long without any new input; 0 = keep tailing forever
+  /// (until max_blocks or the callback stops the audit).
+  int idle_exit_ms = 0;
+  /// Stop after this many non-empty batches; 0 = unbounded.
+  std::uint64_t max_blocks = 0;
+};
+
+/// One audited batch (all complete transaction blocks available at a poll).
+struct StreamBlockReport {
+  std::uint64_t block = 0;       // 1-based batch number
+  std::size_t transactions = 0;  // accepted by the checker in this batch
+  std::size_t duplicates = 0;    // ignored (id already in the stream)
+  double seconds = 0;            // append_all latency for this batch
+  /// Levels whose first violation happened in this batch.
+  std::vector<ct::IsolationLevel> died;
+  const checker::OnlineChecker* checker = nullptr;  // state after the batch
+};
+
+struct StreamAuditResult {
+  std::uint64_t blocks = 0;
+  std::size_t transactions = 0;
+  std::size_t duplicates = 0;
+  /// Parse/format failure that aborted the audit; empty on a clean exit.
+  std::string error;
+  std::vector<ct::IsolationLevel> surviving;
+  std::map<ct::IsolationLevel, checker::OnlineChecker::LevelStatus> statuses;
+  checker::OnlineChecker::Stats checker_stats;
+};
+
+/// Tail `in`, auditing each batch of complete transaction blocks. `on_block`
+/// (optional) is invoked after every non-empty batch; returning false stops
+/// the audit after that batch.
+StreamAuditResult stream_audit(
+    std::istream& in, const StreamAuditOptions& opts = {},
+    const std::function<bool(const StreamBlockReport&)>& on_block = {});
+
+}  // namespace crooks::report

@@ -8,9 +8,18 @@
 // 1 on violation, 2 on usage/parse errors.
 //
 // Options:
-//   --level=NAME   verdict/exit status for one level (e.g. Serializable)
-//   --threads=N    checker worker threads (0 = all cores, 1 = sequential)
-//   --quiet        print only the verdict line
+//   --level=NAME     verdict/exit status for one level (e.g. Serializable)
+//   --threads=N      checker worker threads (0 = all cores, 1 = sequential)
+//   --quiet          print only the verdict line
+//   --follow         streaming audit: tail FILE (required), feeding each batch
+//                    of appended transaction blocks to the incremental online
+//                    checker and printing per-batch latency/verdict counters.
+//                    The verdict judges the file's apply order itself (no `vo`
+//                    lines allowed; offline mode owns the ∃e question).
+//   --poll-ms=N      [follow] sleep between polls at end-of-file (default 50)
+//   --idle-exit-ms=N [follow] exit after N ms without new input (default 0 =
+//                    tail forever)
+//   --max-blocks=N   [follow] exit after N audited batches (default 0 = no cap)
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -19,6 +28,7 @@
 #include <string>
 
 #include "report/report.hpp"
+#include "report/stream_audit.hpp"
 
 using namespace crooks;
 
@@ -34,6 +44,8 @@ std::optional<ct::IsolationLevel> level_by_name(const std::string& name) {
 int usage() {
   std::fprintf(stderr,
                "usage: crooks-check [--level=NAME] [--threads=N] [--quiet] [FILE]\n"
+               "       crooks-check --follow [--level=NAME] [--quiet]\n"
+               "                    [--poll-ms=N] [--idle-exit-ms=N] [--max-blocks=N] FILE\n"
                "levels:");
   for (ct::IsolationLevel l : ct::kAllLevels) {
     std::fprintf(stderr, " %s", std::string(ct::name_of(l)).c_str());
@@ -42,16 +54,85 @@ int usage() {
   return 2;
 }
 
+bool parse_count(const std::string& value, std::size_t& out) {
+  if (value.empty() || value.find_first_not_of("0123456789") != std::string::npos) {
+    return false;
+  }
+  try {
+    out = static_cast<std::size_t>(std::stoul(value));
+  } catch (const std::exception&) {  // out of range
+    return false;
+  }
+  return true;
+}
+
+/// Streaming audit of `file`, printing one line per audited batch plus an
+/// announcement whenever a level records its first violation. Exit status
+/// follows the requested level (default ReadUncommitted) at exit time.
+int run_follow(const std::string& file, ct::IsolationLevel verdict_level,
+               const report::StreamAuditOptions& opts, bool quiet) {
+  std::ifstream in(file);
+  if (!in) {
+    std::fprintf(stderr, "cannot open '%s'\n", file.c_str());
+    return 2;
+  }
+
+  const report::StreamAuditResult r = report::stream_audit(
+      in, opts, [&](const report::StreamBlockReport& rep) {
+        if (!quiet) {
+          const double per_sec =
+              rep.seconds > 0 ? static_cast<double>(rep.transactions) / rep.seconds
+                              : 0.0;
+          std::printf("block %llu: +%zu txns (%zu dup) in %.3f ms (%.0f txns/s), "
+                      "%zu txns total, %zu/%zu levels alive\n",
+                      static_cast<unsigned long long>(rep.block),
+                      rep.transactions, rep.duplicates, rep.seconds * 1e3,
+                      per_sec, rep.checker->size(),
+                      rep.checker->surviving_levels().size(),
+                      ct::kAllLevels.size());
+        }
+        for (ct::IsolationLevel dead : rep.died) {
+          const auto& st = rep.checker->status(dead);
+          std::printf("VIOLATION %s at txn %s: %s\n",
+                      std::string(ct::name_of(dead)).c_str(),
+                      st.first_violation.has_value()
+                          ? crooks::to_string(*st.first_violation).c_str()
+                          : "?",
+                      st.explanation.c_str());
+        }
+        std::fflush(stdout);
+        return true;
+      });
+
+  if (!r.error.empty()) {
+    std::fprintf(stderr, "stream error: %s\n", r.error.c_str());
+    return 2;
+  }
+  std::printf("audited %llu blocks, %zu transactions (%zu duplicates); "
+              "surviving:",
+              static_cast<unsigned long long>(r.blocks), r.transactions,
+              r.duplicates);
+  for (ct::IsolationLevel l : r.surviving) {
+    std::printf(" %s", std::string(ct::name_of(l)).c_str());
+  }
+  std::printf("\n");
+  const auto it = r.statuses.find(verdict_level);
+  return it != r.statuses.end() && it->second.ok ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::optional<ct::IsolationLevel> requested;
   bool quiet = false;
+  bool follow = false;
   std::size_t threads = 0;  // 0 = hardware_concurrency
+  report::StreamAuditOptions follow_opts;
   std::string file;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
+    std::size_t count = 0;
     if (arg.rfind("--level=", 0) == 0) {
       requested = level_by_name(arg.substr(8));
       if (!requested.has_value()) {
@@ -61,17 +142,21 @@ int main(int argc, char** argv) {
     } else if (arg.rfind("--threads=", 0) == 0 ||
                (arg == "--threads" && i + 1 < argc)) {
       const std::string value = arg == "--threads" ? argv[++i] : arg.substr(10);
-      if (value.empty() ||
-          value.find_first_not_of("0123456789") != std::string::npos) {
+      if (!parse_count(value, threads)) {
         std::fprintf(stderr, "bad thread count '%s'\n", value.c_str());
         return usage();
       }
-      try {
-        threads = static_cast<std::size_t>(std::stoul(value));
-      } catch (const std::exception&) {  // out of range
-        std::fprintf(stderr, "bad thread count '%s'\n", value.c_str());
-        return usage();
-      }
+    } else if (arg == "--follow") {
+      follow = true;
+    } else if (arg.rfind("--poll-ms=", 0) == 0) {
+      if (!parse_count(arg.substr(10), count)) return usage();
+      follow_opts.poll_ms = static_cast<int>(count);
+    } else if (arg.rfind("--idle-exit-ms=", 0) == 0) {
+      if (!parse_count(arg.substr(15), count)) return usage();
+      follow_opts.idle_exit_ms = static_cast<int>(count);
+    } else if (arg.rfind("--max-blocks=", 0) == 0) {
+      if (!parse_count(arg.substr(13), count)) return usage();
+      follow_opts.max_blocks = count;
     } else if (arg == "--quiet") {
       quiet = true;
     } else if (arg == "--help" || arg == "-h") {
@@ -84,6 +169,16 @@ int main(int argc, char** argv) {
     } else {
       return usage();
     }
+  }
+
+  if (follow) {
+    if (file.empty() || file == "-") {
+      std::fprintf(stderr, "--follow requires a FILE (stdin cannot be tailed)\n");
+      return usage();
+    }
+    const ct::IsolationLevel verdict_level =
+        requested.value_or(ct::IsolationLevel::kReadUncommitted);
+    return run_follow(file, verdict_level, follow_opts, quiet);
   }
 
   report::Observations obs;
