@@ -18,6 +18,8 @@
 
 #include "checker/checker.hpp"
 #include "common/thread_pool.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace crooks::checker {
 
@@ -51,6 +53,13 @@ std::size_t CheckOptions::resolved_threads() const {
 std::vector<CheckResult> check_batch(ct::IsolationLevel level,
                                      std::span<const BatchItem> items,
                                      const CheckOptions& opts) {
+  static obs::Counter& items_total = obs::Registry::global().counter(
+      "crooks_batch_items_total", "Histories submitted through check_batch");
+  static obs::Counter& chains_total = obs::Registry::global().counter(
+      "crooks_batch_chains_total",
+      "Prefix-extension chains scheduled by check_batch (a chain of one is a "
+      "lone history)");
+  obs::TraceSpan span("check.batch");
   std::vector<CheckResult> results(items.size());
 
   // Group consecutive items into maximal prefix-extension chains. A chain of
@@ -70,6 +79,14 @@ std::vector<CheckResult> check_batch(ct::IsolationLevel level,
     }
     chains.push_back({i, 1});
   }
+  if (obs::enabled()) {
+    items_total.inc(items.size());
+    chains_total.inc(chains.size());
+  }
+  span.field("level", ct::name_of(level))
+      .field("items", static_cast<std::uint64_t>(items.size()))
+      .field("chains", static_cast<std::uint64_t>(chains.size()))
+      .field("threads", static_cast<std::uint64_t>(opts.resolved_threads()));
 
   parallel_for_each_index(
       opts.resolved_threads(), chains.size(), [&](std::size_t ci) {
@@ -122,6 +139,9 @@ std::vector<CheckResult> check_batch(ct::IsolationLevel level,
 std::vector<CheckResult> check_incremental(ct::IsolationLevel level,
                                            std::span<const model::TransactionSet> blocks,
                                            const CheckOptions& opts) {
+  obs::TraceSpan span("check.incremental");
+  span.field("level", ct::name_of(level))
+      .field("blocks", static_cast<std::uint64_t>(blocks.size()));
   std::vector<CheckResult> results(blocks.size());
   model::CompiledHistory ch;
   for (std::size_t i = 0; i < blocks.size(); ++i) {

@@ -46,11 +46,48 @@ enum class Outcome : std::uint8_t {
   kUnknown,        // search budget exhausted / incomplete engine gave up
 };
 
+/// The minimal conflicting read-state evidence attached to a refutation:
+/// which transaction's commit test fails, on which read, against which
+/// candidate states. Built by explain_refutation() from the canonical
+/// candidate execution; rendered for humans by report::render_counterexample
+/// (Elle-style anomaly certificate — a verdict an operator can act on).
+struct ReadDiagnosis {
+  TxnId txn{};                 // transaction whose commit test fails
+  std::string clause;          // the violated commit-test clause, spelled out
+  std::optional<Key> key;      // the implicated read's key, when one is pinned
+  std::optional<TxnId> observed_writer;  // the writer that read observed
+  /// Per-read candidate read-state intervals on the candidate execution,
+  /// e.g. "r(k3=T2): [s2, s2]; r(k5=T6): [s6, s6]; parent = s6".
+  std::string candidate_states;
+  /// Which execution the evidence is stated against (e.g. "commit-timestamp
+  /// order" — for the timed levels the only order C-ORD admits).
+  std::string candidate_execution;
+};
+
 struct CheckResult {
+  CheckResult() = default;
+  /// The shape every engine returns: verdict, optional witness, proof sketch,
+  /// effort. The observability fields below are filled in by the engine
+  /// wrappers after the fact.
+  CheckResult(Outcome o, std::optional<model::Execution> w, std::string d,
+              std::uint64_t nodes = 0)
+      : outcome(o), witness(std::move(w)), detail(std::move(d)), nodes_explored(nodes) {}
+
   Outcome outcome = Outcome::kUnknown;
   std::optional<model::Execution> witness;  // set iff kSatisfiable
   std::string detail;                       // proof sketch / failure reason
-  std::uint64_t nodes_explored = 0;         // search effort (exhaustive)
+  /// Search effort, uniformly populated by every engine: states/placements
+  /// examined by the exhaustive search, transactions commit-tested plus topo
+  /// queue pops by the graph engine. Dashboards never see a zero just
+  /// because the fast path answered.
+  std::uint64_t nodes_explored = 0;
+  /// Dependency-graph edges walked by the graph engine (0 for exhaustive).
+  std::uint64_t edges_visited = 0;
+  /// Which engine produced the verdict: "exhaustive", "graph", "heuristic",
+  /// "hierarchy", or "" for trivial (empty-set) answers.
+  std::string engine;
+  /// Set on (some) kUnsatisfiable results: the failing commit test, localized.
+  std::optional<ReadDiagnosis> diagnosis;
 
   bool satisfiable() const { return outcome == Outcome::kSatisfiable; }
   bool unsatisfiable() const { return outcome == Outcome::kUnsatisfiable; }
@@ -159,6 +196,19 @@ CheckResult check_graph(ct::IsolationLevel level, const model::TransactionSet& t
                         const CheckOptions& opts = {});
 CheckResult check_graph(ct::IsolationLevel level, const model::CompiledHistory& ch,
                         const CheckOptions& opts = {});
+
+/// Build the minimal read-state evidence for a refuted history: evaluate the
+/// level's commit test on `candidate` (or, for the one-argument overload, the
+/// compiled history's shared timestamp order) and extract the first failing
+/// transaction, the implicated read, and its candidate read states. Returns
+/// nullopt when the candidate execution actually passes (possible when the
+/// refutation came from a version-order restriction the candidate ignores).
+std::optional<ReadDiagnosis> explain_refutation(ct::IsolationLevel level,
+                                                const model::CompiledHistory& ch,
+                                                const model::Execution& candidate,
+                                                std::string candidate_name);
+std::optional<ReadDiagnosis> explain_refutation(ct::IsolationLevel level,
+                                                const model::CompiledHistory& ch);
 
 /// Re-verify a witness against the canonical commit tests (used by tests to
 /// guard against divergence between search-time and analysis-time logic).

@@ -1,0 +1,39 @@
+// Shared observability glue for the checker engines: every engine wrapper
+// counts its verdict into crooks_checks_total{engine,outcome} and times the
+// end-to-end check into crooks_check_seconds{engine}, so dashboards can
+// compare engines on one pair of series.
+#pragma once
+
+#include <string>
+
+#include "checker/checker.hpp"
+#include "obs/metrics.hpp"
+
+namespace crooks::checker::engine_obs {
+
+inline const char* outcome_word(Outcome o) {
+  switch (o) {
+    case Outcome::kSatisfiable: return "sat";
+    case Outcome::kUnsatisfiable: return "unsat";
+    case Outcome::kUnknown: return "unknown";
+  }
+  return "?";
+}
+
+/// crooks_checks_total{engine,outcome}. One registry lookup per verdict —
+/// verdict granularity, never hot-loop granularity.
+inline obs::Counter& checks_counter(const std::string& engine, Outcome o) {
+  return obs::Registry::global().counter(
+      "crooks_checks_total", "Check verdicts by engine and outcome",
+      {{"engine", engine}, {"outcome", outcome_word(o)}});
+}
+
+/// crooks_check_seconds{engine}; cache the reference (function-local static)
+/// at the call site — the registry keeps addresses stable across reset().
+inline obs::Histogram& check_latency(const char* engine) {
+  return obs::Registry::global().histogram(
+      "crooks_check_seconds", "End-to-end check latency by engine",
+      obs::latency_buckets_seconds(), {{"engine", engine}});
+}
+
+}  // namespace crooks::checker::engine_obs

@@ -28,9 +28,12 @@
 #include <atomic>
 
 #include "checker/checker.hpp"
+#include "checker/engine_obs.hpp"
 #include "common/bitset.hpp"
 #include "common/thread_pool.hpp"
 #include "model/compiled.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace crooks::checker {
 
@@ -47,6 +50,54 @@ using model::TxnIdx;
 /// adds noise (and would make the tiny fixtures' witness shapes and node
 /// counts scheduling-dependent).
 constexpr std::size_t kMinParallelSize = 4;
+
+/// Why a candidate placement was rejected — the prune-reason taxonomy the
+/// metrics layer exports. The hot loop pays one local array increment per
+/// prune; the aggregate is flushed to the registry once per (branch) search.
+enum class Prune : std::uint8_t {
+  kVersionOrder,      // not the key's next installer under the version order
+  kPreread,           // some read has no candidate read state
+  kFractured,         // RA: fractured read across a writer's keys
+  kCausVis,           // PSI: a ▷-predecessor's write is invisible
+  kIncompleteParent,  // SER/SSER: parent state not complete
+  kRealTime,          // SSER/StrongSI: real-time predecessor unplaced
+  kSession,           // SessionSI: session predecessor unplaced
+  kCOrd,              // timed SI: placement out of commit order
+  kNoSnapshot,        // SI family: COMPLETE ∩ NO-CONF ∩ bounds empty
+  kCount_
+};
+constexpr std::size_t kPruneKinds = static_cast<std::size_t>(Prune::kCount_);
+
+constexpr const char* kPruneNames[kPruneKinds] = {
+    "version_order", "preread",  "fractured", "caus_vis", "incomplete_parent",
+    "real_time",     "session",  "c_ord",     "no_snapshot"};
+
+struct SearchMetrics {
+  obs::Counter& nodes;
+  obs::Counter* prunes[kPruneKinds];
+  obs::Histogram& backtrack_depth;
+
+  static SearchMetrics& get() {
+    static SearchMetrics m = [] {
+      obs::Registry& r = obs::Registry::global();
+      SearchMetrics init{
+          r.counter("crooks_search_nodes_total",
+                    "Placements examined by the exhaustive engine"),
+          {},
+          r.histogram("crooks_search_backtrack_depth",
+                      "Prefix depth at which the exhaustive search backtracked",
+                      obs::depth_buckets())};
+      for (std::size_t i = 0; i < kPruneKinds; ++i) {
+        init.prunes[i] = &r.counter("crooks_search_prunes_total",
+                                    "Subtrees pruned by the exhaustive engine, "
+                                    "by violated clause",
+                                    {{"reason", kPruneNames[i]}});
+      }
+      return init;
+    }();
+    return m;
+  }
+};
 
 class PrefixSearch {
  public:
@@ -91,18 +142,21 @@ class PrefixSearch {
 
   CheckResult run() {
     if (auto pre = timestamps_precheck()) return *std::move(pre);
+    CheckResult result;
     if (dfs()) {
       std::vector<TxnId> ids;
       ids.reserve(order_.size());
       for (TxnIdx d : order_) ids.push_back(ch_->id_of(d));
-      return {Outcome::kSatisfiable, model::Execution(ch_->txns(), std::move(ids)),
-              "witness found by exhaustive search", nodes_};
+      result = {Outcome::kSatisfiable, model::Execution(ch_->txns(), std::move(ids)),
+                "witness found by exhaustive search", nodes_};
+    } else if (nodes_ >= max_nodes_) {
+      result = {Outcome::kUnknown, std::nullopt, "search budget exhausted", nodes_};
+    } else {
+      result = {Outcome::kUnsatisfiable, std::nullopt,
+                "exhaustive search: no execution satisfies the commit test", nodes_};
     }
-    if (nodes_ >= max_nodes_) {
-      return {Outcome::kUnknown, std::nullopt, "search budget exhausted", nodes_};
-    }
-    return {Outcome::kUnsatisfiable, std::nullopt,
-            "exhaustive search: no execution satisfies the commit test", nodes_};
+    flush_metrics();
+    return result;
   }
 
   /// Branch-parallel search over the top-level prefix branches.
@@ -186,11 +240,17 @@ class PrefixSearch {
     if (!ct::requires_timestamps(level_)) return std::nullopt;
     for (TxnIdx d = 0; d < n_; ++d) {
       if (!ch_->has_timestamps(d)) {
-        return CheckResult{Outcome::kUnsatisfiable, std::nullopt,
-                           std::string(ct::name_of(level_)) +
-                               " requires the time oracle but " +
-                               crooks::to_string(ch_->id_of(d)) + " has no timestamps",
-                           0};
+        CheckResult r{Outcome::kUnsatisfiable, std::nullopt,
+                      std::string(ct::name_of(level_)) +
+                          " requires the time oracle but " +
+                          crooks::to_string(ch_->id_of(d)) + " has no timestamps",
+                      0};
+        ReadDiagnosis diag;
+        diag.txn = ch_->id_of(d);
+        diag.clause = r.detail;
+        diag.candidate_execution = "time-oracle precheck (no candidate needed)";
+        r.diagnosis = std::move(diag);
+        return r;
       }
     }
     return std::nullopt;
@@ -203,10 +263,15 @@ class PrefixSearch {
     cancel_ = cancel;
     bool found = false;
     ++nodes_;
-    if (vo_admissible(root) && admissible(root)) {
+    if (!vo_admissible(root)) {
+      ++prunes_[static_cast<std::size_t>(Prune::kVersionOrder)];
+    } else if (!admissible(root)) {
+      ++prunes_[static_cast<std::size_t>(prune_)];
+    } else {
       place(root);
       found = dfs();
     }
+    flush_metrics();
     BranchOutcome out;
     out.nodes = nodes_;
     if (found) {
@@ -280,22 +345,34 @@ class PrefixSearch {
       case IsolationLevel::kReadUncommitted:
         return true;
       case IsolationLevel::kReadCommitted:
-        return preread;
+        return preread || prune(Prune::kPreread);
       case IsolationLevel::kReadAtomic:
-        return preread && !fractured(d);
+        if (!preread) return prune(Prune::kPreread);
+        return !fractured(d) || prune(Prune::kFractured);
       case IsolationLevel::kPSI:
-        return preread && caus_vis(d);
+        if (!preread) return prune(Prune::kPreread);
+        return caus_vis(d) || prune(Prune::kCausVis);
       case IsolationLevel::kSerializable:
-        return complete_lo <= parent && complete_hi >= parent;
+        return (complete_lo <= parent && complete_hi >= parent) ||
+               prune(Prune::kIncompleteParent);
       case IsolationLevel::kStrictSerializable:
-        return complete_lo <= parent && complete_hi >= parent &&
-               remaining_rt_[d] == 0;
+        if (!(complete_lo <= parent && complete_hi >= parent)) {
+          return prune(Prune::kIncompleteParent);
+        }
+        return remaining_rt_[d] == 0 || prune(Prune::kRealTime);
       case IsolationLevel::kAdyaSI:
       case IsolationLevel::kAnsiSI:
       case IsolationLevel::kSessionSI:
       case IsolationLevel::kStrongSI:
         return si_family(d, parent, complete_lo, complete_hi);
     }
+    return false;
+  }
+
+  /// Record why the current placement failed; always false so the switch in
+  /// admissible() reads as `passes || prune(reason)`.
+  bool prune(Prune reason) const {
+    prune_ = reason;
     return false;
   }
 
@@ -355,14 +432,16 @@ class PrefixSearch {
       // C-ORD(T_{s_p}, T): commit order along the execution.
       if (!order_.empty() &&
           !(ch_->commit_ts(order_.back()) < ch_->commit_ts(d))) {
-        return false;
+        return prune(Prune::kCOrd);
       }
     }
     if (level_ == IsolationLevel::kStrictSerializable ||
         level_ == IsolationLevel::kStrongSI) {
-      if (remaining_rt_[d] != 0) return false;
+      if (remaining_rt_[d] != 0) return prune(Prune::kRealTime);
     }
-    if (level_ == IsolationLevel::kSessionSI && remaining_sess_[d] != 0) return false;
+    if (level_ == IsolationLevel::kSessionSI && remaining_sess_[d] != 0) {
+      return prune(Prune::kSession);
+    }
 
     StateIndex lower = 0;
     if (level_ == IsolationLevel::kStrongSI) {
@@ -380,7 +459,7 @@ class PrefixSearch {
 
     const StateIndex lo = std::max({complete_lo, no_conf, lower});
     const StateIndex hi = std::min(complete_hi, parent);
-    if (lo > hi) return false;
+    if (lo > hi) return prune(Prune::kNoSnapshot);
     if (!timed) return true;
 
     for (StateIndex s = hi; s >= lo; --s) {
@@ -388,7 +467,7 @@ class PrefixSearch {
       const TxnIdx gen = order_[static_cast<std::size_t>(s) - 1];
       if (ch_->time_precedes(gen, d)) return true;
     }
-    return false;
+    return prune(Prune::kNoSnapshot);
   }
 
   void place(TxnIdx d) {
@@ -425,13 +504,39 @@ class PrefixSearch {
     for (TxnIdx d : *candidates_) {
       if (placed(d)) continue;
       ++nodes_;
-      if (!vo_admissible(d) || !admissible(d)) continue;
+      if (!vo_admissible(d)) {
+        ++prunes_[static_cast<std::size_t>(Prune::kVersionOrder)];
+        continue;
+      }
+      if (!admissible(d)) {
+        ++prunes_[static_cast<std::size_t>(prune_)];
+        continue;
+      }
       place(d);
       if (dfs()) return true;
+      ++depth_counts_[order_.size()];  // length of the abandoned prefix
       unplace();
       if (cancelled_ || nodes_ >= max_nodes_) return false;
     }
     return false;
+  }
+
+  /// Push the locally accumulated effort counters to the global registry.
+  /// Called once per search (per branch in parallel mode) so the dfs hot loop
+  /// never touches an atomic.
+  void flush_metrics() {
+    if (!obs::enabled()) return;
+    SearchMetrics& m = SearchMetrics::get();
+    if (nodes_ != 0) m.nodes.inc(nodes_);
+    for (std::size_t i = 0; i < kPruneKinds; ++i) {
+      if (prunes_[i] != 0) m.prunes[i]->inc(prunes_[i]);
+    }
+    for (std::size_t depth = 0; depth < depth_counts_.size(); ++depth) {
+      if (depth_counts_[depth] != 0) {
+        m.backtrack_depth.observe_n(static_cast<double>(depth),
+                                    depth_counts_[depth]);
+      }
+    }
   }
 
   IsolationLevel level_;
@@ -443,6 +548,12 @@ class PrefixSearch {
   std::uint64_t nodes_ = 0;
   const std::atomic<bool>* cancel_ = nullptr;  // set on branch copies only
   bool cancelled_ = false;
+
+  // Local effort accounting, flushed to the registry by flush_metrics().
+  mutable Prune prune_ = Prune::kPreread;   // reason of the latest rejection
+  std::uint64_t prunes_[kPruneKinds] = {};  // prune tally by reason
+  std::vector<std::uint64_t> depth_counts_ =
+      std::vector<std::uint64_t>(n_ + 1, 0);  // backtracks by prefix depth
 
   std::vector<TxnIdx> order_;
   std::vector<StateIndex> pos_;  // 0 = unplaced, else 1-based state index
@@ -464,12 +575,27 @@ CheckResult check_exhaustive(ct::IsolationLevel level, const model::CompiledHist
     return {Outcome::kSatisfiable, model::Execution::identity(ch.txns()),
             "empty transaction set", 0};
   }
+  static obs::Histogram& latency = engine_obs::check_latency("exhaustive");
+  obs::TraceSpan span("engine.exhaustive");
+  obs::ScopedTimer timer(latency);
   PrefixSearch search(level, ch, opts);
   const std::size_t threads = opts.resolved_threads();
-  if (threads > 1 && ch.size() >= kMinParallelSize) {
-    return search.run_parallel(threads);
+  CheckResult result = (threads > 1 && ch.size() >= kMinParallelSize)
+                           ? search.run_parallel(threads)
+                           : search.run();
+  result.engine = "exhaustive";
+  if (result.unsatisfiable() && !result.diagnosis) {
+    result.diagnosis = explain_refutation(level, ch);
   }
-  return search.run();
+  if (obs::enabled()) {
+    engine_obs::checks_counter("exhaustive", result.outcome).inc();
+  }
+  span.field("level", ct::name_of(level))
+      .field("n", static_cast<std::uint64_t>(ch.size()))
+      .field("threads", static_cast<std::uint64_t>(threads))
+      .field("nodes", result.nodes_explored)
+      .field("outcome", engine_obs::outcome_word(result.outcome));
+  return result;
 }
 
 CheckResult check_exhaustive(ct::IsolationLevel level, const model::TransactionSet& txns,

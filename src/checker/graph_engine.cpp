@@ -27,6 +27,9 @@
 #include "adya/graph.hpp"
 #include "adya/phenomena.hpp"
 #include "checker/checker.hpp"
+#include "checker/engine_obs.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace crooks::checker {
 
@@ -36,12 +39,22 @@ using ct::IsolationLevel;
 using model::CompiledHistory;
 using model::TxnIdx;
 
+/// Effort accounting for the graph engine, mirroring the exhaustive engine's
+/// local-tally-then-flush discipline: nodes = transactions commit-tested plus
+/// topo queue pops, edges = DSG edges walked. Accumulated locally during one
+/// check and copied into CheckResult / the registry by the check_graph
+/// wrapper.
+struct GraphEffort {
+  std::uint64_t nodes = 0;
+  std::uint64_t edges = 0;
+};
+
 /// Kahn topological sort over the DSG edges selected by `mask`, breaking
 /// ties toward smaller commit timestamp then smaller id (deterministic,
 /// and commit order is the natural witness). Requires a Dsg built from `ch`
 /// (node i == dense index i). Empty result on a cycle.
 std::vector<TxnId> topo_order(const adya::Dsg& dsg, std::uint8_t mask,
-                              const CompiledHistory& ch) {
+                              const CompiledHistory& ch, GraphEffort& eff) {
   const std::size_t n = dsg.size();
   std::vector<std::size_t> indegree(n, 0);
   std::vector<std::vector<std::size_t>> out(n);
@@ -49,6 +62,7 @@ std::vector<TxnId> topo_order(const adya::Dsg& dsg, std::uint8_t mask,
     if (!(e.kind & mask)) continue;
     out[e.from].push_back(e.to);
     ++indegree[e.to];
+    ++eff.edges;
   }
 
   auto later = [&](std::size_t a, std::size_t b) {
@@ -69,12 +83,21 @@ std::vector<TxnId> topo_order(const adya::Dsg& dsg, std::uint8_t mask,
   while (!ready.empty()) {
     const std::size_t u = ready.top();
     ready.pop();
+    ++eff.nodes;
     order.push_back(dsg.id_of(u));
     for (std::size_t v : out[u]) {
       if (--indegree[v] == 0) ready.push(v);
     }
   }
-  if (order.size() != n) return {};  // cycle
+  if (order.size() != n) {
+    if (obs::Trace::active()) {
+      obs::Trace::event("graph.cycle",
+                        obs::TraceFields()
+                            .add("sorted", static_cast<std::uint64_t>(order.size()))
+                            .add("n", static_cast<std::uint64_t>(n)));
+    }
+    return {};  // cycle
+  }
   return order;
 }
 
@@ -92,8 +115,10 @@ std::uint8_t witness_mask(IsolationLevel level) {
 }
 
 CheckResult verified_sat(IsolationLevel level, const CompiledHistory& ch,
-                         std::vector<TxnId> order, std::string how) {
+                         std::vector<TxnId> order, std::string how,
+                         GraphEffort& eff) {
   model::Execution e(ch.txns(), std::move(order));
+  eff.nodes += ch.size();  // one commit test per transaction
   if (ct::ExecutionVerdict v = verify_witness(level, ch, e); !v.ok) {
     return {Outcome::kUnknown, std::nullopt,
             "internal: constructed witness failed verification (" + v.explanation + ")",
@@ -124,14 +149,11 @@ std::optional<std::vector<TxnId>> commit_sorted(const CompiledHistory& ch) {
   return order;
 }
 
-}  // namespace
-
-CheckResult check_graph(IsolationLevel level, const CompiledHistory& ch,
-                        const CheckOptions& opts) {
-  if (ch.size() == 0) {
-    return {Outcome::kSatisfiable, model::Execution::identity(ch.txns()), "empty set", 0};
-  }
-
+/// The engine body. Fills `eff`; the public wrapper below copies the effort
+/// into the result, stamps the engine name, attaches the refutation
+/// diagnosis and reports to the metrics/trace layers.
+CheckResult check_graph_impl(IsolationLevel level, const CompiledHistory& ch,
+                             const CheckOptions& opts, GraphEffort& eff) {
   // Timestamp-requiring levels are unsatisfiable as soon as one transaction
   // is outside the time oracle (same convention as the exhaustive engine's
   // precheck). Gating here keeps the heuristic path below from "verifying"
@@ -140,11 +162,17 @@ CheckResult check_graph(IsolationLevel level, const CompiledHistory& ch,
   if (ct::requires_timestamps(level)) {
     for (TxnIdx d = 0; d < ch.size(); ++d) {
       if (!ch.has_timestamps(d)) {
-        return {Outcome::kUnsatisfiable, std::nullopt,
-                std::string(ct::name_of(level)) +
-                    " requires the time oracle; no timestamps on " +
-                    crooks::to_string(ch.id_of(d)),
-                0};
+        CheckResult r{Outcome::kUnsatisfiable, std::nullopt,
+                      std::string(ct::name_of(level)) +
+                          " requires the time oracle; no timestamps on " +
+                          crooks::to_string(ch.id_of(d)),
+                      0};
+        ReadDiagnosis diag;
+        diag.txn = ch.id_of(d);
+        diag.clause = r.detail;
+        diag.candidate_execution = "time-oracle precheck (no candidate needed)";
+        r.diagnosis = std::move(diag);
+        return r;
       }
     }
   }
@@ -158,6 +186,7 @@ CheckResult check_graph(IsolationLevel level, const CompiledHistory& ch,
               "C-ORD needs distinct commit timestamps", 0};
     }
     model::Execution e(ch.txns(), std::move(*order));
+    eff.nodes += ch.size();
     ct::ExecutionVerdict v = verify_witness(level, ch, e);
     if (v.ok) {
       return {Outcome::kSatisfiable, std::move(e),
@@ -192,11 +221,12 @@ CheckResult check_graph(IsolationLevel level, const CompiledHistory& ch,
                   "StrictSerializable requires the time oracle", 0};
         }
       }
-      std::vector<TxnId> order = topo_order(dsg, mask, ch);
+      std::vector<TxnId> order = topo_order(dsg, mask, ch, eff);
       if (!order.empty()) {
         return verified_sat(level, ch, std::move(order),
                             "witness from topological sort of the serialization "
-                            "graph (no phenomena under the install order)");
+                            "graph (no phenomena under the install order)",
+                            eff);
       }
       return {Outcome::kUnknown, std::nullopt,
               "internal: phenomena absent but serialization graph cyclic", 0};
@@ -221,7 +251,7 @@ CheckResult check_graph(IsolationLevel level, const CompiledHistory& ch,
                               level == IsolationLevel::kStrictSerializable
                           ? adya::kAllDsg
                           : adya::kDependency,
-                     ch);
+                     ch, eff);
       if (!order.empty()) candidates.emplace_back("dependency topological order", order);
     } catch (const std::invalid_argument&) {
       // multi-writer keys without version order: no dependency candidate
@@ -230,12 +260,52 @@ CheckResult check_graph(IsolationLevel level, const CompiledHistory& ch,
 
   for (auto& [how, order] : candidates) {
     model::Execution e(ch.txns(), std::move(order));
+    eff.nodes += ch.size();
     if (verify_witness(level, ch, e).ok) {
-      return {Outcome::kSatisfiable, std::move(e), "heuristic: " + how + " verified", 0};
+      CheckResult r{Outcome::kSatisfiable, std::move(e),
+                    "heuristic: " + how + " verified", 0};
+      r.engine = "heuristic";
+      return r;
     }
   }
-  return {Outcome::kUnknown, std::nullopt,
-          "no candidate order verified; graph engine is incomplete here", 0};
+  CheckResult r{Outcome::kUnknown, std::nullopt,
+                "no candidate order verified; graph engine is incomplete here", 0};
+  r.engine = "heuristic";
+  return r;
+}
+
+}  // namespace
+
+CheckResult check_graph(IsolationLevel level, const CompiledHistory& ch,
+                        const CheckOptions& opts) {
+  if (ch.size() == 0) {
+    return {Outcome::kSatisfiable, model::Execution::identity(ch.txns()), "empty set", 0};
+  }
+  static obs::Histogram& graph_latency = engine_obs::check_latency("graph");
+  static obs::Counter& edges_total = obs::Registry::global().counter(
+      "crooks_graph_edges_visited_total",
+      "Serialization-graph edges walked by the graph engine");
+  obs::TraceSpan span("engine.graph");
+  obs::ScopedTimer timer(graph_latency);
+  GraphEffort eff;
+  CheckResult result = check_graph_impl(level, ch, opts, eff);
+  result.nodes_explored = eff.nodes;
+  result.edges_visited = eff.edges;
+  if (result.engine.empty()) result.engine = "graph";
+  if (result.unsatisfiable() && !result.diagnosis) {
+    result.diagnosis = explain_refutation(level, ch);
+  }
+  if (obs::enabled()) {
+    engine_obs::checks_counter(result.engine, result.outcome).inc();
+    if (eff.edges != 0) edges_total.inc(eff.edges);
+  }
+  span.field("level", ct::name_of(level))
+      .field("n", static_cast<std::uint64_t>(ch.size()))
+      .field("engine", result.engine)
+      .field("nodes", eff.nodes)
+      .field("edges", eff.edges)
+      .field("outcome", engine_obs::outcome_word(result.outcome));
+  return result;
 }
 
 CheckResult check_graph(IsolationLevel level, const model::TransactionSet& txns,
@@ -244,8 +314,10 @@ CheckResult check_graph(IsolationLevel level, const model::TransactionSet& txns,
   return check_graph(level, ch, opts);
 }
 
-CheckResult check(IsolationLevel level, const CompiledHistory& ch,
-                  const CheckOptions& opts) {
+namespace {
+
+CheckResult check_dispatch(IsolationLevel level, const CompiledHistory& ch,
+                           const CheckOptions& opts) {
   // Complete graph decisions first (polynomial).
   const bool timed_pinned = level == IsolationLevel::kAnsiSI ||
                             level == IsolationLevel::kSessionSI ||
@@ -277,11 +349,13 @@ CheckResult check(IsolationLevel level, const CompiledHistory& ch,
     if (ser.outcome == Outcome::kSatisfiable &&
         verify_witness(level, ch, *ser.witness).ok) {
       ser.detail += " (serializable witness also satisfies CT_SI)";
+      ser.engine = "hierarchy";
       return ser;
     }
     CheckResult psi = check_graph(IsolationLevel::kPSI, ch, opts);
     if (psi.outcome == Outcome::kUnsatisfiable) {
       psi.detail = "refuted via the hierarchy (AdyaSI ⇒ PSI): " + psi.detail;
+      psi.engine = "hierarchy";
       return psi;
     }
   }
@@ -289,6 +363,19 @@ CheckResult check(IsolationLevel level, const CompiledHistory& ch,
   // Last resort: bounded exhaustive search may still find a witness quickly
   // (the candidate ordering starts from commit order).
   return check_exhaustive(level, ch, opts);
+}
+
+}  // namespace
+
+CheckResult check(IsolationLevel level, const CompiledHistory& ch,
+                  const CheckOptions& opts) {
+  obs::TraceSpan span("check.dispatch");
+  CheckResult result = check_dispatch(level, ch, opts);
+  span.field("level", ct::name_of(level))
+      .field("n", static_cast<std::uint64_t>(ch.size()))
+      .field("engine", result.engine)
+      .field("outcome", engine_obs::outcome_word(result.outcome));
+  return result;
 }
 
 CheckResult check(IsolationLevel level, const model::TransactionSet& txns,

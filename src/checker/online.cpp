@@ -3,12 +3,50 @@
 #include <algorithm>
 #include <unordered_set>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace crooks::checker {
 
 using ct::IsolationLevel;
 using model::CompiledOp;
 using model::Transaction;
 using model::TxnIdx;
+
+namespace {
+
+obs::Counter& online_blocks_total() {
+  static obs::Counter& c = obs::Registry::global().counter(
+      "crooks_online_blocks_total", "Blocks ingested by the online checker");
+  return c;
+}
+obs::Counter& online_txns_total() {
+  static obs::Counter& c = obs::Registry::global().counter(
+      "crooks_online_txns_total",
+      "Transactions evaluated on compiled deltas by the online checker");
+  return c;
+}
+obs::Counter& online_duplicates_total() {
+  static obs::Counter& c = obs::Registry::global().counter(
+      "crooks_online_duplicates_total",
+      "Transactions ignored by the online checker as duplicate ids");
+  return c;
+}
+obs::Histogram& online_block_seconds() {
+  static obs::Histogram& h = obs::Registry::global().histogram(
+      "crooks_online_block_seconds",
+      "Latency of one online ingest (compile delta + evaluate block)");
+  return h;
+}
+obs::Counter& online_fallback_total() {
+  static obs::Counter& c = obs::Registry::global().counter(
+      "crooks_online_fallback_appends_total",
+      "Transactions served from the pre-compile hashed path; must stay 0 "
+      "(every append compiles) — CI gates on this series");
+  return c;
+}
+
+}  // namespace
 
 OnlineChecker::OnlineChecker(std::vector<IsolationLevel> levels) {
   for (IsolationLevel l : levels) statuses_.emplace(l, LevelStatus{});
@@ -39,11 +77,26 @@ void OnlineChecker::violate(IsolationLevel level, TxnId txn, std::string why) {
   it->second.ok = false;
   it->second.first_violation = txn;
   it->second.explanation = crooks::to_string(txn) + ": " + std::move(why);
+  if (obs::enabled()) {
+    obs::Registry::global()
+        .counter("crooks_online_violations_total",
+                 "First violations recorded per tracked level",
+                 {{"level", std::string(ct::name_of(level))}})
+        .inc();
+  }
+  if (obs::Trace::active()) {
+    obs::Trace::event("online.violation",
+                      obs::TraceFields()
+                          .add("level", ct::name_of(level))
+                          .add("txn", crooks::to_string(txn))
+                          .add("why", it->second.explanation));
+  }
 }
 
 bool OnlineChecker::append(const Transaction& txn) {
   if (txn.id() == kInitTxn || stream_.txns().contains(txn.id())) {
     ++stats_.duplicates_ignored;
+    online_duplicates_total().inc();
     return false;
   }
   ingest(stream_.extend(txn));
@@ -58,6 +111,7 @@ std::size_t OnlineChecker::append_all(std::span<const Transaction> block) {
     if (t.id() == kInitTxn || stream_.txns().contains(t.id()) ||
         !in_block.insert(t.id()).second) {
       ++stats_.duplicates_ignored;
+      online_duplicates_total().inc();
       continue;
     }
     fresh.push_back(t);
@@ -80,8 +134,20 @@ std::size_t OnlineChecker::append_all(const model::CompiledHistory& ch) {
 }
 
 void OnlineChecker::ingest(const model::CompiledDelta& delta) {
+  obs::TraceSpan span("online.ingest");
+  obs::ScopedTimer timer(online_block_seconds());
   ++stats_.blocks;
   stats_.compiled_appends += delta.count;
+  if (obs::enabled()) {
+    online_blocks_total().inc();
+    online_txns_total().inc(delta.count);
+    // Register the tripwire series so it appears (at 0) in every scrape the
+    // bench exports; a future fallback path must inc() it.
+    online_fallback_total();
+  }
+  span.field("first", static_cast<std::uint64_t>(delta.first))
+      .field("count", static_cast<std::uint64_t>(delta.count))
+      .field("stream_size", static_cast<std::uint64_t>(stream_.size()));
   timelines_.resize(stream_.key_count());
 
   // Evaluate the block's transactions one by one in dense (= apply) order:
@@ -94,6 +160,7 @@ void OnlineChecker::ingest(const model::CompiledDelta& delta) {
     p.state = static_cast<StateIndex>(d) + 1;
     const StateIndex parent = p.state - 1;
     const std::span<const CompiledOp> cops = stream_.ops(d);
+    stats_.ops_evaluated += cops.size();
     p.ops.reserve(cops.size());
     for (const CompiledOp& c : cops) {
       if (c.is_write()) {

@@ -68,6 +68,10 @@ class OnlineChecker {
     /// bench gate if it ever goes positive).
     std::uint64_t hashed_fallback_appends = 0;
     std::uint64_t duplicates_ignored = 0;
+    /// Compiled operations whose read-state views were computed — the online
+    /// analogue of CheckResult::nodes_explored, so the streaming monitor's
+    /// effort is comparable with the offline engines' on one dashboard.
+    std::uint64_t ops_evaluated = 0;
   };
 
   /// Append the next committed transaction. Returns false if the id was

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <algorithm>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -19,7 +20,38 @@
 #include <utility>
 #include <vector>
 
+#include "obs/metrics.hpp"
+
 namespace crooks {
+
+namespace pool_detail {
+
+/// Process-wide pool gauges/counters (all ThreadPool instances aggregate into
+/// the same series — the scrape-level question is "how deep is the backlog",
+/// not "which pool"). Function-local statics so header-only use stays ODR-safe.
+inline obs::Gauge& queue_depth_gauge() {
+  static obs::Gauge& g = obs::Registry::global().gauge(
+      "crooks_pool_queue_depth", "Tasks submitted but not yet started");
+  return g;
+}
+inline obs::Gauge& inflight_gauge() {
+  static obs::Gauge& g = obs::Registry::global().gauge(
+      "crooks_pool_inflight", "Tasks currently executing on a pool worker");
+  return g;
+}
+inline obs::Counter& tasks_counter() {
+  static obs::Counter& c = obs::Registry::global().counter(
+      "crooks_pool_tasks_total", "Tasks completed by pool workers");
+  return c;
+}
+inline obs::Histogram& task_latency_histogram() {
+  static obs::Histogram& h = obs::Registry::global().histogram(
+      "crooks_pool_task_seconds",
+      "Task latency from submit to completion (queue wait + execution)");
+  return h;
+}
+
+}  // namespace pool_detail
 
 class ThreadPool {
  public:
@@ -38,6 +70,10 @@ class ThreadPool {
     {
       std::lock_guard<std::mutex> lock(mu_);
       stop_ = true;
+      if (!queue_.empty()) {
+        pool_detail::queue_depth_gauge().add(
+            -static_cast<std::int64_t>(queue_.size()));
+      }
       queue_.clear();
     }
     cv_.notify_all();
@@ -56,12 +92,29 @@ class ThreadPool {
 
   /// Enqueue one task; returns immediately.
   void submit(std::function<void()> task) {
+    QueuedTask qt{std::move(task), {}};
+    if (obs::enabled()) qt.submitted = std::chrono::steady_clock::now();
     {
       std::lock_guard<std::mutex> lock(mu_);
       ++outstanding_;
-      queue_.push_back(std::move(task));
+      queue_.push_back(std::move(qt));
     }
+    pool_detail::queue_depth_gauge().add(1);
     cv_.notify_one();
+  }
+
+  /// Tasks submitted but not yet picked up by a worker. Snapshot only — the
+  /// value may be stale the moment it returns; intended for dashboards and
+  /// tests, not for scheduling decisions.
+  std::size_t queue_depth() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return queue_.size();
+  }
+
+  /// Tasks currently executing on a worker (same snapshot caveat).
+  std::size_t in_flight() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return outstanding_ - queue_.size();
   }
 
   /// Block until every task submitted so far has finished, then rethrow the
@@ -80,7 +133,7 @@ class ThreadPool {
  private:
   void worker_loop() {
     for (;;) {
-      std::function<void()> task;
+      QueuedTask task;
       {
         std::unique_lock<std::mutex> lock(mu_);
         cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
@@ -88,11 +141,21 @@ class ThreadPool {
         task = std::move(queue_.front());
         queue_.pop_front();
       }
+      pool_detail::queue_depth_gauge().add(-1);
+      pool_detail::inflight_gauge().add(1);
       try {
-        task();
+        task.fn();
       } catch (...) {
         std::lock_guard<std::mutex> lock(mu_);
         if (!error_) error_ = std::current_exception();
+      }
+      pool_detail::inflight_gauge().add(-1);
+      pool_detail::tasks_counter().inc();
+      if (task.submitted != std::chrono::steady_clock::time_point{}) {
+        pool_detail::task_latency_histogram().observe(
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          task.submitted)
+                .count());
       }
       {
         std::lock_guard<std::mutex> lock(mu_);
@@ -101,10 +164,15 @@ class ThreadPool {
     }
   }
 
-  std::mutex mu_;
+  struct QueuedTask {
+    std::function<void()> fn;
+    std::chrono::steady_clock::time_point submitted;  // zero when obs is off
+  };
+
+  mutable std::mutex mu_;
   std::condition_variable cv_;       // workers: queue non-empty or stopping
   std::condition_variable idle_cv_;  // wait(): all submitted tasks finished
-  std::deque<std::function<void()>> queue_;
+  std::deque<QueuedTask> queue_;
   std::size_t outstanding_ = 0;  // queued + running
   bool stop_ = false;
   std::exception_ptr error_;

@@ -4,7 +4,31 @@
 #include <stdexcept>
 #include <unordered_set>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace crooks::model {
+
+namespace {
+
+obs::Counter& compiled_txns_total() {
+  static obs::Counter& c = obs::Registry::global().counter(
+      "crooks_compile_txns_total", "Transactions interned by compile_block");
+  return c;
+}
+obs::Counter& compiled_deltas_total() {
+  static obs::Counter& c = obs::Registry::global().counter(
+      "crooks_compile_deltas_total", "CompiledHistory::extend calls");
+  return c;
+}
+obs::Histogram& extend_seconds() {
+  static obs::Histogram& h = obs::Registry::global().histogram(
+      "crooks_compile_extend_seconds",
+      "Latency of one CompiledHistory::extend (compile + re-resolve)");
+  return h;
+}
+
+}  // namespace
 
 CompiledHistory::CompiledHistory(const TransactionSet& txns)
     : txns_(&txns), n_(txns.size()) {
@@ -28,6 +52,15 @@ bool CompiledHistory::ts_less(TxnIdx a, TxnIdx b) const {
 void CompiledHistory::compile_block(TxnIdx first) {
   const TransactionSet& txns = *txns_;
   const std::size_t n = n_;
+  if (n > first) {
+    compiled_txns_total().inc(static_cast<std::uint64_t>(n - first));
+    if (obs::Trace::active()) {
+      obs::Trace::event("model.compile_block",
+                        obs::TraceFields()
+                            .add("first", static_cast<std::uint64_t>(first))
+                            .add("count", static_cast<std::uint64_t>(n - first)));
+    }
+  }
   if (op_begin_.empty()) {  // bootstrap the offset arrays
     op_begin_.push_back(0);
     wk_begin_.push_back(0);
@@ -181,6 +214,11 @@ const CompiledDelta& CompiledHistory::extend(std::span<const Transaction> block)
     throw std::logic_error(
         "CompiledHistory::extend: a borrowing compilation is immutable");
   }
+  obs::TraceSpan span("model.extend");
+  obs::ScopedTimer timer(extend_seconds());
+  compiled_deltas_total().inc();
+  span.field("block", static_cast<std::uint64_t>(block.size()))
+      .field("prefix", static_cast<std::uint64_t>(n_));
   // Validate before mutating anything so a bad block leaves the history as-is.
   // (The intra-block set is skipped for single-transaction blocks — the
   // append() streaming path — where it can't trigger.)

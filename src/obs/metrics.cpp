@@ -1,0 +1,331 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <array>
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+#include <sstream>
+
+namespace crooks::obs {
+
+namespace {
+
+std::atomic<bool>& enabled_flag() {
+  static std::atomic<bool> on = [] {
+    const char* off = std::getenv("CROOKS_OBS_OFF");
+    return !(off != nullptr && off[0] == '1');
+  }();
+  return on;
+}
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Doubles render without trailing noise: integers as integers, everything
+/// else with enough precision to round-trip bucket bounds.
+std::string fmt_double(double v) {
+  if (v == static_cast<double>(static_cast<std::int64_t>(v)) &&
+      std::abs(v) < 1e15) {
+    return std::to_string(static_cast<std::int64_t>(v));
+  }
+  std::ostringstream os;
+  os.precision(12);
+  os << v;
+  return os.str();
+}
+
+std::string escape_label_value(std::string_view v) {
+  std::string out;
+  out.reserve(v.size());
+  for (char c : v) {
+    if (c == '\\' || c == '"') out.push_back('\\');
+    if (c == '\n') {
+      out += "\\n";
+      continue;
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+bool enabled() { return enabled_flag().load(std::memory_order_relaxed); }
+void set_enabled(bool on) {
+  enabled_flag().store(on, std::memory_order_relaxed);
+}
+
+namespace detail {
+
+std::size_t shard_slot() {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t slot =
+      next.fetch_add(1, std::memory_order_relaxed) % kShards;
+  return slot;
+}
+
+}  // namespace detail
+
+// ------------------------------------------------------------------ Histogram
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)) {
+  std::sort(bounds_.begin(), bounds_.end());
+  buckets_.reserve(detail::kShards);
+  for (std::size_t s = 0; s < detail::kShards; ++s) {
+    buckets_.push_back(
+        std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1));
+    for (std::size_t b = 0; b <= bounds_.size(); ++b) buckets_.back()[b] = 0;
+  }
+}
+
+void Histogram::observe_n(double v, std::uint64_t n) {
+  if (!enabled() || n == 0) return;
+  const std::size_t slot = detail::shard_slot();
+  const std::size_t b = static_cast<std::size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), v) - bounds_.begin());
+  buckets_[slot][b].fetch_add(n, std::memory_order_relaxed);
+  count_[slot].v.fetch_add(n, std::memory_order_relaxed);
+  const double add = v * static_cast<double>(n);
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + add, std::memory_order_relaxed)) {
+  }
+}
+
+std::vector<std::uint64_t> Histogram::bucket_counts() const {
+  std::vector<std::uint64_t> out(bounds_.size() + 1, 0);
+  for (std::size_t s = 0; s < detail::kShards; ++s) {
+    for (std::size_t b = 0; b <= bounds_.size(); ++b) {
+      out[b] += buckets_[s][b].load(std::memory_order_relaxed);
+    }
+  }
+  return out;
+}
+
+std::uint64_t Histogram::count() const {
+  std::uint64_t total = 0;
+  for (const detail::Shard& s : count_) {
+    total += s.v.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+double Histogram::sum() const { return sum_.load(std::memory_order_relaxed); }
+
+void Histogram::reset() {
+  for (std::size_t s = 0; s < detail::kShards; ++s) {
+    for (std::size_t b = 0; b <= bounds_.size(); ++b) {
+      buckets_[s][b].store(0, std::memory_order_relaxed);
+    }
+    count_[s].v.store(0, std::memory_order_relaxed);
+  }
+  sum_.store(0, std::memory_order_relaxed);
+}
+
+std::span<const double> latency_buckets_seconds() {
+  static const std::array<double, 10> b = {1e-6, 4e-6,  16e-6, 64e-6, 256e-6,
+                                           1e-3, 4e-3,  16e-3, 250e-3, 10.0};
+  return b;
+}
+
+std::span<const double> depth_buckets() {
+  static const std::array<double, 13> b = {1,  2,   4,   8,    16,   32,  64,
+                                           128, 256, 512, 1024, 2048, 4096};
+  return b;
+}
+
+// ------------------------------------------------------------------- Registry
+
+std::string series_key(std::string_view name, const Labels& labels) {
+  if (labels.empty()) return std::string(name);
+  std::string key(name);
+  key += '{';
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) key += ',';
+    first = false;
+    key += k;
+    key += "=\"";
+    key += escape_label_value(v);
+    key += '"';
+  }
+  key += '}';
+  return key;
+}
+
+Counter& Registry::counter(std::string_view name, std::string_view help,
+                           Labels labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = series_.try_emplace(series_key(name, labels));
+  Family& f = it->second;
+  if (inserted) {
+    f.name = std::string(name);
+    f.help = std::string(help);
+    f.kind = Family::Kind::kCounter;
+    f.labels = std::move(labels);
+    f.counter = std::make_unique<Counter>();
+  }
+  return *f.counter;
+}
+
+Gauge& Registry::gauge(std::string_view name, std::string_view help,
+                       Labels labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = series_.try_emplace(series_key(name, labels));
+  Family& f = it->second;
+  if (inserted) {
+    f.name = std::string(name);
+    f.help = std::string(help);
+    f.kind = Family::Kind::kGauge;
+    f.labels = std::move(labels);
+    f.gauge = std::make_unique<Gauge>();
+  }
+  return *f.gauge;
+}
+
+Histogram& Registry::histogram(std::string_view name, std::string_view help,
+                               std::span<const double> upper_bounds,
+                               Labels labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = series_.try_emplace(series_key(name, labels));
+  Family& f = it->second;
+  if (inserted) {
+    f.name = std::string(name);
+    f.help = std::string(help);
+    f.kind = Family::Kind::kHistogram;
+    f.labels = std::move(labels);
+    if (upper_bounds.empty()) upper_bounds = latency_buckets_seconds();
+    f.histogram = std::make_unique<Histogram>(
+        std::vector<double>(upper_bounds.begin(), upper_bounds.end()));
+  }
+  return *f.histogram;
+}
+
+std::string Registry::prometheus_text() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream out;
+  // Emit HELP/TYPE once per family, in series order (the map is sorted by
+  // key, so every series of a family is contiguous).
+  std::string last_family;
+  for (const auto& [key, f] : series_) {
+    if (f.name != last_family) {
+      last_family = f.name;
+      if (!f.help.empty()) out << "# HELP " << f.name << ' ' << f.help << '\n';
+      out << "# TYPE " << f.name << ' '
+          << (f.kind == Family::Kind::kCounter    ? "counter"
+              : f.kind == Family::Kind::kGauge    ? "gauge"
+                                                  : "histogram")
+          << '\n';
+    }
+    switch (f.kind) {
+      case Family::Kind::kCounter:
+        out << key << ' ' << f.counter->value() << '\n';
+        break;
+      case Family::Kind::kGauge:
+        out << key << ' ' << f.gauge->value() << '\n';
+        break;
+      case Family::Kind::kHistogram: {
+        const std::vector<std::uint64_t> counts = f.histogram->bucket_counts();
+        const std::vector<double>& bounds = f.histogram->bounds();
+        auto labeled = [&](std::string_view le) {
+          Labels l = f.labels;
+          l.emplace_back("le", std::string(le));
+          return series_key(f.name + "_bucket", l);
+        };
+        std::uint64_t cum = 0;
+        for (std::size_t b = 0; b < bounds.size(); ++b) {
+          cum += counts[b];
+          out << labeled(fmt_double(bounds[b])) << ' ' << cum << '\n';
+        }
+        cum += counts[bounds.size()];
+        out << labeled("+Inf") << ' ' << cum << '\n';
+        out << series_key(f.name + "_sum", f.labels) << ' '
+            << fmt_double(f.histogram->sum()) << '\n';
+        out << series_key(f.name + "_count", f.labels) << ' '
+            << f.histogram->count() << '\n';
+        break;
+      }
+    }
+  }
+  return out.str();
+}
+
+std::string Registry::json() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream counters, gauges, histograms;
+  bool c1 = true, g1 = true, h1 = true;
+  auto jkey = [](const std::string& key) {
+    std::string out = "\"";
+    for (char c : key) {
+      if (c == '\\' || c == '"') out.push_back('\\');
+      out.push_back(c);
+    }
+    out += "\"";
+    return out;
+  };
+  for (const auto& [key, f] : series_) {
+    switch (f.kind) {
+      case Family::Kind::kCounter:
+        counters << (c1 ? "" : ",") << jkey(key) << ':' << f.counter->value();
+        c1 = false;
+        break;
+      case Family::Kind::kGauge:
+        gauges << (g1 ? "" : ",") << jkey(key) << ':' << f.gauge->value();
+        g1 = false;
+        break;
+      case Family::Kind::kHistogram: {
+        const std::vector<std::uint64_t> counts = f.histogram->bucket_counts();
+        const std::vector<double>& bounds = f.histogram->bounds();
+        histograms << (h1 ? "" : ",") << jkey(key) << ":{\"buckets\":[";
+        for (std::size_t b = 0; b < bounds.size(); ++b) {
+          histograms << (b == 0 ? "" : ",") << '[' << fmt_double(bounds[b])
+                     << ',' << counts[b] << ']';
+        }
+        histograms << (bounds.empty() ? "" : ",") << "[\"+Inf\","
+                   << counts[bounds.size()] << "]],\"sum\":"
+                   << fmt_double(f.histogram->sum())
+                   << ",\"count\":" << f.histogram->count() << '}';
+        h1 = false;
+        break;
+      }
+    }
+  }
+  return "{\"counters\":{" + counters.str() + "},\"gauges\":{" + gauges.str() +
+         "},\"histograms\":{" + histograms.str() + "}}";
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [key, f] : series_) {
+    if (f.counter) f.counter->reset();
+    if (f.gauge) f.gauge->reset();
+    if (f.histogram) f.histogram->reset();
+  }
+}
+
+Registry& Registry::global() {
+  static Registry* r = new Registry();  // leaked: outlives every static user
+  return *r;
+}
+
+// ---------------------------------------------------------------- ScopedTimer
+
+ScopedTimer::ScopedTimer(Histogram& h) : h_(&h) {
+  if (enabled()) start_ns_ = now_ns();
+}
+
+double ScopedTimer::elapsed() const {
+  return start_ns_ == 0 ? 0.0
+                        : static_cast<double>(now_ns() - start_ns_) * 1e-9;
+}
+
+ScopedTimer::~ScopedTimer() {
+  if (start_ns_ != 0) h_->observe(elapsed());
+}
+
+}  // namespace crooks::obs

@@ -1,0 +1,200 @@
+// Low-overhead metrics registry: counters, gauges, fixed-bucket histograms.
+//
+// Every engine in the repo used to keep its own ad-hoc accounting
+// (CheckResult::nodes_explored, OnlineChecker::Stats, per-bench JSON
+// counters). This registry is the one substrate they all feed so a
+// production deployment can scrape a single endpoint-shaped artifact
+// (Prometheus exposition text or JSON) instead of tailing logs.
+//
+// Design constraints, in order:
+//
+//  1. The hot search loop must pay at most one relaxed atomic increment per
+//     event. Counters are sharded across cache-line-padded per-thread slots
+//     and aggregated only on scrape, so concurrent writers never contend on
+//     a line. Engines with per-node hot loops accumulate in plain locals and
+//     flush once per search — the registry cost is then one add per search.
+//  2. Instrumentation must be removable at runtime: when disabled (the
+//     CROOKS_OBS_OFF=1 environment variable, or obs::set_enabled(false)),
+//     every mutation is a load+branch no-op. CI gates the overhead of the
+//     enabled path at ≤5% on the online-checker bench.
+//  3. Metric objects are registered once and never deallocated while the
+//     process lives (reset() zeroes values but keeps addresses stable), so
+//     call sites may cache `static Counter&` references safely.
+//
+// Naming follows Prometheus conventions: `crooks_<subsystem>_<what>_<unit>`,
+// labels for low-cardinality partitions (engine, outcome, prune reason).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace crooks::obs {
+
+/// Global instrumentation switch. Initialized once from CROOKS_OBS_OFF
+/// (set to "1" to start disabled); togglable at runtime for A/B overhead
+/// measurement. Reads are a single relaxed atomic load.
+bool enabled();
+void set_enabled(bool on);
+
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+namespace detail {
+
+constexpr std::size_t kShards = 16;
+
+/// One cache line per shard so concurrent increments never false-share.
+struct alignas(64) Shard {
+  std::atomic<std::uint64_t> v{0};
+};
+
+/// The calling thread's stable shard slot (round-robin assignment).
+std::size_t shard_slot();
+
+}  // namespace detail
+
+/// Monotone counter. inc() is one relaxed fetch_add on a per-thread shard.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) {
+    if (!enabled()) return;
+    shards_[detail::shard_slot()].v.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  std::uint64_t value() const {
+    std::uint64_t total = 0;
+    for (const detail::Shard& s : shards_) {
+      total += s.v.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+  void reset() {
+    for (detail::Shard& s : shards_) s.v.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  detail::Shard shards_[detail::kShards];
+};
+
+/// Instantaneous value (queue depth, in-flight tasks). Unlike counters a
+/// gauge supports set() and signed add(), so it is a single atomic — gauge
+/// updates happen at task-queue frequency, not search-node frequency.
+class Gauge {
+ public:
+  void set(std::int64_t v) {
+    if (!enabled()) return;
+    v_.store(v, std::memory_order_relaxed);
+  }
+  void add(std::int64_t d) {
+    if (!enabled()) return;
+    v_.fetch_add(d, std::memory_order_relaxed);
+  }
+  std::int64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> v_{0};
+};
+
+/// Fixed-bucket histogram (cumulative on render, like Prometheus). Bucket
+/// upper bounds are set at registration and never change; +Inf is implicit.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void observe(double v) { observe_n(v, 1); }
+  /// Bulk form for engines that accumulate a local distribution and flush
+  /// once per search: `n` observations of value `v` in one atomic add each.
+  void observe_n(double v, std::uint64_t n);
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Per-bucket (non-cumulative) counts; index bounds_.size() is +Inf.
+  std::vector<std::uint64_t> bucket_counts() const;
+  std::uint64_t count() const;
+  double sum() const;
+  void reset();
+
+ private:
+  std::vector<double> bounds_;  // ascending upper bounds
+  std::vector<std::unique_ptr<std::atomic<std::uint64_t>[]>> buckets_;  // per shard
+  detail::Shard count_[detail::kShards];
+  std::atomic<double> sum_{0};
+};
+
+/// Default latency buckets: 1µs … 10s, roughly ×4 per step.
+std::span<const double> latency_buckets_seconds();
+/// Default small-integer buckets (depths, queue lengths): 1 … 4096, ×2.
+std::span<const double> depth_buckets();
+
+class Registry {
+ public:
+  /// Find-or-register. The returned reference is valid for the process
+  /// lifetime; registering the same (name, labels) twice returns the same
+  /// object (help/buckets of the first registration win).
+  Counter& counter(std::string_view name, std::string_view help = {},
+                   Labels labels = {});
+  Gauge& gauge(std::string_view name, std::string_view help = {},
+               Labels labels = {});
+  Histogram& histogram(std::string_view name, std::string_view help = {},
+                       std::span<const double> upper_bounds = {},
+                       Labels labels = {});
+
+  /// Prometheus text exposition format (# HELP / # TYPE / samples).
+  std::string prometheus_text() const;
+  /// One JSON object: {"counters": {...}, "gauges": {...}, "histograms":
+  /// {...}} with `name{label="v"}` keys. Single line, machine-parseable —
+  /// this is what the CI gates and the --follow snapshot line consume.
+  std::string json() const;
+
+  /// Zero every registered metric, keeping registrations (and therefore
+  /// cached references) intact. For tests and in-process A/B benches.
+  void reset();
+
+  /// The process-wide registry every instrumentation point uses.
+  static Registry& global();
+
+ private:
+  struct Family {
+    std::string name;  // metric family name, no labels
+    std::string help;
+    enum class Kind : std::uint8_t { kCounter, kGauge, kHistogram } kind;
+    Labels labels;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  mutable std::mutex mu_;
+  // Key: name + rendered label string — one entry per labeled series.
+  std::map<std::string, Family> series_;
+};
+
+/// RAII latency timer: observes elapsed seconds into `h` on destruction
+/// (no-op when instrumentation is disabled at construction time).
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram& h);
+  ~ScopedTimer();
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+  /// Seconds since construction (0 when disabled).
+  double elapsed() const;
+
+ private:
+  Histogram* h_;
+  std::uint64_t start_ns_ = 0;  // 0 = disabled
+};
+
+/// `name{k1="v1",k2="v2"}`, or just `name` for empty labels — the series key
+/// used by both exporters.
+std::string series_key(std::string_view name, const Labels& labels);
+
+}  // namespace crooks::obs

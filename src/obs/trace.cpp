@@ -1,0 +1,174 @@
+#include "obs/trace.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <sstream>
+
+namespace crooks::obs {
+
+namespace {
+
+struct Sink {
+  std::ofstream file;     // used when opened by path
+  std::ostream* out = nullptr;  // file or caller-owned stream
+  std::chrono::steady_clock::time_point epoch;
+};
+
+std::mutex g_mu;
+std::unique_ptr<Sink> g_sink;                 // guarded by g_mu
+std::atomic<bool> g_active{false};            // fast-path check
+
+std::uint64_t now_us_locked(const Sink& s) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - s.epoch)
+          .count());
+}
+
+std::size_t thread_ordinal() {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t tid = next.fetch_add(1, std::memory_order_relaxed);
+  return tid;
+}
+
+std::string json_escape(std::string_view v) {
+  std::string out;
+  out.reserve(v.size());
+  for (char c : v) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+void emit(std::string_view name, std::string_view type, bool with_dur,
+          std::uint64_t start_us, const TraceFields& fields) {
+  std::lock_guard<std::mutex> lock(g_mu);
+  if (g_sink == nullptr || g_sink->out == nullptr) return;
+  const std::uint64_t now = now_us_locked(*g_sink);
+  std::ostringstream line;
+  line << "{\"type\":\"" << type << "\",\"name\":\"" << json_escape(name)
+       << "\",\"t_us\":" << start_us;
+  if (with_dur) line << ",\"dur_us\":" << (now - start_us);
+  line << ",\"tid\":" << thread_ordinal() << fields.rendered() << "}\n";
+  *g_sink->out << line.str();
+  g_sink->out->flush();
+}
+
+std::uint64_t start_stamp() {
+  std::lock_guard<std::mutex> lock(g_mu);
+  if (g_sink == nullptr || g_sink->out == nullptr) return 0;
+  return now_us_locked(*g_sink);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- TraceFields
+
+TraceFields& TraceFields::add(std::string_view key, std::string_view value) {
+  parts_.push_back("\"" + json_escape(key) + "\":\"" + json_escape(value) + "\"");
+  return *this;
+}
+
+TraceFields& TraceFields::add(std::string_view key, std::uint64_t value) {
+  parts_.push_back("\"" + json_escape(key) + "\":" + std::to_string(value));
+  return *this;
+}
+
+TraceFields& TraceFields::add(std::string_view key, std::int64_t value) {
+  parts_.push_back("\"" + json_escape(key) + "\":" + std::to_string(value));
+  return *this;
+}
+
+TraceFields& TraceFields::add(std::string_view key, double value) {
+  std::ostringstream os;
+  os.precision(9);
+  os << value;
+  parts_.push_back("\"" + json_escape(key) + "\":" + os.str());
+  return *this;
+}
+
+TraceFields& TraceFields::add(std::string_view key, bool value) {
+  parts_.push_back("\"" + json_escape(key) + (value ? "\":true" : "\":false"));
+  return *this;
+}
+
+std::string TraceFields::rendered() const {
+  std::string out;
+  for (const std::string& p : parts_) {
+    out += ',';
+    out += p;
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------- Trace
+
+bool Trace::open(const std::string& path) {
+  auto sink = std::make_unique<Sink>();
+  sink->file.open(path, std::ios::trunc);
+  if (!sink->file) return false;
+  sink->out = &sink->file;
+  sink->epoch = std::chrono::steady_clock::now();
+  std::lock_guard<std::mutex> lock(g_mu);
+  g_sink = std::move(sink);
+  g_active.store(true, std::memory_order_release);
+  return true;
+}
+
+void Trace::open_stream(std::ostream* out) {
+  auto sink = std::make_unique<Sink>();
+  sink->out = out;
+  sink->epoch = std::chrono::steady_clock::now();
+  std::lock_guard<std::mutex> lock(g_mu);
+  g_sink = std::move(sink);
+  g_active.store(out != nullptr, std::memory_order_release);
+}
+
+void Trace::close() {
+  std::lock_guard<std::mutex> lock(g_mu);
+  g_active.store(false, std::memory_order_release);
+  g_sink.reset();
+}
+
+bool Trace::active() { return g_active.load(std::memory_order_acquire); }
+
+void Trace::event(std::string_view name, const TraceFields& fields) {
+  if (!active()) return;
+  const std::uint64_t t = start_stamp();
+  emit(name, "event", /*with_dur=*/false, t, fields);
+}
+
+// ------------------------------------------------------------------ TraceSpan
+
+TraceSpan::TraceSpan(std::string_view name) {
+  if (!Trace::active()) return;
+  armed_ = true;
+  name_ = std::string(name);
+  start_us_ = start_stamp();
+}
+
+void TraceSpan::end() {
+  if (!armed_) return;
+  armed_ = false;
+  emit(name_, "span", /*with_dur=*/true, start_us_, fields_);
+}
+
+}  // namespace crooks::obs

@@ -1,0 +1,100 @@
+// Structured phase tracing: JSONL spans and events for the check lifecycle.
+//
+// When a sink is installed (crooks-check --trace FILE, or a test's
+// ostringstream), every instrumented phase — compile, extend() delta, engine
+// dispatch, exhaustive search, graph fast-path, batch scheduling, online
+// ingest — emits one JSON object per line:
+//
+//   {"type":"span","name":"engine.exhaustive","t_us":1234,"dur_us":88,
+//    "tid":2,"level":"Serializable","nodes":4711,"outcome":"unsat"}
+//
+// `t_us` is microseconds since the sink was opened (monotonic clock), `tid`
+// a small dense thread ordinal. Events are spans without `dur_us`. Fields
+// are typed (string / int / float / bool) and appended in call order.
+//
+// With no sink installed every call is a relaxed atomic load and a branch —
+// tracing costs nothing unless requested. Line emission takes a global
+// mutex: spans close at phase granularity (per search, per block, per batch
+// item), not per node, so the lock is far off every hot loop.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace crooks::obs {
+
+/// Ordered field list of one trace record.
+class TraceFields {
+ public:
+  TraceFields& add(std::string_view key, std::string_view value);
+  TraceFields& add(std::string_view key, const char* value) {
+    return add(key, std::string_view(value));
+  }
+  TraceFields& add(std::string_view key, const std::string& value) {
+    return add(key, std::string_view(value));
+  }
+  TraceFields& add(std::string_view key, std::uint64_t value);
+  TraceFields& add(std::string_view key, std::int64_t value);
+  TraceFields& add(std::string_view key, int value) {
+    return add(key, static_cast<std::int64_t>(value));
+  }
+  TraceFields& add(std::string_view key, unsigned value) {
+    return add(key, static_cast<std::uint64_t>(value));
+  }
+  TraceFields& add(std::string_view key, double value);
+  TraceFields& add(std::string_view key, bool value);
+
+  bool empty() const { return parts_.empty(); }
+  /// Render as `,"k":v,...` (leading comma; empty string when no fields).
+  std::string rendered() const;
+
+ private:
+  std::vector<std::string> parts_;  // pre-rendered `"k":v` fragments
+};
+
+class Trace {
+ public:
+  /// Install a file sink (truncates). Returns false when the file cannot be
+  /// opened. Replaces any previous sink.
+  static bool open(const std::string& path);
+  /// Install a caller-owned stream sink (tests). The stream must outlive the
+  /// sink; call close() before destroying it.
+  static void open_stream(std::ostream* out);
+  static void close();
+  static bool active();
+
+  /// Emit an instantaneous event (no duration).
+  static void event(std::string_view name, const TraceFields& fields = {});
+};
+
+/// RAII span: records its start at construction and emits one line with
+/// `dur_us` when it ends (destruction, or an explicit end()). Constructed
+/// while tracing is inactive, it stays inert even if a sink appears later —
+/// a span never spans a sink change.
+class TraceSpan {
+ public:
+  explicit TraceSpan(std::string_view name);
+  ~TraceSpan() { end(); }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  /// Attach a field to the closing record (no-op when inert).
+  template <typename V>
+  TraceSpan& field(std::string_view key, V&& value) {
+    if (armed_) fields_.add(key, std::forward<V>(value));
+    return *this;
+  }
+
+  void end();
+
+ private:
+  bool armed_ = false;
+  std::string name_;
+  std::uint64_t start_us_ = 0;
+  TraceFields fields_;
+};
+
+}  // namespace crooks::obs

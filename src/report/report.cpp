@@ -44,6 +44,12 @@ AuditResult audit(const Observations& obs, const checker::CheckOptions& base) {
     if (auto eq = ct::equivalent_names(level); !eq.empty()) out << " (≡ " << eq << ")";
     if (!r.satisfiable() && !r.detail.empty()) out << "\n        " << r.detail;
     out << "\n";
+    if (r.unsatisfiable() && r.diagnosis.has_value()) {
+      std::istringstream lines(render_counterexample(*r.diagnosis));
+      for (std::string line; std::getline(lines, line);) {
+        out << "      " << line << "\n";
+      }
+    }
     if (r.satisfiable()) {
       passing.push_back(level);
       if (!result.strongest.has_value() ||
@@ -89,6 +95,28 @@ AuditResult audit(const Observations& obs, const checker::CheckOptions& base) {
 
   result.text = out.str();
   return result;
+}
+
+std::string render_counterexample(const checker::ReadDiagnosis& d) {
+  std::ostringstream out;
+  out << "  counterexample";
+  if (!d.candidate_execution.empty()) {
+    out << " (evidence on " << d.candidate_execution << ")";
+  }
+  out << ":\n";
+  out << "    failing transaction: " << to_string(d.txn) << "\n";
+  if (!d.clause.empty()) out << "    violated clause: " << d.clause << "\n";
+  if (d.key.has_value()) {
+    out << "    implicated read: " << to_string(*d.key);
+    if (d.observed_writer.has_value()) {
+      out << " (observed writer " << to_string(*d.observed_writer) << ")";
+    }
+    out << "\n";
+  }
+  if (!d.candidate_states.empty()) {
+    out << "    candidate read states: " << d.candidate_states << "\n";
+  }
+  return out.str();
 }
 
 std::string render_execution(const model::TransactionSet& txns,

@@ -30,4 +30,10 @@ AuditResult audit(const Observations& obs, const checker::CheckOptions& base = {
 std::string render_execution(const model::TransactionSet& txns,
                              const model::Execution& e);
 
+/// Render a refutation's minimal read-state evidence (checker::ReadDiagnosis)
+/// as a human-readable counterexample: the failing transaction, the violated
+/// commit-test clause, the implicated read and the candidate read states it
+/// was judged against. Every line is indented two spaces; ends with '\n'.
+std::string render_counterexample(const checker::ReadDiagnosis& d);
+
 }  // namespace crooks::report

@@ -12,11 +12,41 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "report/serialize.hpp"
 
 namespace crooks::report {
 
 namespace {
+
+/// The follow-mode series: per-batch counters the CLI's human-format lines
+/// are derived from (StreamBlockReport carries the same numbers — the
+/// metrics layer is the source of truth, the printf renderer one consumer).
+struct FollowMetrics {
+  obs::Counter& batches;
+  obs::Counter& txns;
+  obs::Counter& duplicates;
+  obs::Histogram& batch_seconds;
+  obs::Gauge& levels_alive;
+
+  static FollowMetrics& get() {
+    static FollowMetrics m = [] {
+      obs::Registry& r = obs::Registry::global();
+      return FollowMetrics{
+          r.counter("crooks_follow_batches_total",
+                    "Non-empty batches audited by the streaming monitor"),
+          r.counter("crooks_follow_txns_total",
+                    "Transactions accepted by the streaming monitor"),
+          r.counter("crooks_follow_duplicates_total",
+                    "Duplicate transactions ignored by the streaming monitor"),
+          r.histogram("crooks_follow_batch_seconds",
+                      "append_all latency per audited batch"),
+          r.gauge("crooks_follow_levels_alive",
+                  "Tracked isolation levels not yet violated")};
+    }();
+    return m;
+  }
+};
 
 /// First whitespace-separated token of `line`, with any '#' comment removed.
 std::string first_token(const std::string& line) {
@@ -117,6 +147,18 @@ StreamAuditResult stream_audit(
     result.duplicates += rep.duplicates;
     batch.clear();
 
+    if (obs::enabled()) {
+      FollowMetrics& m = FollowMetrics::get();
+      m.batches.inc();
+      m.txns.inc(accepted);
+      m.duplicates.inc(rep.duplicates);
+      m.batch_seconds.observe(rep.seconds);
+      m.levels_alive.set(static_cast<std::int64_t>(chk.surviving_levels().size()));
+    }
+    if (opts.metrics_every != 0 && result.blocks % opts.metrics_every == 0) {
+      rep.metrics_snapshot = obs::Registry::global().json();
+    }
+
     if (on_block && !on_block(rep)) stop = true;
     if (opts.max_blocks != 0 && result.blocks >= opts.max_blocks) stop = true;
   };
@@ -143,6 +185,13 @@ StreamAuditResult stream_audit(
     }
     in.clear();
     std::this_thread::sleep_for(std::chrono::milliseconds(opts.poll_ms));
+  }
+  if (!stop && !partial.empty()) {
+    // The writer exited without a trailing newline (idle-exit fired with a
+    // buffered fragment): treat the fragment as the complete final line so a
+    // block whose `end` lacks the newline is still audited.
+    consume_line(partial);
+    partial.clear();
   }
   flush();  // blocks completed by the final reads before a stop condition
 

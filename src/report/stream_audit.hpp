@@ -43,6 +43,11 @@ struct StreamAuditOptions {
   int idle_exit_ms = 0;
   /// Stop after this many non-empty batches; 0 = unbounded.
   std::uint64_t max_blocks = 0;
+  /// Every N-th audited batch carries a JSON metrics snapshot
+  /// (StreamBlockReport::metrics_snapshot) scraped from the global registry;
+  /// 0 = never. `crooks-check --follow --metrics-every=N` renders these as
+  /// `metrics {...}` lines interleaved with the human-format output.
+  std::uint64_t metrics_every = 0;
 };
 
 /// One audited batch (all complete transaction blocks available at a poll).
@@ -54,6 +59,9 @@ struct StreamBlockReport {
   /// Levels whose first violation happened in this batch.
   std::vector<ct::IsolationLevel> died;
   const checker::OnlineChecker* checker = nullptr;  // state after the batch
+  /// One-line JSON scrape of the metrics registry; non-empty only on every
+  /// StreamAuditOptions::metrics_every-th batch.
+  std::string metrics_snapshot;
 };
 
 struct StreamAuditResult {

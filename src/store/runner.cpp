@@ -4,10 +4,24 @@
 
 #include "common/rng.hpp"
 #include "common/thread_pool.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace crooks::store {
 
 namespace {
+
+obs::Counter& txns_result_counter(const char* result) {
+  return obs::Registry::global().counter(
+      "crooks_store_txns_total", "Transactions finished by the store runner",
+      {{"result", result}});
+}
+obs::Counter& blocked_steps_total() {
+  static obs::Counter& c = obs::Registry::global().counter(
+      "crooks_store_blocked_steps_total",
+      "Scheduler steps that found the transaction blocked on a lock");
+  return c;
+}
 
 struct InFlight {
   TxnId id{};
@@ -26,6 +40,7 @@ struct Pending {
 }  // namespace
 
 RunResult run(const std::vector<TxnIntent>& intents, const RunOptions& options) {
+  obs::TraceSpan span("store.run");
   Store store(options.mode);
   Rng rng(options.seed);
   const std::size_t concurrency =
@@ -118,6 +133,17 @@ RunResult run(const std::vector<TxnIntent>& intents, const RunOptions& options) 
 
   RunResult result{store.history(), store.observations(), store.version_order(),
                    store.committed_count(), store.aborted_count(), blocked_steps};
+  if (obs::enabled()) {
+    static obs::Counter& committed = txns_result_counter("committed");
+    static obs::Counter& aborted = txns_result_counter("aborted");
+    committed.inc(result.committed);
+    aborted.inc(result.aborted);
+    blocked_steps_total().inc(blocked_steps);
+  }
+  span.field("intents", static_cast<std::uint64_t>(intents.size()))
+      .field("committed", static_cast<std::uint64_t>(result.committed))
+      .field("aborted", static_cast<std::uint64_t>(result.aborted))
+      .field("blocked_steps", static_cast<std::uint64_t>(blocked_steps));
   return result;
 }
 

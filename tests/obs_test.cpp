@@ -1,0 +1,270 @@
+// The observability substrate: metrics registry semantics (sharded counters,
+// gauges, fixed-bucket histograms, both exporters, the runtime kill switch)
+// and the JSONL trace layer. Tests share the process-global registry, so each
+// uses its own metric names and the enable/disable tests restore state.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace crooks::obs {
+namespace {
+
+TEST(Counter, IncrementsAndResets) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Counter, ConcurrentIncrementsAllLand) {
+  Counter c;
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) c.inc();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(c.value(), kThreads * kPerThread);
+}
+
+TEST(Gauge, SetAndSignedAdd) {
+  Gauge g;
+  g.set(7);
+  EXPECT_EQ(g.value(), 7);
+  g.add(-10);
+  EXPECT_EQ(g.value(), -3);
+  g.reset();
+  EXPECT_EQ(g.value(), 0);
+}
+
+TEST(Histogram, BucketsCountAndSum) {
+  Histogram h({1.0, 10.0, 100.0});
+  h.observe(0.5);
+  h.observe(5);
+  h.observe_n(50, 3);
+  h.observe(1e6);  // lands in +Inf
+  const std::vector<std::uint64_t> buckets = h.bucket_counts();
+  ASSERT_EQ(buckets.size(), 4u);  // three finite bounds + Inf
+  EXPECT_EQ(buckets[0], 1u);
+  EXPECT_EQ(buckets[1], 1u);
+  EXPECT_EQ(buckets[2], 3u);
+  EXPECT_EQ(buckets[3], 1u);
+  EXPECT_EQ(h.count(), 6u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.5 + 5 + 3 * 50.0 + 1e6);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.0);
+}
+
+TEST(Registry, FindOrRegisterReturnsSameObject) {
+  Registry& r = Registry::global();
+  Counter& a = r.counter("obs_test_dup_total", "first registration wins");
+  Counter& b = r.counter("obs_test_dup_total", "ignored");
+  EXPECT_EQ(&a, &b);
+  a.inc(3);
+  EXPECT_EQ(b.value(), 3u);
+}
+
+TEST(Registry, LabeledSeriesAreDistinct) {
+  Registry& r = Registry::global();
+  Counter& sat = r.counter("obs_test_labeled_total", "", {{"outcome", "sat"}});
+  Counter& unsat = r.counter("obs_test_labeled_total", "", {{"outcome", "unsat"}});
+  EXPECT_NE(&sat, &unsat);
+  sat.inc();
+  EXPECT_EQ(sat.value(), 1u);
+  EXPECT_EQ(unsat.value(), 0u);
+}
+
+TEST(Registry, SeriesKeyRendering) {
+  EXPECT_EQ(series_key("m", {}), "m");
+  EXPECT_EQ(series_key("m", {{"a", "1"}, {"b", "x"}}), "m{a=\"1\",b=\"x\"}");
+}
+
+TEST(Registry, PrometheusTextExposition) {
+  Registry& r = Registry::global();
+  r.counter("obs_test_prom_total", "A test counter", {{"kind", "x"}}).inc(5);
+  r.gauge("obs_test_prom_gauge", "A test gauge").set(-2);
+  r.histogram("obs_test_prom_seconds", "A test histogram",
+              std::vector<double>{1.0, 2.0})
+      .observe(1.5);
+  const std::string text = r.prometheus_text();
+  EXPECT_NE(text.find("# HELP obs_test_prom_total A test counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE obs_test_prom_total counter"), std::string::npos);
+  EXPECT_NE(text.find("obs_test_prom_total{kind=\"x\"} 5"), std::string::npos);
+  EXPECT_NE(text.find("obs_test_prom_gauge -2"), std::string::npos);
+  EXPECT_NE(text.find("obs_test_prom_seconds_bucket{le=\"2\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("obs_test_prom_seconds_bucket{le=\"+Inf\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("obs_test_prom_seconds_count 1"), std::string::npos);
+}
+
+TEST(Registry, JsonScrapeIsOneLine) {
+  Registry& r = Registry::global();
+  r.counter("obs_test_json_total").inc(9);
+  const std::string json = r.json();
+  EXPECT_EQ(json.find('\n'), std::string::npos);
+  EXPECT_NE(json.find("\"obs_test_json_total\":9"), std::string::npos);
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+}
+
+TEST(Registry, ResetZeroesButKeepsAddresses) {
+  Registry& r = Registry::global();
+  Counter& c = r.counter("obs_test_reset_total");
+  c.inc(12);
+  r.reset();
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(&r.counter("obs_test_reset_total"), &c);
+  c.inc();
+  EXPECT_EQ(c.value(), 1u);
+}
+
+TEST(KillSwitch, DisabledMutationsAreNoOps) {
+  ASSERT_TRUE(enabled()) << "tests assume CROOKS_OBS_OFF is not set";
+  Counter c;
+  Gauge g;
+  Histogram h({1.0});
+  set_enabled(false);
+  c.inc(5);
+  g.set(5);
+  g.add(5);
+  h.observe(0.5);
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(g.value(), 0);
+  EXPECT_EQ(h.count(), 0u);
+  set_enabled(true);
+  c.inc(5);
+  EXPECT_EQ(c.value(), 5u);
+}
+
+TEST(ScopedTimerTest, ObservesElapsedSeconds) {
+  Histogram h(std::vector<double>(latency_buckets_seconds().begin(),
+                                  latency_buckets_seconds().end()));
+  {
+    ScopedTimer t(h);
+    EXPECT_GE(t.elapsed(), 0.0);
+  }
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_GT(h.sum(), 0.0);
+}
+
+TEST(TraceTest, InactiveByDefaultAndEventsAreDropped) {
+  ASSERT_FALSE(Trace::active());
+  Trace::event("no.sink", TraceFields().add("k", 1));  // must not crash
+}
+
+TEST(TraceTest, EventAndSpanEmitJsonLines) {
+  std::ostringstream out;
+  Trace::open_stream(&out);
+  ASSERT_TRUE(Trace::active());
+  Trace::event("unit.event", TraceFields()
+                                 .add("str", "value")
+                                 .add("num", std::uint64_t{7})
+                                 .add("flag", true)
+                                 .add("ratio", 0.5));
+  {
+    TraceSpan span("unit.span");
+    span.field("n", 3);
+  }
+  Trace::close();
+  EXPECT_FALSE(Trace::active());
+
+  std::istringstream lines(out.str());
+  std::string event_line, span_line;
+  ASSERT_TRUE(std::getline(lines, event_line));
+  ASSERT_TRUE(std::getline(lines, span_line));
+  EXPECT_NE(event_line.find("\"type\":\"event\""), std::string::npos);
+  EXPECT_NE(event_line.find("\"name\":\"unit.event\""), std::string::npos);
+  EXPECT_NE(event_line.find("\"str\":\"value\""), std::string::npos);
+  EXPECT_NE(event_line.find("\"num\":7"), std::string::npos);
+  EXPECT_NE(event_line.find("\"flag\":true"), std::string::npos);
+  EXPECT_NE(event_line.find("\"t_us\":"), std::string::npos);
+  EXPECT_EQ(event_line.find("\"dur_us\":"), std::string::npos);
+  EXPECT_NE(span_line.find("\"type\":\"span\""), std::string::npos);
+  EXPECT_NE(span_line.find("\"name\":\"unit.span\""), std::string::npos);
+  EXPECT_NE(span_line.find("\"dur_us\":"), std::string::npos);
+  EXPECT_NE(span_line.find("\"n\":3"), std::string::npos);
+}
+
+TEST(TraceTest, SpanConstructedWhileInactiveStaysInert) {
+  std::ostringstream out;
+  {
+    TraceSpan span("never.emitted");  // no sink at construction
+    Trace::open_stream(&out);
+    span.field("ignored", 1);
+  }
+  Trace::close();
+  EXPECT_TRUE(out.str().empty());
+}
+
+TEST(TraceTest, StringsAreJsonEscaped) {
+  std::ostringstream out;
+  Trace::open_stream(&out);
+  Trace::event("esc", TraceFields().add("msg", "a\"b\\c\nd"));
+  Trace::close();
+  EXPECT_NE(out.str().find("\"msg\":\"a\\\"b\\\\c\\nd\""), std::string::npos);
+}
+
+TEST(ThreadPoolObs, QueueDepthAndInFlightIntrospection) {
+  ThreadPool pool(2);
+  EXPECT_EQ(pool.queue_depth(), 0u);
+  EXPECT_EQ(pool.in_flight(), 0u);
+
+  std::atomic<bool> release{false};
+  std::atomic<int> started{0};
+  for (int i = 0; i < 4; ++i) {
+    pool.submit([&] {
+      started.fetch_add(1);
+      while (!release.load()) std::this_thread::yield();
+    });
+  }
+  while (started.load() < 2) std::this_thread::yield();
+  // Two tasks hold the workers; the other two must still be queued.
+  EXPECT_EQ(pool.queue_depth(), 2u);
+  EXPECT_EQ(pool.in_flight(), 2u);
+  release.store(true);
+  pool.wait();
+  EXPECT_EQ(pool.queue_depth(), 0u);
+  EXPECT_EQ(pool.in_flight(), 0u);
+}
+
+TEST(ThreadPoolObs, PoolSeriesTrackCompletedTasks) {
+  Registry& r = Registry::global();
+  const std::uint64_t tasks_before =
+      r.counter("crooks_pool_tasks_total").value();
+  const std::uint64_t latencies_before =
+      r.histogram("crooks_pool_task_seconds").count();
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 8; ++i) {
+      pool.submit([] {});
+    }
+    pool.wait();
+  }
+  EXPECT_EQ(r.counter("crooks_pool_tasks_total").value(), tasks_before + 8);
+  EXPECT_EQ(r.histogram("crooks_pool_task_seconds").count(),
+            latencies_before + 8);
+  // Idle pool: both instantaneous gauges must read zero again.
+  EXPECT_EQ(r.gauge("crooks_pool_queue_depth").value(), 0);
+  EXPECT_EQ(r.gauge("crooks_pool_inflight").value(), 0);
+}
+
+}  // namespace
+}  // namespace crooks::obs

@@ -385,6 +385,91 @@ TEST(StreamAudit, AuditsBatchesAndCountsDuplicates) {
   EXPECT_EQ(r.checker_stats.hashed_fallback_appends, 0u);
 }
 
+TEST(StreamAudit, HandlesCrlfLineEndings) {
+  const std::string text =
+      "txn 1 start=0 commit=1\r\n write 0\r\nend\r\n"
+      "txn 2 start=2 commit=3\r\n read 0 1\r\nend\r\n";
+  std::istringstream in(text);
+  const report::StreamAuditResult r = report::stream_audit(in, {.idle_exit_ms = 1});
+  EXPECT_TRUE(r.error.empty()) << r.error;
+  EXPECT_EQ(r.transactions, 2u);
+}
+
+TEST(StreamAudit, BlankAndCommentOnlyInputProducesNoBatches) {
+  std::istringstream in("\n  # comment only\n\n\t\n# another\n");
+  std::uint64_t callbacks = 0;
+  const report::StreamAuditResult r = report::stream_audit(
+      in, {.idle_exit_ms = 1}, [&](const auto&) {
+        ++callbacks;
+        return true;
+      });
+  EXPECT_TRUE(r.error.empty()) << r.error;
+  EXPECT_EQ(callbacks, 0u);
+  EXPECT_EQ(r.blocks, 0u);
+  EXPECT_EQ(r.transactions, 0u);
+}
+
+TEST(StreamAudit, PartialFinalLineAuditedAtIdleExit) {
+  // The final `end` never gets its newline — the writer exited mid-line.
+  // Idle-exit must still audit the complete block.
+  const std::string text =
+      "txn 1 start=0 commit=1\n write 0\nend\n"
+      "txn 2 start=2 commit=3\n read 0 1\nend";  // no trailing '\n'
+  std::istringstream in(text);
+  const report::StreamAuditResult r = report::stream_audit(in, {.idle_exit_ms = 1});
+  EXPECT_TRUE(r.error.empty()) << r.error;
+  EXPECT_EQ(r.transactions, 2u);
+}
+
+TEST(StreamAudit, UnfinishedBlockAtIdleExitIsNotAudited) {
+  // `txn 2` is open but its `end` never arrives: only the complete block
+  // before it may be audited.
+  const std::string text =
+      "txn 1 start=0 commit=1\n write 0\nend\n"
+      "txn 2 start=2 commit=3\n read 0 1\n";
+  std::istringstream in(text);
+  const report::StreamAuditResult r = report::stream_audit(in, {.idle_exit_ms = 1});
+  EXPECT_TRUE(r.error.empty()) << r.error;
+  EXPECT_EQ(r.transactions, 1u);
+}
+
+TEST(StreamAudit, MetricsSnapshotEveryNthBatch) {
+  // Three polls' worth of blocks: feed one block per flush by capping batches
+  // via a growing stringstream is overkill — instead use three blocks in one
+  // stream and metrics_every=1 so every batch carries a snapshot, then
+  // confirm metrics_every=0 never does.
+  const std::string text =
+      "txn 1 start=0 commit=1\n write 0\nend\n"
+      "txn 2 start=2 commit=3\n read 0 1\nend\n";
+  {
+    std::istringstream in(text);
+    std::vector<std::string> snapshots;
+    report::StreamAuditOptions opts;
+    opts.idle_exit_ms = 1;
+    opts.metrics_every = 1;
+    const report::StreamAuditResult r =
+        report::stream_audit(in, opts, [&](const auto& rep) {
+          snapshots.push_back(rep.metrics_snapshot);
+          return true;
+        });
+    EXPECT_TRUE(r.error.empty()) << r.error;
+    ASSERT_GE(snapshots.size(), 1u);
+    for (const std::string& s : snapshots) {
+      EXPECT_NE(s.find("\"crooks_follow_batches_total\""), std::string::npos) << s;
+      EXPECT_EQ(s.find('\n'), std::string::npos);
+    }
+  }
+  {
+    std::istringstream in(text);
+    const report::StreamAuditResult r = report::stream_audit(
+        in, {.idle_exit_ms = 1}, [&](const auto& rep) {
+          EXPECT_TRUE(rep.metrics_snapshot.empty());
+          return true;
+        });
+    EXPECT_TRUE(r.error.empty()) << r.error;
+  }
+}
+
 TEST(StreamAudit, FollowsGrowingFileWithConcurrentWriter) {
   const auto fuzz = wl::fuzz_observations(55, {.transactions = 24, .keys = 4});
   const std::vector<Transaction> all = to_vector(fuzz.txns);

@@ -16,9 +16,11 @@
 
 #include <atomic>
 #include <stdexcept>
+#include <thread>
 
 #include "checker/checker.hpp"
 #include "common/thread_pool.hpp"
+#include "obs/metrics.hpp"
 #include "store/runner.hpp"
 #include "workload/observations.hpp"
 #include "workload/workload.hpp"
@@ -247,6 +249,38 @@ TEST(ThreadPool, PropagatesFirstTaskException) {
   // The pool stays usable after an exception.
   pool.submit([&completed] { completed.fetch_add(1, std::memory_order_relaxed); });
   EXPECT_NO_THROW(pool.wait());
+}
+
+TEST(ThreadPool, GaugesStayConsistentUnderContention) {
+  // Hammer the pool's observability surface from outside while workers churn:
+  // readers of queue_depth()/in_flight() and the global gauges race the
+  // workers' updates. Run under TSan, this is the data-race gate for the
+  // pool instrumentation; in any build it checks the gauges return to zero.
+  obs::Gauge& depth = obs::Registry::global().gauge("crooks_pool_queue_depth");
+  obs::Gauge& inflight = obs::Registry::global().gauge("crooks_pool_inflight");
+  std::atomic<bool> done{false};
+  std::atomic<std::uint64_t> ran{0};
+  ThreadPool pool(4);
+  std::thread reader([&] {
+    while (!done.load(std::memory_order_relaxed)) {
+      // Snapshots may be stale but must never be garbage.
+      EXPECT_LE(pool.in_flight(), 4u + pool.queue_depth());
+      EXPECT_GE(depth.value(), 0);
+      EXPECT_GE(inflight.value(), -4);  // transiently low is fine; garbage isn't
+      std::this_thread::yield();
+    }
+  });
+  for (int wave = 0; wave < 20; ++wave) {
+    for (int i = 0; i < 50; ++i) {
+      pool.submit([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+    }
+    pool.wait();
+  }
+  done.store(true);
+  reader.join();
+  EXPECT_EQ(ran.load(), 20u * 50u);
+  EXPECT_EQ(pool.queue_depth(), 0u);
+  EXPECT_EQ(pool.in_flight(), 0u);
 }
 
 TEST(ThreadPool, DefaultThreadsIsAtLeastOne) {

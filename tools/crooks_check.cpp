@@ -20,6 +20,13 @@
 //   --idle-exit-ms=N [follow] exit after N ms without new input (default 0 =
 //                    tail forever)
 //   --max-blocks=N   [follow] exit after N audited batches (default 0 = no cap)
+//   --metrics[=FILE] after the audit, dump the metrics registry in Prometheus
+//                    text exposition format to FILE (stdout if omitted)
+//   --metrics-json=FILE  same scrape as one JSON object
+//   --metrics-every=N    [follow] print a `metrics {...}` JSON snapshot line
+//                    every N audited batches
+//   --trace=FILE     write JSONL trace spans/events (compile, extend, engine
+//                    dispatch, search, online ingest) to FILE
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -27,6 +34,8 @@
 #include <optional>
 #include <string>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "report/report.hpp"
 #include "report/stream_audit.hpp"
 
@@ -43,9 +52,12 @@ std::optional<ct::IsolationLevel> level_by_name(const std::string& name) {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: crooks-check [--level=NAME] [--threads=N] [--quiet] [FILE]\n"
+               "usage: crooks-check [--level=NAME] [--threads=N] [--quiet]\n"
+               "                    [--metrics[=FILE]] [--metrics-json=FILE]\n"
+               "                    [--trace=FILE] [FILE]\n"
                "       crooks-check --follow [--level=NAME] [--quiet]\n"
-               "                    [--poll-ms=N] [--idle-exit-ms=N] [--max-blocks=N] FILE\n"
+               "                    [--poll-ms=N] [--idle-exit-ms=N] [--max-blocks=N]\n"
+               "                    [--metrics-every=N] FILE\n"
                "levels:");
   for (ct::IsolationLevel l : ct::kAllLevels) {
     std::fprintf(stderr, " %s", std::string(ct::name_of(l)).c_str());
@@ -100,6 +112,9 @@ int run_follow(const std::string& file, ct::IsolationLevel verdict_level,
                           : "?",
                       st.explanation.c_str());
         }
+        if (!rep.metrics_snapshot.empty()) {
+          std::printf("metrics %s\n", rep.metrics_snapshot.c_str());
+        }
         std::fflush(stdout);
         return true;
       });
@@ -126,6 +141,10 @@ int main(int argc, char** argv) {
   std::optional<ct::IsolationLevel> requested;
   bool quiet = false;
   bool follow = false;
+  bool metrics = false;
+  std::string metrics_file;       // empty = stdout
+  std::string metrics_json_file;  // empty = no JSON dump
+  std::string trace_file;
   std::size_t threads = 0;  // 0 = hardware_concurrency
   report::StreamAuditOptions follow_opts;
   std::string file;
@@ -157,6 +176,19 @@ int main(int argc, char** argv) {
     } else if (arg.rfind("--max-blocks=", 0) == 0) {
       if (!parse_count(arg.substr(13), count)) return usage();
       follow_opts.max_blocks = count;
+    } else if (arg == "--metrics") {
+      metrics = true;
+    } else if (arg.rfind("--metrics=", 0) == 0) {
+      metrics = true;
+      metrics_file = arg.substr(10);
+    } else if (arg.rfind("--metrics-json=", 0) == 0) {
+      metrics_json_file = arg.substr(15);
+    } else if (arg.rfind("--metrics-every=", 0) == 0) {
+      if (!parse_count(arg.substr(16), count)) return usage();
+      follow_opts.metrics_every = count;
+    } else if (arg.rfind("--trace=", 0) == 0) {
+      trace_file = arg.substr(8);
+      if (trace_file.empty()) return usage();
     } else if (arg == "--quiet") {
       quiet = true;
     } else if (arg == "--help" || arg == "-h") {
@@ -171,14 +203,47 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (!trace_file.empty() && !obs::Trace::open(trace_file)) {
+    std::fprintf(stderr, "cannot open trace file '%s'\n", trace_file.c_str());
+    return 2;
+  }
+
+  // Scrape the registry and close the trace sink on every exit path past
+  // argument parsing, so `--metrics --level=X violating.txt` still dumps
+  // metrics alongside its exit status 1.
+  const auto finish = [&](int rc) {
+    if (metrics) {
+      const std::string text = obs::Registry::global().prometheus_text();
+      if (metrics_file.empty()) {
+        std::fputs(text.c_str(), stdout);
+      } else if (std::ofstream out(metrics_file); out) {
+        out << text;
+      } else {
+        std::fprintf(stderr, "cannot open metrics file '%s'\n", metrics_file.c_str());
+        if (rc == 0) rc = 2;
+      }
+    }
+    if (!metrics_json_file.empty()) {
+      if (std::ofstream out(metrics_json_file); out) {
+        out << obs::Registry::global().json() << "\n";
+      } else {
+        std::fprintf(stderr, "cannot open metrics file '%s'\n",
+                     metrics_json_file.c_str());
+        if (rc == 0) rc = 2;
+      }
+    }
+    obs::Trace::close();
+    return rc;
+  };
+
   if (follow) {
     if (file.empty() || file == "-") {
       std::fprintf(stderr, "--follow requires a FILE (stdin cannot be tailed)\n");
-      return usage();
+      return finish(usage());
     }
     const ct::IsolationLevel verdict_level =
         requested.value_or(ct::IsolationLevel::kReadUncommitted);
-    return run_follow(file, verdict_level, follow_opts, quiet);
+    return finish(run_follow(file, verdict_level, follow_opts, quiet));
   }
 
   report::Observations obs;
@@ -189,13 +254,13 @@ int main(int argc, char** argv) {
       std::ifstream in(file);
       if (!in) {
         std::fprintf(stderr, "cannot open '%s'\n", file.c_str());
-        return 2;
+        return finish(2);
       }
       obs = report::parse_observations(in);
     }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "parse error: %s\n", e.what());
-    return 2;
+    return finish(2);
   }
 
   checker::CheckOptions opts;
@@ -209,7 +274,10 @@ int main(int argc, char** argv) {
                 : r.unsatisfiable() ? "UNSATISFIABLE"
                                     : "UNDECIDED");
     if (!quiet && !r.detail.empty()) std::printf("%s\n", r.detail.c_str());
-    return r.satisfiable() ? 0 : 1;
+    if (!quiet && r.diagnosis.has_value()) {
+      std::printf("%s", report::render_counterexample(*r.diagnosis).c_str());
+    }
+    return finish(r.satisfiable() ? 0 : 1);
   }
 
   const report::AuditResult a = report::audit(obs, opts);
@@ -220,5 +288,5 @@ int main(int argc, char** argv) {
   } else {
     std::printf("%s", a.text.c_str());
   }
-  return a.strongest.has_value() ? 0 : 1;
+  return finish(a.strongest.has_value() ? 0 : 1);
 }
