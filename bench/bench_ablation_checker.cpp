@@ -21,6 +21,7 @@
 
 #include "checker/checker.hpp"
 #include "checker/reference.hpp"
+#include "model/compiled.hpp"
 #include "store/runner.hpp"
 #include "workload/workload.hpp"
 
@@ -293,6 +294,42 @@ void BM_RepresentationCompiled(benchmark::State& state) {
   run_representation(state, /*compiled=*/true);
 }
 BENCHMARK(BM_RepresentationCompiled)->UseRealTime();
+
+/// The raw per-op scan under the SoA layout: the flags-byte pass every engine
+/// runs (fractured-read and CAUS-VIS sweeps touch only op_flags_[], one byte
+/// per op; the wr-edge pass adds the writer array, four bytes). Exported
+/// ops_per_sec tracks the layout's cache density directly, and
+/// hot_bytes_per_op records the per-op hot-state footprint the SoA split
+/// pays for a full key+writer+flags touch (9 bytes vs 16 for the old
+/// array-of-structs CompiledOp).
+void BM_RepresentationFlagsScan(benchmark::State& state) {
+  const store::RunResult r = run_of_size(static_cast<std::size_t>(state.range(0)));
+  const model::CompiledHistory ch(r.observations);
+  std::uint64_t total_ops = 0;
+  for (model::TxnIdx d = 0; d < ch.size(); ++d) total_ops += ch.op_count(d);
+  for (auto _ : state) {
+    std::uint64_t writes = 0, external = 0;
+    for (model::TxnIdx d = 0; d < ch.size(); ++d) {
+      const model::OpsView ops = ch.ops(d);
+      for (std::size_t i = 0; i < ops.size(); ++i) {
+        if (ops.is_write(i)) {
+          ++writes;
+        } else if (ops.cls(i) == model::OpClass::kReadExternal) {
+          external += ops.writer(i);
+        }
+      }
+    }
+    benchmark::DoNotOptimize(writes);
+    benchmark::DoNotOptimize(external);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(total_ops) * state.iterations());
+  state.counters["ops_per_sec"] = benchmark::Counter(
+      static_cast<double>(total_ops), benchmark::Counter::kIsIterationInvariantRate);
+  state.counters["hot_bytes_per_op"] =
+      sizeof(model::KeyIdx) + sizeof(model::TxnIdx) + sizeof(std::uint8_t);
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_RepresentationFlagsScan)->Arg(128)->Arg(512)->Arg(2048)->Complexity();
 
 void BM_PrecedenceClosure(benchmark::State& state) {
   const store::RunResult r = run_of_size(static_cast<std::size_t>(state.range(0)));

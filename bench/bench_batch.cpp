@@ -1,0 +1,256 @@
+// Batch scheduler ablation: size-class sharded vs wait()-barrier dispatch.
+//
+// The workload is the shape the sharded scheduler exists for — an audit
+// stream dominated by tiny histories (2 transactions, one op each: the
+// per-check work is a few microseconds, so per-task dispatch plus per-task
+// pool instrumentation is a real fraction of runtime) with large 9-transaction
+// histories interleaved so every size class is scheduled. The barrier
+// reference reimplements the pre-sharding check_batch faithfully: maximal
+// prefix-extension chains via the fused (non-prescanned) compare, one pool
+// task per chain, results into a preallocated vector, a pool-wide wait() —
+// exactly the scheduler the sharded one replaced. Both run the identical
+// per-history check, so the measured difference is scheduling alone: tiny
+// chains packed 16-per-task amortize the submit/dequeue/instrumentation cost
+// the barrier pays per history, and completed shards drain through the MPMC
+// queue instead of a barrier.
+//
+// Exported counters per row: threads, histories_per_sec, host_cpus, and on
+// sharded rows speedup_vs_barrier (the barrier run at the same thread count
+// in the same process is the baseline). Timings on a shared host are noisy,
+// so the speedup is computed from the best (minimum) per-iteration wall time
+// of each scheduler — the stable signal EXPERIMENTS.md documents for every
+// committed ratio. On this repo's 1-CPU reference container the entire win
+// is dispatch amortization; on a multi-core host the large class adds
+// branch-parallel refutation latency on top (see BENCH_checker_scaling.json).
+// Verdict parity between the two schedulers and the lone sequential check()
+// is asserted at startup — a bench binary must never time a scheduler that
+// changes answers. Export:
+//   --benchmark_format=json > BENCH_checker_batch.json
+// When CROOKS_OBS_METRICS_JSON names a file, the final metrics scrape is
+// written there; CI gates crooks_batch_results_total ==
+// crooks_batch_items_total on it (zero results dropped by the MPMC queue).
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "checker/checker.hpp"
+#include "common/thread_pool.hpp"
+#include "model/compiled.hpp"
+#include "model/transaction.hpp"
+#include "obs/metrics.hpp"
+#include "workload/observations.hpp"
+
+using namespace crooks;
+
+namespace {
+
+/// Large size class (9 transactions), refuted at the first read: T1 observes
+/// a writer no transaction in the set matches, so every execution prefix
+/// fails PREREAD immediately. Exercises the large-shard branch-parallel path
+/// without letting one factorial refutation dominate the tiny-dispatch signal
+/// this bench isolates (BM_ExhaustiveRefutation tracks that cost).
+model::TransactionSet dangling_large() {
+  using model::TxnBuilder;
+  std::vector<model::Transaction> txns;
+  txns.push_back(TxnBuilder(1).read(0, 777).at(0, 1).build());
+  for (std::uint64_t i = 2; i <= 9; ++i) {
+    txns.push_back(TxnBuilder(i)
+                       .write(Key{i})
+                       .at(static_cast<Timestamp>(2 * i),
+                           static_cast<Timestamp>(2 * i + 1))
+                       .build());
+  }
+  return model::TransactionSet(std::move(txns));
+}
+
+/// 4096 tiny fuzzed histories with two large histories interleaved at the
+/// third points (breaking the tiny runs the way a real mixed stream would).
+std::vector<model::TransactionSet> mixed_workload() {
+  std::vector<model::TransactionSet> histories;
+  constexpr std::size_t kTiny = 4096;
+  wl::ObservationFuzzOptions fo;
+  fo.transactions = 2;
+  fo.keys = 2;
+  fo.max_reads = 1;
+  fo.max_writes = 1;
+  for (std::size_t i = 0; i < kTiny; ++i) {
+    if (i == kTiny / 3 || i == 2 * kTiny / 3) histories.push_back(dangling_large());
+    histories.push_back(wl::fuzz_observations(1000 + i, fo).txns);
+  }
+  return histories;
+}
+
+const std::vector<model::TransactionSet>& workload() {
+  static const std::vector<model::TransactionSet> w = mixed_workload();
+  return w;
+}
+
+/// The pre-sharding scheduler, reimplemented as the ablation baseline:
+/// maximal prefix-extension chains (fused compare, no prescan), one pool
+/// task per chain with every search at threads = 1, a preallocated result
+/// vector and a pool-wide barrier.
+std::vector<checker::CheckResult> check_batch_barrier(
+    ct::IsolationLevel level, const std::vector<model::TransactionSet>& histories,
+    std::size_t threads) {
+  auto extends_prefix_fused = [](const model::TransactionSet& prev,
+                                 const model::TransactionSet& next) {
+    if (next.size() < prev.size()) return false;
+    for (std::size_t i = 0; i < prev.size(); ++i) {
+      const model::Transaction& a = prev.at(i);
+      const model::Transaction& b = next.at(i);
+      if (a.id() != b.id() || a.session() != b.session() || a.site() != b.site() ||
+          a.start_ts() != b.start_ts() || a.commit_ts() != b.commit_ts() ||
+          a.ops() != b.ops()) {
+        return false;
+      }
+    }
+    return true;
+  };
+
+  struct Chain {
+    std::size_t first = 0, count = 1;
+  };
+  std::vector<Chain> chains;
+  for (std::size_t i = 0; i < histories.size(); ++i) {
+    if (!chains.empty()) {
+      const Chain& c = chains.back();
+      const model::TransactionSet& prev = histories[c.first + c.count - 1];
+      if (!prev.empty() && extends_prefix_fused(prev, histories[i])) {
+        ++chains.back().count;
+        continue;
+      }
+    }
+    chains.push_back({i, 1});
+  }
+
+  std::vector<checker::CheckResult> results(histories.size());
+  checker::CheckOptions opts;
+  opts.threads = 1;
+  parallel_for_each_index(threads, chains.size(), [&](std::size_t ci) {
+    const Chain& chain = chains[ci];
+    model::CompiledHistory grown;
+    std::size_t compiled = 0;
+    for (std::size_t j = 0; j < chain.count; ++j) {
+      const std::size_t i = chain.first + j;
+      if (chain.count == 1) {
+        const model::CompiledHistory ch(histories[i]);
+        results[i] = checker::check(level, ch, opts);
+        continue;
+      }
+      std::vector<model::Transaction> block;
+      for (std::size_t t = compiled; t < histories[i].size(); ++t) {
+        block.push_back(histories[i].at(t));
+      }
+      if (!block.empty()) grown.extend(block);
+      compiled = histories[i].size();
+      results[i] = checker::check(level, grown, opts);
+    }
+  });
+  return results;
+}
+
+/// Both schedulers must reproduce the lone sequential verdicts before any
+/// timing is believed.
+void assert_parity() {
+  const auto& histories = workload();
+  checker::CheckOptions lone;
+  lone.threads = 1;
+  checker::CheckOptions sharded;
+  sharded.threads = 2;
+  const auto barrier =
+      check_batch_barrier(ct::IsolationLevel::kSerializable, histories, 2);
+  const auto batch =
+      checker::check_batch(ct::IsolationLevel::kSerializable, histories, sharded);
+  for (std::size_t i = 0; i < histories.size(); ++i) {
+    const auto want =
+        checker::check(ct::IsolationLevel::kSerializable, histories[i], lone).outcome;
+    if (barrier[i].outcome != want || batch[i].outcome != want) {
+      std::fprintf(stderr, "scheduler verdict mismatch on history %zu\n", i);
+      std::abort();
+    }
+  }
+}
+
+/// Barrier best-iteration baselines, keyed by thread count (benchmarks run in
+/// registration order, so the barrier rows fill these first).
+std::map<std::int64_t, double>& barrier_best() {
+  static std::map<std::int64_t, double> b;
+  return b;
+}
+
+void record(benchmark::State& state, double total_secs, double best_secs,
+            bool sharded) {
+  const double n = static_cast<double>(workload().size());
+  state.SetItemsProcessed(static_cast<std::int64_t>(workload().size()) *
+                          state.iterations());
+  state.counters["threads"] = static_cast<double>(state.range(0));
+  state.counters["histories_per_sec"] =
+      n * static_cast<double>(state.iterations()) / total_secs;
+  state.counters["host_cpus"] = std::thread::hardware_concurrency();
+  if (!sharded) {
+    barrier_best()[state.range(0)] = best_secs;
+  } else if (barrier_best().count(state.range(0))) {
+    state.counters["speedup_vs_barrier"] = barrier_best()[state.range(0)] / best_secs;
+  }
+}
+
+void BM_BatchBarrier(benchmark::State& state) {
+  const auto& histories = workload();
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  double total = 0, best = 1e100;
+  for (auto _ : state) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto results =
+        check_batch_barrier(ct::IsolationLevel::kSerializable, histories, threads);
+    benchmark::DoNotOptimize(results.data());
+    const double secs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+    total += secs;
+    best = std::min(best, secs);
+  }
+  record(state, total, best, /*sharded=*/false);
+}
+BENCHMARK(BM_BatchBarrier)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
+
+void BM_BatchSharded(benchmark::State& state) {
+  const auto& histories = workload();
+  checker::CheckOptions opts;
+  opts.threads = static_cast<std::size_t>(state.range(0));
+  double total = 0, best = 1e100;
+  for (auto _ : state) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto results =
+        checker::check_batch(ct::IsolationLevel::kSerializable, histories, opts);
+    benchmark::DoNotOptimize(results.data());
+    const double secs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+    total += secs;
+    best = std::min(best, secs);
+  }
+  record(state, total, best, /*sharded=*/true);
+}
+BENCHMARK(BM_BatchSharded)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  assert_parity();
+  benchmark::RunSpecifiedBenchmarks();
+  // Final registry scrape for the CI zero-dropped-results gate
+  // (crooks_batch_results_total must equal crooks_batch_items_total).
+  if (const char* path = std::getenv("CROOKS_OBS_METRICS_JSON")) {
+    std::ofstream out(path);
+    out << obs::Registry::global().json() << "\n";
+  }
+  return 0;
+}

@@ -5,7 +5,7 @@
 // explanation path and the equivalence tests.
 #include <algorithm>
 #include <cstddef>
-#include <span>
+#include <cstdint>
 #include <stdexcept>
 
 #include "adya/graph.hpp"
@@ -20,10 +20,10 @@ namespace {
 /// transactions, which changes which validation error fires.
 bool is_dangling_writer(const model::CompiledHistory& ch, TxnId id) {
   for (model::TxnIdx d = 0; d < ch.size(); ++d) {
-    const std::span<const model::CompiledOp> cops = ch.ops(d);
+    const model::OpsView cops = ch.ops(d);
     const auto& ops = ch.txns().at(d).ops();
     for (std::size_t i = 0; i < cops.size(); ++i) {
-      if ((cops[i].flags & model::kOpUnknownWriter) != 0 &&
+      if ((cops.flags(i) & model::kOpUnknownWriter) != 0 &&
           ops[i].value.writer == id) {
         return true;
       }
@@ -121,24 +121,28 @@ Dsg::Dsg(const model::CompiledHistory& ch, const InstallOrders& io) {
   // Read- and anti-dependencies. Only reads of *installed* versions create
   // DSG edges; the dirty / intermediate skips are precomputed flags.
   for (model::TxnIdx d = 0; d < n; ++d) {
-    for (const model::CompiledOp& op : ch.ops(d)) {
-      if (!op.is_read() || (op.flags & model::kOpSelfWriter) != 0) continue;
-      const std::vector<model::TxnIdx>& inst = io.by_key[op.key];
-      if ((op.flags & model::kOpInitWriter) != 0) {
+    const model::OpsView cops = ch.ops(d);
+    for (std::size_t i = 0; i < cops.size(); ++i) {
+      const std::uint8_t m = cops.flags(i);
+      if ((m & (model::kOpWrite | model::kOpSelfWriter)) != 0) continue;
+      const model::KeyIdx key = cops.key(i);
+      const std::vector<model::TxnIdx>& inst = io.by_key[key];
+      if ((m & model::kOpInitWriter) != 0) {
         // Read of ⊥: anti-depends on the first installer of the key.
-        if (!inst.empty()) add_edge(d, inst.front(), kRW, ch.keys().key_of(op.key));
+        if (!inst.empty()) add_edge(d, inst.front(), kRW, ch.keys().key_of(key));
         continue;
       }
-      if ((op.flags & model::kOpUnknownWriter) != 0) continue;  // G1a
-      if ((op.flags & (model::kOpPhantom | model::kOpWriterMissesKey)) != 0) {
+      if ((m & model::kOpUnknownWriter) != 0) continue;  // G1a
+      if ((m & (model::kOpPhantom | model::kOpWriterMissesKey)) != 0) {
         continue;  // G1b: observed version is not the writer's final one
       }
-      auto it = std::find(inst.begin(), inst.end(), op.writer);
+      const model::TxnIdx w = cops.writer(i);
+      auto it = std::find(inst.begin(), inst.end(), w);
       if (it == inst.end()) continue;
-      add_edge(op.writer, d, kWR, ch.keys().key_of(op.key));
+      add_edge(w, d, kWR, ch.keys().key_of(key));
       // Anti-dependency to the installer of the *next* version, if any.
       const std::size_t next = static_cast<std::size_t>(it - inst.begin()) + 1;
-      if (next < inst.size()) add_edge(d, inst[next], kRW, ch.keys().key_of(op.key));
+      if (next < inst.size()) add_edge(d, inst[next], kRW, ch.keys().key_of(key));
     }
   }
 }
@@ -173,26 +177,27 @@ namespace {
 // also finally wrote y; T reads a version of y strictly older than T_i's.
 bool detect_fractured(const model::CompiledHistory& ch, const InstallOrders& io) {
   for (model::TxnIdx d = 0; d < ch.size(); ++d) {
-    const std::span<const model::CompiledOp> ops = ch.ops(d);
-    for (const model::CompiledOp& r1 : ops) {
-      if (!r1.is_read()) continue;
-      if ((r1.flags & (model::kOpInitWriter | model::kOpSelfWriter |
-                       model::kOpUnknownWriter)) != 0) {
+    const model::OpsView ops = ch.ops(d);
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+      const std::uint8_t m1 = ops.flags(i);
+      if ((m1 & (model::kOpWrite | model::kOpInitWriter | model::kOpSelfWriter |
+                 model::kOpUnknownWriter)) != 0) {
         continue;
       }
-      if ((r1.flags & (model::kOpPhantom | model::kOpWriterMissesKey)) != 0) {
+      if ((m1 & (model::kOpPhantom | model::kOpWriterMissesKey)) != 0) {
         continue;  // r1 must observe the writer's final version
       }
-      const model::TxnIdx wi = r1.writer;
-      for (const model::CompiledOp& r2 : ops) {
-        if (!r2.is_read() || (r2.flags & model::kOpSelfWriter) != 0) continue;
-        if (!ch.writes_key(wi, r2.key)) continue;
-        const std::vector<model::TxnIdx>& inst = io.by_key[r2.key];
+      const model::TxnIdx wi = ops.writer(i);
+      for (std::size_t j = 0; j < ops.size(); ++j) {
+        const std::uint8_t m2 = ops.flags(j);
+        if ((m2 & (model::kOpWrite | model::kOpSelfWriter)) != 0) continue;
+        if (!ch.writes_key(wi, ops.key(j))) continue;
+        const std::vector<model::TxnIdx>& inst = io.by_key[ops.key(j)];
         // Install position of r2's observed writer: -1 for ⊥, skip if absent.
         std::ptrdiff_t read_pos = -1;
-        if ((r2.flags & model::kOpInitWriter) == 0) {
-          if ((r2.flags & model::kOpUnknownWriter) != 0) continue;
-          auto it = std::find(inst.begin(), inst.end(), r2.writer);
+        if ((m2 & model::kOpInitWriter) == 0) {
+          if ((m2 & model::kOpUnknownWriter) != 0) continue;
+          auto it = std::find(inst.begin(), inst.end(), ops.writer(j));
           if (it == inst.end()) continue;
           read_pos = it - inst.begin();
         }
@@ -213,14 +218,15 @@ Phenomena detect(const model::CompiledHistory& ch, const InstallOrders& io) {
   // G1a / G1b are single flag tests: a dirty read *is* an unknown-writer op,
   // an intermediate read *is* a phantom or writer-misses-key op.
   for (model::TxnIdx d = 0; d < ch.size(); ++d) {
-    for (const model::CompiledOp& op : ch.ops(d)) {
-      if (!op.is_read() ||
-          (op.flags & (model::kOpInitWriter | model::kOpSelfWriter)) != 0) {
+    const model::OpsView cops = ch.ops(d);
+    for (std::size_t i = 0; i < cops.size(); ++i) {
+      const std::uint8_t m = cops.flags(i);
+      if ((m & (model::kOpWrite | model::kOpInitWriter | model::kOpSelfWriter)) != 0) {
         continue;
       }
-      if ((op.flags & model::kOpUnknownWriter) != 0) {
+      if ((m & model::kOpUnknownWriter) != 0) {
         p.g1a = true;
-      } else if ((op.flags & (model::kOpPhantom | model::kOpWriterMissesKey)) != 0) {
+      } else if ((m & (model::kOpPhantom | model::kOpWriterMissesKey)) != 0) {
         p.g1b = true;
       }
     }

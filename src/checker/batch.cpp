@@ -1,19 +1,38 @@
-// Batch checking: fan independent histories across a thread pool.
+// Batch checking: a size-class sharded scheduler over a thread pool.
 //
 // Histories in a batch share nothing — each gets its own dispatcher call with
 // its own (optional) version order — so the only coordination is the pool
-// itself. Per-history searches run single-threaded: when there are many
-// histories, spending the core budget across them beats nesting parallelism
-// inside each factorial search, and it keeps every per-history result
-// bit-for-bit identical to a lone check() with threads = 1.
+// itself. The scheduler groups work along two axes before submitting:
 //
-// One exception to "share nothing": audit streams often submit growing
-// prefixes of the same history (check after every block). Consecutive items
-// where each history extends the previous one are detected and compiled once
-// into a growable CompiledHistory, re-using CompiledHistory::extend deltas
-// instead of re-interning the shared prefix per item. A grown compilation is
-// structurally identical to a fresh one (see model/compiled.hpp), so results
-// are still bit-for-bit what a lone check() would produce.
+//  * Prefix-extension chains. Audit streams often submit growing prefixes of
+//    the same history (check after every block). Consecutive items where each
+//    history extends the previous one are detected and compiled once into a
+//    growable CompiledHistory, re-using CompiledHistory::extend deltas
+//    instead of re-interning the shared prefix per item. A grown compilation
+//    is structurally identical to a fresh one (see model/compiled.hpp), so
+//    results are still bit-for-bit what a lone check() would produce.
+//
+//  * Size classes. Millions of tiny audit histories drown in per-task
+//    dispatch (queue mutex, std::function allocation, worker wakeup) if each
+//    becomes its own pool task, while one factorial refutation starves the
+//    batch tail if it runs single-threaded. Chains are therefore classed by
+//    the transaction count of their largest history: `tiny` chains are packed
+//    many-per-task to amortize dispatch, `medium` chains get one task each,
+//    and `large` chains keep one task but run their searches with the
+//    branch-parallel exhaustive engine (per the CheckOptions::threads
+//    determinism contract: same verdict, possibly a different witness).
+//
+// Results drain through a bounded MPMC queue as shards complete instead of a
+// pool-wide wait() barrier: the caller observes per-shard completion (drain
+// latency histogram, per-class effort counters) while late shards still run.
+// With threads == 1 the scheduler runs every shard inline, in order, with no
+// pool or queue at all — bit-for-bit the sequential loop.
+#include <array>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <string_view>
 #include <vector>
 
 #include "checker/checker.hpp"
@@ -28,21 +47,148 @@ namespace {
 using model::Transaction;
 using model::TransactionSet;
 
+// --- size classes -----------------------------------------------------------
+
+/// Chains whose largest history has at most this many transactions are packed
+/// kTinyPack-per-task; such checks finish in microseconds, so per-task
+/// dispatch would dominate their runtime.
+constexpr std::size_t kTinyMaxTxns = 6;
+/// Chains whose largest history has at least this many transactions may hit
+/// factorial refutations; their searches run branch-parallel.
+constexpr std::size_t kLargeMinTxns = 9;
+/// Tiny chains per shard task.
+constexpr std::size_t kTinyPack = 16;
+
+enum class SizeClass : std::uint8_t { kTiny, kMedium, kLarge };
+
+std::string_view class_name(SizeClass c) {
+  switch (c) {
+    case SizeClass::kTiny: return "tiny";
+    case SizeClass::kMedium: return "medium";
+    case SizeClass::kLarge: return "large";
+  }
+  return "?";
+}
+
+SizeClass class_of(std::size_t txn_count) {
+  if (txn_count <= kTinyMaxTxns) return SizeClass::kTiny;
+  if (txn_count >= kLargeMinTxns) return SizeClass::kLarge;
+  return SizeClass::kMedium;
+}
+
+// --- metrics ----------------------------------------------------------------
+
+struct BatchMetrics {
+  obs::Counter& items_total = obs::Registry::global().counter(
+      "crooks_batch_items_total", "Histories submitted through check_batch");
+  obs::Counter& chains_total = obs::Registry::global().counter(
+      "crooks_batch_chains_total",
+      "Prefix-extension chains scheduled by check_batch (a chain of one is a "
+      "lone history)");
+  obs::Counter& results_total = obs::Registry::global().counter(
+      "crooks_batch_results_total",
+      "Results produced by check_batch shards (equals items_total when no "
+      "shard failed — the zero-dropped-results invariant CI gates on)");
+  obs::Counter& prescan_skips_total = obs::Registry::global().counter(
+      "crooks_batch_prescan_skipped_op_compares_total",
+      "Per-transaction op-vector comparisons avoided because the cheap "
+      "id/size prescan rejected a prefix-extension candidate first");
+  obs::Histogram& drain_seconds = obs::Registry::global().histogram(
+      "crooks_batch_queue_drain_seconds",
+      "Time check_batch blocks on the MPMC result queue per shard completion",
+      obs::latency_buckets_seconds());
+
+  obs::Counter& shard_total(SizeClass c) {
+    return *shards_[static_cast<std::size_t>(c)];
+  }
+  obs::Counter& nodes_total(SizeClass c) {
+    return *nodes_[static_cast<std::size_t>(c)];
+  }
+  obs::Counter& edges_total(SizeClass c) {
+    return *edges_[static_cast<std::size_t>(c)];
+  }
+
+  static BatchMetrics& get() {
+    static BatchMetrics m;
+    return m;
+  }
+
+ private:
+  BatchMetrics() {
+    for (SizeClass c : {SizeClass::kTiny, SizeClass::kMedium, SizeClass::kLarge}) {
+      const obs::Labels labels = {{"class", std::string(class_name(c))}};
+      shards_[static_cast<std::size_t>(c)] = &obs::Registry::global().counter(
+          "crooks_batch_shard_total", "Shard tasks scheduled per size class",
+          labels);
+      nodes_[static_cast<std::size_t>(c)] = &obs::Registry::global().counter(
+          "crooks_batch_nodes_explored_total",
+          "Search nodes explored by check_batch per size class (tune the "
+          "shard heuristic from this)",
+          labels);
+      edges_[static_cast<std::size_t>(c)] = &obs::Registry::global().counter(
+          "crooks_batch_edges_visited_total",
+          "Graph-engine edges visited by check_batch per size class", labels);
+    }
+  }
+
+  std::array<obs::Counter*, 3> shards_{}, nodes_{}, edges_{};
+};
+
+// --- prefix-extension detection ---------------------------------------------
+
 /// True when `next` is `prev` plus zero or more appended transactions
-/// (attribute- and op-exact on the shared prefix).
-bool extends_prefix(const TransactionSet& prev, const TransactionSet& next) {
+/// (attribute- and op-exact on the shared prefix). Two passes: a cheap
+/// prescan over ids / sessions / sites / timestamps / op counts first, so the
+/// op-vector contents — the expensive part, O(ops) each — are compared only
+/// when every cheap field of the whole prefix already matches. `skipped` is
+/// incremented by the number of per-transaction op comparisons the prescan
+/// avoided (transactions before the first cheap mismatch, which the fused
+/// single-pass loop would have deep-compared on its way there).
+bool extends_prefix(const TransactionSet& prev, const TransactionSet& next,
+                    std::uint64_t& skipped) {
   if (next.size() < prev.size()) return false;
   for (std::size_t i = 0; i < prev.size(); ++i) {
     const Transaction& a = prev.at(i);
     const Transaction& b = next.at(i);
     if (a.id() != b.id() || a.session() != b.session() || a.site() != b.site() ||
         a.start_ts() != b.start_ts() || a.commit_ts() != b.commit_ts() ||
-        a.ops() != b.ops()) {
+        a.ops().size() != b.ops().size()) {
+      skipped += i;
       return false;
     }
   }
+  for (std::size_t i = 0; i < prev.size(); ++i) {
+    if (prev.at(i).ops() != next.at(i).ops()) return false;
+  }
   return true;
 }
+
+// --- the scheduler ----------------------------------------------------------
+
+struct Chain {
+  std::size_t first = 0, count = 1;
+  SizeClass cls = SizeClass::kTiny;
+};
+
+/// One pool task: a run of consecutive chains (several when tiny, one
+/// otherwise), all of the same size class.
+struct Shard {
+  std::size_t first_chain = 0, chain_count = 1;
+  SizeClass cls = SizeClass::kTiny;
+};
+
+/// What a shard task reports into the MPMC result queue when it finishes.
+/// Results themselves are written straight into the caller's result vector
+/// (disjoint index ranges — no coordination needed); the record carries the
+/// per-class effort tallies and any exception, so the drain loop can account
+/// and rethrow without a pool-wide barrier.
+struct ShardDone {
+  std::size_t shard = 0;
+  SizeClass cls = SizeClass::kTiny;
+  std::uint64_t items = 0;  // results written before any failure
+  std::uint64_t nodes = 0, edges = 0;
+  std::exception_ptr error;
+};
 
 }  // namespace
 
@@ -53,78 +199,166 @@ std::size_t CheckOptions::resolved_threads() const {
 std::vector<CheckResult> check_batch(ct::IsolationLevel level,
                                      std::span<const BatchItem> items,
                                      const CheckOptions& opts) {
-  static obs::Counter& items_total = obs::Registry::global().counter(
-      "crooks_batch_items_total", "Histories submitted through check_batch");
-  static obs::Counter& chains_total = obs::Registry::global().counter(
-      "crooks_batch_chains_total",
-      "Prefix-extension chains scheduled by check_batch (a chain of one is a "
-      "lone history)");
+  BatchMetrics& metrics = BatchMetrics::get();
   obs::TraceSpan span("check.batch");
   std::vector<CheckResult> results(items.size());
 
-  // Group consecutive items into maximal prefix-extension chains. A chain of
-  // one is the common case and takes the original borrowing-compile path.
-  struct Chain {
-    std::size_t first = 0, count = 1;
-  };
+  // Group consecutive items into maximal prefix-extension chains and class
+  // each by its largest history (the last item: extension is append-only).
   std::vector<Chain> chains;
+  std::uint64_t prescan_skips = 0;
   for (std::size_t i = 0; i < items.size(); ++i) {
     if (!chains.empty()) {
       const Chain& c = chains.back();
       const TransactionSet& prev = *items[c.first + c.count - 1].txns;
-      if (!prev.empty() && extends_prefix(prev, *items[i].txns)) {
+      if (!prev.empty() && extends_prefix(prev, *items[i].txns, prescan_skips)) {
         ++chains.back().count;
+        chains.back().cls = class_of(items[i].txns->size());
         continue;
       }
     }
-    chains.push_back({i, 1});
+    chains.push_back({i, 1, class_of(items[i].txns->size())});
   }
+
+  // Pack chains into shard tasks: runs of up to kTinyPack consecutive tiny
+  // chains fuse into one task; medium and large chains get their own.
+  std::vector<Shard> shards;
+  for (std::size_t ci = 0; ci < chains.size(); ++ci) {
+    if (!shards.empty() && shards.back().cls == SizeClass::kTiny &&
+        chains[ci].cls == SizeClass::kTiny &&
+        shards.back().chain_count < kTinyPack &&
+        shards.back().first_chain + shards.back().chain_count == ci) {
+      ++shards.back().chain_count;
+      continue;
+    }
+    shards.push_back({ci, 1, chains[ci].cls});
+  }
+
   if (obs::enabled()) {
-    items_total.inc(items.size());
-    chains_total.inc(chains.size());
+    metrics.items_total.inc(items.size());
+    metrics.chains_total.inc(chains.size());
+    metrics.prescan_skips_total.inc(prescan_skips);
+    for (const Shard& s : shards) metrics.shard_total(s.cls).inc();
   }
   span.field("level", ct::name_of(level))
       .field("items", static_cast<std::uint64_t>(items.size()))
       .field("chains", static_cast<std::uint64_t>(chains.size()))
+      .field("shards", static_cast<std::uint64_t>(shards.size()))
       .field("threads", static_cast<std::uint64_t>(opts.resolved_threads()));
 
-  parallel_for_each_index(
-      opts.resolved_threads(), chains.size(), [&](std::size_t ci) {
-        const Chain& chain = chains[ci];
-        auto local_opts = [&](std::size_t item) {
-          CheckOptions local = opts;
-          local.threads = 1;  // batch-level parallelism only; see header comment
-          if (items[item].version_order != nullptr) {
-            local.version_order = items[item].version_order;
-          }
-          return local;
-        };
-        if (chain.count == 1) {
-          const std::size_t i = chain.first;
-          // Compile once per history, in the worker: every engine the
-          // dispatcher may try (graph, exhaustive, hierarchy inference)
-          // shares this one compiled form instead of re-interning.
-          const model::CompiledHistory ch(*items[i].txns);
-          results[i] = check(level, ch, local_opts(i));
-          return;
+  // Run every chain of one shard, writing results[i] in place and tallying
+  // the shard's effort. Searches inside tiny/medium shards run with
+  // threads = 1 (bit-for-bit the lone sequential check); large shards use the
+  // branch-parallel exhaustive engine, whose determinism contract keeps the
+  // verdict equal to the sequential one.
+  const std::size_t threads = opts.resolved_threads();
+  auto run_shard = [&](const Shard& shard, ShardDone& done) {
+    for (std::size_t sc = 0; sc < shard.chain_count; ++sc) {
+      const Chain& chain = chains[shard.first_chain + sc];
+      auto local_opts = [&](std::size_t item) {
+        CheckOptions local = opts;
+        local.threads =
+            (shard.cls == SizeClass::kLarge && threads > 1) ? threads : 1;
+        if (items[item].version_order != nullptr) {
+          local.version_order = items[item].version_order;
         }
-        // Prefix chain: grow one compilation across the run, appending only
-        // each item's new suffix as a CompiledDelta.
-        model::CompiledHistory ch;
-        std::size_t compiled = 0;
-        for (std::size_t j = 0; j < chain.count; ++j) {
-          const std::size_t i = chain.first + j;
-          const TransactionSet& hist = *items[i].txns;
-          std::vector<Transaction> block;
-          block.reserve(hist.size() - compiled);
-          for (std::size_t t = compiled; t < hist.size(); ++t) {
-            block.push_back(hist.at(t));
-          }
-          if (!block.empty()) ch.extend(block);
-          compiled = hist.size();
-          results[i] = check(level, ch, local_opts(i));
+        return local;
+      };
+      auto account = [&](const CheckResult& r) {
+        ++done.items;
+        done.nodes += r.nodes_explored;
+        done.edges += r.edges_visited;
+      };
+      if (chain.count == 1) {
+        const std::size_t i = chain.first;
+        // Compile once per history, in the worker: every engine the
+        // dispatcher may try (graph, exhaustive, hierarchy inference)
+        // shares this one compiled form instead of re-interning.
+        const model::CompiledHistory ch(*items[i].txns);
+        results[i] = check(level, ch, local_opts(i));
+        account(results[i]);
+        continue;
+      }
+      // Prefix chain: grow one compilation across the run, appending only
+      // each item's new suffix as a CompiledDelta.
+      model::CompiledHistory ch;
+      std::size_t compiled = 0;
+      for (std::size_t j = 0; j < chain.count; ++j) {
+        const std::size_t i = chain.first + j;
+        const TransactionSet& hist = *items[i].txns;
+        std::vector<Transaction> block;
+        block.reserve(hist.size() - compiled);
+        for (std::size_t t = compiled; t < hist.size(); ++t) {
+          block.push_back(hist.at(t));
         }
-      });
+        if (!block.empty()) ch.extend(block);
+        compiled = hist.size();
+        results[i] = check(level, ch, local_opts(i));
+        account(results[i]);
+      }
+    }
+  };
+
+  auto settle = [&](const ShardDone& done) {
+    if (obs::enabled()) {
+      metrics.results_total.inc(done.items);
+      metrics.nodes_total(done.cls).inc(done.nodes);
+      metrics.edges_total(done.cls).inc(done.edges);
+    }
+  };
+
+  if (threads == 1 || shards.size() <= 1) {
+    // Sequential path: no pool, no queue — identical to the plain loop.
+    for (const Shard& shard : shards) {
+      ShardDone done;
+      done.cls = shard.cls;
+      run_shard(shard, done);
+      settle(done);
+    }
+    return results;
+  }
+
+  // Parallel path: one pool task per shard, each pushing its completion
+  // record into a bounded MPMC queue. The queue is sized to the shard count,
+  // so pushes never block; the drain loop below consumes exactly one record
+  // per shard as they finish. A task that throws still pushes its record
+  // (with the exception attached) — the drain can therefore never deadlock,
+  // and the first failing shard (by schedule order) is rethrown after every
+  // other shard has been accounted.
+  MpmcQueue<ShardDone> queue(shards.size());
+  ThreadPool pool(std::min(threads, shards.size()));
+  for (std::size_t si = 0; si < shards.size(); ++si) {
+    pool.submit([&, si] {
+      ShardDone done;
+      done.shard = si;
+      done.cls = shards[si].cls;
+      try {
+        run_shard(shards[si], done);
+      } catch (...) {
+        done.error = std::current_exception();
+      }
+      queue.push(std::move(done));
+    });
+  }
+
+  std::exception_ptr first_error;
+  std::size_t first_error_shard = shards.size();
+  for (std::size_t drained = 0; drained < shards.size(); ++drained) {
+    const auto t0 = std::chrono::steady_clock::now();
+    ShardDone done = queue.pop();
+    if (obs::enabled()) {
+      metrics.drain_seconds.observe(
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+              .count());
+    }
+    settle(done);
+    if (done.error && done.shard < first_error_shard) {
+      first_error = done.error;
+      first_error_shard = done.shard;
+    }
+  }
+  pool.wait();  // all records drained ⇒ returns immediately; keeps pool tidy
+  if (first_error) std::rethrow_exception(first_error);
   return results;
 }
 

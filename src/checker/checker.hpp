@@ -153,11 +153,17 @@ CheckResult check(ct::IsolationLevel level, const model::TransactionSet& txns,
 CheckResult check(ct::IsolationLevel level, const model::CompiledHistory& ch,
                   const CheckOptions& opts = {});
 
-/// Check many independent histories concurrently, fanning them across
-/// opts.threads pool workers. Each history is decided by the same dispatch
-/// as check() (running its own search single-threaded — the parallelism
-/// budget is spent across histories, not nested within one). Results are
-/// returned in input order and are identical to checking each history alone.
+/// Check many independent histories concurrently via a size-class sharded
+/// scheduler (see batch.cpp): tiny histories are packed several per pool task
+/// to amortize dispatch, medium ones get a task each, and large
+/// (refutation-heavy) ones additionally run their searches with the
+/// branch-parallel exhaustive engine. Completed shards drain through an MPMC
+/// result queue instead of a pool-wide barrier. Results are returned in input
+/// order; each is decided by the same dispatch as check(). With threads == 1
+/// every result is bit-for-bit the lone sequential check; with more threads
+/// the per-result guarantee is the CheckOptions::threads determinism contract
+/// (same verdict, possibly a different witness or node count on large
+/// histories).
 std::vector<CheckResult> check_batch(ct::IsolationLevel level,
                                      std::span<const BatchItem> items,
                                      const CheckOptions& opts = {});

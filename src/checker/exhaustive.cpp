@@ -41,7 +41,6 @@ namespace {
 
 using ct::IsolationLevel;
 using model::CompiledHistory;
-using model::CompiledOp;
 using model::KeyIdx;
 using model::OpClass;
 using model::TxnIdx;
@@ -290,10 +289,16 @@ class PrefixSearch {
 
   bool placed(TxnIdx d) const { return pos_[d] != 0; }
 
-  /// Read-state interval of a compiled op of transaction `d` if placed now.
-  OpInterval interval_of(const CompiledOp& op, StateIndex parent) const {
+  /// Read-state interval of op `i` of the viewed transaction if placed now.
+  /// Reads the flags byte first and touches the writer / key arrays only for
+  /// the classes that need them — the SoA layout makes that selective. The
+  /// next write after the version is found by scanning the key's timeline
+  /// backwards: reads usually observe a recent version, so the scan exits
+  /// after a compare or two where a binary search pays its full log cost.
+  OpInterval interval_of(const model::OpsView& ops, std::size_t i,
+                         StateIndex parent) const {
     StateIndex version_pos = 0;
-    switch (op.cls) {
+    switch (ops.cls(i)) {
       case OpClass::kWrite:
       case OpClass::kReadInternal:
         return {0, parent};
@@ -302,17 +307,85 @@ class PrefixSearch {
       case OpClass::kReadInitial:
         version_pos = 0;
         break;
-      case OpClass::kReadExternal:
-        if (!placed(op.writer)) return {0, -1};
-        version_pos = pos_[op.writer];
+      case OpClass::kReadExternal: {
+        const TxnIdx w = ops.writer(i);
+        if (!placed(w)) return {0, -1};
+        version_pos = pos_[w];
         break;
+      }
     }
-    const auto& tl = timelines_[op.key];
-    auto it = std::upper_bound(
-        tl.begin(), tl.end(), version_pos,
-        [](StateIndex v, const auto& en) { return v < en.first; });
-    const StateIndex next_write = it == tl.end() ? parent + 2 : it->first;
+    const auto& tl = timelines_[ops.key(i)];
+    StateIndex next_write = parent + 2;
+    for (auto it = tl.rbegin(); it != tl.rend() && it->first > version_pos; ++it) {
+      next_write = it->first;
+    }
     return {version_pos, std::min(next_write - 1, parent)};
+  }
+
+  /// PREREAD alone (the whole RC test): every read names a version that
+  /// exists in the prefix — the initial state, the transaction itself, or a
+  /// *placed* member writer. A placed version's interval [pos_w, …] is never
+  /// empty (the next write of the key is strictly later and parent ≥ pos_w),
+  /// so emptiness can only come from kReadNever or an unplaced external
+  /// writer: no timeline is touched at all.
+  bool readable(const model::OpsView& ops) const {
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+      switch (ops.cls(i)) {
+        case OpClass::kWrite:
+        case OpClass::kReadInternal:
+        case OpClass::kReadInitial:
+          break;
+        case OpClass::kReadNever:
+          return false;
+        case OpClass::kReadExternal:
+          if (!placed(ops.writer(i))) return false;
+          break;
+      }
+    }
+    return true;
+  }
+
+  /// COMPLETE at the parent state (the SER/SSER test, given that every
+  /// interval's sf is ≤ parent by construction): each read's interval must
+  /// reach the parent, i.e. no placed write of the key is newer than the
+  /// version read — every read observes the key's latest placed version.
+  /// One flags byte and at most one probe of the timeline's back per op;
+  /// the interval search is not needed for this special case.
+  bool reads_latest(const model::OpsView& ops) const {
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+      StateIndex version_pos = 0;
+      switch (ops.cls(i)) {
+        case OpClass::kWrite:
+        case OpClass::kReadInternal:
+          continue;
+        case OpClass::kReadNever:
+          return false;
+        case OpClass::kReadInitial:
+          version_pos = 0;
+          break;
+        case OpClass::kReadExternal: {
+          const TxnIdx w = ops.writer(i);
+          if (!placed(w)) return false;
+          version_pos = pos_[w];
+          break;
+        }
+      }
+      const auto& tl = timelines_[ops.key(i)];
+      if (!tl.empty() && tl.back().first > version_pos) return false;
+    }
+    return true;
+  }
+
+  /// Fill scratch_ with every op's read-state interval, stopping at the
+  /// first empty one (PREREAD fails; the RA/PSI passes that consume scratch_
+  /// never run on a failed PREREAD, so the partial fill is fine).
+  bool fill_scratch(const model::OpsView& ops, StateIndex parent) {
+    scratch_.resize(ops.size());
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+      scratch_[i] = interval_of(ops, i, parent);
+      if (scratch_[i].empty()) return false;
+    }
+    return true;
   }
 
   /// Does placing `d` now respect the version-order restriction?
@@ -326,45 +399,45 @@ class PrefixSearch {
     return true;
   }
 
-  /// Evaluate CT_level(T, prefix + T). Fills scratch_ with the op intervals.
+  /// Evaluate CT_level(T, prefix + T). Each level runs only the interval
+  /// work its commit test consumes: RC needs no timelines (readable), SER /
+  /// SSER one back-probe per read (reads_latest), the SI family the interval
+  /// bounds but no scratch_, and only RA / PSI fill scratch_ for the
+  /// fragment / causal-visibility passes. Verdicts, prune reasons and node
+  /// counts are identical to evaluating every test from a full interval
+  /// sweep — the differential suites hold each engine to that.
   bool admissible(TxnIdx d) {
-    const std::span<const CompiledOp> cops = ch_->ops(d);
+    const model::OpsView cops = ch_->ops(d);
     const StateIndex parent = static_cast<StateIndex>(order_.size());
-    scratch_.resize(cops.size());
-
-    bool preread = true;
-    StateIndex complete_lo = 0, complete_hi = parent;
-    for (std::size_t i = 0; i < cops.size(); ++i) {
-      scratch_[i] = interval_of(cops[i], parent);
-      if (scratch_[i].empty()) preread = false;
-      complete_lo = std::max(complete_lo, scratch_[i].sf);
-      complete_hi = std::min(complete_hi, scratch_[i].sl);
-    }
 
     switch (level_) {
       case IsolationLevel::kReadUncommitted:
         return true;
       case IsolationLevel::kReadCommitted:
-        return preread || prune(Prune::kPreread);
+        return readable(cops) || prune(Prune::kPreread);
       case IsolationLevel::kReadAtomic:
-        if (!preread) return prune(Prune::kPreread);
+        if (!fill_scratch(cops, parent)) return prune(Prune::kPreread);
         return !fractured(d) || prune(Prune::kFractured);
       case IsolationLevel::kPSI:
-        if (!preread) return prune(Prune::kPreread);
+        if (!fill_scratch(cops, parent)) return prune(Prune::kPreread);
         return caus_vis(d) || prune(Prune::kCausVis);
       case IsolationLevel::kSerializable:
-        return (complete_lo <= parent && complete_hi >= parent) ||
-               prune(Prune::kIncompleteParent);
+        return reads_latest(cops) || prune(Prune::kIncompleteParent);
       case IsolationLevel::kStrictSerializable:
-        if (!(complete_lo <= parent && complete_hi >= parent)) {
-          return prune(Prune::kIncompleteParent);
-        }
+        if (!reads_latest(cops)) return prune(Prune::kIncompleteParent);
         return remaining_rt_[d] == 0 || prune(Prune::kRealTime);
       case IsolationLevel::kAdyaSI:
       case IsolationLevel::kAnsiSI:
       case IsolationLevel::kSessionSI:
-      case IsolationLevel::kStrongSI:
+      case IsolationLevel::kStrongSI: {
+        StateIndex complete_lo = 0, complete_hi = parent;
+        for (std::size_t i = 0; i < cops.size(); ++i) {
+          const OpInterval iv = interval_of(cops, i, parent);
+          complete_lo = std::max(complete_lo, iv.sf);
+          complete_hi = std::min(complete_hi, iv.sl);
+        }
         return si_family(d, parent, complete_lo, complete_hi);
+      }
     }
     return false;
   }
@@ -379,27 +452,32 @@ class PrefixSearch {
   /// Non-internal external read of a member writer. Under PREREAD (the only
   /// context fractured()/caus_vis() run in) this is exactly the pre-compile
   /// "is_read && !is_internal && writer != ⊥" predicate.
-  static bool external_read(const CompiledOp& op) {
-    return op.cls == OpClass::kReadExternal &&
-           (op.flags & model::kOpPositionalInternal) == 0;
+  static bool external_read(std::uint8_t flags) {
+    return model::op_class_of(flags) == OpClass::kReadExternal &&
+           (flags & model::kOpPositionalInternal) == 0;
   }
 
   bool fractured(TxnIdx d) const {
-    const std::span<const CompiledOp> cops = ch_->ops(d);
+    const model::OpsView cops = ch_->ops(d);
     for (std::size_t i = 0; i < cops.size(); ++i) {
-      if (!external_read(cops[i])) continue;
-      const TxnIdx w1 = cops[i].writer;
+      if (!external_read(cops.flags(i))) continue;
+      const TxnIdx w1 = cops.writer(i);
       for (std::size_t j = 0; j < cops.size(); ++j) {
-        const CompiledOp& r2 = cops[j];
-        if (!r2.is_read() || (r2.flags & model::kOpPositionalInternal) != 0) continue;
-        if (ch_->writes_key(w1, r2.key) && scratch_[i].sf > scratch_[j].sf) return true;
+        const std::uint8_t m2 = cops.flags(j);
+        if ((m2 & model::kOpWrite) != 0 ||
+            (m2 & model::kOpPositionalInternal) != 0) {
+          continue;
+        }
+        if (ch_->writes_key(w1, cops.key(j)) && scratch_[i].sf > scratch_[j].sf) {
+          return true;
+        }
       }
     }
     return false;
   }
 
   bool caus_vis(TxnIdx d) {
-    const std::span<const CompiledOp> cops = ch_->ops(d);
+    const model::OpsView cops = ch_->ops(d);
     // Assemble PREC_e(T) from the already-placed predecessors.
     DynamicBitset& prec = prec_[d];
     prec = DynamicBitset(n_);
@@ -407,17 +485,20 @@ class PrefixSearch {
       prec.set(pd);
       prec.or_with(prec_[pd]);
     };
-    for (const CompiledOp& op : cops) {
-      if (external_read(op)) absorb(op.writer);  // placed: preread holds
+    for (std::size_t i = 0; i < cops.size(); ++i) {
+      if (external_read(cops.flags(i))) absorb(cops.writer(i));  // placed: preread holds
     }
     for (KeyIdx k : ch_->write_keys(d)) {
       for (const auto& [pos, wd] : timelines_[k]) absorb(wd);
     }
     // ∀T' ▷ T, ∀o: o.k ∈ W_{T'} ⇒ s_{T'} →* sl_o.
     for (std::size_t i = 0; i < cops.size(); ++i) {
-      const CompiledOp& op = cops[i];
-      if (!op.is_read() || (op.flags & model::kOpPositionalInternal) != 0) continue;
-      for (const auto& [pos, wd] : timelines_[op.key]) {
+      const std::uint8_t m = cops.flags(i);
+      if ((m & model::kOpWrite) != 0 ||
+          (m & model::kOpPositionalInternal) != 0) {
+        continue;
+      }
+      for (const auto& [pos, wd] : timelines_[cops.key(i)]) {
         if (pos > scratch_[i].sl && prec.test(wd)) return false;
       }
     }

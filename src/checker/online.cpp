@@ -9,7 +9,6 @@
 namespace crooks::checker {
 
 using ct::IsolationLevel;
-using model::CompiledOp;
 using model::Transaction;
 using model::TxnIdx;
 
@@ -159,38 +158,39 @@ void OnlineChecker::ingest(const model::CompiledDelta& delta) {
     Placed p;
     p.state = static_cast<StateIndex>(d) + 1;
     const StateIndex parent = p.state - 1;
-    const std::span<const CompiledOp> cops = stream_.ops(d);
+    const model::OpsView cops = stream_.ops(d);
     stats_.ops_evaluated += cops.size();
     p.ops.reserve(cops.size());
-    for (const CompiledOp& c : cops) {
-      if (c.is_write()) {
+    for (std::size_t i = 0; i < cops.size(); ++i) {
+      const std::uint8_t m = cops.flags(i);
+      if ((m & model::kOpWrite) != 0) {
         p.ops.push_back({{0, parent}, false});
         continue;
       }
-      if ((c.flags & model::kOpPhantom) != 0) {
+      if ((m & model::kOpPhantom) != 0) {
         p.ops.push_back({{0, -1}, false});
         continue;
       }
-      if ((c.flags & model::kOpPositionalInternal) != 0) {
-        p.ops.push_back((c.flags & model::kOpSelfWriter) != 0
+      if ((m & model::kOpPositionalInternal) != 0) {
+        p.ops.push_back((m & model::kOpSelfWriter) != 0
                             ? OpView{{0, parent}, true}
                             : OpView{{0, -1}, true});
         continue;
       }
-      if ((c.flags & model::kOpSelfWriter) != 0) {
+      if ((m & model::kOpSelfWriter) != 0) {
         p.ops.push_back({{0, -1}, false});
         continue;
       }
       StateIndex version_pos = 0;
-      if ((c.flags & model::kOpInitWriter) == 0) {
-        if ((c.flags & (model::kOpUnknownWriter | model::kOpWriterMissesKey)) != 0 ||
-            c.writer >= d) {  // writer not applied yet: reads from the future
+      if ((m & model::kOpInitWriter) == 0) {
+        if ((m & (model::kOpUnknownWriter | model::kOpWriterMissesKey)) != 0 ||
+            cops.writer(i) >= d) {  // writer not applied yet: reads from the future
           p.ops.push_back({{0, -1}, false});
           continue;
         }
-        version_pos = static_cast<StateIndex>(c.writer) + 1;
+        version_pos = static_cast<StateIndex>(cops.writer(i)) + 1;
       }
-      const auto* tl = timeline_of(c.key);
+      const auto* tl = timeline_of(cops.key(i));
       StateIndex next_write = parent + 2;
       if (tl != nullptr) {
         auto it = std::upper_bound(
@@ -222,7 +222,7 @@ void OnlineChecker::commit_placed(TxnIdx d, Placed p) {
 void OnlineChecker::evaluate_new(TxnIdx d, Placed& p) {
   const TxnId id = stream_.id_of(d);
   const StateIndex parent = p.state - 1;
-  const std::span<const CompiledOp> cops = stream_.ops(d);
+  const model::OpsView cops = stream_.ops(d);
 
   bool preread = true;
   StateIndex complete_lo = 0, complete_hi = parent;
@@ -242,19 +242,19 @@ void OnlineChecker::evaluate_new(TxnIdx d, Placed& p) {
   // Fractured reads (RA).
   if (tracking(IsolationLevel::kReadAtomic) && preread) {
     for (std::size_t i = 0; i < cops.size(); ++i) {
-      const CompiledOp& c1 = cops[i];
-      if (!c1.is_read() || p.ops[i].internal ||
-          (c1.flags & model::kOpInitWriter) != 0) {
+      const std::uint8_t m1 = cops.flags(i);
+      if ((m1 & model::kOpWrite) != 0 || p.ops[i].internal ||
+          (m1 & model::kOpInitWriter) != 0) {
         continue;
       }
-      if (c1.writer == model::kNoTxnIdx || c1.writer >= d) continue;  // not applied
+      const TxnIdx w1 = cops.writer(i);
+      if (w1 == model::kNoTxnIdx || w1 >= d) continue;  // not applied
       for (std::size_t j = 0; j < cops.size(); ++j) {
-        const CompiledOp& c2 = cops[j];
-        if (!c2.is_read() || p.ops[j].internal) continue;
-        if (stream_.writes_key(c1.writer, c2.key) &&
+        if (cops.is_write(j) || p.ops[j].internal) continue;
+        if (stream_.writes_key(w1, cops.key(j)) &&
             p.ops[i].rs.first > p.ops[j].rs.first) {
           violate(IsolationLevel::kReadAtomic, id,
-                  "fractured read across " + crooks::to_string(stream_.id_of(c1.writer)) +
+                  "fractured read across " + crooks::to_string(stream_.id_of(w1)) +
                       "'s writes");
         }
       }
@@ -269,12 +269,13 @@ void OnlineChecker::evaluate_new(TxnIdx d, Placed& p) {
       p.prec.or_with(txns_[slot].prec);
     };
     for (std::size_t i = 0; i < cops.size(); ++i) {
-      const CompiledOp& c = cops[i];
-      if (!c.is_read() || p.ops[i].internal ||
-          (c.flags & model::kOpInitWriter) != 0) {
+      const std::uint8_t m = cops.flags(i);
+      if ((m & model::kOpWrite) != 0 || p.ops[i].internal ||
+          (m & model::kOpInitWriter) != 0) {
         continue;
       }
-      if (c.writer != model::kNoTxnIdx && c.writer < d) absorb(c.writer);
+      const TxnIdx w = cops.writer(i);
+      if (w != model::kNoTxnIdx && w < d) absorb(w);
     }
     for (model::KeyIdx k : stream_.write_keys(d)) {
       if (const auto* tl = timeline_of(k)) {
@@ -282,16 +283,15 @@ void OnlineChecker::evaluate_new(TxnIdx d, Placed& p) {
       }
     }
     for (std::size_t i = 0; i < cops.size(); ++i) {
-      const CompiledOp& c = cops[i];
-      if (!c.is_read() || p.ops[i].internal) continue;
-      if (const auto* tl = timeline_of(c.key)) {
+      if (cops.is_write(i) || p.ops[i].internal) continue;
+      if (const auto* tl = timeline_of(cops.key(i))) {
         for (const auto& [pos, slot] : *tl) {
           if (pos > p.ops[i].rs.last && p.prec.test(slot)) {
             violate(IsolationLevel::kPSI, id,
                     "CAUS-VIS fails: misses " +
                         crooks::to_string(stream_.id_of(static_cast<TxnIdx>(slot))) +
                         "'s write to " +
-                        crooks::to_string(stream_.keys().key_of(c.key)));
+                        crooks::to_string(stream_.keys().key_of(cops.key(i))));
           }
         }
       }

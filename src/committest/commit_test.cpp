@@ -10,7 +10,6 @@
 namespace crooks::ct {
 
 using model::CompiledHistory;
-using model::CompiledOp;
 using model::KeyIdx;
 using model::OpClass;
 using model::Operation;
@@ -135,14 +134,14 @@ CommitTestResult CommitTester::test_ra(std::size_t dense) const {
   // PREREAD holds here, so every read with an external member writer is
   // kReadExternal with a valid dense writer index.
   const CompiledHistory& ch = a_->compiled();
-  const std::span<const CompiledOp> cops = ch.ops(static_cast<TxnIdx>(dense));
+  const model::OpsView cops = ch.ops(static_cast<TxnIdx>(dense));
   const TxnAnalysis& ta = a_->txn(dense);
   for (std::size_t i = 0; i < cops.size(); ++i) {
-    if (cops[i].cls != OpClass::kReadExternal) continue;
-    const TxnIdx w1 = cops[i].writer;
+    if (cops.cls(i) != OpClass::kReadExternal) continue;
+    const TxnIdx w1 = cops.writer(i);
     for (std::size_t j = 0; j < cops.size(); ++j) {
-      if (!cops[j].is_read() || ta.ops[j].internal) continue;
-      if (!ch.writes_key(w1, cops[j].key)) continue;
+      if (cops.is_write(j) || ta.ops[j].internal) continue;
+      if (!ch.writes_key(w1, cops.key(j))) continue;
       if (ta.ops[i].rs.first > ta.ops[j].rs.first) {
         const Transaction& t = a_->txns().at(dense);
         return CommitTestResult::fail(
@@ -163,15 +162,15 @@ CommitTestResult CommitTester::test_psi(std::size_t dense) const {
   // Only external reads can violate this: for writes and internal reads,
   // sl_o = s_p and every predecessor precedes s_T (Lemma E.2).
   const CompiledHistory& ch = a_->compiled();
-  const std::span<const CompiledOp> cops = ch.ops(static_cast<TxnIdx>(dense));
+  const model::OpsView cops = ch.ops(static_cast<TxnIdx>(dense));
   const TxnAnalysis& ta = a_->txn(dense);
   const auto& prec = a_->precedence().prec_set(dense);
 
   for (std::size_t i = 0; i < cops.size(); ++i) {
-    if (!cops[i].is_read() || ta.ops[i].internal) continue;
+    if (cops.is_write(i) || ta.ops[i].internal) continue;
     const StateIndex sl = ta.ops[i].rs.last;
     CommitTestResult res = CommitTestResult::pass();
-    a_->for_writers_in_idx(cops[i].key, sl, a_->execution().last_state(),
+    a_->for_writers_in_idx(cops.key(i), sl, a_->execution().last_state(),
                            [&](const VersionEntry& v) {
                              if (v.writer_dense == model::kNoTxnIdx || !res.ok) return;
                              if (v.writer_dense != dense && prec.test(v.writer_dense)) {

@@ -1,4 +1,5 @@
-// Fixed-size worker pool with a shared FIFO task queue.
+// Fixed-size worker pool with a shared FIFO task queue, plus a bounded MPMC
+// result queue.
 //
 // The checker's parallel layers (check_batch fan-out, the branch-parallel
 // exhaustive search) are structured as "submit N independent tasks, wait for
@@ -6,12 +7,19 @@
 // callables; the first exception thrown by any task is captured and rethrown
 // from wait(), so a parallel section fails as loudly as a sequential loop
 // would instead of losing the error inside a worker thread.
+//
+// MpmcQueue complements the pool for producer/consumer shapes where the
+// submitter wants results *as they complete* instead of a wait() barrier:
+// workers push completion records, the caller blocks on pop() and drains them
+// in completion order (check_batch's sharded scheduler is the canonical user).
 #pragma once
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <exception>
 #include <functional>
@@ -177,6 +185,121 @@ class ThreadPool {
   bool stop_ = false;
   std::exception_ptr error_;
   std::vector<std::thread> workers_;
+};
+
+/// Bounded multi-producer / multi-consumer FIFO queue (Vyukov-style ring:
+/// per-cell sequence numbers, one CAS per push/pop, no mutex). Producers and
+/// consumers may run on any mix of threads; a blocked pop() parks on a C++20
+/// atomic wait instead of spinning.
+///
+/// Capacity is fixed at construction (rounded up to a power of two). Sized to
+/// the number of producers' total pushes — the check_batch scheduler sizes it
+/// to the shard count — try_push never fails and push() never blocks; the
+/// loop in push() is a safety net, not an expected path.
+template <typename T>
+class MpmcQueue {
+ public:
+  explicit MpmcQueue(std::size_t capacity) {
+    std::size_t cap = 1;
+    while (cap < capacity) cap <<= 1;
+    cells_ = std::vector<Cell>(cap);
+    for (std::size_t i = 0; i < cap; ++i) {
+      cells_[i].seq.store(i, std::memory_order_relaxed);
+    }
+    mask_ = cap - 1;
+  }
+
+  MpmcQueue(const MpmcQueue&) = delete;
+  MpmcQueue& operator=(const MpmcQueue&) = delete;
+
+  std::size_t capacity() const { return mask_ + 1; }
+
+  /// Number of completed pushes so far (monotone; used by pop() to park).
+  std::uint64_t pushed() const { return pushed_.load(std::memory_order_acquire); }
+
+  /// False iff the ring is full. On success the element is visible to a
+  /// concurrent pop() before try_push returns.
+  bool try_push(T v) {
+    std::size_t pos = head_.load(std::memory_order_relaxed);
+    Cell* cell;
+    for (;;) {
+      cell = &cells_[pos & mask_];
+      const std::size_t seq = cell->seq.load(std::memory_order_acquire);
+      const std::intptr_t dif =
+          static_cast<std::intptr_t>(seq) - static_cast<std::intptr_t>(pos);
+      if (dif == 0) {
+        if (head_.compare_exchange_weak(pos, pos + 1, std::memory_order_relaxed)) {
+          break;
+        }
+      } else if (dif < 0) {
+        return false;  // the cell still holds an unpopped element: full
+      } else {
+        pos = head_.load(std::memory_order_relaxed);
+      }
+    }
+    cell->value = std::move(v);
+    cell->seq.store(pos + 1, std::memory_order_release);
+    pushed_.fetch_add(1, std::memory_order_release);
+    pushed_.notify_all();
+    return true;
+  }
+
+  /// Blocking push: yields until a slot frees up. Only reachable when the
+  /// queue was sized below the number of in-flight pushes.
+  void push(T v) {
+    while (!try_push(std::move(v))) std::this_thread::yield();
+  }
+
+  /// False iff the queue is empty at the moment of the call.
+  bool try_pop(T& out) {
+    std::size_t pos = tail_.load(std::memory_order_relaxed);
+    Cell* cell;
+    for (;;) {
+      cell = &cells_[pos & mask_];
+      const std::size_t seq = cell->seq.load(std::memory_order_acquire);
+      const std::intptr_t dif = static_cast<std::intptr_t>(seq) -
+                                static_cast<std::intptr_t>(pos + 1);
+      if (dif == 0) {
+        if (tail_.compare_exchange_weak(pos, pos + 1, std::memory_order_relaxed)) {
+          break;
+        }
+      } else if (dif < 0) {
+        return false;  // no element published at this position yet: empty
+      } else {
+        pos = tail_.load(std::memory_order_relaxed);
+      }
+    }
+    out = std::move(cell->value);
+    cell->seq.store(pos + mask_ + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Pop one element, blocking until one is available. The snapshot-then-wait
+  /// shape is missed-wakeup-free: if a push lands between the failed try_pop
+  /// and the wait, the pushed_ counter no longer equals the snapshot and
+  /// wait() returns immediately.
+  T pop() {
+    T out;
+    for (;;) {
+      const std::uint64_t seen = pushed_.load(std::memory_order_acquire);
+      if (try_pop(out)) return out;
+      pushed_.wait(seen, std::memory_order_acquire);
+    }
+  }
+
+ private:
+  struct Cell {
+    std::atomic<std::size_t> seq{0};
+    T value{};
+  };
+
+  // Producer and consumer cursors on separate cache lines so a push CAS does
+  // not invalidate the poppers' line (and vice versa).
+  alignas(64) std::atomic<std::size_t> head_{0};  // next push position
+  alignas(64) std::atomic<std::size_t> tail_{0};  // next pop position
+  alignas(64) std::atomic<std::uint64_t> pushed_{0};
+  std::vector<Cell> cells_;
+  std::size_t mask_ = 0;
 };
 
 /// Run fn(i) for every i in [0, n) across `threads` workers and block until

@@ -98,7 +98,7 @@ StateInterval ReadStateAnalysis::read_states_of(std::size_t dense,
 }
 
 void ReadStateAnalysis::analyze_transaction(std::size_t dense) {
-  const std::span<const CompiledOp> cops = ch_->ops(static_cast<TxnIdx>(dense));
+  const OpsView cops = ch_->ops(static_cast<TxnIdx>(dense));
   TxnAnalysis& out = txn_[dense];
   out.state = exec_->state_of(dense);
   out.parent = out.state - 1;
@@ -107,8 +107,9 @@ void ReadStateAnalysis::analyze_transaction(std::size_t dense) {
   out.ops.resize(cops.size());
 
   for (std::size_t i = 0; i < cops.size(); ++i) {
-    const StateInterval rs = read_states_of(dense, cops[i]);
-    out.ops[i] = {rs, cops[i].internal()};
+    const CompiledOp op = cops[i];  // gather once; this is a cold path
+    const StateInterval rs = read_states_of(dense, op);
+    out.ops[i] = {rs, op.internal()};
     if (rs.empty()) out.preread = false;
     out.complete = out.complete.intersect(rs);
   }
@@ -137,7 +138,7 @@ const Precedence& ReadStateAnalysis::precedence() const {
   // under PREREAD, predecessors occur strictly earlier in e).
   for (std::size_t j = 0; j < exec_->size(); ++j) {
     const TxnIdx dense = exec_->dense_at(j);
-    const std::span<const CompiledOp> cops = ch_->ops(dense);
+    const OpsView cops = ch_->ops(dense);
     const TxnAnalysis& ta = txn_[dense];
     DynamicBitset& mine = p.prec_[dense];
     DynamicBitset direct_set(n);  // D-PREC_e(T): distinct direct predecessors
@@ -153,8 +154,8 @@ const Precedence& ReadStateAnalysis::precedence() const {
     // Only external reads of a member writer contribute (internal reads and
     // reads of ⊥ have no writer; empty-RS reads contribute no edges).
     for (std::size_t i = 0; i < cops.size(); ++i) {
-      if (cops[i].cls != OpClass::kReadExternal || ta.ops[i].rs.empty()) continue;
-      add_direct(cops[i].writer);
+      if (cops.cls(i) != OpClass::kReadExternal || ta.ops[i].rs.empty()) continue;
+      add_direct(cops.writer(i));
     }
 
     // Write-write dependencies: every earlier transaction writing a key that

@@ -102,8 +102,9 @@ void CompiledHistory::compile_block(TxnIdx first) {
     write_mask_.push_back(std::move(mask));
   }
 
-  // Pass 3: classify every operation, mirroring the branch order of
-  // ReadStateAnalysis::read_states_of exactly (phantom before internal before
+  // Pass 3: classify every operation into a flags byte (OpClass is derived
+  // from it by op_class_of, whose table mirrors the branch order of
+  // ReadStateAnalysis::read_states_of exactly: phantom before internal before
   // self before unknown-writer before writer-misses-key). `contains` sees the
   // prefix plus the whole block, so intra-block forward references resolve;
   // only writers absent from the entire set-so-far stay unknown (and are
@@ -123,49 +124,40 @@ void CompiledHistory::compile_block(TxnIdx first) {
     std::vector<KeyIdx> rk;
     for (std::size_t oi = 0; oi < t.ops().size(); ++oi) {
       const Operation& op = t.ops()[oi];
-      CompiledOp c;
-      c.key = keys_.find(op.key);
+      const KeyIdx ck = keys_.find(op.key);
       if (op.is_write()) {
-        ops_.push_back(c);
-        written_scratch_[c.key] = 1;
-        touched.push_back(c.key);
+        op_key_.push_back(ck);
+        op_writer_.push_back(kNoTxnIdx);
+        op_flags_.push_back(kOpWrite);
+        written_scratch_[ck] = 1;
+        touched.push_back(ck);
         continue;
       }
 
-      rk.push_back(c.key);
+      rk.push_back(ck);
       const TxnId w = op.value.writer;
-      const bool positional_internal = written_scratch_[c.key] != 0;
+      const bool positional_internal = written_scratch_[ck] != 0;
       const bool is_self = w == t.id();
       const bool is_init = w == kInitTxn;
       const bool known = !is_init && txns.contains(w);
-      if (op.value.phantom) c.flags |= kOpPhantom;
-      if (is_init) c.flags |= kOpInitWriter;
-      if (is_self) c.flags |= kOpSelfWriter;
-      if (!is_init && !known) c.flags |= kOpUnknownWriter;
-      if (positional_internal) c.flags |= kOpPositionalInternal;
+      std::uint8_t m = 0;
+      TxnIdx cw = kNoTxnIdx;
+      if (op.value.phantom) m |= kOpPhantom;
+      if (is_init) m |= kOpInitWriter;
+      if (is_self) m |= kOpSelfWriter;
+      if (!is_init && !known) m |= kOpUnknownWriter;
+      if (positional_internal) m |= kOpPositionalInternal;
       if (known) {
-        c.writer = static_cast<TxnIdx>(txns.dense_index_of(w));
-        if (!txns.at(c.writer).writes(op.key)) c.flags |= kOpWriterMissesKey;
+        cw = static_cast<TxnIdx>(txns.dense_index_of(w));
+        if (!txns.at(cw).writes(op.key)) m |= kOpWriterMissesKey;
       } else if (!is_init && owned_ != nullptr) {
         pending_[w].emplace_back(d, static_cast<std::uint32_t>(oi));
       }
-
-      if (op.value.phantom) {
-        c.cls = OpClass::kReadNever;
-      } else if (positional_internal) {
-        c.cls = is_self ? OpClass::kReadInternal : OpClass::kReadNever;
-      } else if (is_self) {
-        c.cls = OpClass::kReadNever;
-      } else if (is_init) {
-        c.cls = OpClass::kReadInitial;
-      } else if (!known || (c.flags & kOpWriterMissesKey) != 0) {
-        c.cls = OpClass::kReadNever;
-      } else {
-        c.cls = OpClass::kReadExternal;
-      }
-      ops_.push_back(c);
+      op_key_.push_back(ck);
+      op_writer_.push_back(cw);
+      op_flags_.push_back(m);
     }
-    op_begin_.push_back(static_cast<std::uint32_t>(ops_.size()));
+    op_begin_.push_back(static_cast<std::uint32_t>(op_flags_.size()));
     for (KeyIdx k : touched) written_scratch_[k] = 0;
 
     std::sort(rk.begin(), rk.end());
@@ -246,20 +238,17 @@ const CompiledDelta& CompiledHistory::extend(std::span<const Transaction> block)
   // Re-resolve prefix reads whose observed writer arrived in this block. This
   // keys off the awaited id, not the touched keys, so even a writer that
   // never writes the awaited key is resolved (to kOpWriterMissesKey) exactly
-  // as a whole-set compile would.
+  // as a whole-set compile would. Only the flags byte and writer change; the
+  // classification follows for free because OpClass is derived from flags.
   for (TxnIdx d = first; d < n_; ++d) {
     auto it = pending_.find(id_of(d));
     if (it == pending_.end()) continue;
     for (const auto& [td, oi] : it->second) {
-      CompiledOp& c = ops_[op_begin_[td] + oi];
-      c.writer = d;
-      c.flags = static_cast<std::uint8_t>(c.flags & ~kOpUnknownWriter);
-      if (!writes_key(d, c.key)) c.flags |= kOpWriterMissesKey;
-      if ((c.flags & (kOpPhantom | kOpPositionalInternal | kOpSelfWriter |
-                      kOpInitWriter)) == 0) {
-        c.cls = (c.flags & kOpWriterMissesKey) != 0 ? OpClass::kReadNever
-                                                    : OpClass::kReadExternal;
-      }
+      const std::size_t at = op_begin_[td] + oi;
+      op_writer_[at] = d;
+      std::uint8_t m = static_cast<std::uint8_t>(op_flags_[at] & ~kOpUnknownWriter);
+      if (!writes_key(d, op_key_[at])) m |= kOpWriterMissesKey;
+      op_flags_[at] = m;
       delta_.resolved.emplace_back(td, oi);
     }
     pending_.erase(it);

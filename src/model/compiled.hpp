@@ -8,7 +8,7 @@
 //   * keys are interned to dense `KeyIdx` (0..key_count),
 //   * each read's observed writer is resolved once to a dense `TxnIdx`, with
 //     phantom / unknown-writer / internal-read classification precomputed as
-//     an `OpClass` + flags (so search-time interval logic is a switch on a
+//     a flags byte (so search-time interval logic is a table lookup on a
 //     byte, not a chain of hash probes),
 //   * per-transaction read/write footprints are sorted dense arrays plus a
 //     per-transaction `DynamicBitset` write mask (O(1) "does T write k"),
@@ -47,6 +47,7 @@
 // the frozen hash-based reference on every level.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <memory>
@@ -94,9 +95,11 @@ class KeyInterner {
   std::vector<Key> keys_;
 };
 
-/// Precomputed classification of one operation — the branch structure of
+/// Classification of one operation — the branch structure of
 /// ReadStateAnalysis::read_states_of / PrefixSearch::interval_of, resolved at
-/// compile time so the per-node search path is hash-free.
+/// compile time so the per-node search path is hash-free. Not stored: derived
+/// from the flags byte by `op_class_of` (one table load), so the hot per-op
+/// state is exactly {key, writer, flags} in three parallel arrays.
 enum class OpClass : std::uint8_t {
   kWrite,         // RS = [0, parent] by convention (§3)
   kReadInitial,   // external read of ⊥: version installed at state 0
@@ -106,15 +109,54 @@ enum class OpClass : std::uint8_t {
                   // self-external, unknown writer, writer misses the key)
 };
 
-// Structural facts about a read, recorded independently of OpClass so the
-// Adya phenomena (G1a/G1b/fractured) can be re-derived without re-parsing.
+// Structural facts about an operation, recorded independently so the Adya
+// phenomena (G1a/G1b/fractured) can be re-derived without re-parsing. Bits
+// 0–5 describe reads; bit 6 marks writes. OpClass is a pure function of this
+// byte (see op_class_of), which is what lets extend()'s late-writer
+// re-resolution mutate flags alone and have the classification follow.
 inline constexpr std::uint8_t kOpPhantom = 1 << 0;             // observed non-final write
 inline constexpr std::uint8_t kOpInitWriter = 1 << 1;          // observed writer is ⊥
 inline constexpr std::uint8_t kOpSelfWriter = 1 << 2;          // observed writer is self
 inline constexpr std::uint8_t kOpUnknownWriter = 1 << 3;       // writer outside the set
 inline constexpr std::uint8_t kOpWriterMissesKey = 1 << 4;     // member, but never writes key
 inline constexpr std::uint8_t kOpPositionalInternal = 1 << 5;  // own write earlier in Σ_T
+inline constexpr std::uint8_t kOpWrite = 1 << 6;               // the op is a write
 
+namespace detail {
+/// The exact branch order of compile-time classification (phantom before
+/// positional before self before init before unknown / misses-key), evaluated
+/// once per flag pattern at compile time into a 128-entry table.
+constexpr OpClass classify_flags(std::uint8_t m) {
+  if (m & kOpWrite) return OpClass::kWrite;
+  if (m & kOpPhantom) return OpClass::kReadNever;
+  if (m & kOpPositionalInternal) {
+    return (m & kOpSelfWriter) != 0 ? OpClass::kReadInternal : OpClass::kReadNever;
+  }
+  if (m & kOpSelfWriter) return OpClass::kReadNever;
+  if (m & kOpInitWriter) return OpClass::kReadInitial;
+  if (m & (kOpUnknownWriter | kOpWriterMissesKey)) return OpClass::kReadNever;
+  return OpClass::kReadExternal;
+}
+
+struct OpClassTable {
+  std::array<OpClass, 128> cls{};
+  constexpr OpClassTable() {
+    for (std::size_t m = 0; m < cls.size(); ++m) {
+      cls[m] = classify_flags(static_cast<std::uint8_t>(m));
+    }
+  }
+};
+inline constexpr OpClassTable kOpClassTable{};
+}  // namespace detail
+
+/// OpClass of a flags byte: a single indexed load on the search hot path.
+inline OpClass op_class_of(std::uint8_t flags) {
+  return detail::kOpClassTable.cls[flags & 0x7F];
+}
+
+/// One operation gathered back into record form — the cold-path / test-facing
+/// view. Engines' hot loops should use OpsView's field accessors instead,
+/// which touch only the arrays they need.
 struct CompiledOp {
   KeyIdx key = kNoKeyIdx;
   /// Resolved dense index of the observed writer whenever it is a member of
@@ -133,6 +175,42 @@ struct CompiledOp {
     return is_read() && (flags & kOpPositionalInternal) != 0 &&
            (flags & kOpPhantom) == 0;
   }
+};
+
+/// Non-owning indexed view over one transaction's ops in the SoA layout.
+/// Field accessors read exactly one parallel array; predicates read only the
+/// flags byte; `operator[]` gathers a full CompiledOp for cold paths. Indices
+/// are aligned with Transaction::ops().
+class OpsView {
+ public:
+  OpsView() = default;
+  OpsView(const KeyIdx* keys, const TxnIdx* writers, const std::uint8_t* flags,
+          std::size_t n)
+      : keys_(keys), writers_(writers), flags_(flags), n_(n) {}
+
+  std::size_t size() const { return n_; }
+  bool empty() const { return n_ == 0; }
+
+  KeyIdx key(std::size_t i) const { return keys_[i]; }
+  TxnIdx writer(std::size_t i) const { return writers_[i]; }
+  std::uint8_t flags(std::size_t i) const { return flags_[i]; }
+  OpClass cls(std::size_t i) const { return op_class_of(flags_[i]); }
+  bool is_write(std::size_t i) const { return (flags_[i] & kOpWrite) != 0; }
+  bool is_read(std::size_t i) const { return (flags_[i] & kOpWrite) == 0; }
+  bool internal(std::size_t i) const {
+    const std::uint8_t m = flags_[i];
+    return (m & (kOpWrite | kOpPhantom)) == 0 && (m & kOpPositionalInternal) != 0;
+  }
+
+  CompiledOp operator[](std::size_t i) const {
+    return CompiledOp{keys_[i], writers_[i], cls(i), flags_[i]};
+  }
+
+ private:
+  const KeyIdx* keys_ = nullptr;
+  const TxnIdx* writers_ = nullptr;
+  const std::uint8_t* flags_ = nullptr;
+  std::size_t n_ = 0;
 };
 
 /// Sparse rows: `row(i)` is a span over row i's items. Stored per-row (not as
@@ -191,10 +269,16 @@ class CompiledHistory {
 
   // --- per-transaction compiled ops and footprints --------------------------
 
-  /// Ops of transaction `d`, index-aligned with Transaction::ops().
-  std::span<const CompiledOp> ops(TxnIdx d) const {
-    return {ops_.data() + op_begin_[d], ops_.data() + op_begin_[d + 1]};
+  /// Ops of transaction `d`, index-aligned with Transaction::ops(). The view
+  /// is backed by the three parallel arrays; it is invalidated by extend().
+  OpsView ops(TxnIdx d) const {
+    const std::uint32_t b = op_begin_[d];
+    return OpsView(op_key_.data() + b, op_writer_.data() + b,
+                   op_flags_.data() + b, op_begin_[d + 1] - b);
   }
+
+  /// Number of ops of transaction `d` without materializing a view.
+  std::size_t op_count(TxnIdx d) const { return op_begin_[d + 1] - op_begin_[d]; }
 
   /// Sorted dense keys the transaction (finally) writes / externally reads.
   std::span<const KeyIdx> write_keys(TxnIdx d) const {
@@ -269,7 +353,13 @@ class CompiledHistory {
   std::size_t n_ = 0;
   KeyInterner keys_;
 
-  std::vector<CompiledOp> ops_;
+  // Structure-of-arrays op storage: op i of transaction d lives at index
+  // op_begin_[d] + i of each array. Field-separated so a loop that needs only
+  // flags (admissibility prescans, phenomenon detection) streams one byte per
+  // op instead of a 12-byte record.
+  std::vector<KeyIdx> op_key_;
+  std::vector<TxnIdx> op_writer_;
+  std::vector<std::uint8_t> op_flags_;
   std::vector<std::uint32_t> op_begin_;
   std::vector<KeyIdx> write_keys_, read_keys_;
   std::vector<std::uint32_t> wk_begin_, rk_begin_;

@@ -1,0 +1,360 @@
+// The size-class sharded batch scheduler and its MPMC result queue.
+//
+// check_batch's sharding (tiny chains packed many-per-task, medium chains one
+// task each, large chains branch-parallel) is pure scheduling: whatever the
+// shard shape, every result must be the one a lone check() would produce.
+// These tests pin that down on mixed-size batches, prefix-extension chains,
+// and failure paths, and they gate the scheduler's observability invariants:
+//   * zero dropped results — crooks_batch_results_total advances exactly as
+//     much as crooks_batch_items_total on a successful batch (the CI gate);
+//   * the prescan-skip counter advances when the cheap id/size pass rejects a
+//     prefix-extension candidate before any op vectors are compared.
+// The MpmcQueue unit tests double as the TSan data-race gate for the lock-free
+// ring (concurrent producers/consumers, blocking pop, full/empty edges).
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <numeric>
+#include <span>
+#include <stdexcept>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "checker/checker.hpp"
+#include "common/thread_pool.hpp"
+#include "obs/metrics.hpp"
+#include "workload/observations.hpp"
+
+namespace crooks {
+namespace {
+
+using checker::BatchItem;
+using checker::CheckOptions;
+using checker::CheckResult;
+using checker::Outcome;
+using ct::IsolationLevel;
+
+constexpr std::size_t kThreadCounts[] = {1, 2, 8};
+
+// --- MpmcQueue --------------------------------------------------------------
+
+TEST(MpmcQueue, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(MpmcQueue<int>(1).capacity(), 1u);
+  EXPECT_EQ(MpmcQueue<int>(2).capacity(), 2u);
+  EXPECT_EQ(MpmcQueue<int>(5).capacity(), 8u);
+  EXPECT_EQ(MpmcQueue<int>(16).capacity(), 16u);
+  EXPECT_EQ(MpmcQueue<int>(17).capacity(), 32u);
+}
+
+TEST(MpmcQueue, FifoWithinCapacity) {
+  MpmcQueue<int> q(8);
+  int out = -1;
+  EXPECT_FALSE(q.try_pop(out));  // empty at birth
+  for (int i = 0; i < 8; ++i) EXPECT_TRUE(q.try_push(i));
+  EXPECT_FALSE(q.try_push(99));  // exactly full
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(q.try_pop(out));
+    EXPECT_EQ(out, i);  // strict FIFO
+  }
+  EXPECT_FALSE(q.try_pop(out));  // drained
+  EXPECT_EQ(q.pushed(), 8u);
+}
+
+TEST(MpmcQueue, RingRecyclesAcrossWraparound) {
+  // Push/pop many times the capacity through a tiny ring: every cell's
+  // sequence number must recycle correctly or a later lap would stall.
+  MpmcQueue<int> q(4);
+  int out = -1;
+  for (int lap = 0; lap < 100; ++lap) {
+    for (int i = 0; i < 3; ++i) ASSERT_TRUE(q.try_push(lap * 3 + i));
+    for (int i = 0; i < 3; ++i) {
+      ASSERT_TRUE(q.try_pop(out));
+      EXPECT_EQ(out, lap * 3 + i);
+    }
+  }
+}
+
+TEST(MpmcQueue, BlockingPopWakesOnPush) {
+  MpmcQueue<int> q(2);
+  std::thread consumer([&q] {
+    // Blocks until the producer below pushes; must not miss the wakeup.
+    EXPECT_EQ(q.pop(), 42);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  q.push(42);
+  consumer.join();
+}
+
+TEST(MpmcQueue, BlockingPushSqueezesThroughTinyRing) {
+  // Producer pushes far more items than the ring holds; push() must block
+  // (yield) on full and make progress as the consumer drains. Order is
+  // preserved for a single producer/consumer pair.
+  MpmcQueue<int> q(2);
+  constexpr int kItems = 500;
+  std::thread producer([&q] {
+    for (int i = 0; i < kItems; ++i) q.push(i);
+  });
+  for (int i = 0; i < kItems; ++i) EXPECT_EQ(q.pop(), i);
+  producer.join();
+}
+
+TEST(MpmcQueue, ConcurrentProducersConsumersConserveSum) {
+  // The TSan gate for the lock-free ring: 4 producers and 4 consumers hammer
+  // a ring much smaller than the item count (constant wraparound, frequent
+  // full/empty transitions, parked pops). Every pushed value must be popped
+  // exactly once: the per-consumer sums add up to the known total.
+  constexpr std::size_t kProducers = 4, kConsumers = 4;
+  constexpr std::uint64_t kPerProducer = 2000;
+  MpmcQueue<std::uint64_t> q(16);
+  std::vector<std::thread> threads;
+  std::vector<std::uint64_t> consumed(kConsumers, 0);
+  for (std::size_t c = 0; c < kConsumers; ++c) {
+    threads.emplace_back([&q, &consumed, c] {
+      // Pops exactly its share; totals match, so every blocking pop returns.
+      const std::uint64_t n = kPerProducer * kProducers / kConsumers;
+      for (std::uint64_t i = 0; i < n; ++i) consumed[c] += q.pop();
+    });
+  }
+  for (std::size_t p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&q, p] {
+      for (std::uint64_t i = 0; i < kPerProducer; ++i) {
+        q.push(p * kPerProducer + i + 1);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const std::uint64_t total = kPerProducer * kProducers;
+  EXPECT_EQ(std::accumulate(consumed.begin(), consumed.end(), std::uint64_t{0}),
+            total * (total + 1) / 2);
+  EXPECT_EQ(q.pushed(), total);
+}
+
+// --- sharded check_batch ----------------------------------------------------
+
+/// A batch that exercises every size class and the tiny-packing limit: more
+/// than kTinyPack (16) consecutive tiny histories, a few medium, two large.
+struct MixedBatch {
+  std::vector<wl::FuzzedObservations> fuzzed;
+  std::vector<BatchItem> items;
+};
+
+MixedBatch make_mixed(std::uint64_t seed) {
+  MixedBatch b;
+  auto add = [&b](std::uint64_t s, std::size_t txns) {
+    wl::ObservationFuzzOptions o;
+    o.transactions = txns;
+    o.keys = 4;
+    b.fuzzed.push_back(wl::fuzz_observations(s, o));
+  };
+  // 20 tiny chains in a row: must split into at least two packed shards.
+  for (std::size_t i = 0; i < 20; ++i) add(seed * 100 + i, 4);
+  for (std::size_t i = 0; i < 3; ++i) add(seed * 100 + 40 + i, 7);   // medium
+  for (std::size_t i = 0; i < 2; ++i) add(seed * 100 + 60 + i, 9);   // large
+  b.items.reserve(b.fuzzed.size());
+  for (const wl::FuzzedObservations& f : b.fuzzed) {
+    b.items.push_back({&f.txns, nullptr});
+  }
+  return b;
+}
+
+class ShardedBatch : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ShardedBatch, MixedSizeClassesMatchLoneCheck) {
+  const MixedBatch b = make_mixed(GetParam());
+  for (IsolationLevel level :
+       {IsolationLevel::kReadAtomic, IsolationLevel::kSerializable}) {
+    std::vector<CheckResult> lone;
+    for (const BatchItem& item : b.items) {
+      CheckOptions o;
+      o.threads = 1;
+      lone.push_back(checker::check(level, *item.txns, o));
+    }
+    for (std::size_t threads : kThreadCounts) {
+      CheckOptions o;
+      o.threads = threads;
+      const std::vector<CheckResult> batch = checker::check_batch(level, b.items, o);
+      ASSERT_EQ(batch.size(), b.items.size());
+      for (std::size_t i = 0; i < b.items.size(); ++i) {
+        if (lone[i].outcome != Outcome::kUnknown) {
+          // The determinism contract: sharding and branch-parallel large
+          // shards never contradict a definite sequential verdict.
+          EXPECT_EQ(batch[i].outcome, lone[i].outcome)
+              << ct::name_of(level) << " item " << i << " at " << threads
+              << " threads: " << batch[i].detail;
+        } else {
+          // A parallel large shard may upgrade kUnknown to kSatisfiable,
+          // never to kUnsatisfiable.
+          EXPECT_NE(batch[i].outcome, Outcome::kUnsatisfiable)
+              << ct::name_of(level) << " item " << i << " at " << threads;
+        }
+        if (batch[i].satisfiable()) {
+          ASSERT_TRUE(batch[i].witness.has_value());
+          EXPECT_TRUE(
+              checker::verify_witness(level, *b.items[i].txns, *batch[i].witness).ok)
+              << ct::name_of(level) << " item " << i << " at " << threads;
+        }
+      }
+    }
+  }
+}
+
+TEST_P(ShardedBatch, PrefixChainsMatchLoneCheck) {
+  // Growing prefixes of one history (an audit stream) followed by an
+  // unrelated history: the scheduler must detect the chain, grow one
+  // compilation via extend(), and still reproduce every lone verdict.
+  wl::ObservationFuzzOptions fo;
+  fo.transactions = 6;
+  fo.keys = 4;
+  const wl::FuzzedObservations f = wl::fuzz_observations(GetParam(), fo);
+  const wl::FuzzedObservations other = wl::fuzz_observations(GetParam() + 1000, fo);
+  std::vector<model::TransactionSet> histories;
+  for (std::size_t n = 2; n <= f.txns.size(); ++n) {
+    model::TransactionSet prefix;
+    for (std::size_t t = 0; t < n; ++t) prefix.append(f.txns.at(t));
+    histories.push_back(std::move(prefix));
+  }
+  histories.push_back(other.txns);
+
+  for (IsolationLevel level :
+       {IsolationLevel::kReadAtomic, IsolationLevel::kSerializable}) {
+    std::vector<CheckResult> lone;
+    for (const model::TransactionSet& h : histories) {
+      CheckOptions o;
+      o.threads = 1;
+      lone.push_back(checker::check(level, h, o));
+    }
+    for (std::size_t threads : kThreadCounts) {
+      CheckOptions o;
+      o.threads = threads;
+      const std::vector<CheckResult> batch = checker::check_batch(
+          level, std::span<const model::TransactionSet>(histories), o);
+      ASSERT_EQ(batch.size(), histories.size());
+      for (std::size_t i = 0; i < histories.size(); ++i) {
+        EXPECT_EQ(batch[i].outcome, lone[i].outcome)
+            << ct::name_of(level) << " prefix " << i << " at " << threads
+            << " threads";
+        if (batch[i].satisfiable()) {
+          EXPECT_TRUE(
+              checker::verify_witness(level, histories[i], *batch[i].witness).ok);
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ShardedBatch, ::testing::Range<std::uint64_t>(1, 9));
+
+// --- scheduler observability invariants -------------------------------------
+
+TEST(ShardedBatchMetrics, ZeroDroppedResultsOnSuccess) {
+  // The invariant CI gates on: every submitted history produces exactly one
+  // result record, whatever the shard shapes and thread count.
+  obs::set_enabled(true);
+  obs::Counter& items = obs::Registry::global().counter("crooks_batch_items_total");
+  obs::Counter& results =
+      obs::Registry::global().counter("crooks_batch_results_total");
+  obs::Counter& chains =
+      obs::Registry::global().counter("crooks_batch_chains_total");
+  obs::Counter& tiny_shards = obs::Registry::global().counter(
+      "crooks_batch_shard_total", "", {{"class", "tiny"}});
+  obs::Counter& large_shards = obs::Registry::global().counter(
+      "crooks_batch_shard_total", "", {{"class", "large"}});
+  obs::Counter& tiny_nodes = obs::Registry::global().counter(
+      "crooks_batch_nodes_explored_total", "", {{"class", "tiny"}});
+
+  const MixedBatch b = make_mixed(99);
+  const std::uint64_t items0 = items.value(), results0 = results.value();
+  const std::uint64_t chains0 = chains.value(), tiny0 = tiny_shards.value();
+  const std::uint64_t large0 = large_shards.value(), nodes0 = tiny_nodes.value();
+
+  CheckOptions o;
+  o.threads = 8;
+  const auto r = checker::check_batch(IsolationLevel::kSerializable, b.items, o);
+  ASSERT_EQ(r.size(), b.items.size());
+
+  EXPECT_EQ(items.value() - items0, b.items.size());
+  EXPECT_EQ(results.value() - results0, b.items.size());  // zero dropped
+  // No history extends another, so every item is its own chain.
+  EXPECT_EQ(chains.value() - chains0, b.items.size());
+  // 20 consecutive tiny chains at kTinyPack = 16 per shard ⇒ exactly 2 tiny
+  // shards; the two 9-transaction histories are one large shard each.
+  EXPECT_EQ(tiny_shards.value() - tiny0, 2u);
+  EXPECT_EQ(large_shards.value() - large0, 2u);
+  // Per-class effort: checking 20 histories explored *some* nodes.
+  EXPECT_GT(tiny_nodes.value() - nodes0, 0u);
+}
+
+TEST(ShardedBatchMetrics, PrescanSkipsCountAvoidedOpCompares) {
+  // Two histories agreeing on transaction 0's cheap fields but diverging at
+  // transaction 1 (reordered tail): the cheap prescan rejects the chain at
+  // i = 1 having avoided exactly one deep op-vector comparison.
+  obs::set_enabled(true);
+  obs::Counter& skips = obs::Registry::global().counter(
+      "crooks_batch_prescan_skipped_op_compares_total");
+
+  wl::ObservationFuzzOptions fo;
+  fo.transactions = 4;
+  const wl::FuzzedObservations f = wl::fuzz_observations(5, fo);
+  ASSERT_GE(f.txns.size(), 3u);
+  model::TransactionSet reordered;
+  reordered.append(f.txns.at(0));
+  reordered.append(f.txns.at(2));  // cheap mismatch at index 1 (different id)
+  reordered.append(f.txns.at(1));
+  reordered.append(f.txns.at(3));
+  const std::vector<model::TransactionSet> histories = {f.txns, reordered};
+
+  const std::uint64_t skips0 = skips.value();
+  CheckOptions o;
+  o.threads = 1;
+  const auto r = checker::check_batch(
+      IsolationLevel::kReadAtomic,
+      std::span<const model::TransactionSet>(histories), o);
+  ASSERT_EQ(r.size(), 2u);
+  EXPECT_EQ(skips.value() - skips0, 1u);
+}
+
+// --- failure paths ----------------------------------------------------------
+
+TEST(ShardedBatchErrors, InvalidVersionOrderPropagatesFromAnyShard) {
+  // A version order naming an unknown transaction makes the lone check()
+  // throw; the sharded scheduler must surface the same exception whether the
+  // failing shard runs inline (threads = 1) or on a pool worker draining
+  // through the MPMC queue — and the drain must not deadlock on the failure.
+  wl::ObservationFuzzOptions fo;
+  fo.transactions = 7;  // medium: the bad item gets a shard of its own
+  const wl::FuzzedObservations bad = wl::fuzz_observations(11, fo);
+  std::unordered_map<Key, std::vector<TxnId>> bogus = bad.version_order;
+  ASSERT_FALSE(bogus.empty());
+  bogus.begin()->second.push_back(TxnId{999999});  // unknown transaction
+
+  {
+    CheckOptions o;
+    o.threads = 1;
+    o.version_order = &bogus;
+    EXPECT_THROW(checker::check(IsolationLevel::kSerializable, bad.txns, o),
+                 std::invalid_argument);
+  }
+
+  std::vector<wl::FuzzedObservations> tiny;
+  for (std::uint64_t s = 0; s < 6; ++s) {
+    wl::ObservationFuzzOptions to;
+    to.transactions = 4;
+    tiny.push_back(wl::fuzz_observations(200 + s, to));
+  }
+  std::vector<BatchItem> items;
+  for (const wl::FuzzedObservations& f : tiny) items.push_back({&f.txns, nullptr});
+  items.push_back({&bad.txns, &bogus});
+
+  for (std::size_t threads : kThreadCounts) {
+    CheckOptions o;
+    o.threads = threads;
+    EXPECT_THROW(checker::check_batch(IsolationLevel::kSerializable, items, o),
+                 std::invalid_argument)
+        << "at " << threads << " threads";
+  }
+}
+
+}  // namespace
+}  // namespace crooks

@@ -17,6 +17,7 @@
 //     strict-weak-order fix).
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <vector>
 
 #include "checker/checker.hpp"
@@ -218,6 +219,63 @@ TEST(CompiledDifferentialHandBuilt, MixedTimestampRegression) {
 
 TEST(CompiledDifferentialHandBuilt, EmptySet) {
   expect_all_agree(TransactionSet(), nullptr, "empty");
+}
+
+// --- SoA layout invariants ---------------------------------------------------
+
+TEST(SoaLayout, OpClassDerivationMatchesSpecifiedBranchOrder) {
+  // op_class_of is a 128-entry table; re-derive every entry from the
+  // documented branch order (write, then phantom, positional, self, init,
+  // unknown / misses-key, else external) so a table regression cannot hide.
+  for (unsigned m = 0; m < 128; ++m) {
+    const auto flags = static_cast<std::uint8_t>(m);
+    model::OpClass want;
+    if (flags & model::kOpWrite) {
+      want = model::OpClass::kWrite;
+    } else if (flags & model::kOpPhantom) {
+      want = model::OpClass::kReadNever;
+    } else if (flags & model::kOpPositionalInternal) {
+      want = (flags & model::kOpSelfWriter) != 0 ? model::OpClass::kReadInternal
+                                                 : model::OpClass::kReadNever;
+    } else if (flags & model::kOpSelfWriter) {
+      want = model::OpClass::kReadNever;
+    } else if (flags & model::kOpInitWriter) {
+      want = model::OpClass::kReadInitial;
+    } else if (flags & (model::kOpUnknownWriter | model::kOpWriterMissesKey)) {
+      want = model::OpClass::kReadNever;
+    } else {
+      want = model::OpClass::kReadExternal;
+    }
+    EXPECT_EQ(model::op_class_of(flags), want) << "flags " << m;
+  }
+}
+
+TEST(SoaLayout, ViewAlignsWithSourceOperations) {
+  // The OpsView of every transaction must be index-aligned with the raw
+  // Operation list, its field accessors must agree with the gathering
+  // operator[], and the write bit must mirror Operation::is_write.
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const wl::FuzzedObservations f = wl::fuzz_observations(seed);
+    const model::CompiledHistory ch(f.txns);
+    for (model::TxnIdx d = 0; d < ch.size(); ++d) {
+      const auto& t = ch.txns().at(d);
+      const model::OpsView v = ch.ops(d);
+      ASSERT_EQ(v.size(), t.ops().size());
+      ASSERT_EQ(v.size(), ch.op_count(d));
+      for (std::size_t i = 0; i < v.size(); ++i) {
+        EXPECT_EQ(v.is_write(i), t.ops()[i].is_write()) << d << ":" << i;
+        EXPECT_EQ(v.is_read(i), !v.is_write(i)) << d << ":" << i;
+        EXPECT_EQ(v.key(i), ch.keys().find(t.ops()[i].key)) << d << ":" << i;
+        const model::CompiledOp gathered = v[i];
+        EXPECT_EQ(gathered.key, v.key(i)) << d << ":" << i;
+        EXPECT_EQ(gathered.writer, v.writer(i)) << d << ":" << i;
+        EXPECT_EQ(gathered.cls, v.cls(i)) << d << ":" << i;
+        EXPECT_EQ(gathered.flags, v.flags(i)) << d << ":" << i;
+        EXPECT_EQ(gathered.cls, model::op_class_of(v.flags(i))) << d << ":" << i;
+        EXPECT_EQ(gathered.internal(), v.internal(i)) << d << ":" << i;
+      }
+    }
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, CompiledDifferential,

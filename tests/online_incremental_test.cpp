@@ -112,10 +112,19 @@ void expect_structurally_equal(const CompiledHistory& a, const CompiledHistory& 
     const auto oa = a.ops(d), ob = b.ops(d);
     ASSERT_EQ(oa.size(), ob.size()) << "ops of " << d;
     for (std::size_t i = 0; i < oa.size(); ++i) {
-      EXPECT_EQ(oa[i].key, ob[i].key) << d << ":" << i;
-      EXPECT_EQ(oa[i].writer, ob[i].writer) << d << ":" << i;
-      EXPECT_EQ(oa[i].cls, ob[i].cls) << d << ":" << i;
-      EXPECT_EQ(oa[i].flags, ob[i].flags) << d << ":" << i;
+      // Compare through the SoA field accessors (each reads one parallel
+      // array) so a desynchronized array is caught even if the gathering
+      // operator[] happened to mask it.
+      EXPECT_EQ(oa.key(i), ob.key(i)) << d << ":" << i;
+      EXPECT_EQ(oa.writer(i), ob.writer(i)) << d << ":" << i;
+      EXPECT_EQ(oa.cls(i), ob.cls(i)) << d << ":" << i;
+      EXPECT_EQ(oa.flags(i), ob.flags(i)) << d << ":" << i;
+      // The gathered record must agree with the field accessors.
+      EXPECT_EQ(oa[i].key, oa.key(i)) << d << ":" << i;
+      EXPECT_EQ(oa[i].writer, oa.writer(i)) << d << ":" << i;
+      EXPECT_EQ(oa[i].cls, oa.cls(i)) << d << ":" << i;
+      EXPECT_EQ(oa[i].is_write(), oa.is_write(i)) << d << ":" << i;
+      EXPECT_EQ(oa[i].internal(), oa.internal(i)) << d << ":" << i;
     }
     const auto wka = a.write_keys(d), wkb = b.write_keys(d);
     EXPECT_TRUE(std::equal(wka.begin(), wka.end(), wkb.begin(), wkb.end()));
