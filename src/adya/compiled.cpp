@@ -212,57 +212,129 @@ bool detect_fractured(const model::CompiledHistory& ch, const InstallOrders& io)
 
 }  // namespace
 
-Phenomena detect(const model::CompiledHistory& ch, const InstallOrders& io) {
+namespace {
+
+/// Which phenomena a level's verdict actually consults (the clauses of
+/// satisfies(p, level)). Everything defaults off; detect_scoped() skips the
+/// machinery behind anything not requested.
+struct Needs {
+  bool g0 = false;
+  bool g1 = false;        // g1a + g1b + g1c
+  bool g2 = false;
+  bool g_single = false;
+  bool fractured = false;
+  bool si = false;        // g_si_a + g_si_b (start-dependency edges)
+  bool rt = false;        // rt_cycle (real-time edges)
+};
+
+Needs needs_of(ct::IsolationLevel level) {
+  using L = ct::IsolationLevel;
+  Needs n;
+  switch (level) {
+    case L::kReadUncommitted:
+      n.g0 = true;
+      break;
+    case L::kReadCommitted:
+      n.g1 = true;
+      break;
+    case L::kReadAtomic:
+      n.g1 = n.fractured = true;
+      break;
+    case L::kPSI:
+      n.g1 = n.g_single = true;
+      break;
+    case L::kAnsiSI:
+      n.g1 = n.si = true;
+      break;
+    case L::kSerializable:
+      n.g1 = n.g2 = true;
+      break;
+    case L::kStrictSerializable:
+      n.g1 = n.g2 = n.rt = true;
+      break;
+    case L::kAdyaSI:
+    case L::kSessionSI:
+    case L::kStrongSI:
+      break;  // kInapplicable: no phenomena consulted
+  }
+  return n;
+}
+
+Phenomena detect_scoped(const model::CompiledHistory& ch, const InstallOrders& io,
+                        const Needs& want) {
   Phenomena p;
 
   // G1a / G1b are single flag tests: a dirty read *is* an unknown-writer op,
   // an intermediate read *is* a phantom or writer-misses-key op.
-  for (model::TxnIdx d = 0; d < ch.size(); ++d) {
-    const model::OpsView cops = ch.ops(d);
-    for (std::size_t i = 0; i < cops.size(); ++i) {
-      const std::uint8_t m = cops.flags(i);
-      if ((m & (model::kOpWrite | model::kOpInitWriter | model::kOpSelfWriter)) != 0) {
-        continue;
-      }
-      if ((m & model::kOpUnknownWriter) != 0) {
-        p.g1a = true;
-      } else if ((m & (model::kOpPhantom | model::kOpWriterMissesKey)) != 0) {
-        p.g1b = true;
+  if (want.g1) {
+    for (model::TxnIdx d = 0; d < ch.size(); ++d) {
+      const model::OpsView cops = ch.ops(d);
+      for (std::size_t i = 0; i < cops.size(); ++i) {
+        const std::uint8_t m = cops.flags(i);
+        if ((m & (model::kOpWrite | model::kOpInitWriter | model::kOpSelfWriter)) != 0) {
+          continue;
+        }
+        if ((m & model::kOpUnknownWriter) != 0) {
+          p.g1a = true;
+        } else if ((m & (model::kOpPhantom | model::kOpWriterMissesKey)) != 0) {
+          p.g1b = true;
+        }
       }
     }
   }
-  p.fractured = detect_fractured(ch, io);
+  if (want.fractured) p.fractured = detect_fractured(ch, io);
+
+  const bool want_dsg = want.g0 || want.g1 || want.g2 || want.g_single ||
+                        want.si || want.rt;
+  if (!want_dsg) return p;
 
   Dsg dsg(ch, io);
-  p.g0 = dsg.has_cycle(kWW);
-  p.g1c = dsg.has_cycle(kDependency);
+  if (want.g0) p.g0 = dsg.has_cycle(kWW);
+  if (want.g1) p.g1c = dsg.has_cycle(kDependency);
   // G2 = some cycle contains an anti-dependency edge ⟺ some rw edge (u,v)
   // is closed by a path v →* u over arbitrary DSG edges. With the path
   // restricted to dependency edges the cycle has *exactly* one rw: G-Single.
-  p.g2 = dsg.cycle_with_exactly_one(kRW, kAllDsg);
-  p.g_single = dsg.cycle_with_exactly_one(kRW, kDependency);
+  if (want.g2) p.g2 = dsg.cycle_with_exactly_one(kRW, kAllDsg);
+  if (want.g_single) p.g_single = dsg.cycle_with_exactly_one(kRW, kDependency);
 
-  Dsg ssg = dsg;  // start / real-time edges are additive: copy, don't rebuild
-  if (ssg.add_start_edges(ch)) {
-    // G-SIa: a ww/wr edge without a corresponding start-dependency edge.
-    bool sia = false;
-    for (const Edge& e : ssg.edges()) {
-      if (e.kind != kWW && e.kind != kWR) continue;
-      if (!(ch.commit_ts(static_cast<model::TxnIdx>(e.from)) <
-            ch.start_ts(static_cast<model::TxnIdx>(e.to)))) {
-        sia = true;
-        break;
+  if (want.si) {
+    Dsg ssg = dsg;  // start / real-time edges are additive: copy, don't rebuild
+    if (ssg.add_start_edges(ch)) {
+      // G-SIa: a ww/wr edge without a corresponding start-dependency edge.
+      bool sia = false;
+      for (const Edge& e : ssg.edges()) {
+        if (e.kind != kWW && e.kind != kWR) continue;
+        if (!(ch.commit_ts(static_cast<model::TxnIdx>(e.from)) <
+              ch.start_ts(static_cast<model::TxnIdx>(e.to)))) {
+          sia = true;
+          break;
+        }
       }
+      p.g_si_a = sia;
+      p.g_si_b = ssg.cycle_with_exactly_one(kRW, kDependency | kSD);
     }
-    p.g_si_a = sia;
-    p.g_si_b = ssg.cycle_with_exactly_one(kRW, kDependency | kSD);
   }
 
-  Dsg rt = dsg;
-  if (rt.add_realtime_edges(ch)) {
-    p.rt_cycle = rt.has_cycle(kAllDsg | kRT);
+  if (want.rt) {
+    Dsg rt = dsg;
+    if (rt.add_realtime_edges(ch)) {
+      p.rt_cycle = rt.has_cycle(kAllDsg | kRT);
+    }
   }
   return p;
+}
+
+}  // namespace
+
+Phenomena detect(const model::CompiledHistory& ch, const InstallOrders& io) {
+  Needs all;
+  all.g0 = all.g1 = all.g2 = all.g_single = all.fractured = all.si = all.rt = true;
+  return detect_scoped(ch, io, all);
+}
+
+Phenomena detect(const model::CompiledHistory& ch, const InstallOrders& io,
+                 ct::IsolationLevel level) {
+  return detect_scoped(ch, io, needs_of(level));
 }
 
 }  // namespace crooks::adya

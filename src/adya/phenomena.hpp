@@ -42,6 +42,16 @@ Phenomena detect(const History& h);
 /// timestamped variants. Verdict-equivalent to detect(from_observations(...)).
 Phenomena detect(const model::CompiledHistory& ch, const InstallOrders& io);
 
+/// Level-scoped variant: computes only the phenomena satisfies(p, level)
+/// consults and leaves the rest at their defaults. This is a complexity
+/// class, not a constant factor: the SI-family phenomena (G-SIb, real-time
+/// cycles) need the start/real-time edge sets, which are Θ(n²) edges on a
+/// mostly-serial history — asking about Read Committed must not pay for
+/// them. The full detect() above remains the reference the equivalence
+/// tests pin this against.
+Phenomena detect(const model::CompiledHistory& ch, const InstallOrders& io,
+                 ct::IsolationLevel level);
+
 enum class Verdict {
   kSatisfied,
   kViolated,

@@ -70,9 +70,19 @@ std::string_view class_name(SizeClass c) {
   return "?";
 }
 
-SizeClass class_of(std::size_t txn_count) {
+/// Level-aware: the large class exists to give factorial exhaustive
+/// refutations a branch-parallel search, but a direct-eligible level (RC, RA,
+/// PSI) is decided by the near-linear single-pass engine regardless of size —
+/// promoting its chains to kLarge would fan their searches out for nothing
+/// while starving the rest of the batch of workers. An explicit non-auto
+/// engine selection keeps the same classing as the engine it forces.
+SizeClass class_of(ct::IsolationLevel level, const CheckOptions& opts,
+                   std::size_t txn_count) {
   if (txn_count <= kTinyMaxTxns) return SizeClass::kTiny;
-  if (txn_count >= kLargeMinTxns) return SizeClass::kLarge;
+  const bool direct_decides = direct_eligible(level) &&
+                              (opts.engine == EngineSelect::kAuto ||
+                               opts.engine == EngineSelect::kDirect);
+  if (txn_count >= kLargeMinTxns && !direct_decides) return SizeClass::kLarge;
   return SizeClass::kMedium;
 }
 
@@ -213,11 +223,11 @@ std::vector<CheckResult> check_batch(ct::IsolationLevel level,
       const TransactionSet& prev = *items[c.first + c.count - 1].txns;
       if (!prev.empty() && extends_prefix(prev, *items[i].txns, prescan_skips)) {
         ++chains.back().count;
-        chains.back().cls = class_of(items[i].txns->size());
+        chains.back().cls = class_of(level, opts, items[i].txns->size());
         continue;
       }
     }
-    chains.push_back({i, 1, class_of(items[i].txns->size())});
+    chains.push_back({i, 1, class_of(level, opts, items[i].txns->size())});
   }
 
   // Pack chains into shard tasks: runs of up to kTinyPack consecutive tiny

@@ -6,8 +6,15 @@
 // returned — decide whether the storage system could have produced those
 // observations under isolation level I.
 //
-// Three engines, cross-validated against each other in the test suite:
+// Four engine tiers, cross-validated against each other in the test suite:
 //
+//  * Direct      — single-pass checkers for the weak levels (RC, RA, PSI)
+//    that sweep the compiled SoA arrays in commit order and never build a
+//    DSG or a prefix-search tree. Sound and complete for RC and RA (with or
+//    without a version order); for PSI a sound saturation refuter plus a
+//    verified constructed witness, falling back to a bounded exhaustive
+//    search on the rare undecided instance. Near-linear: the raw-speed tier
+//    for large weak-level audits.
 //  * Exhaustive  — branch-and-bound over execution prefixes. Sound and
 //    complete for every level, factorial in |𝒯|; the ground-truth oracle.
 //  * Graph       — the constructive ⇐ directions of Theorems 1–4, 6, 10:
@@ -22,8 +29,9 @@
 //    verified by the commit test; answers kSatisfiable or kUnknown. Used for
 //    large client-only observation sets.
 //
-// check() picks automatically: complete graph decision when available, else
-// exhaustive when |𝒯| is small, else heuristic.
+// check() picks automatically: direct for its eligible levels, else complete
+// graph decision when available, else exhaustive when |𝒯| is small, else
+// heuristic. CheckOptions::engine overrides the choice.
 #pragma once
 
 #include <cstdint>
@@ -93,10 +101,25 @@ struct CheckResult {
   bool unsatisfiable() const { return outcome == Outcome::kUnsatisfiable; }
 };
 
+/// Which engine decides a check. kAuto is the dispatch described in the
+/// header comment; the explicit selections force one engine and return its
+/// verdict as-is (possibly kUnknown — forcing `direct` on a non-eligible
+/// level, or `graph` where it is incomplete, reports honestly instead of
+/// silently substituting another engine).
+enum class EngineSelect : std::uint8_t {
+  kAuto,
+  kDirect,
+  kGraph,
+  kExhaustive,
+};
+
 struct CheckOptions {
   /// Use the exhaustive engine when |𝒯| ≤ this and no complete graph
   /// decision applies.
   std::size_t exhaustive_threshold = 9;
+
+  /// Engine selection for check() / check_batch() / check_incremental().
+  EngineSelect engine = EngineSelect::kAuto;
 
   /// Node budget for the exhaustive engine; exceeding it yields kUnknown.
   std::uint64_t max_nodes = 4'000'000;
@@ -202,6 +225,20 @@ CheckResult check_graph(ct::IsolationLevel level, const model::TransactionSet& t
                         const CheckOptions& opts = {});
 CheckResult check_graph(ct::IsolationLevel level, const model::CompiledHistory& ch,
                         const CheckOptions& opts = {});
+
+/// True when `level` has a direct single-pass decision procedure: RC, RA and
+/// PSI. check() tries the direct engine first exactly for these.
+bool direct_eligible(ct::IsolationLevel level);
+
+/// Direct single-pass engine for the weak levels (see direct.cpp). Sound and
+/// complete for RC and RA; for PSI sound with a verified witness and a
+/// bounded exhaustive fallback — kUnknown only on a non-eligible level or an
+/// oversized undecided PSI instance (check()'s dispatch then falls through
+/// to the complete engines).
+CheckResult check_direct(ct::IsolationLevel level, const model::TransactionSet& txns,
+                         const CheckOptions& opts = {});
+CheckResult check_direct(ct::IsolationLevel level, const model::CompiledHistory& ch,
+                         const CheckOptions& opts = {});
 
 /// Build the minimal read-state evidence for a refuted history: evaluate the
 /// level's commit test on `candidate` (or, for the one-argument overload, the

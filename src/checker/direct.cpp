@@ -1,0 +1,611 @@
+// Direct single-pass checkers for the weak levels: RC, RA and PSI.
+//
+// The paper's commit tests for these levels never need a search over commit
+// orders — each clause only constrains *which transactions must precede
+// which*. The direct engine extracts those forced-precedence constraints in
+// one sweep over the compiled SoA arrays, decides satisfiability by cycle
+// detection, and emits a witness straight from a topological order. No DSG,
+// no prefix-search tree, no per-node hash probes: O(|ops| + |edges|).
+//
+// Per level:
+//
+//  * RC — CT_RC is PREREAD alone. A kReadNever op (phantom, unknown writer,
+//    writer-misses-key, malformed internal) fails PREREAD in every execution
+//    → unsatisfiable. Otherwise each external read forces its writer before
+//    its reader (a wr edge), and a version order forces each key's member
+//    installers into a chain. Any topological order of wr ∪ chain edges
+//    passes PREREAD at every placement (each read's writer is placed, and a
+//    placed version's interval is never empty) and is version-order
+//    admissible (the chain edges reproduce the cursor semantics), so:
+//    satisfiable ⟺ the edge graph is acyclic. Complete.
+//
+//  * RA — CT_RC plus the fragmented-read test. For a transaction T with an
+//    external read from w1 and another (non-internal) read of key k where w1
+//    also writes k: if that second read observes the initial version the
+//    fracture sf_i ≥ 1 > 0 = sf_j holds in every execution → unsatisfiable;
+//    if it observes w2 ≠ w1 the test forces pos(w1) < pos(w2) — one extra
+//    edge. The forced edges are exactly necessary and sufficient, so again:
+//    satisfiable ⟺ acyclic. Complete.
+//
+//  * PSI — CT_RC plus CAUS-VIS. Precedence can *cascade* (PREC is a
+//    transitive closure over reads and conflicting writes), so the engine
+//    runs a saturation fixpoint: compute PREC_forced(T) — the transactions
+//    provably in PREC_e(T) for every execution e (read-from writers,
+//    conflicting writers already forced before T, and their forced
+//    predecessors) — and for each read of key k, any wd ∈ PREC_forced(T)
+//    writing k must install before the version read (else wd's write is
+//    invisible in T's read state → CAUS-VIS fails), adding the edge
+//    wd → version or refuting outright when the version is the initial one.
+//    A cycle or a forced-before-initial contradiction is a sound refutation.
+//    When the fixpoint stabilizes the topological order is only a
+//    *candidate* (saturation is not complete for PSI — see the long-fork
+//    gadget in tests/direct_engine_test.cpp), so it is verified against the
+//    canonical commit test; on failure the engine falls back to a bounded
+//    exhaustive search below opts.exhaustive_threshold and reports kUnknown
+//    above it (check()'s dispatch then falls through to the complete
+//    engines). PREC_forced materializes two n-bit sets per transaction, so
+//    PSI is additionally gated to kDirectPsiMaxTxns.
+//
+// Witnesses for RC/RA are correct by construction (the proofs above are
+// exercised by the three-way differential suite, which re-verifies every
+// witness); the PSI witness is always runtime-verified. Refutations attach
+// the same explain_refutation diagnosis as the other engines.
+#include <algorithm>
+#include <queue>
+#include <span>
+#include <utility>
+
+#include "checker/checker.hpp"
+#include "checker/engine_obs.hpp"
+#include "common/bitset.hpp"
+#include "model/compiled.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace crooks::checker {
+
+namespace {
+
+using ct::IsolationLevel;
+using model::CompiledHistory;
+using model::KeyIdx;
+using model::OpClass;
+using model::TxnIdx;
+
+/// PSI saturation materializes two n-bit sets per transaction (~n²/4 bytes);
+/// above this size the engine answers kUnknown and dispatch falls through.
+constexpr std::size_t kDirectPsiMaxTxns = 16384;
+
+/// Each saturation round adds at least one edge or stops, so the fixpoint
+/// terminates on its own; the cap bounds the adversarial worst case. A capped
+/// run still only *proposes* a candidate, which is verified before use.
+constexpr std::size_t kMaxSaturationRounds = 64;
+
+struct DirectMetrics {
+  obs::Counter& checks;
+  obs::Counter& fallbacks;
+
+  static DirectMetrics& get() {
+    static DirectMetrics m{
+        obs::Registry::global().counter(
+            "crooks_direct_checks_total",
+            "Checks handled by the direct single-pass engine"),
+        obs::Registry::global().counter(
+            "crooks_direct_fallbacks_total",
+            "Direct PSI checks resolved by the bounded exhaustive fallback")};
+    return m;
+  }
+};
+
+/// Non-internal external read of a member writer (same predicate as the
+/// exhaustive engine's fragment/causal passes).
+bool external_read(std::uint8_t flags) {
+  return model::op_class_of(flags) == OpClass::kReadExternal &&
+         (flags & model::kOpPositionalInternal) == 0;
+}
+
+class DirectCheck {
+ public:
+  DirectCheck(IsolationLevel level, const CompiledHistory& ch, const CheckOptions& opts)
+      : level_(level), ch_(&ch), opts_(&opts), n_(ch.size()) {}
+
+  CheckResult run() {
+    init_rank();
+    // Optimistic first pass for RC/RA: clean histories force only edges
+    // that go forward in timestamp rank, and then ts_order itself is the
+    // witness — so the pass records nothing, it only *tests* each edge as
+    // it is forced. Materializing ~2n edges just to confirm they all point
+    // forward would double the check's memory traffic. Only when a backward
+    // edge shows up does the check restart with the edge list (and Kahn's
+    // queue) for real; adversarial histories pay the sweep twice, clean
+    // ones never allocate an edge. PSI always materializes — its saturation
+    // rounds walk the CSR adjacency regardless.
+    materialize_ = (level_ == IsolationLevel::kPSI);
+    if (materialize_) edge_list_.reserve(2 * n_);
+    if (auto r = run_pass()) return *std::move(r);
+    backward_seen_ = false;
+    edge_count_ = 0;
+    materialize_ = true;
+    edge_list_.reserve(2 * n_);
+    return *run_pass();  // with edges materialized the pass always decides
+  }
+
+  std::uint64_t nodes() const { return nodes_; }
+  std::uint64_t edges() const { return edge_count_; }
+
+ private:
+  // Edges live in one flat list; the CSR adjacency is materialized on demand
+  // (and re-materialized after PSI forcing rounds grow the list). On the
+  // clean-history fast path nothing ever builds it — one flat sweep decides
+  // the topology, and per-node adjacency vectors would be n mallocs paid on
+  // every check.
+  std::optional<CheckResult> run_pass() {
+    if (auto r = preread_and_wr()) return r;
+    if (auto r = version_order_chains()) return r;
+    if (level_ == IsolationLevel::kReadAtomic) {
+      if (auto r = ra_pair_edges()) return r;
+    }
+    if (level_ == IsolationLevel::kPSI) return run_psi();
+    if (!materialize_) {
+      if (backward_seen_) return std::nullopt;  // needs Kahn on real edges
+      // Every forced edge goes forward in timestamp rank, so ts_order is a
+      // topological order of the (never materialized) edge graph.
+      nodes_ += n_;
+      return witness(ch_->ts_order(),
+                     "witness from one topological pass over the "
+                     "forced-precedence edges (correct by construction)");
+    }
+    std::vector<TxnIdx> order = topo();
+    if (order.size() != n_) return cyclic();
+    return witness(std::move(order),
+                   "witness from one topological pass over the forced-precedence "
+                   "edges (correct by construction)");
+  }
+
+  void add_edge(TxnIdx from, TxnIdx to) {
+    ++edge_count_;
+    if (!materialize_) {
+      if (ts_identity_ ? from >= to : rank_[from] >= rank_[to]) {
+        backward_seen_ = true;
+      }
+      return;
+    }
+    edge_list_.emplace_back(from, to);
+    csr_built_ = false;
+  }
+
+  std::span<const TxnIdx> succ(TxnIdx u) const {
+    return std::span<const TxnIdx>(row_dst_.data() + row_off_[u],
+                                   row_off_[u + 1] - row_off_[u]);
+  }
+
+  void ensure_csr() {
+    if (csr_built_) return;
+    row_off_.assign(n_ + 1, 0);
+    for (const auto& [from, to] : edge_list_) ++row_off_[from + 1];
+    for (std::size_t i = 1; i <= n_; ++i) row_off_[i] += row_off_[i - 1];
+    row_dst_.resize(edge_list_.size());
+    cursor_.assign(row_off_.begin(), row_off_.end() - 1);
+    for (const auto& [from, to] : edge_list_) row_dst_[cursor_[from]++] = to;
+    csr_built_ = true;
+  }
+
+  CheckResult unsat(std::string why) const {
+    return {Outcome::kUnsatisfiable, std::nullopt, std::move(why), nodes_};
+  }
+
+  CheckResult cyclic() const {
+    return unsat("the forced-precedence constraints are cyclic: no execution "
+                 "satisfies " +
+                 std::string(ct::name_of(level_)));
+  }
+
+  /// rank_ is the inverse permutation of ts_order; ts_identity_ says the
+  /// dense order already is commit order (every history compiled from a
+  /// sorted stream), in which case edge direction tests need no rank loads.
+  void init_rank() {
+    rank_.resize(n_);
+    const std::vector<TxnIdx>& tso = ch_->ts_order();
+    ts_identity_ = true;
+    for (std::size_t i = 0; i < tso.size(); ++i) {
+      rank_[tso[i]] = static_cast<std::uint32_t>(i);
+      if (tso[i] != i) ts_identity_ = false;
+    }
+  }
+
+  CheckResult witness(std::vector<TxnIdx> order, std::string how) const {
+    return {Outcome::kSatisfiable,
+            model::Execution::from_dense(ch_->txns(), std::move(order),
+                                         ch_->ids()),
+            std::move(how), nodes_};
+  }
+
+  /// PREREAD feasibility (shared by all three levels) + the wr edges: every
+  /// external read forces its writer before its reader.
+  std::optional<CheckResult> preread_and_wr() {
+    for (TxnIdx d = 0; d < n_; ++d) {
+      const model::OpsView ops = ch_->ops(d);
+      for (std::size_t i = 0; i < ops.size(); ++i) {
+        switch (ops.cls(i)) {
+          case OpClass::kWrite:
+          case OpClass::kReadInternal:
+          case OpClass::kReadInitial:
+            break;
+          case OpClass::kReadNever:
+            return unsat("PREREAD fails in every execution: " +
+                         crooks::to_string(ch_->id_of(d)) +
+                         " has a read no execution can satisfy");
+          case OpClass::kReadExternal:
+            add_edge(ops.writer(i), d);
+            break;
+        }
+      }
+    }
+    return std::nullopt;
+  }
+
+  /// Version-order restriction, replicating the prefix-search cursor
+  /// semantics exactly: the i-th install of a restricted key must be the
+  /// i-th entry of its sequence. Hence the first |writers| entries must be
+  /// exactly the key's member writers, once each (any other shape leaves
+  /// some writer permanently inadmissible → unsatisfiable), and those
+  /// entries become a precedence chain. Any topological order extending the
+  /// chains is version-order admissible.
+  std::optional<CheckResult> version_order_chains() {
+    if (opts_->version_order == nullptr || opts_->version_order->empty()) {
+      return std::nullopt;
+    }
+
+    // Fast path: when every restricted key's sequence starts with exactly its
+    // member writers in dense (commit) order — the shape every store audit
+    // produces — one sequential sweep validates the whole restriction and the
+    // chains are the writers_of() spans themselves. No TxnId is ever hashed;
+    // the general path below pays one hash probe per entry, which at 10^5+
+    // transactions is a cache miss per probe and dominates the entire check.
+    {
+      std::vector<const std::vector<TxnId>*> vo_of(ch_->key_count(), nullptr);
+      for (const auto& [key, installers] : *opts_->version_order) {
+        const KeyIdx k = ch_->keys().find(key);
+        if (k != model::kNoKeyIdx) vo_of[k] = &installers;
+      }
+      std::vector<std::size_t> cursor(ch_->key_count(), 0);
+      bool fast_ok = true;
+      for (TxnIdx d = 0; d < n_ && fast_ok; ++d) {
+        const TxnId id = ch_->id_of(d);
+        for (KeyIdx k : ch_->write_keys(d)) {
+          const std::vector<TxnId>* inst = vo_of[k];
+          if (inst == nullptr) continue;  // key unrestricted
+          if (cursor[k] >= inst->size() || (*inst)[cursor[k]] != id) {
+            fast_ok = false;
+            break;
+          }
+          ++cursor[k];
+        }
+      }
+      if (fast_ok) {
+        for (KeyIdx k = 0; k < ch_->key_count(); ++k) {
+          if (vo_of[k] == nullptr) continue;
+          const std::span<const TxnIdx> writers = ch_->writers_of(k);
+          for (std::size_t i = 0; i + 1 < writers.size(); ++i) {
+            add_edge(writers[i], writers[i + 1]);
+          }
+        }
+        return std::nullopt;
+      }
+    }
+
+    std::vector<TxnIdx> seq;
+    // Duplicate detection must stay linear per entry: `taken` marks dense
+    // indices consumed by the current key's prefix (cleared between keys by
+    // un-setting only what was set — the vector itself is allocated once).
+    std::vector<char> taken(n_, 0);
+    for (const auto& [key, installers] : *opts_->version_order) {
+      const KeyIdx k = ch_->keys().find(key);
+      if (k == model::kNoKeyIdx) continue;  // key never touched by the set
+      seq.clear();
+      for (TxnId id : installers) {
+        const std::size_t d = ch_->txns().dense_index_if(id);
+        if (d != model::TransactionSet::npos) {
+          seq.push_back(static_cast<TxnIdx>(d));
+        }
+      }
+      const std::span<const TxnIdx> writers = ch_->writers_of(k);
+      const std::size_t m = writers.size();
+      bool ok = seq.size() >= m;
+      for (std::size_t i = 0; ok && i < m; ++i) {
+        ok = ch_->writes_key(seq[i], k) && !taken[seq[i]];
+        if (ok) taken[seq[i]] = 1;
+      }
+      for (std::size_t i = 0; i < m; ++i) taken[seq[i]] = 0;
+      if (!ok) {
+        return unsat("the version order for key " + crooks::to_string(key) +
+                     " admits no placement of its writers");
+      }
+      for (std::size_t i = 0; i + 1 < m; ++i) add_edge(seq[i], seq[i + 1]);
+    }
+    return std::nullopt;
+  }
+
+  /// RA: per-transaction fragmented-read constraints (see header comment).
+  /// Runs under PREREAD, so every surviving non-write non-internal op is an
+  /// external or initial read — the same filters as the exhaustive engine's
+  /// fractured() pass.
+  std::optional<CheckResult> ra_pair_edges() {
+    for (TxnIdx d = 0; d < n_; ++d) {
+      const model::OpsView ops = ch_->ops(d);
+      for (std::size_t i = 0; i < ops.size(); ++i) {
+        if (!external_read(ops.flags(i))) continue;
+        const TxnIdx w1 = ops.writer(i);
+        for (std::size_t j = 0; j < ops.size(); ++j) {
+          // j == i is vacuous: PREREAD already refuted writer-misses-key
+          // reads, so w1 writes ops.key(i) and the pair collapses to
+          // w2 == w1. Skipping it keeps single-read transactions free of
+          // the random write-mask probe.
+          if (j == i) continue;
+          const std::uint8_t m2 = ops.flags(j);
+          if ((m2 & model::kOpWrite) != 0 ||
+              (m2 & model::kOpPositionalInternal) != 0) {
+            continue;
+          }
+          if (!ch_->writes_key(w1, ops.key(j))) continue;
+          if ((m2 & model::kOpInitWriter) != 0) {
+            return unsat("fractured read in every execution: " +
+                         crooks::to_string(ch_->id_of(d)) + " observes " +
+                         crooks::to_string(ch_->id_of(w1)) +
+                         " but reads the initial version of a key it writes");
+          }
+          const TxnIdx w2 = ops.writer(j);
+          if (w2 != w1) add_edge(w1, w2);
+        }
+      }
+    }
+    return std::nullopt;
+  }
+
+  /// Kahn topological sort, smallest ts_order rank first — deterministic,
+  /// and the witness follows commit-timestamp order wherever the constraints
+  /// allow. Result shorter than n_ ⟺ the edge graph is cyclic. Indegrees
+  /// are derived from the edge list only on the fallback — the forward fast
+  /// path never pays the random per-edge increments or the O(n) array.
+  std::vector<TxnIdx> topo() {
+    // Fast path: when every forced edge goes forward in timestamp rank, the
+    // smallest-rank-first Kahn below provably emits ts_order itself — the
+    // smallest-rank node can have no incoming edge (it would have to come
+    // from a larger rank), and inductively ranks pop in sequence. One edge
+    // sweep replaces the heap, which is the only superlinear term on clean
+    // histories.
+    bool forward = true;
+    if (ts_identity_) {
+      // Dense order is commit order (every history compiled from a sorted
+      // stream): rank_[x] == x, so the sweep needs no rank loads at all.
+      for (const auto& [u, v] : edge_list_) {
+        if (u >= v) {
+          forward = false;
+          break;
+        }
+      }
+    } else {
+      for (const auto& [u, v] : edge_list_) {
+        if (rank_[u] >= rank_[v]) {
+          forward = false;
+          break;
+        }
+      }
+    }
+    if (forward) {
+      nodes_ += n_;
+      return ch_->ts_order();
+    }
+
+    ensure_csr();
+    std::vector<std::uint32_t> indeg(n_, 0);
+    for (const auto& [u, v] : edge_list_) ++indeg[v];
+    auto later = [this](TxnIdx a, TxnIdx b) { return rank_[a] > rank_[b]; };
+    std::priority_queue<TxnIdx, std::vector<TxnIdx>, decltype(later)> ready(later);
+    for (TxnIdx d = 0; d < n_; ++d) {
+      if (indeg[d] == 0) ready.push(d);
+    }
+    std::vector<TxnIdx> order;
+    order.reserve(n_);
+    while (!ready.empty()) {
+      const TxnIdx u = ready.top();
+      ready.pop();
+      ++nodes_;
+      order.push_back(u);
+      for (TxnIdx v : succ(u)) {
+        if (--indeg[v] == 0) ready.push(v);
+      }
+    }
+    return order;
+  }
+
+  // --- PSI saturation -------------------------------------------------------
+
+  CheckResult run_psi() {
+    if (n_ > kDirectPsiMaxTxns) {
+      return {Outcome::kUnknown, std::nullopt,
+              "history too large for the direct PSI saturation (n > " +
+                  std::to_string(kDirectPsiMaxTxns) + ")",
+              nodes_};
+    }
+
+    std::vector<TxnIdx> order;
+    std::vector<DynamicBitset> ppred;  // transitive P-predecessors
+    std::vector<DynamicBitset> fpred;  // PREC_forced: guaranteed PREC members
+    for (std::size_t round = 0; round < kMaxSaturationRounds; ++round) {
+      order = topo();
+      if (order.size() != n_) return cyclic();
+
+      // Transitive closure of the precedence edges, pushed along topo order.
+      ensure_csr();
+      ppred.assign(n_, DynamicBitset(n_));
+      for (TxnIdx u : order) {
+        for (TxnIdx v : succ(u)) {
+          ppred[v].or_with(ppred[u]);
+          ppred[v].set(u);
+        }
+      }
+
+      // PREC_forced(T): transactions in PREC_e(T) for *every* execution e —
+      // read-from writers, writers of conflicting keys already forced before
+      // T (they sit in T's timelines at placement), and, transitively, their
+      // own forced PREC (absorbed when they are). All such edges point
+      // topo-forward, so one pull pass in topo order closes the set.
+      fpred.assign(n_, DynamicBitset(n_));
+      for (TxnIdx v : order) {
+        DynamicBitset& fp = fpred[v];
+        const model::OpsView ops = ch_->ops(v);
+        for (std::size_t i = 0; i < ops.size(); ++i) {
+          if (!external_read(ops.flags(i))) continue;
+          const TxnIdx w = ops.writer(i);
+          fp.set(w);
+          fp.or_with(fpred[w]);
+        }
+        for (KeyIdx k : ch_->write_keys(v)) {
+          for (TxnIdx u : ch_->writers_of(k)) {
+            if (u != v && ppred[v].test(u)) {
+              fp.set(u);
+              fp.or_with(fpred[u]);
+            }
+          }
+        }
+      }
+
+      // CAUS-VIS forcing: a forced PREC member writing a read key must
+      // install before the version read, in every execution.
+      bool changed = false;
+      for (TxnIdx d = 0; d < n_; ++d) {
+        const model::OpsView ops = ch_->ops(d);
+        for (std::size_t i = 0; i < ops.size(); ++i) {
+          const std::uint8_t m = ops.flags(i);
+          if ((m & model::kOpWrite) != 0 ||
+              (m & model::kOpPositionalInternal) != 0) {
+            continue;
+          }
+          const KeyIdx k = ops.key(i);
+          const bool initial = (m & model::kOpInitWriter) != 0;
+          const TxnIdx wv = initial ? model::kNoTxnIdx : ops.writer(i);
+          for (TxnIdx wd : ch_->writers_of(k)) {
+            if (wd == d || wd == wv || !fpred[d].test(wd)) continue;
+            if (initial) {
+              return unsat(
+                  "CAUS-VIS fails in every execution: " +
+                  crooks::to_string(ch_->id_of(d)) + " must see " +
+                  crooks::to_string(ch_->id_of(wd)) + "'s write to " +
+                  crooks::to_string(ch_->keys().key_of(k)) +
+                  " but reads the initial version");
+            }
+            if (ppred[wv].test(wd)) continue;  // already forced before
+            if (ppred[wd].test(wv)) {
+              return unsat(
+                  "CAUS-VIS fails in every execution: " +
+                  crooks::to_string(ch_->id_of(wd)) + " must install " +
+                  crooks::to_string(ch_->keys().key_of(k)) + " before " +
+                  crooks::to_string(ch_->id_of(wv)) +
+                  ", which already precedes it");
+            }
+            add_edge(wd, wv);
+            changed = true;
+          }
+        }
+      }
+      if (!changed) break;
+      order.clear();  // edges grew: the order must be recomputed
+    }
+
+    if (order.empty()) {  // round cap hit with fresh edges pending
+      order = topo();
+      if (order.size() != n_) return cyclic();
+    }
+
+    // Saturation is sound but not complete: the stabilized order is only a
+    // candidate. Verify it; fall back to the bounded complete search when it
+    // fails on a small history.
+    CheckResult cand = witness(std::move(order),
+                               "witness from the causal-precedence saturation, "
+                               "verified against CT_PSI");
+    if (verify_witness(level_, *ch_, *cand.witness).ok) return cand;
+
+    if (n_ <= opts_->exhaustive_threshold) {
+      if (obs::enabled()) DirectMetrics::get().fallbacks.inc();
+      CheckResult r = check_exhaustive(level_, *ch_, *opts_);
+      r.detail = "saturation candidate failed verification; exhaustive fallback: " +
+                 r.detail;
+      r.nodes_explored += nodes_;
+      return r;
+    }
+    return {Outcome::kUnknown, std::nullopt,
+            "PSI saturation candidate failed verification and the history "
+            "exceeds the exhaustive fallback threshold",
+            nodes_};
+  }
+
+  IsolationLevel level_;
+  const CompiledHistory* ch_;
+  const CheckOptions* opts_;
+  std::size_t n_;
+  std::vector<std::pair<TxnIdx, TxnIdx>> edge_list_;  // forced-precedence edges
+  std::vector<std::uint32_t> row_off_;  // CSR offsets (built on demand)
+  std::vector<TxnIdx> row_dst_;         // CSR targets
+  std::vector<std::uint32_t> cursor_;   // scratch for CSR fill
+  bool csr_built_ = false;
+  bool materialize_ = true;   // false during the optimistic RC/RA pass
+  bool backward_seen_ = false;
+  std::vector<std::uint32_t> rank_;  // inverse of ts_order, built lazily
+  bool ts_identity_ = false;         // ts_order is the identity permutation
+  std::uint64_t nodes_ = 0;          // topological pops (placements examined)
+  std::uint64_t edge_count_ = 0;
+};
+
+}  // namespace
+
+bool direct_eligible(ct::IsolationLevel level) {
+  return level == IsolationLevel::kReadCommitted ||
+         level == IsolationLevel::kReadAtomic || level == IsolationLevel::kPSI;
+}
+
+CheckResult check_direct(ct::IsolationLevel level, const model::CompiledHistory& ch,
+                         const CheckOptions& opts) {
+  if (!direct_eligible(level)) {
+    return {Outcome::kUnknown, std::nullopt,
+            std::string(ct::name_of(level)) +
+                " has no direct single-pass decision procedure",
+            0};
+  }
+  if (ch.size() == 0) {
+    return {Outcome::kSatisfiable, model::Execution::identity(ch.txns()),
+            "empty transaction set", 0};
+  }
+  static obs::Histogram& latency = engine_obs::check_latency("direct");
+  obs::TraceSpan span("engine.direct");
+  obs::ScopedTimer timer(latency);
+  DirectCheck dc(level, ch, opts);
+  CheckResult result = dc.run();
+  result.engine = "direct";
+  result.edges_visited = dc.edges();
+  if (result.unsatisfiable() && !result.diagnosis) {
+    result.diagnosis = explain_refutation(level, ch);
+  }
+  if (obs::enabled()) {
+    DirectMetrics::get().checks.inc();
+    engine_obs::checks_counter("direct", result.outcome).inc();
+  }
+  span.field("level", ct::name_of(level))
+      .field("n", static_cast<std::uint64_t>(ch.size()))
+      .field("nodes", result.nodes_explored)
+      .field("edges", result.edges_visited)
+      .field("outcome", engine_obs::outcome_word(result.outcome));
+  return result;
+}
+
+CheckResult check_direct(ct::IsolationLevel level, const model::TransactionSet& txns,
+                         const CheckOptions& opts) {
+  if (txns.empty()) {
+    return {Outcome::kSatisfiable, model::Execution::identity(txns),
+            "empty transaction set", 0};
+  }
+  const model::CompiledHistory ch(txns);
+  return check_direct(level, ch, opts);
+}
+
+}  // namespace crooks::checker

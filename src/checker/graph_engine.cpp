@@ -203,7 +203,10 @@ CheckResult check_graph_impl(IsolationLevel level, const CompiledHistory& ch,
   // --- Untimed levels with an authoritative version order: phenomena. -----
   if (opts.version_order != nullptr && level != IsolationLevel::kAdyaSI) {
     const adya::InstallOrders io = adya::compile_install_orders(ch, opts.version_order);
-    const adya::Phenomena p = adya::detect(ch, io);
+    // Level-scoped detection: asking about a weak level must not build the
+    // SI-family start/real-time edge sets, which are Θ(n²) on serial
+    // histories.
+    const adya::Phenomena p = adya::detect(ch, io, level);
     const adya::Verdict verdict = adya::satisfies(p, level);
     if (verdict == adya::Verdict::kViolated) {
       // Cold path: lift into an Adya history only to render the diagnosis.
@@ -318,7 +321,25 @@ namespace {
 
 CheckResult check_dispatch(IsolationLevel level, const CompiledHistory& ch,
                            const CheckOptions& opts) {
-  // Complete graph decisions first (polynomial).
+  // Explicit engine selection bypasses the tiering and reports the chosen
+  // engine's verdict as-is (possibly kUnknown — forcing is honest, never a
+  // silent substitution).
+  switch (opts.engine) {
+    case EngineSelect::kDirect: return check_direct(level, ch, opts);
+    case EngineSelect::kGraph: return check_graph(level, ch, opts);
+    case EngineSelect::kExhaustive: return check_exhaustive(level, ch, opts);
+    case EngineSelect::kAuto: break;
+  }
+
+  // Direct tier first: near-linear single-pass decision for the weak levels.
+  // Complete for RC/RA; kUnknown only on an oversized undecided PSI instance,
+  // which falls through to the complete engines below.
+  if (direct_eligible(level)) {
+    CheckResult r = check_direct(level, ch, opts);
+    if (r.outcome != Outcome::kUnknown) return r;
+  }
+
+  // Complete graph decisions next (polynomial).
   const bool timed_pinned = level == IsolationLevel::kAnsiSI ||
                             level == IsolationLevel::kSessionSI ||
                             level == IsolationLevel::kStrongSI;

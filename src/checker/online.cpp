@@ -49,6 +49,15 @@ obs::Counter& online_fallback_total() {
 
 OnlineChecker::OnlineChecker(std::vector<IsolationLevel> levels) {
   for (IsolationLevel l : levels) statuses_.emplace(l, LevelStatus{});
+  weak_only_ = true;
+  for (const auto& [l, s] : statuses_) {
+    if (l != IsolationLevel::kReadUncommitted &&
+        l != IsolationLevel::kReadCommitted &&
+        l != IsolationLevel::kReadAtomic && l != IsolationLevel::kPSI) {
+      weak_only_ = false;
+      break;
+    }
+  }
 }
 
 const OnlineChecker::LevelStatus& OnlineChecker::status(IsolationLevel level) const {
@@ -149,6 +158,15 @@ void OnlineChecker::ingest(const model::CompiledDelta& delta) {
       .field("stream_size", static_cast<std::uint64_t>(stream_.size()));
   timelines_.resize(stream_.key_count());
 
+  if (weak_only_) {
+    // Every tracked level decides on read-state starts alone — skip the
+    // per-op interval construction entirely.
+    for (TxnIdx d = delta.first; d < delta.first + delta.count; ++d) {
+      ingest_weak_txn(d);
+    }
+    return;
+  }
+
   // Evaluate the block's transactions one by one in dense (= apply) order:
   // when transaction d is evaluated only [0, d) is installed, so "has the
   // observed writer been applied yet" is the dense compare `writer < d` —
@@ -203,6 +221,130 @@ void OnlineChecker::ingest(const model::CompiledDelta& delta) {
 
     commit_placed(d, std::move(p));
   }
+}
+
+void OnlineChecker::ingest_weak_txn(TxnIdx d) {
+  const TxnId id = stream_.id_of(d);
+  const model::OpsView cops = stream_.ops(d);
+  stats_.ops_evaluated += cops.size();
+  ++stats_.direct_appends;
+
+  // Per-op read-state starts from flags and dense compares alone. The start
+  // is exactly `rs.first` of the general path: 0 for writes, phantoms,
+  // internals, and initial-version reads; writer+1 for applied member
+  // writers. PREREAD emptiness is likewise a flags fact — an applied member
+  // version's interval {writer+1, min(next_write-1, parent)} is never empty
+  // (upper_bound guarantees next_write > writer+1 and writer < d gives
+  // writer+1 ≤ parent), and the initial version's {0, ...} always admits 0.
+  weak_firsts_.assign(cops.size(), 0);
+  bool preread = true;
+  for (std::size_t i = 0; i < cops.size(); ++i) {
+    const std::uint8_t m = cops.flags(i);
+    if ((m & model::kOpWrite) != 0) continue;
+    if ((m & model::kOpPhantom) != 0) {
+      preread = false;
+      continue;
+    }
+    if ((m & model::kOpPositionalInternal) != 0) {
+      if ((m & model::kOpSelfWriter) == 0) preread = false;
+      continue;
+    }
+    if ((m & model::kOpSelfWriter) != 0) {
+      preread = false;
+      continue;
+    }
+    if ((m & model::kOpInitWriter) != 0) continue;
+    if ((m & (model::kOpUnknownWriter | model::kOpWriterMissesKey)) != 0 ||
+        cops.writer(i) >= d) {  // writer not applied yet: reads from the future
+      preread = false;
+      continue;
+    }
+    weak_firsts_[i] = static_cast<StateIndex>(cops.writer(i)) + 1;
+  }
+
+  if (!preread) {
+    for (IsolationLevel l : {IsolationLevel::kReadCommitted, IsolationLevel::kReadAtomic,
+                             IsolationLevel::kPSI}) {
+      if (tracking(l)) violate(l, id, "PREREAD fails in the apply order");
+    }
+  }
+
+  // Fractured reads (RA) — identical filters and iteration order to the
+  // general path, with rs.first read from the scratch array.
+  if (tracking(IsolationLevel::kReadAtomic) && preread) {
+    for (std::size_t i = 0; i < cops.size(); ++i) {
+      const std::uint8_t m1 = cops.flags(i);
+      if ((m1 & model::kOpWrite) != 0 || cops.internal(i) ||
+          (m1 & model::kOpInitWriter) != 0) {
+        continue;
+      }
+      const TxnIdx w1 = cops.writer(i);
+      if (w1 == model::kNoTxnIdx || w1 >= d) continue;  // not applied
+      for (std::size_t j = 0; j < cops.size(); ++j) {
+        if (cops.is_write(j) || cops.internal(j)) continue;
+        if (stream_.writes_key(w1, cops.key(j)) &&
+            weak_firsts_[i] > weak_firsts_[j]) {
+          violate(IsolationLevel::kReadAtomic, id,
+                  "fractured read across " + crooks::to_string(stream_.id_of(w1)) +
+                      "'s writes");
+        }
+      }
+    }
+  }
+
+  Placed p;
+  p.state = static_cast<StateIndex>(d) + 1;
+
+  // CAUS-VIS (PSI). Under PREREAD every surviving read is of the initial or
+  // an applied member version, whose interval start decides timeline
+  // visibility: entry pos > rs.last ⟺ pos > rs.first, because entries at
+  // pos ≤ rs.last are exactly those at pos ≤ rs.first (upper_bound picks the
+  // first entry past the version) and no installed entry exceeds parent.
+  if (tracking(IsolationLevel::kPSI) && preread) {
+    p.prec.grow(txns_.size() + 1);
+    auto absorb = [&](std::size_t slot) {
+      p.prec.set(slot);
+      p.prec.or_with(txns_[slot].prec);
+    };
+    for (std::size_t i = 0; i < cops.size(); ++i) {
+      const std::uint8_t m = cops.flags(i);
+      if ((m & model::kOpWrite) != 0 || cops.internal(i) ||
+          (m & model::kOpInitWriter) != 0) {
+        continue;
+      }
+      const TxnIdx w = cops.writer(i);
+      if (w != model::kNoTxnIdx && w < d) absorb(w);
+    }
+    for (model::KeyIdx k : stream_.write_keys(d)) {
+      if (const auto* tl = timeline_of(k)) {
+        for (const auto& [pos, slot] : *tl) absorb(slot);
+      }
+    }
+    for (std::size_t i = 0; i < cops.size(); ++i) {
+      if (cops.is_write(i) || cops.internal(i)) continue;
+      if (const auto* tl = timeline_of(cops.key(i))) {
+        for (const auto& [pos, slot] : *tl) {
+          if (pos > weak_firsts_[i] && p.prec.test(slot)) {
+            violate(IsolationLevel::kPSI, id,
+                    "CAUS-VIS fails: misses " +
+                        crooks::to_string(stream_.id_of(static_cast<TxnIdx>(slot))) +
+                        "'s write to " +
+                        crooks::to_string(stream_.keys().key_of(cops.key(i))));
+          }
+        }
+      }
+    }
+  }
+
+  // Install — the tail of commit_placed. Retroactive inversions touch only
+  // the timed levels, which a weak-only checker never tracks.
+  for (model::KeyIdx k : stream_.write_keys(d)) {
+    timelines_[k].emplace_back(p.state, static_cast<std::size_t>(d));
+  }
+  const SessionId s = stream_.session(d);
+  if (s != kNoSession) session_states_[s].push_back(p.state);
+  max_start_applied_ = std::max(max_start_applied_, stream_.start_ts(d));
+  txns_.push_back(std::move(p));
 }
 
 void OnlineChecker::commit_placed(TxnIdx d, Placed p) {

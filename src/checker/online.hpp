@@ -72,6 +72,11 @@ class OnlineChecker {
     /// analogue of CheckResult::nodes_explored, so the streaming monitor's
     /// effort is comparable with the offline engines' on one dashboard.
     std::uint64_t ops_evaluated = 0;
+    /// Transactions evaluated on the weak-level direct path (every tracked
+    /// level in {RU, RC, RA, PSI}): no timeline binary searches, no per-op
+    /// interval storage. Equals compiled_appends on a weak-only checker and
+    /// 0 when any stronger level is tracked.
+    std::uint64_t direct_appends = 0;
   };
 
   /// Append the next committed transaction. Returns false if the id was
@@ -122,6 +127,14 @@ class OnlineChecker {
   /// block's transactions against the stream prefix, evaluate their commit
   /// tests, and install them (timelines, session index, recency maxima).
   void ingest(const model::CompiledDelta& delta);
+  /// Weak-level direct path, taken when every tracked level is in
+  /// {RU, RC, RA, PSI}. For those levels only the read-state *start* of each
+  /// op matters: PREREAD emptiness is a pure flags/dense-index fact (a member
+  /// version's interval is never empty), the RA fracture compares rs.first,
+  /// and on a timeline entry `pos > rs.last` ⟺ `pos > rs.first`. So the
+  /// per-op timeline binary search and interval storage both disappear;
+  /// verdicts and explanations are byte-identical to the general path.
+  void ingest_weak_txn(model::TxnIdx d);
   void evaluate_new(model::TxnIdx d, Placed& p);
   void check_retroactive_inversions(model::TxnIdx d);
   void commit_placed(model::TxnIdx d, Placed p);
@@ -143,6 +156,12 @@ class OnlineChecker {
   // Max start_ts over applied transactions: a late transaction can invert a
   // real-time clause iff some applied transaction started after it committed.
   Timestamp max_start_applied_ = kNoTimestamp;
+  // True when every tracked level is untimed-weak (RU/RC/RA/PSI): fixed at
+  // construction, routes ingest() to the direct per-transaction path.
+  bool weak_only_ = false;
+  // Scratch: per-op read-state starts for the transaction being ingested on
+  // the weak path (reused across transactions to avoid reallocation).
+  std::vector<StateIndex> weak_firsts_;
   Stats stats_;
 };
 

@@ -112,9 +112,11 @@ void CompiledHistory::compile_block(TxnIdx first) {
   start_ts_.resize(n);
   commit_ts_.resize(n);
   session_.resize(n);
+  ids_.resize(n);
   std::vector<KeyIdx> touched;
   for (TxnIdx d = first; d < n; ++d) {
     const Transaction& t = txns.at(d);
+    ids_[d] = t.id();
     start_ts_[d] = t.start_ts();
     commit_ts_[d] = t.commit_ts();
     session_[d] = t.session();

@@ -265,7 +265,11 @@ class CompiledHistory {
   std::size_t key_count() const { return keys_.size(); }
   const KeyInterner& keys() const { return keys_; }
 
-  TxnId id_of(TxnIdx d) const { return txns_->at(d).id(); }
+  /// Dense id column: ids_[d] == txns().at(d).id(). Transactions are ~200
+  /// bytes each; a linear pass that only needs ids must stream 8 bytes per
+  /// transaction, not a cache line.
+  TxnId id_of(TxnIdx d) const { return ids_[d]; }
+  const std::vector<TxnId>& ids() const { return ids_; }
 
   // --- per-transaction compiled ops and footprints --------------------------
 
@@ -366,6 +370,7 @@ class CompiledHistory {
   std::vector<DynamicBitset> write_mask_;
   Rows writers_of_;  // rows indexed by KeyIdx
 
+  std::vector<TxnId> ids_;
   std::vector<Timestamp> start_ts_, commit_ts_;
   std::vector<SessionId> session_;
   bool all_timestamped_ = true;

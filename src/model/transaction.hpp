@@ -184,6 +184,14 @@ class TransactionSet {
     return it->second;
   }
 
+  /// npos-returning variant: one hash probe for callers on a miss-tolerant
+  /// path (contains() + dense_index_of() would probe twice).
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+  std::size_t dense_index_if(TxnId id) const {
+    auto it = index_.find(id);
+    return it == index_.end() ? npos : it->second;
+  }
+
   auto begin() const { return txns_.begin(); }
   auto end() const { return txns_.end(); }
 

@@ -2,123 +2,25 @@
 // (Definition 5). Each classic anomaly separates adjacent levels of the
 // hierarchy exactly where the paper says it should. Parameterized over
 // every (scenario, level) pair; expected verdicts derived from §4–§5.
+// The scenario table itself lives in engine_oracle.hpp, shared with the
+// per-engine differential suites.
 #include <gtest/gtest.h>
 
-#include <set>
-
 #include "checker/checker.hpp"
+#include "engine_oracle.hpp"
 
 namespace crooks::checker {
 namespace {
 
 using ct::IsolationLevel;
-using model::TransactionSet;
-using model::TxnBuilder;
-
-constexpr Key kX{0}, kY{1};
+using oracle::Scenario;
 using L = IsolationLevel;
-
-struct Scenario {
-  std::string name;
-  TransactionSet txns;
-  std::set<L> satisfiable;
-};
-
-const std::set<L> kAll{L::kReadUncommitted, L::kReadCommitted, L::kReadAtomic,
-                       L::kPSI,             L::kAdyaSI,        L::kAnsiSI,
-                       L::kSessionSI,       L::kStrongSI,      L::kSerializable,
-                       L::kStrictSerializable};
-
-std::set<L> all_but(std::initializer_list<L> unsat) {
-  std::set<L> s = kAll;
-  for (L l : unsat) s.erase(l);
-  return s;
-}
-
-std::vector<Scenario> scenarios() {
-  std::vector<Scenario> out;
-
-  out.push_back({"clean_serial_chain",
-                 TransactionSet{{
-                     TxnBuilder(1).write(kX).at(0, 1).build(),
-                     TxnBuilder(2).read(kX, TxnId{1}).write(kY).at(2, 3).build(),
-                     TxnBuilder(3).read(kX, TxnId{1}).read(kY, TxnId{2}).at(4, 5).build(),
-                 }},
-                 kAll});
-
-  out.push_back({"write_skew",
-                 TransactionSet{{
-                     TxnBuilder(1).read(kX, kInitTxn).read(kY, kInitTxn).write(kX).at(0, 10).build(),
-                     TxnBuilder(2).read(kX, kInitTxn).read(kY, kInitTxn).write(kY).at(1, 11).build(),
-                 }},
-                 all_but({L::kSerializable, L::kStrictSerializable})});
-
-  out.push_back({"lost_update",
-                 TransactionSet{{
-                     TxnBuilder(1).read(kX, kInitTxn).write(kX).at(0, 10).build(),
-                     TxnBuilder(2).read(kX, kInitTxn).write(kX).at(1, 11).build(),
-                 }},
-                 {L::kReadUncommitted, L::kReadCommitted, L::kReadAtomic}});
-
-  out.push_back({"long_fork",
-                 TransactionSet{{
-                     TxnBuilder(1).write(kX).at(0, 10).build(),
-                     TxnBuilder(2).write(kY).at(1, 11).build(),
-                     TxnBuilder(3).read(kX, TxnId{1}).read(kY, kInitTxn).at(2, 12).build(),
-                     TxnBuilder(4).read(kX, kInitTxn).read(kY, TxnId{2}).at(3, 13).build(),
-                 }},
-                 {L::kReadUncommitted, L::kReadCommitted, L::kReadAtomic, L::kPSI}});
-
-  out.push_back({"causality_violation",
-                 TransactionSet{{
-                     TxnBuilder(1).write(kX).at(0, 10).build(),
-                     TxnBuilder(2).read(kX, TxnId{1}).write(kY).at(11, 12).build(),
-                     TxnBuilder(3).read(kY, TxnId{2}).read(kX, kInitTxn).at(13, 14).build(),
-                 }},
-                 {L::kReadUncommitted, L::kReadCommitted, L::kReadAtomic}});
-
-  out.push_back({"fractured_read",
-                 TransactionSet{{
-                     TxnBuilder(1).write(kX).write(kY).at(0, 10).build(),
-                     TxnBuilder(2).read(kX, TxnId{1}).read(kY, kInitTxn).at(1, 11).build(),
-                 }},
-                 {L::kReadUncommitted, L::kReadCommitted}});
-
-  out.push_back({"dirty_read_aborted",
-                 TransactionSet{{
-                     TxnBuilder(2).read(kX, TxnId{99}).at(0, 1).build(),
-                 }},
-                 {L::kReadUncommitted}});
-
-  out.push_back({"intermediate_read",
-                 TransactionSet{{
-                     TxnBuilder(1).write(kX).at(0, 1).build(),
-                     TxnBuilder(2).read_intermediate(kX, TxnId{1}).at(2, 3).build(),
-                 }},
-                 {L::kReadUncommitted}});
-
-  out.push_back({"session_inversion",
-                 TransactionSet{{
-                     TxnBuilder(1).write(kX).session(SessionId{1}).at(0, 10).build(),
-                     TxnBuilder(2).read(kX, kInitTxn).session(SessionId{1}).at(20, 30).build(),
-                 }},
-                 all_but({L::kSessionSI, L::kStrongSI, L::kStrictSerializable})});
-
-  out.push_back({"cross_session_staleness",
-                 TransactionSet{{
-                     TxnBuilder(1).write(kX).session(SessionId{1}).at(0, 10).build(),
-                     TxnBuilder(2).read(kX, kInitTxn).session(SessionId{2}).at(20, 30).build(),
-                 }},
-                 all_but({L::kStrongSI, L::kStrictSerializable})});
-
-  return out;
-}
 
 class AnomalyMatrix : public ::testing::TestWithParam<Scenario> {};
 
 TEST_P(AnomalyMatrix, CheckerMatchesExpectedVerdicts) {
   const Scenario& sc = GetParam();
-  for (L level : kAll) {
+  for (L level : oracle::all_levels()) {
     const bool expect_sat = sc.satisfiable.contains(level);
     const CheckResult r = check(level, sc.txns);
     ASSERT_NE(r.outcome, Outcome::kUnknown)
@@ -134,7 +36,7 @@ TEST_P(AnomalyMatrix, CheckerMatchesExpectedVerdicts) {
 
 TEST_P(AnomalyMatrix, ExhaustiveAgreesWithDispatch) {
   const Scenario& sc = GetParam();
-  for (L level : kAll) {
+  for (L level : oracle::all_levels()) {
     const CheckResult d = check(level, sc.txns);
     const CheckResult e = check_exhaustive(level, sc.txns);
     ASSERT_NE(e.outcome, Outcome::kUnknown);
@@ -144,9 +46,9 @@ TEST_P(AnomalyMatrix, ExhaustiveAgreesWithDispatch) {
 
 TEST_P(AnomalyMatrix, VerdictsMonotoneOverHierarchy) {
   const Scenario& sc = GetParam();
-  for (L strong : kAll) {
+  for (L strong : oracle::all_levels()) {
     if (!sc.satisfiable.contains(strong)) continue;
-    for (L weak : kAll) {
+    for (L weak : oracle::all_levels()) {
       if (ct::at_least_as_strong(strong, weak)) {
         EXPECT_TRUE(sc.satisfiable.contains(weak))
             << sc.name << ": " << ct::name_of(strong) << " sat implies "
@@ -156,7 +58,8 @@ TEST_P(AnomalyMatrix, VerdictsMonotoneOverHierarchy) {
   }
 }
 
-INSTANTIATE_TEST_SUITE_P(Anomalies, AnomalyMatrix, ::testing::ValuesIn(scenarios()),
+INSTANTIATE_TEST_SUITE_P(Anomalies, AnomalyMatrix,
+                         ::testing::ValuesIn(oracle::anomaly_scenarios()),
                          [](const ::testing::TestParamInfo<Scenario>& info) {
                            return info.param.name;
                          });

@@ -238,6 +238,73 @@ TEST_P(Fuzz, MixedTimestampsBudgetsAndThreads) {
   }
 }
 
+TEST_P(Fuzz, DirectEngineAgreesWithBothOracles) {
+  // The direct tier against two independent oracles — the compiled exhaustive
+  // engine and the frozen hashed reference — with and without an
+  // authoritative version order. At |𝒯| = 7 the PSI fallback budget always
+  // suffices, so kUnknown is a failure, not an allowed divergence.
+  const wl::FuzzedObservations f = make();
+  CheckOptions unbounded;
+  unbounded.threads = 1;
+  CheckOptions with_vo = unbounded;
+  with_vo.version_order = &f.version_order;
+  for (IsolationLevel level :
+       {IsolationLevel::kReadCommitted, IsolationLevel::kReadAtomic,
+        IsolationLevel::kPSI}) {
+    for (const CheckOptions* o : {&unbounded, &with_vo}) {
+      const std::string config = std::string(ct::name_of(level)) +
+                                 (o == &with_vo ? " with vo" : " without vo");
+      const CheckResult oracle = checker::check_exhaustive(level, f.txns, *o);
+      ASSERT_NE(oracle.outcome, Outcome::kUnknown) << config;
+      ASSERT_EQ(
+          checker::reference::check_exhaustive_hashed(level, f.txns, *o).outcome,
+          oracle.outcome)
+          << config;
+      const CheckResult direct = checker::check_direct(level, f.txns, *o);
+      ASSERT_NE(direct.outcome, Outcome::kUnknown)
+          << config << ": " << direct.detail;
+      EXPECT_EQ(direct.outcome, oracle.outcome)
+          << config << "\n direct: " << direct.detail
+          << "\n oracle: " << oracle.detail;
+      if (direct.satisfiable()) {
+        ASSERT_TRUE(direct.witness.has_value()) << config;
+        const ct::ExecutionVerdict v =
+            checker::verify_witness(level, f.txns, *direct.witness);
+        EXPECT_TRUE(v.ok) << config << ": " << v.explanation;
+      }
+    }
+  }
+}
+
+TEST_P(Fuzz, DirectEngineMixedAndMissingTimestamps) {
+  // Timestamp gaps must not perturb the direct tier: it never consults the
+  // time oracle beyond the shared candidate order, so mixed and absent
+  // timestamps behave like any other input.
+  const std::uint64_t seed = GetParam();
+  wl::ObservationFuzzOptions o;
+  o.transactions = 7;
+  o.keys = 4;
+  o.p_untimestamped = 0.35;
+  const wl::FuzzedObservations mixed = wl::fuzz_observations(seed, o);
+  const wl::FuzzedObservations untimed = make(/*timestamps=*/false);
+  for (IsolationLevel level :
+       {IsolationLevel::kReadCommitted, IsolationLevel::kReadAtomic,
+        IsolationLevel::kPSI}) {
+    for (const wl::FuzzedObservations* f : {&mixed, &untimed}) {
+      const CheckResult oracle = checker::check_exhaustive(level, f->txns);
+      ASSERT_NE(oracle.outcome, Outcome::kUnknown) << ct::name_of(level);
+      const CheckResult direct = checker::check_direct(level, f->txns);
+      ASSERT_NE(direct.outcome, Outcome::kUnknown) << ct::name_of(level);
+      EXPECT_EQ(direct.outcome, oracle.outcome)
+          << ct::name_of(level) << " seed=" << seed << ": " << direct.detail;
+      if (direct.satisfiable()) {
+        EXPECT_TRUE(checker::verify_witness(level, f->txns, *direct.witness).ok)
+            << ct::name_of(level);
+      }
+    }
+  }
+}
+
 TEST_P(Fuzz, DeterministicVerdicts) {
   const wl::FuzzedObservations a = make();
   const wl::FuzzedObservations b = make();

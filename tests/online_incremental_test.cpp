@@ -284,6 +284,56 @@ TEST(OnlineIncremental, AgreesWithHashedOracleOnAnyInterleaving) {
   }
 }
 
+TEST(OnlineIncremental, WeakOnlyDirectPathMatchesGeneralAndHashedOracle) {
+  // A checker tracking only the untimed-weak levels takes the direct ingest
+  // path (no per-op intervals, no timeline searches). Differentially: under
+  // random block interleavings — including duplicate re-appends of an
+  // already-streamed block — it must agree per level, byte for byte, with
+  // both the general-path checker and the frozen hashed monitor.
+  const std::vector<ct::IsolationLevel> weak{
+      ct::IsolationLevel::kReadUncommitted, ct::IsolationLevel::kReadCommitted,
+      ct::IsolationLevel::kReadAtomic, ct::IsolationLevel::kPSI};
+  std::mt19937_64 rng(771);
+  for (const std::vector<Transaction>& all : interesting_streams()) {
+    OnlineChecker direct(weak);
+    OnlineChecker general;
+    reference::OnlineCheckerHashed oracle;
+    std::size_t at = 0;
+    std::size_t duplicates = 0;
+    std::uniform_int_distribution<std::size_t> d(1, 5);
+    while (at < all.size()) {
+      const std::size_t take = std::min(all.size() - at, d(rng));
+      const std::span<const Transaction> block(all.data() + at, take);
+      EXPECT_EQ(direct.append_all(block), take);
+      EXPECT_EQ(general.append_all(block), take);
+      for (const Transaction& t : block) oracle.append(t);
+      if (at > 0 && rng() % 3 == 0) {
+        // Re-append an already-streamed transaction: ignored on every path.
+        EXPECT_FALSE(direct.append(all[rng() % at]));
+        ++duplicates;
+      }
+      at += take;
+      for (ct::IsolationLevel level : weak) {
+        const auto& got = direct.status(level);
+        const auto& gen = general.status(level);
+        const auto& want = oracle.status(level);
+        ASSERT_EQ(got.ok, gen.ok)
+            << ct::name_of(level) << " after " << at << " txns";
+        ASSERT_EQ(got.first_violation, gen.first_violation) << ct::name_of(level);
+        ASSERT_EQ(got.explanation, gen.explanation) << ct::name_of(level);
+        ASSERT_EQ(got.ok, want.ok) << ct::name_of(level) << " vs hashed oracle";
+        ASSERT_EQ(got.explanation, want.explanation) << ct::name_of(level);
+      }
+    }
+    EXPECT_EQ(direct.stats().direct_appends, all.size());
+    EXPECT_EQ(direct.stats().compiled_appends, all.size());
+    EXPECT_EQ(direct.stats().duplicates_ignored, duplicates);
+    EXPECT_EQ(direct.stats().ops_evaluated, general.stats().ops_evaluated);
+    EXPECT_EQ(direct.stats().hashed_fallback_appends, 0u);
+    EXPECT_EQ(general.stats().direct_appends, 0u);
+  }
+}
+
 TEST(OnlineIncremental, DuplicatesAndReservedIdsIgnored) {
   const std::vector<Transaction> all = {
       TxnBuilder(1).write(Key{0}).at(0, 1).build(),

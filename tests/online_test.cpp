@@ -145,5 +145,122 @@ TEST(Online, AgreesWithBatchOnStoreRuns) {
   }
 }
 
+// ------------------------------------------------------- weak-only direct path
+//
+// An OnlineChecker tracking only {RU, RC, RA, PSI} takes the direct ingest
+// path: no per-op interval storage, no timeline binary searches. The
+// contract is byte-identical verdicts and explanations to the general path.
+
+const std::vector<IsolationLevel>& weak_levels() {
+  static const std::vector<IsolationLevel> kWeak{
+      IsolationLevel::kReadUncommitted, IsolationLevel::kReadCommitted,
+      IsolationLevel::kReadAtomic, IsolationLevel::kPSI};
+  return kWeak;
+}
+
+TEST(OnlineWeak, FracturedReadStreamedBlockByBlock) {
+  OnlineChecker oc(weak_levels());
+  oc.append(TxnBuilder(1).write(kX).write(kY).at(0, 10).build());
+  EXPECT_TRUE(oc.all_ok());
+  oc.append(TxnBuilder(2).read(kX, TxnId{1}).read(kY, kInitTxn).at(1, 11).build());
+  EXPECT_TRUE(oc.status(IsolationLevel::kReadCommitted).ok);
+  EXPECT_FALSE(oc.status(IsolationLevel::kReadAtomic).ok);
+  EXPECT_NE(oc.status(IsolationLevel::kReadAtomic).explanation.find("fractured read"),
+            std::string::npos);
+  EXPECT_FALSE(oc.status(IsolationLevel::kPSI).ok);
+  EXPECT_NE(oc.status(IsolationLevel::kPSI).explanation.find("CAUS-VIS"),
+            std::string::npos);
+  EXPECT_EQ(oc.stats().direct_appends, 2u);
+}
+
+TEST(OnlineWeak, DirtyReadAndDuplicateAppends) {
+  OnlineChecker oc(weak_levels());
+  oc.append(TxnBuilder(1).write(kX).at(0, 1).build());
+  EXPECT_FALSE(oc.append(TxnBuilder(1).write(kY).at(0, 1).build()));  // dup
+  oc.append(TxnBuilder(2).read(kX, TxnId{99}).at(2, 3).build());
+  EXPECT_TRUE(oc.status(IsolationLevel::kReadUncommitted).ok);
+  for (IsolationLevel l : {IsolationLevel::kReadCommitted,
+                           IsolationLevel::kReadAtomic, IsolationLevel::kPSI}) {
+    EXPECT_FALSE(oc.status(l).ok) << ct::name_of(l);
+    EXPECT_EQ(oc.status(l).first_violation, TxnId{2}) << ct::name_of(l);
+    EXPECT_NE(oc.status(l).explanation.find("PREREAD fails in the apply order"),
+              std::string::npos);
+  }
+  EXPECT_EQ(oc.stats().duplicates_ignored, 1u);
+  EXPECT_EQ(oc.stats().direct_appends, 2u);
+  EXPECT_EQ(oc.stats().compiled_appends, 2u);
+}
+
+TEST(OnlineWeak, RetroactiveReadStaysStickyWhenWriterArrives) {
+  // T2 reads T5 before T5 is applied: in the apply order that read has no
+  // candidate state, so the weak levels die at T2 — and stay dead when T5
+  // eventually arrives (placement verdicts are final).
+  OnlineChecker oc(weak_levels());
+  oc.append(TxnBuilder(2).read(kX, TxnId{5}).at(0, 1).build());
+  ASSERT_FALSE(oc.status(IsolationLevel::kReadCommitted).ok);
+  const std::string first = oc.status(IsolationLevel::kReadCommitted).explanation;
+  oc.append(TxnBuilder(5).write(kX).at(2, 3).build());
+  EXPECT_FALSE(oc.status(IsolationLevel::kReadCommitted).ok);
+  EXPECT_EQ(oc.status(IsolationLevel::kReadCommitted).explanation, first);
+  EXPECT_EQ(oc.status(IsolationLevel::kReadCommitted).first_violation, TxnId{2});
+  EXPECT_FALSE(oc.status(IsolationLevel::kPSI).ok);
+}
+
+TEST(OnlineWeak, CausalityViolationCaughtByPsiOnly) {
+  OnlineChecker oc(weak_levels());
+  oc.append(TxnBuilder(1).write(kX).at(0, 10).build());
+  oc.append(TxnBuilder(2).read(kX, TxnId{1}).write(kY).at(11, 12).build());
+  oc.append(TxnBuilder(3).read(kY, TxnId{2}).read(kX, kInitTxn).at(13, 14).build());
+  EXPECT_TRUE(oc.status(IsolationLevel::kReadCommitted).ok);
+  EXPECT_TRUE(oc.status(IsolationLevel::kReadAtomic).ok);
+  EXPECT_FALSE(oc.status(IsolationLevel::kPSI).ok);
+  EXPECT_EQ(oc.status(IsolationLevel::kPSI).first_violation, TxnId{3});
+  EXPECT_NE(oc.status(IsolationLevel::kPSI).explanation.find("misses T1's write"),
+            std::string::npos);
+}
+
+TEST(OnlineWeak, AgreesWithGeneralPathOnStoreRuns) {
+  for (store::CCMode mode :
+       {store::CCMode::kSnapshotIsolation, store::CCMode::kReadCommitted,
+        store::CCMode::kReadUncommitted, store::CCMode::kTwoPhaseLocking}) {
+    for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+      const auto intents = wl::generate_mix({.transactions = 25,
+                                             .keys = 6,
+                                             .reads_per_txn = 2,
+                                             .writes_per_txn = 2,
+                                             .sessions = 3,
+                                             .seed = seed});
+      const store::RunResult r =
+          store::run(intents, {.mode = mode, .seed = seed + 50, .concurrency = 5,
+                               .injected_abort_prob = 0.05});
+      std::vector<const model::Transaction*> order;
+      for (const model::Transaction& t : r.observations) order.push_back(&t);
+      std::sort(order.begin(), order.end(), [](auto* a, auto* b) {
+        return a->commit_ts() < b->commit_ts();
+      });
+
+      OnlineChecker weak(weak_levels());
+      OnlineChecker general;
+      for (const model::Transaction* t : order) {
+        weak.append(*t);
+        general.append(*t);
+      }
+      for (IsolationLevel level : weak_levels()) {
+        EXPECT_EQ(weak.status(level).ok, general.status(level).ok)
+            << store::name_of(mode) << " seed " << seed << " @ "
+            << ct::name_of(level);
+        EXPECT_EQ(weak.status(level).first_violation,
+                  general.status(level).first_violation)
+            << ct::name_of(level);
+        EXPECT_EQ(weak.status(level).explanation, general.status(level).explanation)
+            << ct::name_of(level);
+      }
+      EXPECT_EQ(weak.stats().direct_appends, weak.stats().compiled_appends);
+      EXPECT_EQ(weak.stats().ops_evaluated, general.stats().ops_evaluated);
+      EXPECT_EQ(general.stats().direct_appends, 0u);
+    }
+  }
+}
+
 }  // namespace
 }  // namespace crooks::checker

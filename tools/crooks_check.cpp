@@ -9,6 +9,9 @@
 //
 // Options:
 //   --level=NAME     verdict/exit status for one level (e.g. Serializable)
+//   --engine=NAME    force one engine (direct|graph|exhaustive) instead of the
+//                    auto dispatch; the verdict is that engine's answer as-is,
+//                    which may be UNDECIDED for levels it cannot decide
 //   --threads=N      checker worker threads (0 = all cores, 1 = sequential)
 //   --quiet          print only the verdict line
 //   --follow         streaming audit: tail FILE (required), feeding each batch
@@ -52,8 +55,8 @@ std::optional<ct::IsolationLevel> level_by_name(const std::string& name) {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: crooks-check [--level=NAME] [--threads=N] [--quiet]\n"
-               "                    [--metrics[=FILE]] [--metrics-json=FILE]\n"
+               "usage: crooks-check [--level=NAME] [--engine=NAME] [--threads=N]\n"
+               "                    [--quiet] [--metrics[=FILE]] [--metrics-json=FILE]\n"
                "                    [--trace=FILE] [FILE]\n"
                "       crooks-check --follow [--level=NAME] [--quiet]\n"
                "                    [--poll-ms=N] [--idle-exit-ms=N] [--max-blocks=N]\n"
@@ -62,8 +65,15 @@ int usage() {
   for (ct::IsolationLevel l : ct::kAllLevels) {
     std::fprintf(stderr, " %s", std::string(ct::name_of(l)).c_str());
   }
-  std::fprintf(stderr, "\n");
+  std::fprintf(stderr, "\nengines: direct graph exhaustive\n");
   return 2;
+}
+
+std::optional<checker::EngineSelect> engine_by_name(const std::string& name) {
+  if (name == "direct") return checker::EngineSelect::kDirect;
+  if (name == "graph") return checker::EngineSelect::kGraph;
+  if (name == "exhaustive") return checker::EngineSelect::kExhaustive;
+  return std::nullopt;
 }
 
 bool parse_count(const std::string& value, std::size_t& out) {
@@ -139,6 +149,7 @@ int run_follow(const std::string& file, ct::IsolationLevel verdict_level,
 
 int main(int argc, char** argv) {
   std::optional<ct::IsolationLevel> requested;
+  checker::EngineSelect engine = checker::EngineSelect::kAuto;
   bool quiet = false;
   bool follow = false;
   bool metrics = false;
@@ -158,6 +169,13 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "unknown level '%s'\n", arg.substr(8).c_str());
         return usage();
       }
+    } else if (arg.rfind("--engine=", 0) == 0) {
+      const auto sel = engine_by_name(arg.substr(9));
+      if (!sel.has_value()) {
+        std::fprintf(stderr, "unknown engine '%s'\n", arg.substr(9).c_str());
+        return usage();
+      }
+      engine = *sel;
     } else if (arg.rfind("--threads=", 0) == 0 ||
                (arg == "--threads" && i + 1 < argc)) {
       const std::string value = arg == "--threads" ? argv[++i] : arg.substr(10);
@@ -265,6 +283,7 @@ int main(int argc, char** argv) {
 
   checker::CheckOptions opts;
   opts.threads = threads;
+  opts.engine = engine;
   if (obs.has_version_order()) opts.version_order = &obs.version_order;
 
   if (requested.has_value()) {
