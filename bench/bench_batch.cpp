@@ -157,6 +157,16 @@ std::vector<checker::CheckResult> check_batch_barrier(
   return results;
 }
 
+/// The mixed-level batch policy: T1 of every history audited at RC, the rest
+/// at SER. Every workload history contains a T1, so each item resolves to a
+/// genuinely mixed assignment — the per-item resolve + mixed dispatch the
+/// BM_BatchMixedPolicy row prices against the uniform sharded row.
+ct::LevelPolicy mixed_policy() {
+  return ct::LevelPolicy{ct::IsolationLevel::kSerializable,
+                         {{TxnId{1}, ct::IsolationLevel::kReadCommitted}},
+                         /*use_annotations=*/true};
+}
+
 /// Both schedulers must reproduce the lone sequential verdicts before any
 /// timing is believed.
 void assert_parity() {
@@ -174,6 +184,31 @@ void assert_parity() {
         checker::check(ct::IsolationLevel::kSerializable, histories[i], lone).outcome;
     if (barrier[i].outcome != want || batch[i].outcome != want) {
       std::fprintf(stderr, "scheduler verdict mismatch on history %zu\n", i);
+      std::abort();
+    }
+  }
+
+  // The mixed-policy batch must reproduce the lone per-item mixed verdicts
+  // (policy resolved against each history's own compilation), and a
+  // trivially uniform policy must match the level form exactly.
+  const ct::LevelPolicy policy = mixed_policy();
+  const auto mixed = checker::check_batch(policy, histories, sharded);
+  for (std::size_t i = 0; i < histories.size(); ++i) {
+    const model::CompiledHistory ch(histories[i]);
+    const auto want = checker::check(policy.resolve(ch), ch, lone).outcome;
+    if (mixed[i].outcome != want) {
+      std::fprintf(stderr, "mixed-policy verdict mismatch on history %zu\n", i);
+      std::abort();
+    }
+  }
+  const auto uniform_policy = checker::check_batch(
+      ct::LevelPolicy::uniform(ct::IsolationLevel::kSerializable), histories, lone);
+  const auto uniform_level = checker::check_batch(
+      ct::IsolationLevel::kSerializable, histories, lone);
+  for (std::size_t i = 0; i < histories.size(); ++i) {
+    if (uniform_policy[i].outcome != uniform_level[i].outcome ||
+        uniform_policy[i].nodes_explored != uniform_level[i].nodes_explored) {
+      std::fprintf(stderr, "uniform policy diverged on history %zu\n", i);
       std::abort();
     }
   }
@@ -238,6 +273,29 @@ void BM_BatchSharded(benchmark::State& state) {
   record(state, total, best, /*sharded=*/true);
 }
 BENCHMARK(BM_BatchSharded)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
+
+/// Mixed-level row: the same sharded scheduler driven by a per-transaction
+/// policy (T1 at RC over a SER fallback), so every item pays the per-item
+/// resolve plus the mixed dispatch. Comparable with BM_BatchSharded at the
+/// same thread count — the difference is the mixed-audit overhead.
+void BM_BatchMixedPolicy(benchmark::State& state) {
+  const auto& histories = workload();
+  const ct::LevelPolicy policy = mixed_policy();
+  checker::CheckOptions opts;
+  opts.threads = static_cast<std::size_t>(state.range(0));
+  double total = 0, best = 1e100;
+  for (auto _ : state) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto results = checker::check_batch(policy, histories, opts);
+    benchmark::DoNotOptimize(results.data());
+    const double secs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+    total += secs;
+    best = std::min(best, secs);
+  }
+  record(state, total, best, /*sharded=*/true);
+}
+BENCHMARK(BM_BatchMixedPolicy)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
 
 }  // namespace
 

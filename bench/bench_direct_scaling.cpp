@@ -36,6 +36,7 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <array>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -193,6 +194,73 @@ void assert_parity() {
   }
 }
 
+/// Per-transaction assignment rotating RC → RA → PSI by dense index: every
+/// level the direct tier serves, in one history. Direct-eligible by
+/// construction, so the mixed row measures the per-candidate level dispatch
+/// against the uniform rows above it.
+ct::LevelAssignment mixed_assignment(std::size_t n) {
+  std::vector<L> column(n);
+  for (std::size_t d = 0; d < n; ++d) {
+    column[d] = std::array{L::kReadCommitted, L::kReadAtomic, L::kPSI}[d % 3];
+  }
+  return ct::LevelAssignment(L::kReadCommitted, std::move(column));
+}
+
+checker::CheckResult run_mixed(
+    const ct::LevelAssignment& a, const model::CompiledHistory& ch,
+    checker::EngineSelect engine,
+    const std::unordered_map<Key, std::vector<TxnId>>* vo) {
+  checker::CheckOptions opts;
+  opts.engine = engine;
+  opts.threads = 1;
+  opts.version_order = vo;
+  return checker::check(a, ch, opts);
+}
+
+/// Mixed-assignment parity: the direct and graph engines must reproduce the
+/// exhaustive oracle's verdict under a genuinely mixed RC/RA/PSI assignment
+/// on the fuzzed battery, and be SAT with a verifying witness on the benched
+/// clean histories.
+void assert_mixed_parity() {
+  for (std::size_t n : {std::size_t{1000}, std::size_t{10000}}) {
+    const Fixture& f = fixture(n);
+    const ct::LevelAssignment a = mixed_assignment(n);
+    for (auto engine :
+         {checker::EngineSelect::kDirect, checker::EngineSelect::kGraph}) {
+      const auto r = run_mixed(a, f.ch, engine, &f.version_order);
+      if (!r.satisfiable()) parity_failure("mixed expected SAT", L::kPSI, n, r);
+      if (!r.witness.has_value()) parity_failure("mixed missing witness", L::kPSI, n, r);
+      const ct::ExecutionVerdict v = checker::verify_witness(a, f.ch, *r.witness);
+      if (!v.ok) parity_failure(v.explanation.c_str(), L::kPSI, n, r);
+    }
+  }
+  wl::ObservationFuzzOptions fo;
+  fo.transactions = 7;
+  fo.keys = 4;
+  fo.p_dangling = 0.1;
+  fo.p_phantom = 0.05;
+  for (std::uint64_t seed = 1; seed <= 25; ++seed) {
+    const auto f = wl::fuzz_observations(seed, fo);
+    const model::CompiledHistory ch(f.txns);
+    const ct::LevelAssignment a = mixed_assignment(ch.size());
+    for (const auto* vo : {&f.version_order,
+                           static_cast<decltype(&f.version_order)>(nullptr)}) {
+      const auto oracle = run_mixed(a, ch, checker::EngineSelect::kExhaustive, vo);
+      if (oracle.outcome == checker::Outcome::kUnknown) {
+        parity_failure("mixed oracle undecided", L::kPSI, ch.size(), oracle);
+      }
+      for (auto engine :
+           {checker::EngineSelect::kDirect, checker::EngineSelect::kGraph}) {
+        const auto r = run_mixed(a, ch, engine, vo);
+        if (r.outcome == checker::Outcome::kUnknown) continue;  // honest pass
+        if (r.outcome != oracle.outcome) {
+          parity_failure("mixed oracle disagreement", L::kPSI, ch.size(), r);
+        }
+      }
+    }
+  }
+}
+
 void BM_Engine(benchmark::State& state, L level, checker::EngineSelect engine) {
   const auto n = static_cast<std::size_t>(state.range(0));
   const Fixture& f = fixture(n);  // build outside the timed region
@@ -233,12 +301,41 @@ GRAPH_ROW(psi, L::kPSI)->Arg(1000)->Arg(10000)->UseRealTime();
 #undef DIRECT_ROW
 #undef GRAPH_ROW
 
+// Mixed per-transaction assignment (RC/RA/PSI rotating by dense index): the
+// same single pass with per-candidate level dispatch. PSI is present, so the
+// curve stops where the PSI rows do.
+void BM_MixedDirect(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Fixture& f = fixture(n);
+  const ct::LevelAssignment a = mixed_assignment(n);
+  double best = 1e100;
+  for (auto _ : state) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto r = run_mixed(a, f.ch, checker::EngineSelect::kDirect,
+                             &f.version_order);
+    benchmark::DoNotOptimize(r.outcome);
+    const double secs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    best = std::min(best, secs);
+    if (!r.satisfiable()) {
+      parity_failure("mixed verdict changed mid-bench", L::kPSI, n, r);
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(n) * state.iterations());
+  state.counters["txns"] = static_cast<double>(n);
+  state.counters["ns_per_txn"] = best * 1e9 / static_cast<double>(n);
+}
+BENCHMARK(BM_MixedDirect)->Name("BM_Engine/mixed_rc_ra_psi_direct")
+    ->Arg(1000)->Arg(10000)->UseRealTime();
+
 }  // namespace
 
 int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   assert_parity();
+  assert_mixed_parity();
   benchmark::RunSpecifiedBenchmarks();
   // Final registry scrape for the CI direct-engine gate
   // (crooks_direct_checks_total must be nonzero after the forced rows).

@@ -51,6 +51,10 @@ struct HistTxn {
   SiteId site{0};
   Timestamp start_ts = kNoTimestamp;
   Timestamp commit_ts = kNoTimestamp;
+  /// Isolation level the client declared for this transaction, if any
+  /// (carried into the observations' `level=` annotation). Inert to the
+  /// phenomena analyses — Adya's definitions are level-parametric already.
+  std::optional<ct::IsolationLevel> level;
   std::vector<Event> events;
 
   /// Sequence number of this transaction's final write to `k`, or nullopt.

@@ -38,7 +38,7 @@ model::TransactionSet to_observations(const History& h) {
                                  : model::Operation::read(e.key, w));
     }
     out.emplace_back(t.id, std::move(ops), t.session, t.site, t.start_ts,
-                     t.commit_ts);
+                     t.commit_ts, t.level);
   }
   return model::TransactionSet(std::move(out));
 }
@@ -62,6 +62,7 @@ History from_observations(
     ht.site = t.site();
     ht.start_ts = t.start_ts();
     ht.commit_ts = t.commit_ts();
+    ht.level = t.level();
     for (const model::Operation& op : t.ops()) {
       if (op.is_write()) {
         ht.events.push_back({EventType::kWrite, op.key, Version{t.id(), 1}});

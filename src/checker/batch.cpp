@@ -206,9 +206,17 @@ std::size_t CheckOptions::resolved_threads() const {
   return threads == 0 ? ThreadPool::default_threads() : threads;
 }
 
-std::vector<CheckResult> check_batch(ct::IsolationLevel level,
-                                     std::span<const BatchItem> items,
-                                     const CheckOptions& opts) {
+namespace {
+
+/// Shared scheduler body. `policy == nullptr` is the global-level question at
+/// `level` — the original code path, byte for byte. A non-null (genuinely
+/// mixed) policy is resolved against each history's own compilation inside
+/// the worker, so annotations and overrides bind per item; `level` then only
+/// seeds the size-class heuristic (scheduling, never verdicts).
+std::vector<CheckResult> check_batch_impl(ct::IsolationLevel level,
+                                          const ct::LevelPolicy* policy,
+                                          std::span<const BatchItem> items,
+                                          const CheckOptions& opts) {
   BatchMetrics& metrics = BatchMetrics::get();
   obs::TraceSpan span("check.batch");
   std::vector<CheckResult> results(items.size());
@@ -279,13 +287,17 @@ std::vector<CheckResult> check_batch(ct::IsolationLevel level,
         done.nodes += r.nodes_explored;
         done.edges += r.edges_visited;
       };
+      auto run_check = [&](const model::CompiledHistory& ch, const CheckOptions& o) {
+        return policy != nullptr ? check(policy->resolve(ch), ch, o)
+                                 : check(level, ch, o);
+      };
       if (chain.count == 1) {
         const std::size_t i = chain.first;
         // Compile once per history, in the worker: every engine the
         // dispatcher may try (graph, exhaustive, hierarchy inference)
         // shares this one compiled form instead of re-interning.
         const model::CompiledHistory ch(*items[i].txns);
-        results[i] = check(level, ch, local_opts(i));
+        results[i] = run_check(ch, local_opts(i));
         account(results[i]);
         continue;
       }
@@ -303,7 +315,7 @@ std::vector<CheckResult> check_batch(ct::IsolationLevel level,
         }
         if (!block.empty()) ch.extend(block);
         compiled = hist.size();
-        results[i] = check(level, ch, local_opts(i));
+        results[i] = run_check(ch, local_opts(i));
         account(results[i]);
       }
     }
@@ -372,12 +384,39 @@ std::vector<CheckResult> check_batch(ct::IsolationLevel level,
   return results;
 }
 
+}  // namespace
+
+std::vector<CheckResult> check_batch(ct::IsolationLevel level,
+                                     std::span<const BatchItem> items,
+                                     const CheckOptions& opts) {
+  return check_batch_impl(level, nullptr, items, opts);
+}
+
 std::vector<CheckResult> check_batch(ct::IsolationLevel level,
                                      std::span<const model::TransactionSet> histories,
                                      const CheckOptions& opts) {
   std::vector<BatchItem> items(histories.size());
   for (std::size_t i = 0; i < histories.size(); ++i) items[i].txns = &histories[i];
   return check_batch(level, std::span<const BatchItem>(items), opts);
+}
+
+std::vector<CheckResult> check_batch(const ct::LevelPolicy& policy,
+                                     std::span<const BatchItem> items,
+                                     const CheckOptions& opts) {
+  // A trivially uniform policy asks the global-level question — delegate so
+  // the scheduler takes the exact original path (bit-identical results).
+  if (policy.is_trivially_uniform()) {
+    return check_batch(policy.fallback, items, opts);
+  }
+  return check_batch_impl(policy.fallback, &policy, items, opts);
+}
+
+std::vector<CheckResult> check_batch(const ct::LevelPolicy& policy,
+                                     std::span<const model::TransactionSet> histories,
+                                     const CheckOptions& opts) {
+  std::vector<BatchItem> items(histories.size());
+  for (std::size_t i = 0; i < histories.size(); ++i) items[i].txns = &histories[i];
+  return check_batch(policy, std::span<const BatchItem>(items), opts);
 }
 
 std::vector<CheckResult> check_incremental(ct::IsolationLevel level,
@@ -395,6 +434,29 @@ std::vector<CheckResult> check_incremental(ct::IsolationLevel level,
     for (std::size_t t = 0; t < block.size(); ++t) txns.push_back(block.at(t));
     if (!txns.empty()) ch.extend(txns);
     results[i] = check(level, ch, opts);
+  }
+  return results;
+}
+
+std::vector<CheckResult> check_incremental(const ct::LevelPolicy& policy,
+                                           std::span<const model::TransactionSet> blocks,
+                                           const CheckOptions& opts) {
+  if (policy.is_trivially_uniform()) {
+    return check_incremental(policy.fallback, blocks, opts);
+  }
+  obs::TraceSpan span("check.incremental");
+  span.field("blocks", static_cast<std::uint64_t>(blocks.size()));
+  std::vector<CheckResult> results(blocks.size());
+  model::CompiledHistory ch;
+  for (std::size_t i = 0; i < blocks.size(); ++i) {
+    const TransactionSet& block = blocks[i];
+    std::vector<Transaction> txns;
+    txns.reserve(block.size());
+    for (std::size_t t = 0; t < block.size(); ++t) txns.push_back(block.at(t));
+    if (!txns.empty()) ch.extend(txns);
+    // resolve_prefix: an override naming a transaction in a later block is
+    // simply not bound yet — the stream shape makes strict resolution wrong.
+    results[i] = check(policy.resolve_prefix(ch), ch, opts);
   }
   return results;
 }

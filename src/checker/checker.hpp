@@ -42,6 +42,7 @@
 #include <vector>
 
 #include "committest/commit_test.hpp"
+#include "committest/level_assignment.hpp"
 #include "committest/levels.hpp"
 #include "model/execution.hpp"
 #include "model/transaction.hpp"
@@ -61,6 +62,10 @@ enum class Outcome : std::uint8_t {
 /// (Elle-style anomaly certificate — a verdict an operator can act on).
 struct ReadDiagnosis {
   TxnId txn{};                 // transaction whose commit test fails
+  /// The isolation level the failing transaction was audited at — under a
+  /// mixed-level assignment this is that transaction's *own* level, not a
+  /// history-wide one.
+  std::optional<ct::IsolationLevel> level;
   std::string clause;          // the violated commit-test clause, spelled out
   std::optional<Key> key;      // the implicated read's key, when one is pinned
   std::optional<TxnId> observed_writer;  // the writer that read observed
@@ -259,6 +264,77 @@ ct::ExecutionVerdict verify_witness(ct::IsolationLevel level,
                                     const model::TransactionSet& txns,
                                     const model::Execution& e);
 ct::ExecutionVerdict verify_witness(ct::IsolationLevel level,
+                                    const model::CompiledHistory& ch,
+                                    const model::Execution& e);
+
+// --- per-transaction isolation levels --------------------------------------
+//
+// Every entry point below decides the mixed question ∃e ∀T CT_{A(T)}(T, e):
+// each transaction's commit test runs at its own assigned level. A uniform
+// assignment delegates verbatim to the global-level overload above, so
+// uniform calls are verdict-, witness-, node-count- and diagnosis-identical
+// to the existing API by construction (and oracle-checked by
+// tests/mixed_levels_test.cpp). Genuinely mixed assignments dispatch:
+//
+//  * Direct      — eligible when every level present is in {RC, RA, PSI};
+//    per-transaction constraint gating on the same single pass.
+//  * Exhaustive  — sound and complete for any mix (the commit test is
+//    modular in T; prefix pruning fixes a placed transaction's verdict at
+//    its own level).
+//  * Graph       — decisive when all levels present are in the timed SI
+//    family (C-ORD pins the commit order for every transaction); otherwise
+//    refutes at the meet of the present levels (sound by per-transaction
+//    monotonicity) and verifies heuristic candidates per transaction.
+
+/// Mixed-level check over one history. Dispatch mirrors check(level, ...).
+CheckResult check(const ct::LevelAssignment& levels,
+                  const model::TransactionSet& txns, const CheckOptions& opts = {});
+CheckResult check(const ct::LevelAssignment& levels,
+                  const model::CompiledHistory& ch, const CheckOptions& opts = {});
+
+/// Mixed-level batch / incremental audits. The policy is resolved against
+/// each item's own compilation (annotations + overrides + fallback);
+/// LevelPolicy::uniform(level) reproduces the global-level overloads
+/// bit-for-bit.
+std::vector<CheckResult> check_batch(const ct::LevelPolicy& policy,
+                                     std::span<const BatchItem> items,
+                                     const CheckOptions& opts = {});
+std::vector<CheckResult> check_batch(const ct::LevelPolicy& policy,
+                                     std::span<const model::TransactionSet> histories,
+                                     const CheckOptions& opts = {});
+std::vector<CheckResult> check_incremental(const ct::LevelPolicy& policy,
+                                           std::span<const model::TransactionSet> blocks,
+                                           const CheckOptions& opts = {});
+
+/// Forced-engine mixed entry points, mirroring the global-level ones.
+CheckResult check_exhaustive(const ct::LevelAssignment& levels,
+                             const model::CompiledHistory& ch,
+                             const CheckOptions& opts = {});
+CheckResult check_graph(const ct::LevelAssignment& levels,
+                        const model::CompiledHistory& ch,
+                        const CheckOptions& opts = {});
+CheckResult check_direct(const ct::LevelAssignment& levels,
+                         const model::CompiledHistory& ch,
+                         const CheckOptions& opts = {});
+
+/// True when the direct engine decides this assignment: every level present
+/// is direct-eligible (RC, RA or PSI).
+bool direct_eligible(const ct::LevelAssignment& levels);
+
+/// Mixed-level refutation evidence: the diagnosis names the violated
+/// transaction's own level.
+std::optional<ReadDiagnosis> explain_refutation(const ct::LevelAssignment& levels,
+                                                const model::CompiledHistory& ch,
+                                                const model::Execution& candidate,
+                                                std::string candidate_name);
+std::optional<ReadDiagnosis> explain_refutation(const ct::LevelAssignment& levels,
+                                                const model::CompiledHistory& ch);
+
+/// Witness verification under a per-transaction assignment.
+ct::ExecutionVerdict verify_witness(const ct::LevelAssignment& levels,
+                                    const model::TransactionSet& txns,
+                                    const model::Execution& e);
+ct::ExecutionVerdict verify_witness(const ct::LevelAssignment& levels,
                                     const model::CompiledHistory& ch,
                                     const model::Execution& e);
 

@@ -109,6 +109,17 @@ class DirectCheck {
   DirectCheck(IsolationLevel level, const CompiledHistory& ch, const CheckOptions& opts)
       : level_(level), ch_(&ch), opts_(&opts), n_(ch.size()) {}
 
+  /// Mixed-level form: every level present must be direct-eligible. The
+  /// shared PREREAD/wr/version-order constraints apply to every transaction;
+  /// the RA fragment pass and the PSI forcing rounds gate per transaction on
+  /// its own level. Uniform assignments are expected to go through the level
+  /// ctor (check_direct delegates), but behave identically here.
+  DirectCheck(const ct::LevelAssignment& levels, const CompiledHistory& ch,
+              const CheckOptions& opts)
+      : DirectCheck(levels.fallback(), ch, opts) {
+    if (!levels.is_uniform()) levels_ = &levels;
+  }
+
   CheckResult run() {
     init_rank();
     // Optimistic first pass for RC/RA: clean histories force only edges
@@ -120,7 +131,7 @@ class DirectCheck {
     // queue) for real; adversarial histories pay the sweep twice, clean
     // ones never allocate an edge. PSI always materializes — its saturation
     // rounds walk the CSR adjacency regardless.
-    materialize_ = (level_ == IsolationLevel::kPSI);
+    materialize_ = any_level(IsolationLevel::kPSI);
     if (materialize_) edge_list_.reserve(2 * n_);
     if (auto r = run_pass()) return *std::move(r);
     backward_seen_ = false;
@@ -134,6 +145,20 @@ class DirectCheck {
   std::uint64_t edges() const { return edge_count_; }
 
  private:
+  /// The level a transaction's commit test runs at.
+  IsolationLevel level_of(TxnIdx d) const {
+    return levels_ != nullptr ? levels_->of(d) : level_;
+  }
+
+  /// Is any transaction assigned this level?
+  bool any_level(IsolationLevel l) const {
+    return levels_ != nullptr ? levels_->present(l) : level_ == l;
+  }
+
+  std::string level_desc() const {
+    return levels_ != nullptr ? levels_->describe()
+                              : std::string(ct::name_of(level_));
+  }
   // Edges live in one flat list; the CSR adjacency is materialized on demand
   // (and re-materialized after PSI forcing rounds grow the list). On the
   // clean-history fast path nothing ever builds it — one flat sweep decides
@@ -142,10 +167,10 @@ class DirectCheck {
   std::optional<CheckResult> run_pass() {
     if (auto r = preread_and_wr()) return r;
     if (auto r = version_order_chains()) return r;
-    if (level_ == IsolationLevel::kReadAtomic) {
+    if (any_level(IsolationLevel::kReadAtomic)) {
       if (auto r = ra_pair_edges()) return r;
     }
-    if (level_ == IsolationLevel::kPSI) return run_psi();
+    if (any_level(IsolationLevel::kPSI)) return run_psi();
     if (!materialize_) {
       if (backward_seen_) return std::nullopt;  // needs Kahn on real edges
       // Every forced edge goes forward in timestamp rank, so ts_order is a
@@ -197,7 +222,7 @@ class DirectCheck {
   CheckResult cyclic() const {
     return unsat("the forced-precedence constraints are cyclic: no execution "
                  "satisfies " +
-                 std::string(ct::name_of(level_)));
+                 level_desc());
   }
 
   /// rank_ is the inverse permutation of ts_order; ts_identity_ says the
@@ -329,9 +354,12 @@ class DirectCheck {
   /// RA: per-transaction fragmented-read constraints (see header comment).
   /// Runs under PREREAD, so every surviving non-write non-internal op is an
   /// external or initial read — the same filters as the exhaustive engine's
-  /// fractured() pass.
+  /// fractured() pass. Under a mixed assignment only RA-level transactions
+  /// have the fragment clause; PSI-level ones get the equivalent constraints
+  /// (with CAUS-VIS-worded refutations) from the saturation rounds.
   std::optional<CheckResult> ra_pair_edges() {
     for (TxnIdx d = 0; d < n_; ++d) {
+      if (level_of(d) != IsolationLevel::kReadAtomic) continue;
       const model::OpsView ops = ch_->ops(d);
       for (std::size_t i = 0; i < ops.size(); ++i) {
         if (!external_read(ops.flags(i))) continue;
@@ -472,9 +500,12 @@ class DirectCheck {
       }
 
       // CAUS-VIS forcing: a forced PREC member writing a read key must
-      // install before the version read, in every execution.
+      // install before the version read, in every execution. Only PSI-level
+      // transactions have the clause; the fpred/ppred closures above still
+      // span every transaction, since causality flows through any of them.
       bool changed = false;
       for (TxnIdx d = 0; d < n_; ++d) {
+        if (level_of(d) != IsolationLevel::kPSI) continue;
         const model::OpsView ops = ch_->ops(d);
         for (std::size_t i = 0; i < ops.size(); ++i) {
           const std::uint8_t m = ops.flags(i);
@@ -521,14 +552,23 @@ class DirectCheck {
     // Saturation is sound but not complete: the stabilized order is only a
     // candidate. Verify it; fall back to the bounded complete search when it
     // fails on a small history.
-    CheckResult cand = witness(std::move(order),
-                               "witness from the causal-precedence saturation, "
-                               "verified against CT_PSI");
-    if (verify_witness(level_, *ch_, *cand.witness).ok) return cand;
+    CheckResult cand =
+        witness(std::move(order),
+                levels_ != nullptr
+                    ? "witness from the causal-precedence saturation, verified "
+                      "against the per-transaction commit tests"
+                    : "witness from the causal-precedence saturation, "
+                      "verified against CT_PSI");
+    const bool cand_ok = levels_ != nullptr
+                             ? verify_witness(*levels_, *ch_, *cand.witness).ok
+                             : verify_witness(level_, *ch_, *cand.witness).ok;
+    if (cand_ok) return cand;
 
     if (n_ <= opts_->exhaustive_threshold) {
       if (obs::enabled()) DirectMetrics::get().fallbacks.inc();
-      CheckResult r = check_exhaustive(level_, *ch_, *opts_);
+      CheckResult r = levels_ != nullptr
+                          ? check_exhaustive(*levels_, *ch_, *opts_)
+                          : check_exhaustive(level_, *ch_, *opts_);
       r.detail = "saturation candidate failed verification; exhaustive fallback: " +
                  r.detail;
       r.nodes_explored += nodes_;
@@ -541,6 +581,8 @@ class DirectCheck {
   }
 
   IsolationLevel level_;
+  /// Non-null iff genuinely mixed; level_of() then dispatches per transaction.
+  const ct::LevelAssignment* levels_ = nullptr;
   const CompiledHistory* ch_;
   const CheckOptions* opts_;
   std::size_t n_;
@@ -606,6 +648,47 @@ CheckResult check_direct(ct::IsolationLevel level, const model::TransactionSet& 
   }
   const model::CompiledHistory ch(txns);
   return check_direct(level, ch, opts);
+}
+
+bool direct_eligible(const ct::LevelAssignment& levels) {
+  return levels.all_in({IsolationLevel::kReadCommitted,
+                        IsolationLevel::kReadAtomic, IsolationLevel::kPSI});
+}
+
+CheckResult check_direct(const ct::LevelAssignment& levels,
+                         const model::CompiledHistory& ch,
+                         const CheckOptions& opts) {
+  if (levels.is_uniform()) return check_direct(levels.fallback(), ch, opts);
+  if (!direct_eligible(levels)) {
+    return {Outcome::kUnknown, std::nullopt,
+            levels.describe() +
+                " mixes levels with no direct single-pass decision procedure",
+            0};
+  }
+  if (ch.size() == 0) {
+    return {Outcome::kSatisfiable, model::Execution::identity(ch.txns()),
+            "empty transaction set", 0};
+  }
+  static obs::Histogram& latency = engine_obs::check_latency("direct");
+  obs::TraceSpan span("engine.direct");
+  obs::ScopedTimer timer(latency);
+  DirectCheck dc(levels, ch, opts);
+  CheckResult result = dc.run();
+  result.engine = "direct";
+  result.edges_visited = dc.edges();
+  if (result.unsatisfiable() && !result.diagnosis) {
+    result.diagnosis = explain_refutation(levels, ch);
+  }
+  if (obs::enabled()) {
+    DirectMetrics::get().checks.inc();
+    engine_obs::checks_counter("direct", result.outcome).inc();
+  }
+  span.field("level", levels.describe())
+      .field("n", static_cast<std::uint64_t>(ch.size()))
+      .field("nodes", result.nodes_explored)
+      .field("edges", result.edges_visited)
+      .field("outcome", engine_obs::outcome_word(result.outcome));
+  return result;
 }
 
 }  // namespace crooks::checker

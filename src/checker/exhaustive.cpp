@@ -16,6 +16,18 @@
 // footprints, real-time/session predecessor counts — lives in flat vectors
 // indexed by KeyIdx/TxnIdx. No hash map or hash set is touched between nodes.
 //
+// Mixed-level mode: the commit test is modular in T, so a per-transaction
+// assignment only changes *which* test gates each placement — admissible()
+// dispatches on the candidate's own level and the pruning argument above is
+// unchanged (a placed transaction's verdict at its own level is fixed by the
+// prefix). Two bookkeeping differences: the timestamp precheck applies per
+// transaction (only transactions whose own level is timed need the oracle),
+// and when PSI is present alongside other levels the PREC sets must be
+// maintained for *every* placed transaction, not just the PSI ones — a PSI
+// transaction's CAUS-VIS clause folds in the transitive closure through its
+// non-PSI predecessors (see build_prec). Uniform assignments never take any
+// of these paths, so the global-level behavior is untouched.
+//
 // Parallel mode (opts.threads != 1, |𝒯| ≥ kMinParallelSize): the n disjoint
 // top-level prefix branches — "transaction d is placed first" — partition the
 // whole search tree, so each branch is handed to a pool worker as an
@@ -139,6 +151,20 @@ class PrefixSearch {
     }
   }
 
+  /// Mixed-level search: each candidate placement is gated by that
+  /// transaction's own commit test. The caller keeps `levels` alive for the
+  /// whole search (branch copies share the pointer). Uniform assignments are
+  /// expected to go through the level ctor instead (check_exhaustive
+  /// delegates), but are handled correctly here too.
+  PrefixSearch(const ct::LevelAssignment& levels, const CompiledHistory& ch,
+               const CheckOptions& opts)
+      : PrefixSearch(levels.fallback(), ch, opts) {
+    if (!levels.is_uniform()) {
+      levels_ = &levels;
+      need_prec_ = levels.present(IsolationLevel::kPSI);
+    }
+  }
+
   CheckResult run() {
     if (auto pre = timestamps_precheck()) return *std::move(pre);
     CheckResult result;
@@ -233,14 +259,18 @@ class PrefixSearch {
     std::vector<TxnId> order;
   };
 
-  /// kUnsatisfiable early-out shared by run()/run_parallel(): timed levels
-  /// need every transaction timestamped.
+  /// kUnsatisfiable early-out shared by run()/run_parallel(): a transaction
+  /// whose own level is timed needs timestamps. Under a uniform timed level
+  /// that is every transaction (the original global-level precheck); under a
+  /// mixed assignment only the timed-level transactions are constrained.
   std::optional<CheckResult> timestamps_precheck() const {
-    if (!ct::requires_timestamps(level_)) return std::nullopt;
+    if (levels_ == nullptr && !ct::requires_timestamps(level_)) return std::nullopt;
     for (TxnIdx d = 0; d < n_; ++d) {
+      const IsolationLevel lvl = level_of(d);
+      if (!ct::requires_timestamps(lvl)) continue;
       if (!ch_->has_timestamps(d)) {
         CheckResult r{Outcome::kUnsatisfiable, std::nullopt,
-                      std::string(ct::name_of(level_)) +
+                      std::string(ct::name_of(lvl)) +
                           " requires the time oracle but " +
                           crooks::to_string(ch_->id_of(d)) + " has no timestamps",
                       0};
@@ -248,6 +278,7 @@ class PrefixSearch {
         diag.txn = ch_->id_of(d);
         diag.clause = r.detail;
         diag.candidate_execution = "time-oracle precheck (no candidate needed)";
+        diag.level = lvl;
         r.diagnosis = std::move(diag);
         return r;
       }
@@ -399,7 +430,13 @@ class PrefixSearch {
     return true;
   }
 
-  /// Evaluate CT_level(T, prefix + T). Each level runs only the interval
+  /// The level the candidate's commit test runs at: its assigned level under
+  /// a mixed assignment, the search's global level otherwise.
+  IsolationLevel level_of(TxnIdx d) const {
+    return levels_ != nullptr ? levels_->of(d) : level_;
+  }
+
+  /// Evaluate CT_{A(T)}(T, prefix + T). Each level runs only the interval
   /// work its commit test consumes: RC needs no timelines (readable), SER /
   /// SSER one back-probe per read (reads_latest), the SI family the interval
   /// bounds but no scratch_, and only RA / PSI fill scratch_ for the
@@ -410,7 +447,7 @@ class PrefixSearch {
     const model::OpsView cops = ch_->ops(d);
     const StateIndex parent = static_cast<StateIndex>(order_.size());
 
-    switch (level_) {
+    switch (level_of(d)) {
       case IsolationLevel::kReadUncommitted:
         return true;
       case IsolationLevel::kReadCommitted:
@@ -436,7 +473,7 @@ class PrefixSearch {
           complete_lo = std::max(complete_lo, iv.sf);
           complete_hi = std::min(complete_hi, iv.sl);
         }
-        return si_family(d, parent, complete_lo, complete_hi);
+        return si_family(level_of(d), d, parent, complete_lo, complete_hi);
       }
     }
     return false;
@@ -505,29 +542,33 @@ class PrefixSearch {
     return true;
   }
 
-  bool si_family(TxnIdx d, StateIndex parent, StateIndex complete_lo,
-                 StateIndex complete_hi) const {
-    const bool timed = level_ != IsolationLevel::kAdyaSI;
+  bool si_family(IsolationLevel level, TxnIdx d, StateIndex parent,
+                 StateIndex complete_lo, StateIndex complete_hi) const {
+    const bool timed = level != IsolationLevel::kAdyaSI;
 
     if (timed) {
-      // C-ORD(T_{s_p}, T): commit order along the execution.
+      // C-ORD(T_{s_p}, T): commit order along the execution. The parent must
+      // itself be timestamped — under a uniform timed level the precheck
+      // guarantees that, but a mixed prefix may hold untimed transactions,
+      // and the canonical tester treats an untimed parent as out of order.
       if (!order_.empty() &&
-          !(ch_->commit_ts(order_.back()) < ch_->commit_ts(d))) {
+          !(ch_->commit_ts(order_.back()) != kNoTimestamp &&
+            ch_->commit_ts(order_.back()) < ch_->commit_ts(d))) {
         return prune(Prune::kCOrd);
       }
     }
-    if (level_ == IsolationLevel::kStrictSerializable ||
-        level_ == IsolationLevel::kStrongSI) {
+    if (level == IsolationLevel::kStrictSerializable ||
+        level == IsolationLevel::kStrongSI) {
       if (remaining_rt_[d] != 0) return prune(Prune::kRealTime);
     }
-    if (level_ == IsolationLevel::kSessionSI && remaining_sess_[d] != 0) {
+    if (level == IsolationLevel::kSessionSI && remaining_sess_[d] != 0) {
       return prune(Prune::kSession);
     }
 
     StateIndex lower = 0;
-    if (level_ == IsolationLevel::kStrongSI) {
+    if (level == IsolationLevel::kStrongSI) {
       for (TxnIdx p : adj_->rt_preds.row(d)) lower = std::max(lower, pos_[p]);
-    } else if (level_ == IsolationLevel::kSessionSI) {
+    } else if (level == IsolationLevel::kSessionSI) {
       for (TxnIdx p : adj_->sess_preds.row(d)) lower = std::max(lower, pos_[p]);
     }
 
@@ -551,7 +592,36 @@ class PrefixSearch {
     return prune(Prune::kNoSnapshot);
   }
 
+  /// PREC_e(T) for a transaction being placed at the end of the prefix,
+  /// mirroring model::ReadStateAnalysis::precedence(): direct edges are the
+  /// placed writers this transaction externally reads (an unplaced writer
+  /// means an empty read state, which contributes no edge) plus every earlier
+  /// writer of a key it writes; the transitive closure folds in each direct
+  /// predecessor's already-complete set. Only needed when a mixed assignment
+  /// contains PSI — a later PSI candidate's CAUS-VIS clause may reach through
+  /// this transaction regardless of its own level. (PSI candidates build
+  /// their set inside caus_vis, where PREREAD already guarantees the writers
+  /// are placed.)
+  void build_prec(TxnIdx d) {
+    DynamicBitset& prec = prec_[d];
+    prec = DynamicBitset(n_);
+    auto absorb = [&](TxnIdx pd) {
+      prec.set(pd);
+      prec.or_with(prec_[pd]);
+    };
+    const model::OpsView cops = ch_->ops(d);
+    for (std::size_t i = 0; i < cops.size(); ++i) {
+      if (external_read(cops.flags(i)) && placed(cops.writer(i))) {
+        absorb(cops.writer(i));
+      }
+    }
+    for (KeyIdx k : ch_->write_keys(d)) {
+      for (const auto& [pos, wd] : timelines_[k]) absorb(wd);
+    }
+  }
+
   void place(TxnIdx d) {
+    if (need_prec_ && level_of(d) != IsolationLevel::kPSI) build_prec(d);
     order_.push_back(d);
     pos_[d] = static_cast<StateIndex>(order_.size());
     for (KeyIdx k : ch_->write_keys(d)) {
@@ -621,6 +691,10 @@ class PrefixSearch {
   }
 
   IsolationLevel level_;
+  /// Non-null iff genuinely mixed; level_of() then dispatches per candidate.
+  const ct::LevelAssignment* levels_ = nullptr;
+  /// Mixed with PSI present: maintain PREC for every placed transaction.
+  bool need_prec_ = false;
   const CompiledHistory* ch_;
   const CompiledHistory::Adjacency* adj_;
   const std::vector<TxnIdx>* candidates_;  // ch_->ts_order(): fixed SWO comparator
@@ -689,6 +763,39 @@ CheckResult check_exhaustive(ct::IsolationLevel level, const model::TransactionS
   return check_exhaustive(level, ch, opts);
 }
 
+CheckResult check_exhaustive(const ct::LevelAssignment& levels,
+                             const model::CompiledHistory& ch,
+                             const CheckOptions& opts) {
+  // Uniform assignments ARE the global-level question — delegate so the two
+  // APIs are verdict-, witness- and node-count-identical by construction.
+  if (levels.is_uniform()) return check_exhaustive(levels.fallback(), ch, opts);
+  if (ch.size() == 0) {
+    return {Outcome::kSatisfiable, model::Execution::identity(ch.txns()),
+            "empty transaction set", 0};
+  }
+  static obs::Histogram& latency = engine_obs::check_latency("exhaustive");
+  obs::TraceSpan span("engine.exhaustive");
+  obs::ScopedTimer timer(latency);
+  PrefixSearch search(levels, ch, opts);
+  const std::size_t threads = opts.resolved_threads();
+  CheckResult result = (threads > 1 && ch.size() >= kMinParallelSize)
+                           ? search.run_parallel(threads)
+                           : search.run();
+  result.engine = "exhaustive";
+  if (result.unsatisfiable() && !result.diagnosis) {
+    result.diagnosis = explain_refutation(levels, ch);
+  }
+  if (obs::enabled()) {
+    engine_obs::checks_counter("exhaustive", result.outcome).inc();
+  }
+  span.field("level", levels.describe())
+      .field("n", static_cast<std::uint64_t>(ch.size()))
+      .field("threads", static_cast<std::uint64_t>(threads))
+      .field("nodes", result.nodes_explored)
+      .field("outcome", engine_obs::outcome_word(result.outcome));
+  return result;
+}
+
 ct::ExecutionVerdict verify_witness(ct::IsolationLevel level,
                                     const model::TransactionSet& txns,
                                     const model::Execution& e) {
@@ -699,6 +806,18 @@ ct::ExecutionVerdict verify_witness(ct::IsolationLevel level,
                                     const model::CompiledHistory& ch,
                                     const model::Execution& e) {
   return ct::test_execution(level, ch, e);
+}
+
+ct::ExecutionVerdict verify_witness(const ct::LevelAssignment& levels,
+                                    const model::TransactionSet& txns,
+                                    const model::Execution& e) {
+  return ct::test_execution(levels, txns, e);
+}
+
+ct::ExecutionVerdict verify_witness(const ct::LevelAssignment& levels,
+                                    const model::CompiledHistory& ch,
+                                    const model::Execution& e) {
+  return ct::test_execution(levels, ch, e);
 }
 
 }  // namespace crooks::checker

@@ -66,14 +66,14 @@ std::string render_candidate_states(const model::Transaction& t,
 
 }  // namespace
 
-std::optional<ReadDiagnosis> explain_refutation(ct::IsolationLevel level,
+std::optional<ReadDiagnosis> explain_refutation(const ct::LevelAssignment& levels,
                                                 const CompiledHistory& ch,
                                                 const model::Execution& candidate,
                                                 std::string candidate_name) {
   if (ch.size() == 0 || candidate.size() != ch.size()) return std::nullopt;
   const model::ReadStateAnalysis analysis(ch, candidate);
   const ct::CommitTester tester(analysis);
-  const ct::ExecutionVerdict verdict = tester.test_all(level);
+  const ct::ExecutionVerdict verdict = tester.test_all(levels);
   if (verdict.ok || !verdict.violating_txn.has_value()) return std::nullopt;
 
   const std::size_t dense = ch.txns().dense_index_of(*verdict.violating_txn);
@@ -85,6 +85,7 @@ std::optional<ReadDiagnosis> explain_refutation(ct::IsolationLevel level,
   d.clause = verdict.explanation;
   d.candidate_execution = std::move(candidate_name);
   d.candidate_states = render_candidate_states(t, ta);
+  d.level = levels.of(static_cast<TxnIdx>(dense));
   if (const model::Operation* read = implicated_read(t, ta)) {
     d.key = read->key;
     d.observed_writer = read->value.writer;
@@ -92,14 +93,30 @@ std::optional<ReadDiagnosis> explain_refutation(ct::IsolationLevel level,
   return d;
 }
 
-std::optional<ReadDiagnosis> explain_refutation(ct::IsolationLevel level,
+std::optional<ReadDiagnosis> explain_refutation(const ct::LevelAssignment& levels,
                                                 const CompiledHistory& ch) {
   if (ch.size() == 0) return std::nullopt;
   std::vector<TxnId> ids;
   ids.reserve(ch.size());
   for (TxnIdx d : ch.ts_order()) ids.push_back(ch.id_of(d));
-  return explain_refutation(level, ch, model::Execution(ch.txns(), std::move(ids)),
+  return explain_refutation(levels, ch, model::Execution(ch.txns(), std::move(ids)),
                             "commit-timestamp candidate order");
+}
+
+std::optional<ReadDiagnosis> explain_refutation(ct::IsolationLevel level,
+                                                const CompiledHistory& ch,
+                                                const model::Execution& candidate,
+                                                std::string candidate_name) {
+  // A global level is the uniform assignment; test_all() on it delegates to
+  // the global-level tester, so the diagnosis is the familiar one with the
+  // violated transaction's level (= the global level) filled in.
+  return explain_refutation(ct::LevelAssignment(level), ch, candidate,
+                            std::move(candidate_name));
+}
+
+std::optional<ReadDiagnosis> explain_refutation(ct::IsolationLevel level,
+                                                const CompiledHistory& ch) {
+  return explain_refutation(ct::LevelAssignment(level), ch);
 }
 
 }  // namespace crooks::checker

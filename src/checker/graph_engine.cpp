@@ -277,6 +277,123 @@ CheckResult check_graph_impl(IsolationLevel level, const CompiledHistory& ch,
   return r;
 }
 
+/// Mixed-level graph engine. Three tiers, all per-transaction-verified:
+///
+///  * every level present in the timed SI family → C-ORD holds at *every*
+///    placement, so the commit-sorted order is still the only candidate and
+///    testing it (each transaction at its own level) is decisive;
+///  * refutation at the meet of the present levels — each transaction's own
+///    level is at least as strong as the meet (see ct::meet_of), so CT_{A(T)}
+///    implies CT_meet transaction by transaction and "no execution satisfies
+///    the meet uniformly" refutes the mix. A meet-level *witness* proves
+///    nothing by itself and is demoted to a candidate;
+///  * heuristic candidate orders verified against the per-transaction tests.
+CheckResult check_graph_impl(const ct::LevelAssignment& levels,
+                             const CompiledHistory& ch, const CheckOptions& opts,
+                             GraphEffort& eff) {
+  // Per-transaction timestamp precheck: only a transaction whose own level
+  // is timed needs the oracle (same convention as the exhaustive engine).
+  for (TxnIdx d = 0; d < ch.size(); ++d) {
+    const IsolationLevel lvl = levels.of(d);
+    if (!ct::requires_timestamps(lvl) || ch.has_timestamps(d)) continue;
+    CheckResult r{Outcome::kUnsatisfiable, std::nullopt,
+                  std::string(ct::name_of(lvl)) +
+                      " requires the time oracle; no timestamps on " +
+                      crooks::to_string(ch.id_of(d)),
+                  0};
+    ReadDiagnosis diag;
+    diag.txn = ch.id_of(d);
+    diag.clause = r.detail;
+    diag.candidate_execution = "time-oracle precheck (no candidate needed)";
+    diag.level = lvl;
+    r.diagnosis = std::move(diag);
+    return r;
+  }
+
+  if (levels.all_in({IsolationLevel::kAnsiSI, IsolationLevel::kSessionSI,
+                     IsolationLevel::kStrongSI})) {
+    auto order = commit_sorted(ch);
+    if (!order.has_value()) {
+      return {Outcome::kUnsatisfiable, std::nullopt,
+              "C-ORD needs distinct commit timestamps", 0};
+    }
+    model::Execution e(ch.txns(), std::move(*order));
+    eff.nodes += ch.size();
+    ct::ExecutionVerdict v = verify_witness(levels, ch, e);
+    if (v.ok) {
+      return {Outcome::kSatisfiable, std::move(e),
+              "per-transaction commit tests pass on the commit-order execution "
+              "(every level present pins C-ORD)",
+              0};
+    }
+    return {Outcome::kUnsatisfiable, std::nullopt,
+            "C-ORD pins the execution to commit-timestamp order, on which: " +
+                v.explanation,
+            0};
+  }
+
+  // Meet-level tier. Genuinely mixed non-timed-SI assignments always meet at
+  // an untimed level (no timed level sits below an untimed one in the
+  // lattice), so this never trips the meet's own timestamp precheck.
+  const IsolationLevel meet = levels.meet();
+  CheckResult at_meet = check_graph(meet, ch, opts);
+  eff.nodes += at_meet.nodes_explored;
+  eff.edges += at_meet.edges_visited;
+  if (at_meet.outcome == Outcome::kUnsatisfiable) {
+    return {Outcome::kUnsatisfiable, std::nullopt,
+            "refuted at the meet level " + std::string(ct::name_of(meet)) +
+                " (every transaction's own level is at least as strong): " +
+                at_meet.detail,
+            0};
+  }
+  if (at_meet.outcome == Outcome::kSatisfiable && at_meet.witness.has_value()) {
+    eff.nodes += ch.size();
+    model::Execution e = *std::move(at_meet.witness);
+    if (verify_witness(levels, ch, e).ok) {
+      return {Outcome::kSatisfiable, std::move(e),
+              "meet-level (" + std::string(ct::name_of(meet)) +
+                  ") witness verified against the per-transaction commit tests",
+              0};
+    }
+  }
+
+  // Heuristic tier: natural candidate orders, each verified per transaction.
+  std::vector<std::pair<std::string, std::vector<TxnId>>> candidates;
+  if (auto cs = commit_sorted(ch); cs.has_value()) {
+    candidates.emplace_back("commit-timestamp order", std::move(*cs));
+  }
+  try {
+    const adya::InstallOrders io =
+        adya::compile_install_orders(ch, opts.version_order);
+    adya::Dsg dsg(ch, io);
+    const std::uint8_t mask =
+        levels.present(IsolationLevel::kSerializable) ||
+                levels.present(IsolationLevel::kStrictSerializable)
+            ? adya::kAllDsg
+            : adya::kDependency;
+    std::vector<TxnId> order = topo_order(dsg, mask, ch, eff);
+    if (!order.empty()) candidates.emplace_back("dependency topological order", order);
+  } catch (const std::invalid_argument&) {
+    // multi-writer keys without version order: no dependency candidate
+  }
+  for (auto& [how, order] : candidates) {
+    model::Execution e(ch.txns(), std::move(order));
+    eff.nodes += ch.size();
+    if (verify_witness(levels, ch, e).ok) {
+      CheckResult r{Outcome::kSatisfiable, std::move(e),
+                    "heuristic: " + how + " verified", 0};
+      r.engine = "heuristic";
+      return r;
+    }
+  }
+  CheckResult r{Outcome::kUnknown, std::nullopt,
+                "no candidate order verified; graph engine is incomplete for "
+                "this level mix",
+                0};
+  r.engine = "heuristic";
+  return r;
+}
+
 }  // namespace
 
 CheckResult check_graph(IsolationLevel level, const CompiledHistory& ch,
@@ -315,6 +432,35 @@ CheckResult check_graph(IsolationLevel level, const model::TransactionSet& txns,
                         const CheckOptions& opts) {
   const CompiledHistory ch(txns);
   return check_graph(level, ch, opts);
+}
+
+CheckResult check_graph(const ct::LevelAssignment& levels, const CompiledHistory& ch,
+                        const CheckOptions& opts) {
+  if (levels.is_uniform()) return check_graph(levels.fallback(), ch, opts);
+  if (ch.size() == 0) {
+    return {Outcome::kSatisfiable, model::Execution::identity(ch.txns()), "empty set", 0};
+  }
+  static obs::Histogram& graph_latency = engine_obs::check_latency("graph");
+  obs::TraceSpan span("engine.graph");
+  obs::ScopedTimer timer(graph_latency);
+  GraphEffort eff;
+  CheckResult result = check_graph_impl(levels, ch, opts, eff);
+  result.nodes_explored = eff.nodes;
+  result.edges_visited = eff.edges;
+  if (result.engine.empty()) result.engine = "graph";
+  if (result.unsatisfiable() && !result.diagnosis) {
+    result.diagnosis = explain_refutation(levels, ch);
+  }
+  if (obs::enabled()) {
+    engine_obs::checks_counter(result.engine, result.outcome).inc();
+  }
+  span.field("level", levels.describe())
+      .field("n", static_cast<std::uint64_t>(ch.size()))
+      .field("engine", result.engine)
+      .field("nodes", eff.nodes)
+      .field("edges", eff.edges)
+      .field("outcome", engine_obs::outcome_word(result.outcome));
+  return result;
 }
 
 namespace {
@@ -386,6 +532,39 @@ CheckResult check_dispatch(IsolationLevel level, const CompiledHistory& ch,
   return check_exhaustive(level, ch, opts);
 }
 
+/// Mixed-level tiering. Same shape as the global-level dispatch: direct when
+/// every level present is direct-eligible, the decisive graph path when the
+/// whole assignment pins C-ORD, then the complete exhaustive search (bounded
+/// by the threshold), with the graph engine's meet-refutation/heuristic tier
+/// covering large instances before the final exhaustive resort.
+CheckResult check_dispatch(const ct::LevelAssignment& levels,
+                           const CompiledHistory& ch, const CheckOptions& opts) {
+  switch (opts.engine) {
+    case EngineSelect::kDirect: return check_direct(levels, ch, opts);
+    case EngineSelect::kGraph: return check_graph(levels, ch, opts);
+    case EngineSelect::kExhaustive: return check_exhaustive(levels, ch, opts);
+    case EngineSelect::kAuto: break;
+  }
+
+  if (direct_eligible(levels)) {
+    CheckResult r = check_direct(levels, ch, opts);
+    if (r.outcome != Outcome::kUnknown) return r;
+  }
+
+  if (levels.all_in({IsolationLevel::kAnsiSI, IsolationLevel::kSessionSI,
+                     IsolationLevel::kStrongSI})) {
+    CheckResult r = check_graph(levels, ch, opts);
+    if (r.outcome != Outcome::kUnknown) return r;
+  }
+
+  if (ch.size() <= opts.exhaustive_threshold) {
+    return check_exhaustive(levels, ch, opts);
+  }
+  CheckResult r = check_graph(levels, ch, opts);
+  if (r.outcome != Outcome::kUnknown) return r;
+  return check_exhaustive(levels, ch, opts);
+}
+
 }  // namespace
 
 CheckResult check(IsolationLevel level, const CompiledHistory& ch,
@@ -403,6 +582,26 @@ CheckResult check(IsolationLevel level, const model::TransactionSet& txns,
                   const CheckOptions& opts) {
   const CompiledHistory ch(txns);
   return check(level, ch, opts);
+}
+
+CheckResult check(const ct::LevelAssignment& levels, const CompiledHistory& ch,
+                  const CheckOptions& opts) {
+  // A uniform assignment IS the global-level question; delegating keeps the
+  // two APIs verdict-, witness- and diagnosis-identical by construction.
+  if (levels.is_uniform()) return check(levels.fallback(), ch, opts);
+  obs::TraceSpan span("check.dispatch");
+  CheckResult result = check_dispatch(levels, ch, opts);
+  span.field("level", levels.describe())
+      .field("n", static_cast<std::uint64_t>(ch.size()))
+      .field("engine", result.engine)
+      .field("outcome", engine_obs::outcome_word(result.outcome));
+  return result;
+}
+
+CheckResult check(const ct::LevelAssignment& levels, const model::TransactionSet& txns,
+                  const CheckOptions& opts) {
+  const CompiledHistory ch(txns);
+  return check(levels, ch, opts);
 }
 
 }  // namespace crooks::checker

@@ -60,11 +60,19 @@ OnlineChecker::OnlineChecker(std::vector<IsolationLevel> levels) {
   }
 }
 
+OnlineChecker::OnlineChecker(TrackAssignedTag, IsolationLevel fallback)
+    : assigned_mode_(true), assigned_fallback_(fallback) {
+  // A later block may annotate any level, so the weak-only direct path (and
+  // its skipped PREC/interval bookkeeping) is never safe here.
+  weak_only_ = false;
+}
+
 const OnlineChecker::LevelStatus& OnlineChecker::status(IsolationLevel level) const {
   return statuses_.at(level);
 }
 
 bool OnlineChecker::all_ok() const {
+  if (!assigned_status_.ok) return false;
   for (const auto& [level, s] : statuses_) {
     if (!s.ok) return false;
   }
@@ -80,6 +88,31 @@ std::vector<IsolationLevel> OnlineChecker::surviving_levels() const {
 }
 
 void OnlineChecker::violate(IsolationLevel level, TxnId txn, std::string why) {
+  if (assigned_mode_) {
+    if (!assigned_status_.ok) return;  // sticky first violation
+    assigned_status_.ok = false;
+    assigned_status_.first_violation = txn;
+    // Mirror ct::CommitTester::test_all(LevelAssignment): the explanation
+    // names the violated transaction's own level.
+    assigned_status_.explanation = crooks::to_string(txn) + " [" +
+                                   std::string(ct::name_of(level)) +
+                                   "]: " + std::move(why);
+    if (obs::enabled()) {
+      obs::Registry::global()
+          .counter("crooks_online_violations_total",
+                   "First violations recorded per tracked level",
+                   {{"level", std::string(ct::name_of(level))}})
+          .inc();
+    }
+    if (obs::Trace::active()) {
+      obs::Trace::event("online.violation",
+                        obs::TraceFields()
+                            .add("level", ct::name_of(level))
+                            .add("txn", crooks::to_string(txn))
+                            .add("why", assigned_status_.explanation));
+    }
+    return;
+  }
   auto it = statuses_.find(level);
   if (it == statuses_.end() || !it->second.ok) return;  // sticky first violation
   it->second.ok = false;
@@ -349,6 +382,10 @@ void OnlineChecker::ingest_weak_txn(TxnIdx d) {
 
 void OnlineChecker::commit_placed(TxnIdx d, Placed p) {
   evaluate_new(d, p);
+  if (assigned_mode_) {
+    applied_mask_ |= static_cast<std::uint16_t>(
+        1u << static_cast<unsigned>(assigned_level_of(d)));
+  }
   check_retroactive_inversions(d);
 
   // Install.
@@ -365,6 +402,9 @@ void OnlineChecker::evaluate_new(TxnIdx d, Placed& p) {
   const TxnId id = stream_.id_of(d);
   const StateIndex parent = p.state - 1;
   const model::OpsView cops = stream_.ops(d);
+  // Assigned mode evaluates exactly the transaction's own level: tracking()
+  // reads current_level_ for the rest of this call.
+  if (assigned_mode_) current_level_ = assigned_level_of(d);
 
   bool preread = true;
   StateIndex complete_lo = 0, complete_hi = parent;
@@ -404,7 +444,10 @@ void OnlineChecker::evaluate_new(TxnIdx d, Placed& p) {
   }
 
   // CAUS-VIS (PSI). Build the transitive PREC set from placed predecessors.
-  if (tracking(IsolationLevel::kPSI) && preread) {
+  // Assigned mode builds the set for EVERY transaction (preread permitting):
+  // a PSI-level transaction arriving in a later block absorbs its
+  // predecessors' closures, whatever levels those ran at.
+  if ((tracking(IsolationLevel::kPSI) || assigned_mode_) && preread) {
     p.prec.grow(txns_.size() + 1);
     auto absorb = [&](std::size_t slot) {
       p.prec.set(slot);
@@ -424,16 +467,20 @@ void OnlineChecker::evaluate_new(TxnIdx d, Placed& p) {
         for (const auto& [pos, slot] : *tl) absorb(slot);
       }
     }
-    for (std::size_t i = 0; i < cops.size(); ++i) {
-      if (cops.is_write(i) || p.ops[i].internal) continue;
-      if (const auto* tl = timeline_of(cops.key(i))) {
-        for (const auto& [pos, slot] : *tl) {
-          if (pos > p.ops[i].rs.last && p.prec.test(slot)) {
-            violate(IsolationLevel::kPSI, id,
-                    "CAUS-VIS fails: misses " +
-                        crooks::to_string(stream_.id_of(static_cast<TxnIdx>(slot))) +
-                        "'s write to " +
-                        crooks::to_string(stream_.keys().key_of(cops.key(i))));
+    // The visibility check itself applies only when THIS transaction runs
+    // at PSI.
+    if (tracking(IsolationLevel::kPSI)) {
+      for (std::size_t i = 0; i < cops.size(); ++i) {
+        if (cops.is_write(i) || p.ops[i].internal) continue;
+        if (const auto* tl = timeline_of(cops.key(i))) {
+          for (const auto& [pos, slot] : *tl) {
+            if (pos > p.ops[i].rs.last && p.prec.test(slot)) {
+              violate(IsolationLevel::kPSI, id,
+                      "CAUS-VIS fails: misses " +
+                          crooks::to_string(stream_.id_of(static_cast<TxnIdx>(slot))) +
+                          "'s write to " +
+                          crooks::to_string(stream_.keys().key_of(cops.key(i))));
+            }
           }
         }
       }
@@ -468,32 +515,64 @@ void OnlineChecker::evaluate_new(TxnIdx d, Placed& p) {
   // engine's O(n) time_precedes scan collapses to one binary search over the
   // dense prefix. Computed lazily: only timed levels that survive their
   // preconditions need it, and only they may trust it.
+  //
+  // Assigned mode voids the sorted invariant: untimed-level transactions
+  // interleave (their kNoTimestamp never tripped any clause), so the
+  // real-time bounds fall back to linear scans over the prefix. Only
+  // timed-level transactions in a mixed stream pay that cost.
   const Timestamp start_t = stream_.start_ts(d);
   StateIndex pos_cache = -1;
   auto applied_before_start = [&]() -> StateIndex {
     if (pos_cache < 0) {
-      std::size_t lo = 0, hi = static_cast<std::size_t>(d);
-      while (lo < hi) {
-        const std::size_t mid = lo + (hi - lo) / 2;
-        if (stream_.commit_ts(static_cast<TxnIdx>(mid)) < start_t) {
-          lo = mid + 1;
-        } else {
-          hi = mid;
+      if (assigned_mode_) {
+        // Largest applied state whose generator time-precedes d. On a sorted
+        // timed prefix this equals the binary-search count below; on a mixed
+        // prefix the set of real-time predecessors need not be a prefix, and
+        // the max is the correct snapshot lower bound.
+        StateIndex max_state = 0;
+        for (TxnIdx q = 0; q < d; ++q) {
+          if (stream_.commit_ts(q) != kNoTimestamp &&
+              stream_.commit_ts(q) < start_t) {
+            max_state = std::max(max_state, static_cast<StateIndex>(q) + 1);
+          }
         }
+        pos_cache = max_state;
+      } else {
+        std::size_t lo = 0, hi = static_cast<std::size_t>(d);
+        while (lo < hi) {
+          const std::size_t mid = lo + (hi - lo) / 2;
+          if (stream_.commit_ts(static_cast<TxnIdx>(mid)) < start_t) {
+            lo = mid + 1;
+          } else {
+            hi = mid;
+          }
+        }
+        pos_cache = static_cast<StateIndex>(lo);
       }
-      pos_cache = static_cast<StateIndex>(lo);
     }
     return pos_cache;
   };
+  // s > 0 is admissible for a timed level iff its generating transaction
+  // (dense s-1) real-time-precedes d.
+  auto generator_precedes = [&](StateIndex s) {
+    const TxnIdx g = static_cast<TxnIdx>(s - 1);
+    return stream_.commit_ts(g) != kNoTimestamp && stream_.commit_ts(g) < start_t;
+  };
   for (IsolationLevel level : si_family) {
-    if (!tracking(level) || !statuses_.at(level).ok) continue;
+    if (!tracking(level) || !status_ok(level)) continue;
     const bool timed = level != IsolationLevel::kAdyaSI;
     if (timed && !stream_.has_timestamps(d)) {
       violate(level, id, "requires the time oracle");
       continue;
     }
     if (timed && d > 0) {
-      if (!(stream_.commit_ts(d - 1) < stream_.commit_ts(d))) {
+      // In uniform mode the parent is necessarily timestamped (an untimed
+      // parent already killed the level), so the kNoTimestamp conjunct only
+      // bites in assigned mode, where an untimed parent IS out of commit
+      // order for this execution (kNoTimestamp = INT64_MIN would otherwise
+      // slip past the `<`).
+      if (!(stream_.commit_ts(d - 1) != kNoTimestamp &&
+            stream_.commit_ts(d - 1) < stream_.commit_ts(d))) {
         violate(level, id, "C-ORD fails: applied out of commit order");
         continue;
       }
@@ -505,10 +584,18 @@ void OnlineChecker::evaluate_new(TxnIdx d, Placed& p) {
                stream_.session(d) != kNoSession) {
       if (auto sit = session_states_.find(stream_.session(d));
           sit != session_states_.end()) {
-        // Largest applied same-session state within the real-time prefix.
-        const StateIndex pos = applied_before_start();
-        auto it = std::upper_bound(sit->second.begin(), sit->second.end(), pos);
-        if (it != sit->second.begin()) lower = *(it - 1);
+        if (assigned_mode_) {
+          // Largest same-session state whose generator time-precedes d —
+          // the sorted-prefix shortcut below is not available here.
+          for (StateIndex s : sit->second) {
+            if (s > 0 && generator_precedes(s)) lower = std::max(lower, s);
+          }
+        } else {
+          // Largest applied same-session state within the real-time prefix.
+          const StateIndex pos = applied_before_start();
+          auto it = std::upper_bound(sit->second.begin(), sit->second.end(), pos);
+          if (it != sit->second.begin()) lower = *(it - 1);
+        }
       }
     }
     const StateIndex lo = std::max({complete_lo, no_conf, lower});
@@ -517,7 +604,15 @@ void OnlineChecker::evaluate_new(TxnIdx d, Placed& p) {
     // accepts any s whose generating transaction real-time-precedes d, i.e.
     // s ≤ applied_before_start() — so the descending scan reduces to bounds.
     bool ok = hi >= lo;
-    if (ok && timed && lo > 0) ok = lo <= applied_before_start();
+    if (ok && timed && lo > 0) {
+      if (assigned_mode_) {
+        // Mixed prefix: admissibility is not downward closed — scan.
+        ok = false;
+        for (StateIndex s = hi; s >= lo && !ok; --s) ok = generator_precedes(s);
+      } else {
+        ok = lo <= applied_before_start();
+      }
+    }
     if (!ok) {
       violate(level, id, "no admissible snapshot state in the apply order");
     }
@@ -533,6 +628,50 @@ void OnlineChecker::check_retroactive_inversions(TxnIdx d) {
   // ∃ applied q with commit(d) < start(q) ⟺ commit(d) < max applied start —
   // on a monotone stream (the common case) this skips the O(n) scan entirely.
   if (!(commit_d < max_start_applied_)) return;
+
+  const TxnId late_id = stream_.id_of(d);
+  const SessionId late_session = stream_.session(d);
+
+  if (assigned_mode_) {
+    // An inversion hits the applied transaction q at q's OWN level, so the
+    // dispatch is per q, not per tracked level. applied_mask_ skips the scan
+    // when no applied transaction holds a real-time/session clause.
+    if (!assigned_status_.ok) return;
+    auto bit = [](IsolationLevel l) {
+      return static_cast<std::uint16_t>(1u << static_cast<unsigned>(l));
+    };
+    if ((applied_mask_ & (bit(IsolationLevel::kStrictSerializable) |
+                          bit(IsolationLevel::kStrongSI) |
+                          bit(IsolationLevel::kSessionSI))) == 0) {
+      return;
+    }
+    for (std::size_t slot = 0; slot < txns_.size(); ++slot) {
+      const TxnIdx q = static_cast<TxnIdx>(slot);
+      const IsolationLevel lq = assigned_level_of(q);
+      if (lq != IsolationLevel::kStrictSerializable &&
+          lq != IsolationLevel::kStrongSI && lq != IsolationLevel::kSessionSI) {
+        continue;
+      }
+      if (!stream_.time_precedes(d, q)) continue;
+      const TxnId q_id = stream_.id_of(q);
+      if (lq == IsolationLevel::kStrictSerializable) {
+        violate(lq, q_id,
+                "real-time predecessor " + crooks::to_string(late_id) +
+                    " was applied after it");
+      } else if (lq == IsolationLevel::kStrongSI) {
+        violate(lq, q_id,
+                "snapshot misses " + crooks::to_string(late_id) +
+                    ", which committed before it started");
+      } else if (stream_.session(q) != kNoSession &&
+                 stream_.session(q) == late_session) {
+        violate(lq, q_id,
+                "session predecessor " + crooks::to_string(late_id) +
+                    " was applied after it");
+      }
+    }
+    return;
+  }
+
   auto live = [&](IsolationLevel l) {
     auto it = statuses_.find(l);
     return it != statuses_.end() && it->second.ok;
@@ -542,8 +681,6 @@ void OnlineChecker::check_retroactive_inversions(TxnIdx d) {
     return;
   }
 
-  const TxnId late_id = stream_.id_of(d);
-  const SessionId late_session = stream_.session(d);
   for (std::size_t slot = 0; slot < txns_.size(); ++slot) {
     const TxnIdx q = static_cast<TxnIdx>(slot);
     if (!stream_.time_precedes(d, q)) continue;

@@ -58,6 +58,31 @@ class OnlineChecker {
     std::string explanation;
   };
 
+  /// Mixed-level monitor: evaluate every appended transaction at its own
+  /// `level=` annotation (falling back to `fallback` when unannotated) and
+  /// maintain ONE status — the streaming analogue of
+  /// ct::test_execution(LevelAssignment, ...). Because a later block may
+  /// annotate any level, this mode always takes the general ingest path
+  /// (never the weak-only direct path), builds every transaction's PREC set
+  /// (a future PSI-level transaction needs its predecessors' closures), and
+  /// drops the sorted-commit-prefix shortcut of the timed recency clauses —
+  /// untimed transactions interleave freely, so real-time predecessors are
+  /// found by scan instead of binary search.
+  /// Construct as: OnlineChecker c(OnlineChecker::kTrackAssigned, fallback);
+  /// (A tag, not a one-member options struct: a braced {level} argument must
+  /// keep meaning "track exactly this level" via the vector constructor.)
+  struct TrackAssignedTag {};
+  static constexpr TrackAssignedTag kTrackAssigned{};
+  OnlineChecker(TrackAssignedTag,
+                ct::IsolationLevel fallback = ct::IsolationLevel::kSerializable);
+
+  /// True for a checker built by track_assigned().
+  bool assigned_mode() const { return assigned_mode_; }
+
+  /// The single mixed-assignment status (assigned mode only). Its
+  /// explanation names the violated transaction's own level.
+  const LevelStatus& assigned_status() const { return assigned_status_; }
+
   /// Streaming throughput accounting, exported by bench_online_incremental
   /// and asserted by the differential suite.
   struct Stats {
@@ -118,8 +143,21 @@ class OnlineChecker {
     DynamicBitset prec;  // populated only when PSI is tracked
   };
 
+  /// Is `level` evaluated for the transaction currently being ingested?
+  /// Uniform mode: a fixed set. Assigned mode: exactly the transaction's own
+  /// level (current_level_, set at the top of evaluate_new).
   bool tracking(ct::IsolationLevel level) const {
-    return statuses_.contains(level);
+    return assigned_mode_ ? level == current_level_ : statuses_.contains(level);
+  }
+  bool status_ok(ct::IsolationLevel level) const {
+    return assigned_mode_ ? assigned_status_.ok : statuses_.at(level).ok;
+  }
+  /// The level transaction `d` is evaluated at in assigned mode.
+  ct::IsolationLevel assigned_level_of(model::TxnIdx d) const {
+    const std::uint8_t t = stream_.level_tag(d);
+    return t == model::CompiledHistory::kNoLevelTag
+               ? assigned_fallback_
+               : static_cast<ct::IsolationLevel>(t);
   }
   void violate(ct::IsolationLevel level, TxnId txn, std::string why);
 
@@ -159,6 +197,16 @@ class OnlineChecker {
   // True when every tracked level is untimed-weak (RU/RC/RA/PSI): fixed at
   // construction, routes ingest() to the direct per-transaction path.
   bool weak_only_ = false;
+  // --- Assigned (mixed-level) mode, set by track_assigned() ---
+  bool assigned_mode_ = false;
+  ct::IsolationLevel assigned_fallback_ = ct::IsolationLevel::kSerializable;
+  LevelStatus assigned_status_;
+  // Level of the transaction currently in evaluate_new (assigned mode).
+  ct::IsolationLevel current_level_ = ct::IsolationLevel::kSerializable;
+  // Bitmask of the levels applied transactions were evaluated at — lets the
+  // retroactive-inversion pass exit early when no applied transaction holds
+  // a real-time/session clause.
+  std::uint16_t applied_mask_ = 0;
   // Scratch: per-op read-state starts for the transaction being ingested on
   // the weak path (reused across transactions to avoid reallocation).
   std::vector<StateIndex> weak_firsts_;

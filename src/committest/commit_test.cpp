@@ -314,6 +314,23 @@ ExecutionVerdict CommitTester::test_all(IsolationLevel level) const {
   return {true, std::nullopt, {}};
 }
 
+ExecutionVerdict CommitTester::test_all(const LevelAssignment& levels) const {
+  // The commit test is modular in T, so the mixed verdict is just each
+  // transaction tested at its own level. The uniform delegation keeps the
+  // explanation strings (which embed the level only implicitly, via the
+  // violated clause) identical to the global-level API.
+  if (levels.is_uniform()) return test_all(levels.fallback());
+  for (std::size_t d = 0; d < a_->size(); ++d) {
+    if (CommitTestResult r = test(levels.of(d), d); !r) {
+      const TxnId id = a_->compiled().id_of(static_cast<TxnIdx>(d));
+      return {false, id,
+              crooks::to_string(id) + " [" + std::string(name_of(levels.of(d))) +
+                  "]: " + r.violation};
+    }
+  }
+  return {true, std::nullopt, {}};
+}
+
 ExecutionVerdict test_execution(IsolationLevel level, const model::TransactionSet& txns,
                                 const model::Execution& e) {
   const model::ReadStateAnalysis analysis(txns, e);
@@ -324,6 +341,20 @@ ExecutionVerdict test_execution(IsolationLevel level, const model::CompiledHisto
                                 const model::Execution& e) {
   const model::ReadStateAnalysis analysis(ch, e);
   return CommitTester(analysis).test_all(level);
+}
+
+ExecutionVerdict test_execution(const LevelAssignment& levels,
+                                const model::TransactionSet& txns,
+                                const model::Execution& e) {
+  const model::ReadStateAnalysis analysis(txns, e);
+  return CommitTester(analysis).test_all(levels);
+}
+
+ExecutionVerdict test_execution(const LevelAssignment& levels,
+                                const model::CompiledHistory& ch,
+                                const model::Execution& e) {
+  const model::ReadStateAnalysis analysis(ch, e);
+  return CommitTester(analysis).test_all(levels);
 }
 
 }  // namespace crooks::ct

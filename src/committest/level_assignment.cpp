@@ -1,0 +1,123 @@
+#include "committest/level_assignment.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace crooks::ct {
+
+void LevelAssignment::recompute_mask() {
+  mask_ = bit(fallback_);
+  for (IsolationLevel l : column_) mask_ |= bit(l);
+  // Canonicalize: a column where every entry equals the fallback is the
+  // uniform assignment — drop it so is_uniform() is a mask compare and the
+  // uniform delegation fires even when the caller materialized the column.
+  if (mask_ == bit(fallback_)) column_.clear();
+}
+
+LevelAssignment LevelAssignment::from_annotations(const model::CompiledHistory& ch,
+                                                  IsolationLevel fallback) {
+  if (ch.annotated_level_count() == 0) return LevelAssignment(fallback);
+  std::vector<IsolationLevel> column(ch.size(), fallback);
+  for (std::size_t d = 0; d < ch.size(); ++d) {
+    const std::uint8_t t = ch.level_tag(static_cast<model::TxnIdx>(d));
+    if (t != model::CompiledHistory::kNoLevelTag) {
+      column[d] = static_cast<IsolationLevel>(t);
+    }
+  }
+  return LevelAssignment(fallback, std::move(column));
+}
+
+LevelAssignment LevelAssignment::from_annotations(
+    const model::CompiledHistory& ch, IsolationLevel fallback,
+    const std::unordered_map<TxnId, IsolationLevel>& overrides) {
+  if (overrides.empty()) return from_annotations(ch, fallback);
+  std::vector<IsolationLevel> column(ch.size(), fallback);
+  for (std::size_t d = 0; d < ch.size(); ++d) {
+    const std::uint8_t t = ch.level_tag(static_cast<model::TxnIdx>(d));
+    if (t != model::CompiledHistory::kNoLevelTag) {
+      column[d] = static_cast<IsolationLevel>(t);
+    }
+  }
+  for (const auto& [id, lvl] : overrides) {
+    const std::size_t d = ch.txns().dense_index_if(id);
+    if (d == model::TransactionSet::npos) {
+      throw std::invalid_argument("level override names unknown transaction " +
+                                  crooks::to_string(id));
+    }
+    column[d] = lvl;
+  }
+  return LevelAssignment(fallback, std::move(column));
+}
+
+std::vector<IsolationLevel> LevelAssignment::present() const {
+  std::vector<IsolationLevel> out;
+  for (IsolationLevel l : kAllLevels) {
+    if (mask_ & bit(l)) out.push_back(l);
+  }
+  return out;
+}
+
+bool LevelAssignment::all_in(std::initializer_list<IsolationLevel> set) const {
+  std::uint16_t allowed = 0;
+  for (IsolationLevel l : set) allowed |= bit(l);
+  return (mask_ & ~allowed) == 0;
+}
+
+IsolationLevel LevelAssignment::meet() const {
+  IsolationLevel m = fallback_;
+  for (IsolationLevel l : present()) m = meet_of(m, l);
+  return m;
+}
+
+std::string LevelAssignment::describe() const {
+  if (is_uniform()) return std::string(name_of(fallback_));
+  std::string out = "mixed{";
+  bool first = true;
+  for (IsolationLevel l : present()) {
+    if (!first) out += ", ";
+    first = false;
+    out += name_of(l);
+  }
+  out += "} (default ";
+  out += name_of(fallback_);
+  out += ")";
+  return out;
+}
+
+LevelAssignment LevelPolicy::resolve_prefix(const model::CompiledHistory& ch) const {
+  if (is_trivially_uniform()) return LevelAssignment(fallback);
+  std::vector<IsolationLevel> column(ch.size(), fallback);
+  if (use_annotations) {
+    for (std::size_t d = 0; d < ch.size(); ++d) {
+      const std::uint8_t t = ch.level_tag(static_cast<model::TxnIdx>(d));
+      if (t != model::CompiledHistory::kNoLevelTag) {
+        column[d] = static_cast<IsolationLevel>(t);
+      }
+    }
+  }
+  for (const auto& [id, lvl] : overrides) {
+    const std::size_t d = ch.txns().dense_index_if(id);
+    if (d != model::TransactionSet::npos) column[d] = lvl;
+  }
+  return LevelAssignment(fallback, std::move(column));
+}
+
+LevelAssignment LevelPolicy::resolve(const model::CompiledHistory& ch) const {
+  if (is_trivially_uniform()) return LevelAssignment(fallback);
+  if (!use_annotations) {
+    // Overrides only: a column that starts uniform at the fallback.
+    std::vector<IsolationLevel> column(ch.size(), fallback);
+    for (const auto& [id, lvl] : overrides) {
+      const std::size_t d = ch.txns().dense_index_if(id);
+      if (d == model::TransactionSet::npos) {
+        throw std::invalid_argument("level override names unknown transaction " +
+                                    crooks::to_string(id));
+      }
+      column[d] = lvl;
+    }
+    return LevelAssignment(fallback, std::move(column));
+  }
+  return LevelAssignment::from_annotations(ch, fallback, overrides);
+}
+
+}  // namespace crooks::ct

@@ -1,0 +1,138 @@
+// Per-transaction isolation-level assignments.
+//
+// The paper's commit test is modular in the transaction — CT_I(T, e) only
+// mentions T's own reads against e — so "the history satisfies I" generalizes
+// for free to "∃e : ∀T : CT_{A(T)}(T, e)" for any per-transaction assignment
+// A. This is the mixed-isolation setting real deployments run (RC, SI and SER
+// transactions in one history; cf. arXiv 2505.18409): each transaction is
+// audited at the level it was declared with.
+//
+// LevelAssignment is the resolved, dense form the engines consume: a fallback
+// level plus an optional per-dense-index column. The uniform case (empty
+// column, or a column where every entry equals the fallback) is detected at
+// construction — every checker entry point taking an assignment delegates
+// uniform assignments verbatim to the global-level code path, so uniform
+// calls stay verdict-, witness- and node-count-identical to the existing API
+// by construction.
+//
+// LevelPolicy is the unresolved, id-keyed form for callers that don't hold a
+// compilation yet (check_batch over many histories, the CLI's --levels flag):
+// a fallback, optional TxnId→level overrides, and whether to honor the
+// transactions' own `level=` annotations. resolve() binds it to one compiled
+// history.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "committest/levels.hpp"
+#include "common/ids.hpp"
+#include "model/compiled.hpp"
+
+namespace crooks::ct {
+
+class LevelAssignment {
+ public:
+  /// Uniform assignment: every transaction at `level`. Implicit so existing
+  /// call shapes (`check(ct::IsolationLevel::..., ...)`) can flow into
+  /// assignment-taking helpers.
+  /*implicit*/ LevelAssignment(IsolationLevel level = IsolationLevel::kSerializable)
+      : fallback_(level), mask_(bit(level)) {}
+
+  /// Per-transaction column (dense-indexed); entries beyond the column — a
+  /// grown history — resolve to `fallback`.
+  LevelAssignment(IsolationLevel fallback, std::vector<IsolationLevel> column)
+      : fallback_(fallback), column_(std::move(column)) {
+    recompute_mask();
+  }
+
+  /// Resolve each transaction of `ch` to: its own `level=` annotation when
+  /// present, else `fallback`.
+  static LevelAssignment from_annotations(const model::CompiledHistory& ch,
+                                          IsolationLevel fallback);
+
+  /// Same, with explicit per-id overrides taking precedence over annotations.
+  /// Throws std::invalid_argument if an override names an unknown TxnId.
+  static LevelAssignment from_annotations(
+      const model::CompiledHistory& ch, IsolationLevel fallback,
+      const std::unordered_map<TxnId, IsolationLevel>& overrides);
+
+  /// The level of the transaction with dense index `d`.
+  IsolationLevel of(std::size_t d) const {
+    return d < column_.size() ? column_[d] : fallback_;
+  }
+
+  IsolationLevel fallback() const { return fallback_; }
+  std::size_t column_size() const { return column_.size(); }
+
+  /// True when every transaction (including any future one beyond the
+  /// column) resolves to the same level — the fast path that must stay
+  /// bit-identical to the global-level API.
+  bool is_uniform() const { return mask_ == bit(fallback_); }
+
+  /// Bitmask over IsolationLevel enumerators of the levels this assignment
+  /// can produce (the column's distinct entries plus the fallback).
+  std::uint16_t present_mask() const { return mask_; }
+
+  /// The distinct levels present, in enum (weak-to-strong spine) order.
+  std::vector<IsolationLevel> present() const;
+
+  /// Is any transaction assigned this level?
+  bool present(IsolationLevel l) const { return (mask_ & bit(l)) != 0; }
+
+  /// True iff every present level is in `set`.
+  bool all_in(std::initializer_list<IsolationLevel> set) const;
+
+  /// Greatest lower bound of the present levels (always exists — see
+  /// meet_of). A refutation of the history at meet() is a refutation of the
+  /// mix, by per-transaction monotonicity.
+  IsolationLevel meet() const;
+
+  /// "ReadCommitted" for a uniform assignment, else e.g.
+  /// "mixed{ReadCommitted, Serializable} (default ReadCommitted)".
+  std::string describe() const;
+
+ private:
+  static constexpr std::uint16_t bit(IsolationLevel l) {
+    return static_cast<std::uint16_t>(1u << static_cast<unsigned>(l));
+  }
+  void recompute_mask();
+
+  IsolationLevel fallback_ = IsolationLevel::kSerializable;
+  std::vector<IsolationLevel> column_;
+  std::uint16_t mask_ = 0;
+};
+
+/// Unresolved assignment: how a caller without a compilation in hand names
+/// levels. Uniform policies (no overrides, annotations ignored) resolve to
+/// uniform assignments and therefore to the exact global-level behaviour.
+struct LevelPolicy {
+  IsolationLevel fallback = IsolationLevel::kSerializable;
+  /// Explicit per-transaction overrides (the CLI's --levels flag), applied
+  /// over annotations.
+  std::unordered_map<TxnId, IsolationLevel> overrides;
+  /// Honor the transactions' own `level=` annotations. When false the policy
+  /// sees only `fallback` and `overrides`.
+  bool use_annotations = true;
+
+  /// A policy equivalent to today's global-level call.
+  static LevelPolicy uniform(IsolationLevel level) {
+    return LevelPolicy{level, {}, false};
+  }
+
+  bool is_trivially_uniform() const { return overrides.empty() && !use_annotations; }
+
+  /// Bind to one compiled history. Throws std::invalid_argument if an
+  /// override names a transaction not in `ch`.
+  LevelAssignment resolve(const model::CompiledHistory& ch) const;
+
+  /// Like resolve(), but an override naming a transaction not (yet) in `ch`
+  /// is ignored instead of throwing — the shape incremental streams need,
+  /// where an override may target a transaction arriving in a later block.
+  LevelAssignment resolve_prefix(const model::CompiledHistory& ch) const;
+};
+
+}  // namespace crooks::ct

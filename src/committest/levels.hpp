@@ -10,6 +10,7 @@
 
 #include <array>
 #include <cstdint>
+#include <optional>
 #include <string_view>
 
 namespace crooks::ct {
@@ -50,6 +51,30 @@ constexpr std::string_view name_of(IsolationLevel l) {
   }
   return "?";
 }
+
+/// Inverse of name_of, plus the short aliases used in annotations and on the
+/// command line (RU, RC, RA, SI, SER, SSER — PSI is already its own name).
+/// nullopt on anything else; the caller owns the error message (use
+/// valid_level_names() in it so users see what would have parsed).
+constexpr std::optional<IsolationLevel> level_from_name(std::string_view s) {
+  for (IsolationLevel l : kAllLevels) {
+    if (s == name_of(l)) return l;
+  }
+  using L = IsolationLevel;
+  if (s == "RU") return L::kReadUncommitted;
+  if (s == "RC") return L::kReadCommitted;
+  if (s == "RA") return L::kReadAtomic;
+  if (s == "SI") return L::kAdyaSI;
+  if (s == "SER") return L::kSerializable;
+  if (s == "SSER") return L::kStrictSerializable;
+  return std::nullopt;
+}
+
+/// The canonical names, comma-separated — for "unknown level" error messages.
+inline constexpr std::string_view kValidLevelNames =
+    "ReadUncommitted (RU), ReadCommitted (RC), ReadAtomic (RA), PSI, "
+    "AdyaSI (SI), AnsiSI, SessionSI, StrongSI, Serializable (SER), "
+    "StrictSerializable (SSER)";
 
 /// Names the paper proves equivalent to this level (§5.2).
 constexpr std::string_view equivalent_names(IsolationLevel l) {
@@ -102,6 +127,26 @@ constexpr bool at_least_as_strong(IsolationLevel a, IsolationLevel b) {
     if (edge(a, mid) && (mid == b || at_least_as_strong(mid, b))) return true;
   }
   return false;
+}
+
+/// Greatest lower bound of two levels. The Hasse diagram is a tree rooted at
+/// ReadUncommitted (every level has exactly one weaker parent), so the levels
+/// weaker-or-equal than any given level form a chain and the meet always
+/// exists — even for the one incomparable pair (Serializable vs StrongSI,
+/// meeting at AdyaSI). Used by the mixed-level engines: by per-transaction
+/// monotonicity (at_least_as_strong's same-execution guarantee), a history
+/// refuted at the meet of the levels present is refuted for the mix.
+constexpr IsolationLevel meet_of(IsolationLevel a, IsolationLevel b) {
+  if (at_least_as_strong(a, b)) return b;
+  if (at_least_as_strong(b, a)) return a;
+  IsolationLevel best = IsolationLevel::kReadUncommitted;
+  for (IsolationLevel l : kAllLevels) {
+    if (at_least_as_strong(a, l) && at_least_as_strong(b, l) &&
+        at_least_as_strong(l, best)) {
+      best = l;
+    }
+  }
+  return best;
 }
 
 }  // namespace crooks::ct

@@ -113,6 +113,7 @@ void CompiledHistory::compile_block(TxnIdx first) {
   commit_ts_.resize(n);
   session_.resize(n);
   ids_.resize(n);
+  level_tag_.resize(n, kNoLevelTag);
   std::vector<KeyIdx> touched;
   for (TxnIdx d = first; d < n; ++d) {
     const Transaction& t = txns.at(d);
@@ -120,6 +121,10 @@ void CompiledHistory::compile_block(TxnIdx first) {
     start_ts_[d] = t.start_ts();
     commit_ts_[d] = t.commit_ts();
     session_[d] = t.session();
+    if (const auto lvl = t.level()) {
+      level_tag_[d] = static_cast<std::uint8_t>(*lvl);
+      ++annotated_levels_;
+    }
     if (!t.has_timestamps()) all_timestamped_ = false;
 
     touched.clear();

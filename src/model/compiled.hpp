@@ -57,6 +57,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "committest/levels.hpp"
 #include "common/bitset.hpp"
 #include "common/ids.hpp"
 #include "model/transaction.hpp"
@@ -308,6 +309,25 @@ class CompiledHistory {
   Timestamp start_ts(TxnIdx d) const { return start_ts_[d]; }
   Timestamp commit_ts(TxnIdx d) const { return commit_ts_[d]; }
   SessionId session(TxnIdx d) const { return session_[d]; }
+
+  // --- per-transaction isolation-level annotations --------------------------
+
+  /// Raw u8 level tag of transaction `d`: the numeric ct::IsolationLevel of
+  /// its `level=` annotation, or kNoLevelTag when the observation carries
+  /// none. A dense column like ids_/start_ts_ so a level-resolution pass
+  /// streams one byte per transaction; preserved bit-identically by extend()
+  /// (grown ≡ fresh, asserted by tests/mixed_levels_test.cpp).
+  static constexpr std::uint8_t kNoLevelTag = 0xFF;
+  std::uint8_t level_tag(TxnIdx d) const { return level_tag_[d]; }
+  const std::vector<std::uint8_t>& level_tags() const { return level_tag_; }
+  std::optional<ct::IsolationLevel> annotated_level(TxnIdx d) const {
+    const std::uint8_t t = level_tag_[d];
+    if (t == kNoLevelTag) return std::nullopt;
+    return static_cast<ct::IsolationLevel>(t);
+  }
+  /// Number of transactions carrying an annotation (0 ⇒ every level-resolve
+  /// is the fallback — the uniform fast path).
+  std::size_t annotated_level_count() const { return annotated_levels_; }
   bool has_timestamps(TxnIdx d) const {
     return start_ts_[d] != kNoTimestamp && commit_ts_[d] != kNoTimestamp;
   }
@@ -373,6 +393,8 @@ class CompiledHistory {
   std::vector<TxnId> ids_;
   std::vector<Timestamp> start_ts_, commit_ts_;
   std::vector<SessionId> session_;
+  std::vector<std::uint8_t> level_tag_;
+  std::size_t annotated_levels_ = 0;
   bool all_timestamped_ = true;
   std::vector<TxnIdx> ts_order_;
   std::size_t ts_timed_ = 0;  // length of the timestamped prefix of ts_order_

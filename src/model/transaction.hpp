@@ -16,6 +16,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "committest/levels.hpp"
 #include "common/ids.hpp"
 #include "model/operation.hpp"
 
@@ -26,12 +27,14 @@ class Transaction {
   Transaction() = default;
   Transaction(TxnId id, std::vector<Operation> ops, SessionId session = kNoSession,
               SiteId site = SiteId{0}, Timestamp start = kNoTimestamp,
-              Timestamp commit = kNoTimestamp)
+              Timestamp commit = kNoTimestamp,
+              std::optional<ct::IsolationLevel> level = std::nullopt)
       : id_(id),
         session_(session),
         site_(site),
         start_(start),
         commit_(commit),
+        level_(level),
         ops_(std::move(ops)) {
     for (const Operation& op : ops_) {
       if (op.is_write()) {
@@ -58,6 +61,12 @@ class Transaction {
     return start_ != kNoTimestamp && commit_ != kNoTimestamp;
   }
 
+  /// The isolation level this transaction was declared to run at (the
+  /// observation format's `level=` annotation), when the client recorded one.
+  /// Annotations are inert to every global-level API: only the
+  /// ct::LevelAssignment entry points consult them.
+  std::optional<ct::IsolationLevel> level() const { return level_; }
+
   const std::vector<Operation>& ops() const { return ops_; }
   const std::unordered_set<Key>& read_set() const { return read_set_; }
   const std::unordered_set<Key>& write_set() const { return write_set_; }
@@ -79,6 +88,7 @@ class Transaction {
   SiteId site_{};
   Timestamp start_ = kNoTimestamp;
   Timestamp commit_ = kNoTimestamp;
+  std::optional<ct::IsolationLevel> level_;
   std::vector<Operation> ops_;
   std::unordered_set<Key> read_set_;
   std::unordered_set<Key> write_set_;
@@ -120,9 +130,13 @@ class TxnBuilder {
     commit_ = commit;
     return *this;
   }
+  TxnBuilder& level(ct::IsolationLevel l) {
+    level_ = l;
+    return *this;
+  }
 
   Transaction build() const {
-    return Transaction(id_, ops_, session_, site_, start_, commit_);
+    return Transaction(id_, ops_, session_, site_, start_, commit_, level_);
   }
 
  private:
@@ -131,6 +145,7 @@ class TxnBuilder {
   SiteId site_{0};
   Timestamp start_ = kNoTimestamp;
   Timestamp commit_ = kNoTimestamp;
+  std::optional<ct::IsolationLevel> level_;
   std::vector<Operation> ops_;
 };
 

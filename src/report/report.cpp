@@ -1,5 +1,6 @@
 #include "report/report.hpp"
 
+#include <map>
 #include <sstream>
 
 #include "adya/phenomena.hpp"
@@ -93,6 +94,40 @@ AuditResult audit(const Observations& obs, const checker::CheckOptions& base) {
         << render_execution(obs.txns, *strongest_witness);
   }
 
+  // Mixed-level audit: when the input declares per-transaction levels, the
+  // per-level table above answers "what if EVERY transaction ran at L"; this
+  // section answers the deployment's actual question — each transaction at
+  // its own declared level (unannotated ones at the default-level directive,
+  // or ReadUncommitted when absent).
+  if (obs.has_level_annotations()) {
+    const ct::IsolationLevel fallback =
+        obs.default_level.value_or(ct::IsolationLevel::kReadUncommitted);
+    // Dense compile order == the set's declaration order, so the column can
+    // be built straight off the transactions.
+    std::vector<ct::IsolationLevel> column;
+    column.reserve(obs.txns.size());
+    std::map<ct::IsolationLevel, std::size_t> groups;
+    for (const model::Transaction& t : obs.txns) {
+      column.push_back(t.level().value_or(fallback));
+      ++groups[column.back()];
+    }
+    ct::LevelAssignment assignment(fallback, std::move(column));
+    out << "\nmixed-level audit (each transaction at its own declared level; "
+        << "default " << ct::name_of(fallback) << "):\n";
+    out << "  level groups:";
+    for (const auto& [l, n] : groups) out << "  " << ct::name_of(l) << " ×" << n;
+    out << "\n";
+    const checker::CheckResult r = checker::check(assignment, obs.txns, opts);
+    out << "  " << verdict_word(r) << "  " << assignment.describe() << "\n";
+    if (!r.satisfiable() && !r.detail.empty()) out << "        " << r.detail << "\n";
+    if (r.unsatisfiable() && r.diagnosis.has_value()) {
+      std::istringstream lines(render_counterexample(*r.diagnosis));
+      for (std::string line; std::getline(lines, line);) {
+        out << "      " << line << "\n";
+      }
+    }
+  }
+
   result.text = out.str();
   return result;
 }
@@ -104,7 +139,11 @@ std::string render_counterexample(const checker::ReadDiagnosis& d) {
     out << " (evidence on " << d.candidate_execution << ")";
   }
   out << ":\n";
-  out << "    failing transaction: " << to_string(d.txn) << "\n";
+  out << "    failing transaction: " << to_string(d.txn);
+  // Under a mixed-level assignment this is the transaction's OWN level — the
+  // one whose commit test it failed.
+  if (d.level.has_value()) out << " (audited at " << ct::name_of(*d.level) << ")";
+  out << "\n";
   if (!d.clause.empty()) out << "    violated clause: " << d.clause << "\n";
   if (d.key.has_value()) {
     out << "    implicated read: " << to_string(*d.key);

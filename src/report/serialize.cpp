@@ -47,11 +47,18 @@ Timestamp parse_ts(const std::string& s, std::size_t line, const char* what) {
   }
 }
 
+ct::IsolationLevel parse_level(const std::string& s, std::size_t line) {
+  if (const auto l = ct::level_from_name(s)) return *l;
+  fail(line, "unknown isolation level '" + s +
+                 "' (valid: " + std::string(ct::kValidLevelNames) + ")");
+}
+
 }  // namespace
 
 Observations parse_observations(std::istream& in) {
   std::vector<model::Transaction> txns;
   std::unordered_map<Key, std::vector<TxnId>> vo;
+  std::optional<ct::IsolationLevel> default_level;
 
   std::string line;
   std::size_t lineno = 0;
@@ -62,11 +69,12 @@ Observations parse_observations(std::istream& in) {
   SessionId session = kNoSession;
   SiteId site{0};
   Timestamp start = kNoTimestamp, commit = kNoTimestamp;
+  std::optional<ct::IsolationLevel> level;
   std::vector<model::Operation> ops;
 
   auto close = [&](std::size_t at) {
     if (!open) fail(at, "'end' without 'txn'");
-    txns.emplace_back(id, std::move(ops), session, site, start, commit);
+    txns.emplace_back(id, std::move(ops), session, site, start, commit, level);
     ops = {};
     open = false;
   };
@@ -84,6 +92,7 @@ Observations parse_observations(std::istream& in) {
       session = kNoSession;
       site = SiteId{0};
       start = commit = kNoTimestamp;
+      level = std::nullopt;
       for (std::size_t i = 2; i < tok.size(); ++i) {
         const auto eq = tok[i].find('=');
         if (eq == std::string::npos) fail(lineno, "expected key=value: '" + tok[i] + "'");
@@ -97,6 +106,8 @@ Observations parse_observations(std::istream& in) {
           start = parse_ts(val, lineno, "start");
         } else if (key == "commit") {
           commit = parse_ts(val, lineno, "commit");
+        } else if (key == "level") {
+          level = parse_level(val, lineno);
         } else {
           fail(lineno, "unknown attribute '" + key + "'");
         }
@@ -123,13 +134,17 @@ Observations parse_observations(std::istream& in) {
       for (std::size_t i = 2; i < tok.size(); ++i) {
         order.push_back(TxnId{parse_u64(tok[i], lineno, "txn id")});
       }
+    } else if (tok[0] == "default-level") {
+      if (open) fail(lineno, "'default-level' inside a transaction");
+      if (tok.size() != 2) fail(lineno, "default-level needs: default-level <name>");
+      default_level = parse_level(tok[1], lineno);
     } else {
       fail(lineno, "unknown directive '" + tok[0] + "'");
     }
   }
   if (open) fail(lineno, "unterminated transaction (missing 'end')");
 
-  return {model::TransactionSet(std::move(txns)), std::move(vo)};
+  return {model::TransactionSet(std::move(txns)), std::move(vo), default_level};
 }
 
 Observations parse_observations(const std::string& text) {
@@ -138,12 +153,16 @@ Observations parse_observations(const std::string& text) {
 }
 
 void write_observations(std::ostream& out, const Observations& obs) {
+  if (obs.default_level.has_value()) {
+    out << "default-level " << ct::name_of(*obs.default_level) << "\n";
+  }
   for (const model::Transaction& t : obs.txns) {
     out << "txn " << t.id().value;
     if (t.session() != kNoSession) out << " session=" << t.session().value;
     if (t.site() != SiteId{0}) out << " site=" << t.site().value;
     if (t.start_ts() != kNoTimestamp) out << " start=" << t.start_ts();
     if (t.commit_ts() != kNoTimestamp) out << " commit=" << t.commit_ts();
+    if (t.level().has_value()) out << " level=" << ct::name_of(*t.level());
     out << "\n";
     for (const model::Operation& op : t.ops()) {
       if (op.is_read()) {

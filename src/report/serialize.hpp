@@ -4,7 +4,8 @@
 //
 // Format (whitespace-separated, '#' starts a comment):
 //
-//   txn 1 session=2 site=0 start=5 commit=9
+//   default-level ReadCommitted   # optional: level for unannotated txns
+//   txn 1 session=2 site=0 start=5 commit=9 level=Serializable
 //     read 3 0            # read key 3, observed the initial value ⊥
 //     read 4 7 phantom    # read key 4, observed a value no state contains
 //     write 5
@@ -12,15 +13,21 @@
 //   vo 3 1 7              # optional: install order of key 3 was T1 then T7
 //
 // Attributes are optional; `read k w` names the observed writer transaction
-// (0 = ⊥). Ids are positive integers.
+// (0 = ⊥). Ids are positive integers. `level=` declares the isolation level
+// the transaction ran at (canonical names or the RU/RC/RA/SI/SER/SSER
+// aliases — anything else is a parse error naming the valid spellings); the
+// history-wide `default-level` directive sets the level of unannotated
+// transactions when the history is audited as a mixed-level assignment.
 #pragma once
 
 #include <istream>
+#include <optional>
 #include <ostream>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "committest/levels.hpp"
 #include "model/transaction.hpp"
 
 namespace crooks::report {
@@ -28,8 +35,22 @@ namespace crooks::report {
 struct Observations {
   model::TransactionSet txns;
   std::unordered_map<Key, std::vector<TxnId>> version_order;  // may be empty
+  /// The `default-level` directive, when present: the level unannotated
+  /// transactions run at in a mixed-level audit.
+  std::optional<ct::IsolationLevel> default_level;
 
   bool has_version_order() const { return !version_order.empty(); }
+
+  /// True when the input declared any level information (per-transaction
+  /// annotations or the history-wide directive) — the cue for tools to audit
+  /// with a per-transaction assignment instead of one global level.
+  bool has_level_annotations() const {
+    if (default_level.has_value()) return true;
+    for (const model::Transaction& t : txns) {
+      if (t.level().has_value()) return true;
+    }
+    return false;
+  }
 };
 
 /// Parse the format above. Throws std::invalid_argument with a line-numbered

@@ -59,7 +59,8 @@ RunResult run(const std::vector<TxnIntent>& intents, const RunOptions& options) 
       const Pending p = pending.back();
       pending.pop_back();
       const TxnIntent& intent = intents[p.intent];
-      const TxnId id = store.begin(intent.session, intent.site, p.priority);
+      const TxnId id =
+          store.begin(intent.session, intent.site, p.priority, intent.level);
       inflight.push_back({id, p.intent, 0, p.retries_left, store.priority_of(id)});
     }
   };
@@ -150,6 +151,14 @@ RunResult run(const std::vector<TxnIntent>& intents, const RunOptions& options) 
 std::vector<VerifiedRun> run_verified_batch(
     const std::vector<std::vector<TxnIntent>>& workloads, const RunOptions& base,
     ct::IsolationLevel level, const checker::CheckOptions& copts) {
+  // A trivially uniform policy is delegated straight back to the
+  // global-level check_batch by the checker, so this wrapper is exact.
+  return run_verified_batch(workloads, base, ct::LevelPolicy::uniform(level), copts);
+}
+
+std::vector<VerifiedRun> run_verified_batch(
+    const std::vector<std::vector<TxnIntent>>& workloads, const RunOptions& base,
+    const ct::LevelPolicy& policy, const checker::CheckOptions& copts) {
   // Stage 1: the runs. Each is a pure function of (intents, options), so
   // fanning them across the pool preserves the sequential results exactly.
   std::vector<VerifiedRun> out(workloads.size());
@@ -169,7 +178,8 @@ std::vector<VerifiedRun> run_verified_batch(
   for (std::size_t i = 0; i < out.size(); ++i) {
     items[i] = {&out[i].run.observations, &out[i].run.version_order};
   }
-  std::vector<checker::CheckResult> verdicts = checker::check_batch(level, items, copts);
+  std::vector<checker::CheckResult> verdicts =
+      checker::check_batch(policy, items, copts);
   for (std::size_t i = 0; i < out.size(); ++i) {
     out[i].verdict = std::move(verdicts[i]);
   }

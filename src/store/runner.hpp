@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <unordered_map>
 #include <vector>
 
@@ -26,6 +27,10 @@ struct TxnIntent {
   std::vector<Step> steps;
   SessionId session = kNoSession;
   SiteId site{0};
+  /// Declared isolation level, carried into the run's observations as the
+  /// `level=` annotation (mixed-level audits read it; global-level audits
+  /// ignore it).
+  std::optional<ct::IsolationLevel> level;
 
   TxnIntent& read(Key k) {
     steps.push_back({true, k});
@@ -37,6 +42,10 @@ struct TxnIntent {
     return *this;
   }
   TxnIntent& write(std::uint64_t k) { return write(Key{k}); }
+  TxnIntent& at(ct::IsolationLevel l) {
+    level = l;
+    return *this;
+  }
 };
 
 struct RunOptions {
@@ -73,5 +82,13 @@ struct VerifiedRun {
 std::vector<VerifiedRun> run_verified_batch(
     const std::vector<std::vector<TxnIntent>>& workloads, const RunOptions& base,
     ct::IsolationLevel level, const checker::CheckOptions& copts = {});
+
+/// Mixed-level variant: each run is audited under `policy` — by default every
+/// transaction at its own declared level (TxnIntent::level / the `level=`
+/// annotation), unannotated ones at policy.fallback. A trivially uniform
+/// policy reproduces the global-level overload exactly.
+std::vector<VerifiedRun> run_verified_batch(
+    const std::vector<std::vector<TxnIntent>>& workloads, const RunOptions& base,
+    const ct::LevelPolicy& policy, const checker::CheckOptions& copts = {});
 
 }  // namespace crooks::store

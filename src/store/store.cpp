@@ -20,11 +20,13 @@ ct::IsolationLevel contract_of(CCMode m) {
   return ct::IsolationLevel::kReadUncommitted;
 }
 
-TxnId Store::begin(SessionId session, SiteId site, Timestamp priority) {
+TxnId Store::begin(SessionId session, SiteId site, Timestamp priority,
+                   std::optional<ct::IsolationLevel> level) {
   const TxnId id{next_id_++};
   ActiveTxn t;
   t.session = session;
   t.site = site;
+  t.level = level;
   t.start_ts = tick();
   t.priority = priority == kNoTimestamp ? t.start_ts : priority;
   if (mode_ == CCMode::kSnapshotIsolation) t.snapshot = t.start_ts;
@@ -280,6 +282,7 @@ void Store::finish(TxnId id, ActiveTxn&& t, bool committed, Timestamp commit_ts)
   h.site = t.site;
   h.start_ts = t.start_ts;
   h.commit_ts = commit_ts;
+  h.level = t.level;
   h.events = std::move(t.events);
   finished_.push_back(std::move(h));
   (committed ? committed_ : aborted_)++;

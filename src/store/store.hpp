@@ -84,8 +84,14 @@ class Store {
   /// `priority` is the wait-die seniority: retried transactions pass their
   /// original priority so they age instead of starving (the classic
   /// restart-with-original-timestamp rule). Defaults to the start time.
+  ///
+  /// `level` is the client's declared isolation level, recorded verbatim into
+  /// the exported history/observations (`level=` annotation). The store's CC
+  /// mode is global — the declaration states what the client ASKS to be
+  /// audited at, which mixed-level checking then enforces per transaction.
   TxnId begin(SessionId session = kNoSession, SiteId site = SiteId{0},
-              Timestamp priority = kNoTimestamp);
+              Timestamp priority = kNoTimestamp,
+              std::optional<ct::IsolationLevel> level = std::nullopt);
 
   /// Wait-die seniority of an active transaction (for retry bookkeeping).
   Timestamp priority_of(TxnId txn) const { return active_.at(txn).priority; }
@@ -135,6 +141,7 @@ class Store {
   struct ActiveTxn {
     SessionId session = kNoSession;
     SiteId site{};
+    std::optional<ct::IsolationLevel> level;
     Timestamp start_ts = kNoTimestamp;
     Timestamp priority = kNoTimestamp;        // wait-die seniority
     Timestamp snapshot = kNoTimestamp;        // SI: begin-time snapshot

@@ -76,7 +76,12 @@ FuzzedObservations fuzz_observations(std::uint64_t seed,
         commit = kNoTimestamp;
       }
     }
-    txns.emplace_back(id, std::move(ops), session, SiteId{0}, start, commit);
+    std::optional<ct::IsolationLevel> level;
+    // Guarded so the rng stream is untouched when the knob is off.
+    if (opts.p_level_annotation > 0 && rng.chance(opts.p_level_annotation)) {
+      level = ct::kAllLevels[rng.below(ct::kAllLevels.size())];
+    }
+    txns.emplace_back(id, std::move(ops), session, SiteId{0}, start, commit, level);
   }
 
   // Random (but syntactically valid) install orders.

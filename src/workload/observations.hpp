@@ -30,6 +30,11 @@ struct ObservationFuzzOptions {
   /// 0 leaves the generated stream bit-identical to older seeds.
   double p_untimestamped = 0.0;
   std::uint32_t sessions = 2;  // 0 = none
+  /// Each transaction independently gets a random `level=` annotation with
+  /// this probability (uniform over all levels) — the mixed-level fuzz knob.
+  /// 0 (the default) leaves the generated stream bit-identical to older
+  /// seeds: the guard skips the rng draws entirely.
+  double p_level_annotation = 0.0;
 };
 
 struct FuzzedObservations {

@@ -63,4 +63,18 @@ std::vector<store::TxnIntent> banking_withdrawals(std::size_t pairs) {
   return intents;
 }
 
+std::vector<store::TxnIntent> generate_mixed_profile(const MixedProfileOptions& opts) {
+  std::vector<store::TxnIntent> intents = banking_withdrawals(opts.pairs);
+  for (store::TxnIntent& i : intents) i.at(opts.critical_level);
+
+  std::vector<store::TxnIntent> background = generate_mix(opts.background);
+  const std::uint64_t offset = 2 * opts.pairs;  // past the account keys
+  for (store::TxnIntent& i : background) {
+    for (store::TxnIntent::Step& s : i.steps) s.key = Key{s.key.value + offset};
+    i.at(opts.background_level);
+    intents.push_back(std::move(i));
+  }
+  return intents;
+}
+
 }  // namespace crooks::wl

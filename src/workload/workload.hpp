@@ -36,4 +36,18 @@ std::vector<store::TxnIntent> generate_mix(const MixOptions& opts);
 /// SI both may read the stale snapshot (write skew).
 std::vector<store::TxnIntent> banking_withdrawals(std::size_t pairs);
 
+/// Mixed-level deployment profile: the banking withdrawals declared at
+/// `critical_level` interleaved with a read-mostly background mix declared at
+/// `background_level` — the "SER where it matters, RC everywhere else"
+/// pattern mixed-level audits exist for. Background keys are offset past the
+/// account keys so the populations share no data; the interleaving is
+/// decided by the runner's scheduler, not the intent order.
+struct MixedProfileOptions {
+  std::size_t pairs = 4;                     // banking couples
+  MixOptions background;                     // read-mostly filler traffic
+  ct::IsolationLevel critical_level = ct::IsolationLevel::kSerializable;
+  ct::IsolationLevel background_level = ct::IsolationLevel::kReadCommitted;
+};
+std::vector<store::TxnIntent> generate_mixed_profile(const MixedProfileOptions& opts);
+
 }  // namespace crooks::wl

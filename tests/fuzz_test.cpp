@@ -137,7 +137,7 @@ TEST_P(Fuzz, OnlineAgreesWithBatchOnWitnessOrder) {
 
 TEST_P(Fuzz, SerializationPreservesVerdicts) {
   const wl::FuzzedObservations f = make();
-  report::Observations obs{f.txns, f.version_order};
+  report::Observations obs{f.txns, f.version_order, std::nullopt};
   const report::Observations back = report::parse_observations(report::to_text(obs));
   CheckOptions o1, o2;
   o1.version_order = &f.version_order;
@@ -303,6 +303,73 @@ TEST_P(Fuzz, DirectEngineMixedAndMissingTimestamps) {
       }
     }
   }
+}
+
+TEST_P(Fuzz, RandomLevelMapAgreesAcrossEngines) {
+  // The mixed-level sweep: each transaction independently draws a random
+  // `level=` annotation, the assignment resolves annotations over a rotating
+  // fallback, and the engines must stay mutually consistent on the mixed
+  // question exactly as they do on the global one — exhaustive decides,
+  // deciding engines agree, witnesses verify under the assignment, and a
+  // serialization round-trip preserves the annotations and the verdict.
+  const std::uint64_t seed = GetParam();
+  wl::ObservationFuzzOptions o;
+  o.transactions = 7;
+  o.keys = 4;
+  o.p_level_annotation = 0.4;
+  if (seed % 4 == 0) o.p_untimestamped = 0.3;
+  const wl::FuzzedObservations f = wl::fuzz_observations(seed, o);
+  const model::CompiledHistory ch(f.txns);
+  const ct::IsolationLevel fallback = ct::kAllLevels[seed % ct::kAllLevels.size()];
+  const ct::LevelAssignment assignment =
+      ct::LevelAssignment::from_annotations(ch, fallback);
+
+  CheckOptions opts;
+  opts.threads = 1;
+  if (seed % 2 == 0) opts.version_order = &f.version_order;
+  const CheckResult oracle = checker::check_exhaustive(assignment, ch, opts);
+  ASSERT_NE(oracle.outcome, Outcome::kUnknown) << assignment.describe();
+  if (oracle.satisfiable()) {
+    ASSERT_TRUE(oracle.witness.has_value());
+    const ct::ExecutionVerdict v =
+        checker::verify_witness(assignment, ch, *oracle.witness);
+    EXPECT_TRUE(v.ok) << assignment.describe() << ": " << v.explanation;
+  }
+
+  const CheckResult direct = checker::check_direct(assignment, ch, opts);
+  if (checker::direct_eligible(assignment)) {
+    ASSERT_NE(direct.outcome, Outcome::kUnknown)
+        << assignment.describe() << ": " << direct.detail;
+  }
+  for (const CheckResult* r : {&direct, &std::as_const(oracle)}) {
+    if (r->outcome == Outcome::kUnknown) continue;
+    EXPECT_EQ(r->outcome, oracle.outcome) << assignment.describe();
+  }
+  const CheckResult graph = checker::check_graph(assignment, ch, opts);
+  if (graph.outcome != Outcome::kUnknown) {
+    EXPECT_EQ(graph.outcome, oracle.outcome)
+        << assignment.describe() << "\n graph:  " << graph.detail
+        << "\n oracle: " << oracle.detail;
+  }
+  if (direct.satisfiable()) {
+    ASSERT_TRUE(direct.witness.has_value());
+    EXPECT_TRUE(checker::verify_witness(assignment, ch, *direct.witness).ok);
+  }
+
+  // Round-trip: the text format carries the annotations, so the re-parsed
+  // observations resolve to the same assignment and the same verdict.
+  report::Observations obs{f.txns, f.version_order, std::nullopt};
+  const report::Observations back = report::parse_observations(report::to_text(obs));
+  const model::CompiledHistory bch(back.txns);
+  ASSERT_EQ(bch.annotated_level_count(), ch.annotated_level_count());
+  const ct::LevelAssignment bassign =
+      ct::LevelAssignment::from_annotations(bch, fallback);
+  EXPECT_EQ(bassign.present_mask(), assignment.present_mask());
+  CheckOptions bopts;
+  bopts.threads = 1;
+  if (seed % 2 == 0) bopts.version_order = &back.version_order;
+  EXPECT_EQ(checker::check_exhaustive(bassign, bch, bopts).outcome, oracle.outcome)
+      << assignment.describe();
 }
 
 TEST_P(Fuzz, DeterministicVerdicts) {

@@ -26,7 +26,7 @@ TEST(Integration, StoreDumpAuditRoundTrip) {
                 .concurrency = 6, .retries = 3});
 
   // 2. Dump observations to text, as a real system would.
-  const report::Observations dumped{run.observations, run.version_order};
+  const report::Observations dumped{run.observations, run.version_order, std::nullopt};
   const std::string text = report::to_text(dumped);
   ASSERT_FALSE(text.empty());
 
@@ -58,7 +58,7 @@ TEST(Integration, GeoStoreDumpNamesThePsiContract) {
     if (g.is_active(t)) g.commit(t);
   }
 
-  const report::Observations dumped{g.observations(), g.version_order()};
+  const report::Observations dumped{g.observations(), g.version_order(), std::nullopt};
   const report::Observations parsed = report::parse_observations(report::to_text(dumped));
   const report::AuditResult audit = report::audit(parsed);
   EXPECT_NE(audit.text.find("PASS  PSI"), std::string::npos) << audit.text;
@@ -86,7 +86,7 @@ TEST(Integration, PhenomenaAndCheckerAgreeAfterSerialization) {
   const store::RunResult run = store::run(
       intents, {.mode = store::CCMode::kReadCommitted, .seed = 6, .concurrency = 6});
   const report::Observations parsed = report::parse_observations(
-      report::to_text({run.observations, run.version_order}));
+      report::to_text({run.observations, run.version_order, std::nullopt}));
 
   const adya::History h = adya::from_observations(parsed.txns, parsed.version_order);
   const adya::Phenomena p = adya::detect(h);

@@ -5,10 +5,24 @@
 // Reads observations (see src/report/serialize.hpp for the format) from FILE
 // or stdin and prints an isolation audit. Exit status: 0 when the requested
 // level (or, by default, the weakest level ReadUncommitted) is satisfied,
-// 1 on violation, 2 on usage/parse errors.
+// 1 on violation, 2 on usage/parse errors — including malformed or unknown
+// isolation-level names, whether in --level/--levels or in the input's
+// `level=` annotations (the error names every valid spelling).
+//
+// When the input carries `level=` annotations (or a `default-level`
+// directive), or --levels is given, the single-verdict mode audits the
+// history as a MIXED assignment: each transaction at its own level,
+// unannotated ones at --level (else the file's default-level, else
+// ReadUncommitted).
 //
 // Options:
-//   --level=NAME     verdict/exit status for one level (e.g. Serializable)
+//   --level=NAME     verdict/exit status for one level (e.g. Serializable;
+//                    canonical names or the RU/RC/RA/SI/SER/SSER aliases).
+//                    In mixed mode this is the default for unannotated txns.
+//   --levels=ID=LEVEL[,ID=LEVEL...]
+//                    per-transaction overrides by transaction id (as in the
+//                    file format's `txn ID`, optionally T-prefixed), applied
+//                    over the input's own level= annotations
 //   --engine=NAME    force one engine (direct|graph|exhaustive) instead of the
 //                    auto dispatch; the verdict is that engine's answer as-is,
 //                    which may be UNDECIDED for levels it cannot decide
@@ -36,6 +50,8 @@
 #include <iostream>
 #include <optional>
 #include <string>
+#include <unordered_map>
+#include <vector>
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -46,16 +62,10 @@ using namespace crooks;
 
 namespace {
 
-std::optional<ct::IsolationLevel> level_by_name(const std::string& name) {
-  for (ct::IsolationLevel l : ct::kAllLevels) {
-    if (name == ct::name_of(l)) return l;
-  }
-  return std::nullopt;
-}
-
 int usage() {
   std::fprintf(stderr,
-               "usage: crooks-check [--level=NAME] [--engine=NAME] [--threads=N]\n"
+               "usage: crooks-check [--level=NAME] [--levels=ID=LEVEL,...]\n"
+               "                    [--engine=NAME] [--threads=N]\n"
                "                    [--quiet] [--metrics[=FILE]] [--metrics-json=FILE]\n"
                "                    [--trace=FILE] [FILE]\n"
                "       crooks-check --follow [--level=NAME] [--quiet]\n"
@@ -74,6 +84,47 @@ std::optional<checker::EngineSelect> engine_by_name(const std::string& name) {
   if (name == "graph") return checker::EngineSelect::kGraph;
   if (name == "exhaustive") return checker::EngineSelect::kExhaustive;
   return std::nullopt;
+}
+
+/// Parse "ID=LEVEL[,ID=LEVEL...]" (ids as in the file format's `txn ID`,
+/// optionally T-prefixed). Returns false after printing a specific error —
+/// unknown level names list every valid spelling.
+bool parse_levels_flag(const std::string& spec,
+                       std::unordered_map<TxnId, ct::IsolationLevel>& out) {
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    const std::size_t comma = spec.find(',', pos);
+    const std::string item =
+        spec.substr(pos, comma == std::string::npos ? std::string::npos : comma - pos);
+    const std::size_t eq = item.find('=');
+    if (eq == std::string::npos || eq == 0 || eq + 1 == item.size()) {
+      std::fprintf(stderr, "malformed --levels entry '%s' (expected ID=LEVEL)\n",
+                   item.c_str());
+      return false;
+    }
+    std::string id_str = item.substr(0, eq);
+    if (id_str[0] == 'T' || id_str[0] == 't') id_str.erase(0, 1);
+    if (id_str.empty() ||
+        id_str.find_first_not_of("0123456789") != std::string::npos ||
+        id_str == "0") {
+      std::fprintf(stderr,
+                   "bad transaction id '%s' in --levels (positive integer, "
+                   "optionally T-prefixed)\n",
+                   item.substr(0, eq).c_str());
+      return false;
+    }
+    const std::string level_str = item.substr(eq + 1);
+    const auto lvl = ct::level_from_name(level_str);
+    if (!lvl.has_value()) {
+      std::fprintf(stderr, "unknown level '%s' in --levels; valid levels: %s\n",
+                   level_str.c_str(), std::string(ct::kValidLevelNames).c_str());
+      return false;
+    }
+    out[TxnId{std::stoull(id_str)}] = *lvl;
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return true;
 }
 
 bool parse_count(const std::string& value, std::size_t& out) {
@@ -149,6 +200,7 @@ int run_follow(const std::string& file, ct::IsolationLevel verdict_level,
 
 int main(int argc, char** argv) {
   std::optional<ct::IsolationLevel> requested;
+  std::unordered_map<TxnId, ct::IsolationLevel> level_overrides;
   checker::EngineSelect engine = checker::EngineSelect::kAuto;
   bool quiet = false;
   bool follow = false;
@@ -164,11 +216,15 @@ int main(int argc, char** argv) {
     const std::string arg = argv[i];
     std::size_t count = 0;
     if (arg.rfind("--level=", 0) == 0) {
-      requested = level_by_name(arg.substr(8));
+      requested = ct::level_from_name(arg.substr(8));
       if (!requested.has_value()) {
-        std::fprintf(stderr, "unknown level '%s'\n", arg.substr(8).c_str());
+        std::fprintf(stderr, "unknown level '%s'; valid levels: %s\n",
+                     arg.substr(8).c_str(),
+                     std::string(ct::kValidLevelNames).c_str());
         return usage();
       }
+    } else if (arg.rfind("--levels=", 0) == 0) {
+      if (!parse_levels_flag(arg.substr(9), level_overrides)) return usage();
     } else if (arg.rfind("--engine=", 0) == 0) {
       const auto sel = engine_by_name(arg.substr(9));
       if (!sel.has_value()) {
@@ -286,9 +342,43 @@ int main(int argc, char** argv) {
   opts.engine = engine;
   if (obs.has_version_order()) opts.version_order = &obs.version_order;
 
-  if (requested.has_value()) {
-    const checker::CheckResult r = checker::check(*requested, obs.txns, opts);
-    std::printf("%s: %s\n", std::string(ct::name_of(*requested)).c_str(),
+  // --levels overrides or in-file level information switch the single-verdict
+  // mode to a mixed per-transaction assignment; a plain --level on an
+  // unannotated file is the exact global-level check as before.
+  const bool mixed = !level_overrides.empty() || obs.has_level_annotations();
+  if (requested.has_value() || mixed) {
+    const ct::IsolationLevel fallback =
+        requested.has_value()
+            ? *requested
+            : obs.default_level.value_or(ct::IsolationLevel::kReadUncommitted);
+    checker::CheckResult r;
+    std::string label{ct::name_of(fallback)};
+    if (mixed) {
+      // Dense compile order == declaration order, so the column is built
+      // straight off the transaction set.
+      std::vector<ct::IsolationLevel> column;
+      column.reserve(obs.txns.size());
+      std::unordered_map<TxnId, std::size_t> dense;
+      for (const model::Transaction& t : obs.txns) {
+        dense.emplace(t.id(), column.size());
+        column.push_back(t.level().value_or(fallback));
+      }
+      for (const auto& [id, lvl] : level_overrides) {
+        const auto it = dense.find(id);
+        if (it == dense.end()) {
+          std::fprintf(stderr, "--levels names unknown transaction %s\n",
+                       crooks::to_string(id).c_str());
+          return finish(2);
+        }
+        column[it->second] = lvl;
+      }
+      ct::LevelAssignment assignment(fallback, std::move(column));
+      label = assignment.describe();
+      r = checker::check(assignment, obs.txns, opts);
+    } else {
+      r = checker::check(fallback, obs.txns, opts);
+    }
+    std::printf("%s: %s\n", label.c_str(),
                 r.satisfiable()     ? "SATISFIABLE"
                 : r.unsatisfiable() ? "UNSATISFIABLE"
                                     : "UNDECIDED");
