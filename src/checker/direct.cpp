@@ -618,6 +618,7 @@ CheckResult check_direct(ct::IsolationLevel level, const model::CompiledHistory&
     return {Outcome::kSatisfiable, model::Execution::identity(ch.txns()),
             "empty transaction set", 0};
   }
+  if (auto refused = engine_obs::refuse_retired(ch)) return *std::move(refused);
   static obs::Histogram& latency = engine_obs::check_latency("direct");
   obs::TraceSpan span("engine.direct");
   obs::ScopedTimer timer(latency);
@@ -669,6 +670,7 @@ CheckResult check_direct(const ct::LevelAssignment& levels,
     return {Outcome::kSatisfiable, model::Execution::identity(ch.txns()),
             "empty transaction set", 0};
   }
+  if (auto refused = engine_obs::refuse_retired(ch)) return *std::move(refused);
   static obs::Histogram& latency = engine_obs::check_latency("direct");
   obs::TraceSpan span("engine.direct");
   obs::ScopedTimer timer(latency);

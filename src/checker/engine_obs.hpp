@@ -4,12 +4,31 @@
 // compare engines on one pair of series.
 #pragma once
 
+#include <optional>
 #include <string>
 
 #include "checker/checker.hpp"
+#include "model/compiled.hpp"
 #include "obs/metrics.hpp"
 
 namespace crooks::checker::engine_obs {
+
+/// Engines answer ∃e over the FULL history; a history whose prefix was
+/// folded by CompiledHistory::retire no longer has one (the prefix's ops are
+/// reclaimed). Every offline entry point taking a CompiledHistory refuses
+/// such a history with an honest kUnknown instead of reading reclaimed
+/// arrays — the windowed OnlineChecker is the component that audits past a
+/// retirement watermark.
+inline std::optional<CheckResult> refuse_retired(const model::CompiledHistory& ch) {
+  if (ch.retired() == 0) return std::nullopt;
+  return CheckResult{
+      Outcome::kUnknown, std::nullopt,
+      "history has a retired (memory-folded) prefix of " +
+          std::to_string(ch.retired()) +
+          " transactions; offline engines need the full history — use the "
+          "windowed online checker for streaming verdicts",
+      0};
+}
 
 inline const char* outcome_word(Outcome o) {
   switch (o) {

@@ -730,6 +730,7 @@ CheckResult check_exhaustive(ct::IsolationLevel level, const model::CompiledHist
     return {Outcome::kSatisfiable, model::Execution::identity(ch.txns()),
             "empty transaction set", 0};
   }
+  if (auto refused = engine_obs::refuse_retired(ch)) return *std::move(refused);
   static obs::Histogram& latency = engine_obs::check_latency("exhaustive");
   obs::TraceSpan span("engine.exhaustive");
   obs::ScopedTimer timer(latency);
@@ -773,6 +774,7 @@ CheckResult check_exhaustive(const ct::LevelAssignment& levels,
     return {Outcome::kSatisfiable, model::Execution::identity(ch.txns()),
             "empty transaction set", 0};
   }
+  if (auto refused = engine_obs::refuse_retired(ch)) return *std::move(refused);
   static obs::Histogram& latency = engine_obs::check_latency("exhaustive");
   obs::TraceSpan span("engine.exhaustive");
   obs::ScopedTimer timer(latency);

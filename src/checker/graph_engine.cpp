@@ -401,6 +401,7 @@ CheckResult check_graph(IsolationLevel level, const CompiledHistory& ch,
   if (ch.size() == 0) {
     return {Outcome::kSatisfiable, model::Execution::identity(ch.txns()), "empty set", 0};
   }
+  if (auto refused = engine_obs::refuse_retired(ch)) return *std::move(refused);
   static obs::Histogram& graph_latency = engine_obs::check_latency("graph");
   static obs::Counter& edges_total = obs::Registry::global().counter(
       "crooks_graph_edges_visited_total",
@@ -440,6 +441,7 @@ CheckResult check_graph(const ct::LevelAssignment& levels, const CompiledHistory
   if (ch.size() == 0) {
     return {Outcome::kSatisfiable, model::Execution::identity(ch.txns()), "empty set", 0};
   }
+  if (auto refused = engine_obs::refuse_retired(ch)) return *std::move(refused);
   static obs::Histogram& graph_latency = engine_obs::check_latency("graph");
   obs::TraceSpan span("engine.graph");
   obs::ScopedTimer timer(graph_latency);
@@ -569,6 +571,7 @@ CheckResult check_dispatch(const ct::LevelAssignment& levels,
 
 CheckResult check(IsolationLevel level, const CompiledHistory& ch,
                   const CheckOptions& opts) {
+  if (auto refused = engine_obs::refuse_retired(ch)) return *std::move(refused);
   obs::TraceSpan span("check.dispatch");
   CheckResult result = check_dispatch(level, ch, opts);
   span.field("level", ct::name_of(level))
@@ -589,6 +592,7 @@ CheckResult check(const ct::LevelAssignment& levels, const CompiledHistory& ch,
   // A uniform assignment IS the global-level question; delegating keeps the
   // two APIs verdict-, witness- and diagnosis-identical by construction.
   if (levels.is_uniform()) return check(levels.fallback(), ch, opts);
+  if (auto refused = engine_obs::refuse_retired(ch)) return *std::move(refused);
   obs::TraceSpan span("check.dispatch");
   CheckResult result = check_dispatch(levels, ch, opts);
   span.field("level", levels.describe())

@@ -44,6 +44,73 @@ obs::Counter& online_fallback_total() {
       "(every append compiles) — CI gates on this series");
   return c;
 }
+obs::Counter& online_retired_txns_total() {
+  static obs::Counter& c = obs::Registry::global().counter(
+      "crooks_online_retired_txns_total",
+      "Transactions folded past the window watermark by the online checker");
+  return c;
+}
+obs::Counter& online_retired_ops_total() {
+  static obs::Counter& c = obs::Registry::global().counter(
+      "crooks_online_retired_ops_total",
+      "Compiled operation rows reclaimed by window retirement");
+  return c;
+}
+obs::Counter& online_folds_total() {
+  static obs::Counter& c = obs::Registry::global().counter(
+      "crooks_online_window_folds_total",
+      "Window retirement epochs executed by the online checker");
+  return c;
+}
+obs::Counter& online_past_reads_total() {
+  static obs::Counter& c = obs::Registry::global().counter(
+      "crooks_online_past_window_reads_total",
+      "Reads of versions older than the retained window summary (the "
+      "windowed verdict is one-sided for these)");
+  return c;
+}
+obs::Counter& online_past_checks_total() {
+  static obs::Counter& c = obs::Registry::global().counter(
+      "crooks_online_past_window_checks_total",
+      "Lossy non-read evaluations under the window: a Session-SI lower bound "
+      "that may hide behind the retired-session marker, or a PSI PREC absorb "
+      "of a retired writer whose closure summary was dropped (one-sided)");
+  return c;
+}
+obs::Gauge& online_watermark_gauge() {
+  static obs::Gauge& g = obs::Registry::global().gauge(
+      "crooks_online_watermark",
+      "First dense index not yet retired by the online checker's window");
+  return g;
+}
+obs::Gauge& online_resident_txns_gauge() {
+  static obs::Gauge& g = obs::Registry::global().gauge(
+      "crooks_online_resident_txns",
+      "Transactions currently resident in the online checker");
+  return g;
+}
+obs::Gauge& online_resident_ops_gauge() {
+  static obs::Gauge& g = obs::Registry::global().gauge(
+      "crooks_online_resident_ops",
+      "Compiled operation rows currently resident in the online checker");
+  return g;
+}
+obs::Histogram& online_fold_txns_hist() {
+  static obs::Histogram& h = obs::Registry::global().histogram(
+      "crooks_online_fold_txns",
+      "Transactions retired per window fold", obs::size_buckets());
+  return h;
+}
+
+/// Sorted-vector intersection: keep only elements of v present in `keep`.
+void intersect_sorted(std::vector<std::size_t>& v,
+                      const std::vector<std::size_t>& keep) {
+  std::size_t out = 0;
+  for (std::size_t x : v) {
+    if (std::binary_search(keep.begin(), keep.end(), x)) v[out++] = x;
+  }
+  v.resize(out);
+}
 
 }  // namespace
 
@@ -190,6 +257,7 @@ void OnlineChecker::ingest(const model::CompiledDelta& delta) {
       .field("count", static_cast<std::uint64_t>(delta.count))
       .field("stream_size", static_cast<std::uint64_t>(stream_.size()));
   timelines_.resize(stream_.key_count());
+  max_dropped_pos_.resize(stream_.key_count(), 0);
 
   if (weak_only_) {
     // Every tracked level decides on read-state starts alone — skip the
@@ -197,6 +265,7 @@ void OnlineChecker::ingest(const model::CompiledDelta& delta) {
     for (TxnIdx d = delta.first; d < delta.first + delta.count; ++d) {
       ingest_weak_txn(d);
     }
+    maybe_retire();
     return;
   }
 
@@ -241,7 +310,17 @@ void OnlineChecker::ingest(const model::CompiledDelta& delta) {
         }
         version_pos = static_cast<StateIndex>(cops.writer(i)) + 1;
       }
-      const auto* tl = timeline_of(cops.key(i));
+      const model::KeyIdx k = cops.key(i);
+      // Folds drop a key's inner retired versions. A read at or above the
+      // largest dropped position reconstructs its interval exactly from the
+      // kept entries; below it the true next-write may be gone, the interval
+      // comes out too permissive, and every downstream clause errs on the
+      // lenient side — count the one-sided evaluation.
+      if (version_pos < max_dropped_pos_[k]) {
+        ++stats_.past_window_reads;
+        if (obs::enabled()) online_past_reads_total().inc();
+      }
+      const auto* tl = timeline_of(k);
       StateIndex next_write = parent + 2;
       if (tl != nullptr) {
         auto it = std::upper_bound(
@@ -254,6 +333,7 @@ void OnlineChecker::ingest(const model::CompiledDelta& delta) {
 
     commit_placed(d, std::move(p));
   }
+  maybe_retire();
 }
 
 void OnlineChecker::ingest_weak_txn(TxnIdx d) {
@@ -334,11 +414,7 @@ void OnlineChecker::ingest_weak_txn(TxnIdx d) {
   // pos ≤ rs.last are exactly those at pos ≤ rs.first (upper_bound picks the
   // first entry past the version) and no installed entry exceeds parent.
   if (tracking(IsolationLevel::kPSI) && preread) {
-    p.prec.grow(txns_.size() + 1);
-    auto absorb = [&](std::size_t slot) {
-      p.prec.set(slot);
-      p.prec.or_with(txns_[slot].prec);
-    };
+    p.prec.recent.grow(static_cast<std::size_t>(d) - prec_origin_ + 1);
     for (std::size_t i = 0; i < cops.size(); ++i) {
       const std::uint8_t m = cops.flags(i);
       if ((m & model::kOpWrite) != 0 || cops.internal(i) ||
@@ -346,23 +422,30 @@ void OnlineChecker::ingest_weak_txn(TxnIdx d) {
         continue;
       }
       const TxnIdx w = cops.writer(i);
-      if (w != model::kNoTxnIdx && w < d) absorb(w);
+      if (w != model::kNoTxnIdx && w < d) prec_absorb(p, w);
     }
     for (model::KeyIdx k : stream_.write_keys(d)) {
       if (const auto* tl = timeline_of(k)) {
-        for (const auto& [pos, slot] : *tl) absorb(slot);
+        for (const auto& [pos, slot] : *tl) prec_absorb(p, slot);
       }
     }
     for (std::size_t i = 0; i < cops.size(); ++i) {
       if (cops.is_write(i) || cops.internal(i)) continue;
-      if (const auto* tl = timeline_of(cops.key(i))) {
+      const model::KeyIdx k = cops.key(i);
+      // Dropped versions above this read's start may hide a missed write:
+      // one-sided, counted (same rule as the general path's intervals).
+      if (weak_firsts_[i] < max_dropped_pos_[k]) {
+        ++stats_.past_window_reads;
+        if (obs::enabled()) online_past_reads_total().inc();
+      }
+      if (const auto* tl = timeline_of(k)) {
         for (const auto& [pos, slot] : *tl) {
-          if (pos > weak_firsts_[i] && p.prec.test(slot)) {
+          if (pos > weak_firsts_[i] && prec_test(p, slot)) {
             violate(IsolationLevel::kPSI, id,
                     "CAUS-VIS fails: misses " +
                         crooks::to_string(stream_.id_of(static_cast<TxnIdx>(slot))) +
                         "'s write to " +
-                        crooks::to_string(stream_.keys().key_of(cops.key(i))));
+                        crooks::to_string(stream_.keys().key_of(k)));
           }
         }
       }
@@ -375,8 +458,9 @@ void OnlineChecker::ingest_weak_txn(TxnIdx d) {
     timelines_[k].emplace_back(p.state, static_cast<std::size_t>(d));
   }
   const SessionId s = stream_.session(d);
-  if (s != kNoSession) session_states_[s].push_back(p.state);
+  if (s != kNoSession) session_states_[s].states.push_back(p.state);
   max_start_applied_ = std::max(max_start_applied_, stream_.start_ts(d));
+  placed_bytes_ += placed_bytes(p);
   txns_.push_back(std::move(p));
 }
 
@@ -393,8 +477,9 @@ void OnlineChecker::commit_placed(TxnIdx d, Placed p) {
     timelines_[k].emplace_back(p.state, static_cast<std::size_t>(d));
   }
   const SessionId s = stream_.session(d);
-  if (s != kNoSession) session_states_[s].push_back(p.state);
+  if (s != kNoSession) session_states_[s].states.push_back(p.state);
   max_start_applied_ = std::max(max_start_applied_, stream_.start_ts(d));
+  placed_bytes_ += placed_bytes(p);
   txns_.push_back(std::move(p));
 }
 
@@ -448,11 +533,7 @@ void OnlineChecker::evaluate_new(TxnIdx d, Placed& p) {
   // a PSI-level transaction arriving in a later block absorbs its
   // predecessors' closures, whatever levels those ran at.
   if ((tracking(IsolationLevel::kPSI) || assigned_mode_) && preread) {
-    p.prec.grow(txns_.size() + 1);
-    auto absorb = [&](std::size_t slot) {
-      p.prec.set(slot);
-      p.prec.or_with(txns_[slot].prec);
-    };
+    p.prec.recent.grow(static_cast<std::size_t>(d) - prec_origin_ + 1);
     for (std::size_t i = 0; i < cops.size(); ++i) {
       const std::uint8_t m = cops.flags(i);
       if ((m & model::kOpWrite) != 0 || p.ops[i].internal ||
@@ -460,11 +541,11 @@ void OnlineChecker::evaluate_new(TxnIdx d, Placed& p) {
         continue;
       }
       const TxnIdx w = cops.writer(i);
-      if (w != model::kNoTxnIdx && w < d) absorb(w);
+      if (w != model::kNoTxnIdx && w < d) prec_absorb(p, w);
     }
     for (model::KeyIdx k : stream_.write_keys(d)) {
       if (const auto* tl = timeline_of(k)) {
-        for (const auto& [pos, slot] : *tl) absorb(slot);
+        for (const auto& [pos, slot] : *tl) prec_absorb(p, slot);
       }
     }
     // The visibility check itself applies only when THIS transaction runs
@@ -474,7 +555,7 @@ void OnlineChecker::evaluate_new(TxnIdx d, Placed& p) {
         if (cops.is_write(i) || p.ops[i].internal) continue;
         if (const auto* tl = timeline_of(cops.key(i))) {
           for (const auto& [pos, slot] : *tl) {
-            if (pos > p.ops[i].rs.last && p.prec.test(slot)) {
+            if (pos > p.ops[i].rs.last && prec_test(p, slot)) {
               violate(IsolationLevel::kPSI, id,
                       "CAUS-VIS fails: misses " +
                           crooks::to_string(stream_.id_of(static_cast<TxnIdx>(slot))) +
@@ -584,17 +665,31 @@ void OnlineChecker::evaluate_new(TxnIdx d, Placed& p) {
                stream_.session(d) != kNoSession) {
       if (auto sit = session_states_.find(stream_.session(d));
           sit != session_states_.end()) {
+        const SessionRec& rec = sit->second;
         if (assigned_mode_) {
           // Largest same-session state whose generator time-precedes d —
-          // the sorted-prefix shortcut below is not available here.
-          for (StateIndex s : sit->second) {
+          // the sorted-prefix shortcut below is not available here. The
+          // retired marker's generator timestamps are retained columns, so
+          // it participates exactly.
+          for (StateIndex s : rec.states) {
             if (s > 0 && generator_precedes(s)) lower = std::max(lower, s);
+          }
+          if (rec.marker > 0 && generator_precedes(rec.marker)) {
+            lower = std::max(lower, rec.marker);
           }
         } else {
           // Largest applied same-session state within the real-time prefix.
           const StateIndex pos = applied_before_start();
-          auto it = std::upper_bound(sit->second.begin(), sit->second.end(), pos);
-          if (it != sit->second.begin()) lower = *(it - 1);
+          auto it = std::upper_bound(rec.states.begin(), rec.states.end(), pos);
+          if (it != rec.states.begin()) lower = *(it - 1);
+          if (rec.marker <= pos) lower = std::max(lower, rec.marker);
+        }
+        // Session states dropped past the marker can only have RAISED the
+        // bound; once any kept candidate reaches the marker they are all
+        // dominated. Below it, this check is one-sided — count it.
+        if (rec.dropped_any && lower < rec.marker) {
+          ++stats_.past_window_checks;
+          if (obs::enabled()) online_past_checks_total().inc();
         }
       }
     }
@@ -617,6 +712,171 @@ void OnlineChecker::evaluate_new(TxnIdx d, Placed& p) {
       violate(level, id, "no admissible snapshot state in the apply order");
     }
   }
+}
+
+void OnlineChecker::prec_absorb(Placed& p, std::size_t slot) {
+  prec_add(p, slot);
+  if (slot >= placed_base_) {
+    const Placed& w = placed_of(slot);
+    // Same origin on both sides, so the word-wise OR is a straight union;
+    // w's bitset never exceeds p's (w placed earlier, p grown to cover d).
+    p.prec.recent.or_with(w.prec.recent);
+    for (std::size_t s : w.prec.old) prec_add(p, s);
+    return;
+  }
+  // Retired base slot: its closure, restricted to still-testable slots,
+  // was summarized into base_prec_ at fold time. A key's base writer
+  // absorbed every older writer of that key when it was placed, so this
+  // covers the dropped writers transitively — the write-side absorb over a
+  // folded timeline loses nothing.
+  if (auto it = base_prec_.find(slot); it != base_prec_.end()) {
+    for (std::size_t s : it->second) prec_add(p, s);
+    return;
+  }
+  // Retired and no longer any key's base writer: its closure summary is
+  // gone (only a read of a doubly-superseded version gets here). The PREC
+  // set comes out a subset of the truth — one-sided, counted.
+  ++stats_.past_window_checks;
+  if (obs::enabled()) online_past_checks_total().inc();
+}
+
+void OnlineChecker::maybe_retire() {
+  if (!window_.enabled() || txns_.empty()) return;
+  std::size_t target = static_cast<std::size_t>(-1);
+  if (window_.max_resident_txns != 0) target = window_.max_resident_txns;
+  if (window_.max_resident_bytes != 0) {
+    const std::size_t est = resident_bytes();
+    if (est > window_.max_resident_bytes) {
+      const std::size_t per = std::max<std::size_t>(est / txns_.size(), 1);
+      target = std::min(
+          target, std::max<std::size_t>(window_.max_resident_bytes / per, 16));
+    }
+  }
+  if (txns_.size() <= target) return;
+  std::size_t wm = stream_.size() - target;
+  // Never retire a session's most recently applied transaction: a stalled
+  // session pins the window (memory grows until it commits again) instead
+  // of degrading its own recency verdicts.
+  for (const auto& [sid, rec] : session_states_) {
+    if (!rec.states.empty()) {
+      wm = std::min(wm, static_cast<std::size_t>(rec.states.back()) - 1);
+    }
+  }
+  // Hysteresis: a fold costs O(resident), so advance in quarter-window
+  // steps — resident memory peaks at ~1.25× the target between folds.
+  const std::size_t min_advance = std::max<std::size_t>(target / 4, 1);
+  if (wm < placed_base_ + min_advance) return;
+  fold_to(static_cast<TxnIdx>(wm));
+}
+
+void OnlineChecker::fold_to(TxnIdx upto) {
+  obs::TraceSpan span("online.fold");
+  const std::size_t M = static_cast<std::size_t>(upto);
+  const std::size_t erase_n = M - placed_base_;
+
+  // 1. Timelines: drop entries before the watermark, keeping each key's
+  // newest retired writer as its base entry (NO-CONF's back() and the
+  // CAUS-VIS walk stay exact for it); remember the largest dropped position
+  // — reads of versions below it are the window's only read-side loss.
+  std::vector<std::size_t> base_slots;
+  for (std::size_t k = 0; k < timelines_.size(); ++k) {
+    auto& tl = timelines_[k];
+    if (tl.empty()) continue;
+    // Entries are appended in apply order, so slots ascend.
+    const auto cut = std::partition_point(
+        tl.begin(), tl.end(), [&](const auto& en) { return en.second < M; });
+    const std::size_t split = static_cast<std::size_t>(cut - tl.begin());
+    if (split == 0) continue;
+    if (split >= 2) {
+      max_dropped_pos_[k] = std::max(max_dropped_pos_[k], tl[split - 2].first);
+      tl.erase(tl.begin(), tl.begin() + static_cast<std::ptrdiff_t>(split - 1));
+    }
+    base_slots.push_back(tl.front().second);
+  }
+  std::sort(base_slots.begin(), base_slots.end());
+  base_slots.erase(std::unique(base_slots.begin(), base_slots.end()),
+                   base_slots.end());
+
+  // 2. Retired closures: for every slot surviving as a base slot, keep
+  // closure ∩ base slots — the only memberships a future test can ask for.
+  // Newly retired slots harvest from their (still resident) PREC sets;
+  // carried-over base slots prune their existing summaries.
+  std::unordered_map<std::size_t, std::vector<std::size_t>> new_bp;
+  new_bp.reserve(base_slots.size());
+  for (std::size_t b : base_slots) {
+    std::vector<std::size_t> closure;
+    if (b >= placed_base_) {
+      const Placed& pb = placed_of(b);
+      for (std::size_t s : base_slots) {
+        if (s != b && prec_test(pb, s)) closure.push_back(s);
+      }
+    } else if (auto it = base_prec_.find(b); it != base_prec_.end()) {
+      closure = std::move(it->second);
+      intersect_sorted(closure, base_slots);
+    }
+    new_bp.emplace(b, std::move(closure));
+  }
+  base_prec_ = std::move(new_bp);
+
+  // 3. Sessions: state s was generated by dense slot s-1, so states ≤ M are
+  // retired. Keep the largest as the recency marker; mark the record lossy
+  // once anything beyond the marker is dropped.
+  for (auto& [sid, rec] : session_states_) {
+    auto& st = rec.states;
+    const auto cut =
+        std::upper_bound(st.begin(), st.end(), static_cast<StateIndex>(M));
+    const std::size_t nret = static_cast<std::size_t>(cut - st.begin());
+    if (nret == 0) continue;
+    if (rec.marker > 0 || nret > 1) rec.dropped_any = true;
+    rec.marker = st[nret - 1];
+    st.erase(st.begin(), cut);
+  }
+
+  // 4. Surviving PREC sets: shift the origin by whole words, harvesting
+  // dropped closure members that are still base slots into `old` and
+  // discarding the rest (they can never be tested again).
+  const std::size_t new_origin = (M / 64) * 64;
+  const std::size_t dwords = (new_origin - prec_origin_) / 64;
+  for (std::size_t i = erase_n; i < txns_.size(); ++i) {
+    Placed& p = txns_[i];
+    intersect_sorted(p.prec.old, base_slots);
+    if (dwords != 0) {
+      p.prec.recent.drop_words(dwords, [&](std::size_t idx) {
+        const std::size_t slot = prec_origin_ + idx;
+        if (std::binary_search(base_slots.begin(), base_slots.end(), slot)) {
+          auto it = std::lower_bound(p.prec.old.begin(), p.prec.old.end(), slot);
+          if (it == p.prec.old.end() || *it != slot) p.prec.old.insert(it, slot);
+        }
+      });
+    }
+  }
+
+  // 5. Reclaim the placed prefix and re-measure the resident estimate.
+  txns_.erase(txns_.begin(), txns_.begin() + static_cast<std::ptrdiff_t>(erase_n));
+  if (txns_.capacity() > 2 * txns_.size() + 1024) txns_.shrink_to_fit();
+  placed_base_ = M;
+  prec_origin_ = new_origin;
+  placed_bytes_ = 0;
+  for (const Placed& p : txns_) placed_bytes_ += placed_bytes(p);
+
+  // 6. Fold the compiled stream itself (op rows, masks, payloads, pending).
+  const model::CompiledHistory::RetireStats rs = stream_.retire(upto);
+  ++stats_.window_folds;
+  stats_.retired_txns += rs.txns;
+  stats_.retired_ops += rs.ops;
+  if (obs::enabled()) {
+    online_folds_total().inc();
+    online_retired_txns_total().inc(rs.txns);
+    online_retired_ops_total().inc(rs.ops);
+    online_fold_txns_hist().observe(static_cast<double>(rs.txns));
+    online_watermark_gauge().set(static_cast<std::int64_t>(M));
+    online_resident_txns_gauge().set(static_cast<std::int64_t>(txns_.size()));
+    online_resident_ops_gauge().set(
+        static_cast<std::int64_t>(stream_.resident_ops()));
+  }
+  span.field("watermark", static_cast<std::uint64_t>(M))
+      .field("retired", static_cast<std::uint64_t>(rs.txns))
+      .field("resident", static_cast<std::uint64_t>(txns_.size()));
 }
 
 void OnlineChecker::check_retroactive_inversions(TxnIdx d) {
@@ -645,8 +905,10 @@ void OnlineChecker::check_retroactive_inversions(TxnIdx d) {
                           bit(IsolationLevel::kSessionSI))) == 0) {
       return;
     }
-    for (std::size_t slot = 0; slot < txns_.size(); ++slot) {
-      const TxnIdx q = static_cast<TxnIdx>(slot);
+    // Scan the WHOLE applied stream, retired prefix included: timestamps,
+    // sessions, ids and level tags are retained columns, so retroactive
+    // inversions stay exact past the watermark.
+    for (TxnIdx q = 0; q < d; ++q) {
       const IsolationLevel lq = assigned_level_of(q);
       if (lq != IsolationLevel::kStrictSerializable &&
           lq != IsolationLevel::kStrongSI && lq != IsolationLevel::kSessionSI) {
@@ -681,8 +943,8 @@ void OnlineChecker::check_retroactive_inversions(TxnIdx d) {
     return;
   }
 
-  for (std::size_t slot = 0; slot < txns_.size(); ++slot) {
-    const TxnIdx q = static_cast<TxnIdx>(slot);
+  // As above: the scan runs over retained columns, exact past the watermark.
+  for (TxnIdx q = 0; q < d; ++q) {
     if (!stream_.time_precedes(d, q)) continue;
     const TxnId q_id = stream_.id_of(q);
     if (tracking(IsolationLevel::kStrictSerializable)) {

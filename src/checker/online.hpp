@@ -29,6 +29,8 @@
 // with checker::check.
 #pragma once
 
+#include <algorithm>
+#include <cstddef>
 #include <cstdint>
 #include <map>
 #include <optional>
@@ -79,6 +81,54 @@ class OnlineChecker {
   /// True for a checker built by track_assigned().
   bool assigned_mode() const { return assigned_mode_; }
 
+  /// Bounded-memory windowing. When either limit is set the checker retires
+  /// its prefix in epochs: once the resident tail exceeds the limit, a
+  /// watermark W is chosen, everything before W is folded into a summarized
+  /// base (per-key latest retired version, per-session recency marker,
+  /// retired PREC closures restricted to still-testable slots, the compiled
+  /// history's retained scalar/footprint columns), and the per-transaction
+  /// state — placed ops, PREC bitsets, compiled op rows, transaction
+  /// payloads — is reclaimed. Memory then stays O(window + keys + sessions)
+  /// for an arbitrarily long stream.
+  ///
+  /// The windowed monitor is ONE-SIDED: it never reports a violation an
+  /// unwindowed checker would not, and it misses a violation only when the
+  /// witness reaches past the watermark. Every potentially lossy evaluation
+  /// is counted (stats().past_window_reads / past_window_checks); when both
+  /// counters are 0 the windowed verdicts, first-violation ids and
+  /// explanations are identical to an unwindowed run — the differential
+  /// suite asserts exactly this.
+  ///
+  /// The watermark never passes any session's most recently applied
+  /// transaction, so a stalled session pins the window (memory grows until
+  /// it commits again) rather than degrading that session's verdicts.
+  struct WindowOptions {
+    /// Retire when more than this many transactions are resident (0 = off).
+    std::size_t max_resident_txns = 0;
+    /// Retire when the resident-memory ESTIMATE (see resident_bytes())
+    /// exceeds this many bytes (0 = off). Both limits may be set; the
+    /// tighter one wins.
+    std::size_t max_resident_bytes = 0;
+    bool enabled() const { return max_resident_txns != 0 || max_resident_bytes != 0; }
+  };
+  void set_window(WindowOptions w) { window_ = w; }
+  const WindowOptions& window() const { return window_; }
+
+  /// First dense index NOT yet retired (== number of retired transactions).
+  model::TxnIdx watermark() const { return stream_.retired(); }
+  /// Transactions currently resident (total appended = size()).
+  std::size_t resident_txns() const { return txns_.size(); }
+  /// Compiled operations currently resident in the stream.
+  std::size_t resident_ops() const { return stream_.resident_ops(); }
+  /// Rough resident-footprint estimate in bytes (placed state + compiled
+  /// rows + transaction payloads). Drives the max_resident_bytes limit; the
+  /// retained per-transaction summary columns (~100 B/txn, grow with the
+  /// whole stream) are intentionally excluded — a window cannot bound them.
+  std::size_t resident_bytes() const {
+    return placed_bytes_ + txns_.size() * kTxnBytesEst +
+           stream_.resident_ops() * kOpBytesEst;
+  }
+
   /// The single mixed-assignment status (assigned mode only). Its
   /// explanation names the violated transaction's own level.
   const LevelStatus& assigned_status() const { return assigned_status_; }
@@ -102,6 +152,20 @@ class OnlineChecker {
     /// interval storage. Equals compiled_appends on a weak-only checker and
     /// 0 when any stronger level is tracked.
     std::uint64_t direct_appends = 0;
+    // --- Windowed mode (all 0 when no window is set) ---
+    std::uint64_t retired_txns = 0;  // transactions folded past the watermark
+    std::uint64_t retired_ops = 0;   // compiled op rows reclaimed
+    std::uint64_t window_folds = 0;  // retirement epochs
+    /// Reads of a version old enough that writes BETWEEN it and the window
+    /// were dropped: the read-state interval (and the CAUS-VIS timeline
+    /// walk) may be too permissive. The only read-side lossy event.
+    std::uint64_t past_window_reads = 0;
+    /// The remaining lossy evaluations: a Session-SI lower bound that may
+    /// hide behind the retained retired-session marker, or a PREC absorb of
+    /// a retired writer whose closure summary was dropped (it stopped being
+    /// any key's newest retired writer). Like past_window_reads these are
+    /// one-sided: missed violations, never fabricated ones.
+    std::uint64_t past_window_checks = 0;
   };
 
   /// Append the next committed transaction. Returns false if the id was
@@ -121,7 +185,8 @@ class OnlineChecker {
 
   const LevelStatus& status(ct::IsolationLevel level) const;
   bool all_ok() const;
-  std::size_t size() const { return txns_.size(); }
+  /// Total transactions ever appended (resident + retired).
+  std::size_t size() const { return stream_.size(); }
   const Stats& stats() const { return stats_; }
 
   /// The levels still satisfied by the execution so far.
@@ -137,10 +202,33 @@ class OnlineChecker {
     bool internal = false;
   };
 
+  /// A PREC closure that survives window folds. `recent` is a bitset over
+  /// slots ≥ prec_origin_ (bit i ⇔ slot prec_origin_ + i); `old` is a small
+  /// sorted vector of retired BASE slots below the origin — the only retired
+  /// slots that can still be tested (they appear in a timeline as a key's
+  /// latest retired writer). A fold shifts the origin by whole words
+  /// (DynamicBitset::drop_words), harvesting dropped closure members that
+  /// are still base slots into `old` and pruning the rest.
+  struct PrecSet {
+    DynamicBitset recent;
+    std::vector<std::size_t> old;
+  };
+
   struct Placed {
     StateIndex state = 0;  // 1-based; == dense index + 1
     std::vector<OpView> ops;
-    DynamicBitset prec;  // populated only when PSI is tracked
+    PrecSet prec;  // populated only when PSI is tracked (or assigned mode)
+  };
+
+  /// Per-session recency record. `states` holds RESIDENT applied states
+  /// ascending; `marker` is the largest retired state of the session (0 if
+  /// none) and `dropped_any` whether any session state was dropped beyond
+  /// the marker — together they decide when a Session-SI lower bound is
+  /// potentially lossy (counted in past_window_checks).
+  struct SessionRec {
+    std::vector<StateIndex> states;
+    StateIndex marker = 0;
+    bool dropped_any = false;
   };
 
   /// Is `level` evaluated for the transaction currently being ingested?
@@ -177,6 +265,46 @@ class OnlineChecker {
   void check_retroactive_inversions(model::TxnIdx d);
   void commit_placed(model::TxnIdx d, Placed p);
 
+  // --- Windowing ---
+  /// Placed record of dense slot s (must be resident: s ≥ watermark()).
+  Placed& placed_of(std::size_t slot) { return txns_[slot - placed_base_]; }
+  const Placed& placed_of(std::size_t slot) const {
+    return txns_[slot - placed_base_];
+  }
+  /// slot ∈ PREC closure of p? Exact for every slot ≥ prec_origin_ and for
+  /// every current base slot; no other slot is ever tested.
+  bool prec_test(const Placed& p, std::size_t slot) const {
+    if (slot >= prec_origin_) {
+      const std::size_t i = slot - prec_origin_;
+      return i < p.prec.recent.size() && p.prec.recent.test(i);
+    }
+    return std::binary_search(p.prec.old.begin(), p.prec.old.end(), slot);
+  }
+  void prec_add(Placed& p, std::size_t slot) {
+    if (slot >= prec_origin_) {
+      const std::size_t i = slot - prec_origin_;
+      p.prec.recent.grow(i + 1);
+      p.prec.recent.set(i);
+      return;
+    }
+    auto it = std::lower_bound(p.prec.old.begin(), p.prec.old.end(), slot);
+    if (it == p.prec.old.end() || *it != slot) p.prec.old.insert(it, slot);
+  }
+  /// Absorb slot and its transitive closure into p's PREC set, whether the
+  /// slot is resident (Placed bitsets) or a retired base slot (base_prec_).
+  void prec_absorb(Placed& p, std::size_t slot);
+  /// Rough per-Placed footprint, for the max_resident_bytes estimate.
+  static std::size_t placed_bytes(const Placed& p) {
+    return sizeof(Placed) + p.ops.capacity() * sizeof(OpView) +
+           (p.prec.recent.size() + 7) / 8 +
+           p.prec.old.capacity() * sizeof(std::size_t);
+  }
+  /// End-of-ingest hook: decide a watermark (resident excess, clamped so no
+  /// session's latest applied transaction retires, with hysteresis) and fold.
+  void maybe_retire();
+  /// Fold everything before dense index `upto` into the summarized base.
+  void fold_to(model::TxnIdx upto);
+
   /// Timeline of dense key `k`, or null when nothing applied wrote it yet.
   const std::vector<std::pair<StateIndex, std::size_t>>* timeline_of(
       model::KeyIdx k) const {
@@ -186,11 +314,31 @@ class OnlineChecker {
 
   std::map<ct::IsolationLevel, LevelStatus> statuses_;
   model::CompiledHistory stream_;  // owning; dense index == apply order
-  std::vector<Placed> txns_;       // per applied transaction, same order
+  // Placed records of RESIDENT transactions: txns_[i] is dense slot
+  // placed_base_ + i. Front-erased by fold_to.
+  std::vector<Placed> txns_;
   // Timelines indexed by the stream's KeyIdx: (installed state, dense writer).
+  // After a fold a timeline keeps its resident entries plus AT MOST ONE
+  // retired entry in front — the key's latest retired writer (its base slot):
+  // back() stays exact for NO-CONF and the CAUS-VIS walk still sees the
+  // newest version a resident read could have skipped.
   std::vector<std::vector<std::pair<StateIndex, std::size_t>>> timelines_;
-  // Per-session applied states (ascending), for the Session SI recency bound.
-  std::unordered_map<SessionId, std::vector<StateIndex>> session_states_;
+  // Per key: largest timeline position ever DROPPED by a fold. A read of a
+  // version below this bound may have lost its true next-write (lossy,
+  // counted); at or above it the kept entries reconstruct the interval
+  // exactly.
+  std::vector<StateIndex> max_dropped_pos_;
+  // Per-session recency records, for the Session SI lower bound.
+  std::unordered_map<SessionId, SessionRec> session_states_;
+  // --- Window state ---
+  WindowOptions window_;
+  std::size_t placed_base_ = 0;  // == stream_.retired(): dense slot of txns_[0]
+  std::size_t prec_origin_ = 0;  // word-aligned (×64), ≤ placed_base_
+  // closure(b) ∩ current base slots, sorted, for every retired base slot b.
+  std::unordered_map<std::size_t, std::vector<std::size_t>> base_prec_;
+  std::size_t placed_bytes_ = 0;  // Σ placed_bytes over resident txns_
+  static constexpr std::size_t kTxnBytesEst = 320;  // Transaction + set nodes
+  static constexpr std::size_t kOpBytesEst = 32;    // compiled rows + timeline
   // Max start_ts over applied transactions: a late transaction can invert a
   // real-time clause iff some applied transaction started after it committed.
   Timestamp max_start_applied_ = kNoTimestamp;

@@ -62,6 +62,27 @@ class DynamicBitset {
     }
   }
 
+  /// Drop the first `nwords` 64-bit words, invoking f(old_index) for every
+  /// set bit being dropped (ascending). Remaining bits shift down by
+  /// 64*nwords — the epoch fold of the online checker's PREC sets, where the
+  /// retired low slots are harvested into a summarized base representation.
+  template <typename F>
+  void drop_words(std::size_t nwords, F&& f) {
+    nwords = std::min(nwords, words_.size());
+    if (nwords == 0) return;
+    for (std::size_t w = 0; w < nwords; ++w) {
+      std::uint64_t bits = words_[w];
+      while (bits != 0) {
+        const int b = __builtin_ctzll(bits);
+        f(w * 64 + static_cast<std::size_t>(b));
+        bits &= bits - 1;
+      }
+    }
+    words_.erase(words_.begin(),
+                 words_.begin() + static_cast<std::ptrdiff_t>(nwords));
+    size_ -= std::min(size_, nwords * 64);
+  }
+
  private:
   std::size_t size_ = 0;
   std::vector<std::uint64_t> words_;

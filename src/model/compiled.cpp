@@ -1,6 +1,7 @@
 #include "model/compiled.hpp"
 
 #include <algorithm>
+#include <iterator>
 #include <stdexcept>
 #include <unordered_set>
 
@@ -26,6 +27,27 @@ obs::Histogram& extend_seconds() {
       "crooks_compile_extend_seconds",
       "Latency of one CompiledHistory::extend (compile + re-resolve)");
   return h;
+}
+obs::Counter& retired_txns_total() {
+  static obs::Counter& c = obs::Registry::global().counter(
+      "crooks_compile_retired_txns_total",
+      "Transactions folded into the base state by CompiledHistory::retire");
+  return c;
+}
+obs::Counter& retired_ops_total() {
+  static obs::Counter& c = obs::Registry::global().counter(
+      "crooks_compile_retired_ops_total",
+      "Compiled SoA ops reclaimed by CompiledHistory::retire");
+  return c;
+}
+
+/// Front-erase `cut` elements, returning real memory to the allocator when
+/// the slack has grown past the resident size (vector::erase alone keeps
+/// capacity, which would defeat the bounded-memory point of retirement).
+template <typename V>
+void drop_front(V& v, std::size_t cut) {
+  v.erase(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(cut));
+  if (v.capacity() > 2 * v.size() + 1024) v.shrink_to_fit();
 }
 
 }  // namespace
@@ -156,7 +178,11 @@ void CompiledHistory::compile_block(TxnIdx first) {
       if (positional_internal) m |= kOpPositionalInternal;
       if (known) {
         cw = static_cast<TxnIdx>(txns.dense_index_of(w));
-        if (!txns.at(cw).writes(op.key)) m |= kOpWriterMissesKey;
+        // Compiled footprint, not txns.at(cw).writes(): pass 2 already built
+        // the block's masks, prefix masks exist, and retired writers (whose
+        // Transaction payloads are stubs) answer from their retained sorted
+        // footprint — all three exactly as a whole-set compile would.
+        if (!writes_key(cw, ck)) m |= kOpWriterMissesKey;
       } else if (!is_init && owned_ != nullptr) {
         pending_[w].emplace_back(d, static_cast<std::uint32_t>(oi));
       }
@@ -164,13 +190,15 @@ void CompiledHistory::compile_block(TxnIdx first) {
       op_writer_.push_back(cw);
       op_flags_.push_back(m);
     }
-    op_begin_.push_back(static_cast<std::uint32_t>(op_flags_.size()));
+    // Offsets stay ABSOLUTE across retirement: the arrays may have had their
+    // retired prefix front-erased, so the next absolute offset is base + size.
+    op_begin_.push_back(ops_base_ + static_cast<std::uint32_t>(op_flags_.size()));
     for (KeyIdx k : touched) written_scratch_[k] = 0;
 
     std::sort(rk.begin(), rk.end());
     rk.erase(std::unique(rk.begin(), rk.end()), rk.end());
     read_keys_.insert(read_keys_.end(), rk.begin(), rk.end());
-    rk_begin_.push_back(static_cast<std::uint32_t>(read_keys_.size()));
+    rk_begin_.push_back(rk_base_ + static_cast<std::uint32_t>(read_keys_.size()));
   }
 
   // Pass 4: per-key writer lists (rows over KeyIdx, writers in dense order —
@@ -251,7 +279,7 @@ const CompiledDelta& CompiledHistory::extend(std::span<const Transaction> block)
     auto it = pending_.find(id_of(d));
     if (it == pending_.end()) continue;
     for (const auto& [td, oi] : it->second) {
-      const std::size_t at = op_begin_[td] + oi;
+      const std::size_t at = op_begin_[td] - ops_base_ + oi;
       op_writer_[at] = d;
       std::uint8_t m = static_cast<std::uint8_t>(op_flags_[at] & ~kOpUnknownWriter);
       if (!writes_key(d, op_key_[at])) m |= kOpWriterMissesKey;
@@ -263,6 +291,81 @@ const CompiledDelta& CompiledHistory::extend(std::span<const Transaction> block)
 
   if (adj_ready_.load(std::memory_order_relaxed)) extend_adjacency(*adj_, first);
   return delta_;
+}
+
+CompiledHistory::RetireStats CompiledHistory::retire(TxnIdx upto) {
+  if (owned_ == nullptr) {
+    throw std::logic_error(
+        "CompiledHistory::retire: only a growable history can retire its prefix");
+  }
+  RetireStats st;
+  upto = static_cast<TxnIdx>(std::min<std::size_t>(upto, n_));
+  st.watermark = std::max(upto, retired_);
+  if (upto <= retired_) return st;  // monotone; no-op below the watermark
+  const TxnIdx first = retired_;
+
+  // The SoA op arrays: reclaim [op_begin_[first], op_begin_[upto]).
+  const std::size_t ops_cut = op_begin_[upto] - ops_base_;
+  st.ops = ops_cut;
+  drop_front(op_key_, ops_cut);
+  drop_front(op_writer_, ops_cut);
+  drop_front(op_flags_, ops_cut);
+  ops_base_ = op_begin_[upto];
+
+  // Read-key footprints (write footprints are retained — see writes_key()).
+  drop_front(read_keys_, rk_begin_[upto] - rk_base_);
+  rk_base_ = rk_begin_[upto];
+
+  // Per-transaction write masks (each sized to the key universe — the
+  // O(txns × keys) term retirement exists to cap).
+  write_mask_.erase(write_mask_.begin(),
+                    write_mask_.begin() + static_cast<std::ptrdiff_t>(upto - first));
+
+  // The owned Transaction payloads (ops vector + read/write hash sets, the
+  // dominant per-transaction footprint). Ids and scalars survive, so
+  // duplicate appends of retired blocks are still detected exactly.
+  owned_->retire_payloads(first, upto);
+
+  // Unresolved-writer entries owned by retired readers: their op slots are
+  // reclaimed, so a later extend() must not patch them. The retired reader's
+  // streaming verdict was fixed at its own append; the offline engines that
+  // would have consumed the re-resolution refuse retired histories anyway.
+  for (auto it = pending_.begin(); it != pending_.end();) {
+    std::vector<std::pair<TxnIdx, std::uint32_t>>& v = it->second;
+    const auto keep = std::remove_if(
+        v.begin(), v.end(), [upto](const auto& e) { return e.first < upto; });
+    st.pending_purged += static_cast<std::uint64_t>(v.end() - keep);
+    v.erase(keep, v.end());
+    it = v.empty() ? pending_.erase(it) : std::next(it);
+  }
+
+  // Materialized adjacency: clear the retired rows (and drop the retired
+  // entries of the sort indices). Resident rows may still *name* retired
+  // dense indices — they are just numbers, and only engines barred from
+  // retired histories walk them.
+  if (adj_ready_.load(std::memory_order_relaxed)) {
+    for (TxnIdx d = first; d < upto; ++d) {
+      std::vector<TxnIdx>().swap(adj_->rt_preds.rows[d]);
+      std::vector<TxnIdx>().swap(adj_->rt_succs.rows[d]);
+      std::vector<TxnIdx>().swap(adj_->sess_preds.rows[d]);
+      std::vector<TxnIdx>().swap(adj_->sess_succs.rows[d]);
+    }
+  }
+
+  retired_ = upto;
+  st.txns = upto - first;
+  if (obs::enabled()) {
+    retired_txns_total().inc(st.txns);
+    retired_ops_total().inc(st.ops);
+  }
+  if (obs::Trace::active()) {
+    obs::Trace::event("model.retire",
+                      obs::TraceFields()
+                          .add("watermark", static_cast<std::uint64_t>(upto))
+                          .add("txns", static_cast<std::uint64_t>(st.txns))
+                          .add("ops", st.ops));
+  }
+  return st;
 }
 
 const CompiledHistory::Adjacency& CompiledHistory::adjacency() const {

@@ -47,6 +47,7 @@
 // the frozen hash-based reference on every level.
 #pragma once
 
+#include <algorithm>
 #include <array>
 #include <atomic>
 #include <cstdint>
@@ -261,6 +262,48 @@ class CompiledHistory {
     return extend(std::span<const Transaction>(&txn, 1));
   }
 
+  // --- epoch-based prefix retirement (bounded-memory streaming) -------------
+  //
+  // retire(upto) folds the prefix [0, upto) into a summarized base state so a
+  // monitor can run forever: the per-op SoA arrays, read-key footprints,
+  // write masks, materialized adjacency rows and the owned Transaction
+  // payloads of the prefix are reclaimed; everything a *future* append can
+  // still be judged against is retained, at a flat few dozen bytes per
+  // retired transaction:
+  //
+  //   * every scalar column (ids_, start/commit timestamps, session, level
+  //     tag) — so duplicate detection, C-ORD, time_precedes and the
+  //     retroactive real-time inversion scans stay EXACT over retired ids,
+  //   * the offset arrays (op_begin_, wk/rk_begin_) — op counts stay known,
+  //   * the sorted write-key footprints (write_keys_ + writers_of_) — so
+  //     writes_key() stays exact forever (resident transactions use the
+  //     bitset mask; retired ones binary-search their retained span),
+  //   * ts_order_ — splicing in extend() is untouched.
+  //
+  // Dense indices are stable (a stable-offset scheme, not a remap): ops(d)
+  // subtracts a base offset, so extend() after retire() appends exactly the
+  // bytes an unretired twin would — bit-identical for every resident field,
+  // asserted by tests/online_window_test.cpp. Accessing the reclaimed fields
+  // of a retired transaction (ops(), read_keys(), write_mask()) is undefined;
+  // callers must check `d >= retired()` first. The offline engines refuse
+  // retired histories outright (they answer ∃e over the full history).
+  struct RetireStats {
+    TxnIdx watermark = 0;             // first resident dense index after the call
+    std::uint32_t txns = 0;           // transactions retired by this call
+    std::uint64_t ops = 0;            // compiled ops reclaimed by this call
+    std::uint64_t pending_purged = 0; // unresolved-writer entries dropped
+  };
+
+  /// Fold the prefix [0, upto) (clamped to size(); monotone — a watermark
+  /// at or below retired() is a no-op). Owning mode only.
+  RetireStats retire(TxnIdx upto);
+
+  /// Dense index of the first non-retired transaction (0 = nothing retired).
+  TxnIdx retired() const { return retired_; }
+  /// Compiled ops currently resident (excludes reclaimed prefix ops) — the
+  /// flatness gauge the windowed soak bench and CI gate watch.
+  std::size_t resident_ops() const { return op_flags_.size(); }
+
   const TransactionSet& txns() const { return *txns_; }
   std::size_t size() const { return n_; }
   std::size_t key_count() const { return keys_.size(); }
@@ -276,30 +319,46 @@ class CompiledHistory {
 
   /// Ops of transaction `d`, index-aligned with Transaction::ops(). The view
   /// is backed by the three parallel arrays; it is invalidated by extend().
+  /// Undefined for d < retired() — the prefix ops are reclaimed.
   OpsView ops(TxnIdx d) const {
-    const std::uint32_t b = op_begin_[d];
+    const std::uint32_t b = op_begin_[d] - ops_base_;
     return OpsView(op_key_.data() + b, op_writer_.data() + b,
-                   op_flags_.data() + b, op_begin_[d + 1] - b);
+                   op_flags_.data() + b, op_begin_[d + 1] - op_begin_[d]);
   }
 
   /// Number of ops of transaction `d` without materializing a view.
   std::size_t op_count(TxnIdx d) const { return op_begin_[d + 1] - op_begin_[d]; }
 
   /// Sorted dense keys the transaction (finally) writes / externally reads.
+  /// Write footprints are retained across retire(); read footprints are
+  /// reclaimed (undefined for d < retired()).
   std::span<const KeyIdx> write_keys(TxnIdx d) const {
     return {write_keys_.data() + wk_begin_[d], write_keys_.data() + wk_begin_[d + 1]};
   }
   std::span<const KeyIdx> read_keys(TxnIdx d) const {
-    return {read_keys_.data() + rk_begin_[d], read_keys_.data() + rk_begin_[d + 1]};
+    return {read_keys_.data() + (rk_begin_[d] - rk_base_),
+            read_keys_.data() + (rk_begin_[d + 1] - rk_base_)};
   }
 
-  /// O(1) membership test on the write footprint. Safe for keys interned
-  /// after `d` was compiled (a grown history's masks are not retro-widened):
-  /// a transaction never writes a key first revealed by a later block.
+  /// Membership test on the write footprint — exact for every transaction
+  /// ever appended, retired or not. Resident transactions test their bitset
+  /// mask in O(1); retired ones binary-search the retained sorted footprint
+  /// (the masks, sized to the whole key universe, are what retire()
+  /// reclaims). Safe for keys interned after `d` was compiled (a grown
+  /// history's masks are not retro-widened): a transaction never writes a
+  /// key first revealed by a later block.
   bool writes_key(TxnIdx d, KeyIdx k) const {
-    return k < write_mask_[d].size() && write_mask_[d].test(k);
+    if (d >= retired_) {
+      const DynamicBitset& m = write_mask_[d - retired_];
+      return k < m.size() && m.test(k);
+    }
+    const std::span<const KeyIdx> wk = write_keys(d);
+    return std::binary_search(wk.begin(), wk.end(), k);
   }
-  const DynamicBitset& write_mask(TxnIdx d) const { return write_mask_[d]; }
+  /// Undefined for d < retired().
+  const DynamicBitset& write_mask(TxnIdx d) const {
+    return write_mask_[d - retired_];
+  }
 
   /// Committed writers of a key, in dense (declaration) order.
   std::span<const TxnIdx> writers_of(KeyIdx k) const { return writers_of_.row(k); }
@@ -378,17 +437,26 @@ class CompiledHistory {
   KeyInterner keys_;
 
   // Structure-of-arrays op storage: op i of transaction d lives at index
-  // op_begin_[d] + i of each array. Field-separated so a loop that needs only
-  // flags (admissibility prescans, phenomenon detection) streams one byte per
-  // op instead of a 12-byte record.
+  // op_begin_[d] + i - ops_base_ of each array. Field-separated so a loop
+  // that needs only flags (admissibility prescans, phenomenon detection)
+  // streams one byte per op instead of a 12-byte record. op_begin_ holds
+  // ABSOLUTE offsets forever; retire() front-erases the arrays and advances
+  // ops_base_ (the stable-offset scheme), so resident indexing — and every
+  // byte extend() appends — is identical to an unretired twin's.
   std::vector<KeyIdx> op_key_;
   std::vector<TxnIdx> op_writer_;
   std::vector<std::uint8_t> op_flags_;
   std::vector<std::uint32_t> op_begin_;
   std::vector<KeyIdx> write_keys_, read_keys_;
   std::vector<std::uint32_t> wk_begin_, rk_begin_;
-  std::vector<DynamicBitset> write_mask_;
+  std::vector<DynamicBitset> write_mask_;  // resident only: index d - retired_
   Rows writers_of_;  // rows indexed by KeyIdx
+
+  // Retirement state: [0, retired_) is folded. ops_base_/rk_base_ are the
+  // absolute offsets of the first resident entry of the front-erased arrays.
+  TxnIdx retired_ = 0;
+  std::uint32_t ops_base_ = 0;
+  std::uint32_t rk_base_ = 0;
 
   std::vector<TxnId> ids_;
   std::vector<Timestamp> start_ts_, commit_ts_;

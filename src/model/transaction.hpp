@@ -210,6 +210,23 @@ class TransactionSet {
   auto begin() const { return txns_.begin(); }
   auto end() const { return txns_.end(); }
 
+  /// Epoch retirement (growable CompiledHistory only): replace the payloads
+  /// of transactions [first, upto) with id-and-scalars stubs — the ops
+  /// vector and read/write sets, which dominate a Transaction's footprint,
+  /// are released; id, session, site, timestamps and level survive. The
+  /// id→dense index is NOT touched, so dense indices stay stable and
+  /// duplicate detection over retired ids keeps working forever. Callers
+  /// that need a retired transaction's footprint must use the compiled
+  /// history's retained columns (write_keys / writes_key), never at().
+  void retire_payloads(std::size_t first, std::size_t upto) {
+    upto = std::min(upto, txns_.size());
+    for (std::size_t i = first; i < upto; ++i) {
+      Transaction& t = txns_[i];
+      t = Transaction(t.id(), {}, t.session(), t.site(), t.start_ts(),
+                      t.commit_ts(), t.level());
+    }
+  }
+
  private:
   std::vector<Transaction> txns_;
   std::unordered_map<TxnId, std::size_t> index_;

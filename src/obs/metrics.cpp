@@ -139,6 +139,13 @@ std::span<const double> depth_buckets() {
   return b;
 }
 
+std::span<const double> size_buckets() {
+  static const std::array<double, 13> b = {1,      4,      16,      64,     256,
+                                           1024,   4096,   16384,   65536,  262144,
+                                           1048576, 4194304, 16777216};
+  return b;
+}
+
 // ------------------------------------------------------------------- Registry
 
 std::string series_key(std::string_view name, const Labels& labels) {

@@ -133,6 +133,9 @@ class Histogram {
 std::span<const double> latency_buckets_seconds();
 /// Default small-integer buckets (depths, queue lengths): 1 … 4096, ×2.
 std::span<const double> depth_buckets();
+/// Default large-count buckets (fold sizes, transactions per window epoch):
+/// 1 … 16M, ×4 per step.
+std::span<const double> size_buckets();
 
 class Registry {
  public:

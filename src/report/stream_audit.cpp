@@ -66,6 +66,7 @@ StreamAuditResult stream_audit(
 
   StreamAuditResult result;
   checker::OnlineChecker chk(opts.levels);
+  chk.set_window({opts.window_txns, opts.window_bytes});
 
   std::string partial;           // line fragment read before its newline
   std::string open_block;        // lines of a `txn` block awaiting its `end`
@@ -142,6 +143,9 @@ StreamAuditResult stream_audit(
       if (!chk.status(level).ok) rep.died.push_back(level);
     }
     rep.checker = &chk;
+    rep.watermark = chk.watermark();
+    rep.resident_txns = chk.resident_txns();
+    rep.resident_ops = chk.resident_ops();
 
     result.transactions += accepted;
     result.duplicates += rep.duplicates;
@@ -177,6 +181,17 @@ StreamAuditResult stream_audit(
       continue;
     }
     // Caught up with the stream: audit everything complete, then poll.
+    if (opts.max_blocks != 0 && result.blocks + 1 >= opts.max_blocks &&
+        in_block && !partial.empty() && first_token(partial) == "end") {
+      // This flush is the last one --max-blocks allows, and the open block's
+      // `end` already arrived minus its newline. The idle-exit path would
+      // treat such a fragment as the complete final line after the loop, but
+      // max_blocks stops the loop with `stop` set, skipping it — so the
+      // fully-delivered block would silently never be audited. Complete it
+      // here instead, so it joins the final batch.
+      consume_line(partial);
+      partial.clear();
+    }
     flush();
     if (stop) break;
     if (opts.idle_exit_ms > 0 &&

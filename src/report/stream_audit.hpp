@@ -48,6 +48,13 @@ struct StreamAuditOptions {
   /// 0 = never. `crooks-check --follow --metrics-every=N` renders these as
   /// `metrics {...}` lines interleaved with the human-format output.
   std::uint64_t metrics_every = 0;
+  /// Bounded-memory window (`crooks-check --window=N`): keep at most this
+  /// many transactions resident, retiring the prefix into the checker's
+  /// summarized base. 0 = unbounded (the pre-window behavior).
+  std::size_t window_txns = 0;
+  /// Byte-estimate variant (`--window-bytes=B`); both may be set, the
+  /// tighter limit wins. See OnlineChecker::WindowOptions.
+  std::size_t window_bytes = 0;
 };
 
 /// One audited batch (all complete transaction blocks available at a poll).
@@ -62,6 +69,10 @@ struct StreamBlockReport {
   /// One-line JSON scrape of the metrics registry; non-empty only on every
   /// StreamAuditOptions::metrics_every-th batch.
   std::string metrics_snapshot;
+  /// Window state after the batch (all 0 / == transactions when unwindowed).
+  std::uint64_t watermark = 0;       // transactions retired so far
+  std::size_t resident_txns = 0;     // transactions still resident
+  std::size_t resident_ops = 0;      // compiled op rows still resident
 };
 
 struct StreamAuditResult {

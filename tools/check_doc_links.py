@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Check that relative Markdown links in the repo's docs resolve.
+
+Walks every *.md file under the repository root (skipping build trees),
+extracts inline links and image references, and verifies that each
+repo-relative target exists — including `#anchor` fragments against the
+GitHub-style slugs of the target file's headings. External links (http/https/
+mailto) are not fetched; CI must not depend on the network. Exit status is the
+number of broken links (0 = everything resolves).
+
+Usage: tools/check_doc_links.py [repo-root]
+"""
+import os
+import re
+import sys
+
+SKIP_DIRS = {".git", "build", "build-asan", "build-tsan", "third_party"}
+LINK_RE = re.compile(r"!?\[(?:[^\]]*)\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+CODE_FENCE_RE = re.compile(r"```.*?```", re.DOTALL)
+
+
+def slugify(heading: str) -> str:
+    """GitHub's anchor algorithm, near enough: lowercase, drop punctuation,
+    spaces to hyphens. Inline code/emphasis markers are stripped first."""
+    text = re.sub(r"[`*_]", "", heading.strip()).lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def anchors_of(path: str) -> set:
+    with open(path, encoding="utf-8") as f:
+        body = CODE_FENCE_RE.sub("", f.read())
+    slugs = set()
+    counts = {}
+    for m in HEADING_RE.finditer(body):
+        slug = slugify(m.group(1))
+        n = counts.get(slug, 0)
+        counts[slug] = n + 1
+        slugs.add(slug if n == 0 else f"{slug}-{n}")
+    return slugs
+
+
+def main() -> int:
+    root = os.path.abspath(sys.argv[1] if len(sys.argv) > 1 else ".")
+    md_files = []
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = [d for d in dirnames if d not in SKIP_DIRS]
+        md_files.extend(
+            os.path.join(dirpath, f) for f in filenames if f.endswith(".md"))
+
+    broken = 0
+    checked = 0
+    for md in sorted(md_files):
+        with open(md, encoding="utf-8") as f:
+            body = CODE_FENCE_RE.sub("", f.read())
+        for m in LINK_RE.finditer(body):
+            target = m.group(1)
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            checked += 1
+            rel = os.path.relpath(md, root)
+            path_part, _, fragment = target.partition("#")
+            base = (md if not path_part
+                    else os.path.normpath(os.path.join(os.path.dirname(md),
+                                                       path_part)))
+            if not os.path.exists(base):
+                print(f"{rel}: broken link -> {target}")
+                broken += 1
+                continue
+            if fragment and base.endswith(".md"):
+                if fragment not in anchors_of(base):
+                    print(f"{rel}: missing anchor -> {target}")
+                    broken += 1
+    print(f"{checked} relative links checked across {len(md_files)} files, "
+          f"{broken} broken")
+    return broken
+
+
+if __name__ == "__main__":
+    sys.exit(main())

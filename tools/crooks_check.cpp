@@ -37,6 +37,15 @@
 //   --idle-exit-ms=N [follow] exit after N ms without new input (default 0 =
 //                    tail forever)
 //   --max-blocks=N   [follow] exit after N audited batches (default 0 = no cap)
+//   --window=N       [follow] bounded-memory audit: keep at most N transactions
+//                    resident; the checker folds everything older into a
+//                    summarized base and reclaims its memory, so the monitor
+//                    can tail a stream forever. Verdicts are one-sided: a
+//                    violation is never invented, and one is missed only when
+//                    its witness reaches past the fold watermark (counted in
+//                    crooks_online_past_window_* metrics)
+//   --window-bytes=B [follow] same, but bound the resident-memory estimate in
+//                    bytes; combines with --window (tighter limit wins)
 //   --metrics[=FILE] after the audit, dump the metrics registry in Prometheus
 //                    text exposition format to FILE (stdout if omitted)
 //   --metrics-json=FILE  same scrape as one JSON object
@@ -70,6 +79,7 @@ int usage() {
                "                    [--trace=FILE] [FILE]\n"
                "       crooks-check --follow [--level=NAME] [--quiet]\n"
                "                    [--poll-ms=N] [--idle-exit-ms=N] [--max-blocks=N]\n"
+               "                    [--window=N] [--window-bytes=B]\n"
                "                    [--metrics-every=N] FILE\n"
                "levels:");
   for (ct::IsolationLevel l : ct::kAllLevels) {
@@ -157,12 +167,18 @@ int run_follow(const std::string& file, ct::IsolationLevel verdict_level,
               rep.seconds > 0 ? static_cast<double>(rep.transactions) / rep.seconds
                               : 0.0;
           std::printf("block %llu: +%zu txns (%zu dup) in %.3f ms (%.0f txns/s), "
-                      "%zu txns total, %zu/%zu levels alive\n",
+                      "%zu txns total, %zu/%zu levels alive",
                       static_cast<unsigned long long>(rep.block),
                       rep.transactions, rep.duplicates, rep.seconds * 1e3,
                       per_sec, rep.checker->size(),
                       rep.checker->surviving_levels().size(),
                       ct::kAllLevels.size());
+          if (opts.window_txns != 0 || opts.window_bytes != 0) {
+            std::printf(", watermark %llu, %zu resident",
+                        static_cast<unsigned long long>(rep.watermark),
+                        rep.resident_txns);
+          }
+          std::printf("\n");
         }
         for (ct::IsolationLevel dead : rep.died) {
           const auto& st = rep.checker->status(dead);
@@ -250,6 +266,12 @@ int main(int argc, char** argv) {
     } else if (arg.rfind("--max-blocks=", 0) == 0) {
       if (!parse_count(arg.substr(13), count)) return usage();
       follow_opts.max_blocks = count;
+    } else if (arg.rfind("--window=", 0) == 0) {
+      if (!parse_count(arg.substr(9), count) || count == 0) return usage();
+      follow_opts.window_txns = count;
+    } else if (arg.rfind("--window-bytes=", 0) == 0) {
+      if (!parse_count(arg.substr(15), count) || count == 0) return usage();
+      follow_opts.window_bytes = count;
     } else if (arg == "--metrics") {
       metrics = true;
     } else if (arg.rfind("--metrics=", 0) == 0) {
