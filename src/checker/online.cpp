@@ -102,6 +102,20 @@ obs::Histogram& online_fold_txns_hist() {
   return h;
 }
 
+/// The one increment site of crooks_online_violations_total (it used to be
+/// duplicated across the assigned/uniform branches of violate). The session
+/// label matches the forensics series: low-cardinality in practice (sessions
+/// are workload worker ids), "s-" for session-less transactions.
+void count_violation(ct::IsolationLevel level, SessionId session) {
+  if (!obs::enabled()) return;
+  obs::Registry::global()
+      .counter("crooks_online_violations_total",
+               "First violations recorded per tracked level",
+               {{"level", std::string(ct::name_of(level))},
+                {"session", crooks::to_string(session)}})
+      .inc();
+}
+
 /// Sorted-vector intersection: keep only elements of v present in `keep`.
 void intersect_sorted(std::vector<std::size_t>& v,
                       const std::vector<std::size_t>& keep) {
@@ -154,7 +168,10 @@ std::vector<IsolationLevel> OnlineChecker::surviving_levels() const {
   return out;
 }
 
-void OnlineChecker::violate(IsolationLevel level, TxnId txn, std::string why) {
+void OnlineChecker::violate(IsolationLevel level, TxnIdx d, std::string why,
+                            TxnIdx other) {
+  const TxnId txn = stream_.id_of(d);
+  std::string* explanation = nullptr;
   if (assigned_mode_) {
     if (!assigned_status_.ok) return;  // sticky first violation
     assigned_status_.ok = false;
@@ -162,43 +179,25 @@ void OnlineChecker::violate(IsolationLevel level, TxnId txn, std::string why) {
     // Mirror ct::CommitTester::test_all(LevelAssignment): the explanation
     // names the violated transaction's own level.
     assigned_status_.explanation = crooks::to_string(txn) + " [" +
-                                   std::string(ct::name_of(level)) +
-                                   "]: " + std::move(why);
-    if (obs::enabled()) {
-      obs::Registry::global()
-          .counter("crooks_online_violations_total",
-                   "First violations recorded per tracked level",
-                   {{"level", std::string(ct::name_of(level))}})
-          .inc();
-    }
-    if (obs::Trace::active()) {
-      obs::Trace::event("online.violation",
-                        obs::TraceFields()
-                            .add("level", ct::name_of(level))
-                            .add("txn", crooks::to_string(txn))
-                            .add("why", assigned_status_.explanation));
-    }
-    return;
+                                   std::string(ct::name_of(level)) + "]: " + why;
+    explanation = &assigned_status_.explanation;
+  } else {
+    auto it = statuses_.find(level);
+    if (it == statuses_.end() || !it->second.ok) return;  // sticky first violation
+    it->second.ok = false;
+    it->second.first_violation = txn;
+    it->second.explanation = crooks::to_string(txn) + ": " + why;
+    explanation = &it->second.explanation;
   }
-  auto it = statuses_.find(level);
-  if (it == statuses_.end() || !it->second.ok) return;  // sticky first violation
-  it->second.ok = false;
-  it->second.first_violation = txn;
-  it->second.explanation = crooks::to_string(txn) + ": " + std::move(why);
-  if (obs::enabled()) {
-    obs::Registry::global()
-        .counter("crooks_online_violations_total",
-                 "First violations recorded per tracked level",
-                 {{"level", std::string(ct::name_of(level))}})
-        .inc();
-  }
+  count_violation(level, stream_.session(d));
   if (obs::Trace::active()) {
     obs::Trace::event("online.violation",
                       obs::TraceFields()
                           .add("level", ct::name_of(level))
                           .add("txn", crooks::to_string(txn))
-                          .add("why", it->second.explanation));
+                          .add("why", *explanation));
   }
+  if (violation_hook_) violation_hook_({level, txn, d, other, why});
 }
 
 bool OnlineChecker::append(const Transaction& txn) {
@@ -337,7 +336,6 @@ void OnlineChecker::ingest(const model::CompiledDelta& delta) {
 }
 
 void OnlineChecker::ingest_weak_txn(TxnIdx d) {
-  const TxnId id = stream_.id_of(d);
   const model::OpsView cops = stream_.ops(d);
   stats_.ops_evaluated += cops.size();
   ++stats_.direct_appends;
@@ -378,7 +376,7 @@ void OnlineChecker::ingest_weak_txn(TxnIdx d) {
   if (!preread) {
     for (IsolationLevel l : {IsolationLevel::kReadCommitted, IsolationLevel::kReadAtomic,
                              IsolationLevel::kPSI}) {
-      if (tracking(l)) violate(l, id, "PREREAD fails in the apply order");
+      if (tracking(l)) violate(l, d, "PREREAD fails in the apply order");
     }
   }
 
@@ -397,9 +395,10 @@ void OnlineChecker::ingest_weak_txn(TxnIdx d) {
         if (cops.is_write(j) || cops.internal(j)) continue;
         if (stream_.writes_key(w1, cops.key(j)) &&
             weak_firsts_[i] > weak_firsts_[j]) {
-          violate(IsolationLevel::kReadAtomic, id,
+          violate(IsolationLevel::kReadAtomic, d,
                   "fractured read across " + crooks::to_string(stream_.id_of(w1)) +
-                      "'s writes");
+                      "'s writes",
+                  w1);
         }
       }
     }
@@ -441,11 +440,12 @@ void OnlineChecker::ingest_weak_txn(TxnIdx d) {
       if (const auto* tl = timeline_of(k)) {
         for (const auto& [pos, slot] : *tl) {
           if (pos > weak_firsts_[i] && prec_test(p, slot)) {
-            violate(IsolationLevel::kPSI, id,
+            violate(IsolationLevel::kPSI, d,
                     "CAUS-VIS fails: misses " +
                         crooks::to_string(stream_.id_of(static_cast<TxnIdx>(slot))) +
                         "'s write to " +
-                        crooks::to_string(stream_.keys().key_of(k)));
+                        crooks::to_string(stream_.keys().key_of(k)),
+                    static_cast<TxnIdx>(slot));
           }
         }
       }
@@ -484,7 +484,6 @@ void OnlineChecker::commit_placed(TxnIdx d, Placed p) {
 }
 
 void OnlineChecker::evaluate_new(TxnIdx d, Placed& p) {
-  const TxnId id = stream_.id_of(d);
   const StateIndex parent = p.state - 1;
   const model::OpsView cops = stream_.ops(d);
   // Assigned mode evaluates exactly the transaction's own level: tracking()
@@ -502,7 +501,7 @@ void OnlineChecker::evaluate_new(TxnIdx d, Placed& p) {
   if (!preread) {
     for (IsolationLevel l : {IsolationLevel::kReadCommitted, IsolationLevel::kReadAtomic,
                              IsolationLevel::kPSI}) {
-      if (tracking(l)) violate(l, id, "PREREAD fails in the apply order");
+      if (tracking(l)) violate(l, d, "PREREAD fails in the apply order");
     }
   }
 
@@ -520,9 +519,10 @@ void OnlineChecker::evaluate_new(TxnIdx d, Placed& p) {
         if (cops.is_write(j) || p.ops[j].internal) continue;
         if (stream_.writes_key(w1, cops.key(j)) &&
             p.ops[i].rs.first > p.ops[j].rs.first) {
-          violate(IsolationLevel::kReadAtomic, id,
+          violate(IsolationLevel::kReadAtomic, d,
                   "fractured read across " + crooks::to_string(stream_.id_of(w1)) +
-                      "'s writes");
+                      "'s writes",
+                  w1);
         }
       }
     }
@@ -556,11 +556,12 @@ void OnlineChecker::evaluate_new(TxnIdx d, Placed& p) {
         if (const auto* tl = timeline_of(cops.key(i))) {
           for (const auto& [pos, slot] : *tl) {
             if (pos > p.ops[i].rs.last && prec_test(p, slot)) {
-              violate(IsolationLevel::kPSI, id,
+              violate(IsolationLevel::kPSI, d,
                       "CAUS-VIS fails: misses " +
                           crooks::to_string(stream_.id_of(static_cast<TxnIdx>(slot))) +
                           "'s write to " +
-                          crooks::to_string(stream_.keys().key_of(cops.key(i))));
+                          crooks::to_string(stream_.keys().key_of(cops.key(i))),
+                      static_cast<TxnIdx>(slot));
             }
           }
         }
@@ -571,11 +572,11 @@ void OnlineChecker::evaluate_new(TxnIdx d, Placed& p) {
   // Serializability: the parent state must be complete.
   const bool parent_complete = complete_lo <= parent && complete_hi >= parent;
   if (tracking(IsolationLevel::kSerializable) && !parent_complete) {
-    violate(IsolationLevel::kSerializable, id,
+    violate(IsolationLevel::kSerializable, d,
             "parent state is not complete in the apply order");
   }
   if (tracking(IsolationLevel::kStrictSerializable) && !parent_complete) {
-    violate(IsolationLevel::kStrictSerializable, id,
+    violate(IsolationLevel::kStrictSerializable, d,
             "parent state is not complete in the apply order");
   }
 
@@ -643,7 +644,7 @@ void OnlineChecker::evaluate_new(TxnIdx d, Placed& p) {
     if (!tracking(level) || !status_ok(level)) continue;
     const bool timed = level != IsolationLevel::kAdyaSI;
     if (timed && !stream_.has_timestamps(d)) {
-      violate(level, id, "requires the time oracle");
+      violate(level, d, "requires the time oracle");
       continue;
     }
     if (timed && d > 0) {
@@ -654,7 +655,7 @@ void OnlineChecker::evaluate_new(TxnIdx d, Placed& p) {
       // slip past the `<`).
       if (!(stream_.commit_ts(d - 1) != kNoTimestamp &&
             stream_.commit_ts(d - 1) < stream_.commit_ts(d))) {
-        violate(level, id, "C-ORD fails: applied out of commit order");
+        violate(level, d, "C-ORD fails: applied out of commit order", d - 1);
         continue;
       }
     }
@@ -709,7 +710,7 @@ void OnlineChecker::evaluate_new(TxnIdx d, Placed& p) {
       }
     }
     if (!ok) {
-      violate(level, id, "no admissible snapshot state in the apply order");
+      violate(level, d, "no admissible snapshot state in the apply order");
     }
   }
 }
@@ -915,20 +916,22 @@ void OnlineChecker::check_retroactive_inversions(TxnIdx d) {
         continue;
       }
       if (!stream_.time_precedes(d, q)) continue;
-      const TxnId q_id = stream_.id_of(q);
       if (lq == IsolationLevel::kStrictSerializable) {
-        violate(lq, q_id,
+        violate(lq, q,
                 "real-time predecessor " + crooks::to_string(late_id) +
-                    " was applied after it");
+                    " was applied after it",
+                d);
       } else if (lq == IsolationLevel::kStrongSI) {
-        violate(lq, q_id,
+        violate(lq, q,
                 "snapshot misses " + crooks::to_string(late_id) +
-                    ", which committed before it started");
+                    ", which committed before it started",
+                d);
       } else if (stream_.session(q) != kNoSession &&
                  stream_.session(q) == late_session) {
-        violate(lq, q_id,
+        violate(lq, q,
                 "session predecessor " + crooks::to_string(late_id) +
-                    " was applied after it");
+                    " was applied after it",
+                d);
       }
     }
     return;
@@ -946,22 +949,24 @@ void OnlineChecker::check_retroactive_inversions(TxnIdx d) {
   // As above: the scan runs over retained columns, exact past the watermark.
   for (TxnIdx q = 0; q < d; ++q) {
     if (!stream_.time_precedes(d, q)) continue;
-    const TxnId q_id = stream_.id_of(q);
     if (tracking(IsolationLevel::kStrictSerializable)) {
-      violate(IsolationLevel::kStrictSerializable, q_id,
+      violate(IsolationLevel::kStrictSerializable, q,
               "real-time predecessor " + crooks::to_string(late_id) +
-                  " was applied after it");
+                  " was applied after it",
+              d);
     }
     if (tracking(IsolationLevel::kStrongSI)) {
-      violate(IsolationLevel::kStrongSI, q_id,
+      violate(IsolationLevel::kStrongSI, q,
               "snapshot misses " + crooks::to_string(late_id) +
-                  ", which committed before it started");
+                  ", which committed before it started",
+              d);
     }
     if (tracking(IsolationLevel::kSessionSI) && stream_.session(q) != kNoSession &&
         stream_.session(q) == late_session) {
-      violate(IsolationLevel::kSessionSI, q_id,
+      violate(IsolationLevel::kSessionSI, q,
               "session predecessor " + crooks::to_string(late_id) +
-                  " was applied after it");
+                  " was applied after it",
+              d);
     }
   }
 }

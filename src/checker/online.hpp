@@ -32,10 +32,12 @@
 #include <algorithm>
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <optional>
 #include <span>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -196,6 +198,28 @@ class OnlineChecker {
   /// Any engine can consume it, e.g. for an offline ∃e check of the prefix.
   const model::CompiledHistory& stream() const { return stream_; }
 
+  /// One recorded violation, delivered to the violation hook at event time —
+  /// while the failing transaction's compiled ops are still resident (the
+  /// hook fires before the window's end-of-ingest retirement; only the
+  /// retroactive-inversion victim can already sit below the watermark).
+  struct ViolationEvent {
+    ct::IsolationLevel level = ct::IsolationLevel::kReadUncommitted;
+    TxnId txn{};                              // the violated transaction
+    model::TxnIdx dense = model::kNoTxnIdx;   // its apply-order slot in stream()
+    /// The clause's other transaction (fractured/missed writer, C-ORD
+    /// predecessor, retroactive inverter); kNoTxnIdx when the clause names
+    /// none.
+    model::TxnIdx other = model::kNoTxnIdx;
+    std::string_view why;  // the raw clause text; valid only during the call
+  };
+
+  /// Observe every sticky-first violation as it is recorded (once per level
+  /// in uniform mode, once total in assigned mode). The forensics collector
+  /// attaches here; pass nullptr to detach.
+  void set_violation_hook(std::function<void(const ViolationEvent&)> hook) {
+    violation_hook_ = std::move(hook);
+  }
+
  private:
   struct OpView {
     StateInterval rs;
@@ -247,7 +271,12 @@ class OnlineChecker {
                ? assigned_fallback_
                : static_cast<ct::IsolationLevel>(t);
   }
-  void violate(ct::IsolationLevel level, TxnId txn, std::string why);
+  /// Record a sticky-first violation of `level` by dense slot `d`; `other`
+  /// is the clause's other transaction when it names one. One exit for the
+  /// status flip, the {level, session} counter, the trace event and the
+  /// violation hook.
+  void violate(ct::IsolationLevel level, model::TxnIdx d, std::string why,
+               model::TxnIdx other = model::kNoTxnIdx);
 
   /// Shared tail of every append path: compute the read-state views of the
   /// block's transactions against the stream prefix, evaluate their commit
@@ -358,6 +387,7 @@ class OnlineChecker {
   // Scratch: per-op read-state starts for the transaction being ingested on
   // the weak path (reused across transactions to avoid reallocation).
   std::vector<StateIndex> weak_firsts_;
+  std::function<void(const ViolationEvent&)> violation_hook_;
   Stats stats_;
 };
 

@@ -1,0 +1,91 @@
+#include "forensics/collector.hpp"
+
+#include "obs/metrics.hpp"
+
+namespace crooks::forensics {
+
+namespace {
+
+obs::Gauge& patterns_gauge() {
+  static obs::Gauge& g = obs::Registry::global().gauge(
+      "crooks_forensics_patterns",
+      "Distinct violation patterns currently aggregated");
+  return g;
+}
+obs::Counter& overflow_total() {
+  static obs::Counter& c = obs::Registry::global().counter(
+      "crooks_forensics_pattern_overflow_total",
+      "Witnesses dropped because the bounded pattern table was full with an "
+      "unseen fingerprint");
+  return c;
+}
+
+}  // namespace
+
+void Collector::attach(checker::OnlineChecker& chk) {
+  checker::OnlineChecker* p = &chk;
+  chk.set_violation_hook(
+      [this, p](const checker::OnlineChecker::ViolationEvent& ev) {
+        on_violation(p->stream(), ev);
+      });
+}
+
+void Collector::on_violation(const model::CompiledHistory& ch,
+                             const checker::OnlineChecker::ViolationEvent& ev) {
+  WitnessInputs in;
+  in.failing = ev.dense;
+  in.clause = classify_clause(ev.why);
+  in.level = ev.level;
+  in.engine = "online";
+  in.other = ev.other;
+  add(extract_witness(ch, in));
+}
+
+void Collector::add(const Witness& w) {
+  table_.add(w);
+  if (!opt_.metrics || !obs::enabled()) return;
+
+  const PatternRow* row = table_.find(w.fingerprint);
+  if (row == nullptr) {
+    overflow_total().inc();
+    patterns_gauge().set(static_cast<std::int64_t>(table_.size()));
+    return;
+  }
+  obs::Registry::global()
+      .counter("crooks_forensics_witnesses_total",
+               "Violation witnesses aggregated per pattern and level",
+               {{"pattern", row->name},
+                {"level", std::string(ct::name_of(w.level))}})
+      .inc();
+  patterns_gauge().set(static_cast<std::int64_t>(table_.size()));
+  // Hot-spot sketch heads, bounded by the pattern cap: per pattern, the top
+  // key/session item and its (space-saving, overestimating) count.
+  const auto keys = row->hot_keys.top();
+  if (!keys.empty()) {
+    obs::Registry::global()
+        .gauge("crooks_forensics_hot_key",
+               "Hottest implicated key per pattern (space-saving sketch head)",
+               {{"pattern", row->name}})
+        .set(static_cast<std::int64_t>(keys[0].item));
+    obs::Registry::global()
+        .gauge("crooks_forensics_hot_key_count",
+               "Witness count of the hottest implicated key per pattern",
+               {{"pattern", row->name}})
+        .set(static_cast<std::int64_t>(keys[0].count));
+  }
+  const auto sessions = row->hot_sessions.top();
+  if (!sessions.empty()) {
+    obs::Registry::global()
+        .gauge("crooks_forensics_hot_session",
+               "Hottest implicated session per pattern (sketch head)",
+               {{"pattern", row->name}})
+        .set(static_cast<std::int64_t>(sessions[0].item));
+    obs::Registry::global()
+        .gauge("crooks_forensics_hot_session_count",
+               "Witness count of the hottest implicated session per pattern",
+               {{"pattern", row->name}})
+        .set(static_cast<std::int64_t>(sessions[0].count));
+  }
+}
+
+}  // namespace crooks::forensics

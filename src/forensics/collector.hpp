@@ -1,0 +1,51 @@
+// The witness pipeline's tail: violation events → canonical witnesses →
+// bounded pattern aggregation → crooks_forensics_* metric series.
+//
+// One Collector serves both capture paths. Online, attach() hooks the
+// OnlineChecker's violation events and extracts a witness at event time
+// (while the failing transaction is resident). Offline, engine refutations
+// feed add() with witnesses built by witness_from_result. Because the
+// offline --forensics mode of crooks-check REPLAYS the log through the same
+// OnlineChecker + Collector machinery as --follow, the aggregated report is
+// byte-identical across the two modes by construction.
+#pragma once
+
+#include "checker/online.hpp"
+#include "forensics/forensics.hpp"
+#include "forensics/pattern_table.hpp"
+
+namespace crooks::forensics {
+
+class Collector {
+ public:
+  struct Options {
+    PatternTable::Options table;
+    /// Export crooks_forensics_* series on every witness (subject to the
+    /// global obs::enabled() switch).
+    bool metrics = true;
+  };
+
+  Collector() : Collector(Options{}) {}
+  explicit Collector(Options opt) : opt_(opt), table_(opt.table) {}
+
+  /// Route every violation the checker records into this collector. The
+  /// collector must outlive the checker, or detach (set_violation_hook with
+  /// nullptr) first.
+  void attach(checker::OnlineChecker& chk);
+
+  /// Ingest one online violation event against its stream (what attach
+  /// wires; public so tests can drive it directly).
+  void on_violation(const model::CompiledHistory& ch,
+                    const checker::OnlineChecker::ViolationEvent& ev);
+
+  /// Ingest an already-extracted witness (the offline engine path).
+  void add(const Witness& w);
+
+  const PatternTable& table() const { return table_; }
+
+ private:
+  Options opt_;
+  PatternTable table_;
+};
+
+}  // namespace crooks::forensics

@@ -1,0 +1,325 @@
+#include "forensics/fingerprint.hpp"
+
+#include <algorithm>
+#include <array>
+#include <numeric>
+
+#include "adya/graph.hpp"
+
+namespace crooks::forensics {
+
+namespace {
+
+const char* kind_name(std::uint8_t kind) {
+  switch (kind) {
+    case adya::kWW: return "ww";
+    case adya::kWR: return "wr";
+    case adya::kRW: return "rw";
+    case adya::kSD: return "sd";
+    case adya::kRT: return "rt";
+  }
+  return "??";
+}
+
+/// Serialize `g` under permutation `perm` (perm[i] = new index of node i).
+/// Compact but byte-stable; used both for the canonical search comparisons
+/// and as the final canonical code.
+std::string serialize_under(const ShapeGraph& g,
+                            const std::vector<std::uint8_t>& perm) {
+  const std::size_t n = g.size();
+  std::string out;
+  out.reserve(2 + n + g.edges.size() * 3);
+  out.push_back(static_cast<char>(n));
+  std::vector<std::uint8_t> roles(n);
+  for (std::size_t i = 0; i < n; ++i) roles[perm[i]] = g.roles[i];
+  out.append(roles.begin(), roles.end());
+  std::vector<ShapeEdge> edges;
+  edges.reserve(g.edges.size());
+  for (const ShapeEdge& e : g.edges) {
+    edges.push_back({perm[e.from], perm[e.to], e.kind});
+  }
+  std::sort(edges.begin(), edges.end());
+  for (const ShapeEdge& e : edges) {
+    out.push_back(static_cast<char>(e.from));
+    out.push_back(static_cast<char>(e.to));
+    out.push_back(static_cast<char>(e.kind));
+  }
+  return out;
+}
+
+/// One round of 1-dimensional Weisfeiler-Leman refinement: a node's new
+/// color combines its old color with the sorted multiset of (direction,
+/// kind, neighbor color) signatures. Colors are re-compacted to dense ids
+/// each round so the loop terminates when the partition stabilizes.
+std::vector<std::uint32_t> refine_colors(const ShapeGraph& g) {
+  const std::size_t n = g.size();
+  std::vector<std::uint32_t> color(n);
+  for (std::size_t i = 0; i < n; ++i) color[i] = g.roles[i];
+  for (std::size_t round = 0; round < n; ++round) {
+    std::vector<std::string> sig(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      sig[i].push_back(static_cast<char>(color[i] & 0xFF));
+      sig[i].push_back(static_cast<char>((color[i] >> 8) & 0xFF));
+    }
+    std::vector<std::array<std::uint32_t, 3>> inc;  // (dir, kind, peer color)
+    for (std::size_t i = 0; i < n; ++i) {
+      inc.clear();
+      for (const ShapeEdge& e : g.edges) {
+        if (e.from == i) inc.push_back({0, e.kind, color[e.to]});
+        if (e.to == i) inc.push_back({1, e.kind, color[e.from]});
+      }
+      std::sort(inc.begin(), inc.end());
+      for (const auto& t : inc) {
+        for (std::uint32_t v : t) {
+          sig[i].push_back(static_cast<char>(v & 0xFF));
+          sig[i].push_back(static_cast<char>((v >> 8) & 0xFF));
+        }
+      }
+    }
+    std::vector<std::string> uniq = sig;
+    std::sort(uniq.begin(), uniq.end());
+    uniq.erase(std::unique(uniq.begin(), uniq.end()), uniq.end());
+    std::vector<std::uint32_t> next(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      next[i] = static_cast<std::uint32_t>(
+          std::lower_bound(uniq.begin(), uniq.end(), sig[i]) - uniq.begin());
+    }
+    if (next == color) break;
+    color = std::move(next);
+  }
+  return color;
+}
+
+}  // namespace
+
+void ShapeGraph::normalize() {
+  const std::size_t n = roles.size();
+  std::vector<ShapeEdge> kept;
+  kept.reserve(edges.size());
+  for (const ShapeEdge& e : edges) {
+    if (e.from < n && e.to < n && e.from != e.to) kept.push_back(e);
+  }
+  std::sort(kept.begin(), kept.end());
+  kept.erase(std::unique(kept.begin(), kept.end()), kept.end());
+  edges = std::move(kept);
+}
+
+ShapeGraph canonical_form(const ShapeGraph& g) {
+  const std::size_t n = g.size();
+  if (n == 0) return g;
+
+  const std::vector<std::uint32_t> color = refine_colors(g);
+
+  // Nodes ordered by (color, original index): the base labeling, and the
+  // class structure the exact search permutes within.
+  std::vector<std::uint8_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](std::uint8_t a, std::uint8_t b) {
+    return color[a] < color[b];
+  });
+
+  // Permutation count respecting the color classes: Π |class|!.
+  std::size_t perms = 1;
+  for (std::size_t i = 0; i < n && perms <= kMaxPermutations;) {
+    std::size_t j = i;
+    while (j < n && color[order[j]] == color[order[i]]) ++j;
+    for (std::size_t f = 2; f <= j - i; ++f) perms *= f;
+    i = j;
+  }
+
+  auto to_perm = [&](const std::vector<std::uint8_t>& ord) {
+    std::vector<std::uint8_t> perm(n);
+    for (std::size_t pos = 0; pos < n; ++pos) perm[ord[pos]] = static_cast<std::uint8_t>(pos);
+    return perm;
+  };
+
+  std::vector<std::uint8_t> best_ord = order;
+  std::string best = serialize_under(g, to_perm(order));
+  if (perms > 1 && perms <= kMaxPermutations) {
+    // Enumerate within-class permutations via next_permutation per class,
+    // odometer-style across classes.
+    std::vector<std::pair<std::size_t, std::size_t>> classes;  // [begin, end)
+    for (std::size_t i = 0; i < n;) {
+      std::size_t j = i;
+      while (j < n && color[order[j]] == color[order[i]]) ++j;
+      if (j - i > 1) classes.emplace_back(i, j);
+      i = j;
+    }
+    std::vector<std::uint8_t> ord = order;
+    auto advance = [&]() -> bool {
+      for (auto& [b, e] : classes) {
+        if (std::next_permutation(ord.begin() + static_cast<std::ptrdiff_t>(b),
+                                  ord.begin() + static_cast<std::ptrdiff_t>(e))) {
+          return true;
+        }
+        // wrapped: this class reset to its sorted order; carry to the next
+      }
+      return false;
+    };
+    while (advance()) {
+      std::string code = serialize_under(g, to_perm(ord));
+      if (code < best) {
+        best = std::move(code);
+        best_ord = ord;
+      }
+    }
+  }
+
+  const std::vector<std::uint8_t> perm = to_perm(best_ord);
+  ShapeGraph out;
+  out.roles.resize(n);
+  for (std::size_t i = 0; i < n; ++i) out.roles[perm[i]] = g.roles[i];
+  out.edges.reserve(g.edges.size());
+  for (const ShapeEdge& e : g.edges) {
+    out.edges.push_back({perm[e.from], perm[e.to], e.kind});
+  }
+  std::sort(out.edges.begin(), out.edges.end());
+  return out;
+}
+
+std::string canonical_code(const ShapeGraph& g) {
+  std::vector<std::uint8_t> id(g.size());
+  std::iota(id.begin(), id.end(), 0);
+  return serialize_under(g, id);
+}
+
+std::string shape_string(const ShapeGraph& g) {
+  // Node names by role: the failing txn is F, ⊥ is I, others T1, T2, … in
+  // node order.
+  std::vector<std::string> names(g.size());
+  std::size_t t = 0;
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    switch (g.roles[i]) {
+      case kRoleFailing: names[i] = "F"; break;
+      case kRoleInit: names[i] = "I"; break;
+      default: names[i] = "T" + std::to_string(++t); break;
+    }
+  }
+  if (g.edges.empty()) {
+    std::string out;
+    for (std::size_t i = 0; i < g.size(); ++i) {
+      if (i) out += ", ";
+      out += names[i];
+    }
+    return out;
+  }
+  std::string out;
+  for (const ShapeEdge& e : g.edges) {
+    if (!out.empty()) out += ", ";
+    out += names[e.from];
+    out += " -";
+    out += kind_name(e.kind);
+    out += "-> ";
+    out += names[e.to];
+  }
+  return out;
+}
+
+std::uint64_t fnv1a(std::uint64_t seed, std::string_view bytes) {
+  std::uint64_t h = seed;
+  for (unsigned char c : bytes) {
+    h ^= c;
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+std::vector<ShapeGraph> enumerate_subshapes(const ShapeGraph& g,
+                                            std::size_t max_edges) {
+  std::vector<ShapeGraph> out;
+  const std::size_t m = g.edges.size();
+  if (m == 0) return out;
+  max_edges = std::min(max_edges, m);
+
+  std::vector<std::string> seen;
+  std::vector<std::size_t> pick;
+  // Enumerate edge subsets of size 1..max_edges (m is small: extraction caps
+  // nodes at kMaxNodes, so subsets are at most a few hundred).
+  std::vector<std::uint8_t> dsu(g.size());
+  auto emit = [&]() {
+    // Weak connectivity over the picked edges (union-find on node indices).
+    std::iota(dsu.begin(), dsu.end(), 0);
+    auto find = [&](std::uint8_t v) {
+      while (dsu[v] != v) v = dsu[v] = dsu[dsu[v]];
+      return v;
+    };
+    for (std::size_t ei : pick) {
+      const ShapeEdge& e = g.edges[ei];
+      dsu[find(e.from)] = find(e.to);
+    }
+    std::uint8_t root = 0xFF;
+    bool touched_any = false;
+    for (std::size_t ei : pick) {
+      for (std::uint8_t v : {g.edges[ei].from, g.edges[ei].to}) {
+        const std::uint8_t r = find(v);
+        if (!touched_any) {
+          root = r;
+          touched_any = true;
+        } else if (r != root) {
+          return;  // more than one weak component
+        }
+      }
+    }
+
+    // Induce the subgraph on the picked edges' endpoints.
+    std::vector<std::uint8_t> remap(g.size(), 0xFF);
+    ShapeGraph sub;
+    for (std::size_t ei : pick) {
+      const ShapeEdge& e = g.edges[ei];
+      for (std::uint8_t v : {e.from, e.to}) {
+        if (remap[v] == 0xFF) {
+          remap[v] = static_cast<std::uint8_t>(sub.roles.size());
+          sub.roles.push_back(g.roles[v]);
+        }
+      }
+      sub.edges.push_back({remap[e.from], remap[e.to], e.kind});
+    }
+    sub.normalize();
+    ShapeGraph canon = canonical_form(sub);
+    std::string code = canonical_code(canon);
+    auto it = std::lower_bound(seen.begin(), seen.end(), code);
+    if (it != seen.end() && *it == code) return;
+    seen.insert(it, std::move(code));
+    out.push_back(std::move(canon));
+  };
+
+  // Iterative k-combination enumeration per size.
+  for (std::size_t k = 1; k <= max_edges; ++k) {
+    pick.resize(k);
+    std::iota(pick.begin(), pick.end(), 0);
+    while (true) {
+      emit();
+      // Next combination: bump the rightmost index with room to grow.
+      std::size_t i = k;
+      while (i > 0 && pick[i - 1] == m - k + (i - 1)) --i;
+      if (i == 0) break;
+      ++pick[i - 1];
+      for (std::size_t j = i; j < k; ++j) pick[j] = pick[j - 1] + 1;
+    }
+  }
+  return out;
+}
+
+std::string known_cycle_name(const ShapeGraph& g) {
+  // Look for a 2-cycle a→b, b→a and name it by its edge-kind pair, in a
+  // fixed priority order so a graph containing several names the sharpest.
+  auto has_pair = [&](std::uint8_t k1, std::uint8_t k2) {
+    for (const ShapeEdge& e1 : g.edges) {
+      if (e1.kind != k1) continue;
+      for (const ShapeEdge& e2 : g.edges) {
+        if (e2.kind == k2 && e2.from == e1.to && e2.to == e1.from) return true;
+      }
+    }
+    return false;
+  };
+  if (has_pair(adya::kRW, adya::kRW)) return "write-skew";
+  if (has_pair(adya::kWR, adya::kRW)) return "read-skew";
+  if (has_pair(adya::kWW, adya::kRW)) return "lost-update";
+  if (has_pair(adya::kSD, adya::kRW)) return "stale-snapshot-read";
+  if (has_pair(adya::kRT, adya::kRW)) return "stale-read";
+  if (has_pair(adya::kWR, adya::kWR)) return "circular-information-flow";
+  if (has_pair(adya::kWW, adya::kWW)) return "circular-write-order";
+  return "";
+}
+
+}  // namespace crooks::forensics

@@ -1,0 +1,92 @@
+// Canonical labeled-graph fingerprints for violation witnesses.
+//
+// Two refutations of the same anomaly on different transactions must land in
+// the same pattern bucket. The witness subgraph (nodes = implicated
+// transactions tagged by role, edges = Adya dependency kinds) is therefore
+// reduced to a CANONICAL form: a relabeling of the nodes that minimizes the
+// serialized (roles, edges) code over every automorphism-respecting
+// permutation — the same idea as gSpan's minimum DFS code, specialized to
+// the tiny graphs a witness produces (≤ kMaxNodes). Isomorphic shapes get
+// byte-identical canonical codes, so one FNV-1a hash of the code is a stable
+// pattern fingerprint across runs, thread counts, and offline/streaming
+// replays.
+//
+// The search is exact for witness-sized graphs: a Weisfeiler-Leman color
+// refinement partitions the nodes, and only permutations that respect the
+// partition are enumerated (bounded by kMaxPermutations; beyond that a
+// deterministic refinement-ordered labeling is used, which can split — never
+// merge — isomorphism classes).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace crooks::forensics {
+
+/// Node roles: the only node labels canonicalization distinguishes.
+inline constexpr std::uint8_t kRoleFailing = 0;  // the txn whose commit test fails
+inline constexpr std::uint8_t kRoleInit = 1;     // the synthetic ⊥ installer
+inline constexpr std::uint8_t kRoleOther = 2;    // any other implicated txn
+
+/// One labeled edge; `kind` is an adya::EdgeKind bit (kWW/kWR/kRW/kSD/kRT).
+struct ShapeEdge {
+  std::uint8_t from = 0;
+  std::uint8_t to = 0;
+  std::uint8_t kind = 0;
+
+  friend constexpr auto operator<=>(const ShapeEdge&, const ShapeEdge&) = default;
+};
+
+/// The labeled multigraph of a witness: node i carries roles[i]; edges are
+/// kept sorted and deduplicated (normalize()).
+struct ShapeGraph {
+  std::vector<std::uint8_t> roles;
+  std::vector<ShapeEdge> edges;
+
+  std::size_t size() const { return roles.size(); }
+  /// Sort + dedup edges, drop self-loops and out-of-range endpoints.
+  void normalize();
+
+  friend bool operator==(const ShapeGraph&, const ShapeGraph&) = default;
+};
+
+/// Largest witness graph canonicalized; extraction truncates beyond this.
+inline constexpr std::size_t kMaxNodes = 12;
+/// Permutation budget for the exact canonical search.
+inline constexpr std::size_t kMaxPermutations = 40320;  // 8!
+
+/// The canonical relabeling of `g`: node order minimizes the serialized
+/// (roles, sorted edges) code over all refinement-class-respecting
+/// permutations. Deterministic for every input; exact (isomorphism-complete)
+/// whenever the class-respecting permutation count is ≤ kMaxPermutations.
+ShapeGraph canonical_form(const ShapeGraph& g);
+
+/// Serialized canonical code of `g` (caller passes the canonical_form
+/// result). Byte-stable: this is what gets hashed and compared.
+std::string canonical_code(const ShapeGraph& g);
+
+/// Human-readable rendering of a (canonical) shape, e.g.
+/// "T1 -wr-> F, F -rw-> T1" with F/I/Tk names by role.
+std::string shape_string(const ShapeGraph& g);
+
+/// FNV-1a 64-bit over `bytes`, continuing from `seed` (pass kFnvBasis to
+/// start a fresh hash).
+inline constexpr std::uint64_t kFnvBasis = 0xcbf29ce484222325ull;
+std::uint64_t fnv1a(std::uint64_t seed, std::string_view bytes);
+
+/// All weakly-connected edge-subset subgraphs of `g` with 1..max_edges
+/// edges, each in canonical form and deduplicated by canonical code. Node
+/// set = endpoints of the chosen edges (roles preserved). The frequent-
+/// subgraph miner counts these across witnesses.
+std::vector<ShapeGraph> enumerate_subshapes(const ShapeGraph& g,
+                                            std::size_t max_edges);
+
+/// Name of a 2-cycle anomaly shape when the canonical graph contains one
+/// (checked in a fixed priority order), empty otherwise:
+///   rw+rw → "write-skew", wr+rw → "read-skew", ww+rw → "lost-update",
+///   sd+rw → "stale-snapshot-read", rt+rw → "stale-read",
+///   wr+wr → "circular-information-flow", ww+ww → "circular-write-order".
+std::string known_cycle_name(const ShapeGraph& g);
+
+}  // namespace crooks::forensics

@@ -1,0 +1,253 @@
+#include "forensics/forensics.hpp"
+
+#include <algorithm>
+
+#include "adya/graph.hpp"
+
+namespace crooks::forensics {
+
+using model::TxnIdx;
+
+std::string_view name_of(Clause c) {
+  switch (c) {
+    case Clause::kPreread: return "preread";
+    case Clause::kFracturedRead: return "fractured-read";
+    case Clause::kCausalVisibility: return "causal-miss";
+    case Clause::kParentIncomplete: return "incomplete-parent";
+    case Clause::kSnapshot: return "snapshot";
+    case Clause::kCommitOrder: return "commit-order";
+    case Clause::kTimeOracle: return "time-oracle";
+    case Clause::kRealtime: return "real-time";
+    case Clause::kSessionOrder: return "session-order";
+    case Clause::kOther: return "other";
+  }
+  return "other";
+}
+
+Clause classify_clause(std::string_view why) {
+  auto has = [&](std::string_view needle) {
+    return why.find(needle) != std::string_view::npos;
+  };
+  if (has("PREREAD")) return Clause::kPreread;
+  if (has("fractured read")) return Clause::kFracturedRead;
+  if (has("CAUS-VIS")) return Clause::kCausalVisibility;
+  if (has("parent state")) return Clause::kParentIncomplete;
+  if (has("C-ORD")) return Clause::kCommitOrder;
+  if (has("time oracle")) return Clause::kTimeOracle;
+  // SI-family snapshot search failures — the online monitor folds the timed
+  // recency lower bounds into one admissible-state message, so the offline
+  // no-complete / NO-CONF / T_s<_sT spellings classify with it.
+  if (has("no complete state") || has("NO-CONF") ||
+      has("no admissible snapshot") || has("T_s <_s T")) {
+    return Clause::kSnapshot;
+  }
+  if (has("session predecessor") || has("Session SI recency")) {
+    return Clause::kSessionOrder;
+  }
+  if (has("real-time") || has("snapshot misses") || has("recency fails")) {
+    return Clause::kRealtime;
+  }
+  return Clause::kOther;
+}
+
+namespace {
+
+/// Append-stable test: is op i of `ops` an external read of an APPLIED
+/// member writer? (writer resolved, dense < f — a same-block forward
+/// reference is excluded, exactly as it would be had the block been split.)
+bool applied_external_read(const model::OpsView& ops, std::size_t i, TxnIdx f) {
+  if (ops.cls(i) != model::OpClass::kReadExternal) return false;
+  const TxnIdx w = ops.writer(i);
+  return w != model::kNoTxnIdx && w < f;
+}
+
+void sort_unique_keys(std::vector<Key>& v) {
+  std::sort(v.begin(), v.end());
+  v.erase(std::unique(v.begin(), v.end()), v.end());
+}
+
+}  // namespace
+
+Witness extract_witness(const model::CompiledHistory& ch, const WitnessInputs& in) {
+  Witness w;
+  w.clause = in.clause;
+  w.level = in.level;
+  w.engine = in.engine;
+  const TxnIdx f = in.failing;
+  w.txn = ch.id_of(f);
+
+  // Node 0 is always the failing transaction. dense_of[i] is the dense index
+  // behind nodes[i] (kNoTxnIdx for the synthetic ⊥ node).
+  std::vector<TxnIdx> dense_of;
+  w.nodes.push_back({w.txn, kRoleFailing, ch.session(f), {}, {}});
+  dense_of.push_back(f);
+  auto node_of = [&](TxnIdx d, std::uint8_t role) -> std::uint8_t {
+    for (std::size_t i = 0; i < w.nodes.size(); ++i) {
+      if (dense_of[i] == d) return static_cast<std::uint8_t>(i);
+    }
+    w.nodes.push_back({ch.id_of(d), role, ch.session(d), {}, {}});
+    dense_of.push_back(d);
+    return static_cast<std::uint8_t>(w.nodes.size() - 1);
+  };
+
+  struct RawEdge {
+    std::uint8_t from, to, kind;
+    Key key;
+    bool keyed;
+  };
+  std::vector<RawEdge> edges;
+
+  const bool f_resident = f >= ch.retired();
+  std::uint8_t init_node = 0xFF;
+  // (key, writer node) of each usable external read, for the missed-write
+  // reconstruction below.
+  std::vector<std::pair<model::KeyIdx, std::uint8_t>> reads;
+
+  if (f_resident) {
+    const model::OpsView ops = ch.ops(f);
+    std::vector<TxnIdx> writers;  // dense writers, node-capped deterministically
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+      if (applied_external_read(ops, i, f)) writers.push_back(ops.writer(i));
+    }
+    std::sort(writers.begin(), writers.end());
+    writers.erase(std::unique(writers.begin(), writers.end()), writers.end());
+    // Cap the neighborhood: keep f, ⊥, `other`, then observed writers in
+    // dense order. (kMaxNodes is small; count what was dropped.)
+    std::size_t budget = kMaxNodes - 2;  // room for f + possibly init
+    if (in.other != model::kNoTxnIdx) --budget;
+    if (writers.size() > budget) {
+      w.truncated = static_cast<std::uint32_t>(writers.size() - budget);
+      writers.resize(budget);
+    }
+    auto kept = [&](TxnIdx d) {
+      return std::binary_search(writers.begin(), writers.end(), d);
+    };
+
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+      const std::uint8_t m = ops.flags(i);
+      const model::KeyIdx k = ops.key(i);
+      const Key key = ch.keys().key_of(k);
+      if ((m & model::kOpWrite) != 0) continue;
+      if (ops.cls(i) == model::OpClass::kReadInitial) {
+        if (init_node == 0xFF) {
+          init_node = static_cast<std::uint8_t>(w.nodes.size());
+          w.nodes.push_back({kInitTxn, kRoleInit, kNoSession, {}, {}});
+          dense_of.push_back(model::kNoTxnIdx);
+        }
+        edges.push_back({init_node, 0, adya::kWR, key, true});
+        reads.emplace_back(k, init_node);
+        continue;
+      }
+      if (!applied_external_read(ops, i, f) || !kept(ops.writer(i))) continue;
+      const std::uint8_t wn = node_of(ops.writer(i), kRoleOther);
+      edges.push_back({wn, 0, adya::kWR, key, true});
+      reads.emplace_back(k, wn);
+    }
+  }
+
+  // The clause's named other transaction (retroactive inverter, C-ORD
+  // predecessor, missed writer). Its scalar columns are retained even when
+  // it is retired.
+  std::uint8_t other_node = 0xFF;
+  if (in.other != model::kNoTxnIdx && in.other != f) {
+    other_node = node_of(in.other, kRoleOther);
+    std::uint8_t kind = 0;
+    switch (in.clause) {
+      case Clause::kRealtime:
+      case Clause::kCommitOrder:
+        kind = adya::kRT;
+        break;
+      case Clause::kSessionOrder:
+      case Clause::kSnapshot:
+        kind = adya::kSD;
+        break;
+      default:
+        break;  // missed-writer relations are reconstructed below
+    }
+    if (kind != 0) edges.push_back({other_node, 0, kind, Key{}, false});
+  }
+
+  // Missed-write reconstruction: for every non-failing node n and every key
+  // f read from some OTHER node, if n also wrote that key then f's read
+  // skipped n's version — an anti-dependency f -rw-> n. This recovers the
+  // fractured-read wr+rw pair, the CAUS-VIS miss, and the write-skew /
+  // G-SI rw edge toward the clause's named transaction, from retained
+  // (window-exact) footprint data only: writes_key() is exact even for a
+  // retired `other`.
+  if (f_resident) {
+    for (std::size_t n = 1; n < w.nodes.size(); ++n) {
+      if (w.nodes[n].role == kRoleInit) continue;
+      const TxnIdx dn = dense_of[n];
+      for (const auto& [k, wn] : reads) {
+        if (wn == n) continue;
+        if (!ch.writes_key(dn, k)) continue;
+        edges.push_back({0, static_cast<std::uint8_t>(n), adya::kRW,
+                         ch.keys().key_of(k), true});
+      }
+    }
+  }
+
+  w.shape.roles.clear();
+  for (const WitnessNode& n : w.nodes) w.shape.roles.push_back(n.role);
+  for (const RawEdge& e : edges) w.shape.edges.push_back({e.from, e.to, e.kind});
+  w.shape.normalize();
+
+  // Implicated keys + per-node footprints from the keyed edges: a wr edge
+  // means `from` wrote and `to` read the key; an rw edge means `from` read a
+  // key `to` (also) wrote.
+  for (const RawEdge& e : edges) {
+    if (!e.keyed) continue;
+    w.keys.push_back(e.key);
+    if (e.kind == adya::kWR) {
+      w.nodes[e.from].writes.push_back(e.key);
+      w.nodes[e.to].reads.push_back(e.key);
+    } else if (e.kind == adya::kRW) {
+      w.nodes[e.from].reads.push_back(e.key);
+      w.nodes[e.to].writes.push_back(e.key);
+    }
+  }
+  sort_unique_keys(w.keys);
+  for (WitnessNode& n : w.nodes) {
+    sort_unique_keys(n.reads);
+    sort_unique_keys(n.writes);
+  }
+
+  const ShapeGraph canon = canonical_form(w.shape);
+  w.shape_str = shape_string(canon);
+  std::uint64_t h = fnv1a(kFnvBasis, name_of(w.clause));
+  h = fnv1a(h, std::string_view("\0", 1));
+  w.fingerprint = fnv1a(h, canonical_code(canon));
+  return w;
+}
+
+std::optional<Witness> witness_from_diagnosis(const model::CompiledHistory& ch,
+                                              const checker::ReadDiagnosis& d,
+                                              std::string engine,
+                                              ct::IsolationLevel fallback_level) {
+  // Dense index of the failing transaction (cold path; linear scan).
+  TxnIdx f = model::kNoTxnIdx;
+  const TxnIdx n = static_cast<TxnIdx>(ch.size());
+  for (TxnIdx i = 0; i < n; ++i) {
+    if (ch.id_of(i) == d.txn) {
+      f = i;
+      break;
+    }
+  }
+  if (f == model::kNoTxnIdx) return std::nullopt;
+  WitnessInputs in;
+  in.failing = f;
+  in.clause = classify_clause(d.clause);
+  in.level = d.level.value_or(fallback_level);
+  in.engine = std::move(engine);
+  return extract_witness(ch, in);
+}
+
+std::optional<Witness> witness_from_result(const model::CompiledHistory& ch,
+                                           const checker::CheckResult& r,
+                                           ct::IsolationLevel level) {
+  if (!r.unsatisfiable() || !r.diagnosis.has_value()) return std::nullopt;
+  return witness_from_diagnosis(ch, *r.diagnosis,
+                                r.engine.empty() ? "unknown" : r.engine, level);
+}
+
+}  // namespace crooks::forensics

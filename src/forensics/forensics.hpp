@@ -1,0 +1,123 @@
+// Violation forensics: canonical witnesses extracted from refutations.
+//
+// PR 4 made every refutation explainable one at a time; this layer turns the
+// verdict stream into fleet-level evidence. A forensics::Witness is the
+// canonicalized record of ONE refutation — the violated clause, the
+// implicated transactions/keys/sessions, and the induced dependency
+// subgraph — extracted either from an offline engine's ReadDiagnosis or from
+// an OnlineChecker violation event.
+//
+// Extraction is deliberately restricted to WINDOW-SAFE, APPEND-STABLE data:
+// the failing transaction's own compiled ops (resident when the event
+// fires), the retained scalar columns (ids, sessions, timestamps — kept
+// forever across retire()), and writes_key() (exact for retired
+// transactions). Nothing read here depends on transactions applied after the
+// failing one or on how the stream happened to batch into blocks, so the
+// same log produces byte-identical witnesses whether it is replayed offline
+// in one gulp or tailed block by block under --follow — the property the CI
+// determinism gate pins.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "checker/checker.hpp"
+#include "committest/levels.hpp"
+#include "common/ids.hpp"
+#include "forensics/fingerprint.hpp"
+#include "model/compiled.hpp"
+
+namespace crooks::forensics {
+
+/// Commit-test clause families, classified from the human explanation
+/// strings every engine (and the online monitor) emits. The online monitor
+/// folds the snapshot-recency bound into its admissible-state search, so the
+/// SI no-complete / NO-CONF / T_s<_sT refutations all land in kSnapshot —
+/// offline and streaming replays of one log then classify identically.
+enum class Clause : std::uint8_t {
+  kPreread,           // PREREAD fails
+  kFracturedRead,     // RA fracture across one writer's updates
+  kCausalVisibility,  // PSI CAUS-VIS miss
+  kParentIncomplete,  // SER/SSER: parent state not complete
+  kSnapshot,          // SI family: no complete/conflict-free/admissible state
+  kCommitOrder,       // C-ORD: execution not in commit-timestamp order
+  kTimeOracle,        // timed level on an untimestamped transaction
+  kRealtime,          // real-time recency / retroactive inversion
+  kSessionOrder,      // session recency / session predecessor inversion
+  kOther,
+};
+inline constexpr std::size_t kClauseCount = 10;
+
+std::string_view name_of(Clause c);
+
+/// Map an engine or monitor explanation string to its clause family.
+Clause classify_clause(std::string_view why);
+
+/// One implicated transaction, with the footprint slice the pattern replayer
+/// needs (restricted to the witness's implicated keys, bounded).
+struct WitnessNode {
+  TxnId id{};
+  std::uint8_t role = kRoleOther;  // kRoleFailing / kRoleInit / kRoleOther
+  SessionId session = kNoSession;
+  std::vector<Key> reads;   // implicated keys this node read
+  std::vector<Key> writes;  // implicated keys this node wrote
+};
+
+/// Canonical record of one refutation.
+struct Witness {
+  Clause clause = Clause::kOther;
+  ct::IsolationLevel level = ct::IsolationLevel::kReadUncommitted;
+  std::string engine;  // "direct" / "graph" / "exhaustive" / "online" / ...
+  TxnId txn{};         // the transaction whose commit test failed
+  /// Implicated transactions; node 0 is always the failing transaction.
+  /// ShapeGraph node i == nodes[i].
+  std::vector<WitnessNode> nodes;
+  ShapeGraph shape;              // normalized, in nodes[] order
+  std::vector<Key> keys;         // implicated keys, sorted
+  std::uint32_t truncated = 0;   // implicated txns dropped by the node cap
+  std::uint64_t fingerprint = 0; // FNV-1a over clause + canonical shape code
+  std::string shape_str;         // canonical rendering
+};
+
+/// Inputs shared by both extraction paths.
+struct WitnessInputs {
+  model::TxnIdx failing = model::kNoTxnIdx;
+  Clause clause = Clause::kOther;
+  ct::IsolationLevel level = ct::IsolationLevel::kReadUncommitted;
+  std::string engine;
+  /// The other transaction the clause names (retroactive inverter, C-ORD
+  /// predecessor, missed writer); kNoTxnIdx when none.
+  model::TxnIdx other = model::kNoTxnIdx;
+};
+
+/// Build the canonical witness for one refutation over the compiled history.
+///
+/// The conflict neighborhood is the failing transaction f, the APPLIED
+/// member writers its external reads observed (dense index < f — a read of
+/// a not-yet-applied writer is excluded so block batching cannot change the
+/// shape), the synthetic ⊥ node when f read an initial version, and the
+/// clause's named `other` transaction. Edges: w -wr-> f per observed read;
+/// f -rw-> w per write of w to a key f read from someone else (the missed
+/// version); plus the clause edge other -rt/sd-> f for the ordering
+/// clauses. When f itself is retired (only the retroactive-inversion victim
+/// can be) the witness degrades to the minimal {f, other} pair.
+Witness extract_witness(const model::CompiledHistory& ch, const WitnessInputs& in);
+
+/// Witness from an offline engine's refutation evidence. `fallback_level` is
+/// used when the diagnosis does not name the audited level. Returns nullopt
+/// when the diagnosis names a transaction the history does not contain.
+std::optional<Witness> witness_from_diagnosis(const model::CompiledHistory& ch,
+                                              const checker::ReadDiagnosis& d,
+                                              std::string engine,
+                                              ct::IsolationLevel fallback_level);
+
+/// Witness from a CheckResult (uses its diagnosis + engine tag); nullopt for
+/// satisfiable results or refutations without a diagnosis.
+std::optional<Witness> witness_from_result(const model::CompiledHistory& ch,
+                                           const checker::CheckResult& r,
+                                           ct::IsolationLevel level);
+
+}  // namespace crooks::forensics

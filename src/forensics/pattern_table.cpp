@@ -1,0 +1,165 @@
+#include "forensics/pattern_table.hpp"
+
+#include <algorithm>
+
+namespace crooks::forensics {
+
+void SpaceSaving::add(std::uint64_t item) {
+  for (Entry& e : slots_) {
+    if (e.item == item) {
+      ++e.count;
+      return;
+    }
+  }
+  if (slots_.size() < k_) {
+    slots_.push_back({item, 1});
+    return;
+  }
+  // Evict the FIRST minimum-count slot (deterministic); the newcomer
+  // inherits its count + 1 (space-saving overestimate).
+  std::size_t victim = 0;
+  for (std::size_t i = 1; i < slots_.size(); ++i) {
+    if (slots_[i].count < slots_[victim].count) victim = i;
+  }
+  slots_[victim] = {item, slots_[victim].count + 1};
+}
+
+std::vector<SpaceSaving::Entry> SpaceSaving::top() const {
+  std::vector<Entry> out = slots_;
+  std::sort(out.begin(), out.end(), [](const Entry& a, const Entry& b) {
+    if (a.count != b.count) return a.count > b.count;
+    return a.item < b.item;
+  });
+  return out;
+}
+
+std::size_t engine_index(std::string_view engine) {
+  for (std::size_t i = 0; i < kEngineNames.size(); ++i) {
+    if (kEngineNames[i] == engine) return i;
+  }
+  return kEngineNames.size() - 1;  // "unknown"
+}
+
+namespace {
+
+std::string hex6(std::uint64_t v) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string out(6, '0');
+  for (std::size_t i = 0; i < 6; ++i) {
+    out[5 - i] = kHex[(v >> (4 * i)) & 0xF];
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string pattern_name(const Witness& w) {
+  const std::string cycle = known_cycle_name(canonical_form(w.shape));
+  std::string out(name_of(w.clause));
+  if (!cycle.empty()) {
+    out += '/';
+    out += cycle;
+  } else {
+    out += '-';
+    out += hex6(w.fingerprint);
+  }
+  return out;
+}
+
+void PatternTable::add(const Witness& w) {
+  const std::uint64_t seq = ++seq_;
+  if (buffer_.size() < opt_.exemplar_buffer) buffer_.push_back(w);
+
+  auto it = index_.find(w.fingerprint);
+  if (it == index_.end()) {
+    if (rows_.size() >= opt_.max_patterns) {
+      ++overflow_;
+      return;
+    }
+    index_.emplace(w.fingerprint, rows_.size());
+    PatternRow row;
+    row.fingerprint = w.fingerprint;
+    row.name = pattern_name(w);
+    row.shape = w.shape_str;
+    row.clause = w.clause;
+    row.first_seq = seq;
+    row.hot_keys = SpaceSaving(opt_.hot_k);
+    row.hot_sessions = SpaceSaving(opt_.hot_k);
+    row.exemplar = w;
+    rows_.push_back(std::move(row));
+    it = index_.find(w.fingerprint);
+  }
+
+  PatternRow& row = rows_[it->second];
+  ++row.count;
+  row.last_seq = seq;
+  row.truncated += w.truncated;
+  row.by_level[static_cast<std::size_t>(w.level)] += 1;
+  row.by_engine[engine_index(w.engine)] += 1;
+  for (Key k : w.keys) row.hot_keys.add(k.value);
+  for (const WitnessNode& n : w.nodes) {
+    if (n.session != kNoSession) row.hot_sessions.add(n.session.value);
+  }
+}
+
+std::vector<const PatternRow*> PatternTable::rows() const {
+  std::vector<const PatternRow*> out;
+  out.reserve(rows_.size());
+  for (const PatternRow& r : rows_) out.push_back(&r);
+  std::sort(out.begin(), out.end(), [](const PatternRow* a, const PatternRow* b) {
+    if (a->count != b->count) return a->count > b->count;
+    if (a->first_seq != b->first_seq) return a->first_seq < b->first_seq;
+    return a->fingerprint < b->fingerprint;
+  });
+  return out;
+}
+
+std::vector<MinedPattern> PatternTable::mine() const {
+  struct Acc {
+    ShapeGraph canon;
+    std::uint64_t support = 0;
+  };
+  std::vector<std::string> codes;   // sorted, parallel to accs by index map
+  std::vector<Acc> accs;
+  std::vector<std::size_t> order;   // accs index at codes position
+
+  for (const Witness& w : buffer_) {
+    const std::vector<ShapeGraph> subs =
+        enumerate_subshapes(w.shape, opt_.mine_max_edges);
+    // enumerate_subshapes dedups within one witness, so each hit below is a
+    // distinct-witness support increment.
+    for (const ShapeGraph& sub : subs) {
+      std::string code = canonical_code(sub);
+      auto it = std::lower_bound(codes.begin(), codes.end(), code);
+      const std::size_t pos = static_cast<std::size_t>(it - codes.begin());
+      if (it != codes.end() && *it == code) {
+        ++accs[order[pos]].support;
+      } else {
+        codes.insert(it, std::move(code));
+        order.insert(order.begin() + static_cast<std::ptrdiff_t>(pos), accs.size());
+        accs.push_back({sub, 1});
+      }
+    }
+  }
+
+  std::vector<MinedPattern> out;
+  for (std::size_t pos = 0; pos < codes.size(); ++pos) {
+    const Acc& a = accs[order[pos]];
+    if (a.support < opt_.mine_min_support) continue;
+    MinedPattern p;
+    p.fingerprint = fnv1a(kFnvBasis, codes[pos]);
+    const std::string cycle = known_cycle_name(a.canon);
+    p.name = cycle.empty() ? "shape-" + hex6(p.fingerprint) : cycle;
+    p.shape = shape_string(a.canon);
+    p.support = a.support;
+    out.push_back(std::move(p));
+  }
+  std::sort(out.begin(), out.end(), [](const MinedPattern& a, const MinedPattern& b) {
+    if (a.support != b.support) return a.support > b.support;
+    return a.fingerprint < b.fingerprint;
+  });
+  if (out.size() > opt_.mine_max_promoted) out.resize(opt_.mine_max_promoted);
+  return out;
+}
+
+}  // namespace crooks::forensics

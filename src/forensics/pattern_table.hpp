@@ -1,0 +1,136 @@
+// Bounded pattern store: the fleet-level aggregate over canonical witnesses.
+//
+// Honors the PR 8 flat-memory contract: every container here has a fixed
+// capacity set at construction. Patterns beyond max_patterns fold into one
+// overflow bucket; hot keys/sessions are space-saving sketches (Metwally et
+// al.) of fixed width; mining reads a bounded head-sample of witnesses.
+// Everything is deterministic — insertion order, eviction choice (first
+// minimum slot) and every sort key are functions of the witness sequence
+// alone, never of wall-clock time or memory addresses — which is what lets
+// CI demand byte-identical reports across thread counts and across offline
+// vs --follow replays of the same log.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "forensics/forensics.hpp"
+
+namespace crooks::forensics {
+
+/// Space-saving top-k heavy-hitter sketch over uint64 items. Deterministic:
+/// a new item evicts the FIRST minimum-count slot and inherits its count
+/// (the classic overestimate bound: true count ≤ reported count).
+class SpaceSaving {
+ public:
+  struct Entry {
+    std::uint64_t item = 0;
+    std::uint64_t count = 0;
+  };
+
+  explicit SpaceSaving(std::size_t k = 8) : k_(k) {}
+
+  void add(std::uint64_t item);
+  /// Entries ordered by (count desc, item asc) — the render order.
+  std::vector<Entry> top() const;
+  bool empty() const { return slots_.empty(); }
+
+ private:
+  std::size_t k_;
+  std::vector<Entry> slots_;
+};
+
+/// The closed engine universe of by_engine splits (every CheckResult::engine
+/// spelling plus the online monitor).
+inline constexpr std::array<std::string_view, 7> kEngineNames = {
+    "online", "direct", "graph", "exhaustive", "heuristic", "hierarchy",
+    "unknown"};
+std::size_t engine_index(std::string_view engine);  // kEngineNames.size()-1 fallback
+
+/// One aggregated pattern: every witness whose (clause, canonical shape)
+/// fingerprint matched.
+struct PatternRow {
+  std::uint64_t fingerprint = 0;
+  std::string name;   // e.g. "snapshot/write-skew" or "preread-3f91ac"
+  std::string shape;  // canonical shape rendering
+  Clause clause = Clause::kOther;
+  std::uint64_t count = 0;
+  /// Witness sequence numbers (1-based, assignment order) — NOT wall clock,
+  /// so replays of one log agree byte-for-byte.
+  std::uint64_t first_seq = 0;
+  std::uint64_t last_seq = 0;
+  std::array<std::uint64_t, ct::kAllLevels.size()> by_level{};
+  std::array<std::uint64_t, kEngineNames.size()> by_engine{};
+  SpaceSaving hot_keys;      // items are Key::value
+  SpaceSaving hot_sessions;  // items are SessionId::value
+  std::uint64_t truncated = 0;  // summed node-cap drops across witnesses
+  Witness exemplar;             // the pattern's first witness
+};
+
+/// A recurring sub-shape promoted by the frequent-subgraph pass.
+struct MinedPattern {
+  std::uint64_t fingerprint = 0;
+  std::string name;   // cycle name when recognized, else "shape-<hex>"
+  std::string shape;  // canonical rendering
+  std::uint64_t support = 0;  // distinct witnesses containing the sub-shape
+};
+
+/// Display name for a witness: "<clause>/<cycle>" when the canonical shape
+/// contains a recognized 2-cycle, else "<clause>-<hex6 of fingerprint>".
+std::string pattern_name(const Witness& w);
+
+class PatternTable {
+ public:
+  struct Options {
+    std::size_t max_patterns = 64;    // distinct rows before overflow folding
+    std::size_t hot_k = 8;            // sketch width per row
+    std::size_t exemplar_buffer = 256;  // head-sample size the miner reads
+    std::size_t mine_max_edges = 3;
+    std::uint64_t mine_min_support = 2;
+    std::size_t mine_max_promoted = 16;
+  };
+
+  PatternTable() : PatternTable(Options{}) {}
+  explicit PatternTable(Options opt) : opt_(opt) {}
+
+  void add(const Witness& w);
+
+  std::uint64_t witnesses() const { return seq_; }
+  /// Witnesses that arrived after the table was full with an unseen
+  /// fingerprint (counted, not aggregated).
+  std::uint64_t overflow() const { return overflow_; }
+  std::size_t size() const { return rows_.size(); }
+  const Options& options() const { return opt_; }
+
+  /// Rows ordered by (count desc, first_seq asc, fingerprint asc) — the
+  /// canonical render order every exporter uses.
+  std::vector<const PatternRow*> rows() const;
+
+  /// Row aggregating this fingerprint, or nullptr (unseen / overflowed).
+  const PatternRow* find(std::uint64_t fingerprint) const {
+    auto it = index_.find(fingerprint);
+    return it == index_.end() ? nullptr : &rows_[it->second];
+  }
+
+  /// Frequent-subgraph pass over the buffered head-sample: every weakly
+  /// connected sub-shape (≤ mine_max_edges edges) contained in at least
+  /// mine_min_support distinct witnesses, ordered by (support desc,
+  /// fingerprint asc), capped at mine_max_promoted.
+  std::vector<MinedPattern> mine() const;
+
+  /// The buffered head-sample (first exemplar_buffer witnesses).
+  const std::vector<Witness>& sample() const { return buffer_; }
+
+ private:
+  Options opt_;
+  std::vector<PatternRow> rows_;  // insertion order; bounded by max_patterns
+  std::unordered_map<std::uint64_t, std::size_t> index_;  // fingerprint → row
+  std::uint64_t seq_ = 0;
+  std::uint64_t overflow_ = 0;
+  std::vector<Witness> buffer_;
+};
+
+}  // namespace crooks::forensics

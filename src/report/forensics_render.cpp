@@ -1,0 +1,220 @@
+#include "report/forensics_render.hpp"
+
+#include <cstdio>
+#include <iomanip>
+#include <sstream>
+
+namespace crooks::report {
+
+namespace {
+
+std::string hex16(std::uint64_t v) {
+  std::ostringstream os;
+  os << std::hex << std::setw(16) << std::setfill('0') << v;
+  return os.str();
+}
+
+std::string json_escape(std::string_view v) {
+  std::string out;
+  out.reserve(v.size());
+  for (char c : v) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+const char* role_name(std::uint8_t role) {
+  switch (role) {
+    case forensics::kRoleFailing: return "failing";
+    case forensics::kRoleInit: return "init";
+    default: return "other";
+  }
+}
+
+/// count/total as integer per-mille, the only "rate" the exporters emit
+/// (floating point would invite formatting drift across platforms).
+std::uint64_t per_mille(std::uint64_t count, std::uint64_t total) {
+  return total == 0 ? 0 : count * 1000 / total;
+}
+
+void json_key_list(std::ostringstream& os, const std::vector<Key>& keys) {
+  os << "[";
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    if (i != 0) os << ",";
+    os << "\"" << to_string(keys[i]) << "\"";
+  }
+  os << "]";
+}
+
+void json_exemplar(std::ostringstream& os, const forensics::Witness& w) {
+  os << "{\"txn\":\"" << to_string(w.txn) << "\",\"level\":\""
+     << ct::name_of(w.level) << "\",\"engine\":\"" << json_escape(w.engine)
+     << "\",\"clause\":\"" << forensics::name_of(w.clause) << "\",\"keys\":";
+  json_key_list(os, w.keys);
+  os << ",\"nodes\":[";
+  for (std::size_t i = 0; i < w.nodes.size(); ++i) {
+    const forensics::WitnessNode& n = w.nodes[i];
+    if (i != 0) os << ",";
+    os << "{\"txn\":\"" << to_string(n.id) << "\",\"role\":\""
+       << role_name(n.role) << "\",\"session\":\"" << to_string(n.session)
+       << "\",\"reads\":";
+    json_key_list(os, n.reads);
+    os << ",\"writes\":";
+    json_key_list(os, n.writes);
+    os << "}";
+  }
+  os << "]}";
+}
+
+}  // namespace
+
+std::string render_forensics(const forensics::PatternTable& table) {
+  std::ostringstream out;
+  out << "violation forensics: " << table.witnesses() << " witness"
+      << (table.witnesses() == 1 ? "" : "es") << ", " << table.size()
+      << " pattern" << (table.size() == 1 ? "" : "s");
+  if (table.overflow() != 0) out << ", " << table.overflow() << " overflowed";
+  out << "\n";
+  if (table.witnesses() == 0) {
+    out << "  no violation witnesses\n";
+    return out.str();
+  }
+
+  for (const forensics::PatternRow* row : table.rows()) {
+    out << "  [" << hex16(row->fingerprint).substr(10) << "] " << row->name
+        << "  ×" << row->count << " (" << per_mille(row->count, table.witnesses())
+        << "‰)  witnesses #" << row->first_seq << "–#" << row->last_seq << "\n";
+    out << "      shape: " << row->shape << "\n";
+    out << "      levels:";
+    for (std::size_t i = 0; i < ct::kAllLevels.size(); ++i) {
+      if (row->by_level[i] == 0) continue;
+      out << " " << ct::name_of(ct::kAllLevels[i]) << " ×" << row->by_level[i];
+    }
+    out << " | engines:";
+    for (std::size_t i = 0; i < forensics::kEngineNames.size(); ++i) {
+      if (row->by_engine[i] == 0) continue;
+      out << " " << forensics::kEngineNames[i] << " ×" << row->by_engine[i];
+    }
+    out << "\n";
+    const auto keys = row->hot_keys.top();
+    const auto sessions = row->hot_sessions.top();
+    if (!keys.empty() || !sessions.empty()) {
+      out << "      hot keys:";
+      for (const auto& e : keys) {
+        out << " " << to_string(Key{e.item}) << " ×" << e.count;
+      }
+      out << " | hot sessions:";
+      for (const auto& e : sessions) {
+        out << " "
+            << to_string(SessionId{static_cast<std::uint32_t>(e.item)})
+            << " ×" << e.count;
+      }
+      out << "\n";
+    }
+    if (row->truncated != 0) {
+      out << "      truncated: " << row->truncated
+          << " implicated transaction(s) beyond the node cap\n";
+    }
+    out << "      exemplar: " << to_string(row->exemplar.txn) << " at "
+        << ct::name_of(row->exemplar.level) << " via " << row->exemplar.engine;
+    if (!row->exemplar.keys.empty()) {
+      out << ", keys";
+      for (const Key& k : row->exemplar.keys) out << " " << to_string(k);
+    }
+    out << "\n";
+  }
+
+  const auto mined = table.mine();
+  if (!mined.empty()) {
+    out << "  mined sub-shapes (support ≥ "
+        << table.options().mine_min_support << " of "
+        << table.sample().size() << " sampled):\n";
+    for (const forensics::MinedPattern& m : mined) {
+      out << "    " << m.name << " ×" << m.support << ": " << m.shape << "\n";
+    }
+  }
+  return out.str();
+}
+
+std::string forensics_json(const forensics::PatternTable& table) {
+  std::ostringstream os;
+  os << "{\"witnesses\":" << table.witnesses()
+     << ",\"patterns\":" << table.size()
+     << ",\"overflow\":" << table.overflow() << ",\"table\":[";
+  bool first_row = true;
+  for (const forensics::PatternRow* row : table.rows()) {
+    if (!first_row) os << ",";
+    first_row = false;
+    os << "{\"id\":\"" << hex16(row->fingerprint) << "\",\"name\":\""
+       << json_escape(row->name) << "\",\"clause\":\""
+       << forensics::name_of(row->clause) << "\",\"shape\":\""
+       << json_escape(row->shape) << "\",\"count\":" << row->count
+       << ",\"rate_pm\":" << per_mille(row->count, table.witnesses())
+       << ",\"first_seq\":" << row->first_seq
+       << ",\"last_seq\":" << row->last_seq
+       << ",\"truncated\":" << row->truncated << ",\"levels\":[";
+    bool first = true;
+    for (std::size_t i = 0; i < ct::kAllLevels.size(); ++i) {
+      if (row->by_level[i] == 0) continue;
+      if (!first) os << ",";
+      first = false;
+      os << "{\"level\":\"" << ct::name_of(ct::kAllLevels[i])
+         << "\",\"count\":" << row->by_level[i] << "}";
+    }
+    os << "],\"engines\":[";
+    first = true;
+    for (std::size_t i = 0; i < forensics::kEngineNames.size(); ++i) {
+      if (row->by_engine[i] == 0) continue;
+      if (!first) os << ",";
+      first = false;
+      os << "{\"engine\":\"" << forensics::kEngineNames[i]
+         << "\",\"count\":" << row->by_engine[i] << "}";
+    }
+    os << "],\"hot_keys\":[";
+    first = true;
+    for (const auto& e : row->hot_keys.top()) {
+      if (!first) os << ",";
+      first = false;
+      os << "{\"key\":\"" << to_string(Key{e.item}) << "\",\"count\":" << e.count
+         << "}";
+    }
+    os << "],\"hot_sessions\":[";
+    first = true;
+    for (const auto& e : row->hot_sessions.top()) {
+      if (!first) os << ",";
+      first = false;
+      os << "{\"session\":\""
+         << to_string(SessionId{static_cast<std::uint32_t>(e.item)})
+         << "\",\"count\":" << e.count << "}";
+    }
+    os << "],\"exemplar\":";
+    json_exemplar(os, row->exemplar);
+    os << "}";
+  }
+  os << "],\"mined\":[";
+  bool first = true;
+  for (const forensics::MinedPattern& m : table.mine()) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"id\":\"" << hex16(m.fingerprint) << "\",\"name\":\""
+       << json_escape(m.name) << "\",\"shape\":\"" << json_escape(m.shape)
+       << "\",\"support\":" << m.support << "}";
+  }
+  os << "]}\n";
+  return os.str();
+}
+
+}  // namespace crooks::report

@@ -1,0 +1,31 @@
+// Rendering for the violation-forensics pattern table.
+//
+// Two exporters over one forensics::PatternTable, both consuming the table's
+// canonical row order (count desc, first_seq asc, fingerprint asc) and
+// nothing else — no wall-clock, no pointers, no locale — so the offline
+// `crooks-check --forensics` replay and a `--follow` run over the same log
+// render byte-identical output (the CI determinism gate diffs them).
+#pragma once
+
+#include <string>
+
+#include "forensics/pattern_table.hpp"
+
+namespace crooks::report {
+
+/// The human "violation forensics" report section. Every line is indented
+/// under a section header and ends with '\n'; empty tables render a single
+/// "no violation witnesses" line. Rates are integer per-mille of the witness
+/// total (never floating point).
+std::string render_forensics(const forensics::PatternTable& table);
+
+/// Machine export (`--forensics-json`): one line of JSON, '\n'-terminated.
+///   {"witnesses":N,"patterns":N,"overflow":N,
+///    "table":[{pattern id, name, clause, shape, count, rate_pm, first/last
+///              witness sequence numbers, per-level and per-engine splits,
+///              hot keys/sessions, truncated count, exemplar witness}, ...],
+///    "mined":[{id,name,shape,support}, ...]}
+/// Pattern ids are the 16-hex-digit canonical fingerprints.
+std::string forensics_json(const forensics::PatternTable& table);
+
+}  // namespace crooks::report

@@ -4,6 +4,8 @@
 #include <sstream>
 
 #include "adya/phenomena.hpp"
+#include "forensics/collector.hpp"
+#include "report/forensics_render.hpp"
 
 namespace crooks::report {
 
@@ -18,9 +20,24 @@ const char* verdict_word(const checker::CheckResult& r) {
   return "?";
 }
 
-}  // namespace
+/// One text line per offline engine refutation: the canonical pattern the
+/// engine's evidence maps to. Annotation only — engine witnesses never enter
+/// the replay table the determinism gate diffs.
+std::string engine_exemplar_line(const model::CompiledHistory& ch,
+                                 const checker::CheckResult& r,
+                                 ct::IsolationLevel level,
+                                 std::string_view label) {
+  const std::optional<forensics::Witness> w =
+      forensics::witness_from_result(ch, r, level);
+  if (!w.has_value()) return {};
+  std::ostringstream os;
+  os << "    " << label << " (" << w->engine
+     << "): " << forensics::pattern_name(*w) << " — " << w->shape_str << "\n";
+  return os.str();
+}
 
-AuditResult audit(const Observations& obs, const checker::CheckOptions& base) {
+AuditResult audit_impl(const Observations& obs, const checker::CheckOptions& base,
+                       ForensicsAudit* sink) {
   checker::CheckOptions opts = base;
   if (obs.has_version_order() && opts.version_order == nullptr) {
     opts.version_order = &obs.version_order;
@@ -35,10 +52,30 @@ AuditResult audit(const Observations& obs, const checker::CheckOptions& base) {
   out << "\n\n";
 
   AuditResult result;
+
+  // Forensics replay: the same OnlineChecker + Collector path --follow runs,
+  // over the same transactions in the same (declaration) order. Built before
+  // the engine loop so its compiled stream doubles as the history the engine
+  // exemplar witnesses are extracted against.
+  std::optional<checker::OnlineChecker> replay;
+  forensics::Collector::Options copt;
+  copt.metrics = false;  // a library audit must not touch the global registry
+  forensics::Collector collector(copt);
+  std::string engine_lines;
+  if (sink != nullptr) {
+    replay.emplace();  // all ten levels, like the --follow default
+    collector.attach(*replay);
+    replay->append_all(obs.txns);
+  }
+
   std::vector<ct::IsolationLevel> passing;
   std::optional<model::Execution> strongest_witness;
   for (ct::IsolationLevel level : ct::kAllLevels) {
     const checker::CheckResult r = checker::check(level, obs.txns, opts);
+    if (replay.has_value()) {
+      engine_lines +=
+          engine_exemplar_line(replay->stream(), r, level, ct::name_of(level));
+    }
     out << "  " << verdict_word(r) << "  ";
     out.width(20);
     out << std::left << ct::name_of(level);
@@ -126,10 +163,35 @@ AuditResult audit(const Observations& obs, const checker::CheckOptions& base) {
         out << "      " << line << "\n";
       }
     }
+    if (replay.has_value()) {
+      engine_lines +=
+          engine_exemplar_line(replay->stream(), r, fallback, "mixed-level");
+    }
+  }
+
+  if (sink != nullptr) {
+    out << "\n" << render_forensics(collector.table());
+    if (!engine_lines.empty()) {
+      out << "  engine exemplars (∃e refutations, text only):\n" << engine_lines;
+    }
+    sink->table = collector.table();
   }
 
   result.text = out.str();
   return result;
+}
+
+}  // namespace
+
+AuditResult audit(const Observations& obs, const checker::CheckOptions& base) {
+  return audit_impl(obs, base, nullptr);
+}
+
+ForensicsAudit audit_with_forensics(const Observations& obs,
+                                    const checker::CheckOptions& base) {
+  ForensicsAudit fa;
+  fa.base = audit_impl(obs, base, &fa);
+  return fa;
 }
 
 std::string render_counterexample(const checker::ReadDiagnosis& d) {

@@ -9,6 +9,7 @@
 #include <string>
 
 #include "checker/checker.hpp"
+#include "forensics/pattern_table.hpp"
 #include "report/serialize.hpp"
 
 namespace crooks::report {
@@ -23,6 +24,22 @@ struct AuditResult {
 
 /// Audit observations against every isolation level.
 AuditResult audit(const Observations& obs, const checker::CheckOptions& base = {});
+
+/// audit() plus violation forensics (`crooks-check --forensics`). The
+/// observations are REPLAYED through the OnlineChecker + forensics::Collector
+/// — the exact machinery `--follow` runs — so `table` (and its
+/// forensics_json export) is byte-identical to a streaming run over the same
+/// log, whatever the block batching. The rendered text gains a "violation
+/// forensics" section: the aggregated pattern table, mined sub-shapes, and
+/// one exemplar witness line per offline engine refutation (those engine
+/// witnesses annotate the text only — they never enter `table`, which the
+/// determinism gate diffs against --follow).
+struct ForensicsAudit {
+  AuditResult base;
+  forensics::PatternTable table;  // apply-order replay aggregate
+};
+ForensicsAudit audit_with_forensics(const Observations& obs,
+                                    const checker::CheckOptions& base = {});
 
 /// Render an execution state by state: each transaction applied, the keys it
 /// changed, and the resulting state's contents (intended for small

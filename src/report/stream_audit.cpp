@@ -67,6 +67,7 @@ StreamAuditResult stream_audit(
   StreamAuditResult result;
   checker::OnlineChecker chk(opts.levels);
   chk.set_window({opts.window_txns, opts.window_bytes});
+  if (opts.on_checker) opts.on_checker(chk);
 
   std::string partial;           // line fragment read before its newline
   std::string open_block;        // lines of a `txn` block awaiting its `end`

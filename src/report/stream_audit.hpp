@@ -55,6 +55,10 @@ struct StreamAuditOptions {
   /// Byte-estimate variant (`--window-bytes=B`); both may be set, the
   /// tighter limit wins. See OnlineChecker::WindowOptions.
   std::size_t window_bytes = 0;
+  /// Invoked once on the freshly constructed checker, before any input is
+  /// read. `crooks-check --forensics --follow` attaches its forensics
+  /// Collector here (the collector must outlive the audit call).
+  std::function<void(checker::OnlineChecker&)> on_checker = {};
 };
 
 /// One audited batch (all complete transaction blocks available at a poll).

@@ -1,5 +1,6 @@
 #include "workload/workload.hpp"
 
+#include <algorithm>
 #include <unordered_set>
 
 #include "workload/zipf.hpp"
@@ -59,6 +60,45 @@ std::vector<store::TxnIntent> banking_withdrawals(std::size_t pairs) {
                           .read(checking)
                           .read(savings)
                           .write(savings));
+  }
+  return intents;
+}
+
+std::vector<store::TxnIntent> generate_from_pattern(
+    const forensics::Witness& w, const PatternReplayOptions& opts) {
+  // Slot index of each implicated key (w.keys is sorted and duplicate-free).
+  const auto slot_of = [&](Key k) {
+    return static_cast<std::uint64_t>(
+        std::lower_bound(w.keys.begin(), w.keys.end(), k,
+                         [](Key a, Key b) { return a.value < b.value; }) -
+        w.keys.begin());
+  };
+
+  std::vector<store::TxnIntent> intents;
+  for (std::size_t r = 0; r < opts.rounds; ++r) {
+    const auto remap = [&](Key k) {
+      if (opts.key_stride == 0) return k;
+      return Key{1 + static_cast<std::uint64_t>(r) * opts.key_stride + slot_of(k)};
+    };
+    // Rotate the starting node per round so the scheduler sees every
+    // arrival order of the conflicting footprints, not just the witness's.
+    const std::size_t n = w.nodes.size();
+    for (std::size_t j = 0; j < n; ++j) {
+      const std::size_t i = (j + r) % n;
+      const forensics::WitnessNode& node = w.nodes[i];
+      if (node.role == forensics::kRoleInit) continue;  // ⊥ has no intent
+      if (node.reads.empty() && node.writes.empty()) continue;
+      store::TxnIntent intent;
+      intent.at(w.level);
+      if (opts.sessions > 0) {
+        intent.session = SessionId{static_cast<std::uint32_t>(i % opts.sessions) + 1};
+      } else {
+        intent.session = node.session;
+      }
+      for (Key k : node.reads) intent.read(remap(k));
+      for (Key k : node.writes) intent.write(remap(k));
+      intents.push_back(std::move(intent));
+    }
   }
   return intents;
 }

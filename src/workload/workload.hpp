@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "forensics/forensics.hpp"
 #include "store/runner.hpp"
 
 namespace crooks::wl {
@@ -49,5 +50,26 @@ struct MixedProfileOptions {
   ct::IsolationLevel background_level = ct::IsolationLevel::kReadCommitted;
 };
 std::vector<store::TxnIntent> generate_mixed_profile(const MixedProfileOptions& opts);
+
+/// Forensics feedback loop: replay a mined violation pattern as a directed
+/// adversarial workload. Each round re-instantiates the witness's implicated
+/// transactions — one intent per non-init node, issuing that node's
+/// implicated reads then writes, declared at the witness's level — so the
+/// store/replication simulators are hammered with exactly the access shape
+/// that produced the violation (the conflict structure recurs; whether it
+/// re-manifests depends on the scheduler).
+struct PatternReplayOptions {
+  std::size_t rounds = 8;
+  /// Key-space stride between rounds: round r maps the witness's i-th
+  /// implicated key to `1 + r*key_stride + i`, so rounds contend only within
+  /// themselves. 0 = every round reuses the witness's own keys (maximum
+  /// cross-round contention).
+  std::uint64_t key_stride = 0;
+  /// >0: override node sessions round-robin across this many sessions;
+  /// 0 = inherit each witness node's own session id.
+  std::uint32_t sessions = 0;
+};
+std::vector<store::TxnIntent> generate_from_pattern(
+    const forensics::Witness& w, const PatternReplayOptions& opts = {});
 
 }  // namespace crooks::wl

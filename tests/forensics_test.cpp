@@ -1,0 +1,469 @@
+// Violation forensics: canonical fingerprints, the bounded pattern table,
+// and the determinism contract.
+//
+// The load-bearing property is REPLAY STABILITY: a witness depends only on
+// the stream prefix up to its violation (the failing transaction's own ops,
+// the retained scalar columns, exact write footprints), never on block
+// batching, thread counts, or wall clock. The suite pins that end to end —
+// same log in one gulp, transaction at a time, or random cuts ⇒ byte-equal
+// forensics_json — plus the unit truths underneath: isomorphic shapes
+// collapse to one fingerprint, the table's memory is bounded with counted
+// overflow, mining promotes recurring sub-shapes, and the mined exemplar
+// replays as a workload with the same access shape.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <span>
+#include <vector>
+
+#include "checker/checker.hpp"
+#include "checker/online.hpp"
+#include "forensics/collector.hpp"
+#include "forensics/fingerprint.hpp"
+#include "forensics/forensics.hpp"
+#include "forensics/pattern_table.hpp"
+#include "adya/graph.hpp"
+#include "report/forensics_render.hpp"
+#include "report/report.hpp"
+#include "workload/observations.hpp"
+#include "workload/workload.hpp"
+
+namespace crooks::forensics {
+namespace {
+
+using model::Transaction;
+using model::TransactionSet;
+using model::TxnBuilder;
+
+std::vector<Transaction> to_vector(const TransactionSet& txns) {
+  std::vector<Transaction> all;
+  all.reserve(txns.size());
+  for (const Transaction& t : txns) all.push_back(t);
+  return all;
+}
+
+/// The canonical write-skew history: T2 and T3 each read both keys from T1's
+/// install and blindly update one of them.
+std::vector<Transaction> write_skew() {
+  return {
+      TxnBuilder(1).write(1).write(2).session(SessionId{1}).at(0, 1).build(),
+      TxnBuilder(2)
+          .read(1, 1)
+          .read(2, 1)
+          .write(1)
+          .session(SessionId{2})
+          .at(2, 5)
+          .build(),
+      TxnBuilder(3)
+          .read(1, 1)
+          .read(2, 1)
+          .write(2)
+          .session(SessionId{3})
+          .at(3, 6)
+          .build(),
+  };
+}
+
+/// Replay `txns` through a fresh OnlineChecker (all ten levels) with a
+/// collector attached, exactly like `crooks-check --forensics`. `cuts`
+/// chooses the block boundaries; empty = one gulp.
+PatternTable replay(const std::vector<Transaction>& txns,
+                    const std::vector<std::size_t>& cuts = {},
+                    std::size_t window = 0) {
+  checker::OnlineChecker chk;
+  if (window != 0) chk.set_window({window, 0});
+  Collector::Options copt;
+  copt.metrics = false;
+  Collector coll(copt);
+  coll.attach(chk);
+  if (cuts.empty()) {
+    chk.append_all(std::span<const Transaction>(txns));
+  } else {
+    std::size_t at = 0;
+    for (std::size_t cut : cuts) {
+      const std::size_t end = std::min(txns.size(), at + cut);
+      chk.append_all(std::span<const Transaction>(txns.data() + at, end - at));
+      at = end;
+      if (at == txns.size()) break;
+    }
+    if (at < txns.size()) {
+      chk.append_all(
+          std::span<const Transaction>(txns.data() + at, txns.size() - at));
+    }
+  }
+  return coll.table();
+}
+
+// ---------------------------------------------------------------- shapes --
+
+TEST(Fingerprint, IsomorphicShapesCollapse) {
+  // write-skew as extracted with the failing node first ...
+  ShapeGraph a;
+  a.roles = {kRoleFailing, kRoleOther};
+  a.edges = {{0, 1, adya::kRW}, {1, 0, adya::kRW}};
+  a.normalize();
+  // ... and the same shape with an extra spectator node and permuted labels.
+  ShapeGraph b;
+  b.roles = {kRoleOther, kRoleFailing};
+  b.edges = {{1, 0, adya::kRW}, {0, 1, adya::kRW}};
+  b.normalize();
+  EXPECT_EQ(canonical_code(canonical_form(a)), canonical_code(canonical_form(b)));
+  EXPECT_EQ(known_cycle_name(canonical_form(a)), "write-skew");
+}
+
+TEST(Fingerprint, RolesAndKindsDistinguish) {
+  ShapeGraph skew;
+  skew.roles = {kRoleFailing, kRoleOther};
+  skew.edges = {{0, 1, adya::kRW}, {1, 0, adya::kRW}};
+  skew.normalize();
+  ShapeGraph read_skew = skew;
+  read_skew.edges[1].kind = adya::kWR;  // wr+rw instead of rw+rw
+  read_skew.normalize();
+  EXPECT_NE(canonical_code(canonical_form(skew)),
+            canonical_code(canonical_form(read_skew)));
+
+  ShapeGraph init_role = skew;
+  init_role.roles[1] = kRoleInit;
+  EXPECT_NE(canonical_code(canonical_form(skew)),
+            canonical_code(canonical_form(init_role)));
+}
+
+TEST(Fingerprint, SubshapeEnumerationIsConnectedAndDeduped) {
+  ShapeGraph g;
+  g.roles = {kRoleFailing, kRoleOther, kRoleOther};
+  g.edges = {{1, 0, adya::kWR}, {2, 0, adya::kWR}, {0, 2, adya::kRW}};
+  g.normalize();
+  const std::vector<ShapeGraph> subs = enumerate_subshapes(g, 2);
+  EXPECT_FALSE(subs.empty());
+  for (const ShapeGraph& s : subs) {
+    EXPECT_LE(s.edges.size(), 2u);
+    EXPECT_GE(s.size(), 2u);  // every sub-shape spans its edge endpoints
+  }
+  // The two single wr edges (other -wr-> failing) are isomorphic: exactly
+  // one canonical 1-edge wr sub-shape may appear.
+  std::size_t wr_singletons = 0;
+  for (const ShapeGraph& s : subs) {
+    if (s.edges.size() == 1 && s.edges[0].kind == adya::kWR) ++wr_singletons;
+  }
+  EXPECT_EQ(wr_singletons, 1u);
+}
+
+TEST(Clauses, ClassifierMapsMonitorStrings) {
+  EXPECT_EQ(classify_clause("T3: PREREAD fails: r(k1=T9) ..."), Clause::kPreread);
+  EXPECT_EQ(classify_clause("fractured read: T2 saw w1 ..."), Clause::kFracturedRead);
+  EXPECT_EQ(classify_clause("CAUS-VIS: ..."), Clause::kCausalVisibility);
+  EXPECT_EQ(classify_clause("T3: parent state is not complete"),
+            Clause::kParentIncomplete);
+  EXPECT_EQ(classify_clause("C-ORD violated ..."), Clause::kCommitOrder);
+  EXPECT_EQ(classify_clause("real-time recency fails"), Clause::kRealtime);
+  EXPECT_EQ(classify_clause("session predecessor T4 not visible"),
+            Clause::kSessionOrder);
+  EXPECT_EQ(classify_clause("no admissible snapshot for T7"), Clause::kSnapshot);
+  EXPECT_EQ(classify_clause("something novel"), Clause::kOther);
+}
+
+// ----------------------------------------------------------------- table --
+
+TEST(SpaceSaving, DeterministicTopKWithOverestimate) {
+  SpaceSaving s(2);
+  for (int i = 0; i < 5; ++i) s.add(7);
+  s.add(8);
+  s.add(9);  // evicts the first minimum slot (8), inheriting count+1
+  const auto top = s.top();
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].item, 7u);
+  EXPECT_EQ(top[0].count, 5u);
+  EXPECT_EQ(top[1].item, 9u);
+  EXPECT_EQ(top[1].count, 2u);  // 8's count + 1: the space-saving bound
+}
+
+TEST(PatternTableTest, BoundedWithCountedOverflow) {
+  PatternTable::Options opt;
+  opt.max_patterns = 2;
+  PatternTable table(opt);
+  // Three distinct fingerprints: vary the clause.
+  Witness w;
+  w.level = ct::IsolationLevel::kSerializable;
+  w.engine = "online";
+  w.txn = TxnId{1};
+  w.nodes.push_back({TxnId{1}, kRoleFailing, kNoSession, {}, {}});
+  w.shape.roles = {kRoleFailing};
+  for (Clause c : {Clause::kPreread, Clause::kSnapshot, Clause::kRealtime,
+                   Clause::kPreread}) {
+    w.clause = c;
+    w.fingerprint = fnv1a(kFnvBasis, name_of(c));
+    table.add(w);
+  }
+  EXPECT_EQ(table.size(), 2u);
+  EXPECT_EQ(table.witnesses(), 4u);
+  EXPECT_EQ(table.overflow(), 1u);  // kRealtime arrived after the table filled
+  std::uint64_t counted = 0;
+  for (const PatternRow* row : table.rows()) counted += row->count;
+  EXPECT_EQ(counted + table.overflow(), table.witnesses());
+  // Render order: the twice-seen preread pattern first.
+  EXPECT_EQ(table.rows()[0]->clause, Clause::kPreread);
+  EXPECT_EQ(table.rows()[0]->count, 2u);
+}
+
+TEST(PatternTableTest, WriteSkewCollapsesAndNames) {
+  const PatternTable table = replay(write_skew());
+  ASSERT_GT(table.witnesses(), 0u);
+  // SER and SSER both die on the same shape: one pattern, two witnesses.
+  const PatternRow* top = table.rows()[0];
+  EXPECT_GE(top->count, 2u);
+  EXPECT_FALSE(top->name.empty());
+  EXPECT_EQ(top->exemplar.fingerprint, top->fingerprint);
+  EXPECT_FALSE(top->shape.empty());
+  // Hot-spot attribution saw the implicated key and sessions.
+  EXPECT_FALSE(top->hot_keys.top().empty());
+  EXPECT_FALSE(top->hot_sessions.top().empty());
+}
+
+TEST(PatternTableTest, MiningPromotesRecurringSubShapes) {
+  const std::vector<Transaction> txns = write_skew();
+  PatternTable table = replay(txns);
+  ASSERT_GE(table.sample().size(), 2u);
+  const std::vector<MinedPattern> mined = table.mine();
+  ASSERT_FALSE(mined.empty());
+  for (const MinedPattern& m : mined) {
+    EXPECT_GE(m.support, table.options().mine_min_support);
+    EXPECT_FALSE(m.name.empty());
+    EXPECT_FALSE(m.shape.empty());
+  }
+}
+
+// ----------------------------------------------------- replay determinism --
+
+class ForensicsFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ForensicsFuzz, BatchingNeverChangesTheReport) {
+  const std::uint64_t seed = GetParam();
+  wl::ObservationFuzzOptions fopt;
+  fopt.transactions = 10;
+  fopt.keys = 4;
+  fopt.p_dangling = 0.1;
+  fopt.p_phantom = 0.1;
+  // Half the corpus carries mixed per-transaction level annotations.
+  if (seed % 2 == 0) fopt.p_level_annotation = 0.5;
+  const std::vector<Transaction> txns =
+      to_vector(wl::fuzz_observations(seed, fopt).txns);
+
+  const PatternTable gulp = replay(txns);
+  const PatternTable one_at_a_time =
+      replay(txns, std::vector<std::size_t>(txns.size(), 1));
+  std::mt19937_64 rng(seed * 77 + 1);
+  std::vector<std::size_t> cuts;
+  for (std::size_t left = txns.size(); left > 0;) {
+    const std::size_t c = 1 + rng() % 4;
+    cuts.push_back(c);
+    left -= std::min(left, c);
+  }
+  const PatternTable random_cuts = replay(txns, cuts);
+
+  const std::string expect = report::forensics_json(gulp);
+  EXPECT_EQ(expect, report::forensics_json(one_at_a_time));
+  EXPECT_EQ(expect, report::forensics_json(random_cuts));
+  EXPECT_EQ(report::render_forensics(gulp),
+            report::render_forensics(one_at_a_time));
+
+  // Every witness is accounted for: aggregated into a row or counted as
+  // overflow, never silently dropped.
+  std::uint64_t counted = 0;
+  for (const PatternRow* row : gulp.rows()) {
+    counted += row->count;
+    EXPECT_FALSE(row->name.empty());
+    EXPECT_EQ(row->exemplar.fingerprint, row->fingerprint);
+    std::uint64_t by_level = 0, by_engine = 0;
+    for (std::uint64_t n : row->by_level) by_level += n;
+    for (std::uint64_t n : row->by_engine) by_engine += n;
+    EXPECT_EQ(by_level, row->count);
+    EXPECT_EQ(by_engine, row->count);
+  }
+  EXPECT_EQ(counted + gulp.overflow(), gulp.witnesses());
+}
+
+// 200 seeds ⇒ with the ten-level monitor this crosses every level family and
+// (even seeds) mixed annotations.
+INSTANTIATE_TEST_SUITE_P(Corpus, ForensicsFuzz,
+                         ::testing::Range<std::uint64_t>(1, 201));
+
+TEST(ForensicsCorpus, CollapsesTheCorpusIntoBoundedPatterns) {
+  PatternTable::Options opt;  // defaults: 64 patterns
+  PatternTable aggregate(opt);
+  for (std::uint64_t seed = 1; seed <= 200; ++seed) {
+    wl::ObservationFuzzOptions fopt;
+    fopt.transactions = 8;
+    fopt.keys = 3;
+    fopt.p_dangling = 0.15;
+    fopt.p_phantom = 0.15;
+    if (seed % 2 == 0) fopt.p_level_annotation = 0.5;
+    const std::vector<Transaction> txns =
+        to_vector(wl::fuzz_observations(seed, fopt).txns);
+    checker::OnlineChecker chk;
+    Collector::Options copt;
+    copt.metrics = false;
+    Collector coll(copt);
+    coll.attach(chk);
+    chk.append_all(std::span<const Transaction>(txns));
+    // Per-seed witness counts stay under the head-sample bound (≤ 8 txns ×
+    // 10 levels), so the sample IS the seed's full witness stream.
+    for (const Witness& w : coll.table().sample()) aggregate.add(w);
+  }
+  // An adversarial corpus produces far more witnesses than shapes: the whole
+  // point of canonicalization.
+  EXPECT_GT(aggregate.witnesses(), 100u);
+  EXPECT_LE(aggregate.size(), 64u);
+  EXPECT_LT(aggregate.size() + aggregate.overflow() / 4, aggregate.witnesses() / 2);
+  for (const PatternRow* row : aggregate.rows()) {
+    EXPECT_FALSE(row->name.empty());
+    EXPECT_GE(row->last_seq, row->first_seq);
+  }
+}
+
+TEST(ForensicsDeterminism, ThreadCountNeverChangesTheReport) {
+  const std::vector<Transaction> txns = write_skew();
+  report::Observations obs;
+  obs.txns = TransactionSet(txns);
+  checker::CheckOptions one;
+  one.threads = 1;
+  checker::CheckOptions eight;
+  eight.threads = 8;
+  const report::ForensicsAudit a = report::audit_with_forensics(obs, one);
+  const report::ForensicsAudit b = report::audit_with_forensics(obs, eight);
+  EXPECT_EQ(report::forensics_json(a.table), report::forensics_json(b.table));
+  EXPECT_EQ(report::render_forensics(a.table), report::render_forensics(b.table));
+  // The replay table is byte-stable; the engine exemplar lines land in the
+  // rendered report.
+  EXPECT_NE(a.base.text.find("violation forensics:"), std::string::npos);
+  EXPECT_NE(a.base.text.find("engine exemplars"), std::string::npos);
+}
+
+TEST(ForensicsWindow, BoundedMemoryRunStaysAccounted) {
+  // A long low-key-count stream with a small window: the monitor retires
+  // aggressively while the collector keeps aggregating.
+  const auto intents = wl::generate_mix({.transactions = 400,
+                                         .keys = 5,
+                                         .reads_per_txn = 2,
+                                         .writes_per_txn = 2,
+                                         .sessions = 4,
+                                         .seed = 11});
+  const auto run = store::run(
+      intents, {.mode = store::CCMode::kReadCommitted, .seed = 12,
+                .concurrency = 4, .retries = 3});
+  const std::vector<Transaction> txns = to_vector(run.observations);
+
+  checker::OnlineChecker chk;
+  chk.set_window({32, 0});
+  Collector::Options copt;
+  copt.metrics = false;
+  Collector coll(copt);
+  coll.attach(chk);
+  std::size_t at = 0;
+  while (at < txns.size()) {
+    const std::size_t n = std::min<std::size_t>(16, txns.size() - at);
+    chk.append_all(std::span<const Transaction>(txns.data() + at, n));
+    at += n;
+    EXPECT_LE(chk.resident_txns(), 32u + 16u);
+  }
+  const PatternTable& table = coll.table();
+  std::uint64_t counted = 0;
+  for (const PatternRow* row : table.rows()) counted += row->count;
+  EXPECT_EQ(counted + table.overflow(), table.witnesses());
+  // The export renders without touching retired state.
+  EXPECT_FALSE(report::forensics_json(table).empty());
+}
+
+// -------------------------------------------------------- feedback replay --
+
+TEST(PatternReplay, ExemplarBecomesADirectedWorkload) {
+  const PatternTable table = replay(write_skew());
+  ASSERT_GT(table.size(), 0u);
+  const Witness& w = table.rows()[0]->exemplar;
+
+  wl::PatternReplayOptions opt;
+  opt.rounds = 3;
+  opt.key_stride = 8;
+  const std::vector<store::TxnIntent> intents = wl::generate_from_pattern(w, opt);
+  std::size_t with_footprint = 0;
+  for (const WitnessNode& n : w.nodes) {
+    if (n.role != kRoleInit && (!n.reads.empty() || !n.writes.empty())) {
+      ++with_footprint;
+    }
+  }
+  ASSERT_GT(with_footprint, 0u);
+  EXPECT_EQ(intents.size(), opt.rounds * with_footprint);
+  for (const store::TxnIntent& intent : intents) {
+    ASSERT_TRUE(intent.level.has_value());
+    EXPECT_EQ(*intent.level, w.level);
+    EXPECT_FALSE(intent.steps.empty());
+  }
+  // Strided rounds touch disjoint key blocks.
+  const auto round_keys = [&](std::size_t r) {
+    std::vector<std::uint64_t> keys;
+    for (std::size_t i = r * with_footprint; i < (r + 1) * with_footprint; ++i) {
+      for (const auto& s : intents[i].steps) keys.push_back(s.key.value);
+    }
+    return keys;
+  };
+  for (std::uint64_t k : round_keys(0)) EXPECT_LT(k, 1 + opt.key_stride);
+  for (std::uint64_t k : round_keys(1)) {
+    EXPECT_GE(k, 1 + opt.key_stride);
+    EXPECT_LT(k, 1 + 2 * opt.key_stride);
+  }
+}
+
+// ------------------------------------------------- mixed-level rendering --
+
+TEST(MixedLevelDiagnosis, OwnLevelAppearsInTextAndJson) {
+  // Write-skew where only the two skewed writers are declared Serializable;
+  // the installer runs at ReadCommitted. The violated transaction's OWN
+  // level must surface in both renderings.
+  std::vector<Transaction> txns = {
+      TxnBuilder(1).write(1).write(2).at(0, 1).build(),
+      TxnBuilder(2)
+          .read(1, 1)
+          .read(2, 1)
+          .write(1)
+          .level(ct::IsolationLevel::kSerializable)
+          .at(2, 5)
+          .build(),
+      TxnBuilder(3)
+          .read(1, 1)
+          .read(2, 1)
+          .write(2)
+          .level(ct::IsolationLevel::kSerializable)
+          .at(3, 6)
+          .build(),
+  };
+  TransactionSet set(txns);
+  std::vector<ct::IsolationLevel> column = {
+      ct::IsolationLevel::kReadCommitted, ct::IsolationLevel::kSerializable,
+      ct::IsolationLevel::kSerializable};
+  ct::LevelAssignment assignment(ct::IsolationLevel::kReadCommitted,
+                                 std::move(column));
+  const checker::CheckResult r = checker::check(assignment, set);
+  ASSERT_TRUE(r.unsatisfiable());
+  ASSERT_TRUE(r.diagnosis.has_value());
+  ASSERT_TRUE(r.diagnosis->level.has_value());
+  EXPECT_EQ(*r.diagnosis->level, ct::IsolationLevel::kSerializable);
+
+  // Text rendering names the transaction's own level.
+  const std::string text = report::render_counterexample(*r.diagnosis);
+  EXPECT_NE(text.find("audited at Serializable"), std::string::npos) << text;
+
+  // JSON rendering: the witness built from this diagnosis carries the level
+  // into the exported exemplar.
+  checker::OnlineChecker chk;
+  chk.append_all(set);
+  const std::optional<Witness> w = witness_from_result(
+      chk.stream(), r, ct::IsolationLevel::kReadCommitted);
+  ASSERT_TRUE(w.has_value());
+  EXPECT_EQ(w->level, ct::IsolationLevel::kSerializable);
+  PatternTable table;
+  table.add(*w);
+  const std::string json = report::forensics_json(table);
+  EXPECT_NE(json.find("\"level\":\"Serializable\""), std::string::npos) << json;
+}
+
+}  // namespace
+}  // namespace crooks::forensics

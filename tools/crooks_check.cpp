@@ -51,6 +51,18 @@
 //   --metrics-json=FILE  same scrape as one JSON object
 //   --metrics-every=N    [follow] print a `metrics {...}` JSON snapshot line
 //                    every N audited batches
+//   --forensics      violation forensics: aggregate every violation witness
+//                    into the canonical pattern table and print the
+//                    "violation forensics" section. Offline, the observations
+//                    are replayed through the same OnlineChecker + Collector
+//                    machinery --follow runs, so the table is byte-identical
+//                    to a streaming audit of the same log. Under --follow,
+//                    also prints a `forensics {...}` snapshot line alongside
+//                    every metrics snapshot and on each level's death.
+//                    Does not change the exit status.
+//   --forensics-json=FILE  write the pattern table as one JSON object
+//                    (implies --forensics); deterministic byte-for-byte for a
+//                    given log across offline/--follow and thread counts
 //   --trace=FILE     write JSONL trace spans/events (compile, extend, engine
 //                    dispatch, search, online ingest) to FILE
 #include <cstdio>
@@ -62,8 +74,10 @@
 #include <unordered_map>
 #include <vector>
 
+#include "forensics/collector.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "report/forensics_render.hpp"
 #include "report/report.hpp"
 #include "report/stream_audit.hpp"
 
@@ -76,11 +90,13 @@ int usage() {
                "usage: crooks-check [--level=NAME] [--levels=ID=LEVEL,...]\n"
                "                    [--engine=NAME] [--threads=N]\n"
                "                    [--quiet] [--metrics[=FILE]] [--metrics-json=FILE]\n"
+               "                    [--forensics] [--forensics-json=FILE]\n"
                "                    [--trace=FILE] [FILE]\n"
                "       crooks-check --follow [--level=NAME] [--quiet]\n"
                "                    [--poll-ms=N] [--idle-exit-ms=N] [--max-blocks=N]\n"
                "                    [--window=N] [--window-bytes=B]\n"
-               "                    [--metrics-every=N] FILE\n"
+               "                    [--metrics-every=N] [--forensics]\n"
+               "                    [--forensics-json=FILE] FILE\n"
                "levels:");
   for (ct::IsolationLevel l : ct::kAllLevels) {
     std::fprintf(stderr, " %s", std::string(ct::name_of(l)).c_str());
@@ -149,15 +165,36 @@ bool parse_count(const std::string& value, std::size_t& out) {
   return true;
 }
 
+/// Write the forensics JSON export; returns false after printing an error.
+bool write_forensics_json(const std::string& path,
+                          const forensics::PatternTable& table) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot open forensics file '%s'\n", path.c_str());
+    return false;
+  }
+  out << report::forensics_json(table);
+  return true;
+}
+
 /// Streaming audit of `file`, printing one line per audited batch plus an
 /// announcement whenever a level records its first violation. Exit status
 /// follows the requested level (default ReadUncommitted) at exit time.
 int run_follow(const std::string& file, ct::IsolationLevel verdict_level,
-               const report::StreamAuditOptions& opts, bool quiet) {
+               const report::StreamAuditOptions& base_opts, bool quiet,
+               bool forensics, const std::string& forensics_json_file) {
   std::ifstream in(file);
   if (!in) {
     std::fprintf(stderr, "cannot open '%s'\n", file.c_str());
     return 2;
+  }
+
+  // The collector hooks the streaming checker's violation events: witnesses
+  // are extracted at event time, while the failing transaction is resident.
+  forensics::Collector collector;
+  report::StreamAuditOptions opts = base_opts;
+  if (forensics) {
+    opts.on_checker = [&](checker::OnlineChecker& chk) { collector.attach(chk); };
   }
 
   const report::StreamAuditResult r = report::stream_audit(
@@ -192,6 +229,12 @@ int run_follow(const std::string& file, ct::IsolationLevel verdict_level,
         if (!rep.metrics_snapshot.empty()) {
           std::printf("metrics %s\n", rep.metrics_snapshot.c_str());
         }
+        // Periodic pattern snapshots: alongside every metrics snapshot, and
+        // whenever a level records its first violation (the moment an
+        // operator wants the shape that killed it).
+        if (forensics && (!rep.metrics_snapshot.empty() || !rep.died.empty())) {
+          std::printf("forensics %s", report::forensics_json(collector.table()).c_str());
+        }
         std::fflush(stdout);
         return true;
       });
@@ -208,6 +251,26 @@ int run_follow(const std::string& file, ct::IsolationLevel verdict_level,
     std::printf(" %s", std::string(ct::name_of(l)).c_str());
   }
   std::printf("\n");
+  // Checker totals for the whole run — the counters an operator needs to
+  // judge how much a windowed audit may have under-reported.
+  const checker::OnlineChecker::Stats& st = r.checker_stats;
+  std::printf("checker stats: %llu compiled appends, %llu duplicates ignored, "
+              "%llu retired (%llu ops reclaimed, %llu folds), "
+              "%llu past-window reads, %llu past-window checks\n",
+              static_cast<unsigned long long>(st.compiled_appends),
+              static_cast<unsigned long long>(st.duplicates_ignored),
+              static_cast<unsigned long long>(st.retired_txns),
+              static_cast<unsigned long long>(st.retired_ops),
+              static_cast<unsigned long long>(st.window_folds),
+              static_cast<unsigned long long>(st.past_window_reads),
+              static_cast<unsigned long long>(st.past_window_checks));
+  if (forensics) {
+    std::printf("%s", report::render_forensics(collector.table()).c_str());
+    if (!forensics_json_file.empty() &&
+        !write_forensics_json(forensics_json_file, collector.table())) {
+      return 2;
+    }
+  }
   const auto it = r.statuses.find(verdict_level);
   return it != r.statuses.end() && it->second.ok ? 0 : 1;
 }
@@ -221,8 +284,10 @@ int main(int argc, char** argv) {
   bool quiet = false;
   bool follow = false;
   bool metrics = false;
-  std::string metrics_file;       // empty = stdout
-  std::string metrics_json_file;  // empty = no JSON dump
+  bool forensics = false;
+  std::string forensics_json_file;  // empty = no JSON export
+  std::string metrics_file;         // empty = stdout
+  std::string metrics_json_file;    // empty = no JSON dump
   std::string trace_file;
   std::size_t threads = 0;  // 0 = hardware_concurrency
   report::StreamAuditOptions follow_opts;
@@ -282,6 +347,12 @@ int main(int argc, char** argv) {
     } else if (arg.rfind("--metrics-every=", 0) == 0) {
       if (!parse_count(arg.substr(16), count)) return usage();
       follow_opts.metrics_every = count;
+    } else if (arg == "--forensics") {
+      forensics = true;
+    } else if (arg.rfind("--forensics-json=", 0) == 0) {
+      forensics = true;
+      forensics_json_file = arg.substr(17);
+      if (forensics_json_file.empty()) return usage();
     } else if (arg.rfind("--trace=", 0) == 0) {
       trace_file = arg.substr(8);
       if (trace_file.empty()) return usage();
@@ -339,7 +410,8 @@ int main(int argc, char** argv) {
     }
     const ct::IsolationLevel verdict_level =
         requested.value_or(ct::IsolationLevel::kReadUncommitted);
-    return finish(run_follow(file, verdict_level, follow_opts, quiet));
+    return finish(run_follow(file, verdict_level, follow_opts, quiet, forensics,
+                             forensics_json_file));
   }
 
   report::Observations obs;
@@ -408,7 +480,39 @@ int main(int argc, char** argv) {
     if (!quiet && r.diagnosis.has_value()) {
       std::printf("%s", report::render_counterexample(*r.diagnosis).c_str());
     }
+    if (forensics) {
+      // Same replay --follow would do over this log; the verdict above is
+      // unchanged by it.
+      checker::OnlineChecker replay;
+      forensics::Collector collector;
+      collector.attach(replay);
+      replay.append_all(obs.txns);
+      if (!quiet) {
+        std::printf("%s", report::render_forensics(collector.table()).c_str());
+      }
+      if (!forensics_json_file.empty() &&
+          !write_forensics_json(forensics_json_file, collector.table())) {
+        return finish(2);
+      }
+    }
     return finish(r.satisfiable() ? 0 : 1);
+  }
+
+  if (forensics) {
+    const report::ForensicsAudit fa = report::audit_with_forensics(obs, opts);
+    if (quiet) {
+      std::printf("strongest: %s\n",
+                  fa.base.strongest.has_value()
+                      ? std::string(ct::name_of(*fa.base.strongest)).c_str()
+                      : "none");
+    } else {
+      std::printf("%s", fa.base.text.c_str());
+    }
+    if (!forensics_json_file.empty() &&
+        !write_forensics_json(forensics_json_file, fa.table)) {
+      return finish(2);
+    }
+    return finish(fa.base.strongest.has_value() ? 0 : 1);
   }
 
   const report::AuditResult a = report::audit(obs, opts);
