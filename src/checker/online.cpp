@@ -211,21 +211,21 @@ bool OnlineChecker::append(const Transaction& txn) {
 }
 
 std::size_t OnlineChecker::append_all(std::span<const Transaction> block) {
-  std::vector<Transaction> fresh;
-  fresh.reserve(block.size());
-  std::unordered_set<TxnId> in_block;
+  append_fresh_.clear();
+  append_fresh_.reserve(block.size());
+  append_seen_.clear();
   for (const Transaction& t : block) {
     if (t.id() == kInitTxn || stream_.txns().contains(t.id()) ||
-        !in_block.insert(t.id()).second) {
+        !append_seen_.insert(t.id()).second) {
       ++stats_.duplicates_ignored;
       online_duplicates_total().inc();
       continue;
     }
-    fresh.push_back(t);
+    append_fresh_.push_back(t);
   }
-  if (fresh.empty()) return 0;
-  ingest(stream_.extend(fresh));
-  return fresh.size();
+  if (append_fresh_.empty()) return 0;
+  ingest(stream_.extend(append_fresh_));
+  return append_fresh_.size();
 }
 
 std::size_t OnlineChecker::append_all(const model::TransactionSet& txns) {

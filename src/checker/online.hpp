@@ -39,6 +39,7 @@
 #include <string>
 #include <string_view>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "committest/levels.hpp"
@@ -387,6 +388,10 @@ class OnlineChecker {
   // Scratch: per-op read-state starts for the transaction being ingested on
   // the weak path (reused across transactions to avoid reallocation).
   std::vector<StateIndex> weak_firsts_;
+  // Scratch for append_all's duplicate filter (a monitor appends for days;
+  // one hash table outlives every batch instead of one allocation per batch).
+  std::unordered_set<TxnId> append_seen_;
+  std::vector<model::Transaction> append_fresh_;
   std::function<void(const ViolationEvent&)> violation_hook_;
   Stats stats_;
 };

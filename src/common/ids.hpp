@@ -69,12 +69,30 @@ using Timestamp = std::int64_t;
 /// Sentinel meaning "the oracle assigned no timestamp".
 inline constexpr Timestamp kNoTimestamp = std::numeric_limits<Timestamp>::min();
 
-inline std::string to_string(TxnId id) { return "T" + std::to_string(id.value); }
-inline std::string to_string(Key k) { return "k" + std::to_string(k.value); }
-inline std::string to_string(SessionId s) {
-  return s == kNoSession ? std::string("s-") : "s" + std::to_string(s.value);
+// Prefix via insert on a named string rather than `const char* + string&&`:
+// GCC 12's -O3 restrict analysis flags a false-positive overlap inside the
+// temporary-reusing operator+ overload, fatal under -Werror on Release.
+inline std::string to_string(TxnId id) {
+  std::string out = std::to_string(id.value);
+  out.insert(0, 1, 'T');
+  return out;
 }
-inline std::string to_string(SiteId s) { return "site" + std::to_string(s.value); }
+inline std::string to_string(Key k) {
+  std::string out = std::to_string(k.value);
+  out.insert(0, 1, 'k');
+  return out;
+}
+inline std::string to_string(SessionId s) {
+  if (s == kNoSession) return "s-";
+  std::string out = std::to_string(s.value);
+  out.insert(0, 1, 's');
+  return out;
+}
+inline std::string to_string(SiteId s) {
+  std::string out = std::to_string(s.value);
+  out.insert(0, "site");
+  return out;
+}
 
 }  // namespace crooks
 

@@ -218,8 +218,13 @@ class MpmcQueue {
   std::uint64_t pushed() const { return pushed_.load(std::memory_order_acquire); }
 
   /// False iff the ring is full. On success the element is visible to a
-  /// concurrent pop() before try_push returns.
-  bool try_push(T v) {
+  /// concurrent pop() before try_push returns. The by-value form consumes
+  /// `v` either way; when the caller must retry on a full ring (the pipelined
+  /// ingest's backpressure path), use try_push_ref — it moves from `v` only
+  /// after a cell has been claimed, so a failed attempt leaves `v` intact.
+  bool try_push(T v) { return try_push_ref(v); }
+
+  bool try_push_ref(T& v) {
     std::size_t pos = head_.load(std::memory_order_relaxed);
     Cell* cell;
     for (;;) {
@@ -244,10 +249,22 @@ class MpmcQueue {
     return true;
   }
 
-  /// Blocking push: yields until a slot frees up. Only reachable when the
-  /// queue was sized below the number of in-flight pushes.
+  /// Blocking push: yields until a slot frees up. This IS an expected path
+  /// for the pipelined ingest, whose bounded rings turn a slow consumer into
+  /// backpressure on the producer instead of unbounded buffering.
   void push(T v) {
-    while (!try_push(std::move(v))) std::this_thread::yield();
+    while (!try_push_ref(v)) std::this_thread::yield();
+  }
+
+  /// Elements currently in the ring (pushed, not yet popped). Racy snapshot —
+  /// the cursors are read independently — clamped to [0, capacity]; intended
+  /// for queue-depth gauges, never for scheduling decisions.
+  std::size_t approx_size() const {
+    const auto h = static_cast<std::intptr_t>(head_.load(std::memory_order_relaxed));
+    const auto t = static_cast<std::intptr_t>(tail_.load(std::memory_order_relaxed));
+    const std::intptr_t d = h - t;
+    if (d <= 0) return 0;
+    return std::min(static_cast<std::size_t>(d), capacity());
   }
 
   /// False iff the queue is empty at the moment of the call.

@@ -82,18 +82,39 @@ std::uint64_t start_stamp() {
 
 // ---------------------------------------------------------------- TraceFields
 
+// Built with append rather than operator+ chains: GCC 12's -O3 restrict
+// analysis reports a false-positive overlap inside the temporary-reusing
+// `const char* + string&&` overload, which -Werror turns fatal on Release
+// builds.
+namespace {
+std::string field(std::string_view key, std::string_view rendered_value) {
+  std::string out;
+  out.reserve(key.size() + rendered_value.size() + 4);
+  out += '"';
+  out += json_escape(key);
+  out += "\":";
+  out += rendered_value;
+  return out;
+}
+}  // namespace
+
 TraceFields& TraceFields::add(std::string_view key, std::string_view value) {
-  parts_.push_back("\"" + json_escape(key) + "\":\"" + json_escape(value) + "\"");
+  std::string quoted;
+  quoted.reserve(value.size() + 2);
+  quoted += '"';
+  quoted += json_escape(value);
+  quoted += '"';
+  parts_.push_back(field(key, quoted));
   return *this;
 }
 
 TraceFields& TraceFields::add(std::string_view key, std::uint64_t value) {
-  parts_.push_back("\"" + json_escape(key) + "\":" + std::to_string(value));
+  parts_.push_back(field(key, std::to_string(value)));
   return *this;
 }
 
 TraceFields& TraceFields::add(std::string_view key, std::int64_t value) {
-  parts_.push_back("\"" + json_escape(key) + "\":" + std::to_string(value));
+  parts_.push_back(field(key, std::to_string(value)));
   return *this;
 }
 
@@ -101,12 +122,12 @@ TraceFields& TraceFields::add(std::string_view key, double value) {
   std::ostringstream os;
   os.precision(9);
   os << value;
-  parts_.push_back("\"" + json_escape(key) + "\":" + os.str());
+  parts_.push_back(field(key, os.str()));
   return *this;
 }
 
 TraceFields& TraceFields::add(std::string_view key, bool value) {
-  parts_.push_back("\"" + json_escape(key) + (value ? "\":true" : "\":false"));
+  parts_.push_back(field(key, value ? "true" : "false"));
   return *this;
 }
 

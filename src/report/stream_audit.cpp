@@ -3,21 +3,43 @@
 // its newline yet — buffered in `partial` and completed on a later poll), and
 // mid-block (a `txn` opened but its `end` not yet written — complete blocks
 // are batched, the open one waits).
+//
+// The stream is consumed in three conceptual stages shared by the serial and
+// pipelined paths:
+//   stage 1  Splitter — cuts the byte stream into complete RawBlocks and
+//            owns ALL parser state that crosses block boundaries (the
+//            `default-level` directive, the open-block accumulator, stream-
+//            level errors). Downstream decoding is stateless per block.
+//   stage 2  decode_block — RawBlock -> transactions via parse_observations,
+//            with the directive applied to unannotated transactions. Pure:
+//            safe to run on any thread, which is exactly what the pipelined
+//            path's shard workers do.
+//   stage 3  OnlineChecker::append_all per batch — serial: inline at every
+//            flush; pipelined: on ShardedOnlineChecker's merge thread.
+// The error contract is "first error in line order wins, and an error drops
+// its whole batch"; both paths implement it identically (the serial path
+// validates pending blocks before reporting a stream error, mirroring the
+// pipeline's validate-only epoch).
 #include "report/stream_audit.hpp"
 
+#include <cctype>
 #include <chrono>
 #include <span>
-#include <sstream>
 #include <stdexcept>
+#include <string_view>
 #include <thread>
+#include <utility>
 #include <vector>
 
+#include "checker/sharded_online.hpp"
 #include "obs/metrics.hpp"
 #include "report/serialize.hpp"
 
 namespace crooks::report {
 
 namespace {
+
+using Clock = std::chrono::steady_clock;
 
 /// The follow-mode series: per-batch counters the CLI's human-format lines
 /// are derived from (StreamBlockReport carries the same numbers — the
@@ -48,86 +70,213 @@ struct FollowMetrics {
   }
 };
 
-/// First whitespace-separated token of `line`, with any '#' comment removed.
-std::string first_token(const std::string& line) {
-  const std::size_t hash = line.find('#');
-  std::istringstream is(hash == std::string::npos ? line : line.substr(0, hash));
-  std::string tok;
-  is >> tok;
-  return tok;
+bool is_space(char c) {
+  return std::isspace(static_cast<unsigned char>(c)) != 0;
 }
 
-}  // namespace
+/// First whitespace-separated token of `line`, with any '#' comment removed.
+/// A plain character scan — the follow hot loop calls this once per input
+/// line, and the istringstream it replaced paid a locale acquisition (a
+/// shared refcount, i.e. a lock) per call.
+std::string_view first_token(std::string_view line) {
+  const std::size_t hash = line.find('#');
+  if (hash != std::string_view::npos) line = line.substr(0, hash);
+  std::size_t b = 0;
+  while (b < line.size() && is_space(line[b])) ++b;
+  std::size_t e = b;
+  while (e < line.size() && !is_space(line[e])) ++e;
+  return line.substr(b, e - b);
+}
 
-StreamAuditResult stream_audit(
-    std::istream& in, const StreamAuditOptions& opts,
-    const std::function<bool(const StreamBlockReport&)>& on_block) {
-  using Clock = std::chrono::steady_clock;
+/// All whitespace-separated tokens, comment stripped (same splitting as the
+/// parser's tokenize, without the stream machinery).
+std::vector<std::string_view> tokens_of(std::string_view line) {
+  const std::size_t hash = line.find('#');
+  if (hash != std::string_view::npos) line = line.substr(0, hash);
+  std::vector<std::string_view> out;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() && is_space(line[i])) ++i;
+    std::size_t e = i;
+    while (e < line.size() && !is_space(line[e])) ++e;
+    if (e > i) out.push_back(line.substr(i, e - i));
+    i = e;
+  }
+  return out;
+}
 
-  StreamAuditResult result;
-  checker::OnlineChecker chk(opts.levels);
-  chk.set_window({opts.window_txns, opts.window_bytes});
-  if (opts.on_checker) opts.on_checker(chk);
+/// Shard routing key of a block: the `session=` value on its `txn` header
+/// line, 0 when absent or malformed (a malformed attribute routes anywhere —
+/// the shard's parse produces the very same error message regardless).
+std::uint64_t route_of(std::string_view txn_line) {
+  for (std::string_view tok : tokens_of(txn_line)) {
+    if (tok.rfind("session=", 0) != 0) continue;
+    const std::string_view v = tok.substr(8);
+    if (v.empty()) return 0;
+    std::uint64_t n = 0;
+    for (char c : v) {
+      if (c < '0' || c > '9') return 0;
+      n = n * 10 + static_cast<std::uint64_t>(c - '0');
+    }
+    return n;
+  }
+  return 0;
+}
 
-  std::string partial;           // line fragment read before its newline
-  std::string open_block;        // lines of a `txn` block awaiting its `end`
-  std::uint64_t open_block_line = 0;
-  bool in_block = false;
-  // Complete blocks awaiting the next flush. Each block is parsed on its own
-  // the moment its `end` arrives: a writer re-emitting a transaction block is
-  // a checker-level duplicate (ignored) no matter how the blocks happen to
-  // batch across polls — parsing a whole batch as one document would instead
-  // turn "both copies arrived in the same poll" into a fatal parse error.
-  std::vector<model::Transaction> batch;
+/// Stage 2: decode one complete block. Pure — no shared state — so the
+/// pipelined path hands it to shard workers as-is. The error string is the
+/// exact message the serial monitor has always reported.
+checker::DecodedBlock decode_block(const checker::RawBlock& block) {
+  checker::DecodedBlock out;
+  out.error_line = block.first_line;
+  Observations obs;
+  try {
+    obs = parse_observations(block.text);
+  } catch (const std::exception& e) {
+    out.error = "block starting at line " + std::to_string(block.first_line) +
+                ": " + e.what();
+    return out;
+  }
+  out.txns.reserve(obs.txns.size());
+  for (const model::Transaction& t : obs.txns) {
+    if (block.default_level.has_value() && !t.level().has_value()) {
+      // The directive in force when the block completed becomes the
+      // transaction's level, exactly as an offline parse of the whole file
+      // would assign it.
+      out.txns.emplace_back(t.id(), t.ops(), t.session(), t.site(),
+                            t.start_ts(), t.commit_ts(), block.default_level);
+    } else {
+      out.txns.push_back(t);
+    }
+  }
+  return out;
+}
+
+/// Stage 1: line stream -> complete RawBlocks. Owns every piece of parser
+/// state that crosses block boundaries; shard workers never touch it.
+struct Splitter {
+  std::vector<checker::RawBlock> pending;  // complete blocks since last flush
+  std::optional<ct::IsolationLevel> default_level;
   std::uint64_t line_no = 0;
-  bool stop = false;
-  Clock::time_point last_input = Clock::now();
+  bool in_block = false;
 
-  auto fail = [&](const std::string& why) {
-    result.error = "line " + std::to_string(line_no) + ": " + why;
-    stop = true;
-  };
+  // Stream-level error (a stage-1 fact, distinct from a block parse error).
+  bool failed = false;
+  std::uint64_t error_line = 0;
+  std::string error;  // formatted "line N: why"
 
-  auto consume_line = [&](const std::string& line) {
+  std::string open_block_;
+  std::uint64_t open_block_line_ = 0;
+  std::uint64_t open_route_ = 0;
+
+  /// Consume one complete line; false on a stream-level error.
+  bool consume(const std::string& line) {
     ++line_no;
-    const std::string tok = first_token(line);
+    const std::string_view tok = first_token(line);
     if (in_block) {
       if (tok == "txn") return fail("'txn' inside an unfinished block");
       if (tok == "vo") return fail("'vo' inside an unfinished block");
-      open_block += line;
-      open_block += '\n';
+      open_block_ += line;
+      open_block_ += '\n';
       if (tok == "end") {
         in_block = false;
-        Observations obs;
-        try {
-          obs = parse_observations(open_block);
-        } catch (const std::exception& e) {
-          result.error = "block starting at line " +
-                         std::to_string(open_block_line) + ": " + e.what();
-          stop = true;
-          return;
-        }
-        for (const model::Transaction& t : obs.txns) batch.push_back(t);
-        open_block.clear();
+        pending.push_back(checker::RawBlock{std::move(open_block_),
+                                            open_block_line_, open_route_,
+                                            default_level});
+        open_block_.clear();
       }
-      return;
+      return true;
     }
-    if (tok.empty()) return;  // blank or comment-only
+    if (tok.empty()) return true;  // blank or comment-only
     if (tok == "vo") {
       return fail(
           "version order ('vo') is not allowed in streaming mode: the "
           "monitor judges the apply order itself; use an offline check "
           "for the ∃e question");
     }
-    if (tok != "txn") return fail("expected 'txn', got '" + tok + "'");
+    if (tok == "default-level") {
+      // Hoisted directive handling: resolved here, once, and stamped onto
+      // every later block — the per-block decoders stay stateless.
+      const std::vector<std::string_view> toks = tokens_of(line);
+      if (toks.size() != 2) {
+        return fail("default-level needs: default-level <name>");
+      }
+      const auto level = ct::level_from_name(std::string(toks[1]));
+      if (!level.has_value()) {
+        return fail("unknown isolation level '" + std::string(toks[1]) +
+                    "' (valid: " + std::string(ct::kValidLevelNames) + ")");
+      }
+      default_level = *level;
+      return true;
+    }
+    if (tok != "txn") return fail("expected 'txn', got '" + std::string(tok) + "'");
     in_block = true;
-    open_block_line = line_no;
-    open_block = line;
-    open_block += '\n';
+    open_block_line_ = line_no;
+    open_route_ = route_of(line);
+    open_block_ = line;
+    open_block_ += '\n';
+    return true;
+  }
+
+  bool fail(std::string why) {
+    failed = true;
+    error_line = line_no;
+    error = "line " + std::to_string(line_no) + ": " + why;
+    return false;
+  }
+};
+
+/// Serial path: decode at every flush on the calling thread.
+StreamAuditResult stream_audit_serial(
+    std::istream& in, const StreamAuditOptions& opts,
+    const std::function<bool(const StreamBlockReport&)>& on_block) {
+  StreamAuditResult result;
+  checker::OnlineChecker chk(opts.levels);
+  chk.set_window({opts.window_txns, opts.window_bytes});
+  if (opts.on_checker) opts.on_checker(chk);
+
+  Splitter splitter;
+  std::string partial;  // line fragment read before its newline
+  std::vector<model::Transaction> batch;
+  bool stop = false;
+  Clock::time_point last_input = Clock::now();
+
+  // The stream-error exit, mirroring the pipeline's validate-only epoch: an
+  // earlier pending block's parse error must win over the stream error (the
+  // serial reader of old hit it first, at that block's `end` line).
+  auto stream_fail = [&]() {
+    for (const checker::RawBlock& block : splitter.pending) {
+      const checker::DecodedBlock decoded = decode_block(block);
+      if (!decoded.error.empty()) {
+        result.error = decoded.error;
+        stop = true;
+        return;
+      }
+    }
+    result.error = splitter.error;
+    stop = true;
   };
 
   auto flush = [&]() {
-    if (stop || batch.empty()) return;
+    if (stop) return;
+    // Each block is decoded on its own: a writer re-emitting a transaction
+    // block is a checker-level duplicate (ignored) no matter how the blocks
+    // happen to batch across polls — parsing a whole batch as one document
+    // would instead turn "both copies arrived in the same poll" into a
+    // fatal parse error.
+    for (const checker::RawBlock& block : splitter.pending) {
+      checker::DecodedBlock decoded = decode_block(block);
+      if (!decoded.error.empty()) {
+        result.error = std::move(decoded.error);
+        stop = true;
+        splitter.pending.clear();
+        return;
+      }
+      for (model::Transaction& t : decoded.txns) batch.push_back(std::move(t));
+    }
+    splitter.pending.clear();
+    if (batch.empty()) return;
+
     const checker::OnlineChecker::Stats before = chk.stats();
     const std::vector<ct::IsolationLevel> alive_before = chk.surviving_levels();
     const Clock::time_point t0 = Clock::now();
@@ -177,20 +326,20 @@ StreamAuditResult stream_audit(
         partial += line;
         continue;
       }
-      consume_line(partial + line);
+      if (!splitter.consume(partial + line)) stream_fail();
       partial.clear();
       continue;
     }
     // Caught up with the stream: audit everything complete, then poll.
     if (opts.max_blocks != 0 && result.blocks + 1 >= opts.max_blocks &&
-        in_block && !partial.empty() && first_token(partial) == "end") {
+        splitter.in_block && !partial.empty() && first_token(partial) == "end") {
       // This flush is the last one --max-blocks allows, and the open block's
       // `end` already arrived minus its newline. The idle-exit path would
       // treat such a fragment as the complete final line after the loop, but
       // max_blocks stops the loop with `stop` set, skipping it — so the
       // fully-delivered block would silently never be audited. Complete it
       // here instead, so it joins the final batch.
-      consume_line(partial);
+      if (!splitter.consume(partial)) stream_fail();
       partial.clear();
     }
     flush();
@@ -206,7 +355,7 @@ StreamAuditResult stream_audit(
     // The writer exited without a trailing newline (idle-exit fired with a
     // buffered fragment): treat the fragment as the complete final line so a
     // block whose `end` lacks the newline is still audited.
-    consume_line(partial);
+    if (!splitter.consume(partial)) stream_fail();
     partial.clear();
   }
   flush();  // blocks completed by the final reads before a stop condition
@@ -217,6 +366,136 @@ StreamAuditResult stream_audit(
   }
   result.checker_stats = chk.stats();
   return result;
+}
+
+/// Pipelined path: stage 1 runs here, decode and append run on
+/// ShardedOnlineChecker's threads. Flush boundaries (and therefore batch
+/// numbering, per-batch counters and every checker-visible ordering) are cut
+/// exactly where the serial path cuts them.
+StreamAuditResult stream_audit_pipelined(
+    std::istream& in, const StreamAuditOptions& opts,
+    const std::function<bool(const StreamBlockReport&)>& on_block) {
+  StreamAuditResult result;
+
+  checker::ShardedOnlineChecker::Options sharded;
+  sharded.shards = opts.ingest_threads;
+  sharded.levels = opts.levels;
+  sharded.window = {opts.window_txns, opts.window_bytes};
+  sharded.decoder = decode_block;
+  sharded.on_checker = opts.on_checker;
+
+  // Per-epoch adapter, invoked sequentially on the merge thread: the same
+  // report/metrics/callback/stop logic as a serial flush.
+  auto on_epoch = [&](const checker::ShardedOnlineChecker::EpochReport& er) {
+    StreamBlockReport rep;
+    rep.block = er.epoch;
+    rep.transactions = er.transactions;
+    rep.duplicates = er.duplicates;
+    rep.seconds = er.seconds;
+    rep.died = er.died;
+    rep.checker = er.checker;
+    rep.watermark = er.watermark;
+    rep.resident_txns = er.resident_txns;
+    rep.resident_ops = er.resident_ops;
+    if (obs::enabled()) {
+      FollowMetrics& m = FollowMetrics::get();
+      m.batches.inc();
+      m.txns.inc(er.transactions);
+      m.duplicates.inc(er.duplicates);
+      m.batch_seconds.observe(er.seconds);
+      m.levels_alive.set(
+          static_cast<std::int64_t>(er.checker->surviving_levels().size()));
+    }
+    if (opts.metrics_every != 0 && er.epoch % opts.metrics_every == 0) {
+      rep.metrics_snapshot = obs::Registry::global().json();
+    }
+    bool keep = !on_block || on_block(rep);
+    if (opts.max_blocks != 0 && er.epoch >= opts.max_blocks) keep = false;
+    return keep;
+  };
+  checker::ShardedOnlineChecker pipeline(std::move(sharded), on_epoch);
+
+  Splitter splitter;
+  std::string partial;
+  std::string line;
+  std::uint64_t submitted = 0;
+  bool failed = false;
+  Clock::time_point last_input = Clock::now();
+
+  for (;;) {
+    if (std::getline(in, line)) {
+      last_input = Clock::now();
+      if (in.eof()) {
+        partial += line;
+        continue;
+      }
+      if (!splitter.consume(partial + line)) {
+        failed = true;
+        break;
+      }
+      partial.clear();
+      continue;
+    }
+    // Caught up: submit the epoch (stage 2/3 overlap with further reading).
+    if (opts.max_blocks != 0 && submitted + 1 >= opts.max_blocks &&
+        splitter.in_block && !partial.empty() && first_token(partial) == "end") {
+      // Same fully-delivered-final-block case as the serial path; `end` as a
+      // complete line cannot produce a stream error.
+      splitter.consume(partial);
+      partial.clear();
+    }
+    if (!splitter.pending.empty()) {
+      ++submitted;
+      const bool accepted = pipeline.submit(std::move(splitter.pending));
+      splitter.pending.clear();
+      if (!accepted) break;
+    }
+    if (pipeline.stopped()) break;
+    if (opts.max_blocks != 0 && submitted >= opts.max_blocks) break;
+    if (opts.idle_exit_ms > 0 &&
+        Clock::now() - last_input >= std::chrono::milliseconds(opts.idle_exit_ms)) {
+      break;
+    }
+    in.clear();
+    std::this_thread::sleep_for(std::chrono::milliseconds(opts.poll_ms));
+  }
+  if (!failed && !pipeline.stopped() && !partial.empty()) {
+    // Idle-exit with a buffered final fragment, as in the serial path.
+    if (!splitter.consume(partial)) failed = true;
+    partial.clear();
+  }
+  if (failed) {
+    // Validate-only epoch: pending blocks are decoded for the first-error-
+    // in-line-order reconciliation but never appended (the serial path drops
+    // an erroring batch whole).
+    pipeline.submit_error(std::move(splitter.pending), splitter.error_line,
+                          splitter.error);
+  } else if (!splitter.pending.empty()) {
+    pipeline.submit(std::move(splitter.pending));
+  }
+
+  const checker::ShardedOnlineChecker::Result& fin = pipeline.finish();
+  result.blocks = fin.epochs;
+  result.transactions = fin.transactions;
+  result.duplicates = fin.duplicates;
+  result.error = fin.error;
+
+  const checker::OnlineChecker& chk = pipeline.checker();
+  result.surviving = chk.surviving_levels();
+  for (ct::IsolationLevel level : opts.levels) {
+    result.statuses.emplace(level, chk.status(level));
+  }
+  result.checker_stats = chk.stats();
+  return result;
+}
+
+}  // namespace
+
+StreamAuditResult stream_audit(
+    std::istream& in, const StreamAuditOptions& opts,
+    const std::function<bool(const StreamBlockReport&)>& on_block) {
+  return opts.ingest_threads >= 1 ? stream_audit_pipelined(in, opts, on_block)
+                                  : stream_audit_serial(in, opts, on_block);
 }
 
 }  // namespace crooks::report

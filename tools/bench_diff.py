@@ -1,0 +1,147 @@
+#!/usr/bin/env python3
+"""Compare two google-benchmark JSON exports by benchmark name.
+
+Usage:
+    bench_diff.py BASELINE.json CANDIDATE.json [--tolerance=0.25]
+                  [--counter=NAME] [--forbid-debug] [--require-names]
+
+Rows are matched on the benchmark `name` field. For each matched row the
+primary time (`real_time`, normalized to seconds) and any shared counters are
+compared; the per-row table prints candidate/baseline ratios. The exit status
+is the CI contract:
+
+  0  every matched row within tolerance (and no --forbid-debug violation)
+  1  some ratio outside [1/(1+tol), 1+tol] for the checked metric(s)
+  2  structural problems: unreadable input, no common rows, a debug build
+     with --forbid-debug, or --require-names with unmatched baseline rows
+
+--tolerance is the allowed relative slack (default 0.25 = +-25%) applied to
+the primary time; by default counters are printed but not gated. Pass
+--counter=NAME (repeatable) to gate specific counters too — useful for rate
+counters like txns_per_sec where the time row is a constant-iteration total.
+
+--forbid-debug fails when EITHER file was recorded from a non-optimized
+build. The truthful key is `crooks_build_type` in the context (stamped by
+bench_env.hpp with the CMAKE_BUILD_TYPE of the repo's own code); when absent,
+the library's `library_build_type` is used as a fallback signal.
+"""
+
+import argparse
+import json
+import sys
+
+TIME_UNIT_SECONDS = {"ns": 1e-9, "us": 1e-6, "ms": 1e-3, "s": 1.0}
+OPTIMIZED = {"release", "relwithdebinfo", "minsizerel"}
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"bench_diff: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+
+
+def build_type(doc):
+    ctx = doc.get("context", {})
+    crooks = ctx.get("crooks_build_type")
+    if crooks:
+        return crooks, "crooks_build_type"
+    return ctx.get("library_build_type", "unknown"), "library_build_type"
+
+
+def rows(doc):
+    out = {}
+    for b in doc.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            continue
+        out[b["name"]] = b
+    return out
+
+
+def time_seconds(row):
+    unit = TIME_UNIT_SECONDS.get(row.get("time_unit", "ns"), 1e-9)
+    return float(row.get("real_time", 0.0)) * unit
+
+
+def counters(row):
+    skip = {
+        "name", "family_index", "per_family_instance_index", "run_name",
+        "run_type", "repetitions", "repetition_index", "threads",
+        "iterations", "real_time", "cpu_time", "time_unit",
+    }
+    return {k: v for k, v in row.items()
+            if k not in skip and isinstance(v, (int, float))}
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("baseline")
+    ap.add_argument("candidate")
+    ap.add_argument("--tolerance", type=float, default=0.25,
+                    help="allowed relative slack on gated metrics (0.25 = ±25%%)")
+    ap.add_argument("--counter", action="append", default=[],
+                    help="also gate this counter (repeatable)")
+    ap.add_argument("--forbid-debug", action="store_true",
+                    help="fail if either file came from a non-optimized build")
+    ap.add_argument("--require-names", action="store_true",
+                    help="fail if any baseline row is missing from the candidate")
+    args = ap.parse_args()
+
+    base_doc, cand_doc = load(args.baseline), load(args.candidate)
+
+    status = 0
+    if args.forbid_debug:
+        for path, doc in ((args.baseline, base_doc), (args.candidate, cand_doc)):
+            bt, key = build_type(doc)
+            if bt.lower() not in OPTIMIZED:
+                print(f"bench_diff: {path}: {key}={bt!r} is not an optimized "
+                      "build (--forbid-debug)", file=sys.stderr)
+                status = 2
+        if status:
+            return status
+
+    base, cand = rows(base_doc), rows(cand_doc)
+    common = [n for n in base if n in cand]
+    missing = [n for n in base if n not in cand]
+    if not common:
+        print("bench_diff: no common benchmark names", file=sys.stderr)
+        return 2
+
+    lo, hi = 1.0 / (1.0 + args.tolerance), 1.0 + args.tolerance
+    name_w = max(len(n) for n in common)
+    print(f"{'benchmark':<{name_w}}  {'base_s':>12}  {'cand_s':>12}  "
+          f"{'ratio':>7}  gated-counter ratios")
+    for name in common:
+        b, c = base[name], cand[name]
+        bt, ct = time_seconds(b), time_seconds(c)
+        ratio = ct / bt if bt > 0 else float("inf")
+        flagged = not (lo <= ratio <= hi)
+        extra = []
+        bc, cc = counters(b), counters(c)
+        for key in sorted(set(bc) & set(cc)):
+            if bc[key] == 0:
+                continue
+            r = cc[key] / bc[key]
+            gate = key in args.counter
+            if gate and not (lo <= r <= hi):
+                flagged = True
+            if gate:
+                extra.append(f"{key}={r:.3f}")
+        mark = "  <-- OUT OF TOLERANCE" if flagged else ""
+        if flagged:
+            status = max(status, 1)
+        print(f"{name:<{name_w}}  {bt:>12.6f}  {ct:>12.6f}  {ratio:>7.3f}  "
+              f"{' '.join(extra)}{mark}")
+
+    if missing:
+        print(f"bench_diff: {len(missing)} baseline row(s) missing from "
+              f"candidate: {', '.join(missing)}", file=sys.stderr)
+        if args.require_names:
+            status = 2
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

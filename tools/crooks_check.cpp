@@ -46,6 +46,13 @@
 //                    crooks_online_past_window_* metrics)
 //   --window-bytes=B [follow] same, but bound the resident-memory estimate in
 //                    bytes; combines with --window (tighter limit wins)
+//   --ingest-threads=N  [follow] pipelined ingest: N session-sharded workers
+//                    decode transaction blocks in parallel while a merge
+//                    thread runs the one authoritative checker, overlapping
+//                    parse with check (checker::ShardedOnlineChecker).
+//                    Verdicts, witnesses, counters and forensics output are
+//                    byte-identical to the serial path at every N; only
+//                    wall-clock changes. 0 (default) = serial ingest
 //   --metrics[=FILE] after the audit, dump the metrics registry in Prometheus
 //                    text exposition format to FILE (stdout if omitted)
 //   --metrics-json=FILE  same scrape as one JSON object
@@ -95,7 +102,7 @@ int usage() {
                "       crooks-check --follow [--level=NAME] [--quiet]\n"
                "                    [--poll-ms=N] [--idle-exit-ms=N] [--max-blocks=N]\n"
                "                    [--window=N] [--window-bytes=B]\n"
-               "                    [--metrics-every=N] [--forensics]\n"
+               "                    [--ingest-threads=N] [--metrics-every=N] [--forensics]\n"
                "                    [--forensics-json=FILE] FILE\n"
                "levels:");
   for (ct::IsolationLevel l : ct::kAllLevels) {
@@ -337,6 +344,9 @@ int main(int argc, char** argv) {
     } else if (arg.rfind("--window-bytes=", 0) == 0) {
       if (!parse_count(arg.substr(15), count) || count == 0) return usage();
       follow_opts.window_bytes = count;
+    } else if (arg.rfind("--ingest-threads=", 0) == 0) {
+      if (!parse_count(arg.substr(17), count)) return usage();
+      follow_opts.ingest_threads = count;
     } else if (arg == "--metrics") {
       metrics = true;
     } else if (arg.rfind("--metrics=", 0) == 0) {
